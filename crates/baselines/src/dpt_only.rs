@@ -1,0 +1,56 @@
+//! DPT-only baseline (§6.1.3): one DPT synopsis "constructed once and then
+//! used for the duration of the experiment" — i.e. a JanusAQP engine with
+//! the automatic re-optimization triggers disabled. Figure 10 contrasts its
+//! drifting error against full JanusAQP.
+
+use janus_common::{Result, Row};
+use janus_core::{JanusEngine, SynopsisConfig};
+
+/// Builds a DPT-only engine: identical to JanusAQP except that the §5.4
+/// triggers never fire (and manual `reinitialize` calls are expected to be
+/// withheld by the experiment driver).
+pub fn bootstrap(mut config: SynopsisConfig, rows: Vec<Row>) -> Result<JanusEngine> {
+    config.auto_repartition = false;
+    JanusEngine::bootstrap(config, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::{AggregateFunction, Query, QueryTemplate, RangePredicate};
+
+    #[test]
+    fn never_repartitions_under_skewed_inserts() {
+        let rows: Vec<Row> = (0..4_000)
+            .map(|i| Row::new(i, vec![(i % 100) as f64, 1.0]))
+            .collect();
+        let mut cfg = SynopsisConfig::paper_default(
+            QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]),
+            7,
+        );
+        cfg.leaf_count = 16;
+        cfg.sample_rate = 0.05;
+        cfg.catchup_ratio = 0.5;
+        cfg.trigger_check_interval = 16;
+        let mut engine = bootstrap(cfg, rows).unwrap();
+        // Skewed inserts: everything lands at the right edge.
+        for i in 0..4_000u64 {
+            engine
+                .insert(Row::new(100_000 + i, vec![99.5, 50.0]))
+                .unwrap();
+        }
+        assert_eq!(engine.stats().repartitions, 0);
+        assert_eq!(engine.stats().partial_repartitions, 0);
+        // It still answers queries.
+        let q = Query::new(
+            AggregateFunction::Sum,
+            1,
+            vec![0],
+            RangePredicate::new(vec![0.0], vec![100.0]).unwrap(),
+        )
+        .unwrap();
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.2);
+    }
+}

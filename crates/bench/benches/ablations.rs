@@ -1,0 +1,157 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * Bentley–Saxe dynamization vs rebuild-per-insert (the naive dynamic
+//!   range tree);
+//! * partial (ψ-level) vs full re-partitioning (Appendix E);
+//! * bounded MIN/MAX heap maintenance cost across heap sizes `k`;
+//! * pooled reservoir maintenance cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_common::{AggregateFunction, QueryTemplate, Row};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_data::intel_wireless;
+use janus_index::dynamic::DynamicIndex;
+use janus_index::kd::StaticKdTree;
+use janus_index::topk::MinMaxTracker;
+use janus_index::{IndexPoint, SpatialAggIndex};
+use janus_sampling::DynamicReservoir;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn points(n: usize, seed: u64) -> Vec<IndexPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| IndexPoint::new(vec![rng.gen(), rng.gen()], i as u64, rng.gen::<f64>() * 5.0))
+        .collect()
+}
+
+/// Bentley–Saxe amortized inserts vs a full static rebuild per insert.
+fn bench_dynamization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dynamization");
+    group.sample_size(10);
+    let base = points(2_000, 1);
+    let extra = points(200, 2);
+    group.bench_function("bentley_saxe_200_inserts", |b| {
+        b.iter_batched(
+            || DynamicIndex::<StaticKdTree>::bulk_load(2, base.clone()),
+            |mut idx| {
+                for (i, p) in extra.iter().enumerate() {
+                    let mut p = p.clone();
+                    p.id = 1_000_000 + i as u64;
+                    idx.insert(p);
+                }
+                black_box(idx.len())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("full_rebuild_200_inserts", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut pts| {
+                let mut last = 0;
+                for (i, p) in extra.iter().enumerate() {
+                    let mut p = p.clone();
+                    p.id = 1_000_000 + i as u64;
+                    pts.push(p);
+                    let idx = StaticKdTree::build(2, pts.clone());
+                    last = idx.len();
+                }
+                black_box(last)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+/// Partial vs full re-partitioning on the same engine state (Appendix E).
+fn bench_repartition_scope(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_repartition");
+    group.sample_size(10);
+    let d = intel_wireless(40_000, 3);
+    let (time, light) = (d.col("time"), d.col("light"));
+    let template = QueryTemplate::new(AggregateFunction::Sum, light, vec![time]);
+    let mk = || {
+        let mut cfg = SynopsisConfig::paper_default(template.clone(), 3);
+        cfg.leaf_count = 64;
+        cfg.sample_rate = 0.02;
+        cfg.catchup_ratio = 0.1;
+        cfg.auto_repartition = false;
+        JanusEngine::bootstrap(cfg, d.rows.clone()).unwrap()
+    };
+    group.bench_function("full_reinitialize", |b| {
+        b.iter_batched(
+            mk,
+            |mut engine| {
+                engine.reinitialize().unwrap();
+                black_box(engine.stats().repartitions)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for psi in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("partial_psi", psi), &psi, |b, &psi| {
+            b.iter_batched(
+                mk,
+                |mut engine| {
+                    let leaf = engine.dpt().leaf_indices()[0];
+                    engine.partial_repartition(leaf, psi).unwrap();
+                    black_box(engine.stats().partial_repartitions)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Bounded MIN/MAX heap maintenance across heap sizes (§4.1).
+fn bench_minmax_heaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_minmax_k");
+    let mut rng = SmallRng::seed_from_u64(5);
+    let values: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>() * 1e4).collect();
+    for k in [4usize, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("insert_delete", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut t = MinMaxTracker::new(k);
+                for &v in &values {
+                    t.insert(v);
+                }
+                for &v in values.iter().step_by(3) {
+                    t.delete(v);
+                }
+                black_box((t.min(), t.max()))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Pooled reservoir maintenance under a mixed update stream (§4.2).
+fn bench_reservoir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_reservoir");
+    let mut rng = SmallRng::seed_from_u64(7);
+    let rows: Vec<Row> = (0..50_000u64)
+        .map(|i| Row::new(i, vec![rng.gen::<f64>(), rng.gen::<f64>()]))
+        .collect();
+    group.bench_function("offer_50k", |b| {
+        b.iter(|| {
+            let mut r = DynamicReservoir::with_m(500, 7);
+            for (i, row) in rows.iter().enumerate() {
+                r.offer(row.clone(), i + 1);
+            }
+            black_box(r.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dynamization,
+    bench_repartition_scope,
+    bench_minmax_heaps,
+    bench_reservoir
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion companion to Fig. 5 (left): mixed insert/delete batch
+//! throughput at different worker counts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use janus_common::{AggregateFunction, QueryTemplate};
+use janus_core::concurrent::{apply_batch, Update};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_data::nyc_taxi;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_throughput");
+    group.sample_size(10);
+    let d = nyc_taxi(80_000, 0xf5);
+    let (pickup, dist) = (d.col("pickup_time"), d.col("trip_distance"));
+    let template = QueryTemplate::new(AggregateFunction::Sum, dist, vec![pickup]);
+
+    let batch: Vec<Update> = d.rows[60_000..80_000]
+        .iter()
+        .cloned()
+        .map(Update::Insert)
+        .chain((0..2_000).map(|i| Update::Delete(i * 25)))
+        .collect();
+    group.throughput(Throughput::Elements(batch.len() as u64));
+
+    for threads in [1usize, 4, 12] {
+        group.bench_with_input(BenchmarkId::new("mixed_batch", threads), &threads, |b, &t| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SynopsisConfig::paper_default(template.clone(), 0xf5);
+                    cfg.leaf_count = 64;
+                    cfg.sample_rate = 0.01;
+                    cfg.catchup_ratio = 0.1;
+                    cfg.auto_repartition = false;
+                    JanusEngine::bootstrap(cfg, d.rows[..60_000].to_vec()).unwrap()
+                },
+                |mut engine| black_box(apply_batch(&mut engine, batch.clone(), t).applied),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Single-row sequential path for reference.
+    group.bench_function("sequential_inserts", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SynopsisConfig::paper_default(template.clone(), 0xf5);
+                cfg.leaf_count = 64;
+                cfg.sample_rate = 0.01;
+                cfg.catchup_ratio = 0.1;
+                cfg.auto_repartition = false;
+                JanusEngine::bootstrap(cfg, d.rows[..60_000].to_vec()).unwrap()
+            },
+            |mut engine| {
+                for row in &d.rows[60_000..62_000] {
+                    engine.insert(row.clone()).unwrap();
+                }
+                black_box(engine.population())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

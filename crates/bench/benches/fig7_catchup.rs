@@ -1,0 +1,36 @@
+//! Criterion companion to Fig. 7 (right): catch-up *processing* rate —
+//! rows absorbed into the tree per unit time (the paper reports ~160k
+//! tuples/s single-threaded).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use janus_common::{AggregateFunction, QueryTemplate};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_data::intel_wireless;
+
+fn bench_catchup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_catchup");
+    group.sample_size(10);
+    let d = intel_wireless(100_000, 0xf7);
+    let (time, light) = (d.col("time"), d.col("light"));
+    let template = QueryTemplate::new(AggregateFunction::Sum, light, vec![time]);
+    let chunk = 10_000usize;
+    group.throughput(Throughput::Elements(chunk as u64));
+    group.bench_function("process_10k_rows", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = SynopsisConfig::paper_default(template.clone(), 0xf7);
+                cfg.leaf_count = 128;
+                cfg.sample_rate = 0.01;
+                cfg.catchup_ratio = 0.5;
+                cfg.catchup_per_update = 0;
+                JanusEngine::bootstrap_without_catchup(cfg, d.rows.clone()).unwrap()
+            },
+            |mut engine| black_box(engine.advance_catchup(chunk)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_catchup);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Microbenchmarks of the geometric substrates: treap order statistics,
+//! static/dynamic range trees, kd-trees, and the max-variance probe `M(R)`
+//! that every partitioning decision is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_common::{AggregateFunction, Rect};
+use janus_core::maxvar::MaxVarianceIndex;
+use janus_index::dynamic::DynamicIndex;
+use janus_index::kd::StaticKdTree;
+use janus_index::range_tree::StaticRangeTree;
+use janus_index::treap::{Entry, Treap};
+use janus_index::{IndexPoint, SpatialAggIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn points(d: usize, n: usize, seed: u64) -> Vec<IndexPoint> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            IndexPoint::new(
+                (0..d).map(|_| rng.gen::<f64>()).collect(),
+                i as u64,
+                rng.gen::<f64>() * 10.0,
+            )
+        })
+        .collect()
+}
+
+fn bench_treap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treap");
+    for n in [1_000usize, 10_000] {
+        let pts = points(1, n, 1);
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = Treap::new();
+                for p in &pts {
+                    t.insert(Entry { key: p.coords[0], id: p.id, weight: p.weight });
+                }
+                for p in pts.iter().step_by(2) {
+                    t.remove(p.coords[0], p.id);
+                }
+                black_box(t.len())
+            })
+        });
+        let t = Treap::from_entries(
+            pts.iter().map(|p| Entry { key: p.coords[0], id: p.id, weight: p.weight }),
+        );
+        group.bench_with_input(BenchmarkId::new("moments_by_rank", n), &n, |b, _| {
+            b.iter(|| black_box(t.moments_by_rank(n / 4, 3 * n / 4)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial_moments");
+    let rect2 = Rect::new(vec![0.2, 0.2], vec![0.8, 0.8]).unwrap();
+    {
+        let n = 10_000usize;
+        let pts = points(2, n, 2);
+        let rt = StaticRangeTree::build(2, pts.clone());
+        let kd = StaticKdTree::build(2, pts.clone());
+        group.bench_with_input(BenchmarkId::new("range_tree_2d", n), &n, |b, _| {
+            b.iter(|| black_box(rt.moments_in(&rect2)))
+        });
+        group.bench_with_input(BenchmarkId::new("kd_tree_2d", n), &n, |b, _| {
+            b.iter(|| black_box(kd.moments_in(&rect2)))
+        });
+        let pts5 = points(5, n, 3);
+        let kd5 = StaticKdTree::build(5, pts5);
+        let rect5 = Rect::new(vec![0.2; 5], vec![0.8; 5]).unwrap();
+        group.bench_with_input(BenchmarkId::new("kd_tree_5d", n), &n, |b, _| {
+            b.iter(|| black_box(kd5.moments_in(&rect5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamic_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bentley_saxe");
+    let pts = points(2, 10_000, 4);
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut idx = DynamicIndex::<StaticKdTree>::new(2);
+            for p in &pts {
+                idx.insert(p.clone());
+            }
+            black_box(idx.len())
+        })
+    });
+    group.bench_function("query_under_churn", |b| {
+        let mut idx = DynamicIndex::<StaticKdTree>::bulk_load(2, pts.clone());
+        for p in pts.iter().take(3_000) {
+            idx.delete(p.clone());
+        }
+        let rect = Rect::new(vec![0.1, 0.1], vec![0.9, 0.9]).unwrap();
+        b.iter(|| black_box(idx.moments_in(&rect)))
+    });
+    group.finish();
+}
+
+fn bench_maxvar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxvar_probe");
+    for (d, label) in [(1usize, "1d"), (2, "2d"), (5, "5d")] {
+        let pts = points(d, 10_000, 5);
+        for agg in [AggregateFunction::Count, AggregateFunction::Sum, AggregateFunction::Avg] {
+            let mv = MaxVarianceIndex::bulk_load(d, agg, 0.01, 0.01, pts.clone());
+            let rect = Rect::new(vec![0.1; d], vec![0.9; d]).unwrap();
+            group.bench_function(format!("{label}_{agg}"), |b| {
+                b.iter(|| black_box(mv.max_variance(&rect)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_treap, bench_spatial, bench_dynamic_updates, bench_maxvar
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion companion to Table 2's latency columns: per-query answering
+//! cost of JanusAQP vs the RS scan baseline at matched sample rates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use janus_baselines::ReservoirBaseline;
+use janus_common::{AggregateFunction, Query, QueryTemplate, RangePredicate};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_data::intel_wireless;
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_query_latency");
+    group.sample_size(30);
+    let d = intel_wireless(60_000, 0xb2);
+    let (time, light) = (d.col("time"), d.col("light"));
+    let template = QueryTemplate::new(AggregateFunction::Sum, light, vec![time]);
+    let mut cfg = SynopsisConfig::paper_default(template, 0xb2);
+    cfg.leaf_count = 64;
+    cfg.sample_rate = 0.02;
+    cfg.catchup_ratio = 0.1;
+    let mut janus = JanusEngine::bootstrap(cfg, d.rows.clone()).unwrap();
+    let rs = ReservoirBaseline::bootstrap(d.rows.clone(), 0.02, 0xb2).unwrap();
+
+    let t_max = d.rows.last().unwrap().value(time);
+    let q = Query::new(
+        AggregateFunction::Sum,
+        light,
+        vec![time],
+        RangePredicate::new(vec![t_max * 0.2], vec![t_max * 0.7]).unwrap(),
+    )
+    .unwrap();
+
+    group.bench_function("janus_sum", |b| {
+        b.iter(|| black_box(janus.query(&q).unwrap()))
+    });
+    group.bench_function("rs_sum", |b| b.iter(|| black_box(rs.query(&q))));
+
+    let q_avg = Query::new(AggregateFunction::Avg, light, vec![time], q.range.clone()).unwrap();
+    group.bench_function("janus_avg", |b| {
+        b.iter(|| black_box(janus.query(&q_avg).unwrap()))
+    });
+    let q_min = Query::new(AggregateFunction::Min, light, vec![time], q.range.clone()).unwrap();
+    group.bench_function("janus_min", |b| {
+        b.iter(|| black_box(janus.query(&q_min).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

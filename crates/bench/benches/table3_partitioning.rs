@@ -1,0 +1,44 @@
+//! Criterion companion to Table 3: binary-search (§5.2) vs PASS dynamic
+//! programming partitioning time as a function of the partition count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_common::AggregateFunction;
+use janus_core::maxvar::MaxVarianceIndex;
+use janus_core::partition::{Partitioner, PartitionerKind};
+use janus_data::intel_wireless;
+use janus_index::IndexPoint;
+
+fn sample_points(n_rows: usize, m: usize) -> Vec<IndexPoint> {
+    let d = intel_wireless(n_rows, 0xb3);
+    let (time, light) = (d.col("time"), d.col("light"));
+    d.rows
+        .iter()
+        .step_by((n_rows / m).max(1))
+        .map(|r| IndexPoint::new(vec![r.value(time)], r.id, r.value(light)))
+        .collect()
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_partitioning");
+    group.sample_size(10);
+    let pts = sample_points(60_000, 3_000);
+    let mv = MaxVarianceIndex::bulk_load(1, AggregateFunction::Sum, 0.05, 0.01, pts);
+    for k in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("bs", k), &k, |b, &k| {
+            let p = Partitioner { kind: PartitionerKind::BinarySearch1d, rho: 2.0 };
+            b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
+        });
+        group.bench_with_input(BenchmarkId::new("dp", k), &k, |b, &k| {
+            let p = Partitioner { kind: PartitionerKind::Dp1d { candidates: 300 }, rho: 2.0 };
+            b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
+        });
+        group.bench_with_input(BenchmarkId::new("equicount", k), &k, |b, &k| {
+            let p = Partitioner { kind: PartitionerKind::EquiCount1d, rho: 2.0 };
+            b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion companion to Table 4: actual in-process cost of the singleton
+//! vs sequential samplers (the simulated-broker costs are in `exp_table4`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_storage::{PollCostModel, SequentialSampler, SingletonSampler, TopicLog};
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_samplers");
+    group.sample_size(20);
+    let topic: TopicLog<u64> = TopicLog::new();
+    topic.append_batch(0..200_000u64);
+    let model = PollCostModel::KAFKA_LIKE;
+
+    group.bench_function("singleton_2k_draws", |b| {
+        b.iter(|| {
+            let mut s = SingletonSampler::new(model, 7);
+            black_box(s.sample(&topic, 2_000).sample.len())
+        })
+    });
+    for poll_size in [100usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential_scan", poll_size),
+            &poll_size,
+            |b, &ps| {
+                b.iter(|| {
+                    let mut s = SequentialSampler::new(model, ps, 7);
+                    black_box(s.sample(&topic, 2_000).sample.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

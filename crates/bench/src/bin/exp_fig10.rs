@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10. Scale with `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_fig10] JANUS_SCALE = {scale}");
+    janus_bench::experiments::fig10::run(scale).finish();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6. Scale with `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_fig6] JANUS_SCALE = {scale}");
+    janus_bench::experiments::fig6::run(scale).finish();
+}

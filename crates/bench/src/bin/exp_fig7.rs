@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7. Scale with `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_fig7] JANUS_SCALE = {scale}");
+    janus_bench::experiments::fig7::run(scale).finish();
+}

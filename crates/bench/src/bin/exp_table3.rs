@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3. Scale with `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_table3] JANUS_SCALE = {scale}");
+    janus_bench::experiments::table3::run(scale).finish();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table4. Scale with `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_table4] JANUS_SCALE = {scale}");
+    janus_bench::experiments::table4::run(scale).finish();
+}

@@ -1,0 +1,144 @@
+//! Figure 10: why re-partitioning matters (§6.8). Two scenarios that
+//! unbalance a static partition tree, comparing DPT (no re-optimization)
+//! against full JanusAQP:
+//!
+//! * **left** — insertions sorted by pickup time: every new tuple lands in
+//!   the rightmost partitions; JanusAQP re-partitions after each 10%
+//!   increment;
+//! * **right** — pickup-time-of-day predicate (inserts unskewed), but half
+//!   the rows inside 10% of the leaves are deleted before each increment,
+//!   triggering deletion-driven re-partitioning.
+
+use super::{errors_against, paper_config, truths, TAXI_N};
+use crate::metrics::percentile;
+use crate::ExpReport;
+use janus_baselines::dpt_only;
+use janus_common::{AggregateFunction, Query, QueryTemplate, Row};
+use janus_core::JanusEngine;
+use janus_data::{nyc_taxi, QueryWorkload, WorkloadSpec};
+use serde_json::json;
+
+fn p95_of(engine: &mut JanusEngine, queries: &[Query], seen: &[Row]) -> f64 {
+    let gt = truths(queries, seen);
+    let (errors, _) = errors_against(queries, &gt, |q| engine.query(q).ok().flatten());
+    if errors.is_empty() {
+        f64::NAN
+    } else {
+        percentile(errors, 0.95)
+    }
+}
+
+fn queries_over(seen: &[Row], agg_col: usize, pred_col: usize, count: usize, seed: u64) -> Vec<Query> {
+    let spec = WorkloadSpec {
+        template: QueryTemplate::new(AggregateFunction::Sum, agg_col, vec![pred_col]),
+        count,
+        min_width_fraction: 0.02,
+        seed,
+        domain_quantile: 1.0,
+    };
+    QueryWorkload::generate_over_rows(seen, &spec).queries
+}
+
+/// Runs both Fig. 10 panels.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0xf1a);
+    let n = dataset.len();
+    let tenth = n / 10;
+    let count = crate::scaled_queries(scale).min(400);
+    let dist = dataset.col("trip_distance");
+    let mut rows_out = Vec::new();
+
+    // ---- left panel: skewed (time-sorted) insertions -------------------
+    {
+        let pred = dataset.col("pickup_time");
+        let initial = dataset.rows[..tenth].to_vec();
+        let mut janus = JanusEngine::bootstrap(
+            paper_config(&dataset, "pickup_time", "trip_distance", 0xa01),
+            initial.clone(),
+        )
+        .expect("bootstrap");
+        let mut dpt = dpt_only::bootstrap(
+            paper_config(&dataset, "pickup_time", "trip_distance", 0xa01),
+            initial,
+        )
+        .expect("bootstrap");
+        for step in 1..=9usize {
+            for row in &dataset.rows[step * tenth..(step + 1) * tenth] {
+                janus.insert(row.clone()).expect("insert");
+                dpt.insert(row.clone()).expect("insert");
+            }
+            janus.reinitialize().expect("reinit");
+            janus.run_catchup_to_goal();
+            let seen = &dataset.rows[..(step + 1) * tenth];
+            let queries = queries_over(seen, dist, pred, count, 0xa0 + step as u64);
+            rows_out.push(vec![
+                json!("skewed_inserts"),
+                json!((step + 1) as f64 / 10.0),
+                json!(p95_of(&mut dpt, &queries, seen)),
+                json!(p95_of(&mut janus, &queries, seen)),
+            ]);
+        }
+    }
+
+    // ---- right panel: node-targeted deletions --------------------------
+    {
+        let pred = dataset.col("pickup_time_of_day");
+        let initial = dataset.rows[..tenth].to_vec();
+        let mut janus = JanusEngine::bootstrap(
+            paper_config(&dataset, "pickup_time_of_day", "trip_distance", 0xa02),
+            initial.clone(),
+        )
+        .expect("bootstrap");
+        let mut dpt = dpt_only::bootstrap(
+            paper_config(&dataset, "pickup_time_of_day", "trip_distance", 0xa02),
+            initial,
+        )
+        .expect("bootstrap");
+        for step in 1..=9usize {
+            // Target 10% of the leaves: delete half of their rows.
+            let leaves = janus.dpt().leaf_indices();
+            let targets: Vec<usize> = leaves.iter().copied().step_by(10).collect();
+            let victim_rects: Vec<janus_common::Rect> = targets
+                .iter()
+                .map(|&l| janus.dpt().node(l).rect.clone())
+                .collect();
+            let victims: Vec<u64> = janus
+                .archive()
+                .iter()
+                .filter(|r| {
+                    let p = [r.value(pred)];
+                    r.id % 2 == 0 && victim_rects.iter().any(|rect| rect.contains(&p))
+                })
+                .map(|r| r.id)
+                .collect();
+            for id in victims {
+                janus.delete(id).expect("delete");
+                dpt.delete(id).expect("delete");
+            }
+            for row in &dataset.rows[step * tenth..(step + 1) * tenth] {
+                janus.insert(row.clone()).expect("insert");
+                dpt.insert(row.clone()).expect("insert");
+            }
+            // Deletion-driven re-partitioning for JanusAQP.
+            janus.reinitialize().expect("reinit");
+            janus.run_catchup_to_goal();
+            let seen: Vec<Row> = janus.archive().iter().cloned().collect();
+            let queries = queries_over(&seen, dist, pred, count, 0xb0 + step as u64);
+            rows_out.push(vec![
+                json!("targeted_deletions"),
+                json!((step + 1) as f64 / 10.0),
+                json!(p95_of(&mut dpt, &queries, &seen)),
+                json!(p95_of(&mut janus, &queries, &seen)),
+            ]);
+        }
+    }
+
+    ExpReport {
+        id: "fig10",
+        title: "Figure 10: re-partitioning under skew — P95 error, DPT vs JanusAQP",
+        headers: ["scenario", "progress", "dpt_p95", "janus_p95"]
+            .map(String::from)
+            .to_vec(),
+        rows: rows_out,
+    }
+}

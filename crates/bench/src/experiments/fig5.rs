@@ -1,0 +1,81 @@
+//! Figure 5: (left) insert/delete throughput with a 12-thread worker pool
+//! as a function of the existing-data ratio; (right) re-optimization cost
+//! of JanusAQP vs DeepDB(SPN) as a function of progress.
+
+use super::{paper_config, TAXI_N};
+use crate::ExpReport;
+use super::super::experiments::table2::deepdb_config;
+use janus_baselines::MiniSpn;
+use janus_core::concurrent::{apply_batch, Update};
+use janus_core::JanusEngine;
+use janus_data::nyc_taxi;
+use serde_json::json;
+use std::time::Instant;
+
+/// Worker threads (the paper uses a pool of 12).
+pub const THREADS: usize = 12;
+
+/// Runs both Fig. 5 panels.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0xf165);
+    let n = dataset.len();
+    let mut rows_out = Vec::new();
+
+    for p in (1..=9).map(|i| i as f64 / 10.0) {
+        let existing = (n as f64 * p) as usize;
+        let cfg = paper_config(&dataset, "pickup_time", "trip_distance", 0x515);
+        let mut engine =
+            JanusEngine::bootstrap(cfg, dataset.rows[..existing].to_vec()).expect("bootstrap");
+
+        // Insert throughput: the next 5% of rows (re-ids avoid collisions).
+        let batch_len = (n / 20).max(1_000).min(n - existing);
+        let inserts: Vec<Update> = dataset.rows[existing..existing + batch_len]
+            .iter()
+            .cloned()
+            .map(Update::Insert)
+            .collect();
+        let ins_report = apply_batch(&mut engine, inserts, THREADS);
+
+        // Delete throughput: a uniform slice of existing ids.
+        let deletes: Vec<Update> = (0..batch_len)
+            .map(|i| Update::Delete((i * existing / batch_len) as u64))
+            .collect();
+        let del_report = apply_batch(&mut engine, deletes, THREADS);
+
+        // Re-optimization cost: full JanusAQP re-initialization vs SPN
+        // retrain over a 10% sample of the current table.
+        let t = Instant::now();
+        engine.reinitialize().expect("reinit");
+        let janus_reopt = t.elapsed();
+        let train: Vec<janus_common::Row> = dataset.rows[..existing]
+            .iter()
+            .step_by(10)
+            .cloned()
+            .collect();
+        let t = Instant::now();
+        let _spn = MiniSpn::train(&train, existing, deepdb_config());
+        let spn_reopt = t.elapsed();
+
+        rows_out.push(vec![
+            json!(p),
+            json!(ins_report.throughput()),
+            json!(del_report.throughput()),
+            json!(janus_reopt.as_secs_f64()),
+            json!(spn_reopt.as_secs_f64()),
+        ]);
+    }
+    ExpReport {
+        id: "fig5",
+        title: "Figure 5: update throughput (12 threads) and re-optimization cost (s)",
+        headers: [
+            "existing_ratio",
+            "insert_throughput_per_s",
+            "delete_throughput_per_s",
+            "janus_reopt_s",
+            "deepdb_reopt_s",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: rows_out,
+    }
+}

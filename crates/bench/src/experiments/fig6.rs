@@ -1,0 +1,49 @@
+//! Figure 6: median relative error as the deletion percentage varies from
+//! 1% to 9% over the three datasets.
+//!
+//! Protocol (§6.4): build on the first 50% of the data, delete the *last*
+//! `p%` of that first half, answer the workload against the remaining rows.
+//! Uniformly-spread deletions should leave the error roughly flat.
+
+use super::{datasets, errors_against, paper_config, truths, workload};
+use crate::metrics::median;
+use crate::ExpReport;
+use janus_common::Row;
+use janus_core::JanusEngine;
+use serde_json::json;
+
+/// Runs the Fig. 6 protocol.
+pub fn run(scale: f64) -> ExpReport {
+    let mut rows_out = Vec::new();
+    for (dataset, pred, agg) in datasets(scale) {
+        let half = dataset.len() / 2;
+        let queries = workload(&dataset, pred, agg, scale, 6);
+        for p in 1..=9usize {
+            let cfg = paper_config(&dataset, pred, agg, 0xf16 + p as u64);
+            let mut engine =
+                JanusEngine::bootstrap(cfg, dataset.rows[..half].to_vec()).expect("bootstrap");
+            let delete_from = half - half * p / 100;
+            for id in delete_from as u64..half as u64 {
+                engine.delete(id).expect("delete");
+            }
+            // Ground truth over what remains (§6.4).
+            let remaining: Vec<Row> = engine.archive().iter().cloned().collect();
+            let gt = truths(&queries, &remaining);
+            let (errors, _) = errors_against(&queries, &gt, |q| engine.query(q).ok().flatten());
+            let med = if errors.is_empty() { f64::NAN } else { median(errors) };
+            rows_out.push(vec![
+                json!(dataset.name),
+                json!(p as f64 / 100.0),
+                json!(med),
+            ]);
+        }
+    }
+    ExpReport {
+        id: "fig6",
+        title: "Figure 6: median relative error vs deletion percentage",
+        headers: ["dataset", "deletion_pct", "median_rel_err"]
+            .map(String::from)
+            .to_vec(),
+        rows: rows_out,
+    }
+}

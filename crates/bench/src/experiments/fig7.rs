@@ -1,0 +1,69 @@
+//! Figure 7: the catch-up phase (§6.5). Left: P95 relative error of
+//! `JanusAQP(128, c, 1%)` as the catch-up goal `c` varies from 1% to 10%,
+//! with an RS(1%) reference line. Right: catch-up time split into data
+//! *loading* (polling the Kafka-like log, simulated cost model) and data
+//! *processing* (measured tree-update time).
+
+use super::{errors_against, paper_config, truths, workload, INTEL_N};
+use crate::metrics::percentile;
+use crate::ExpReport;
+use janus_baselines::ReservoirBaseline;
+use janus_core::JanusEngine;
+use janus_data::intel_wireless;
+use janus_storage::{PollCostModel, SequentialSampler, TopicLog};
+use serde_json::json;
+use std::time::Instant;
+
+/// Runs both Fig. 7 panels.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = intel_wireless(crate::scaled(INTEL_N, scale), 0xf17);
+    let queries = workload(&dataset, "time", "light", scale, 7);
+    let gt = truths(&queries, &dataset.rows);
+
+    // RS reference (1% sample).
+    let rs = ReservoirBaseline::bootstrap(dataset.rows.clone(), 0.01, 7).expect("rs");
+    let (rs_errors, _) = errors_against(&queries, &gt, |q| rs.query(q));
+    let rs_p95 = percentile(rs_errors, 0.95);
+
+    // The insert topic the catch-up loader polls.
+    let topic: TopicLog<janus_common::Row> = TopicLog::new();
+    topic.append_batch(dataset.rows.iter().cloned());
+
+    let mut rows_out = Vec::new();
+    for c in 1..=10usize {
+        let mut cfg = paper_config(&dataset, "time", "light", 0x717 + c as u64);
+        cfg.catchup_ratio = c as f64 / 100.0;
+        cfg.catchup_per_update = 0; // catch-up controlled manually here
+        let mut engine =
+            JanusEngine::bootstrap_without_catchup(cfg, dataset.rows.clone()).expect("bootstrap");
+
+        // Processing cost: measured wall time of applying the samples.
+        let t = Instant::now();
+        engine.run_catchup_to_goal();
+        let processing = t.elapsed();
+
+        // Loading cost: simulated sequential-scan polling for the same
+        // number of rows (Appendix A cost model, pollSize 10k).
+        let goal = (engine.population() as f64 * c as f64 / 100.0) as usize;
+        let mut loader = SequentialSampler::new(PollCostModel::KAFKA_LIKE, 10_000, 7);
+        let load_run = loader.sample(&topic, goal);
+
+        let (errors, _) = errors_against(&queries, &gt, |q| engine.query(q).ok().flatten());
+        let p95 = if errors.is_empty() { f64::NAN } else { percentile(errors, 0.95) };
+        rows_out.push(vec![
+            json!(c as f64 / 100.0),
+            json!(p95),
+            json!(rs_p95),
+            json!(load_run.simulated_ms() / 1e3),
+            json!(processing.as_secs_f64()),
+        ]);
+    }
+    ExpReport {
+        id: "fig7",
+        title: "Figure 7: catch-up goal vs P95 error and catch-up cost (s)",
+        headers: ["catchup_ratio", "janus_p95", "rs_p95", "loading_s", "processing_s"]
+            .map(String::from)
+            .to_vec(),
+        rows: rows_out,
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 8: robustness to dynamic query templates on NYC Taxi (§6.6).
+//!
+//! Three panels, all P95 relative error versus data progress:
+//!
+//! 1. predicate-attribute change — `PickupOverPickup` (query and synopsis
+//!    both on pickup time), `DropoffOverDropoff` (both on dropoff time,
+//!    i.e. after a re-partition to the new attribute), and
+//!    `DropoffOverPickup` (dropoff queries against a pickup synopsis —
+//!    the §5.5 uniform-sampling fallback);
+//! 2. aggregation-attribute change — `Same` (trip_distance, the synopsis
+//!    focus) vs `Different` (passenger_count via the sampling fallback);
+//! 3. aggregation-function change — SUM / CNT / AVG on one tree.
+
+use super::{errors_against, paper_config, truths, TAXI_N};
+use crate::metrics::percentile;
+use crate::ExpReport;
+use janus_common::{AggregateFunction, Query, QueryTemplate, Row};
+use janus_core::JanusEngine;
+use janus_data::{nyc_taxi, QueryWorkload, WorkloadSpec};
+use serde_json::json;
+
+fn queries_for(
+    seen: &[Row],
+    agg: AggregateFunction,
+    agg_col: usize,
+    pred_col: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let spec = WorkloadSpec {
+        template: QueryTemplate::new(agg, agg_col, vec![pred_col]),
+        count,
+        min_width_fraction: 0.02,
+        seed,
+        domain_quantile: 1.0,
+    };
+    QueryWorkload::generate_over_rows(seen, &spec).queries
+}
+
+/// Runs all three Fig. 8 panels.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0xf18);
+    let n = dataset.len();
+    let tenth = n / 10;
+    let count = crate::scaled_queries(scale).min(400);
+    let pickup = dataset.col("pickup_time");
+    let dropoff = dataset.col("dropoff_time");
+    let dist = dataset.col("trip_distance");
+    let pax = dataset.col("passenger_count");
+
+    // Two engines: one per predicate attribute (the re-partitioned state).
+    let initial = dataset.rows[..tenth].to_vec();
+    let mut on_pickup = JanusEngine::bootstrap(
+        paper_config(&dataset, "pickup_time", "trip_distance", 0x818),
+        initial.clone(),
+    )
+    .expect("bootstrap");
+    let mut on_dropoff = JanusEngine::bootstrap(
+        paper_config(&dataset, "dropoff_time", "trip_distance", 0x819),
+        initial,
+    )
+    .expect("bootstrap");
+
+    let mut rows_out = Vec::new();
+    for step in 1..=9usize {
+        let progress = (step + 1) as f64 / 10.0;
+        for row in &dataset.rows[step * tenth..(step + 1) * tenth] {
+            on_pickup.insert(row.clone()).expect("insert");
+            on_dropoff.insert(row.clone()).expect("insert");
+        }
+        on_pickup.reinitialize().expect("reinit");
+        on_pickup.run_catchup_to_goal();
+        on_dropoff.reinitialize().expect("reinit");
+        on_dropoff.run_catchup_to_goal();
+
+        let seen = &dataset.rows[..(step + 1) * tenth];
+        let mut emit = |panel: &str, series: &str, queries: &[Query], engine: &mut JanusEngine| {
+            let gt = truths(queries, seen);
+            let (errors, _) = errors_against(queries, &gt, |q| engine.query(q).ok().flatten());
+            let p95 = if errors.is_empty() { f64::NAN } else { percentile(errors, 0.95) };
+            rows_out.push(vec![
+                json!(panel),
+                json!(series),
+                json!(progress),
+                json!(p95),
+            ]);
+        };
+
+        // Panel 1: predicate attribute.
+        let q_pick = queries_for(seen, AggregateFunction::Sum, dist, pickup, count, 81);
+        let q_drop = queries_for(seen, AggregateFunction::Sum, dist, dropoff, count, 82);
+        emit("predicate", "PickupOverPickup", &q_pick, &mut on_pickup);
+        emit("predicate", "DropoffOverDropoff", &q_drop, &mut on_dropoff);
+        emit("predicate", "DropoffOverPickup", &q_drop, &mut on_pickup);
+
+        // Panel 2: aggregation attribute.
+        let q_same = queries_for(seen, AggregateFunction::Sum, dist, pickup, count, 83);
+        let q_diff = queries_for(seen, AggregateFunction::Sum, pax, pickup, count, 83);
+        emit("agg_attribute", "Same", &q_same, &mut on_pickup);
+        emit("agg_attribute", "Different", &q_diff, &mut on_pickup);
+
+        // Panel 3: aggregation function.
+        for (name, agg) in [
+            ("SUM", AggregateFunction::Sum),
+            ("CNT", AggregateFunction::Count),
+            ("AVG", AggregateFunction::Avg),
+        ] {
+            let q = queries_for(seen, agg, dist, pickup, count, 84);
+            emit("agg_function", name, &q, &mut on_pickup);
+        }
+    }
+    ExpReport {
+        id: "fig8",
+        title: "Figure 8: dynamic query templates — P95 relative error vs progress",
+        headers: ["panel", "series", "progress", "p95_rel_err"]
+            .map(String::from)
+            .to_vec(),
+        rows: rows_out,
+    }
+}

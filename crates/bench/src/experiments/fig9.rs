@@ -1,0 +1,89 @@
+//! Figure 9: multi-dimensional (5-D) query templates on NASDAQ ETF (§6.7):
+//! median relative error and re-optimization cost of `JanusAQP(256, 10%,
+//! 1%)` vs DeepDB(SPN), starting at 30% progress (earlier marks have too
+//! many zero ground truths, as the paper notes).
+
+use super::{errors_against, truths, ETF_N};
+use crate::metrics::median;
+use crate::ExpReport;
+use super::super::experiments::table2::deepdb_config;
+use janus_baselines::MiniSpn;
+use janus_common::{AggregateFunction, QueryTemplate, Row};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_data::{nasdaq_etf, QueryWorkload, WorkloadSpec};
+use serde_json::json;
+use std::time::Instant;
+
+/// Runs the Fig. 9 protocol.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nasdaq_etf(crate::scaled(ETF_N, scale), 0xf19);
+    let n = dataset.len();
+    let tenth = n / 10;
+    let cols = ["date", "open", "close", "high", "low"].map(|c| dataset.col(c));
+    let template = QueryTemplate::new(AggregateFunction::Sum, dataset.col("volume"), cols.to_vec());
+
+    // 5-D queries over the full dataset, as in §6.7 (wide per-dimension
+    // ranges keep selectivity non-trivial in 5-D).
+    let spec = WorkloadSpec {
+        template: template.clone(),
+        count: crate::scaled_queries(scale),
+        min_width_fraction: 0.35,
+        seed: 9,
+        domain_quantile: 0.995,
+    };
+    let queries = QueryWorkload::generate(&dataset, &spec).queries;
+
+    let mut cfg = SynopsisConfig::paper_default(template, 0x919);
+    cfg.leaf_count = ((cfg.sample_rate * n as f64 * 0.01) as usize).clamp(32, 256);
+    let initial = dataset.rows[..3 * tenth].to_vec();
+    let mut janus = JanusEngine::bootstrap(cfg, initial.clone()).expect("bootstrap");
+    let spn_train: Vec<Row> = initial.iter().step_by(10).cloned().collect();
+    let mut spn = MiniSpn::train(&spn_train, initial.len(), deepdb_config());
+
+    let mut rows_out = Vec::new();
+    for step in 3..=9usize {
+        if step > 3 {
+            for row in &dataset.rows[(step - 1) * tenth..step * tenth] {
+                janus.insert(row.clone()).expect("insert");
+                spn.insert(row);
+            }
+        }
+        let seen = &dataset.rows[..step * tenth];
+        // Re-optimization, timed (the right panel).
+        let t = Instant::now();
+        janus.reinitialize().expect("reinit");
+        janus.run_catchup_to_goal();
+        let janus_reopt = t.elapsed();
+        let retrain: Vec<Row> = seen.iter().step_by(10).cloned().collect();
+        let t = Instant::now();
+        spn.retrain(&retrain, seen.len());
+        let spn_reopt = t.elapsed();
+
+        let gt = truths(&queries, seen);
+        let (je, _) = errors_against(&queries, &gt, |q| janus.query(q).ok().flatten());
+        let (se, _) = errors_against(&queries, &gt, |q| spn.query(q));
+        let jm = if je.is_empty() { f64::NAN } else { median(je) };
+        let sm = if se.is_empty() { f64::NAN } else { median(se) };
+        rows_out.push(vec![
+            json!(step as f64 / 10.0),
+            json!(jm),
+            json!(sm),
+            json!(janus_reopt.as_secs_f64()),
+            json!(spn_reopt.as_secs_f64()),
+        ]);
+    }
+    ExpReport {
+        id: "fig9",
+        title: "Figure 9: 5-D queries on ETF — median error and re-optimization cost",
+        headers: [
+            "progress",
+            "janus_median_err",
+            "deepdb_median_err",
+            "janus_reopt_s",
+            "deepdb_reopt_s",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: rows_out,
+    }
+}

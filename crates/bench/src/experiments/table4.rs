@@ -1,0 +1,51 @@
+//! Table 4 (Appendix A): singleton vs sequential samplers over the
+//! Kafka-like insert topic: poll counts, simulated total cost, per-poll
+//! cost, and the break-even sample rate above which a sequential scan
+//! beats per-draw singleton polls.
+
+use crate::ExpReport;
+use janus_storage::samplers::equivalent_singleton_rate;
+use janus_storage::{PollCostModel, SequentialSampler, SingletonSampler, TopicLog};
+use serde_json::json;
+
+/// Runs the Table 4 comparison (the paper collects 1M tuples; scaled).
+pub fn run(scale: f64) -> ExpReport {
+    let n = crate::scaled(1_000_000, scale).max(50_000);
+    let topic: TopicLog<u64> = TopicLog::new();
+    topic.append_batch(0..n as u64);
+    let model = PollCostModel::KAFKA_LIKE;
+
+    let mut rows_out = Vec::new();
+    // Singleton sampler: one random-offset poll per draw, n draws.
+    {
+        let mut s = SingletonSampler::new(model, 4);
+        let run = s.sample(&topic, n);
+        rows_out.push(vec![
+            json!(1),
+            json!(run.polls),
+            json!(run.simulated_ms()),
+            json!(run.simulated_ms_per_poll()),
+            json!("-"),
+        ]);
+    }
+    // Sequential samplers: full scan at growing poll sizes.
+    for poll_size in [10usize, 100, 1_000, 10_000, 100_000] {
+        let mut s = SequentialSampler::new(model, poll_size, 4);
+        let run = s.sample(&topic, n); // keep-all scan, like the paper
+        rows_out.push(vec![
+            json!(poll_size),
+            json!(run.polls),
+            json!(run.simulated_ms()),
+            json!(run.simulated_ms_per_poll()),
+            json!(equivalent_singleton_rate(&model, n, poll_size)),
+        ]);
+    }
+    ExpReport {
+        id: "table4",
+        title: "Table 4: singleton vs sequential samplers (simulated Kafka cost)",
+        headers: ["poll_size", "n_polls", "total_ms", "ms_per_poll", "equiv_singleton_rate"]
+            .map(String::from)
+            .to_vec(),
+        rows: rows_out,
+    }
+}

@@ -1,0 +1,157 @@
+//! # janus-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! JanusAQP paper's evaluation (§6). Each experiment lives in
+//! [`experiments`] as a `run(scale) -> ExpReport` function with a matching
+//! `exp_*` binary that prints the paper's rows/series and dumps JSON under
+//! `target/experiments/`.
+//!
+//! ## Scale
+//!
+//! Every runner multiplies the paper's dataset sizes (Intel 3M, NYC 7.7M,
+//! ETF 4M) and query counts by `JANUS_SCALE` (default **0.02**, i.e. Intel
+//! 60k rows / 300 queries) so the whole suite finishes in minutes on a
+//! laptop. The reproduction contract is the *shape* of each result — who
+//! wins, by roughly what factor, where the crossovers fall — not absolute
+//! numbers from the authors' testbed. `JANUS_SCALE=1` runs paper-scale.
+
+pub mod experiments;
+pub mod metrics;
+
+use serde_json::Value;
+use std::io::Write as _;
+
+/// The global scale factor (env `JANUS_SCALE`, default 0.02).
+pub fn scale() -> f64 {
+    std::env::var("JANUS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.02)
+}
+
+/// Scaled dataset size.
+pub fn scaled(paper_n: usize, scale: f64) -> usize {
+    ((paper_n as f64 * scale) as usize).max(5_000)
+}
+
+/// Scaled query-workload size (the paper uses 2000 queries).
+pub fn scaled_queries(scale: f64) -> usize {
+    ((2_000.0 * scale) as usize).clamp(200, 2_000)
+}
+
+/// A finished experiment: an id (e.g. "table2"), column headers, and rows.
+pub struct ExpReport {
+    /// Identifier, used for the JSON dump filename.
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row values (stringified for printing; numbers preserved in JSON).
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ExpReport {
+    /// Prints the report as an aligned text table.
+    pub fn print(&self) {
+        println!("\n=== {} ({}) ===", self.title, self.id);
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(render).collect())
+            .collect();
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let line = |cols: &[String]| {
+            let mut out = String::new();
+            for (i, c) in cols.iter().enumerate() {
+                out.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            }
+            println!("{}", out.trim_end());
+        };
+        line(&self.headers);
+        for row in cells {
+            line(&row);
+        }
+    }
+
+    /// Writes the report as JSON under `target/experiments/<id>.json`.
+    pub fn dump_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("target/experiments");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let payload = serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "scale": scale(),
+            "headers": self.headers,
+            "rows": self.rows,
+        });
+        let mut f = std::fs::File::create(&path)?;
+        writeln!(f, "{}", serde_json::to_string_pretty(&payload)?)?;
+        Ok(path)
+    }
+
+    /// Print + dump, the standard binary epilogue.
+    pub fn finish(&self) {
+        self.print();
+        match self.dump_json() {
+            Ok(p) => println!("[json: {}]", p.display()),
+            Err(e) => eprintln!("[json dump failed: {e}]"),
+        }
+    }
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                if f == f.trunc() && f.abs() < 1e15 {
+                    format!("{f}")
+                } else if f.abs() >= 1000.0 {
+                    format!("{f:.1}")
+                } else {
+                    format!("{f:.4}")
+                }
+            } else {
+                n.to_string()
+            }
+        }
+        Value::String(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_and_clamps() {
+        assert_eq!(scaled(3_000_000, 0.02), 60_000);
+        assert_eq!(scaled(100, 0.02), 5_000, "floor applies");
+        assert_eq!(scaled_queries(0.02), 200);
+        assert_eq!(scaled_queries(1.0), 2_000);
+    }
+
+    #[test]
+    fn report_renders_and_dumps() {
+        let r = ExpReport {
+            id: "selftest",
+            title: "self test",
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec![serde_json::json!(1.5), serde_json::json!("x")]],
+        };
+        r.print();
+        let p = r.dump_json().unwrap();
+        let body = std::fs::read_to_string(p).unwrap();
+        assert!(body.contains("selftest"));
+    }
+}

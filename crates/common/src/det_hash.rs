@@ -1,0 +1,48 @@
+//! Deterministic hash collections.
+//!
+//! `std`'s default `RandomState` seeds differ per process *and per
+//! instance*, which makes iteration order — and therefore floating-point
+//! summation order — irreproducible. JanusAQP's estimates must be
+//! bit-for-bit reproducible under a fixed seed, so every hash collection on
+//! an estimation path uses these fixed-seed aliases instead.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
+
+/// Fixed-seed build hasher (SipHash with the all-zero key).
+pub type DetBuildHasher = BuildHasherDefault<std::collections::hash_map::DefaultHasher>;
+
+/// `HashMap` with deterministic iteration order across runs.
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// `HashSet` with deterministic iteration order across runs.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut s: DetHashSet<u64> = DetHashSet::default();
+            for i in 0..1000 {
+                s.insert(i * 7919 % 997);
+            }
+            s.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn map_order_is_reproducible() {
+        let build = || {
+            let mut m: DetHashMap<u64, f64> = DetHashMap::default();
+            for i in 0..500u64 {
+                m.insert(i.wrapping_mul(0x9e3779b9), i as f64);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

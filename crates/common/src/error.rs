@@ -1,0 +1,69 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by JanusAQP components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JanusError {
+    /// A point / rectangle / row had a different dimensionality than expected.
+    DimensionMismatch {
+        /// Dimensionality the operation expected.
+        expected: usize,
+        /// Dimensionality it received.
+        actual: usize,
+    },
+    /// An operation that requires data was invoked on an empty dataset.
+    EmptyDataset,
+    /// A column name or index was not present in the schema.
+    UnknownColumn(String),
+    /// A configuration parameter was out of its valid range.
+    InvalidConfig(String),
+    /// A row id was not found where it was required to exist.
+    RowNotFound(u64),
+    /// The requested query template is not supported by this synopsis.
+    UnsupportedTemplate(String),
+    /// A storage-layer failure (topic missing, offset out of range, ...).
+    Storage(String),
+}
+
+impl fmt::Display for JanusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JanusError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            JanusError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            JanusError::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            JanusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            JanusError::RowNotFound(id) => write!(f, "row {id} not found"),
+            JanusError::UnsupportedTemplate(msg) => write!(f, "unsupported query template: {msg}"),
+            JanusError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JanusError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, JanusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = JanusError::DimensionMismatch { expected: 2, actual: 3 };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 2, got 3");
+        assert!(JanusError::UnknownColumn("light".into())
+            .to_string()
+            .contains("light"));
+        assert!(JanusError::RowNotFound(42).to_string().contains("42"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&JanusError::EmptyDataset);
+    }
+}

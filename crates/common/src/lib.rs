@@ -1,0 +1,35 @@
+//! # janus-common
+//!
+//! Core data model shared by every crate in the JanusAQP workspace:
+//!
+//! * [`Row`] / [`Schema`] — the relational tuple model (§3.1 of the paper);
+//! * [`Rect`] / [`RangePredicate`] — half-open partition rectangles and
+//!   closed rectangular query predicates;
+//! * [`Query`] / [`QueryTemplate`] / [`AggregateFunction`] — the
+//!   `SELECT agg(A) FROM D WHERE Rectangle(c1..cd)` query templates that a
+//!   synopsis answers;
+//! * [`Moments`] — count/sum/sum-of-squares accumulators used for both exact
+//!   node statistics and sample-based estimators;
+//! * [`Estimate`] — an AQP answer with its variance and confidence interval.
+//!
+//! The crate is dependency-light by design: every other crate in the
+//! workspace builds on these types.
+
+pub mod det_hash;
+pub mod error;
+pub mod float;
+pub mod query;
+pub mod rect;
+pub mod row;
+pub mod stats;
+
+pub use det_hash::{DetHashMap, DetHashSet};
+pub use error::{JanusError, Result};
+pub use float::F64;
+pub use query::{AggregateFunction, Estimate, Query, QueryTemplate};
+pub use rect::{RangePredicate, Rect};
+pub use row::{ColumnDef, Row, RowId, Schema};
+pub use stats::Moments;
+
+/// Normal scaling factor for a 95% confidence interval (`z` in §4.4.1).
+pub const Z_95: f64 = 1.959963984540054;

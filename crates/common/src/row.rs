@@ -1,0 +1,153 @@
+//! Relational tuple model: rows, columns, schemas.
+
+use crate::error::{JanusError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a tuple over the lifetime of the database.
+///
+/// Deletions reference rows by id (the paper's out-of-band invalidation
+/// processes, e.g. canceled stock orders, identify the record to delete).
+pub type RowId = u64;
+
+/// A tuple: an id plus one `f64` value per schema column.
+///
+/// All attributes are numeric, matching the paper's setting (aggregation
+/// attributes and rectangular predicates over numeric columns). Categorical
+/// attributes are dictionary-encoded into `f64` by the data generators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Stable unique id.
+    pub id: RowId,
+    /// One value per column of the owning [`Schema`].
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row from an id and column values.
+    pub fn new(id: RowId, values: Vec<f64>) -> Self {
+        Row { id, values }
+    }
+
+    /// Returns the value of column `col`.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of bounds (schema violation is a logic error).
+    #[inline]
+    pub fn value(&self, col: usize) -> f64 {
+        self.values[col]
+    }
+
+    /// Projects the row onto `cols`, producing the point used for
+    /// predicate-space geometry.
+    pub fn project(&self, cols: &[usize]) -> Vec<f64> {
+        cols.iter().map(|&c| self.values[c]).collect()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// A named column.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within a schema.
+    pub name: String,
+}
+
+/// An ordered list of named columns.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema from column names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Schema {
+            columns: names
+                .into_iter()
+                .map(|n| ColumnDef { name: n.into() })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns the index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| JanusError::UnknownColumn(name.to_string()))
+    }
+
+    /// Returns the name of column `idx`.
+    pub fn name(&self, idx: usize) -> &str {
+        &self.columns[idx].name
+    }
+
+    /// Iterates over the column definitions.
+    pub fn columns(&self) -> impl Iterator<Item = &ColumnDef> {
+        self.columns.iter()
+    }
+
+    /// Validates that `row` has the right arity for this schema.
+    pub fn check(&self, row: &Row) -> Result<()> {
+        if row.arity() == self.arity() {
+            Ok(())
+        } else {
+            Err(JanusError::DimensionMismatch {
+                expected: self.arity(),
+                actual: row.arity(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["time", "light", "temperature"])
+    }
+
+    #[test]
+    fn index_of_finds_columns() {
+        let s = schema();
+        assert_eq!(s.index_of("time").unwrap(), 0);
+        assert_eq!(s.index_of("temperature").unwrap(), 2);
+        assert!(matches!(
+            s.index_of("voltage"),
+            Err(JanusError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn project_extracts_predicate_point() {
+        let r = Row::new(7, vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.project(&[2, 0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn check_detects_arity_mismatch() {
+        let s = schema();
+        assert!(s.check(&Row::new(0, vec![1.0, 2.0, 3.0])).is_ok());
+        assert!(s.check(&Row::new(0, vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn schema_names_round_trip() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.name(1), "light");
+        assert_eq!(s.columns().count(), 3);
+    }
+}

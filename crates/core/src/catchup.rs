@@ -1,0 +1,106 @@
+//! Catch-up processing (§4.3).
+//!
+//! After a (re-)initialization, node statistics are only estimates. The
+//! catch-up phase streams uniformly-shuffled historical rows from archival
+//! storage into the tree, continuously tightening every current-epoch
+//! node's estimate, until a user-chosen goal (e.g. `0.1·|D|` samples in the
+//! paper's experiments) is reached. Queries issued early in the phase see
+//! larger confidence intervals; by the end of the phase estimates for the
+//! epoch snapshot are essentially exact.
+
+use janus_common::Row;
+
+/// A snapshot queue of shuffled historical rows with a sample goal.
+pub struct CatchupQueue {
+    rows: Vec<Row>,
+    pos: usize,
+    goal: usize,
+}
+
+impl CatchupQueue {
+    /// Creates a queue over pre-shuffled `rows` targeting `goal` samples
+    /// (clamped to the queue length).
+    pub fn new(rows: Vec<Row>, goal: usize) -> Self {
+        let goal = goal.min(rows.len());
+        CatchupQueue { rows, pos: 0, goal }
+    }
+
+    /// An already-complete queue (used when the base is exact).
+    pub fn completed() -> Self {
+        CatchupQueue { rows: Vec::new(), pos: 0, goal: 0 }
+    }
+
+    /// Number of samples applied so far.
+    pub fn applied(&self) -> usize {
+        self.pos
+    }
+
+    /// The sample goal.
+    pub fn goal(&self) -> usize {
+        self.goal
+    }
+
+    /// True once the goal has been reached.
+    pub fn is_complete(&self) -> bool {
+        self.pos >= self.goal
+    }
+
+    /// Progress in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.goal == 0 {
+            1.0
+        } else {
+            self.pos as f64 / self.goal as f64
+        }
+    }
+
+    /// Takes the next chunk of at most `n` rows toward the goal.
+    pub fn next_chunk(&mut self, n: usize) -> &[Row] {
+        let end = (self.pos + n).min(self.goal);
+        let start = self.pos;
+        self.pos = end;
+        &self.rows[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n as u64).map(|i| Row::new(i, vec![i as f64])).collect()
+    }
+
+    #[test]
+    fn chunks_advance_to_goal_and_stop() {
+        let mut q = CatchupQueue::new(rows(100), 30);
+        assert!(!q.is_complete());
+        assert_eq!(q.next_chunk(20).len(), 20);
+        assert!((q.progress() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(q.next_chunk(20).len(), 10, "clamped at goal");
+        assert!(q.is_complete());
+        assert!(q.next_chunk(20).is_empty());
+        assert_eq!(q.applied(), 30);
+    }
+
+    #[test]
+    fn goal_is_clamped_to_queue_length() {
+        let q = CatchupQueue::new(rows(10), 50);
+        assert_eq!(q.goal(), 10);
+    }
+
+    #[test]
+    fn completed_queue_is_done() {
+        let mut q = CatchupQueue::completed();
+        assert!(q.is_complete());
+        assert_eq!(q.progress(), 1.0);
+        assert!(q.next_chunk(5).is_empty());
+    }
+
+    #[test]
+    fn rows_come_out_in_order() {
+        let mut q = CatchupQueue::new(rows(5), 5);
+        let ids: Vec<u64> = q.next_chunk(5).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,824 @@
+//! The JanusAQP engine (§3, §4.3, §5.4): archive + pooled reservoir +
+//! max-variance index + DPT, with catch-up processing and automatic
+//! re-partitioning.
+//!
+//! This engine is synchronous and deterministic: every random choice
+//! derives from the configured seed, and catch-up advances only when the
+//! caller pumps it ([`JanusEngine::advance_catchup`]) — which is exactly
+//! what reproducible experiments need. The multi-threaded façade used for
+//! the throughput experiments lives in [`crate::concurrent`].
+
+use crate::catchup::CatchupQueue;
+use crate::config::SynopsisConfig;
+use crate::maxvar::MaxVarianceIndex;
+use crate::partition::{PartitionOutcome, Partitioner, PartitionerKind};
+use crate::tree::Dpt;
+use crate::trigger::{self, TriggerConfig, TriggerDecision};
+use janus_common::{Estimate, JanusError, Query, Result, Row, RowId};
+use janus_index::IndexPoint;
+use janus_sampling::{DeleteOutcome, DynamicReservoir, InsertOutcome};
+use janus_storage::ArchiveStore;
+
+/// Operation counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tuples inserted.
+    pub inserts: u64,
+    /// Tuples deleted.
+    pub deletes: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Full re-partitionings adopted.
+    pub repartitions: u64,
+    /// Partial (subtree) re-partitionings adopted.
+    pub partial_repartitions: u64,
+    /// Candidate re-partitionings computed but rejected by the β rule.
+    pub rejected_repartitions: u64,
+    /// Reservoir re-samples forced by deletions (§4.2).
+    pub resamples: u64,
+    /// Catch-up rows applied.
+    pub catchup_applied: u64,
+}
+
+/// The synchronous JanusAQP engine.
+pub struct JanusEngine {
+    config: SynopsisConfig,
+    partitioner: Partitioner,
+    trigger_cfg: TriggerConfig,
+    archive: ArchiveStore,
+    reservoir: DynamicReservoir,
+    maxvar: MaxVarianceIndex,
+    dpt: Dpt,
+    catchup: CatchupQueue,
+    stats: EngineStats,
+    updates_since_check: usize,
+    seed_counter: u64,
+}
+
+impl JanusEngine {
+    /// Builds an engine over the initial table `rows`, runs the partition
+    /// optimizer on a fresh pooled sample, and completes the catch-up phase
+    /// to the configured goal.
+    pub fn bootstrap(config: SynopsisConfig, rows: Vec<Row>) -> Result<Self> {
+        let mut engine = Self::bootstrap_without_catchup(config, rows)?;
+        engine.run_catchup_to_goal();
+        Ok(engine)
+    }
+
+    /// Builds an engine but leaves the catch-up queue unconsumed, so the
+    /// caller can study the catch-up phase itself (Fig. 7).
+    pub fn bootstrap_without_catchup(config: SynopsisConfig, rows: Vec<Row>) -> Result<Self> {
+        config.validate()?;
+        let archive = ArchiveStore::from_rows(rows);
+        let n = archive.len();
+        let m = ((config.sample_rate * n as f64).ceil() as usize).max(16);
+        let mut reservoir = DynamicReservoir::with_m(m, config.seed ^ 0x5e5e);
+        reservoir.reset(archive.sample_distinct(2 * m, config.seed ^ 0xa11a));
+
+        let alpha = effective_alpha(reservoir.len(), n);
+        let template = config.template.clone();
+        let points = sample_points(&template, reservoir.iter());
+        let maxvar =
+            MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
+
+        let partitioner = Partitioner::auto(config.rho);
+        let outcome = partitioner.compute(&maxvar, config.leaf_count)?;
+        let mut dpt = Dpt::build(
+            template,
+            config.minmax_k,
+            &outcome.spec,
+            &outcome.leaf_variances,
+            n as f64,
+        )?;
+        for row in reservoir.iter() {
+            let point = dpt.project(row);
+            dpt.assign_sample(row.id, &point);
+        }
+
+        let catchup = if config.catchup_ratio >= 1.0 {
+            dpt.install_exact_base(archive.iter());
+            CatchupQueue::completed()
+        } else {
+            let goal = (config.catchup_ratio * n as f64).ceil() as usize;
+            CatchupQueue::new(archive.shuffled(config.seed ^ 0xca7c), goal)
+        };
+
+        Ok(JanusEngine {
+            trigger_cfg: TriggerConfig { beta: config.beta, underrep_fraction: 1.0 },
+            partitioner,
+            config,
+            archive,
+            reservoir,
+            maxvar,
+            dpt,
+            catchup,
+            stats: EngineStats::default(),
+            updates_since_check: 0,
+            seed_counter: 1,
+        })
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter = self.seed_counter.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        self.config.seed ^ self.seed_counter
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The synopsis configuration.
+    pub fn config(&self) -> &SynopsisConfig {
+        &self.config
+    }
+
+    /// Current table size `|D|`.
+    pub fn population(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// The archival store (ground-truth oracle for experiments).
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
+    /// The pooled reservoir sample.
+    pub fn reservoir(&self) -> &DynamicReservoir {
+        &self.reservoir
+    }
+
+    /// The partition tree.
+    pub fn dpt(&self) -> &Dpt {
+        &self.dpt
+    }
+
+    /// The max-variance index.
+    pub fn maxvar(&self) -> &MaxVarianceIndex {
+        &self.maxvar
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Overrides the partitioner algorithm (experiments compare BS vs DP).
+    pub fn set_partitioner(&mut self, kind: PartitionerKind) {
+        self.partitioner = Partitioner { kind, rho: self.config.rho };
+    }
+
+    /// Catch-up progress in `[0, 1]`.
+    pub fn catchup_progress(&self) -> f64 {
+        self.catchup.progress()
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (§4.1, §4.2)
+    // ------------------------------------------------------------------
+
+    /// Inserts a tuple: archive, tree path statistics, reservoir, and (if
+    /// sampled) the max-variance index; may trigger re-partitioning.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if !self.archive.insert(row.clone()) {
+            return Err(JanusError::InvalidConfig(format!(
+                "duplicate row id {}",
+                row.id
+            )));
+        }
+        let leaf = self.dpt.record_insert(&row);
+        let population = self.archive.len();
+        match self.reservoir.offer(row.clone(), population) {
+            InsertOutcome::Added => self.admit_sample(&row),
+            InsertOutcome::Replaced { evicted } => {
+                self.evict_sample(evicted);
+                self.admit_sample(&row);
+            }
+            InsertOutcome::Skipped => {}
+        }
+        self.stats.inserts += 1;
+        self.after_update(leaf);
+        Ok(())
+    }
+
+    /// Deletes a tuple by id; returns the removed row.
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        let leaf = self.dpt.record_delete(&row);
+        match self.reservoir.delete(id) {
+            DeleteOutcome::NotInSample => {}
+            DeleteOutcome::Removed => {
+                // The row is gone from the archive; cancel its index entry
+                // with the copy in hand.
+                self.dpt.remove_sample(id);
+                let point = self.dpt.project(&row);
+                self.maxvar
+                    .delete(&IndexPoint::new(point, id, self.dpt.agg_value(&row)));
+            }
+            DeleteOutcome::NeedsResample => {
+                self.resample_reservoir();
+                self.stats.resamples += 1;
+            }
+        }
+        self.stats.deletes += 1;
+        self.after_update(leaf);
+        Ok(row)
+    }
+
+    fn admit_sample(&mut self, row: &Row) {
+        let point = self.dpt.project(row);
+        self.dpt.assign_sample(row.id, &point);
+        self.maxvar
+            .insert(IndexPoint::new(point, row.id, self.dpt.agg_value(row)));
+    }
+
+    /// Removes a *replaced* sample (the row is still live in the archive)
+    /// from the stratum map and the max-variance index.
+    fn evict_sample(&mut self, id: RowId) {
+        self.dpt.remove_sample(id);
+        let row = self.archive.get(id).expect("replaced sample is live");
+        let point = self.dpt.project(row);
+        let a = self.dpt.agg_value(row);
+        self.maxvar.delete(&IndexPoint::new(point, id, a));
+    }
+
+    // ------------------------------------------------------------------
+    // Hooks for the multi-threaded batch updater (crate::concurrent)
+    // ------------------------------------------------------------------
+
+    /// Applies pre-aggregated per-leaf tree deltas (parallel batch phase 2).
+    pub(crate) fn apply_leaf_delta_internal(
+        &mut self,
+        leaf: usize,
+        inserted: janus_common::Moments,
+        deleted: janus_common::Moments,
+        inserted_values: &[f64],
+        deleted_values: &[f64],
+    ) {
+        self.dpt
+            .apply_leaf_delta(leaf, inserted, deleted, inserted_values, deleted_values);
+    }
+
+    /// Archive + reservoir bookkeeping for an insert whose tree statistics
+    /// were already applied by the batch updater.
+    pub(crate) fn apply_insert_sampling(&mut self, row: Row) {
+        if !self.archive.insert(row.clone()) {
+            return;
+        }
+        match self.reservoir.offer(row.clone(), self.archive.len()) {
+            InsertOutcome::Added => self.admit_sample(&row),
+            InsertOutcome::Replaced { evicted } => {
+                self.evict_sample(evicted);
+                self.admit_sample(&row);
+            }
+            InsertOutcome::Skipped => {}
+        }
+        self.stats.inserts += 1;
+    }
+
+    /// Archive + reservoir bookkeeping for a delete whose tree statistics
+    /// were already applied by the batch updater.
+    pub(crate) fn apply_delete_sampling(&mut self, id: RowId, row: &Row) {
+        if self.archive.delete(id).is_none() {
+            return;
+        }
+        match self.reservoir.delete(id) {
+            DeleteOutcome::NotInSample => {}
+            DeleteOutcome::Removed => {
+                self.dpt.remove_sample(id);
+                let point = self.dpt.project(row);
+                self.maxvar
+                    .delete(&IndexPoint::new(point, id, self.dpt.agg_value(row)));
+            }
+            DeleteOutcome::NeedsResample => {
+                self.resample_reservoir();
+                self.stats.resamples += 1;
+            }
+        }
+        self.stats.deletes += 1;
+    }
+
+    /// Re-sample `2m` fresh rows from the archive (§4.2 floor breach and
+    /// §4.3 step 4).
+    fn resample_reservoir(&mut self) {
+        let seed = self.next_seed();
+        let rows = self.archive.sample_distinct(self.reservoir.target(), seed);
+        self.reservoir.reset(rows);
+        self.rebuild_sample_structures();
+    }
+
+    fn rebuild_sample_structures(&mut self) {
+        self.dpt.clear_samples();
+        let template = self.config.template.clone();
+        let alpha = effective_alpha(self.reservoir.len(), self.archive.len());
+        let points = sample_points(&template, self.reservoir.iter());
+        for row in self.reservoir.iter() {
+            let point = row.project(&template.predicate_columns);
+            self.dpt.assign_sample(row.id, &point);
+        }
+        self.maxvar = MaxVarianceIndex::bulk_load(
+            template.dims(),
+            template.agg,
+            alpha,
+            self.config.delta,
+            points,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (§4.4)
+    // ------------------------------------------------------------------
+
+    /// Answers a query from the synopsis. `Ok(None)` for AVG/MIN/MAX over
+    /// an (estimated) empty selection.
+    pub fn query(&mut self, query: &Query) -> Result<Option<Estimate>> {
+        self.stats.queries += 1;
+        if query.predicate_columns == self.config.template.predicate_columns {
+            if query.agg_column == self.config.template.agg_column {
+                self.dpt.answer(query, &self.reservoir)
+            } else {
+                // §5.5 heuristic: different aggregation attribute — answer
+                // from the stratified samples (full rows are pooled).
+                self.dpt.answer_sampling_only(query, &self.reservoir)
+            }
+        } else {
+            // §5.5 heuristic: different predicate attribute — fall back to
+            // uniform estimation over the pooled sample.
+            Ok(crate::templates::uniform_estimate(
+                query,
+                self.reservoir.iter(),
+                self.archive.len(),
+            ))
+        }
+    }
+
+    /// Exact evaluation over the archive — the ground-truth oracle used by
+    /// the experiment harness (never used to answer synopsis queries).
+    pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
+        query.evaluate_exact(self.archive.iter())
+    }
+
+    // ------------------------------------------------------------------
+    // Catch-up (§4.3)
+    // ------------------------------------------------------------------
+
+    /// Applies up to `n` catch-up rows; returns how many were applied.
+    pub fn advance_catchup(&mut self, n: usize) -> usize {
+        // Split borrows: the queue hands out rows, the tree absorbs them.
+        let rows: Vec<Row> = self.catchup.next_chunk(n).to_vec();
+        for row in &rows {
+            // Skip rows deleted since the snapshot was taken: their exact
+            // deltas already account for them only if they were counted in
+            // the base, so a deleted row *should* still be applied when it
+            // was part of the epoch snapshot. Rows inserted after the
+            // snapshot are not in the queue by construction.
+            self.dpt.apply_catchup_row(row);
+        }
+        self.stats.catchup_applied += rows.len() as u64;
+        rows.len()
+    }
+
+    /// Runs catch-up to the configured goal.
+    pub fn run_catchup_to_goal(&mut self) {
+        while !self.catchup.is_complete() {
+            let n = self.config.catchup_chunk.max(1);
+            if self.advance_catchup(n) == 0 {
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Re-optimization (§4.3, §5.4, Appendix E)
+    // ------------------------------------------------------------------
+
+    fn after_update(&mut self, leaf: usize) {
+        // Background catch-up, interleaved with update processing (§4.3).
+        if self.config.catchup_per_update > 0 && !self.catchup.is_complete() {
+            self.advance_catchup(self.config.catchup_per_update);
+        }
+        self.updates_since_check += 1;
+        if self.updates_since_check < self.config.trigger_check_interval {
+            return;
+        }
+        self.updates_since_check = 0;
+        self.maxvar
+            .set_alpha(effective_alpha(self.reservoir.len(), self.archive.len()));
+        if !self.config.auto_repartition {
+            return;
+        }
+        if let Some(decision) = trigger::check_leaf(&self.dpt, &self.maxvar, leaf, &self.trigger_cfg)
+        {
+            let _ = self.try_repartition(decision);
+        }
+    }
+
+    /// Evaluates a flagged leaf: computes a candidate partitioning and
+    /// adopts it when it beats the current one by the β rule. Returns
+    /// whether a re-partitioning was adopted.
+    pub fn try_repartition(&mut self, decision: TriggerDecision) -> bool {
+        let _ = decision;
+        let Ok(outcome) = self.partitioner.compute(&self.maxvar, self.config.leaf_count) else {
+            return false;
+        };
+        let current_max = self.current_max_variance();
+        if trigger::accept_candidate(current_max, outcome.max_leaf_variance, self.config.beta) {
+            self.adopt_partitioning(outcome);
+            self.stats.repartitions += 1;
+            true
+        } else {
+            self.stats.rejected_repartitions += 1;
+            false
+        }
+    }
+
+    /// `M(R)` of the current partitioning: the worst live-leaf probe.
+    pub fn current_max_variance(&self) -> f64 {
+        self.dpt
+            .leaf_indices()
+            .into_iter()
+            .map(|i| self.maxvar.max_variance(&self.dpt.node(i).rect))
+            .fold(0.0, f64::max)
+    }
+
+    /// Forces a full re-initialization (§4.3): re-optimize the partitioning
+    /// from the pooled sample, populate approximate statistics from it,
+    /// re-sample the reservoir, and restart catch-up.
+    pub fn reinitialize(&mut self) -> Result<()> {
+        let outcome = self.partitioner.compute(&self.maxvar, self.config.leaf_count)?;
+        self.adopt_partitioning(outcome);
+        self.stats.repartitions += 1;
+        Ok(())
+    }
+
+    /// Exports the synopsis (tree + pooled sample) for persistence; see
+    /// [`crate::snapshot`].
+    pub fn save_synopsis(&self) -> crate::snapshot::SynopsisSnapshot {
+        crate::snapshot::SynopsisSnapshot {
+            dpt: self.dpt.to_snapshot(),
+            sample_rows: self.reservoir.iter().cloned().collect(),
+            reservoir_floor: self.reservoir.floor(),
+            reservoir_target: self.reservoir.target(),
+            population: self.archive.len(),
+        }
+    }
+
+    /// Restores an engine from a persisted synopsis plus the (durable)
+    /// archival rows. The archive must match the snapshot's population —
+    /// updates that happened after the snapshot must be replayed through
+    /// `insert`/`delete` afterwards.
+    pub fn restore(
+        config: SynopsisConfig,
+        archive_rows: Vec<Row>,
+        snapshot: &crate::snapshot::SynopsisSnapshot,
+    ) -> Result<Self> {
+        config.validate()?;
+        if archive_rows.len() != snapshot.population {
+            return Err(JanusError::InvalidConfig(format!(
+                "archive has {} rows but the snapshot was taken at {}",
+                archive_rows.len(),
+                snapshot.population
+            )));
+        }
+        let archive = ArchiveStore::from_rows(archive_rows);
+        let dpt = Dpt::from_snapshot(&snapshot.dpt)?;
+        let mut reservoir = DynamicReservoir::new(
+            snapshot.reservoir_floor,
+            snapshot.reservoir_target,
+            config.seed ^ 0x4e4e,
+        );
+        reservoir.reset(snapshot.sample_rows.clone());
+        let template = config.template.clone();
+        let alpha = effective_alpha(reservoir.len(), archive.len());
+        let points = sample_points(&template, reservoir.iter());
+        let maxvar =
+            MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
+        Ok(JanusEngine {
+            trigger_cfg: TriggerConfig { beta: config.beta, underrep_fraction: 1.0 },
+            partitioner: Partitioner::auto(config.rho),
+            config,
+            archive,
+            reservoir,
+            maxvar,
+            dpt,
+            // Catch-up state is not persisted; the restored synopsis keeps
+            // its snapshot-time estimates until the next re-initialization.
+            catchup: CatchupQueue::completed(),
+            stats: EngineStats::default(),
+            updates_since_check: 0,
+            seed_counter: 1,
+        })
+    }
+
+    /// Snapshot of the current pooled-sample index points — the input the
+    /// §4.3 *optimization phase* works on, taken so the optimizer can run
+    /// off-thread without holding any engine lock.
+    pub fn snapshot_sample_points(&self) -> Vec<IndexPoint> {
+        self.maxvar.live_points()
+    }
+
+    /// Computes a candidate partitioning from a (possibly stale) point
+    /// snapshot without touching engine state — §4.3 step 1, runnable in a
+    /// worker thread while the old synopsis keeps serving.
+    pub fn plan_repartition(&self, points: Vec<IndexPoint>) -> Result<PartitionOutcome> {
+        let template = &self.config.template;
+        let alpha = effective_alpha(points.len(), self.archive.len());
+        let mv = MaxVarianceIndex::bulk_load(
+            template.dims(),
+            template.agg,
+            alpha,
+            self.config.delta,
+            points,
+        );
+        self.partitioner.compute(&mv, self.config.leaf_count)
+    }
+
+    /// Installs a previously-planned partitioning — the §4.3 step-2
+    /// *blocking* swap (statistics populated from the current pooled
+    /// sample, reservoir re-sampled, catch-up restarted).
+    pub fn adopt_planned(&mut self, outcome: PartitionOutcome) {
+        self.adopt_partitioning(outcome);
+        self.stats.repartitions += 1;
+    }
+
+    fn adopt_partitioning(&mut self, outcome: PartitionOutcome) {
+        let n = self.archive.len();
+        let template = self.config.template.clone();
+        // (1) New empty DPT from the optimized spec.
+        let mut dpt = Dpt::build(
+            template,
+            self.config.minmax_k,
+            &outcome.spec,
+            &outcome.leaf_variances,
+            n as f64,
+        )
+        .expect("partitioner produced a valid spec");
+        // (2) Blocking step: approximate node statistics from the pooled
+        // reservoir sample (reflects all data up to now).
+        for row in self.reservoir.iter() {
+            dpt.apply_catchup_row(row);
+        }
+        self.dpt = dpt;
+        // (3) old synopsis discarded (moved out). (4) fresh pooled sample,
+        // re-sized so the configured sampling rate tracks the *current*
+        // population (the paper's α·N sample; the table may have grown by
+        // orders of magnitude since bootstrap).
+        let m = ((self.config.sample_rate * n as f64).ceil() as usize).max(16);
+        let seed = self.next_seed();
+        self.reservoir = DynamicReservoir::with_m(m, seed);
+        let seed = self.next_seed();
+        let rows = self.archive.sample_distinct(2 * m, seed);
+        self.reservoir.reset(rows);
+        self.rebuild_sample_structures();
+        // (5) catch-up restarts in the background.
+        let goal = (self.config.catchup_ratio * n as f64).ceil() as usize;
+        let seed = self.next_seed();
+        self.catchup = CatchupQueue::new(self.archive.shuffled(seed), goal);
+    }
+
+    /// Partial re-partitioning (Appendix E): rebuilds only the subtree
+    /// `psi` levels above `leaf`, keeping all other estimates. Returns
+    /// whether the splice succeeded.
+    pub fn partial_repartition(&mut self, leaf: usize, psi: usize) -> Result<()> {
+        let at = self.dpt.ancestor_at(leaf, psi);
+        let l_u = self.dpt.leaves_under(at).max(2);
+        let rect = self.dpt.node(at).rect.clone();
+        let outcome = if self.config.dims() == 1 {
+            crate::partition::bs1d::partition_within(
+                &self.maxvar,
+                rect.lo()[0],
+                rect.hi()[0],
+                l_u,
+                self.config.rho,
+            )?
+        } else {
+            crate::partition::kd::partition_within(&self.maxvar, rect, l_u)?
+        };
+        self.dpt.push_epoch(self.archive.len() as f64);
+        let orphans = self
+            .dpt
+            .splice_subtree(at, &outcome.spec, &outcome.leaf_variances)?;
+        for id in orphans {
+            if let Some(row) = self.reservoir.get(id) {
+                let point = row.project(&self.config.template.predicate_columns);
+                self.dpt.assign_sample(id, &point);
+            }
+        }
+        // Restart catch-up for the new-epoch nodes.
+        let goal = (self.config.catchup_ratio * self.archive.len() as f64).ceil() as usize;
+        let seed = self.next_seed();
+        self.catchup = CatchupQueue::new(self.archive.shuffled(seed), goal);
+        self.stats.partial_repartitions += 1;
+        Ok(())
+    }
+}
+
+/// `|S| / |D|`, clamped into a sane range.
+fn effective_alpha(samples: usize, population: usize) -> f64 {
+    if population == 0 {
+        1.0
+    } else {
+        (samples as f64 / population as f64).clamp(1e-9, 1.0)
+    }
+}
+
+/// Projects sampled rows into max-variance index points.
+fn sample_points<'a>(
+    template: &janus_common::QueryTemplate,
+    rows: impl Iterator<Item = &'a Row>,
+) -> Vec<IndexPoint> {
+    rows.map(|r| {
+        IndexPoint::new(
+            r.project(&template.predicate_columns),
+            r.id,
+            r.value(template.agg_column),
+        )
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::{AggregateFunction, QueryTemplate, RangePredicate};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rows(n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                let x = rng.gen::<f64>() * 100.0;
+                Row::new(i, vec![x, x * 2.0 + rng.gen::<f64>() * 10.0])
+            })
+            .collect()
+    }
+
+    fn config(seed: u64) -> SynopsisConfig {
+        let mut cfg = SynopsisConfig::paper_default(
+            QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]),
+            seed,
+        );
+        cfg.leaf_count = 16;
+        cfg.sample_rate = 0.05;
+        cfg.catchup_ratio = 0.3;
+        cfg
+    }
+
+    fn sum_query(lo: f64, hi: f64) -> Query {
+        Query::new(
+            AggregateFunction::Sum,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bootstrap_and_query_are_reasonably_accurate() {
+        let data = rows(20_000, 1);
+        let mut engine = JanusEngine::bootstrap(config(1), data).unwrap();
+        for (lo, hi) in [(10.0, 60.0), (0.0, 100.0), (40.0, 45.0)] {
+            let q = sum_query(lo, hi);
+            let est = engine.query(&q).unwrap().unwrap();
+            let truth = engine.evaluate_exact(&q).unwrap();
+            let rel = (est.value - truth).abs() / truth;
+            assert!(rel < 0.15, "[{lo},{hi}]: est {} truth {truth} rel {rel}", est.value);
+        }
+        assert_eq!(engine.stats().queries, 3);
+    }
+
+    #[test]
+    fn inserts_and_deletes_keep_estimates_tracking_truth() {
+        let data = rows(5_000, 2);
+        let mut engine = JanusEngine::bootstrap(config(2), data).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut next_id = 5_000u64;
+        let mut live: Vec<u64> = (0..5_000).collect();
+        for _ in 0..2_000 {
+            if rng.gen_bool(0.8) {
+                let x = rng.gen::<f64>() * 100.0;
+                engine
+                    .insert(Row::new(next_id, vec![x, x * 2.0]))
+                    .unwrap();
+                live.push(next_id);
+                next_id += 1;
+            } else {
+                let at = rng.gen_range(0..live.len());
+                let id = live.swap_remove(at);
+                engine.delete(id).unwrap();
+            }
+        }
+        let q = sum_query(20.0, 80.0);
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.15, "est {} truth {truth} rel {rel}", est.value);
+        assert_eq!(engine.population(), live.len());
+    }
+
+    #[test]
+    fn duplicate_insert_and_missing_delete_error() {
+        let data = rows(200, 4);
+        let mut engine = JanusEngine::bootstrap(config(4), data).unwrap();
+        assert!(engine.insert(Row::new(0, vec![1.0, 2.0])).is_err());
+        assert!(matches!(engine.delete(99_999), Err(JanusError::RowNotFound(_))));
+    }
+
+    #[test]
+    fn heavy_deletions_force_resample() {
+        let data = rows(2_000, 5);
+        let mut cfg = config(5);
+        cfg.auto_repartition = false;
+        let mut engine = JanusEngine::bootstrap(cfg, data).unwrap();
+        for id in 0..1_500u64 {
+            engine.delete(id).unwrap();
+        }
+        assert!(engine.stats().resamples >= 1, "reservoir should have been refilled");
+        // All remaining sampled ids must be live rows.
+        for s in engine.reservoir().iter() {
+            assert!(engine.archive().contains(s.id));
+        }
+        let q = sum_query(0.0, 100.0);
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.25);
+    }
+
+    #[test]
+    fn reinitialize_restarts_catchup_and_keeps_accuracy() {
+        let data = rows(10_000, 6);
+        let mut engine = JanusEngine::bootstrap(config(6), data).unwrap();
+        engine.reinitialize().unwrap();
+        assert!(engine.stats().repartitions >= 1);
+        assert!(!engine.catchup.is_complete());
+        engine.run_catchup_to_goal();
+        let q = sum_query(0.0, 100.0);
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.1);
+    }
+
+    #[test]
+    fn catchup_progress_improves_covered_estimates() {
+        let data = rows(20_000, 7);
+        let mut engine = JanusEngine::bootstrap_without_catchup(config(7), data).unwrap();
+        // Before catch-up the reservoir-free covered nodes have h_i == 0.
+        let q = sum_query(0.0, 100.0);
+        let truth = engine.evaluate_exact(&q).unwrap();
+        engine.advance_catchup(500);
+        let early = engine.query(&q).unwrap().unwrap();
+        engine.run_catchup_to_goal();
+        let late = engine.query(&q).unwrap().unwrap();
+        let early_err = (early.value - truth).abs() / truth;
+        let late_err = (late.value - truth).abs() / truth;
+        assert!(late_err <= early_err + 0.02, "late {late_err} vs early {early_err}");
+        assert!(late_err < 0.05, "late err {late_err}");
+    }
+
+    #[test]
+    fn different_agg_column_falls_back_to_sampling() {
+        let data = rows(10_000, 8);
+        let mut engine = JanusEngine::bootstrap(config(8), data).unwrap();
+        // Query aggregates column 0 (the predicate column) instead of 1.
+        let q = Query::new(
+            AggregateFunction::Sum,
+            0,
+            vec![0],
+            RangePredicate::new(vec![10.0], vec![90.0]).unwrap(),
+        )
+        .unwrap();
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.2);
+    }
+
+    #[test]
+    fn partial_repartition_splices_and_answers() {
+        let data = rows(10_000, 9);
+        let mut engine = JanusEngine::bootstrap(config(9), data).unwrap();
+        let leaf = engine.dpt().leaf_indices()[0];
+        engine.partial_repartition(leaf, 2).unwrap();
+        assert_eq!(engine.stats().partial_repartitions, 1);
+        engine.run_catchup_to_goal();
+        let q = sum_query(0.0, 100.0);
+        let est = engine.query(&q).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.12);
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = || {
+            let data = rows(3_000, 10);
+            let mut engine = JanusEngine::bootstrap(config(10), data).unwrap();
+            for i in 0..500u64 {
+                let x = (i % 100) as f64;
+                engine.insert(Row::new(10_000 + i, vec![x, x])).unwrap();
+            }
+            let q = sum_query(0.0, 100.0);
+            engine.query(&q).unwrap().unwrap().value
+        };
+        assert_eq!(run(), run());
+    }
+}

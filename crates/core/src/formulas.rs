@@ -1,0 +1,142 @@
+//! Variance and error formulas of §4.4.1, Appendix C, and §5.1.
+//!
+//! Every formula works on [`Moments`] triples `(count, Σa, Σa²)` of the
+//! sample set involved, and all of them share the clamped *variance kernel*
+//! `n·Σa² − (Σa)²` (see [`Moments::variance_kernel`]).
+
+use janus_common::Moments;
+
+/// Variance contribution of a SUM/COUNT estimate built from a sample of
+/// `drawn` values out of an (estimated) population of `n_hat`, where
+/// `q` are the moments of the *matching* sampled values:
+/// `N̂² / drawn³ · (drawn·Σa² − (Σa)²)` — Appendix C, with `drawn = m_i`
+/// for stratified samples or `h_i` for catch-up samples.
+pub fn sum_estimate_variance(n_hat: f64, drawn: f64, q: &Moments) -> f64 {
+    if drawn <= 0.0 {
+        return 0.0;
+    }
+    let kernel = (drawn * q.sumsq - q.sum * q.sum).max(0.0);
+    (n_hat * n_hat) / (drawn * drawn * drawn) * kernel
+}
+
+/// Variance contribution of an AVG estimate from a sample of `drawn` values
+/// of which `q` match the predicate, with stratum weight `w = N̂_i / N̂_q`:
+/// `w² / (drawn · |q∩S|²) · (drawn·Σa² − (Σa)²)` — Appendix C.
+pub fn avg_estimate_variance(w: f64, drawn: f64, q: &Moments) -> f64 {
+    if drawn <= 0.0 || q.count <= 0.0 {
+        return 0.0;
+    }
+    let kernel = (drawn * q.sumsq - q.sum * q.sum).max(0.0);
+    (w * w) / (drawn * q.count * q.count) * kernel
+}
+
+/// Point estimate of a SUM contribution: `(N̂ / drawn) · Σ_{matching} a`.
+pub fn sum_estimate(n_hat: f64, drawn: f64, matching_sum: f64) -> f64 {
+    if drawn <= 0.0 {
+        0.0
+    } else {
+        n_hat / drawn * matching_sum
+    }
+}
+
+/// The §5.1 worst-case SUM-query error inside a bucket holding `m_bucket`
+/// samples with estimated population `n_hat`, for a candidate query whose
+/// matching-sample moments are `q`:
+/// `N̂²/m³ · (m·Σa² − (Σa)²)`.
+pub fn bucket_sum_query_variance(n_hat: f64, m_bucket: f64, q: &Moments) -> f64 {
+    if m_bucket <= 0.0 {
+        return 0.0;
+    }
+    let kernel = (m_bucket * q.sumsq - q.sum * q.sum).max(0.0);
+    (n_hat * n_hat) / (m_bucket * m_bucket * m_bucket) * kernel
+}
+
+/// The §5.1 worst-case AVG-query error inside a bucket holding `m_bucket`
+/// samples, for a candidate query with matching-sample moments `q`:
+/// `(m·Σa² − (Σa)²) / (m · |q∩S|²)`.
+pub fn bucket_avg_query_variance(m_bucket: f64, q: &Moments) -> f64 {
+    if m_bucket <= 0.0 || q.count <= 0.0 {
+        return 0.0;
+    }
+    let kernel = (m_bucket * q.sumsq - q.sum * q.sum).max(0.0);
+    kernel / (m_bucket * q.count * q.count)
+}
+
+/// Exact maximum COUNT-query variance in a bucket (§D.1): the worst query
+/// contains exactly half the samples, giving kernel `m²/4`, hence
+/// `N̂²/m³ · m²/4 = N̂²/(4m)`.
+pub fn bucket_count_query_variance(n_hat: f64, m_bucket: f64) -> f64 {
+    if m_bucket <= 0.0 {
+        return 0.0;
+    }
+    (n_hat * n_hat) / (4.0 * m_bucket)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_variance_matches_hand_computation() {
+        // samples matching q: {2, 4}; drawn = 4; N̂ = 100.
+        let q = Moments::from_values([2.0, 4.0]);
+        // kernel = 4*20 - 36 = 44; var = 10000/64 * 44 = 6875.
+        let v = sum_estimate_variance(100.0, 4.0, &q);
+        assert!((v - 6875.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_variance_matches_hand_computation() {
+        let q = Moments::from_values([2.0, 4.0]);
+        // w = 0.5, drawn = 4: kernel 44; var = 0.25 / (4*4) * 44 = 0.6875.
+        let v = avg_estimate_variance(0.5, 4.0, &q);
+        assert!((v - 0.6875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_variance_peaks_at_half() {
+        // Verify N̂²/(4m) equals the SUM formula with all weights 1 and the
+        // worst query containing m/2 samples.
+        let m = 64.0;
+        let half = Moments { count: 32.0, sum: 32.0, sumsq: 32.0 };
+        let via_sum = bucket_sum_query_variance(1000.0, m, &half);
+        let direct = bucket_count_query_variance(1000.0, m);
+        assert!((via_sum - direct).abs() < 1e-9);
+        // Any other query cardinality gives a smaller kernel.
+        let third = Moments { count: 20.0, sum: 20.0, sumsq: 20.0 };
+        assert!(bucket_sum_query_variance(1000.0, m, &third) < direct);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        let q = Moments::ZERO;
+        assert_eq!(sum_estimate_variance(10.0, 0.0, &q), 0.0);
+        assert_eq!(avg_estimate_variance(1.0, 5.0, &q), 0.0);
+        assert_eq!(bucket_count_query_variance(10.0, 0.0), 0.0);
+        assert_eq!(sum_estimate(10.0, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn sum_estimate_scales_by_inverse_rate() {
+        // 10 of 1000 drawn, matching sum 30 → estimate 3000... with N̂=1000,
+        // drawn=10: 1000/10*30 = 3000.
+        assert!((sum_estimate(1000.0, 10.0, 30.0) - 3000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_clamping_prevents_negative_variance() {
+        // Constant samples: kernel cancels to ~0 and must not go negative.
+        let q = Moments::from_values([3.0; 50]);
+        assert!(sum_estimate_variance(100.0, 50.0, &q) >= 0.0);
+        assert!(bucket_avg_query_variance(50.0, &q) >= 0.0);
+    }
+
+    #[test]
+    fn bucket_variances_grow_with_population() {
+        let q = Moments::from_values([1.0, 5.0, 2.0]);
+        assert!(
+            bucket_sum_query_variance(1000.0, 10.0, &q)
+                > bucket_sum_query_variance(100.0, 10.0, &q)
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! PASS-style dynamic-programming 1-D partitioning — the Table 3 baseline.
+//!
+//! PASS [30] finds the min-max-error contiguous partition by dynamic
+//! programming over candidate cut positions:
+//! `D[j][i] = min_s max(D[j-1][s], err(s, i))`. The cost is quadratic in
+//! the number of candidates per bucket count, which is exactly the scaling
+//! Table 3 demonstrates against the binary-search algorithm (§6.9). To keep
+//! runs tractable the cut positions may be restricted to a rank grid of
+//! `candidates` points; `candidates >= m` reproduces the full PASS DP.
+
+use super::{finish, snap_rank_to_distinct, PartitionOutcome, PartitionSpec};
+use crate::maxvar::MaxVarianceIndex;
+use janus_common::Result;
+
+/// DP partitioning into (up to) `k` buckets over at most `candidates` cut
+/// positions.
+pub fn partition(mv: &MaxVarianceIndex, k: usize, candidates: usize) -> Result<PartitionOutcome> {
+    debug_assert!(mv.dims() == 1, "dp1d requires a 1-D synopsis");
+    let m = mv.len();
+    if m == 0 || k <= 1 {
+        return Ok(finish(PartitionSpec::trivial(1), mv));
+    }
+
+    // Candidate cut ranks: a (near-)uniform grid snapped to distinct
+    // coordinates, always including 0 and m.
+    let g = candidates.clamp(2, m);
+    let mut ranks: Vec<usize> = Vec::with_capacity(g + 1);
+    ranks.push(0);
+    for i in 1..g {
+        let r = snap_rank_to_distinct(mv, i * m / g);
+        if r > *ranks.last().expect("non-empty") && r < m {
+            ranks.push(r);
+        }
+    }
+    ranks.push(m);
+    let n = ranks.len(); // candidate count including both ends
+
+    let err = |a: usize, b: usize| mv.max_variance_rank_range(ranks[a], ranks[b]).sqrt();
+
+    // d[i] = best worst-bucket error covering candidates[0..=i] with the
+    // current number of buckets; parent[j][i] reconstructs the cuts.
+    let k = k.min(n - 1);
+    let mut d: Vec<f64> = (0..n).map(|i| err(0, i)).collect();
+    let mut parent: Vec<Vec<usize>> = vec![vec![0; n]];
+    for _ in 2..=k {
+        let mut nd = vec![f64::INFINITY; n];
+        let mut np = vec![0usize; n];
+        nd[0] = 0.0;
+        for i in 1..n {
+            let mut best = f64::INFINITY;
+            let mut arg = 0;
+            for s in 0..i {
+                if d[s] >= best {
+                    // d is non-decreasing in s: no better split remains.
+                    break;
+                }
+                let cand = d[s].max(err(s, i));
+                if cand < best {
+                    best = cand;
+                    arg = s;
+                }
+            }
+            nd[i] = best;
+            np[i] = arg;
+        }
+        parent.push(np);
+        d = nd;
+    }
+
+    // Reconstruct interior cut ranks.
+    let mut cuts = Vec::new();
+    let mut i = n - 1;
+    for level in (1..parent.len()).rev() {
+        i = parent[level][i];
+        if i == 0 {
+            break;
+        }
+        cuts.push(ranks[i]);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut boundaries = Vec::with_capacity(cuts.len());
+    for c in cuts {
+        if let Some(e) = mv.kth_dim0(c) {
+            if boundaries.last().is_none_or(|&last| e.key > last) {
+                boundaries.push(e.key);
+            }
+        }
+    }
+    let spec = PartitionSpec::from_boundaries(&boundaries)?;
+    Ok(finish(spec, mv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::AggregateFunction;
+    use janus_index::IndexPoint;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mv_sum(points: Vec<IndexPoint>) -> MaxVarianceIndex {
+        MaxVarianceIndex::bulk_load(1, AggregateFunction::Sum, 0.1, 0.01, points)
+    }
+
+    fn uniform(n: usize, seed: u64) -> Vec<IndexPoint> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| IndexPoint::new(vec![rng.gen::<f64>() * 10.0], i as u64, rng.gen::<f64>()))
+            .collect()
+    }
+
+    #[test]
+    fn produces_valid_partition() {
+        let mv = mv_sum(uniform(300, 1));
+        let out = partition(&mv, 8, 300).unwrap();
+        out.spec.validate().unwrap();
+        assert!(out.spec.leaf_count() <= 8 && out.spec.leaf_count() >= 4);
+    }
+
+    #[test]
+    fn dp_is_at_least_as_good_as_bs_on_the_same_grid() {
+        // The DP explores all grid cuts, so its worst-leaf error cannot
+        // exceed the greedy binary search's by more than the approximation
+        // slack; empirically it should be <=.
+        let pts = uniform(400, 2);
+        let mv = mv_sum(pts);
+        let dp = partition(&mv, 12, 400).unwrap();
+        let bs = super::super::bs1d::partition(&mv, 12, 2.0).unwrap();
+        assert!(dp.max_leaf_variance <= bs.max_leaf_variance * 1.5,
+            "dp {} vs bs {}", dp.max_leaf_variance, bs.max_leaf_variance);
+    }
+
+    #[test]
+    fn coarse_grid_still_partitions() {
+        let mv = mv_sum(uniform(500, 3));
+        let out = partition(&mv, 8, 32).unwrap();
+        out.spec.validate().unwrap();
+        assert!(out.spec.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn isolates_heavy_band() {
+        let mut pts = uniform(400, 4);
+        for p in pts.iter_mut().take(25) {
+            p.coords[0] = 5.0 + p.id as f64 * 1e-5;
+            p.weight = 300.0;
+        }
+        let mv = mv_sum(pts);
+        let out = partition(&mv, 10, 200).unwrap();
+        let single = mv.max_variance_rank_range(0, mv.len());
+        assert!(out.max_leaf_variance < single / 4.0);
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let mv = mv_sum(Vec::new());
+        assert_eq!(partition(&mv, 8, 100).unwrap().spec.leaf_count(), 1);
+        let mv = mv_sum(uniform(2, 5));
+        let out = partition(&mv, 8, 100).unwrap();
+        out.spec.validate().unwrap();
+    }
+}

@@ -1,0 +1,78 @@
+//! Equal-count (equi-depth) 1-D partitioning — the exact COUNT fast path.
+//!
+//! §D.2: "For COUNT queries the optimum partition in 1D consists of equal
+//! size buckets", because the worst-query variance of a bucket is
+//! `N̂²/(4m)`, monotone in the bucket's sample count. Splitting the sorted
+//! samples into `k` equal runs is therefore optimal and takes
+//! `O(k log m)` treap probes.
+
+use super::{finish, snap_rank_to_distinct, PartitionOutcome, PartitionSpec};
+use crate::maxvar::MaxVarianceIndex;
+use janus_common::Result;
+
+/// Equal-count partitioning into (up to) `k` buckets.
+pub fn partition(mv: &MaxVarianceIndex, k: usize) -> Result<PartitionOutcome> {
+    debug_assert!(mv.dims() == 1, "equicount requires a 1-D synopsis");
+    let m = mv.len();
+    if m == 0 || k <= 1 {
+        return Ok(finish(PartitionSpec::trivial(1), mv));
+    }
+    let mut boundaries = Vec::with_capacity(k - 1);
+    for i in 1..k {
+        let rank = snap_rank_to_distinct(mv, i * m / k);
+        if rank == 0 || rank >= m {
+            continue;
+        }
+        if let Some(e) = mv.kth_dim0(rank) {
+            if boundaries.last().is_none_or(|&last| e.key > last) {
+                boundaries.push(e.key);
+            }
+        }
+    }
+    let spec = PartitionSpec::from_boundaries(&boundaries)?;
+    Ok(finish(spec, mv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::AggregateFunction;
+    use janus_index::IndexPoint;
+
+    fn mv(points: Vec<IndexPoint>) -> MaxVarianceIndex {
+        MaxVarianceIndex::bulk_load(1, AggregateFunction::Count, 0.1, 0.01, points)
+    }
+
+    #[test]
+    fn splits_into_equal_runs() {
+        let pts: Vec<IndexPoint> = (0..100)
+            .map(|i| IndexPoint::new(vec![i as f64], i as u64, 1.0))
+            .collect();
+        let out = partition(&mv(pts), 4).unwrap();
+        assert_eq!(out.spec.leaf_count(), 4);
+        out.spec.validate().unwrap();
+        // Each leaf holds exactly 25 samples ⇒ equal variances.
+        let v0 = out.leaf_variances[0];
+        assert!(out.leaf_variances.iter().all(|&v| (v - v0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn heavy_ties_collapse_boundaries() {
+        let pts: Vec<IndexPoint> = (0..100)
+            .map(|i| IndexPoint::new(vec![if i < 90 { 1.0 } else { 2.0 }], i as u64, 1.0))
+            .collect();
+        let out = partition(&mv(pts), 10).unwrap();
+        // Only one distinct cut is possible.
+        assert!(out.spec.leaf_count() <= 2);
+        out.spec.validate().unwrap();
+    }
+
+    #[test]
+    fn trivial_inputs() {
+        let out = partition(&mv(Vec::new()), 8).unwrap();
+        assert_eq!(out.spec.leaf_count(), 1);
+        let pts = vec![IndexPoint::new(vec![1.0], 0, 1.0)];
+        let out = partition(&mv(pts), 8).unwrap();
+        assert_eq!(out.spec.leaf_count(), 1);
+    }
+}

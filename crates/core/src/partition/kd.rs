@@ -1,0 +1,154 @@
+//! k-d partitioning for any dimensionality (§5.3.2, §D.3).
+//!
+//! Builds the partition hierarchy top-down: a max-heap holds the current
+//! leaves keyed by their `M(R)` probe; each of the `k - 1` iterations pops
+//! the worst leaf and splits it at the sample median of the next dimension
+//! in a cyclic order (falling back to any splittable dimension when the
+//! preferred one is degenerate). The produced tree is exactly the DPT
+//! hierarchy — each split becomes an internal node.
+
+use super::{finish, PartitionOutcome, PartitionSpec, SpecNode};
+use crate::maxvar::MaxVarianceIndex;
+use janus_common::{Rect, Result, F64};
+use std::collections::BinaryHeap;
+
+/// k-d median-split partitioning into (up to) `k` leaves over all of space.
+pub fn partition(mv: &MaxVarianceIndex, k: usize) -> Result<PartitionOutcome> {
+    partition_within(mv, Rect::unbounded(mv.dims()), k)
+}
+
+/// k-d partitioning restricted to `root_rect` — used by partial
+/// re-partitioning (Appendix E), which rebuilds only a subtree's region.
+pub fn partition_within(mv: &MaxVarianceIndex, root_rect: Rect, k: usize) -> Result<PartitionOutcome> {
+    let dims = mv.dims();
+    let mut nodes = vec![SpecNode { rect: root_rect, children: Vec::new() }];
+    // Heap entries: (variance, node index, depth). `F64` gives a total
+    // order; ties broken by node index for determinism.
+    let mut heap: BinaryHeap<(F64, std::cmp::Reverse<usize>, usize)> = BinaryHeap::new();
+    let root_var = mv.max_variance(&nodes[0].rect);
+    heap.push((F64(root_var), std::cmp::Reverse(0), 0));
+
+    let mut leaves = 1;
+    while leaves < k {
+        let Some((_, std::cmp::Reverse(idx), depth)) = heap.pop() else {
+            break; // nothing splittable remains
+        };
+        let rect = nodes[idx].rect.clone();
+        // Try dimensions starting from the cyclic choice.
+        let mut split = None;
+        for probe in 0..dims {
+            let dim = (depth + probe) % dims;
+            if let Some(x) = mv.median_coord(&rect, dim) {
+                split = Some((dim, x));
+                break;
+            }
+        }
+        let Some((dim, x)) = split else {
+            // Unsplittable (|samples| < 2 or all coordinates equal): this
+            // leaf is final; do not re-push it.
+            continue;
+        };
+        let (left_rect, right_rect) = rect.split_at(dim, x);
+        let left = nodes.len();
+        nodes.push(SpecNode { rect: left_rect, children: Vec::new() });
+        let right = nodes.len();
+        nodes.push(SpecNode { rect: right_rect, children: Vec::new() });
+        nodes[idx].children = vec![left, right];
+        leaves += 1;
+        for &c in &[left, right] {
+            let v = mv.max_variance(&nodes[c].rect);
+            // Only candidates with at least two samples can be split again.
+            if mv.count_in(&nodes[c].rect) >= 2 {
+                heap.push((F64(v), std::cmp::Reverse(c), depth + 1));
+            }
+        }
+    }
+
+    let spec = PartitionSpec { nodes, root: 0 };
+    Ok(finish(spec, mv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::AggregateFunction;
+    use janus_index::IndexPoint;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn points(d: usize, n: usize, seed: u64) -> Vec<IndexPoint> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                IndexPoint::new(
+                    (0..d).map(|_| rng.gen::<f64>()).collect(),
+                    i as u64,
+                    rng.gen::<f64>() * 10.0,
+                )
+            })
+            .collect()
+    }
+
+    fn mv(d: usize, pts: Vec<IndexPoint>) -> MaxVarianceIndex {
+        MaxVarianceIndex::bulk_load(d, AggregateFunction::Sum, 0.1, 0.01, pts)
+    }
+
+    #[test]
+    fn builds_k_leaves_with_valid_invariants() {
+        let mv = mv(2, points(2, 600, 1));
+        let out = partition(&mv, 16).unwrap();
+        assert_eq!(out.spec.leaf_count(), 16);
+        out.spec.validate().unwrap();
+        // Every sample point lands in exactly one leaf.
+        let leaves = out.spec.leaf_indices();
+        for p in mv.live_points() {
+            let hits = leaves
+                .iter()
+                .filter(|&&l| out.spec.nodes[l].rect.contains(&p.coords))
+                .count();
+            assert_eq!(hits, 1);
+        }
+    }
+
+    #[test]
+    fn splitting_reduces_worst_variance() {
+        let mvi = mv(3, points(3, 800, 2));
+        let whole = mvi.max_variance(&Rect::unbounded(3));
+        let out = partition(&mvi, 32).unwrap();
+        assert!(out.max_leaf_variance < whole);
+    }
+
+    #[test]
+    fn five_dimensional_partitioning_works() {
+        let mvi = mv(5, points(5, 500, 3));
+        let out = partition(&mvi, 32).unwrap();
+        out.spec.validate().unwrap();
+        assert!(out.spec.leaf_count() >= 16, "{}", out.spec.leaf_count());
+    }
+
+    #[test]
+    fn one_dimensional_kd_matches_interval_structure() {
+        let mvi = mv(1, points(1, 300, 4));
+        let out = partition(&mvi, 8).unwrap();
+        out.spec.validate().unwrap();
+        assert_eq!(out.spec.leaf_count(), 8);
+    }
+
+    #[test]
+    fn degenerate_data_stops_early() {
+        // All samples identical: nothing is splittable.
+        let pts: Vec<IndexPoint> = (0..50)
+            .map(|i| IndexPoint::new(vec![1.0, 2.0], i, 3.0))
+            .collect();
+        let mvi = mv(2, pts);
+        let out = partition(&mvi, 8).unwrap();
+        assert_eq!(out.spec.leaf_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_trivial_spec() {
+        let mvi = mv(2, Vec::new());
+        let out = partition(&mvi, 8).unwrap();
+        assert_eq!(out.spec.leaf_count(), 1);
+    }
+}

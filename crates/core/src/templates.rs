@@ -1,0 +1,499 @@
+//! Multi-template support (§5.5).
+//!
+//! Two mechanisms from the paper:
+//!
+//! 1. **First method** — [`MultiTemplateEngine`]: one *global* pooled
+//!    sample shared by several partition trees, one tree per query
+//!    template, for total space `O(m + L·k)`. Every tree keeps its own
+//!    statistics and catch-up, and every update fans out to all trees.
+//! 2. **Second method (heuristics)** — answering queries that do not match
+//!    any tree: a different aggregation *function* over the same tree is
+//!    free (SUM/COUNT/AVG share the moment statistics); a different
+//!    aggregation *attribute* is answered from the stratified samples
+//!    ([`crate::tree::Dpt::answer_sampling_only`]); a different *predicate*
+//!    attribute falls back to uniform estimation over the pooled sample
+//!    ([`uniform_estimate`]).
+
+use crate::catchup::CatchupQueue;
+use crate::config::SynopsisConfig;
+use crate::maxvar::MaxVarianceIndex;
+use crate::partition::Partitioner;
+use crate::tree::Dpt;
+use janus_common::{
+    AggregateFunction, Estimate, JanusError, Moments, Query, Result, Row, RowId,
+};
+use janus_index::IndexPoint;
+use janus_sampling::{DeleteOutcome, DynamicReservoir, InsertOutcome};
+use janus_storage::ArchiveStore;
+
+/// Uniform-sampling estimate of a query from a pooled sample of a
+/// population of `population` rows — the RS-style fallback for predicate
+/// attributes the synopsis was not built over (§5.5, evaluated in Fig. 8
+/// as "DropoffOverPickup").
+pub fn uniform_estimate<'a>(
+    query: &Query,
+    samples: impl Iterator<Item = &'a Row>,
+    population: usize,
+) -> Option<Estimate> {
+    let mut m = 0f64;
+    let mut phi = Moments::ZERO;
+    let mut extremum: Option<f64> = None;
+    let is_min = query.agg == AggregateFunction::Min;
+    for row in samples {
+        m += 1.0;
+        if query.matches(row) {
+            let a = row.value(query.agg_column);
+            phi.add(if query.agg == AggregateFunction::Count { 1.0 } else { a });
+            extremum = Some(match extremum {
+                None => a,
+                Some(b) if is_min => b.min(a),
+                Some(b) => b.max(a),
+            });
+        }
+    }
+    let n = population as f64;
+    match query.agg {
+        AggregateFunction::Count | AggregateFunction::Sum => {
+            let (value, variance) = if m > 0.0 {
+                (
+                    crate::formulas::sum_estimate(n, m, phi.sum),
+                    crate::formulas::sum_estimate_variance(n, m, &phi),
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            Some(Estimate {
+                value,
+                catchup_variance: 0.0,
+                sample_variance: variance,
+                covered_nodes: 0,
+                partial_nodes: 0,
+                samples_used: phi.count as usize,
+            })
+        }
+        AggregateFunction::Avg => {
+            if phi.count <= 0.0 {
+                return None;
+            }
+            Some(Estimate {
+                value: phi.sum / phi.count,
+                catchup_variance: 0.0,
+                sample_variance: crate::formulas::avg_estimate_variance(1.0, m, &phi),
+                covered_nodes: 0,
+                partial_nodes: 0,
+                samples_used: phi.count as usize,
+            })
+        }
+        AggregateFunction::Min | AggregateFunction::Max => extremum.map(Estimate::exact),
+    }
+}
+
+/// One template's synopsis inside the shared-sample engine.
+struct TemplateSynopsis {
+    config: SynopsisConfig,
+    dpt: Dpt,
+    maxvar: MaxVarianceIndex,
+    catchup: CatchupQueue,
+}
+
+/// §5.5 first method: one pooled sample, `L` partition trees.
+pub struct MultiTemplateEngine {
+    archive: ArchiveStore,
+    reservoir: DynamicReservoir,
+    synopses: Vec<TemplateSynopsis>,
+    seed_counter: u64,
+    base_seed: u64,
+}
+
+impl MultiTemplateEngine {
+    /// Bootstraps over `rows` with one synopsis per config. The shared
+    /// reservoir is sized by the largest configured sample rate.
+    pub fn bootstrap(configs: Vec<SynopsisConfig>, rows: Vec<Row>) -> Result<Self> {
+        if configs.is_empty() {
+            return Err(JanusError::InvalidConfig("need at least one template".into()));
+        }
+        for c in &configs {
+            c.validate()?;
+        }
+        let archive = ArchiveStore::from_rows(rows);
+        let n = archive.len();
+        let rate = configs.iter().map(|c| c.sample_rate).fold(0.0, f64::max);
+        let base_seed = configs[0].seed;
+        let m = ((rate * n as f64).ceil() as usize).max(16);
+        let mut reservoir = DynamicReservoir::with_m(m, base_seed ^ 0x3333);
+        reservoir.reset(archive.sample_distinct(2 * m, base_seed ^ 0x4444));
+
+        let mut engine = MultiTemplateEngine {
+            archive,
+            reservoir,
+            synopses: Vec::new(),
+            seed_counter: 1,
+            base_seed,
+        };
+        for config in configs {
+            engine.add_template_internal(config)?;
+        }
+        Ok(engine)
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter = self.seed_counter.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        self.base_seed ^ self.seed_counter
+    }
+
+    /// Registers a new template at runtime (§5.5: "when we see a query from
+    /// a new template we can construct a new partition tree ... and start
+    /// the catch-up phase only for this tree"), running its catch-up to the
+    /// configured goal.
+    pub fn add_template(&mut self, config: SynopsisConfig) -> Result<()> {
+        config.validate()?;
+        self.add_template_internal(config)?;
+        let idx = self.synopses.len() - 1;
+        self.run_catchup_to_goal(idx);
+        Ok(())
+    }
+
+    fn add_template_internal(&mut self, config: SynopsisConfig) -> Result<()> {
+        let template = config.template.clone();
+        let n = self.archive.len();
+        let alpha = if n == 0 {
+            1.0
+        } else {
+            (self.reservoir.len() as f64 / n as f64).clamp(1e-9, 1.0)
+        };
+        let points: Vec<IndexPoint> = self
+            .reservoir
+            .iter()
+            .map(|r| {
+                IndexPoint::new(
+                    r.project(&template.predicate_columns),
+                    r.id,
+                    r.value(template.agg_column),
+                )
+            })
+            .collect();
+        let maxvar =
+            MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
+        let partitioner = Partitioner::auto(config.rho);
+        let outcome = partitioner.compute(&maxvar, config.leaf_count)?;
+        let mut dpt = Dpt::build(
+            template.clone(),
+            config.minmax_k,
+            &outcome.spec,
+            &outcome.leaf_variances,
+            n as f64,
+        )?;
+        for row in self.reservoir.iter() {
+            let point = row.project(&template.predicate_columns);
+            dpt.assign_sample(row.id, &point);
+        }
+        let goal = (config.catchup_ratio * n as f64).ceil() as usize;
+        let seed = self.next_seed();
+        let catchup = CatchupQueue::new(self.archive.shuffled(seed), goal);
+        self.synopses.push(TemplateSynopsis { config, dpt, maxvar, catchup });
+        Ok(())
+    }
+
+    /// Number of registered templates.
+    pub fn template_count(&self) -> usize {
+        self.synopses.len()
+    }
+
+    /// Current table size.
+    pub fn population(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Ground-truth oracle.
+    pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
+        query.evaluate_exact(self.archive.iter())
+    }
+
+    /// Runs the catch-up of synopsis `idx` to its goal.
+    pub fn run_catchup_to_goal(&mut self, idx: usize) {
+        loop {
+            let rows: Vec<Row> = self.synopses[idx].catchup.next_chunk(4096).to_vec();
+            if rows.is_empty() {
+                break;
+            }
+            for row in &rows {
+                self.synopses[idx].dpt.apply_catchup_row(row);
+            }
+        }
+    }
+
+    /// Runs every synopsis' catch-up to its goal.
+    pub fn run_all_catchup(&mut self) {
+        for i in 0..self.synopses.len() {
+            self.run_catchup_to_goal(i);
+        }
+    }
+
+    /// Inserts a tuple, fanning out to every tree.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if !self.archive.insert(row.clone()) {
+            return Err(JanusError::InvalidConfig(format!("duplicate row id {}", row.id)));
+        }
+        for syn in &mut self.synopses {
+            syn.dpt.record_insert(&row);
+        }
+        match self.reservoir.offer(row.clone(), self.archive.len()) {
+            InsertOutcome::Added => self.admit(&row),
+            InsertOutcome::Replaced { evicted } => {
+                let old = self.archive.get(evicted).cloned();
+                if let Some(old) = old {
+                    self.evict(&old);
+                }
+                self.admit(&row);
+            }
+            InsertOutcome::Skipped => {}
+        }
+        Ok(())
+    }
+
+    /// Deletes a tuple by id, fanning out to every tree.
+    pub fn delete(&mut self, id: RowId) -> Result<Row> {
+        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        for syn in &mut self.synopses {
+            syn.dpt.record_delete(&row);
+        }
+        match self.reservoir.delete(id) {
+            DeleteOutcome::NotInSample => {}
+            DeleteOutcome::Removed => self.evict(&row),
+            DeleteOutcome::NeedsResample => self.resample(),
+        }
+        Ok(row)
+    }
+
+    fn admit(&mut self, row: &Row) {
+        for syn in &mut self.synopses {
+            let point = row.project(&syn.config.template.predicate_columns);
+            syn.dpt.assign_sample(row.id, &point);
+            syn.maxvar.insert(IndexPoint::new(
+                point,
+                row.id,
+                row.value(syn.config.template.agg_column),
+            ));
+        }
+    }
+
+    fn evict(&mut self, row: &Row) {
+        for syn in &mut self.synopses {
+            syn.dpt.remove_sample(row.id);
+            let point = row.project(&syn.config.template.predicate_columns);
+            syn.maxvar.delete(&IndexPoint::new(
+                point,
+                row.id,
+                row.value(syn.config.template.agg_column),
+            ));
+        }
+    }
+
+    fn resample(&mut self) {
+        let seed = self.next_seed();
+        let rows = self.archive.sample_distinct(self.reservoir.target(), seed);
+        self.reservoir.reset(rows);
+        for syn in &mut self.synopses {
+            syn.dpt.clear_samples();
+        }
+        let sampled: Vec<Row> = self.reservoir.iter().cloned().collect();
+        let n = self.archive.len();
+        for syn in &mut self.synopses {
+            let template = &syn.config.template;
+            let alpha = if n == 0 {
+                1.0
+            } else {
+                (sampled.len() as f64 / n as f64).clamp(1e-9, 1.0)
+            };
+            let points: Vec<IndexPoint> = sampled
+                .iter()
+                .map(|r| {
+                    IndexPoint::new(
+                        r.project(&template.predicate_columns),
+                        r.id,
+                        r.value(template.agg_column),
+                    )
+                })
+                .collect();
+            syn.maxvar = MaxVarianceIndex::bulk_load(
+                template.dims(),
+                template.agg,
+                alpha,
+                syn.config.delta,
+                points,
+            );
+            for r in &sampled {
+                let point = r.project(&template.predicate_columns);
+                syn.dpt.assign_sample(r.id, &point);
+            }
+        }
+    }
+
+    /// Routes a query to the best synopsis:
+    ///
+    /// 1. a tree over the same predicate columns *and* aggregation column —
+    ///    full two-layer answering (any aggregate function);
+    /// 2. a tree over the same predicate columns — sampling-only answering;
+    /// 3. otherwise — uniform estimation over the pooled sample.
+    pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
+        if let Some(syn) = self.synopses.iter().find(|s| {
+            s.config.template.predicate_columns == query.predicate_columns
+                && s.config.template.agg_column == query.agg_column
+        }) {
+            return syn.dpt.answer(query, &self.reservoir);
+        }
+        if let Some(syn) = self
+            .synopses
+            .iter()
+            .find(|s| s.config.template.predicate_columns == query.predicate_columns)
+        {
+            return syn.dpt.answer_sampling_only(query, &self.reservoir);
+        }
+        Ok(uniform_estimate(query, self.reservoir.iter(), self.archive.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::{QueryTemplate, RangePredicate};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rows(n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n as u64)
+            .map(|i| {
+                let x = rng.gen::<f64>() * 50.0;
+                let y = rng.gen::<f64>() * 10.0;
+                Row::new(i, vec![x, y, x + y])
+            })
+            .collect()
+    }
+
+    fn cfg(agg_col: usize, pred: Vec<usize>, seed: u64) -> SynopsisConfig {
+        let mut c = SynopsisConfig::paper_default(
+            QueryTemplate::new(AggregateFunction::Sum, agg_col, pred),
+            seed,
+        );
+        c.leaf_count = 8;
+        c.sample_rate = 0.1;
+        c.catchup_ratio = 0.5;
+        c
+    }
+
+    fn q(agg: AggregateFunction, agg_col: usize, pred: usize, lo: f64, hi: f64) -> Query {
+        Query::new(agg, agg_col, vec![pred], RangePredicate::new(vec![lo], vec![hi]).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn uniform_estimate_tracks_truth() {
+        let data = rows(5_000, 1);
+        let sample: Vec<&Row> = data.iter().step_by(20).collect();
+        let query = q(AggregateFunction::Sum, 2, 0, 10.0, 40.0);
+        let est = uniform_estimate(&query, sample.into_iter(), data.len()).unwrap();
+        let truth = query.evaluate_exact(&data).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.2, "est {} truth {truth}", est.value);
+        assert!(est.sample_variance > 0.0);
+    }
+
+    #[test]
+    fn uniform_estimate_handles_empty_matches() {
+        let data = rows(100, 2);
+        let query = q(AggregateFunction::Avg, 2, 0, 1000.0, 2000.0);
+        assert!(uniform_estimate(&query, data.iter(), data.len()).is_none());
+        let query = q(AggregateFunction::Count, 2, 0, 1000.0, 2000.0);
+        let est = uniform_estimate(&query, data.iter(), data.len()).unwrap();
+        assert_eq!(est.value, 0.0);
+    }
+
+    #[test]
+    fn multi_template_routes_by_predicate_columns() {
+        let data = rows(8_000, 3);
+        let mut engine = MultiTemplateEngine::bootstrap(
+            vec![cfg(2, vec![0], 7), cfg(2, vec![1], 7)],
+            data,
+        )
+        .unwrap();
+        engine.run_all_catchup();
+        // Template over column 0.
+        let q0 = q(AggregateFunction::Sum, 2, 0, 5.0, 45.0);
+        let est = engine.query(&q0).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q0).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.1);
+        // Template over column 1.
+        let q1 = q(AggregateFunction::Sum, 2, 1, 2.0, 8.0);
+        let est = engine.query(&q1).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&q1).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.1);
+    }
+
+    #[test]
+    fn unknown_aggregation_column_uses_sampling_fallback() {
+        let data = rows(8_000, 4);
+        let mut engine =
+            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 9)], data).unwrap();
+        engine.run_all_catchup();
+        // Aggregate column 1 (tree tracks column 2).
+        let query = q(AggregateFunction::Sum, 1, 0, 5.0, 45.0);
+        let est = engine.query(&query).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&query).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.25);
+    }
+
+    #[test]
+    fn unknown_predicate_column_uses_uniform_fallback() {
+        let data = rows(8_000, 5);
+        let mut engine =
+            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 11)], data).unwrap();
+        engine.run_all_catchup();
+        let query = q(AggregateFunction::Sum, 2, 1, 2.0, 8.0);
+        let est = engine.query(&query).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&query).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.25);
+    }
+
+    #[test]
+    fn updates_fan_out_to_all_trees() {
+        let data = rows(2_000, 6);
+        let mut engine = MultiTemplateEngine::bootstrap(
+            vec![cfg(2, vec![0], 13), cfg(2, vec![1], 13)],
+            data,
+        )
+        .unwrap();
+        engine.run_all_catchup();
+        let mut rng = SmallRng::seed_from_u64(14);
+        for i in 0..500u64 {
+            let x = rng.gen::<f64>() * 50.0;
+            let y = rng.gen::<f64>() * 10.0;
+            engine.insert(Row::new(10_000 + i, vec![x, y, x + y])).unwrap();
+        }
+        for id in 0..200u64 {
+            engine.delete(id).unwrap();
+        }
+        for query in [
+            q(AggregateFunction::Sum, 2, 0, 0.0, 50.0),
+            q(AggregateFunction::Sum, 2, 1, 0.0, 10.0),
+        ] {
+            let est = engine.query(&query).unwrap().unwrap();
+            let truth = engine.evaluate_exact(&query).unwrap();
+            assert!((est.value - truth).abs() / truth < 0.12, "est {} truth {truth}", est.value);
+        }
+    }
+
+    #[test]
+    fn add_template_at_runtime() {
+        let data = rows(4_000, 7);
+        let mut engine =
+            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 17)], data).unwrap();
+        engine.run_all_catchup();
+        assert_eq!(engine.template_count(), 1);
+        engine.add_template(cfg(2, vec![1], 18)).unwrap();
+        assert_eq!(engine.template_count(), 2);
+        let query = q(AggregateFunction::Sum, 2, 1, 2.0, 8.0);
+        let est = engine.query(&query).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&query).unwrap();
+        assert!((est.value - truth).abs() / truth < 0.1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Deterministic synthetic dataset generators.
+
+use janus_common::{Row, Schema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Normal};
+
+/// A generated dataset: a schema, rows, and the column names the paper's
+/// experiments use for predicates and aggregates.
+pub struct Dataset {
+    /// Human-readable dataset name.
+    pub name: &'static str,
+    /// Column schema.
+    pub schema: Schema,
+    /// Generated rows with ids `0..n`.
+    pub rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// Column index by name (panics on unknown name — generator bug).
+    pub fn col(&self, name: &str) -> usize {
+        self.schema
+            .index_of(name)
+            .unwrap_or_else(|_| panic!("dataset {} has no column {name}", self.name))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Intel Wireless equivalent (§6.1.1): ~3M sensor readings from the
+/// Berkeley lab, one per time step. Experiments use `time` as the predicate
+/// attribute and `light` as the aggregate attribute.
+///
+/// Structure reproduced: sequential timestamps; `light` follows a diurnal
+/// cycle — near-zero at night (zero-inflated), bright with heavy
+/// heteroscedastic noise during the day; `temperature`/`humidity` follow
+/// correlated daily cycles; `voltage` decays slowly with noise.
+pub fn intel_wireless(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1a7e1);
+    let schema = Schema::new(["time", "light", "temperature", "humidity", "voltage"]);
+    let noise = Normal::new(0.0, 1.0).unwrap();
+    // One reading every 31 seconds, like the original epoch cadence.
+    let rows = (0..n)
+        .map(|i| {
+            let t = i as f64 * 31.0;
+            let day_phase = (t / 86_400.0).fract(); // 0 = midnight
+            let daylight = ((day_phase - 0.5) * std::f64::consts::PI * 2.0).cos().max(0.0);
+            let light = if daylight <= 0.05 || rng.gen::<f64>() < 0.08 {
+                // Night or sensor shadow: near-dark with a small floor.
+                rng.gen::<f64>() * 5.0
+            } else {
+                let base = 150.0 + 550.0 * daylight;
+                (base + noise.sample(&mut rng) * 80.0 * daylight).max(0.0)
+            };
+            let temperature = 19.0 + 6.0 * daylight + noise.sample(&mut rng) * 0.7;
+            let humidity = 45.0 - 12.0 * daylight + noise.sample(&mut rng) * 2.5;
+            let voltage = 2.7 - 0.25 * (i as f64 / n.max(1) as f64) + noise.sample(&mut rng) * 0.02;
+            Row::new(i as u64, vec![t, light, temperature, humidity, voltage])
+        })
+        .collect();
+    Dataset { name: "IntelWireless", schema, rows }
+}
+
+/// NYC Taxi equivalent (§6.1.1): ~7.7M January-2019 trip records.
+/// Experiments use `pickup_time` / `dropoff_time` / `pickup_time_of_day` as
+/// predicate attributes and `trip_distance` as the aggregate attribute.
+///
+/// Structure reproduced: pickup datetimes with daily and weekly demand
+/// seasonality (rows are generated in pickup-time order, which is what makes
+/// insertion-by-arrival *skewed* in §6.8); log-normal trip distances;
+/// dropoff = pickup + distance-correlated duration; categorical passenger
+/// counts.
+pub fn nyc_taxi(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a41);
+    let schema = Schema::new([
+        "pickup_time",
+        "dropoff_time",
+        "trip_distance",
+        "passenger_count",
+        "pickup_time_of_day",
+    ]);
+    // Trip distances: log-normal with median ~1.6 miles, heavy right tail.
+    let dist = LogNormal::new(0.47, 0.95).unwrap();
+    let month_seconds = 31.0 * 86_400.0;
+    let mut pickup = 0.0f64;
+    let rows = (0..n)
+        .map(|i| {
+            // Inhomogeneous arrivals: base gap scaled down at demand peaks
+            // (rush hours, weekends compressed at night).
+            let day_phase = (pickup / 86_400.0).fract();
+            let rush = 1.0
+                + 1.8 * (-((day_phase - 0.35) / 0.07).powi(2)).exp()
+                + 2.2 * (-((day_phase - 0.75) / 0.09).powi(2)).exp();
+            let base_gap = month_seconds / n.max(1) as f64;
+            pickup += rng.gen::<f64>() * 2.0 * base_gap / rush;
+            // Trip length shifts with time of day — long night/airport runs,
+            // short rush-hour hops — so distance is *correlated* with the
+            // pickup-time predicate, as in the real data.
+            let dist_scale = 0.75
+                + 0.70 * (-((day_phase - 0.04) / 0.10).powi(2)).exp()
+                + 0.35 * (-((day_phase - 0.55) / 0.20).powi(2)).exp();
+            let trip_distance = f64::min(dist.sample(&mut rng) * dist_scale, 60.0);
+            // ~12 mph average speed plus noise.
+            let duration = trip_distance / 12.0 * 3600.0 * (0.7 + rng.gen::<f64>() * 0.8) + 60.0;
+            let passenger_count = match rng.gen_range(0..100) {
+                0..=69 => 1.0,
+                70..=84 => 2.0,
+                85..=91 => 3.0,
+                92..=95 => 4.0,
+                96..=97 => 5.0,
+                _ => 6.0,
+            };
+            let time_of_day = (pickup / 86_400.0).fract() * 86_400.0;
+            Row::new(
+                i as u64,
+                vec![pickup, pickup + duration, trip_distance, passenger_count, time_of_day],
+            )
+        })
+        .collect();
+    Dataset { name: "NYCTaxi", schema, rows }
+}
+
+/// NASDAQ ETF equivalent (§6.1.1): ~4M daily price/volume entries for 2166
+/// ETFs. The 1-D experiments use `volume` as predicate and `close` as
+/// aggregate; the 5-D experiment (§6.7) uses `date` plus the four prices as
+/// predicates and `volume` as the aggregate.
+///
+/// Structure reproduced: per-ETF geometric random-walk prices with
+/// `low <= open, close <= high`; heavy-tailed log-normal volumes whose scale
+/// varies by ETF (the volume tail is what makes ETF the hardest dataset in
+/// Table 2).
+pub fn nasdaq_etf(n: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xe7f);
+    let schema = Schema::new(["date", "volume", "open", "close", "high", "low"]);
+    let n_etfs = 2166.min(n.max(1));
+    // Per-ETF state: current price and volume scale.
+    let mut price: Vec<f64> = (0..n_etfs).map(|_| 5.0 + rng.gen::<f64>() * 95.0).collect();
+    // Most funds are thinly traded (ln-scale e^8 ≈ 3k .. e^12 ≈ 160k), but
+    // a small set of mega-ETFs (the SPY/QQQ analogues) trade millions of
+    // shares *every day*: the volume tail is dense with their daily rows,
+    // which is what keeps deep-tail range queries estimable.
+    let vol_scale: Vec<f64> = (0..n_etfs)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.03 {
+                13.0 + rng.gen::<f64>() * 2.5
+            } else {
+                8.0 + rng.gen::<f64>() * 4.0
+            }
+        })
+        .collect();
+    let step = Normal::new(0.0, 0.02).unwrap();
+    let rows = (0..n)
+        .map(|i| {
+            let etf = i % n_etfs;
+            let date = (i / n_etfs) as f64; // trading-day index
+            let open = price[etf];
+            let ret: f64 = step.sample(&mut rng);
+            let close = (open * (1.0 + ret)).max(0.25);
+            let wiggle = open * (0.002 + rng.gen::<f64>() * 0.015);
+            let high = open.max(close) + wiggle;
+            let low = (open.min(close) - wiggle).max(0.1);
+            price[etf] = close;
+            let volume = LogNormal::new(vol_scale[etf], 0.7)
+                .unwrap()
+                .sample(&mut rng)
+                .min(1e9);
+            Row::new(i as u64, vec![date, volume, open, close, high, low])
+        })
+        .collect();
+    Dataset { name: "NasdaqETF", schema, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = intel_wireless(1000, 7);
+        let b = intel_wireless(1000, 7);
+        let c = intel_wireless(1000, 8);
+        assert_eq!(a.rows, b.rows);
+        assert_ne!(a.rows, c.rows);
+    }
+
+    #[test]
+    fn intel_has_diurnal_light() {
+        let d = intel_wireless(20_000, 1);
+        let light = d.col("light");
+        let time = d.col("time");
+        // Average light at "noon" readings dwarfs light at "midnight".
+        let (mut day_sum, mut day_n, mut night_sum, mut night_n) = (0.0, 0.0, 0.0, 0.0);
+        for r in &d.rows {
+            let phase = (r.value(time) / 86_400.0).fract();
+            if (0.45..0.55).contains(&phase) {
+                day_sum += r.value(light);
+                day_n += 1.0;
+            } else if !(0.05..=0.95).contains(&phase) {
+                night_sum += r.value(light);
+                night_n += 1.0;
+            }
+        }
+        assert!(day_n > 0.0 && night_n > 0.0);
+        assert!(day_sum / day_n > 10.0 * (night_sum / night_n).max(1.0));
+    }
+
+    #[test]
+    fn taxi_pickups_are_time_ordered_and_consistent() {
+        let d = nyc_taxi(5000, 2);
+        let pu = d.col("pickup_time");
+        let doff = d.col("dropoff_time");
+        let dist = d.col("trip_distance");
+        let tod = d.col("pickup_time_of_day");
+        assert!(d.rows.windows(2).all(|w| w[0].value(pu) <= w[1].value(pu)));
+        for r in &d.rows {
+            assert!(r.value(doff) > r.value(pu));
+            assert!(r.value(dist) > 0.0 && r.value(dist) <= 60.0);
+            assert!((0.0..86_400.0).contains(&r.value(tod)));
+        }
+    }
+
+    #[test]
+    fn taxi_distance_is_heavy_tailed() {
+        let d = nyc_taxi(50_000, 3);
+        let dist = d.col("trip_distance");
+        let mut v: Vec<f64> = d.rows.iter().map(|r| r.value(dist)).collect();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let median = v[v.len() / 2];
+        let p99 = v[(v.len() as f64 * 0.99) as usize];
+        assert!(median < 3.0, "median {median}");
+        assert!(p99 > 5.0 * median, "p99 {p99}, median {median}");
+    }
+
+    #[test]
+    fn etf_prices_are_ordered_and_volumes_heavy() {
+        let d = nasdaq_etf(30_000, 4);
+        let (o, c, h, l, v) = (d.col("open"), d.col("close"), d.col("high"), d.col("low"), d.col("volume"));
+        for r in &d.rows {
+            assert!(r.value(h) >= r.value(o).max(r.value(c)));
+            assert!(r.value(l) <= r.value(o).min(r.value(c)));
+            assert!(r.value(l) > 0.0);
+            assert!(r.value(v) > 0.0);
+        }
+        let mut vols: Vec<f64> = d.rows.iter().map(|r| r.value(v)).collect();
+        vols.sort_by(|a, b| a.total_cmp(b));
+        let median = vols[vols.len() / 2];
+        let p995 = vols[(vols.len() as f64 * 0.995) as usize];
+        assert!(p995 > 20.0 * median, "volume tail too light: {p995} vs {median}");
+    }
+
+    #[test]
+    fn row_ids_are_dense_and_unique() {
+        for d in [intel_wireless(100, 0), nyc_taxi(100, 0), nasdaq_etf(100, 0)] {
+            for (i, r) in d.rows.iter().enumerate() {
+                assert_eq!(r.id, i as u64);
+                assert_eq!(r.arity(), d.schema.arity());
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! # janus-index
+//!
+//! Geometric / order-statistic index substrates that JanusAQP's partitioning
+//! and maintenance algorithms are built on (§5, §D of the paper):
+//!
+//! * [`treap::Treap`] — a randomized balanced order-statistic tree with
+//!   subtree moment aggregates. Used for 1-D partitioning (binary search on
+//!   sample ranks, §5.2) and per-dimension coordinate multisets.
+//! * [`topk::BoundedExtremes`] — bounded top-k / bottom-k multisets that
+//!   maintain MIN/MAX node statistics under insertions and deletions (§4.1).
+//! * [`range_tree::StaticRangeTree`] — a classic multi-level range tree with
+//!   per-canonical-node moments; exact `O(log^d)` canonical decompositions
+//!   for low dimensionality.
+//! * [`kd::StaticKdTree`] — a median-split kd-tree with subtree moments and
+//!   cell rectangles; linear space at any dimensionality.
+//! * [`dynamic::DynamicIndex`] — the Bentley–Saxe logarithmic-method
+//!   dynamization (the paper cites exactly this family of static-to-dynamic
+//!   transformations [5, 13, 34]) with tombstoned deletions and periodic
+//!   compaction, generic over any [`SpatialAggIndex`].
+//!
+//! The [`SpatialAggIndex`] trait is the interface the core crate programs
+//! against; the max-variance index **M** (§5.3.1) picks the range tree for
+//! `d <= 2` and the kd-tree for higher dimensions.
+
+pub mod dynamic;
+pub mod kd;
+pub mod range_tree;
+pub mod topk;
+pub mod treap;
+
+use janus_common::{Moments, Rect};
+
+/// A point stored in a spatial aggregate index: predicate-space coordinates,
+/// the owning row id, and the aggregation value (`t.a`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexPoint {
+    /// Coordinates in predicate space.
+    pub coords: Vec<f64>,
+    /// Owning row id.
+    pub id: u64,
+    /// Aggregation value `t.a`.
+    pub weight: f64,
+}
+
+impl IndexPoint {
+    /// Convenience constructor.
+    pub fn new(coords: Vec<f64>, id: u64, weight: f64) -> Self {
+        IndexPoint { coords, id, weight }
+    }
+}
+
+/// A canonical node of an index decomposition: a rectangle together with the
+/// moments of the points inside it.
+#[derive(Clone, Debug)]
+pub struct CanonicalBox {
+    /// The cell rectangle (always a subset of the query rectangle it was
+    /// produced for).
+    pub rect: Rect,
+    /// Moments of the aggregation values of the points in the cell.
+    pub moments: Moments,
+}
+
+/// Static spatial index with aggregate (moment) queries.
+///
+/// Implementations must answer queries over *half-open* rectangles, matching
+/// [`Rect`] semantics.
+pub trait SpatialAggIndex: Sized {
+    /// Builds the index over `points` in `dims`-dimensional space.
+    fn build(dims: usize, points: Vec<IndexPoint>) -> Self;
+
+    /// Number of indexed points.
+    fn len(&self) -> usize;
+
+    /// True when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the indexed space.
+    fn dims(&self) -> usize;
+
+    /// Moments (count / Σ weight / Σ weight²) of the points inside `rect`.
+    fn moments_in(&self, rect: &Rect) -> Moments;
+
+    /// Finds a canonical cell fully inside `rect` containing at most `cap`
+    /// points that (approximately) maximizes the sum of squared weights.
+    /// Returns `None` when no point of the index lies in `rect`.
+    ///
+    /// This is the search primitive behind the AVG max-variance index of
+    /// §D.1: the returned cell plays the role of the heaviest canonical
+    /// rectangle with `<= δm` samples.
+    fn heaviest_canonical(&self, rect: &Rect, cap: usize) -> Option<CanonicalBox>;
+
+    /// Invokes `f` for every point inside `rect` (reporting query).
+    fn for_each_in(&self, rect: &Rect, f: &mut dyn FnMut(&IndexPoint));
+
+    /// Count of points inside `rect`.
+    fn count_in(&self, rect: &Rect) -> usize {
+        self.moments_in(rect).count.round() as usize
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::IndexPoint;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic cloud of points in the unit cube with weights in [0, 10).
+    pub fn random_points(dims: usize, n: usize, seed: u64) -> Vec<IndexPoint> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let coords = (0..dims).map(|_| rng.gen::<f64>()).collect();
+                IndexPoint::new(coords, i as u64, rng.gen::<f64>() * 10.0)
+            })
+            .collect()
+    }
+}

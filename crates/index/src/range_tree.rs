@@ -1,0 +1,455 @@
+//! A static multi-level range tree with per-canonical-node moments.
+//!
+//! This is the structure of §5.3.1 / §D.1: level `j` is a balanced search
+//! tree over the points sorted by coordinate `j`; every internal node owns an
+//! *associated* structure over its subtree's points for coordinate `j + 1`;
+//! the last level answers moment queries from prefix-sum arrays in `O(1)`
+//! per canonical index range. A `d`-dimensional rectangle decomposes into
+//! `O(log^d m)` canonical nodes whose moments sum to the exact answer.
+//!
+//! Space is `O(m log^{d-1} m)`, so this structure is intended for `d <= 2`
+//! (the common 1-D templates of the paper); higher dimensionalities use
+//! [`crate::kd::StaticKdTree`] behind the same [`SpatialAggIndex`] trait.
+
+use crate::{CanonicalBox, IndexPoint, SpatialAggIndex};
+use janus_common::{Moments, Rect};
+
+/// Below this range length, segment nodes stop carrying associated
+/// structures and queries fall back to scanning the (few) points.
+const ASSOC_CUTOFF: usize = 8;
+
+/// One level of the range tree: points sorted by `coords[dim]` plus an
+/// implicit balanced segment tree over the sorted order.
+struct Level {
+    dim: usize,
+    last: bool,
+    /// Points sorted by `(coords[dim], id)`.
+    pts: Vec<IndexPoint>,
+    /// `prefix[i]` = moments of `pts[..i]` (length `pts.len() + 1`).
+    prefix: Vec<Moments>,
+    /// Associated next-level structures for internal segment nodes, keyed by
+    /// `(start, end)` of the node's range. Only populated when `!last`.
+    assoc: std::collections::HashMap<(usize, usize), Box<Level>>,
+}
+
+impl Level {
+    fn build(dims: usize, dim: usize, mut pts: Vec<IndexPoint>) -> Level {
+        pts.sort_unstable_by(|a, b| a.coords[dim].total_cmp(&b.coords[dim]).then(a.id.cmp(&b.id)));
+        let mut prefix = Vec::with_capacity(pts.len() + 1);
+        let mut acc = Moments::ZERO;
+        prefix.push(acc);
+        for p in &pts {
+            acc.add(p.weight);
+            prefix.push(acc);
+        }
+        let last = dim + 1 >= dims;
+        let mut level = Level { dim, last, pts, prefix, assoc: Default::default() };
+        if !last && !level.pts.is_empty() {
+            level.build_assoc(dims, 0, level.pts.len());
+        }
+        level
+    }
+
+    fn build_assoc(&mut self, dims: usize, start: usize, end: usize) {
+        if end - start <= ASSOC_CUTOFF {
+            return;
+        }
+        let child = Level::build(dims, self.dim + 1, self.pts[start..end].to_vec());
+        self.assoc.insert((start, end), Box::new(child));
+        let mid = start + (end - start) / 2;
+        self.build_assoc(dims, start, mid);
+        self.build_assoc(dims, mid, end);
+    }
+
+    /// Index range of points with `coords[dim]` in half-open `[lo, hi)`.
+    fn index_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+        let i = self.pts.partition_point(|p| p.coords[self.dim] < lo);
+        let j = self.pts.partition_point(|p| p.coords[self.dim] < hi);
+        (i, j)
+    }
+
+    fn range_moments(&self, i: usize, j: usize) -> Moments {
+        self.prefix[j].subtract(&self.prefix[i])
+    }
+
+    /// Scan fallback: moments of points in `pts[i..j]` that satisfy `rect`
+    /// on *all* dimensions.
+    fn scan_moments(&self, i: usize, j: usize, rect: &Rect) -> Moments {
+        Moments::from_values(
+            self.pts[i..j]
+                .iter()
+                .filter(|p| rect.contains(&p.coords))
+                .map(|p| p.weight),
+        )
+    }
+
+    /// Exact moment query for `rect`, filtering this level's dimension by
+    /// canonical decomposition and delegating the rest to associated
+    /// structures.
+    fn query(&self, rect: &Rect) -> Moments {
+        let (i, j) = self.index_range(rect.lo()[self.dim], rect.hi()[self.dim]);
+        if i >= j {
+            return Moments::ZERO;
+        }
+        if self.last {
+            return self.range_moments(i, j);
+        }
+        let mut out = Moments::ZERO;
+        self.decompose(0, self.pts.len(), i, j, rect, &mut out);
+        out
+    }
+
+    /// Canonical decomposition of index range `[i, j)` over the implicit
+    /// balanced segment tree rooted at range `[start, end)`.
+    fn decompose(
+        &self,
+        start: usize,
+        end: usize,
+        i: usize,
+        j: usize,
+        rect: &Rect,
+        out: &mut Moments,
+    ) {
+        if j <= start || end <= i {
+            return;
+        }
+        if i <= start && end <= j {
+            match self.assoc.get(&(start, end)) {
+                Some(child) => out.merge_assign(&child.query(rect)),
+                None => out.merge_assign(&self.scan_moments(start, end, rect)),
+            }
+            return;
+        }
+        if end - start <= ASSOC_CUTOFF {
+            out.merge_assign(&self.scan_moments(start.max(i), end.min(j), rect));
+            return;
+        }
+        let mid = start + (end - start) / 2;
+        self.decompose(start, mid, i, j, rect, out);
+        self.decompose(mid, end, i, j, rect, out);
+    }
+
+    fn for_each(&self, rect: &Rect, f: &mut dyn FnMut(&IndexPoint)) {
+        let (i, j) = self.index_range(rect.lo()[self.dim], rect.hi()[self.dim]);
+        for p in &self.pts[i..j] {
+            if rect.contains(&p.coords) {
+                f(p);
+            }
+        }
+    }
+
+    /// Collects terminal canonical candidates for the AVG max-variance
+    /// search: ranges of the *last* level fully inside `rect`, greedily
+    /// narrowed to at most `cap` points by descending into the half with the
+    /// larger sum of squared weights (§D.1).
+    fn heaviest(&self, rect: &Rect, cap: usize, best: &mut Option<CanonicalBox>) {
+        let (i, j) = self.index_range(rect.lo()[self.dim], rect.hi()[self.dim]);
+        if i >= j {
+            return;
+        }
+        if self.last {
+            self.heaviest_terminal(0, self.pts.len(), i, j, rect, cap, best);
+        } else {
+            self.heaviest_inner(0, self.pts.len(), i, j, rect, cap, best);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn heaviest_inner(
+        &self,
+        start: usize,
+        end: usize,
+        i: usize,
+        j: usize,
+        rect: &Rect,
+        cap: usize,
+        best: &mut Option<CanonicalBox>,
+    ) {
+        if j <= start || end <= i {
+            return;
+        }
+        if i <= start && end <= j {
+            match self.assoc.get(&(start, end)) {
+                Some(child) => child.heaviest(rect, cap, best),
+                None => self.heaviest_scan(start, end, rect, cap, best),
+            }
+            return;
+        }
+        if end - start <= ASSOC_CUTOFF {
+            self.heaviest_scan(start.max(i), end.min(j), rect, cap, best);
+            return;
+        }
+        let mid = start + (end - start) / 2;
+        self.heaviest_inner(start, mid, i, j, rect, cap, best);
+        self.heaviest_inner(mid, end, i, j, rect, cap, best);
+    }
+
+    /// Terminal-level greedy descent over canonical index ranges.
+    #[allow(clippy::too_many_arguments)]
+    fn heaviest_terminal(
+        &self,
+        start: usize,
+        end: usize,
+        i: usize,
+        j: usize,
+        rect: &Rect,
+        cap: usize,
+        best: &mut Option<CanonicalBox>,
+    ) {
+        if j <= start || end <= i {
+            return;
+        }
+        if i <= start && end <= j {
+            // Canonical range fully inside the query along this (final)
+            // dimension; greedily narrow by larger-sumsq half.
+            let (mut s, mut e) = (start, end);
+            while e - s > cap {
+                let mid = s + (e - s) / 2;
+                let left = self.range_moments(s, mid);
+                let right = self.range_moments(mid, e);
+                if left.sumsq >= right.sumsq {
+                    e = mid;
+                } else {
+                    s = mid;
+                }
+            }
+            let m = self.range_moments(s, e);
+            consider(best, self.candidate_box(s, e, rect, m));
+            return;
+        }
+        let mid = start + (end - start) / 2;
+        self.heaviest_terminal(start, mid, i, j, rect, cap, best);
+        self.heaviest_terminal(mid, end, i, j, rect, cap, best);
+    }
+
+    /// Scan fallback for small fragments: take up to `cap` heaviest points.
+    fn heaviest_scan(
+        &self,
+        i: usize,
+        j: usize,
+        rect: &Rect,
+        cap: usize,
+        best: &mut Option<CanonicalBox>,
+    ) {
+        let mut inside: Vec<&IndexPoint> = self.pts[i..j]
+            .iter()
+            .filter(|p| rect.contains(&p.coords))
+            .collect();
+        if inside.is_empty() {
+            return;
+        }
+        inside.sort_unstable_by(|a, b| (b.weight * b.weight).total_cmp(&(a.weight * a.weight)));
+        inside.truncate(cap);
+        let m = Moments::from_values(inside.iter().map(|p| p.weight));
+        let lo: Vec<f64> = (0..rect.dims())
+            .map(|d| inside.iter().map(|p| p.coords[d]).fold(f64::INFINITY, f64::min))
+            .collect();
+        let hi: Vec<f64> = (0..rect.dims())
+            .map(|d| {
+                inside
+                    .iter()
+                    .map(|p| p.coords[d])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        if let Some(r) = clamp_box(lo, hi, rect) {
+            consider(best, Some(CanonicalBox { rect: r, moments: m }));
+        }
+    }
+
+    /// Bounding box of `pts[s..e]` clamped into `rect`, as a candidate cell.
+    fn candidate_box(&self, s: usize, e: usize, rect: &Rect, m: Moments) -> Option<CanonicalBox> {
+        if s >= e {
+            return None;
+        }
+        let d = rect.dims();
+        let mut lo = vec![f64::INFINITY; d];
+        let mut hi = vec![f64::NEG_INFINITY; d];
+        for p in &self.pts[s..e] {
+            for k in 0..d {
+                lo[k] = lo[k].min(p.coords[k]);
+                hi[k] = hi[k].max(p.coords[k]);
+            }
+        }
+        clamp_box(lo, hi, rect).map(|rect| CanonicalBox { rect, moments: m })
+    }
+}
+
+/// Pads a closed point bounding box into a half-open cell clamped inside the
+/// query rectangle.
+fn clamp_box(lo: Vec<f64>, hi: Vec<f64>, rect: &Rect) -> Option<Rect> {
+    let lo: Vec<f64> = lo.iter().zip(rect.lo()).map(|(a, b)| a.max(*b)).collect();
+    let hi: Vec<f64> = hi
+        .iter()
+        .zip(rect.hi())
+        .map(|(a, b)| {
+            let pad = a.abs().max(1.0) * 1e-12 + f64::MIN_POSITIVE;
+            (a + pad).min(*b)
+        })
+        .collect();
+    if lo.iter().zip(&hi).all(|(a, b)| a <= b) {
+        Rect::new(lo, hi).ok()
+    } else {
+        None
+    }
+}
+
+fn consider(best: &mut Option<CanonicalBox>, candidate: Option<CanonicalBox>) {
+    if let Some(c) = candidate {
+        if c.moments.is_empty() {
+            return;
+        }
+        match best {
+            Some(b) if b.moments.sumsq >= c.moments.sumsq => {}
+            _ => *best = Some(c),
+        }
+    }
+}
+
+/// Static multi-level range tree.
+pub struct StaticRangeTree {
+    dims: usize,
+    root: Option<Level>,
+    len: usize,
+}
+
+impl SpatialAggIndex for StaticRangeTree {
+    fn build(dims: usize, points: Vec<IndexPoint>) -> Self {
+        assert!(dims >= 1, "range tree requires at least one dimension");
+        let len = points.len();
+        let root = (!points.is_empty()).then(|| Level::build(dims, 0, points));
+        StaticRangeTree { dims, root, len }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn moments_in(&self, rect: &Rect) -> Moments {
+        self.root.as_ref().map_or(Moments::ZERO, |r| r.query(rect))
+    }
+
+    fn heaviest_canonical(&self, rect: &Rect, cap: usize) -> Option<CanonicalBox> {
+        if cap == 0 {
+            return None;
+        }
+        let mut best = None;
+        if let Some(root) = &self.root {
+            root.heaviest(rect, cap, &mut best);
+        }
+        best
+    }
+
+    fn for_each_in(&self, rect: &Rect, f: &mut dyn FnMut(&IndexPoint)) {
+        if let Some(root) = &self.root {
+            root.for_each(rect, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_points;
+
+    fn brute(points: &[IndexPoint], rect: &Rect) -> Moments {
+        Moments::from_values(
+            points
+                .iter()
+                .filter(|p| rect.contains(&p.coords))
+                .map(|p| p.weight),
+        )
+    }
+
+    #[test]
+    fn moments_match_bruteforce_1d() {
+        let pts = random_points(1, 400, 3);
+        let tree = StaticRangeTree::build(1, pts.clone());
+        for (lo, hi) in [(0.0, 1.0), (0.25, 0.5), (0.9, 0.91), (0.5, 0.5)] {
+            let r = Rect::new(vec![lo], vec![hi]).unwrap();
+            let got = tree.moments_in(&r);
+            let want = brute(&pts, &r);
+            assert!((got.count - want.count).abs() < 1e-9, "[{lo},{hi})");
+            assert!((got.sum - want.sum).abs() < 1e-6, "[{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn moments_match_bruteforce_2d() {
+        let pts = random_points(2, 600, 17);
+        let tree = StaticRangeTree::build(2, pts.clone());
+        for (lo, hi) in [
+            (vec![0.0, 0.0], vec![1.0, 1.0]),
+            (vec![0.3, 0.1], vec![0.6, 0.8]),
+            (vec![0.0, 0.5], vec![0.2, 0.55]),
+        ] {
+            let r = Rect::new(lo, hi).unwrap();
+            let got = tree.moments_in(&r);
+            let want = brute(&pts, &r);
+            assert!((got.count - want.count).abs() < 1e-9, "{r:?}");
+            assert!((got.sum - want.sum).abs() < 1e-6, "{r:?}");
+            assert!((got.sumsq - want.sumsq).abs() < 1e-6, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn empty_tree_is_well_behaved() {
+        let tree = StaticRangeTree::build(2, vec![]);
+        let r = Rect::unbounded(2);
+        assert_eq!(tree.moments_in(&r).count, 0.0);
+        assert!(tree.heaviest_canonical(&r, 5).is_none());
+    }
+
+    #[test]
+    fn for_each_matches_filter() {
+        let pts = random_points(2, 250, 23);
+        let tree = StaticRangeTree::build(2, pts.clone());
+        let r = Rect::new(vec![0.2, 0.2], vec![0.8, 0.8]).unwrap();
+        let mut got = Vec::new();
+        tree.for_each_in(&r, &mut |p| got.push(p.id));
+        got.sort_unstable();
+        let mut want: Vec<u64> = pts
+            .iter()
+            .filter(|p| r.contains(&p.coords))
+            .map(|p| p.id)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn heaviest_canonical_is_consistent() {
+        let pts = random_points(2, 800, 31);
+        let tree = StaticRangeTree::build(2, pts.clone());
+        let r = Rect::new(vec![0.1, 0.1], vec![0.9, 0.9]).unwrap();
+        let cap = 40;
+        let c = tree.heaviest_canonical(&r, cap).unwrap();
+        assert!(c.moments.count as usize <= cap, "cap violated: {}", c.moments.count);
+        // The reported cell's true moments must dominate-or-equal the
+        // reported sumsq is consistent with the points inside the cell.
+        let check = brute(&pts, &c.rect);
+        assert!(check.sumsq + 1e-6 >= c.moments.sumsq);
+    }
+
+    #[test]
+    fn heaviest_canonical_finds_heavy_cluster() {
+        // A cluster of large weights should attract the search.
+        let mut pts = random_points(1, 500, 7);
+        for p in pts.iter_mut() {
+            p.weight = 0.1;
+        }
+        for (i, p) in pts.iter_mut().enumerate().take(30) {
+            p.coords[0] = 0.5 + (i as f64) * 1e-4;
+            p.weight = 100.0;
+        }
+        let tree = StaticRangeTree::build(1, pts);
+        let r = Rect::new(vec![0.0], vec![1.0]).unwrap();
+        let c = tree.heaviest_canonical(&r, 30).unwrap();
+        // The winning cell should contain mostly heavy points.
+        assert!(c.moments.sumsq > 30.0 * 100.0, "sumsq={}", c.moments.sumsq);
+    }
+}

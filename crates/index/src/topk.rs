@@ -1,0 +1,322 @@
+//! Bounded top-k / bottom-k multisets for incremental MIN/MAX statistics.
+//!
+//! §4.1 of the paper: each DPT node stores the top-k and bottom-k
+//! aggregation values in bounded heaps. The head of the bottom-k multiset is
+//! the node's MIN, the head of the top-k multiset its MAX. Under deletions
+//! the multiset may shrink; the paper's rule is to *stop removing when one
+//! value is left*, at which point the reported extremum becomes an outer
+//! approximation (`estimate <= true MIN` / `estimate >= true MAX`).
+
+use janus_common::F64;
+use std::collections::BTreeMap;
+
+/// Which end of the value order the multiset retains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Extreme {
+    /// Keep the `k` smallest values; head is the MIN.
+    Min,
+    /// Keep the `k` largest values; head is the MAX.
+    Max,
+}
+
+/// A multiset holding at most `capacity` values from one end of the order.
+#[derive(Clone, Debug)]
+pub struct BoundedExtremes {
+    which: Extreme,
+    capacity: usize,
+    values: BTreeMap<F64, usize>,
+    len: usize,
+    /// Set once values have been evicted for capacity: from then on the
+    /// multiset no longer provably contains every live value.
+    overflowed: bool,
+    /// Set when a deletion was refused because only one value remained
+    /// (§4.1): the head is then only an outer approximation.
+    pinned: bool,
+}
+
+impl BoundedExtremes {
+    /// Creates an empty multiset retaining `capacity` values.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(which: Extreme, capacity: usize) -> Self {
+        assert!(capacity > 0, "top-k capacity must be positive");
+        BoundedExtremes {
+            which,
+            capacity,
+            values: BTreeMap::new(),
+            len: 0,
+            overflowed: false,
+            pinned: false,
+        }
+    }
+
+    /// Number of retained values (multiset cardinality).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The current extremum estimate: MIN for [`Extreme::Min`], MAX for
+    /// [`Extreme::Max`]. `None` when empty.
+    pub fn head(&self) -> Option<f64> {
+        match self.which {
+            Extreme::Min => self.values.keys().next().map(|k| k.get()),
+            Extreme::Max => self.values.keys().next_back().map(|k| k.get()),
+        }
+    }
+
+    /// True when [`head`](Self::head) is only an outer approximation (the
+    /// true extremum may be tighter): this happens after the multiset was
+    /// pinned at one element by deletions.
+    pub fn is_outer_approximation(&self) -> bool {
+        self.pinned
+    }
+
+    /// Inserts a value, evicting from the far end if over capacity.
+    pub fn insert(&mut self, value: f64) {
+        *self.values.entry(F64(value)).or_insert(0) += 1;
+        self.len += 1;
+        if self.len > self.capacity {
+            let evict = match self.which {
+                // Keep the smallest: evict the largest.
+                Extreme::Min => *self.values.keys().next_back().expect("non-empty"),
+                Extreme::Max => *self.values.keys().next().expect("non-empty"),
+            };
+            self.remove_one(evict);
+            self.overflowed = true;
+        }
+        // A fresh insertion at the head end refreshes the estimate; but a
+        // pinned multiset stays an outer approximation until rebuilt, because
+        // an untracked tighter value may still exist.
+    }
+
+    /// Handles the deletion of `value` from the underlying data.
+    ///
+    /// If the value is tracked it is removed — unless only one value remains,
+    /// in which case it is kept and the head degrades to an outer
+    /// approximation. Untracked values are ignored (they were beyond the
+    /// retained `k`).
+    pub fn delete(&mut self, value: f64) {
+        if !self.values.contains_key(&F64(value)) {
+            return;
+        }
+        if self.len == 1 {
+            self.pinned = true;
+            return;
+        }
+        self.remove_one(F64(value));
+    }
+
+    fn remove_one(&mut self, key: F64) {
+        if let Some(cnt) = self.values.get_mut(&key) {
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.values.remove(&key);
+            }
+            self.len -= 1;
+        }
+    }
+
+    /// True when the multiset still provably contains every live value (no
+    /// capacity eviction has happened), so the head is *exact*.
+    pub fn is_exact(&self) -> bool {
+        !self.overflowed && !self.pinned
+    }
+
+    /// Rebuilds from scratch over `values`, clearing degradation flags.
+    pub fn rebuild(&mut self, values: impl IntoIterator<Item = f64>) {
+        self.values.clear();
+        self.len = 0;
+        self.overflowed = false;
+        self.pinned = false;
+        for v in values {
+            self.insert(v);
+        }
+    }
+
+    /// Iterates the retained values in ascending order (with multiplicity).
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values
+            .iter()
+            .flat_map(|(k, &c)| std::iter::repeat_n(k.get(), c))
+    }
+}
+
+/// The MIN/MAX statistic pair a DPT node maintains (§4.1).
+#[derive(Clone, Debug)]
+pub struct MinMaxTracker {
+    min: BoundedExtremes,
+    max: BoundedExtremes,
+}
+
+impl MinMaxTracker {
+    /// Creates a tracker retaining `k` values at each end.
+    pub fn new(k: usize) -> Self {
+        MinMaxTracker {
+            min: BoundedExtremes::new(Extreme::Min, k),
+            max: BoundedExtremes::new(Extreme::Max, k),
+        }
+    }
+
+    /// Observes an inserted aggregation value.
+    pub fn insert(&mut self, value: f64) {
+        self.min.insert(value);
+        self.max.insert(value);
+    }
+
+    /// Observes a deleted aggregation value.
+    pub fn delete(&mut self, value: f64) {
+        self.min.delete(value);
+        self.max.delete(value);
+    }
+
+    /// Current MIN estimate.
+    pub fn min(&self) -> Option<f64> {
+        self.min.head()
+    }
+
+    /// Current MAX estimate.
+    pub fn max(&self) -> Option<f64> {
+        self.max.head()
+    }
+
+    /// True when either side degraded to an outer approximation.
+    pub fn is_outer_approximation(&self) -> bool {
+        self.min.is_outer_approximation() || self.max.is_outer_approximation()
+    }
+
+    /// Rebuilds both sides from the given values.
+    pub fn rebuild(&mut self, values: impl IntoIterator<Item = f64> + Clone) {
+        self.min.rebuild(values.clone());
+        self.max.rebuild(values);
+    }
+
+    /// Values retained by the bottom-k (MIN) side, ascending.
+    pub fn min_values(&self) -> Vec<f64> {
+        self.min.iter().collect()
+    }
+
+    /// Values retained by the top-k (MAX) side, ascending.
+    pub fn max_values(&self) -> Vec<f64> {
+        self.max.iter().collect()
+    }
+
+    /// Restores both sides from previously exported value lists.
+    pub fn restore(&mut self, min_values: &[f64], max_values: &[f64]) {
+        self.min.rebuild(min_values.iter().copied());
+        self.max.rebuild(max_values.iter().copied());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_k_tracks_min() {
+        let mut b = BoundedExtremes::new(Extreme::Min, 3);
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            b.insert(v);
+        }
+        assert_eq!(b.head(), Some(1.0));
+        assert_eq!(b.len(), 3);
+        let kept: Vec<f64> = b.iter().collect();
+        assert_eq!(kept, vec![1.0, 2.0, 3.0]);
+        assert!(!b.is_exact()); // 5.0 and 4.0 were evicted
+    }
+
+    #[test]
+    fn top_k_tracks_max() {
+        let mut b = BoundedExtremes::new(Extreme::Max, 2);
+        for v in [5.0, 1.0, 4.0] {
+            b.insert(v);
+        }
+        assert_eq!(b.head(), Some(5.0));
+        let kept: Vec<f64> = b.iter().collect();
+        assert_eq!(kept, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn delete_tracked_value_updates_head() {
+        let mut b = BoundedExtremes::new(Extreme::Min, 3);
+        for v in [1.0, 2.0, 3.0] {
+            b.insert(v);
+        }
+        b.delete(1.0);
+        assert_eq!(b.head(), Some(2.0));
+        assert!(!b.is_outer_approximation());
+    }
+
+    #[test]
+    fn delete_untracked_value_is_ignored() {
+        let mut b = BoundedExtremes::new(Extreme::Min, 2);
+        for v in [1.0, 2.0, 9.0] {
+            b.insert(v); // 9.0 evicted
+        }
+        b.delete(9.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.head(), Some(1.0));
+    }
+
+    #[test]
+    fn last_value_is_pinned_and_flagged() {
+        let mut b = BoundedExtremes::new(Extreme::Min, 4);
+        b.insert(7.0);
+        b.delete(7.0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.head(), Some(7.0));
+        assert!(b.is_outer_approximation());
+    }
+
+    #[test]
+    fn duplicates_have_multiplicity() {
+        let mut b = BoundedExtremes::new(Extreme::Min, 5);
+        for _ in 0..3 {
+            b.insert(2.0);
+        }
+        b.delete(2.0);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.head(), Some(2.0));
+    }
+
+    #[test]
+    fn rebuild_clears_degradation() {
+        let mut b = BoundedExtremes::new(Extreme::Max, 2);
+        for v in [1.0, 2.0, 3.0] {
+            b.insert(v);
+        }
+        b.delete(3.0);
+        b.delete(2.0); // pinned at one value
+        assert!(b.is_outer_approximation());
+        b.rebuild([4.0, 5.0]);
+        assert!(b.is_exact());
+        assert_eq!(b.head(), Some(5.0));
+    }
+
+    #[test]
+    fn tracker_min_max_agree_with_bruteforce() {
+        let mut t = MinMaxTracker::new(8);
+        let values = [3.0, -1.0, 7.5, 0.0, 2.0];
+        for v in values {
+            t.insert(v);
+        }
+        assert_eq!(t.min(), Some(-1.0));
+        assert_eq!(t.max(), Some(7.5));
+        t.delete(-1.0);
+        assert_eq!(t.min(), Some(0.0));
+        t.delete(7.5);
+        assert_eq!(t.max(), Some(3.0));
+        assert!(!t.is_outer_approximation());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        BoundedExtremes::new(Extreme::Min, 0);
+    }
+}

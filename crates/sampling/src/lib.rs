@@ -1,0 +1,17 @@
+//! # janus-sampling
+//!
+//! Sampling substrates for JanusAQP (§4.2, Appendix B of the paper):
+//!
+//! * [`reservoir::DynamicReservoir`] — the pooled reservoir sample of the
+//!   DPT: a uniform sample maintained under insertions *and* deletions using
+//!   the AQUA-style variant of reservoir sampling (Gibbons–Matias–Poosala),
+//!   with the paper's `m <= |S| <= 2m` size envelope and the
+//!   "re-sample from archive when the floor is hit" protocol;
+//! * [`stratified`] — proportional-allocation mathematics: the Appendix B
+//!   sufficiency check for virtual strata, and equal-depth boundary
+//!   computation used by the SRS baseline.
+
+pub mod reservoir;
+pub mod stratified;
+
+pub use reservoir::{DeleteOutcome, DynamicReservoir, InsertOutcome};

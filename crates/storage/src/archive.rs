@@ -1,0 +1,194 @@
+//! The archival (cold) store of §2.1.
+//!
+//! JanusAQP assumes "sufficient cold/archival storage to store the current
+//! state of the table", accessible *offline* — for initialization,
+//! re-sampling after reservoir exhaustion (§4.2), and the catch-up phase
+//! (§4.3) — but never touched while answering queries. This store mirrors
+//! the live table under insertions/deletions with O(1) updates and supports
+//! the two uniform-sampling primitives those offline phases need.
+
+use janus_common::{Row, RowId};
+use rand::rngs::SmallRng;
+use rand::{seq::index::sample as index_sample, Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Full-table cold storage with O(1) insert/delete and uniform sampling.
+#[derive(Default)]
+pub struct ArchiveStore {
+    rows: Vec<Row>,
+    index_of: HashMap<RowId, usize>,
+}
+
+impl ArchiveStore {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an archive from initial rows.
+    pub fn from_rows(rows: impl IntoIterator<Item = Row>) -> Self {
+        let mut a = Self::new();
+        for r in rows {
+            a.insert(r);
+        }
+        a
+    }
+
+    /// Current table size `|D|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row. Returns `false` (and ignores the row) if the id is
+    /// already present.
+    pub fn insert(&mut self, row: Row) -> bool {
+        if self.index_of.contains_key(&row.id) {
+            return false;
+        }
+        self.index_of.insert(row.id, self.rows.len());
+        self.rows.push(row);
+        true
+    }
+
+    /// Deletes a row by id, returning it if it existed.
+    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+        let at = self.index_of.remove(&id)?;
+        let row = self.rows.swap_remove(at);
+        if at < self.rows.len() {
+            self.index_of.insert(self.rows[at].id, at);
+        }
+        Some(row)
+    }
+
+    /// Borrows a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.index_of.get(&id).map(|&i| &self.rows[i])
+    }
+
+    /// True if the id is live.
+    pub fn contains(&self, id: RowId) -> bool {
+        self.index_of.contains_key(&id)
+    }
+
+    /// Iterates over all live rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+
+    /// Uniform sample of `n` *distinct* rows (fewer if the table is
+    /// smaller). Used to reset the pooled reservoir (§4.2 / §4.3 step 4).
+    pub fn sample_distinct(&self, n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = n.min(self.rows.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        index_sample(&mut rng, self.rows.len(), n)
+            .into_iter()
+            .map(|i| self.rows[i].clone())
+            .collect()
+    }
+
+    /// Uniform sample of `n` rows *with replacement* (the catch-up stream of
+    /// §4.3 step 5: "random samples of historical data ... propagated in a
+    /// random order").
+    pub fn sample_with_replacement(&self, n: usize, seed: u64) -> Vec<Row> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if self.rows.is_empty() {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|_| self.rows[rng.gen_range(0..self.rows.len())].clone())
+            .collect()
+    }
+
+    /// A uniformly shuffled copy of all live rows — the randomized catch-up
+    /// order over the full table used when the catch-up ratio is large.
+    pub fn shuffled(&self, seed: u64) -> Vec<Row> {
+        use rand::seq::SliceRandom;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rows = self.rows.clone();
+        rows.shuffle(&mut rng);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u64) -> Row {
+        Row::new(id, vec![id as f64, (id * 2) as f64])
+    }
+
+    #[test]
+    fn insert_get_delete_round_trip() {
+        let mut a = ArchiveStore::new();
+        assert!(a.insert(row(1)));
+        assert!(a.insert(row(2)));
+        assert!(!a.insert(row(1)), "duplicate id rejected");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(1).unwrap().values[1], 2.0);
+        let deleted = a.delete(1).unwrap();
+        assert_eq!(deleted.id, 1);
+        assert!(a.delete(1).is_none());
+        assert!(!a.contains(1));
+        assert!(a.contains(2));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_lookup_consistent() {
+        let mut a = ArchiveStore::from_rows((0..100).map(row));
+        for id in [0u64, 50, 99, 3, 97] {
+            a.delete(id);
+        }
+        assert_eq!(a.len(), 95);
+        for r in a.iter() {
+            assert_eq!(a.get(r.id).unwrap().id, r.id);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates_and_is_clamped() {
+        let a = ArchiveStore::from_rows((0..50).map(row));
+        let s = a.sample_distinct(20, 7);
+        assert_eq!(s.len(), 20);
+        let mut ids: Vec<u64> = s.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        assert_eq!(a.sample_distinct(500, 7).len(), 50);
+        assert!(ArchiveStore::new().sample_distinct(5, 7).is_empty());
+    }
+
+    #[test]
+    fn sample_with_replacement_has_requested_size() {
+        let a = ArchiveStore::from_rows((0..10).map(row));
+        assert_eq!(a.sample_with_replacement(100, 3).len(), 100);
+        assert!(ArchiveStore::new().sample_with_replacement(5, 3).is_empty());
+    }
+
+    #[test]
+    fn shuffled_is_a_permutation() {
+        let a = ArchiveStore::from_rows((0..30).map(row));
+        let mut s: Vec<u64> = a.shuffled(11).iter().map(|r| r.id).collect();
+        s.sort_unstable();
+        assert_eq!(s, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = ArchiveStore::from_rows((0..100).map(row));
+        let s1: Vec<u64> = a.sample_distinct(10, 42).iter().map(|r| r.id).collect();
+        let s2: Vec<u64> = a.sample_distinct(10, 42).iter().map(|r| r.id).collect();
+        let s3: Vec<u64> = a.sample_distinct(10, 43).iter().map(|r| r.id).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+}

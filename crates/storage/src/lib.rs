@@ -1,0 +1,26 @@
+//! # janus-storage
+//!
+//! Storage substrate for JanusAQP. The paper implements JanusAQP on Apache
+//! Kafka (§3.2, Appendix A); this crate reproduces the abstractions the
+//! system actually depends on, in-process:
+//!
+//! * [`streamlog`] — append-only topic logs with offset-based batched
+//!   `poll()` access and *no random access to individual records without a
+//!   poll*, exactly the constraint that makes sampling from Kafka
+//!   non-trivial (Appendix A). The three topics of §3.2 —
+//!   `insert(tuple)`, `delete(tuple)`, `execute(query)` — are modeled by
+//!   [`streamlog::RequestLog`].
+//! * [`archive`] — the cold/archival store of §2.1: holds the full current
+//!   table state, accessible offline for initialization, re-sampling, and
+//!   catch-up, but never consulted at query time.
+//! * [`samplers`] — the singleton and sequential stream samplers of
+//!   Appendix A, with a configurable poll cost model so Table 4's
+//!   poll-size trade-off reproduces in simulation.
+
+pub mod archive;
+pub mod samplers;
+pub mod streamlog;
+
+pub use archive::ArchiveStore;
+pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
+pub use streamlog::{Request, RequestLog, TopicLog};

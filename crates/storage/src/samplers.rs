@@ -1,0 +1,263 @@
+//! Singleton and sequential samplers over a topic log (Appendix A).
+//!
+//! Kafka offers no random access to individual records: a consumer polls a
+//! batch at an offset. Appendix A therefore proposes two unbiased samplers:
+//!
+//! * the **singleton sampler** polls *one* record at a uniformly random
+//!   offset per draw — minimal transfer, maximal per-poll overhead, and the
+//!   sample is available incrementally;
+//! * the **sequential sampler** scans the whole topic in batches of
+//!   `poll_size`, keeping a proportional random subset of each batch —
+//!   amortized per-poll overhead, but the full dataset is transferred and
+//!   the sample only completes at the end of the scan.
+//!
+//! An in-process log has neither network latency nor broker overhead, so
+//! each run also reports a *simulated* cost from a [`PollCostModel`]
+//! calibrated to the paper's Table 4 measurements; the real (in-process)
+//! wall time is reported alongside.
+
+use crate::streamlog::TopicLog;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Simulated Kafka cost: fixed per-poll overhead plus per-record transfer
+/// and decode cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PollCostModel {
+    /// Fixed cost per `poll()` round trip, in nanoseconds.
+    pub per_poll_nanos: f64,
+    /// Transfer + decode cost per record, in nanoseconds.
+    pub per_record_nanos: f64,
+}
+
+impl PollCostModel {
+    /// Calibrated against Table 4 of the paper: 1M singleton polls cost
+    /// ~19s (≈19µs per poll), while a full 3M-record sequential scan at
+    /// pollSize 10000 costs ~1.4s (≈ 1.3µs amortized per record, of which
+    /// ~14µs is per-poll overhead).
+    pub const KAFKA_LIKE: PollCostModel = PollCostModel {
+        per_poll_nanos: 17_500.0,
+        per_record_nanos: 1_300.0,
+    };
+
+    /// Simulated cost of `polls` round trips transferring `records` records.
+    pub fn cost_nanos(&self, polls: u64, records: u64) -> f64 {
+        self.per_poll_nanos * polls as f64 + self.per_record_nanos * records as f64
+    }
+}
+
+/// Outcome of a sampling run.
+#[derive(Debug)]
+pub struct SampleRun<T> {
+    /// The collected sample.
+    pub sample: Vec<T>,
+    /// Number of `poll()` calls issued.
+    pub polls: u64,
+    /// Number of records transferred (polled), including discarded ones.
+    pub records_transferred: u64,
+    /// Simulated broker cost under the configured [`PollCostModel`].
+    pub simulated_cost_nanos: f64,
+    /// Actual in-process wall time, in nanoseconds.
+    pub wall_nanos: u128,
+}
+
+impl<T> SampleRun<T> {
+    /// Simulated total milliseconds (the `total(ms)` column of Table 4).
+    pub fn simulated_ms(&self) -> f64 {
+        self.simulated_cost_nanos / 1e6
+    }
+
+    /// Simulated milliseconds per poll (the `ms/poll` column of Table 4).
+    pub fn simulated_ms_per_poll(&self) -> f64 {
+        if self.polls == 0 {
+            0.0
+        } else {
+            self.simulated_ms() / self.polls as f64
+        }
+    }
+}
+
+/// Polls one record at a uniformly random offset per draw.
+pub struct SingletonSampler {
+    cost: PollCostModel,
+    rng: SmallRng,
+}
+
+impl SingletonSampler {
+    /// Creates a singleton sampler.
+    pub fn new(cost: PollCostModel, seed: u64) -> Self {
+        SingletonSampler { cost, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Draws `n` records uniformly (with replacement across draws, as each
+    /// poll is independent). Returns an empty run on an empty topic.
+    pub fn sample<T: Clone>(&mut self, topic: &TopicLog<T>, n: usize) -> SampleRun<T> {
+        let start = Instant::now();
+        let len = topic.len();
+        let mut sample = Vec::with_capacity(n);
+        let mut polls = 0u64;
+        if len > 0 {
+            for _ in 0..n {
+                let offset = self.rng.gen_range(0..len) as u64;
+                let batch = topic.poll(offset, 1);
+                polls += 1;
+                sample.extend(batch);
+            }
+        }
+        let records = sample.len() as u64;
+        SampleRun {
+            simulated_cost_nanos: self.cost.cost_nanos(polls, records),
+            sample,
+            polls,
+            records_transferred: records,
+            wall_nanos: start.elapsed().as_nanos(),
+        }
+    }
+}
+
+/// Scans the whole topic in fixed-size polls, keeping a proportional random
+/// subset of each batch.
+pub struct SequentialSampler {
+    cost: PollCostModel,
+    poll_size: usize,
+    rng: SmallRng,
+}
+
+impl SequentialSampler {
+    /// Creates a sequential sampler with the given batch size.
+    ///
+    /// # Panics
+    /// Panics if `poll_size == 0`.
+    pub fn new(cost: PollCostModel, poll_size: usize, seed: u64) -> Self {
+        assert!(poll_size > 0, "poll size must be positive");
+        SequentialSampler { cost, poll_size, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Collects approximately `n` records by scanning the full topic and
+    /// keeping each record independently with probability `n / len`.
+    pub fn sample<T: Clone>(&mut self, topic: &TopicLog<T>, n: usize) -> SampleRun<T> {
+        let start = Instant::now();
+        let len = topic.len();
+        let keep_p = if len == 0 { 0.0 } else { (n as f64 / len as f64).min(1.0) };
+        let mut sample = Vec::with_capacity(n + n / 8 + 4);
+        let mut polls = 0u64;
+        let mut transferred = 0u64;
+        let mut offset = 0u64;
+        while (offset as usize) < len {
+            let batch = topic.poll(offset, self.poll_size);
+            polls += 1;
+            transferred += batch.len() as u64;
+            offset += batch.len() as u64;
+            for record in batch {
+                if self.rng.gen::<f64>() < keep_p {
+                    sample.push(record);
+                }
+            }
+        }
+        SampleRun {
+            simulated_cost_nanos: self.cost.cost_nanos(polls, transferred),
+            sample,
+            polls,
+            records_transferred: transferred,
+            wall_nanos: start.elapsed().as_nanos(),
+        }
+    }
+}
+
+/// The break-even sample rate of Table 4: the sample rate above which a
+/// sequential scan is cheaper than per-draw singleton polls, given a topic
+/// of `len` records (`EquivSingletonSR` column).
+pub fn equivalent_singleton_rate(cost: &PollCostModel, len: usize, poll_size: usize) -> f64 {
+    if len == 0 {
+        return 0.0;
+    }
+    let polls = len.div_ceil(poll_size) as u64;
+    let sequential_total = cost.cost_nanos(polls, len as u64);
+    let singleton_per_draw = cost.cost_nanos(1, 1);
+    (sequential_total / singleton_per_draw / len as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(n: usize) -> TopicLog<u64> {
+        let t = TopicLog::new();
+        t.append_batch(0..n as u64);
+        t
+    }
+
+    #[test]
+    fn singleton_sampler_draws_requested_count() {
+        let t = topic(1000);
+        let mut s = SingletonSampler::new(PollCostModel::KAFKA_LIKE, 5);
+        let run = s.sample(&t, 100);
+        assert_eq!(run.sample.len(), 100);
+        assert_eq!(run.polls, 100);
+        assert_eq!(run.records_transferred, 100);
+        assert!(run.sample.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn singleton_on_empty_topic_is_empty() {
+        let t = topic(0);
+        let mut s = SingletonSampler::new(PollCostModel::KAFKA_LIKE, 5);
+        let run = s.sample(&t, 10);
+        assert!(run.sample.is_empty());
+        assert_eq!(run.polls, 0);
+    }
+
+    #[test]
+    fn sequential_sampler_scans_everything_once() {
+        let t = topic(1000);
+        let mut s = SequentialSampler::new(PollCostModel::KAFKA_LIKE, 64, 5);
+        let run = s.sample(&t, 100);
+        assert_eq!(run.records_transferred, 1000);
+        assert_eq!(run.polls, 1000u64.div_ceil(64));
+        // Binomial(1000, 0.1): extremely unlikely to fall outside [40, 180].
+        assert!(run.sample.len() > 40 && run.sample.len() < 180, "{}", run.sample.len());
+    }
+
+    #[test]
+    fn sequential_is_approximately_uniform() {
+        let t = topic(2000);
+        let mut counts = vec![0u32; 2000];
+        for seed in 0..200 {
+            let mut s = SequentialSampler::new(PollCostModel::KAFKA_LIKE, 128, seed);
+            for v in s.sample(&t, 200).sample {
+                counts[v as usize] += 1;
+            }
+        }
+        // Expected hits per record: 200 runs * 0.1 = 20.
+        let avg: f64 = counts.iter().map(|&c| c as f64).sum::<f64>() / 2000.0;
+        assert!((avg - 20.0).abs() < 2.0, "avg {avg}");
+        assert!(counts.iter().all(|&c| c < 60));
+    }
+
+    #[test]
+    fn cost_model_favors_big_polls_for_full_scans() {
+        let model = PollCostModel::KAFKA_LIKE;
+        let t = topic(100_000);
+        let mut small = SequentialSampler::new(model, 10, 1);
+        let mut large = SequentialSampler::new(model, 10_000, 1);
+        let run_small = small.sample(&t, 1000);
+        let run_large = large.sample(&t, 1000);
+        assert!(run_small.simulated_cost_nanos > run_large.simulated_cost_nanos);
+        // Singleton is cheapest for tiny samples.
+        let mut singleton = SingletonSampler::new(model, 1);
+        let run_single = singleton.sample(&t, 1000);
+        assert!(run_single.simulated_cost_nanos < run_large.simulated_cost_nanos);
+    }
+
+    #[test]
+    fn equivalent_rate_matches_table4_shape() {
+        let model = PollCostModel::KAFKA_LIKE;
+        // Larger poll sizes lower the break-even rate, flattening out.
+        let r10 = equivalent_singleton_rate(&model, 1_000_000, 10);
+        let r100 = equivalent_singleton_rate(&model, 1_000_000, 100);
+        let r10000 = equivalent_singleton_rate(&model, 1_000_000, 10_000);
+        assert!(r10 > r100 && r100 > r10000);
+        assert!(r10000 > 0.0 && r10 < 1.0);
+    }
+}

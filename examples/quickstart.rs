@@ -1,0 +1,71 @@
+//! Quickstart: build a JanusAQP synopsis over a synthetic sensor table,
+//! stream updates through it, and compare approximate answers (with
+//! confidence intervals) against ground truth.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use janus::prelude::*;
+
+fn main() {
+    // 1. Generate 100k rows of Intel-Wireless-like sensor data.
+    let dataset = intel_wireless(100_000, 7);
+    let time = dataset.col("time");
+    let light = dataset.col("light");
+    println!("dataset: {} rows, {} columns", dataset.len(), dataset.schema.arity());
+
+    // 2. Configure a synopsis for `SELECT SUM(light) WHERE time IN [a, b]`:
+    //    128 leaf partitions, a 1% pooled sample, 10% catch-up.
+    let template = QueryTemplate::new(AggregateFunction::Sum, light, vec![time]);
+    let config = SynopsisConfig::paper_default(template.clone(), 42);
+
+    // 3. Bootstrap on the first 80% of data; the rest arrives as a stream.
+    let split = dataset.len() * 8 / 10;
+    let (initial, arriving) = dataset.rows.split_at(split);
+    let t0 = std::time::Instant::now();
+    let mut engine = JanusEngine::bootstrap(config, initial.to_vec()).expect("bootstrap");
+    println!(
+        "bootstrapped in {:?}: {} leaves, {} pooled samples",
+        t0.elapsed(),
+        engine.dpt().leaf_indices().len(),
+        engine.reservoir().len()
+    );
+
+    // 4. Stream the remaining rows (plus a few out-of-band deletions).
+    let t0 = std::time::Instant::now();
+    for row in arriving {
+        engine.insert(row.clone()).expect("insert");
+    }
+    for id in (0..5_000u64).step_by(50) {
+        engine.delete(id).expect("delete");
+    }
+    let updates = arriving.len() + 100;
+    println!(
+        "applied {updates} updates in {:?} ({:.0} updates/s)",
+        t0.elapsed(),
+        updates as f64 / t0.elapsed().as_secs_f64()
+    );
+
+    // 5. Ask queries and compare with exact answers.
+    let workload = QueryWorkload::generate_over_rows(
+        initial,
+        &WorkloadSpec::paper_default(template, 1),
+    );
+    println!("\n{:<12} {:>14} {:>14} {:>10} {:>12}", "width", "estimate", "truth", "rel.err", "±95% CI");
+    for q in workload.queries.iter().take(8) {
+        let est = engine.query(q).expect("query").expect("non-empty");
+        let truth = engine.evaluate_exact(q).expect("ground truth");
+        println!(
+            "[{:>7.0}s] {:>14.1} {:>14.1} {:>9.3}% {:>12.1}",
+            q.range.hi()[0] - q.range.lo()[0],
+            est.value,
+            truth,
+            est.relative_error(truth) * 100.0,
+            est.ci_half_width(Z_95),
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "\nengine stats: {} inserts, {} deletes, {} queries, {} repartitions",
+        stats.inserts, stats.deletes, stats.queries, stats.repartitions
+    );
+}

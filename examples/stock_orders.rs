@@ -1,0 +1,90 @@
+//! The paper's motivating scenario (§1): a low-latency approximate SQL
+//! interface over a highly dynamic stock-order stream — a large volume of
+//! new orders plus a small but significant number of cancellations.
+//!
+//! Uses the NASDAQ-ETF-like generator, treats `volume` as the predicate
+//! attribute and `close` as the aggregate, streams inserts with ~4% of
+//! orders later canceled (deleted), and reports accuracy plus the
+//! re-optimization activity JanusAQP performs along the way.
+//!
+//! Run with: `cargo run --release --example stock_orders`
+
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let dataset = nasdaq_etf(150_000, 11);
+    let volume = dataset.col("volume");
+    let close = dataset.col("close");
+
+    let template = QueryTemplate::new(AggregateFunction::Avg, close, vec![volume]);
+    let mut config = SynopsisConfig::paper_default(template.clone(), 2024);
+    config.trigger_check_interval = 1_024;
+
+    // Day one: 30% of the order book exists.
+    let split = dataset.len() * 3 / 10;
+    let (initial, arriving) = dataset.rows.split_at(split);
+    let mut engine = JanusEngine::bootstrap(config, initial.to_vec()).expect("bootstrap");
+
+    // Trading hours: orders arrive continuously; ~4% of live orders cancel.
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut live: Vec<u64> = initial.iter().map(|r| r.id).collect();
+    let t0 = std::time::Instant::now();
+    for row in arriving {
+        live.push(row.id);
+        engine.insert(row.clone()).expect("insert");
+        if rng.gen_bool(0.04) {
+            let at = rng.gen_range(0..live.len());
+            let victim = live.swap_remove(at);
+            engine.delete(victim).expect("cancel order");
+        }
+    }
+    println!(
+        "processed {} orders (+cancellations) in {:?} ({:.0} req/s)",
+        arriving.len(),
+        t0.elapsed(),
+        engine.stats().inserts as f64 / t0.elapsed().as_secs_f64()
+    );
+
+    // Analyst dashboard: AVG close price by traded-volume band.
+    let bands = [
+        (0.0, 5e3, "illiquid"),
+        (5e3, 5e4, "thin"),
+        (5e4, 5e5, "active"),
+        (5e5, 5e8, "heavy"),
+    ];
+    println!("\n{:<10} {:>12} {:>12} {:>10} {:>10}", "band", "AVG(close)", "truth", "rel.err", "latency");
+    for (lo, hi, name) in bands {
+        let q = Query::new(
+            AggregateFunction::Avg,
+            close,
+            vec![volume],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap();
+        let t = std::time::Instant::now();
+        let est = engine.query(&q).expect("query");
+        let latency = t.elapsed();
+        match est {
+            Some(est) => {
+                let truth = engine.evaluate_exact(&q).unwrap();
+                println!(
+                    "{:<10} {:>12.3} {:>12.3} {:>9.2}% {:>9.1?}",
+                    name,
+                    est.value,
+                    truth,
+                    est.relative_error(truth) * 100.0,
+                    latency
+                );
+            }
+            None => println!("{name:<10} (no matching orders)"),
+        }
+    }
+
+    let s = engine.stats();
+    println!(
+        "\nre-optimizations: {} full, {} partial, {} rejected; reservoir resamples: {}",
+        s.repartitions, s.partial_repartitions, s.rejected_repartitions, s.resamples
+    );
+}

@@ -1,0 +1,82 @@
+//! A city-operations dashboard over the NYC-Taxi-like stream, demonstrating
+//! the re-partitioning machinery of §6.8: trips arrive *sorted by pickup
+//! time*, so new insertions always hit the right edge of the partitioning.
+//! A static DPT degrades; JanusAQP detects the drift and re-partitions.
+//!
+//! Run with: `cargo run --release --example taxi_dashboard`
+
+use janus::baselines::dpt_only;
+use janus::prelude::*;
+
+fn p95(mut errors: Vec<f64>) -> f64 {
+    errors.sort_by(|a, b| a.total_cmp(b));
+    if errors.is_empty() {
+        return f64::NAN;
+    }
+    errors[((errors.len() as f64 * 0.95) as usize).min(errors.len() - 1)]
+}
+
+fn main() {
+    let dataset = nyc_taxi(120_000, 5);
+    let pickup = dataset.col("pickup_time");
+    let distance = dataset.col("trip_distance");
+
+    let template = QueryTemplate::new(AggregateFunction::Sum, distance, vec![pickup]);
+    let mut config = SynopsisConfig::paper_default(template.clone(), 77);
+    config.trigger_check_interval = 2_048;
+
+    // Bootstrap both systems on the first 10% (time-ordered!).
+    let tenth = dataset.len() / 10;
+    let initial = dataset.rows[..tenth].to_vec();
+    let mut janus = JanusEngine::bootstrap(config.clone(), initial.clone()).expect("janus");
+    let mut static_dpt = dpt_only::bootstrap(config, initial).expect("dpt-only");
+
+    println!(
+        "{:>9} {:>16} {:>16} {:>8} {:>9}",
+        "progress", "JanusAQP p95 err", "DPT-only p95 err", "reparts", "updates/s"
+    );
+    for step in 1..10 {
+        // The next 10% arrives, sorted by pickup time (skewed inserts).
+        let chunk = &dataset.rows[step * tenth..(step + 1) * tenth];
+        let t0 = std::time::Instant::now();
+        for row in chunk {
+            janus.insert(row.clone()).expect("insert");
+            static_dpt.insert(row.clone()).expect("insert");
+        }
+        let rate = chunk.len() as f64 / t0.elapsed().as_secs_f64();
+        // JanusAQP additionally re-initializes periodically (§6.8 protocol).
+        janus.reinitialize().expect("reinit");
+        janus.run_catchup_to_goal();
+
+        // Evaluate a fresh workload over everything seen so far.
+        let seen = &dataset.rows[..(step + 1) * tenth];
+        let spec = WorkloadSpec {
+            template: template.clone(),
+            count: 200,
+            min_width_fraction: 0.02,
+            seed: step as u64, domain_quantile: 1.0 };
+        let workload = QueryWorkload::generate_over_rows(seen, &spec);
+        let mut err_janus = Vec::new();
+        let mut err_static = Vec::new();
+        for q in &workload.queries {
+            let Some(truth) = janus.evaluate_exact(q) else { continue };
+            if truth.abs() < 1e-9 {
+                continue;
+            }
+            if let Ok(Some(e)) = janus.query(q) {
+                err_janus.push(e.relative_error(truth));
+            }
+            if let Ok(Some(e)) = static_dpt.query(q) {
+                err_static.push(e.relative_error(truth));
+            }
+        }
+        println!(
+            "{:>8}% {:>15.2}% {:>15.2}% {:>8} {:>9.0}",
+            (step + 1) * 10,
+            p95(err_janus) * 100.0,
+            p95(err_static) * 100.0,
+            janus.stats().repartitions,
+            rate
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Dynamic behaviour: estimates must track the truth through sustained
+//! insert/delete churn, reservoir exhaustion, and the multi-threaded batch
+//! path.
+
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn engine_over(rows: Vec<Row>, seed: u64) -> JanusEngine {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut config = SynopsisConfig::paper_default(template, seed);
+    config.leaf_count = 32;
+    config.sample_rate = 0.03;
+    config.catchup_ratio = 0.3;
+    JanusEngine::bootstrap(config, rows).unwrap()
+}
+
+fn row(id: u64, rng: &mut SmallRng) -> Row {
+    let x = rng.gen::<f64>() * 1_000.0;
+    Row::new(id, vec![x, (x / 10.0).sin().abs() * 50.0 + 1.0])
+}
+
+fn q(lo: f64, hi: f64, agg: AggregateFunction) -> Query {
+    Query::new(agg, 1, vec![0], RangePredicate::new(vec![lo], vec![hi]).unwrap()).unwrap()
+}
+
+#[test]
+fn sustained_churn_tracks_truth() {
+    let mut rng = SmallRng::seed_from_u64(10);
+    let initial: Vec<Row> = (0..10_000).map(|i| row(i, &mut rng)).collect();
+    let mut engine = engine_over(initial, 10);
+    let mut live: Vec<u64> = (0..10_000).collect();
+    let mut next = 100_000u64;
+    for step in 0..10 {
+        for _ in 0..1_000 {
+            if rng.gen_bool(0.7) {
+                engine.insert(row(next, &mut rng)).unwrap();
+                live.push(next);
+                next += 1;
+            } else {
+                let at = rng.gen_range(0..live.len());
+                engine.delete(live.swap_remove(at)).unwrap();
+            }
+        }
+        let query = q(100.0, 900.0, AggregateFunction::Sum);
+        let est = engine.query(&query).unwrap().unwrap();
+        let truth = engine.evaluate_exact(&query).unwrap();
+        assert!(
+            est.relative_error(truth) < 0.15,
+            "step {step}: est {} truth {truth}",
+            est.value
+        );
+    }
+    assert_eq!(engine.population(), live.len());
+}
+
+#[test]
+fn deletion_only_workload_survives_to_near_empty() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let initial: Vec<Row> = (0..4_000).map(|i| row(i, &mut rng)).collect();
+    let mut engine = engine_over(initial, 11);
+    for id in 0..3_900u64 {
+        engine.delete(id).unwrap();
+    }
+    assert_eq!(engine.population(), 100);
+    let query = q(0.0, 1_000.0, AggregateFunction::Count);
+    // Before re-optimization the estimate suffers catastrophic cancellation
+    // (catch-up-estimated base minus a nearly-equal exact delete delta) —
+    // the paper's motivation for deletion-triggered re-initialization
+    // (§4.3). Accuracy must still be within the base estimation noise.
+    let est = engine.query(&query).unwrap().unwrap();
+    assert!(
+        (est.value - 100.0).abs() < 250.0,
+        "count estimate {} drifted beyond base noise",
+        est.value
+    );
+    // After the §4.3 re-initialization the answer snaps back.
+    engine.reinitialize().unwrap();
+    engine.run_catchup_to_goal();
+    let est = engine.query(&query).unwrap().unwrap();
+    assert!(
+        (est.value - 100.0).abs() < 10.0,
+        "post-reinit count estimate {} for population 100",
+        est.value
+    );
+}
+
+#[test]
+fn growth_by_an_order_of_magnitude() {
+    let mut rng = SmallRng::seed_from_u64(12);
+    let initial: Vec<Row> = (0..2_000).map(|i| row(i, &mut rng)).collect();
+    let mut engine = engine_over(initial, 12);
+    for i in 0..20_000u64 {
+        engine.insert(row(50_000 + i, &mut rng)).unwrap();
+    }
+    let query = q(0.0, 1_000.0, AggregateFunction::Sum);
+    let est = engine.query(&query).unwrap().unwrap();
+    let truth = engine.evaluate_exact(&query).unwrap();
+    assert!(est.relative_error(truth) < 0.1, "est {} truth {truth}", est.value);
+}
+
+#[test]
+fn out_of_domain_inserts_are_absorbed() {
+    // Points far outside the bootstrap domain must land in the unbounded
+    // outer leaves and stay queryable.
+    let mut rng = SmallRng::seed_from_u64(13);
+    let initial: Vec<Row> = (0..3_000).map(|i| row(i, &mut rng)).collect();
+    let mut engine = engine_over(initial, 13);
+    for i in 0..500u64 {
+        engine
+            .insert(Row::new(90_000 + i, vec![1e7 + i as f64, 5.0]))
+            .unwrap();
+    }
+    let query = q(1e7 - 1.0, 2e7, AggregateFunction::Count);
+    let est = engine.query(&query).unwrap().unwrap();
+    assert!((est.value - 500.0).abs() < 150.0, "got {}", est.value);
+}
+
+#[test]
+fn parallel_batches_match_sequential_processing() {
+    let mut rng = SmallRng::seed_from_u64(14);
+    let initial: Vec<Row> = (0..5_000).map(|i| row(i, &mut rng)).collect();
+
+    let updates: Vec<Update> = (0..3_000u64)
+        .map(|i| {
+            if i % 5 == 4 {
+                Update::Delete(i)
+            } else {
+                Update::Insert(row(200_000 + i, &mut rng))
+            }
+        })
+        .collect();
+
+    let cfg_engine = |seed| {
+        let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+        let mut config = SynopsisConfig::paper_default(template, seed);
+        config.leaf_count = 32;
+        config.sample_rate = 0.03;
+        config.catchup_ratio = 0.3;
+        config.auto_repartition = false;
+        JanusEngine::bootstrap(config, initial.clone()).unwrap()
+    };
+    let mut seq = cfg_engine(15);
+    for u in updates.clone() {
+        match u {
+            Update::Insert(r) => seq.insert(r).unwrap(),
+            Update::Delete(id) => {
+                seq.delete(id).unwrap();
+            }
+        }
+    }
+    let mut par = cfg_engine(15);
+    let report = apply_batch(&mut par, updates, 8);
+    assert_eq!(report.applied, 3_000);
+
+    let query = q(0.0, 1_000.0, AggregateFunction::Sum);
+    let a = seq.query(&query).unwrap().unwrap().value;
+    let b = par.query(&query).unwrap().unwrap().value;
+    assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "seq {a} vs par {b}");
+}
+
+#[test]
+fn throughput_is_at_least_tens_of_thousands_per_second() {
+    // Debug builds are slow; this is a sanity floor, not the Fig. 5 claim.
+    let mut rng = SmallRng::seed_from_u64(16);
+    let initial: Vec<Row> = (0..5_000).map(|i| row(i, &mut rng)).collect();
+    let mut engine = engine_over(initial, 16);
+    let updates: Vec<Update> = (0..20_000u64)
+        .map(|i| Update::Insert(row(300_000 + i, &mut rng)))
+        .collect();
+    let report = apply_batch(&mut engine, updates, 4);
+    assert!(
+        report.throughput() > 10_000.0,
+        "throughput {:.0}/s",
+        report.throughput()
+    );
+}

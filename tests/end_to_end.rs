@@ -1,0 +1,179 @@
+//! End-to-end integration: bootstrap on generated datasets, answer paper
+//! style workloads, and check accuracy against the exact oracle.
+
+use janus::prelude::*;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    assert!(!v.is_empty());
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_accuracy(
+    dataset: &Dataset,
+    pred: &str,
+    agg: &str,
+    sample_rate: f64,
+    catchup: f64,
+    domain_quantile: f64,
+    tolerance: f64,
+    seed: u64,
+) {
+    let template = QueryTemplate::new(
+        AggregateFunction::Sum,
+        dataset.col(agg),
+        vec![dataset.col(pred)],
+    );
+    let mut config = SynopsisConfig::paper_default(template.clone(), seed);
+    config.leaf_count = 64;
+    config.sample_rate = sample_rate;
+    config.catchup_ratio = catchup;
+    let mut engine = JanusEngine::bootstrap(config, dataset.rows.clone()).unwrap();
+
+    let workload = QueryWorkload::generate(
+        dataset,
+        &WorkloadSpec { template, count: 120, min_width_fraction: 0.02, seed, domain_quantile },
+    );
+    let mut errors = Vec::new();
+    for q in &workload.queries {
+        let truth = engine.evaluate_exact(q).unwrap();
+        if truth.abs() < 1e-9 {
+            continue;
+        }
+        let est = engine.query(q).unwrap().unwrap();
+        errors.push(est.relative_error(truth));
+    }
+    assert!(errors.len() > 80, "too many empty queries: {}", errors.len());
+    let med = median(errors);
+    assert!(med < tolerance, "{}: median relative error {med} >= {tolerance}", dataset.name);
+}
+
+#[test]
+fn intel_wireless_sum_accuracy() {
+    let d = intel_wireless(40_000, 1);
+    run_accuracy(&d, "time", "light", 0.02, 0.2, 1.0, 0.05, 1);
+}
+
+#[test]
+fn nyc_taxi_sum_accuracy() {
+    let d = nyc_taxi(40_000, 2);
+    run_accuracy(&d, "pickup_time", "trip_distance", 0.02, 0.2, 1.0, 0.05, 2);
+}
+
+#[test]
+fn nasdaq_etf_sum_accuracy() {
+    // The heavy volume tail makes ETF the hardest dataset: the paper's
+    // Table 2 reports 2.3-5% here versus 0.2-0.7% on Intel/NYC, and the
+    // gap widens at this test's reduced scale (fewer samples land in the
+    // tail buckets), so the tolerance is proportionally looser.
+    let d = nasdaq_etf(40_000, 3);
+    // The domain is clipped at the p99.5 volume quantile: at this test's
+    // reduced N the outermost shell holds a handful of rows (at the paper's
+    // N = 4M it holds tens of thousands and needs no clipping).
+    run_accuracy(&d, "volume", "close", 0.05, 0.4, 0.995, 0.15, 3);
+}
+
+#[test]
+fn confidence_intervals_cover_the_truth() {
+    // The 95% CI should cover the ground truth for the vast majority of a
+    // random workload (CLT-based, so demand >= 80% empirically).
+    let d = intel_wireless(30_000, 4);
+    let template = QueryTemplate::new(AggregateFunction::Sum, d.col("light"), vec![d.col("time")]);
+    let mut config = SynopsisConfig::paper_default(template.clone(), 4);
+    config.leaf_count = 64;
+    config.sample_rate = 0.02;
+    config.catchup_ratio = 0.2;
+    let mut engine = JanusEngine::bootstrap(config, d.rows.clone()).unwrap();
+    let workload = QueryWorkload::generate(
+        &d,
+        &WorkloadSpec { template, count: 200, min_width_fraction: 0.02, seed: 4 , domain_quantile: 1.0 },
+    );
+    let (mut covered, mut total) = (0, 0);
+    for q in &workload.queries {
+        let truth = engine.evaluate_exact(q).unwrap();
+        if truth.abs() < 1e-9 {
+            continue;
+        }
+        let est = engine.query(q).unwrap().unwrap();
+        total += 1;
+        if (est.value - truth).abs() <= est.ci_half_width(Z_95).max(truth.abs() * 1e-6) {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / total as f64;
+    assert!(rate > 0.8, "CI coverage only {rate:.2} ({covered}/{total})");
+}
+
+#[test]
+fn all_five_aggregates_answer() {
+    let d = intel_wireless(20_000, 5);
+    let (time, light) = (d.col("time"), d.col("light"));
+    let template = QueryTemplate::new(AggregateFunction::Sum, light, vec![time]);
+    let mut config = SynopsisConfig::paper_default(template, 5);
+    config.leaf_count = 32;
+    config.sample_rate = 0.05;
+    config.catchup_ratio = 0.3;
+    let mut engine = JanusEngine::bootstrap(config, d.rows.clone()).unwrap();
+    let day = 86_400.0;
+    for agg in AggregateFunction::ALL {
+        let q = Query::new(
+            agg,
+            light,
+            vec![time],
+            RangePredicate::new(vec![0.3 * day], vec![2.3 * day]).unwrap(),
+        )
+        .unwrap();
+        let est = engine.query(&q).unwrap().expect("non-empty selection");
+        let truth = engine.evaluate_exact(&q).unwrap();
+        match agg {
+            // Under a catch-up (sampled) base, extremum estimates are inner
+            // approximations: never beyond the true extremum, and close to
+            // it because the night floor keeps many near-minimal values.
+            AggregateFunction::Min => assert!(
+                est.value >= truth - 1e-9 && est.value <= truth + 5.0,
+                "{agg}: est {} truth {truth}",
+                est.value
+            ),
+            AggregateFunction::Max => assert!(
+                est.value <= truth + 1e-9 && est.value >= truth * 0.5,
+                "{agg}: est {} truth {truth}",
+                est.value
+            ),
+            _ => {
+                assert!(
+                    est.relative_error(truth) < 0.1,
+                    "{agg}: est {} truth {truth}",
+                    est.value
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn five_dimensional_template_works() {
+    let d = nasdaq_etf(30_000, 6);
+    let cols = ["date", "open", "close", "high", "low"].map(|c| d.col(c));
+    let template = QueryTemplate::new(AggregateFunction::Sum, d.col("volume"), cols.to_vec());
+    let mut config = SynopsisConfig::paper_default(template.clone(), 6);
+    config.leaf_count = 64;
+    config.sample_rate = 0.05;
+    config.catchup_ratio = 0.3;
+    let mut engine = JanusEngine::bootstrap(config, d.rows.clone()).unwrap();
+    let workload = QueryWorkload::generate(
+        &d,
+        &WorkloadSpec { template, count: 60, min_width_fraction: 0.3, seed: 6 , domain_quantile: 1.0 },
+    );
+    let mut errors = Vec::new();
+    for q in &workload.queries {
+        let truth = engine.evaluate_exact(q).unwrap();
+        if truth.abs() < 1e-9 {
+            continue;
+        }
+        let est = engine.query(q).unwrap().unwrap();
+        errors.push(est.relative_error(truth));
+    }
+    assert!(!errors.is_empty());
+    assert!(median(errors) < 0.4, "5-D queries are more selective but must stay bounded");
+}
