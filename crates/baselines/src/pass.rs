@@ -6,9 +6,7 @@
 //! accuracy reference for static data (Table 3) and the ancestor JanusAQP
 //! extends.
 
-use janus_common::{
-    DetHashMap, Estimate, Query, Result, Row, RowId,
-};
+use janus_common::{DetHashMap, Estimate, Query, Result, Row, RowId};
 use janus_core::maxvar::MaxVarianceIndex;
 use janus_core::partition::{Partitioner, PartitionerKind};
 use janus_core::tree::{Dpt, SampleSource};
@@ -44,7 +42,11 @@ impl PassSynopsis {
         let n = archive.len();
         let m = ((config.sample_rate * n as f64).ceil() as usize).max(16);
         let sample_rows = archive.sample_distinct(2 * m, config.seed ^ 0x9a55);
-        let alpha = if n == 0 { 1.0 } else { (sample_rows.len() as f64 / n as f64).clamp(1e-9, 1.0) };
+        let alpha = if n == 0 {
+            1.0
+        } else {
+            (sample_rows.len() as f64 / n as f64).clamp(1e-9, 1.0)
+        };
         let points: Vec<IndexPoint> = sample_rows
             .iter()
             .map(|r| {
@@ -57,7 +59,10 @@ impl PassSynopsis {
             .collect();
         let maxvar =
             MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
-        let partitioner = Partitioner { kind, rho: config.rho };
+        let partitioner = Partitioner {
+            kind,
+            rho: config.rho,
+        };
         let outcome = partitioner.compute(&maxvar, config.leaf_count)?;
         let partition_time = outcome.elapsed;
         let mut dpt = Dpt::build(
@@ -75,7 +80,11 @@ impl PassSynopsis {
             dpt.assign_sample(row.id, &point);
             samples.0.insert(row.id, row);
         }
-        Ok(PassSynopsis { dpt, samples, partition_time })
+        Ok(PassSynopsis {
+            dpt,
+            samples,
+            partition_time,
+        })
     }
 
     /// Number of leaves actually produced.
@@ -145,19 +154,19 @@ mod tests {
         let query = q(13.0, 77.5);
         let est = pass.query(&query).unwrap().unwrap();
         let truth = query.evaluate_exact(&data).unwrap();
-        assert!((est.value - truth).abs() / truth < 0.1, "est {} truth {truth}", est.value);
+        assert!(
+            (est.value - truth).abs() / truth < 0.1,
+            "est {} truth {truth}",
+            est.value
+        );
     }
 
     #[test]
     fn dp_and_bs_partitioners_both_work() {
         let data = rows(5_000, 3);
         let bs = PassSynopsis::build(&config(3), PartitionerKind::BinarySearch1d, &data).unwrap();
-        let dp = PassSynopsis::build(
-            &config(3),
-            PartitionerKind::Dp1d { candidates: 200 },
-            &data,
-        )
-        .unwrap();
+        let dp = PassSynopsis::build(&config(3), PartitionerKind::Dp1d { candidates: 200 }, &data)
+            .unwrap();
         assert!(bs.leaf_count() >= 2 && dp.leaf_count() >= 2);
         let query = q(25.0, 60.0);
         let truth = query.evaluate_exact(&data).unwrap();

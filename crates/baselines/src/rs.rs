@@ -29,7 +29,12 @@ impl ReservoirBaseline {
         let m = ((rate * archive.len() as f64).ceil() as usize).max(8);
         let mut reservoir = DynamicReservoir::with_m(m, seed ^ 0x25);
         reservoir.reset(archive.sample_distinct(2 * m, seed ^ 0x52));
-        Ok(ReservoirBaseline { archive, reservoir, seed, seed_counter: 1 })
+        Ok(ReservoirBaseline {
+            archive,
+            reservoir,
+            seed,
+            seed_counter: 1,
+        })
     }
 
     fn next_seed(&mut self) -> u64 {
@@ -50,7 +55,10 @@ impl ReservoirBaseline {
     /// Inserts a tuple.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         if !self.archive.insert(row.clone()) {
-            return Err(JanusError::InvalidConfig(format!("duplicate row id {}", row.id)));
+            return Err(JanusError::InvalidConfig(format!(
+                "duplicate row id {}",
+                row.id
+            )));
         }
         match self.reservoir.offer(row, self.archive.len()) {
             InsertOutcome::Added | InsertOutcome::Replaced { .. } | InsertOutcome::Skipped => {}

@@ -83,7 +83,12 @@ impl Histogram {
         if hi <= lo {
             hi = lo + 1.0;
         }
-        let mut h = Histogram { lo, hi, counts: vec![0.0; bins], sums: vec![0.0; bins] };
+        let mut h = Histogram {
+            lo,
+            hi,
+            counts: vec![0.0; bins],
+            sums: vec![0.0; bins],
+        };
         for &v in values {
             h.add(v);
         }
@@ -145,9 +150,16 @@ impl Histogram {
 
 /// One SPN node.
 enum Node {
-    Sum { children: Vec<SumChild> },
-    Product { parts: Vec<Node> },
-    Leaf { scope: Vec<usize>, hists: Vec<Histogram> },
+    Sum {
+        children: Vec<SumChild>,
+    },
+    Product {
+        parts: Vec<Node>,
+    },
+    Leaf {
+        scope: Vec<usize>,
+        hists: Vec<Histogram>,
+    },
 }
 
 struct SumChild {
@@ -298,9 +310,7 @@ fn update(node: &mut Node, row: &Row, sign: f64) {
             // Route to the nearest cluster center.
             let best = children
                 .iter_mut()
-                .min_by(|a, b| {
-                    dist(&a.center, row).total_cmp(&dist(&b.center, row))
-                })
+                .min_by(|a, b| dist(&a.center, row).total_cmp(&dist(&b.center, row)))
                 .expect("sum node has children");
             best.weight = (best.weight + sign).max(0.0);
             update(&mut best.node, row, sign);
@@ -358,7 +368,10 @@ fn evaluate(node: &Node, ranges: &[Option<(f64, f64)>], agg_col: usize) -> Eval 
         Node::Sum { children } => {
             let total_w: f64 = children.iter().map(|c| c.weight).sum();
             if total_w <= 0.0 {
-                return Eval { prob: 0.0, mean: None };
+                return Eval {
+                    prob: 0.0,
+                    mean: None,
+                };
             }
             let mut prob = 0.0;
             let mut weighted_mean = 0.0;
@@ -420,7 +433,10 @@ fn leaf(rows: &[&Row], scope: &[usize], config: &SpnConfig) -> Node {
             Histogram::fit(&values, config.bins)
         })
         .collect();
-    Node::Leaf { scope: scope.to_vec(), hists }
+    Node::Leaf {
+        scope: scope.to_vec(),
+        hists,
+    }
 }
 
 /// Pairwise-correlation column decomposition; `None` when the scope is one
@@ -440,7 +456,12 @@ fn independent_groups(rows: &[&Row], scope: &[usize], threshold: f64) -> Option<
         .iter()
         .enumerate()
         .map(|(i, &c)| {
-            (rows.iter().map(|r| (r.value(c) - means[i]).powi(2)).sum::<f64>() / n).sqrt()
+            (rows
+                .iter()
+                .map(|r| (r.value(c) - means[i]).powi(2))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         })
         .collect();
     // Union-find over correlated columns.
@@ -470,9 +491,9 @@ fn independent_groups(rows: &[&Row], scope: &[usize], threshold: f64) -> Option<
         }
     }
     let mut groups: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
-    for i in 0..k {
+    for (i, &col) in scope.iter().enumerate().take(k) {
         let root = find(&mut parent, i);
-        groups.entry(root).or_default().push(scope[i]);
+        groups.entry(root).or_default().push(col);
     }
     (groups.len() > 1).then(|| groups.into_values().collect())
 }
@@ -503,20 +524,38 @@ fn two_means<'a>(
             (r.value(c) - lo[c]) / w
         }
     };
-    let mut ca: Vec<f64> = scope.iter().map(|&c| norm(rows[rng.gen_range(0..rows.len())], c)).collect();
-    let mut cb: Vec<f64> = scope.iter().map(|&c| norm(rows[rng.gen_range(0..rows.len())], c)).collect();
+    let mut ca: Vec<f64> = scope
+        .iter()
+        .map(|&c| norm(rows[rng.gen_range(0..rows.len())], c))
+        .collect();
+    let mut cb: Vec<f64> = scope
+        .iter()
+        .map(|&c| norm(rows[rng.gen_range(0..rows.len())], c))
+        .collect();
     let mut assign = vec![false; rows.len()];
     for _ in 0..iters {
         for (i, r) in rows.iter().enumerate() {
-            let da: f64 = scope.iter().enumerate().map(|(j, &c)| (norm(r, c) - ca[j]).powi(2)).sum();
-            let db: f64 = scope.iter().enumerate().map(|(j, &c)| (norm(r, c) - cb[j]).powi(2)).sum();
+            let da: f64 = scope
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| (norm(r, c) - ca[j]).powi(2))
+                .sum();
+            let db: f64 = scope
+                .iter()
+                .enumerate()
+                .map(|(j, &c)| (norm(r, c) - cb[j]).powi(2))
+                .sum();
             assign[i] = db < da;
         }
         let mut sums_a = vec![0.0; scope.len()];
         let mut sums_b = vec![0.0; scope.len()];
         let (mut na, mut nb) = (0.0, 0.0);
         for (i, r) in rows.iter().enumerate() {
-            let (sums, n) = if assign[i] { (&mut sums_b, &mut nb) } else { (&mut sums_a, &mut na) };
+            let (sums, n) = if assign[i] {
+                (&mut sums_b, &mut nb)
+            } else {
+                (&mut sums_a, &mut na)
+            };
             for (j, &c) in scope.iter().enumerate() {
                 sums[j] += norm(r, c);
             }
@@ -577,8 +616,13 @@ mod tests {
     }
 
     fn q(agg: AggregateFunction, agg_col: usize, pred: usize, lo: f64, hi: f64) -> Query {
-        Query::new(agg, agg_col, vec![pred], RangePredicate::new(vec![lo], vec![hi]).unwrap())
-            .unwrap()
+        Query::new(
+            agg,
+            agg_col,
+            vec![pred],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -604,7 +648,11 @@ mod tests {
             let est = spn.query(&query).unwrap();
             let truth = query.evaluate_exact(&data).unwrap();
             let rel = (est.value - truth).abs() / truth;
-            assert!(rel < 0.15, "{agg}: est {} truth {truth} rel {rel}", est.value);
+            assert!(
+                rel < 0.15,
+                "{agg}: est {} truth {truth} rel {rel}",
+                est.value
+            );
         }
     }
 
@@ -660,7 +708,9 @@ mod tests {
     fn min_max_are_unsupported() {
         let data = rows(1_000, 6);
         let spn = MiniSpn::train(&data, data.len(), SpnConfig::default());
-        assert!(spn.query(&q(AggregateFunction::Min, 1, 0, 0.0, 10.0)).is_none());
+        assert!(spn
+            .query(&q(AggregateFunction::Min, 1, 0, 0.0, 10.0))
+            .is_none());
     }
 
     #[test]
@@ -689,6 +739,10 @@ mod tests {
         .unwrap();
         let est = spn.query(&query).unwrap();
         let truth = query.evaluate_exact(&data).unwrap();
-        assert!((est.value - truth).abs() / truth < 0.2, "est {} truth {truth}", est.value);
+        assert!(
+            (est.value - truth).abs() / truth < 0.2,
+            "est {} truth {truth}",
+            est.value
+        );
     }
 }

@@ -38,14 +38,15 @@ impl StratifiedReservoirBaseline {
             return Err(JanusError::InvalidConfig("rate must be in (0, 1]".into()));
         }
         if k < 1 {
-            return Err(JanusError::InvalidConfig("need at least one stratum".into()));
+            return Err(JanusError::InvalidConfig(
+                "need at least one stratum".into(),
+            ));
         }
         let archive = ArchiveStore::from_rows(rows);
         let mut values: Vec<f64> = archive.iter().map(|r| r.value(strat_column)).collect();
         let boundaries = equal_depth_boundaries(&mut values, k);
         let k = boundaries.len() + 1;
-        let per_stratum_m =
-            (((rate * archive.len() as f64) / k as f64).ceil() as usize).max(4);
+        let per_stratum_m = (((rate * archive.len() as f64) / k as f64).ceil() as usize).max(4);
         let mut baseline = StratifiedReservoirBaseline {
             strata: (0..k)
                 .map(|i| DynamicReservoir::with_m(per_stratum_m, seed ^ (i as u64) << 8))
@@ -95,7 +96,10 @@ impl StratifiedReservoirBaseline {
     /// Inserts a tuple.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         if !self.archive.insert(row.clone()) {
-            return Err(JanusError::InvalidConfig(format!("duplicate row id {}", row.id)));
+            return Err(JanusError::InvalidConfig(format!(
+                "duplicate row id {}",
+                row.id
+            )));
         }
         let s = self.stratum_of(&row);
         self.populations[s] += 1.0;
@@ -114,8 +118,16 @@ impl StratifiedReservoirBaseline {
         if self.strata[s].delete(id) == DeleteOutcome::NeedsResample {
             // Refill this stratum from the archive.
             let seed = self.next_seed();
-            let lo = if s == 0 { f64::NEG_INFINITY } else { self.boundaries[s - 1] };
-            let hi = if s == self.boundaries.len() { f64::INFINITY } else { self.boundaries[s] };
+            let lo = if s == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.boundaries[s - 1]
+            };
+            let hi = if s == self.boundaries.len() {
+                f64::INFINITY
+            } else {
+                self.boundaries[s]
+            };
             let col = self.strat_column;
             let candidates: Vec<Row> = self
                 .archive
@@ -170,7 +182,8 @@ impl StratifiedReservoirBaseline {
             count_est += janus_core::formulas::sum_estimate(n_i, m_i, sum_phi.count);
             match query.agg {
                 AggregateFunction::Avg => {
-                    variance += janus_core::formulas::avg_estimate_variance(n_i / n_q, m_i, &sum_phi);
+                    variance +=
+                        janus_core::formulas::avg_estimate_variance(n_i / n_q, m_i, &sum_phi);
                 }
                 _ => {
                     variance += janus_core::formulas::sum_estimate_variance(n_i, m_i, &phi);
@@ -227,7 +240,13 @@ mod tests {
     }
 
     fn q(agg: AggregateFunction, lo: f64, hi: f64) -> Query {
-        Query::new(agg, 1, vec![0], RangePredicate::new(vec![lo], vec![hi]).unwrap()).unwrap()
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -245,7 +264,11 @@ mod tests {
     #[test]
     fn stratified_estimates_beat_or_match_truth_tolerance() {
         let b = StratifiedReservoirBaseline::bootstrap(rows(20_000, 2), 0, 16, 0.05, 2).unwrap();
-        for agg in [AggregateFunction::Sum, AggregateFunction::Count, AggregateFunction::Avg] {
+        for agg in [
+            AggregateFunction::Sum,
+            AggregateFunction::Count,
+            AggregateFunction::Avg,
+        ] {
             let query = q(agg, 10.0, 70.0);
             let est = b.query(&query).unwrap();
             let truth = b.evaluate_exact(&query).unwrap();
@@ -290,8 +313,16 @@ mod tests {
             let _ = b.delete(id);
         }
         for (s, reservoir) in b.strata.iter().enumerate() {
-            let lo = if s == 0 { f64::NEG_INFINITY } else { b.boundaries[s - 1] };
-            let hi = if s == b.boundaries.len() { f64::INFINITY } else { b.boundaries[s] };
+            let lo = if s == 0 {
+                f64::NEG_INFINITY
+            } else {
+                b.boundaries[s - 1]
+            };
+            let hi = if s == b.boundaries.len() {
+                f64::INFINITY
+            } else {
+                b.boundaries[s]
+            };
             for row in reservoir.iter() {
                 assert!(b.archive.contains(row.id), "sampled row must be live");
                 let v = row.value(0);

@@ -23,20 +23,24 @@ fn bench_throughput(c: &mut Criterion) {
     group.throughput(Throughput::Elements(batch.len() as u64));
 
     for threads in [1usize, 4, 12] {
-        group.bench_with_input(BenchmarkId::new("mixed_batch", threads), &threads, |b, &t| {
-            b.iter_batched(
-                || {
-                    let mut cfg = SynopsisConfig::paper_default(template.clone(), 0xf5);
-                    cfg.leaf_count = 64;
-                    cfg.sample_rate = 0.01;
-                    cfg.catchup_ratio = 0.1;
-                    cfg.auto_repartition = false;
-                    JanusEngine::bootstrap(cfg, d.rows[..60_000].to_vec()).unwrap()
-                },
-                |mut engine| black_box(apply_batch(&mut engine, batch.clone(), t).applied),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mixed_batch", threads),
+            &threads,
+            |b, &t| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = SynopsisConfig::paper_default(template.clone(), 0xf5);
+                        cfg.leaf_count = 64;
+                        cfg.sample_rate = 0.01;
+                        cfg.catchup_ratio = 0.1;
+                        cfg.auto_repartition = false;
+                        JanusEngine::bootstrap(cfg, d.rows[..60_000].to_vec()).unwrap()
+                    },
+                    |mut engine| black_box(apply_batch(&mut engine, batch.clone(), t).applied),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
 
     // Single-row sequential path for reference.

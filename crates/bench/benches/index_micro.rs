@@ -34,7 +34,11 @@ fn bench_treap(c: &mut Criterion) {
             b.iter(|| {
                 let mut t = Treap::new();
                 for p in &pts {
-                    t.insert(Entry { key: p.coords[0], id: p.id, weight: p.weight });
+                    t.insert(Entry {
+                        key: p.coords[0],
+                        id: p.id,
+                        weight: p.weight,
+                    });
                 }
                 for p in pts.iter().step_by(2) {
                     t.remove(p.coords[0], p.id);
@@ -42,9 +46,11 @@ fn bench_treap(c: &mut Criterion) {
                 black_box(t.len())
             })
         });
-        let t = Treap::from_entries(
-            pts.iter().map(|p| Entry { key: p.coords[0], id: p.id, weight: p.weight }),
-        );
+        let t = Treap::from_entries(pts.iter().map(|p| Entry {
+            key: p.coords[0],
+            id: p.id,
+            weight: p.weight,
+        }));
         group.bench_with_input(BenchmarkId::new("moments_by_rank", n), &n, |b, _| {
             b.iter(|| black_box(t.moments_by_rank(n / 4, 3 * n / 4)))
         });
@@ -103,7 +109,11 @@ fn bench_maxvar(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxvar_probe");
     for (d, label) in [(1usize, "1d"), (2, "2d"), (5, "5d")] {
         let pts = points(d, 10_000, 5);
-        for agg in [AggregateFunction::Count, AggregateFunction::Sum, AggregateFunction::Avg] {
+        for agg in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+        ] {
             let mv = MaxVarianceIndex::bulk_load(d, agg, 0.01, 0.01, pts.clone());
             let rect = Rect::new(vec![0.1; d], vec![0.9; d]).unwrap();
             group.bench_function(format!("{label}_{agg}"), |b| {

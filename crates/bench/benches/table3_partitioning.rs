@@ -25,15 +25,24 @@ fn bench_partitioning(c: &mut Criterion) {
     let mv = MaxVarianceIndex::bulk_load(1, AggregateFunction::Sum, 0.05, 0.01, pts);
     for k in [16usize, 64, 128] {
         group.bench_with_input(BenchmarkId::new("bs", k), &k, |b, &k| {
-            let p = Partitioner { kind: PartitionerKind::BinarySearch1d, rho: 2.0 };
+            let p = Partitioner {
+                kind: PartitionerKind::BinarySearch1d,
+                rho: 2.0,
+            };
             b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
         });
         group.bench_with_input(BenchmarkId::new("dp", k), &k, |b, &k| {
-            let p = Partitioner { kind: PartitionerKind::Dp1d { candidates: 300 }, rho: 2.0 };
+            let p = Partitioner {
+                kind: PartitionerKind::Dp1d { candidates: 300 },
+                rho: 2.0,
+            };
             b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
         });
         group.bench_with_input(BenchmarkId::new("equicount", k), &k, |b, &k| {
-            let p = Partitioner { kind: PartitionerKind::EquiCount1d, rho: 2.0 };
+            let p = Partitioner {
+                kind: PartitionerKind::EquiCount1d,
+                rho: 2.0,
+            };
             b.iter(|| black_box(p.compute(&mv, k).unwrap().max_leaf_variance))
         });
     }

@@ -1,14 +1,17 @@
 //! Regenerates every table and figure of the paper in sequence.
 //! Scale with `JANUS_SCALE` (default 0.02).
+type Runner = fn(f64) -> janus_bench::ExpReport;
+
 fn main() {
     let scale = janus_bench::scale();
     eprintln!("[exp_all] JANUS_SCALE = {scale}");
     let t0 = std::time::Instant::now();
-    let runs: Vec<(&str, fn(f64) -> janus_bench::ExpReport)> = vec![
+    let runs: Vec<(&str, Runner)> = vec![
         ("table2", janus_bench::experiments::table2::run),
         ("table3", janus_bench::experiments::table3::run),
         ("table4", janus_bench::experiments::table4::run),
         ("fig5", janus_bench::experiments::fig5::run),
+        ("fig5_cluster", janus_bench::experiments::fig5_cluster::run),
         ("fig6", janus_bench::experiments::fig6::run),
         ("fig7", janus_bench::experiments::fig7::run),
         ("fig8", janus_bench::experiments::fig8::run),

@@ -1,0 +1,8 @@
+//! Cluster shard-count sweep (ingest throughput + scatter-gather
+//! latency); dumps `target/experiments/BENCH_cluster.json`. Scale with
+//! `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_fig5_cluster] JANUS_SCALE = {scale}");
+    janus_bench::experiments::fig5_cluster::run(scale).finish();
+}

@@ -28,7 +28,13 @@ fn p95_of(engine: &mut JanusEngine, queries: &[Query], seen: &[Row]) -> f64 {
     }
 }
 
-fn queries_over(seen: &[Row], agg_col: usize, pred_col: usize, count: usize, seed: u64) -> Vec<Query> {
+fn queries_over(
+    seen: &[Row],
+    agg_col: usize,
+    pred_col: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<Query> {
     let spec = WorkloadSpec {
         template: QueryTemplate::new(AggregateFunction::Sum, agg_col, vec![pred_col]),
         count,

@@ -2,9 +2,9 @@
 //! as a function of the existing-data ratio; (right) re-optimization cost
 //! of JanusAQP vs DeepDB(SPN) as a function of progress.
 
+use super::super::experiments::table2::deepdb_config;
 use super::{paper_config, TAXI_N};
 use crate::ExpReport;
-use super::super::experiments::table2::deepdb_config;
 use janus_baselines::MiniSpn;
 use janus_core::concurrent::{apply_batch, Update};
 use janus_core::JanusEngine;

@@ -1,0 +1,94 @@
+//! Cluster companion to Fig. 5: ingest throughput and scatter-gather
+//! query latency as a function of the shard count (1 / 2 / 4 / 8).
+//!
+//! Each sweep point bootstraps a range-partitioned `ClusterEngine` over
+//! half the NYC-Taxi-like stream, publishes the second half through the
+//! per-shard topics, and pumps it into the shard engines; the reported
+//! ingest rate covers publish + pump (the full write path). Queries are
+//! the standard Fig.-5 workload answered by scatter-gather. The report id
+//! is `BENCH_cluster`, so the tracked JSON lands at
+//! `target/experiments/BENCH_cluster.json`; all columns carry unit
+//! suffixes and go through `metrics::rows_per_sec`.
+
+use super::{paper_config, TAXI_N};
+use crate::metrics::{mean, rows_per_sec};
+use crate::ExpReport;
+use janus_cluster::{ClusterConfig, ClusterEngine, ShardPolicy};
+use janus_data::nyc_taxi;
+use serde_json::json;
+use std::time::Instant;
+
+/// Shard counts swept.
+pub const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs the shard sweep.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0xc157e5);
+    let n = dataset.len();
+    let existing = n / 2;
+    let queries = super::workload(&dataset, "pickup_time", "trip_distance", scale, 0xc1);
+    let mut rows_out = Vec::new();
+
+    for shards in SHARD_SWEEP {
+        let base = paper_config(&dataset, "pickup_time", "trip_distance", 0xc5);
+        let pickup = dataset.col("pickup_time");
+        let policy = ShardPolicy::range_from_rows(pickup, &dataset.rows[..existing], shards)
+            .expect("range policy");
+        let mut cluster = ClusterEngine::bootstrap(
+            ClusterConfig::new(base, shards, policy),
+            dataset.rows[..existing].to_vec(),
+        )
+        .expect("bootstrap");
+
+        // Ingest: publish + pump the second half of the stream.
+        let batch = &dataset.rows[existing..];
+        let started = Instant::now();
+        for row in batch {
+            cluster.publish_insert(row.clone()).expect("publish");
+        }
+        cluster.pump_all().expect("pump");
+        let ingest_wall = started.elapsed();
+
+        // Queries: scatter-gather latency over the standard workload.
+        // Every dispatched query counts in the denominator — empty-
+        // selection answers still cost a full scatter round trip.
+        let started = Instant::now();
+        for q in &queries {
+            cluster.query(q).expect("query");
+        }
+        let query_wall = started.elapsed();
+        let stats = cluster.stats();
+
+        rows_out.push(vec![
+            json!(shards),
+            json!(rows_per_sec(batch.len(), ingest_wall)),
+            json!(if queries.is_empty() {
+                0.0
+            } else {
+                query_wall.as_secs_f64() * 1e3 / queries.len() as f64
+            }),
+            json!(mean(
+                &cluster
+                    .shard_populations()
+                    .iter()
+                    .map(|p| *p as f64)
+                    .collect::<Vec<_>>()
+            )),
+            json!(stats.subqueries as f64 / stats.queries.max(1) as f64),
+        ]);
+    }
+    ExpReport {
+        id: "BENCH_cluster",
+        title: "Cluster: ingest throughput and scatter-gather latency vs shard count",
+        headers: [
+            "shards",
+            "ingest_rows_per_s",
+            "query_latency_ms",
+            "mean_shard_rows",
+            "subqueries_per_query",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: rows_out,
+    }
+}

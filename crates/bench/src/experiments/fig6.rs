@@ -30,7 +30,11 @@ pub fn run(scale: f64) -> ExpReport {
             let remaining: Vec<Row> = engine.archive().iter().cloned().collect();
             let gt = truths(&queries, &remaining);
             let (errors, _) = errors_against(&queries, &gt, |q| engine.query(q).ok().flatten());
-            let med = if errors.is_empty() { f64::NAN } else { median(errors) };
+            let med = if errors.is_empty() {
+                f64::NAN
+            } else {
+                median(errors)
+            };
             rows_out.push(vec![
                 json!(dataset.name),
                 json!(p as f64 / 100.0),

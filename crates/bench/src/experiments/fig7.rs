@@ -49,7 +49,11 @@ pub fn run(scale: f64) -> ExpReport {
         let load_run = loader.sample(&topic, goal);
 
         let (errors, _) = errors_against(&queries, &gt, |q| engine.query(q).ok().flatten());
-        let p95 = if errors.is_empty() { f64::NAN } else { percentile(errors, 0.95) };
+        let p95 = if errors.is_empty() {
+            f64::NAN
+        } else {
+            percentile(errors, 0.95)
+        };
         rows_out.push(vec![
             json!(c as f64 / 100.0),
             json!(p95),
@@ -61,9 +65,15 @@ pub fn run(scale: f64) -> ExpReport {
     ExpReport {
         id: "fig7",
         title: "Figure 7: catch-up goal vs P95 error and catch-up cost (s)",
-        headers: ["catchup_ratio", "janus_p95", "rs_p95", "loading_s", "processing_s"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "catchup_ratio",
+            "janus_p95",
+            "rs_p95",
+            "loading_s",
+            "processing_s",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows: rows_out,
     }
 }

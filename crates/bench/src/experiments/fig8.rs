@@ -77,7 +77,11 @@ pub fn run(scale: f64) -> ExpReport {
         let mut emit = |panel: &str, series: &str, queries: &[Query], engine: &mut JanusEngine| {
             let gt = truths(queries, seen);
             let (errors, _) = errors_against(queries, &gt, |q| engine.query(q).ok().flatten());
-            let p95 = if errors.is_empty() { f64::NAN } else { percentile(errors, 0.95) };
+            let p95 = if errors.is_empty() {
+                f64::NAN
+            } else {
+                percentile(errors, 0.95)
+            };
             rows_out.push(vec![
                 json!(panel),
                 json!(series),

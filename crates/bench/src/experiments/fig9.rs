@@ -3,10 +3,10 @@
 //! 1%)` vs DeepDB(SPN), starting at 30% progress (earlier marks have too
 //! many zero ground truths, as the paper notes).
 
+use super::super::experiments::table2::deepdb_config;
 use super::{errors_against, truths, ETF_N};
 use crate::metrics::median;
 use crate::ExpReport;
-use super::super::experiments::table2::deepdb_config;
 use janus_baselines::MiniSpn;
 use janus_common::{AggregateFunction, QueryTemplate, Row};
 use janus_core::{JanusEngine, SynopsisConfig};

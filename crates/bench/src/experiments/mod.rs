@@ -3,6 +3,7 @@
 
 pub mod fig10;
 pub mod fig5;
+pub mod fig5_cluster;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
@@ -26,9 +27,21 @@ pub const ETF_N: usize = 4_000_000;
 /// experiment columns `(predicate, aggregate)` (§6.2).
 pub fn datasets(scale: f64) -> Vec<(Dataset, &'static str, &'static str)> {
     vec![
-        (intel_wireless(crate::scaled(INTEL_N, scale), 0xda7a), "time", "light"),
-        (nyc_taxi(crate::scaled(TAXI_N, scale), 0xda7a), "pickup_time", "trip_distance"),
-        (nasdaq_etf(crate::scaled(ETF_N, scale), 0xda7a), "volume", "close"),
+        (
+            intel_wireless(crate::scaled(INTEL_N, scale), 0xda7a),
+            "time",
+            "light",
+        ),
+        (
+            nyc_taxi(crate::scaled(TAXI_N, scale), 0xda7a),
+            "pickup_time",
+            "trip_distance",
+        ),
+        (
+            nasdaq_etf(crate::scaled(ETF_N, scale), 0xda7a),
+            "volume",
+            "close",
+        ),
     ]
 }
 
@@ -94,7 +107,9 @@ where
         let started = std::time::Instant::now();
         let est = answer(q);
         latency += started.elapsed();
-        let (Some(est), Some(truth)) = (est, truth) else { continue };
+        let (Some(est), Some(truth)) = (est, truth) else {
+            continue;
+        };
         if truth.abs() < 1e-9 {
             continue;
         }

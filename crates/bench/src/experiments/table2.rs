@@ -20,7 +20,12 @@ use serde_json::json;
 /// data (Table 2's flat DeepDB rows), so the structure-learning floor is
 /// held at a constant budget instead of scaling with the training sample.
 pub fn deepdb_config() -> SpnConfig {
-    SpnConfig { min_rows: 2_048, bins: 32, train_epochs: 120, ..SpnConfig::default() }
+    SpnConfig {
+        min_rows: 2_048,
+        bins: 32,
+        train_epochs: 120,
+        ..SpnConfig::default()
+    }
 }
 
 /// Runs the Table 2 protocol.
@@ -80,7 +85,11 @@ pub fn run(scale: f64) -> ExpReport {
             }
             let gt = truths(&queries, seen);
             let mut emit = |approach: &str, errors: Vec<f64>, latency: std::time::Duration| {
-                let med = if errors.is_empty() { f64::NAN } else { median(errors) };
+                let med = if errors.is_empty() {
+                    f64::NAN
+                } else {
+                    median(errors)
+                };
                 rows_out.push(vec![
                     json!(dataset.name),
                     json!(progress as f64 / 100.0),
@@ -102,9 +111,15 @@ pub fn run(scale: f64) -> ExpReport {
     ExpReport {
         id: "table2",
         title: "Table 2: median relative error (%) and avg query latency (ms/query)",
-        headers: ["dataset", "progress", "approach", "median_rel_err_pct", "avg_latency_ms"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "dataset",
+            "progress",
+            "approach",
+            "median_rel_err_pct",
+            "avg_latency_ms",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows: rows_out,
     }
 }

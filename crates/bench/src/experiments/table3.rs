@@ -41,7 +41,11 @@ pub fn run(scale: f64) -> ExpReport {
                 json!(algo_name),
                 json!(synopsis.partition_time.as_secs_f64()),
             ];
-            for agg in [AggregateFunction::Count, AggregateFunction::Sum, AggregateFunction::Avg] {
+            for agg in [
+                AggregateFunction::Count,
+                AggregateFunction::Sum,
+                AggregateFunction::Avg,
+            ] {
                 let spec = WorkloadSpec {
                     template: QueryTemplate::new(agg, light, vec![time]),
                     count,
@@ -53,7 +57,11 @@ pub fn run(scale: f64) -> ExpReport {
                 let gt = truths(&queries, &dataset.rows);
                 let (errors, _) =
                     errors_against(&queries, &gt, |q| synopsis.query(q).ok().flatten());
-                let med = if errors.is_empty() { f64::NAN } else { median(errors) };
+                let med = if errors.is_empty() {
+                    f64::NAN
+                } else {
+                    median(errors)
+                };
                 row.push(json!(med * 100.0));
             }
             rows_out.push(row);

@@ -43,9 +43,15 @@ pub fn run(scale: f64) -> ExpReport {
     ExpReport {
         id: "table4",
         title: "Table 4: singleton vs sequential samplers (simulated Kafka cost)",
-        headers: ["poll_size", "n_polls", "total_ms", "ms_per_poll", "equiv_singleton_rate"]
-            .map(String::from)
-            .to_vec(),
+        headers: [
+            "poll_size",
+            "n_polls",
+            "total_ms",
+            "ms_per_poll",
+            "equiv_singleton_rate",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows: rows_out,
     }
 }

@@ -72,7 +72,11 @@ impl ExpReport {
         let line = |cols: &[String]| {
             let mut out = String::new();
             for (i, c) in cols.iter().enumerate() {
-                out.push_str(&format!("{:>w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+                out.push_str(&format!(
+                    "{:>w$}  ",
+                    c,
+                    w = widths.get(i).copied().unwrap_or(8)
+                ));
             }
             println!("{}", out.trim_end());
         };

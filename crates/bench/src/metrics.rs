@@ -18,6 +18,19 @@ pub fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
     v[idx]
 }
 
+/// Rows per second — the one throughput conversion every experiment must
+/// share. Ad-hoc `as_millis`/`as_secs` mixes are how unit-mismatch bugs
+/// creep into tracked perf numbers; route every rows-over-wall-time
+/// division through here and label the JSON column `*_per_s`.
+pub fn rows_per_sec(rows: usize, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs <= 0.0 {
+        f64::INFINITY
+    } else {
+        rows as f64 / secs
+    }
+}
+
 /// Arithmetic mean.
 pub fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
@@ -73,7 +86,9 @@ where
         let est = answer(q);
         run.latency += started.elapsed();
         run.answered += 1;
-        let (Some(est), Some(truth)) = (est, truth) else { continue };
+        let (Some(est), Some(truth)) = (est, truth) else {
+            continue;
+        };
         if truth.abs() < 1e-9 {
             continue;
         }
@@ -86,6 +101,13 @@ where
 mod tests {
     use super::*;
     use janus_common::{AggregateFunction, RangePredicate};
+
+    #[test]
+    fn rows_per_sec_units() {
+        assert_eq!(rows_per_sec(500, Duration::from_millis(250)), 2_000.0);
+        assert_eq!(rows_per_sec(0, Duration::from_secs(1)), 0.0);
+        assert_eq!(rows_per_sec(1, Duration::ZERO), f64::INFINITY);
+    }
 
     #[test]
     fn median_and_percentile() {

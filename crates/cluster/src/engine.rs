@@ -1,0 +1,403 @@
+//! The cluster façade: N `JanusEngine` shards behind one ingest/query API.
+//!
+//! * **Ingest** is published to one Kafka-like topic per shard
+//!   ([`janus_storage::ShardedLog`]); a [`ShardRouter`] picks the topic.
+//!   Nothing reaches a synopsis until [`ClusterEngine::pump`] drains the
+//!   topics in offset order, so per-shard catch-up is independent,
+//!   back-pressure is explicit, and replay from offset zero is
+//!   deterministic.
+//! * **Queries** scatter to every shard whose slab the predicate can touch
+//!   (all shards under discrete policies), run in parallel, and the
+//!   per-shard [`Estimate`]s are gathered with the variance-correct merges
+//!   of [`janus_common::merge`]: COUNT/SUM add values and per-source
+//!   variances; AVG is re-derived from merged SUM/COUNT moment estimates
+//!   (each shard answers through the
+//!   [`JanusEngine::answer_sum_count`] moment hook); MIN/MAX take the
+//!   extreme answer.
+//! * **Re-partitioning** stays local to each shard (its own triggers keep
+//!   firing); the cluster level adds a row-count skew check and a
+//!   range-split migration — see [`crate::rebalance`].
+
+use crate::rebalance::{self, RebalanceReport};
+use crate::router::{ShardPolicy, ShardRouter};
+use janus_common::{
+    merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
+};
+use janus_core::{JanusEngine, SynopsisConfig};
+use janus_storage::ShardedLog;
+
+/// One record of a shard's ingest topic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardOp {
+    /// Insert this tuple into the shard's engine.
+    Insert(Row),
+    /// Delete this tuple from the shard's engine.
+    Delete(RowId),
+}
+
+/// Configuration of a [`ClusterEngine`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Per-shard synopsis configuration; shard `i` runs with
+    /// `base.seed` mixed with `i` so shard samples are independent.
+    pub base: SynopsisConfig,
+    /// Number of shards.
+    pub shards: usize,
+    /// Routing policy.
+    pub policy: ShardPolicy,
+    /// Records drained per shard per [`ClusterEngine::pump`] call.
+    pub pump_chunk: usize,
+    /// Cluster rebalance trigger: a shard holding at least this factor
+    /// times the median shard population triggers a range-split migration
+    /// on the next [`ClusterEngine::maybe_rebalance`]. `None` disables.
+    pub skew_factor: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` engines with the given per-shard synopsis
+    /// config and policy, paper-ish pump chunk, and the 2x skew trigger
+    /// enabled.
+    pub fn new(base: SynopsisConfig, shards: usize, policy: ShardPolicy) -> Self {
+        ClusterConfig {
+            base,
+            shards,
+            policy,
+            pump_chunk: 4096,
+            skew_factor: Some(2.0),
+        }
+    }
+}
+
+/// One shard: a synopsis engine plus its consumption offset into its topic.
+pub(crate) struct Shard {
+    pub(crate) engine: JanusEngine,
+    pub(crate) offset: u64,
+}
+
+/// Operation counters for the cluster layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Inserts published.
+    pub inserts: u64,
+    /// Deletes published.
+    pub deletes: u64,
+    /// Queries answered (scatter-gather round trips).
+    pub queries: u64,
+    /// Per-shard sub-queries dispatched across all scatters.
+    pub subqueries: u64,
+    /// Records drained from topics into shard engines.
+    pub pumped: u64,
+    /// Cluster-level rebalance migrations executed.
+    pub rebalances: u64,
+    /// Rows moved between shards by rebalancing.
+    pub rows_migrated: u64,
+}
+
+/// N `JanusEngine` shards behind one scatter-gather façade.
+pub struct ClusterEngine {
+    config: ClusterConfig,
+    router: ShardRouter,
+    log: ShardedLog<ShardOp>,
+    shards: Vec<Shard>,
+    /// Authoritative row → shard placement, updated at publish time and by
+    /// migrations; deletes and rebalancing route through it, so placement
+    /// stays correct even after the router's bounds move.
+    directory: DetHashMap<RowId, usize>,
+    stats: ClusterStats,
+}
+
+impl ClusterEngine {
+    /// Partitions `rows` by the configured policy and bootstraps one
+    /// engine per shard (empty shards bootstrap lazily on first insert is
+    /// *not* supported by the underlying engine, so every shard gets at
+    /// least its slab's rows; tiny shards are fine).
+    pub fn bootstrap(config: ClusterConfig, rows: Vec<Row>) -> Result<Self> {
+        if config.shards == 0 {
+            return Err(JanusError::InvalidConfig("need at least one shard".into()));
+        }
+        let mut router = ShardRouter::new(config.policy.clone(), config.shards)?;
+        let mut per_shard: Vec<Vec<Row>> = (0..config.shards).map(|_| Vec::new()).collect();
+        let mut directory = DetHashMap::default();
+        for row in rows {
+            let shard = router.route(&row);
+            if directory.insert(row.id, shard).is_some() {
+                return Err(JanusError::InvalidConfig(format!(
+                    "duplicate row id {} in bootstrap data",
+                    row.id
+                )));
+            }
+            per_shard[shard].push(row);
+        }
+        let mut shards = Vec::with_capacity(config.shards);
+        for (i, shard_rows) in per_shard.into_iter().enumerate() {
+            let mut shard_config = config.base.clone();
+            shard_config.seed = shard_seed(config.base.seed, i);
+            shards.push(Shard {
+                engine: JanusEngine::bootstrap(shard_config, shard_rows)?,
+                offset: 0,
+            });
+        }
+        Ok(ClusterEngine {
+            log: ShardedLog::new(config.shards),
+            config,
+            router,
+            shards,
+            directory,
+            stats: ClusterStats::default(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The router (current policy and bounds).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Cluster-level operation counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Rows applied across all shard engines.
+    pub fn population(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.population()).sum()
+    }
+
+    /// Applied rows per shard, in shard order.
+    pub fn shard_populations(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.engine.population()).collect()
+    }
+
+    /// Records published but not yet pumped into shard engines.
+    pub fn pending(&self) -> u64 {
+        self.log
+            .end_offsets()
+            .iter()
+            .zip(&self.shards)
+            .map(|(end, s)| end - s.offset)
+            .sum()
+    }
+
+    /// A shard's engine (experiments and tests).
+    pub fn shard_engine(&self, shard: usize) -> &JanusEngine {
+        &self.shards[shard].engine
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest: publish → topic, pump → engine
+    // ------------------------------------------------------------------
+
+    /// Routes an insert to its shard topic. The row is visible to queries
+    /// after the next [`ClusterEngine::pump`] that drains it.
+    pub fn publish_insert(&mut self, row: Row) -> Result<()> {
+        if self.directory.contains_key(&row.id) {
+            return Err(JanusError::InvalidConfig(format!(
+                "duplicate row id {}",
+                row.id
+            )));
+        }
+        let shard = self.router.route(&row);
+        self.directory.insert(row.id, shard);
+        self.log.publish(shard, ShardOp::Insert(row));
+        self.stats.inserts += 1;
+        Ok(())
+    }
+
+    /// Routes a delete to the shard actually holding the row (directory
+    /// lookup, so placement survives round-robin/hash routing and past
+    /// migrations).
+    pub fn publish_delete(&mut self, id: RowId) -> Result<()> {
+        let Some(shard) = self.directory.remove(&id) else {
+            return Err(JanusError::RowNotFound(id));
+        };
+        self.log.publish(shard, ShardOp::Delete(id));
+        self.stats.deletes += 1;
+        Ok(())
+    }
+
+    /// Drains up to `max_per_shard` topic records into every shard engine,
+    /// in offset order per shard; returns the number applied. Shards are
+    /// independent, so they drain in parallel — each worker owns one
+    /// engine and its topic cursor, and per-shard record order (the only
+    /// order that matters) is preserved. Shard triggers
+    /// (under-representation, β-drift) fire as usual inside each engine
+    /// while it absorbs its records.
+    pub fn pump(&mut self, max_per_shard: usize) -> Result<usize> {
+        let log = &self.log;
+        // Each worker reports (records applied, first error): a shard that
+        // fails mid-batch already advanced its engine and offset for the
+        // records before the failure, and those must still be counted so
+        // `stats.pumped` never drifts from engine state.
+        let mut outcomes: Vec<(usize, Option<JanusError>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.shards.len());
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                handles.push(scope.spawn(move || {
+                    let batch = log.poll(i, shard.offset, max_per_shard);
+                    let mut applied = 0;
+                    for op in batch {
+                        let outcome = match op {
+                            ShardOp::Insert(row) => shard.engine.insert(row),
+                            ShardOp::Delete(id) => shard.engine.delete(id).map(|_| ()),
+                        };
+                        if let Err(e) = outcome {
+                            return (applied, Some(e));
+                        }
+                        shard.offset += 1;
+                        applied += 1;
+                    }
+                    (applied, None)
+                }));
+            }
+            for handle in handles {
+                outcomes.push(handle.join().expect("pump worker panicked"));
+            }
+        });
+        let mut applied = 0;
+        let mut first_error = None;
+        for (n, error) in outcomes {
+            applied += n;
+            if first_error.is_none() {
+                first_error = error;
+            }
+        }
+        self.stats.pumped += applied as u64;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    /// Pumps until every shard topic is fully drained.
+    pub fn pump_all(&mut self) -> Result<()> {
+        let chunk = self.config.pump_chunk.max(1);
+        while self.pump(chunk)? > 0 {}
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Queries: scatter, gather, merge
+    // ------------------------------------------------------------------
+
+    /// Answers a query by scatter-gather over the overlapping shards.
+    /// `Ok(None)` for AVG/MIN/MAX over an (estimated) empty selection,
+    /// matching the single-engine contract.
+    pub fn query(&mut self, query: &Query) -> Result<Option<Estimate>> {
+        self.stats.queries += 1;
+        let targets = self.router.overlapping(query);
+        self.stats.subqueries += targets.len() as u64;
+        match query.agg {
+            AggregateFunction::Count | AggregateFunction::Sum => {
+                let parts = self.scatter(&targets, |engine| {
+                    engine
+                        .query(query)
+                        .map(|e| e.expect("COUNT/SUM always answer"))
+                })?;
+                Ok(Some(merge::merge_additive(&parts)))
+            }
+            AggregateFunction::Avg => {
+                let parts = self.scatter(&targets, |engine| engine.answer_sum_count(query))?;
+                let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
+                Ok(merge::combine_avg(
+                    &merge::merge_additive(&sums),
+                    &merge::merge_additive(&counts),
+                ))
+            }
+            AggregateFunction::Min | AggregateFunction::Max => {
+                let minimum = query.agg == AggregateFunction::Min;
+                let parts = self.scatter(&targets, |engine| engine.query(query))?;
+                let answered: Vec<Estimate> = parts.into_iter().flatten().collect();
+                Ok(merge::merge_extremum(&answered, minimum))
+            }
+        }
+    }
+
+    /// Exact evaluation across all shard archives (ground-truth oracle;
+    /// ignores unpumped records, exactly like per-shard synopses do).
+    pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
+        query.evaluate_exact(self.shards.iter().flat_map(|s| s.engine.archive().iter()))
+    }
+
+    /// Runs `f` against every target shard's engine in parallel and
+    /// returns the results in shard order (deterministic gather).
+    fn scatter<T, F>(&mut self, targets: &[usize], f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut JanusEngine) -> Result<T> + Sync,
+    {
+        let mut slots: Vec<Option<Result<T>>> = Vec::new();
+        slots.resize_with(targets.len(), || None);
+        std::thread::scope(|scope| {
+            let mut pending = &mut self.shards[..];
+            let mut taken = 0usize;
+            let mut handles = Vec::with_capacity(targets.len());
+            // Targets are ascending; split the shard slice so each thread
+            // borrows exactly one shard mutably.
+            for (slot, &target) in slots.iter_mut().zip(targets) {
+                let (skipped, rest) = pending.split_at_mut(target - taken);
+                let (shard, rest) = rest.split_first_mut().expect("target in range");
+                let _ = skipped;
+                pending = rest;
+                taken = target + 1;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    *slot = Some(f(&mut shard.engine));
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("scatter worker panicked");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every target produced a result"))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster-level rebalance
+    // ------------------------------------------------------------------
+
+    /// Checks the shard row-count skew trigger and, when it fires, runs a
+    /// range-split migration (see [`crate::rebalance`]). Topics are fully
+    /// drained first so migration acts on applied state. Returns the
+    /// migration report when one ran.
+    pub fn maybe_rebalance(&mut self) -> Result<Option<RebalanceReport>> {
+        let Some(factor) = self.config.skew_factor else {
+            return Ok(None);
+        };
+        self.pump_all()?;
+        if !rebalance::skew_exceeds(&self.shard_populations(), factor) {
+            return Ok(None);
+        }
+        let report = rebalance::rebalance(
+            &mut self.router,
+            &mut self.shards,
+            &mut self.directory,
+            &self.config.base,
+        )?;
+        if let Some(r) = &report {
+            self.stats.rebalances += 1;
+            self.stats.rows_migrated += r.rows_moved as u64;
+        }
+        Ok(report)
+    }
+}
+
+/// Decorrelates shard engine seeds from the base seed.
+pub(crate) fn shard_seed(base: u64, shard: usize) -> u64 {
+    base ^ (shard as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)
+}

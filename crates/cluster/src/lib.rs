@@ -1,0 +1,70 @@
+//! # janus-cluster
+//!
+//! Horizontal scale-out for JanusAQP: N [`JanusEngine`] shards behind one
+//! scatter-gather façade, with partitioned ingest over per-shard topic
+//! logs and variance-correct answer merging.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`router`] | [`ShardPolicy`] (hash-by-id, round-robin, range on a predicate attribute) and the [`ShardRouter`] that applies it: row placement, per-shard slabs as [`janus_common::Rect`]s, query overlap pruning |
+//! | [`engine`] | [`ClusterEngine`]: bootstrap-by-partition, publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay), parallel scatter-gather queries merged via [`janus_common::merge`] |
+//! | [`rebalance`] | the cluster-level skew trigger (largest shard ≥ `skew_factor` × median) and the range-split migration built on the `janus-core` snapshot path |
+//!
+//! ## Answer semantics
+//!
+//! Shards hold disjoint rows and sample independently, so per-shard
+//! estimates compose exactly like the paper's per-partition estimates
+//! compose inside one tree (§4.4): COUNT/SUM answers and their ν_c/ν_s
+//! variance components add; AVG is re-derived as the ratio of merged
+//! SUM/COUNT moment estimates (delta-method variance, two-source split
+//! preserved); MIN/MAX take the extreme shard answer. Whole-domain
+//! COUNT/SUM answers over exact-base shards are *exactly* the
+//! single-engine answers on the same rows — the equivalence the
+//! `cluster_equivalence` integration tests pin down.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use janus_cluster::{ClusterConfig, ClusterEngine, ShardPolicy};
+//! use janus_common::{AggregateFunction, Query, QueryTemplate, RangePredicate, Row};
+//! use janus_core::SynopsisConfig;
+//!
+//! let rows: Vec<Row> = (0..8_000)
+//!     .map(|i| Row::new(i, vec![(i % 100) as f64, (i % 7) as f64]))
+//!     .collect();
+//! let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+//! let mut base = SynopsisConfig::paper_default(template, 42);
+//! base.leaf_count = 16;
+//! base.sample_rate = 0.05;
+//!
+//! // Four shards, range-partitioned on the predicate attribute.
+//! let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+//! let mut cluster =
+//!     ClusterEngine::bootstrap(ClusterConfig::new(base, 4, policy), rows).unwrap();
+//!
+//! // Ingest goes to per-shard topics; `pump` applies it.
+//! cluster.publish_insert(Row::new(10_000, vec![55.0, 3.0])).unwrap();
+//! cluster.pump_all().unwrap();
+//!
+//! let q = Query::new(
+//!     AggregateFunction::Sum,
+//!     1,
+//!     vec![0],
+//!     RangePredicate::new(vec![20.0], vec![80.0]).unwrap(),
+//! )
+//! .unwrap();
+//! let est = cluster.query(&q).unwrap().unwrap();
+//! let truth = cluster.evaluate_exact(&q).unwrap();
+//! assert!((est.value - truth).abs() / truth < 0.2);
+//! ```
+
+pub mod engine;
+pub mod rebalance;
+pub mod router;
+
+pub use engine::{ClusterConfig, ClusterEngine, ClusterStats, ShardOp};
+pub use rebalance::RebalanceReport;
+pub use router::{ShardPolicy, ShardRouter};
+
+#[allow(unused_imports)]
+use janus_core::JanusEngine; // rustdoc link target

@@ -1,0 +1,296 @@
+//! Cluster-level rebalancing: the row-count skew trigger and the
+//! range-split migration that repairs it.
+//!
+//! Shard-local re-optimization (β-drift, under-representation) keeps each
+//! synopsis sharp, but it cannot fix *placement* skew: under range routing
+//! a hot slab keeps absorbing the stream (the §6.8 skewed-insert scenario,
+//! lifted to the cluster level). The cluster therefore watches shard row
+//! counts and, when the largest shard reaches `skew_factor` times the
+//! median, re-draws the placement:
+//!
+//! * **Range policy** — new equal-count boundaries are estimated from the
+//!   shards' *synopsis snapshots* ([`JanusEngine::save_synopsis`], the
+//!   `janus-core` persistence path): the pooled snapshot samples are a
+//!   population-proportional sketch of every shard, so their quantiles
+//!   approximate global quantiles without scanning any archive. Rows on
+//!   the wrong side of the new bounds then migrate engine-to-engine.
+//! * **Discrete policies** (hash, round-robin) — placement is contentless,
+//!   so the donor (largest) shard ships the top of its routing-value
+//!   range — exactly enough rows by rank to equalize donor and receiver —
+//!   to the receiver (smallest) shard. Queries touch every shard under
+//!   these policies, so correctness is unaffected; only balance improves.
+
+use crate::engine::Shard;
+use crate::router::{ShardPolicy, ShardRouter};
+use janus_common::{DetHashMap, Result, Row, RowId};
+use janus_core::SynopsisConfig;
+
+/// What a migration did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RebalanceReport {
+    /// Rows that changed shard.
+    pub rows_moved: usize,
+    /// Range boundaries after the migration (`None` for discrete
+    /// policies, which keep no boundaries).
+    pub new_bounds: Option<Vec<f64>>,
+    /// Donor shard of a discrete-policy split (`None` for the range
+    /// policy's global boundary redraw).
+    pub donor: Option<usize>,
+    /// Receiver shard of a discrete-policy split.
+    pub receiver: Option<usize>,
+}
+
+/// True when the largest shard holds at least `factor` times the median
+/// shard population (and there is something meaningful to move).
+pub fn skew_exceeds(populations: &[usize], factor: f64) -> bool {
+    if populations.len() < 2 {
+        return false;
+    }
+    let mut sorted = populations.to_vec();
+    sorted.sort_unstable();
+    // Lower median: for even counts the upper median includes the maximum
+    // itself (for 2 shards it *is* the maximum), which would make the
+    // trigger compare the hot shard against itself and never fire.
+    let median = sorted[(sorted.len() - 1) / 2].max(1);
+    let max = *sorted.last().expect("non-empty");
+    max >= 2 && (max as f64) >= factor * (median as f64)
+}
+
+/// Runs the migration appropriate for the router's policy. Returns `None`
+/// when the cluster has a single shard (nothing to move).
+pub(crate) fn rebalance(
+    router: &mut ShardRouter,
+    shards: &mut [Shard],
+    directory: &mut DetHashMap<RowId, usize>,
+    base: &SynopsisConfig,
+) -> Result<Option<RebalanceReport>> {
+    if shards.len() < 2 {
+        return Ok(None);
+    }
+    match router.policy().clone() {
+        ShardPolicy::Range { column, .. } => {
+            range_redraw(router, shards, directory, column).map(Some)
+        }
+        ShardPolicy::HashById | ShardPolicy::RoundRobin => {
+            discrete_split(shards, directory, base).map(Some)
+        }
+    }
+}
+
+/// Range policy: re-estimate equal-count bounds from snapshot samples and
+/// migrate misplaced rows.
+fn range_redraw(
+    router: &mut ShardRouter,
+    shards: &mut [Shard],
+    directory: &mut DetHashMap<RowId, usize>,
+    column: usize,
+) -> Result<RebalanceReport> {
+    // Global quantiles from the snapshot samples. Reservoirs are capped
+    // at their bootstrap size while shard populations drift, so each
+    // sampled value represents `population / sample_count` live rows of
+    // its shard — the weights make the pooled sketch
+    // population-proportional again.
+    let mut weighted: Vec<(f64, f64)> = Vec::new();
+    for shard in shards.iter() {
+        let snapshot = shard.engine.save_synopsis();
+        if snapshot.sample_rows.is_empty() {
+            continue;
+        }
+        let weight = snapshot.population as f64 / snapshot.sample_rows.len() as f64;
+        weighted.extend(
+            snapshot
+                .sample_rows
+                .iter()
+                .map(|r| (r.value(column), weight)),
+        );
+    }
+    weighted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let n_shards = shards.len();
+    let bounds: Vec<f64> = if weighted.is_empty() {
+        vec![0.0; n_shards - 1]
+    } else {
+        let total: f64 = weighted.iter().map(|(_, w)| w).sum();
+        let mut bounds = Vec::with_capacity(n_shards - 1);
+        let mut cumulative = 0.0;
+        let mut next = weighted.iter();
+        for i in 1..n_shards {
+            let target = total * i as f64 / n_shards as f64;
+            let mut boundary = weighted.last().expect("non-empty").0;
+            for (value, weight) in next.by_ref() {
+                cumulative += weight;
+                if cumulative >= target {
+                    boundary = *value;
+                    break;
+                }
+            }
+            bounds.push(boundary);
+        }
+        bounds
+    };
+    router.set_range_bounds(bounds.clone());
+
+    // Collect misplaced rows per (from, to) and move them.
+    let mut moves: Vec<(usize, usize, Row)> = Vec::new();
+    for (from, shard) in shards.iter().enumerate() {
+        for row in shard.engine.archive().iter() {
+            let to = bounds.partition_point(|b| *b <= row.value(column));
+            if to != from {
+                moves.push((from, to, row.clone()));
+            }
+        }
+    }
+    let rows_moved = moves.len();
+    apply_moves(shards, directory, moves)?;
+    Ok(RebalanceReport {
+        rows_moved,
+        new_bounds: Some(bounds),
+        donor: None,
+        receiver: None,
+    })
+}
+
+/// Discrete policies: ship the top of the largest shard's routing-value
+/// range to the smallest shard — exactly enough rows, *by rank*, to
+/// equalize the two. Splitting by rank rather than at a value threshold
+/// keeps duplicate-heavy (even constant) columns from shipping the whole
+/// shard and oscillating.
+fn discrete_split(
+    shards: &mut [Shard],
+    directory: &mut DetHashMap<RowId, usize>,
+    base: &SynopsisConfig,
+) -> Result<RebalanceReport> {
+    let populations: Vec<usize> = shards.iter().map(|s| s.engine.population()).collect();
+    let donor = populations
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, p)| (**p, usize::MAX - *i))
+        .expect("non-empty")
+        .0;
+    let receiver = populations
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, p)| (**p, *i))
+        .expect("non-empty")
+        .0;
+    let move_count = populations[donor].saturating_sub(populations[receiver]) / 2;
+    if donor == receiver || move_count == 0 {
+        return Ok(RebalanceReport {
+            rows_moved: 0,
+            new_bounds: None,
+            donor: Some(donor),
+            receiver: Some(receiver),
+        });
+    }
+    let column = base.template.predicate_columns[0];
+    // Sort the donor's rows by (routing value, id) — the id tiebreak makes
+    // the split deterministic — and ship the top `move_count` by rank.
+    let mut donor_rows = shards[donor].engine.export_rows();
+    donor_rows.sort_unstable_by(|a, b| {
+        a.value(column)
+            .total_cmp(&b.value(column))
+            .then(a.id.cmp(&b.id))
+    });
+    let moves: Vec<(usize, usize, Row)> = donor_rows
+        .into_iter()
+        .rev()
+        .take(move_count)
+        .map(|row| (donor, receiver, row))
+        .collect();
+    let rows_moved = moves.len();
+    apply_moves(shards, directory, moves)?;
+    Ok(RebalanceReport {
+        rows_moved,
+        new_bounds: None,
+        donor: Some(donor),
+        receiver: Some(receiver),
+    })
+}
+
+/// Applies `(from, to, row)` migrations engine-to-engine and fixes the
+/// directory. Each move is a delete on the donor synopsis and an insert
+/// on the receiver — both incremental §4.1/§4.2 paths, so no shard
+/// rebuilds from scratch and shard-local triggers may fire along the way.
+fn apply_moves(
+    shards: &mut [Shard],
+    directory: &mut DetHashMap<RowId, usize>,
+    moves: Vec<(usize, usize, Row)>,
+) -> Result<()> {
+    for (from, to, row) in moves {
+        shards[from].engine.delete(row.id)?;
+        shards[to].engine.insert(row.clone())?;
+        directory.insert(row.id, to);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{ShardPolicy, ShardRouter};
+    use janus_common::{AggregateFunction, QueryTemplate};
+
+    #[test]
+    fn skew_trigger_fires_at_factor_times_median() {
+        assert!(!skew_exceeds(&[100], 2.0), "single shard never triggers");
+        assert!(!skew_exceeds(&[100, 110, 120, 130], 2.0));
+        assert!(skew_exceeds(&[100, 110, 120, 260], 2.0));
+        assert!(skew_exceeds(&[0, 0, 0, 2], 2.0), "empty median clamps to 1");
+        assert!(
+            !skew_exceeds(&[0, 0, 0, 1], 2.0),
+            "a single row is not skew"
+        );
+        assert!(!skew_exceeds(&[], 2.0));
+        assert!(
+            skew_exceeds(&[100, 10_000], 2.0),
+            "two-shard clusters compare against the smaller shard"
+        );
+        assert!(!skew_exceeds(&[100, 150], 2.0));
+    }
+
+    fn test_config(seed: u64) -> SynopsisConfig {
+        let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+        let mut c = SynopsisConfig::paper_default(template, seed);
+        c.leaf_count = 4;
+        c.sample_rate = 0.1;
+        c.catchup_ratio = 1.0;
+        c.auto_repartition = false;
+        c
+    }
+
+    fn shard_of(rows: Vec<Row>, seed: u64) -> Shard {
+        Shard {
+            engine: janus_core::JanusEngine::bootstrap(test_config(seed), rows).unwrap(),
+            offset: 0,
+        }
+    }
+
+    /// Duplicate-heavy routing columns must not oscillate: the rank-based
+    /// split converges even when every routing value is identical.
+    #[test]
+    fn discrete_split_converges_on_constant_column() {
+        let constant_rows = |ids: std::ops::Range<u64>| -> Vec<Row> {
+            ids.map(|i| Row::new(i, vec![5.0, 1.0])).collect()
+        };
+        let mut shards = vec![
+            shard_of(constant_rows(0..4_000), 1),
+            shard_of(constant_rows(10_000..10_500), 2),
+        ];
+        let mut router = ShardRouter::new(ShardPolicy::RoundRobin, 2).unwrap();
+        let mut directory = DetHashMap::default();
+        let base = test_config(3);
+
+        let report = rebalance(&mut router, &mut shards, &mut directory, &base)
+            .unwrap()
+            .expect("two shards migrate");
+        assert_eq!(report.rows_moved, 1_750, "exactly equalizing half moves");
+        let pops: Vec<usize> = shards.iter().map(|s| s.engine.population()).collect();
+        assert_eq!(pops, vec![2_250, 2_250]);
+        assert!(!skew_exceeds(&pops, 2.0), "balanced after one migration");
+
+        // A second pass finds nothing to move — no oscillation.
+        let report = rebalance(&mut router, &mut shards, &mut directory, &base)
+            .unwrap()
+            .expect("report still produced");
+        assert_eq!(report.rows_moved, 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Row → shard routing policies.
+//!
+//! Mirrors the discrete/range partitioning split of high-volume record
+//! streams in datamap-rs (see PAPERS.md): a *discrete* policy spreads rows
+//! without regard to content (hash by row id, round-robin), while a
+//! *range* policy keys placement on a predicate attribute so each shard
+//! owns a contiguous slab of predicate space — which is what lets the
+//! scatter phase prune shards whose slab a query cannot touch.
+
+use janus_common::{JanusError, Query, Rect, Result, Row, RowId};
+
+/// How rows are assigned to shards.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardPolicy {
+    /// Discrete: deterministic hash of the row id. Uniform under any
+    /// workload; every query touches every shard.
+    HashById,
+    /// Discrete: strict rotation in arrival order. Uniform counts by
+    /// construction; every query touches every shard.
+    RoundRobin,
+    /// Range partitioning on one predicate attribute: shard `i` owns the
+    /// half-open interval `[bounds[i-1], bounds[i])` of `column`'s value
+    /// (outer shards unbounded). Queries are routed only to shards whose
+    /// slab intersects the predicate.
+    Range {
+        /// Schema index of the routing attribute.
+        column: usize,
+        /// Ascending inner boundaries; `len() == shards - 1`.
+        bounds: Vec<f64>,
+    },
+}
+
+impl ShardPolicy {
+    /// Range policy with equal-width slabs over `[lo, hi]` — the static
+    /// variant used when the attribute's domain is known up front.
+    pub fn range_equal_width(column: usize, lo: f64, hi: f64, shards: usize) -> Result<Self> {
+        // `!(a < b)` deliberately rejects NaN endpoints as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(JanusError::InvalidConfig(format!(
+                "range policy needs a finite non-empty domain, got [{lo}, {hi}]"
+            )));
+        }
+        if shards == 0 {
+            return Err(JanusError::InvalidConfig("need at least one shard".into()));
+        }
+        let width = (hi - lo) / shards as f64;
+        let bounds = (1..shards).map(|i| lo + width * i as f64).collect();
+        Ok(ShardPolicy::Range { column, bounds })
+    }
+
+    /// Range policy with equal-count slabs estimated from `rows` (the
+    /// bootstrap table or a sample of the expected stream): boundaries at
+    /// the `i/shards` quantiles of `column`.
+    pub fn range_from_rows(column: usize, rows: &[Row], shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(JanusError::InvalidConfig("need at least one shard".into()));
+        }
+        if rows.is_empty() {
+            // Degenerate but workable: all inner boundaries at zero sends
+            // everything to the outer shards until a rebalance fixes it.
+            return Ok(ShardPolicy::Range {
+                column,
+                bounds: vec![0.0; shards - 1],
+            });
+        }
+        let mut values: Vec<f64> = rows.iter().map(|r| r.value(column)).collect();
+        values.sort_unstable_by(|a, b| a.total_cmp(b));
+        let bounds = (1..shards)
+            .map(|i| values[(i * values.len() / shards).min(values.len() - 1)])
+            .collect();
+        Ok(ShardPolicy::Range { column, bounds })
+    }
+}
+
+/// Deterministic stateful router applying a [`ShardPolicy`] over a fixed
+/// shard count.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    policy: ShardPolicy,
+    shards: usize,
+    /// Round-robin rotation cursor (deterministic in arrival order).
+    next: usize,
+}
+
+/// SplitMix64 — the same mixer the engine seeds derive from, so hash
+/// routing is deterministic across runs and platforms.
+#[inline]
+fn mix(id: RowId) -> u64 {
+    let mut z = id.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl ShardRouter {
+    /// Builds a router; a `Range` policy must carry `shards - 1` bounds.
+    pub fn new(policy: ShardPolicy, shards: usize) -> Result<Self> {
+        if shards == 0 {
+            return Err(JanusError::InvalidConfig("need at least one shard".into()));
+        }
+        if let ShardPolicy::Range { bounds, .. } = &policy {
+            if bounds.len() + 1 != shards {
+                return Err(JanusError::InvalidConfig(format!(
+                    "range policy has {} bounds for {} shards",
+                    bounds.len(),
+                    shards
+                )));
+            }
+            if bounds.windows(2).any(|w| w[0] > w[1]) {
+                return Err(JanusError::InvalidConfig(
+                    "range bounds must be ascending".into(),
+                ));
+            }
+        }
+        Ok(ShardRouter {
+            policy,
+            shards,
+            next: 0,
+        })
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &ShardPolicy {
+        &self.policy
+    }
+
+    /// Assigns a row to a shard. Advances the rotation cursor under
+    /// `RoundRobin` (hence `&mut`).
+    pub fn route(&mut self, row: &Row) -> usize {
+        match &self.policy {
+            ShardPolicy::HashById => (mix(row.id) % self.shards as u64) as usize,
+            ShardPolicy::RoundRobin => {
+                let s = self.next;
+                self.next = (self.next + 1) % self.shards;
+                s
+            }
+            ShardPolicy::Range { column, bounds } => shard_of_value(bounds, row.value(*column)),
+        }
+    }
+
+    /// The slab of predicate space shard `shard` can contain, as a
+    /// `dims`-dimensional [`Rect`] (unbounded in every non-routing
+    /// dimension; fully unbounded under discrete policies). `column_dim`
+    /// maps the routing column to its position among the predicate
+    /// dimensions, `None` when the routing attribute is not a predicate
+    /// attribute.
+    pub fn shard_slab(&self, shard: usize, dims: usize, column_dim: Option<usize>) -> Rect {
+        let mut rect = Rect::unbounded(dims);
+        if let (ShardPolicy::Range { bounds, .. }, Some(d)) = (&self.policy, column_dim) {
+            let lo = if shard == 0 {
+                f64::NEG_INFINITY
+            } else {
+                bounds[shard - 1]
+            };
+            let hi = if shard + 1 == self.shards {
+                f64::INFINITY
+            } else {
+                bounds[shard]
+            };
+            let mut lo_corner = rect.lo().to_vec();
+            let mut hi_corner = rect.hi().to_vec();
+            lo_corner[d] = lo;
+            hi_corner[d] = hi;
+            rect = Rect::new(lo_corner, hi_corner).expect("ascending bounds form a box");
+        }
+        rect
+    }
+
+    /// The shards a query can touch: under `Range` (with the routing
+    /// attribute among the predicate attributes) only the shards whose
+    /// slab intersects the predicate, otherwise all of them.
+    pub fn overlapping(&self, query: &Query) -> Vec<usize> {
+        if let ShardPolicy::Range { column, bounds } = &self.policy {
+            if let Some(d) = query.predicate_columns.iter().position(|c| c == column) {
+                let (qlo, qhi) = (query.range.lo()[d], query.range.hi()[d]);
+                // The predicate is closed, slabs are half-open [lo, hi):
+                // shard first..=last covers every slab touching [qlo, qhi].
+                let first = shard_of_value(bounds, qlo);
+                let last = shard_of_value(bounds, qhi);
+                return (first..=last).collect();
+            }
+        }
+        (0..self.shards).collect()
+    }
+
+    /// Replaces the range boundaries (after a rebalance migration).
+    ///
+    /// # Panics
+    /// Panics when called on a discrete policy or with a wrong bound count
+    /// — rebalancing is only defined for range routing.
+    pub fn set_range_bounds(&mut self, new_bounds: Vec<f64>) {
+        match &mut self.policy {
+            ShardPolicy::Range { bounds, .. } => {
+                assert_eq!(
+                    new_bounds.len() + 1,
+                    self.shards,
+                    "bound count must match shards"
+                );
+                assert!(
+                    new_bounds.windows(2).all(|w| w[0] <= w[1]),
+                    "range bounds must be ascending"
+                );
+                *bounds = new_bounds;
+            }
+            other => panic!("set_range_bounds on non-range policy {other:?}"),
+        }
+    }
+}
+
+/// Index of the half-open slab `[bounds[i-1], bounds[i])` containing `x`.
+#[inline]
+fn shard_of_value(bounds: &[f64], x: f64) -> usize {
+    bounds.partition_point(|b| *b <= x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::{AggregateFunction, RangePredicate};
+
+    fn row(id: u64, x: f64) -> Row {
+        Row::new(id, vec![x, x * 2.0])
+    }
+
+    fn range_query(lo: f64, hi: f64) -> Query {
+        Query::new(
+            AggregateFunction::Sum,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_spread() {
+        let mut r = ShardRouter::new(ShardPolicy::HashById, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for id in 0..4_000 {
+            let s = r.route(&row(id, 0.0));
+            assert_eq!(s, r.route(&row(id, 123.0)), "id alone decides");
+            counts[s] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "skewed hash spread: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_exactly() {
+        let mut r = ShardRouter::new(ShardPolicy::RoundRobin, 3).unwrap();
+        let seq: Vec<usize> = (0..7).map(|i| r.route(&row(i, 0.0))).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn range_routing_respects_bounds() {
+        let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+        let mut r = ShardRouter::new(policy, 4).unwrap();
+        assert_eq!(
+            r.route(&row(1, -5.0)),
+            0,
+            "below-domain goes to the first shard"
+        );
+        assert_eq!(r.route(&row(2, 10.0)), 0);
+        assert_eq!(r.route(&row(3, 25.0)), 1, "boundary is half-open");
+        assert_eq!(r.route(&row(4, 60.0)), 2);
+        assert_eq!(r.route(&row(5, 99.0)), 3);
+        assert_eq!(
+            r.route(&row(6, 500.0)),
+            3,
+            "above-domain goes to the last shard"
+        );
+    }
+
+    #[test]
+    fn range_from_rows_balances_counts() {
+        let rows: Vec<Row> = (0..1000).map(|i| row(i, (i * i % 997) as f64)).collect();
+        let policy = ShardPolicy::range_from_rows(0, &rows, 4).unwrap();
+        let mut r = ShardRouter::new(policy, 4).unwrap();
+        let mut counts = [0usize; 4];
+        for rw in &rows {
+            counts[r.route(rw)] += 1;
+        }
+        for c in counts {
+            assert!(
+                (150..350).contains(&c),
+                "unbalanced quantile split: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_pruning_is_tight_but_safe() {
+        let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+        let r = ShardRouter::new(policy, 4).unwrap();
+        assert_eq!(r.overlapping(&range_query(5.0, 20.0)), vec![0]);
+        assert_eq!(r.overlapping(&range_query(10.0, 30.0)), vec![0, 1]);
+        assert_eq!(
+            r.overlapping(&range_query(25.0, 25.0)),
+            vec![1],
+            "closed predicate"
+        );
+        assert_eq!(r.overlapping(&range_query(-50.0, 500.0)), vec![0, 1, 2, 3]);
+        // Hash policy cannot prune.
+        let all = ShardRouter::new(ShardPolicy::HashById, 4).unwrap();
+        assert_eq!(all.overlapping(&range_query(5.0, 6.0)).len(), 4);
+    }
+
+    #[test]
+    fn slabs_tile_predicate_space() {
+        let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+        let r = ShardRouter::new(policy, 4).unwrap();
+        for x in [-10.0, 0.0, 24.9999, 25.0, 77.0, 1e9] {
+            let hits = (0..4)
+                .filter(|&s| r.shard_slab(s, 1, Some(0)).contains(&[x]))
+                .count();
+            assert_eq!(hits, 1, "x = {x}");
+        }
+        // Discrete policies: every slab is all of space.
+        let hash = ShardRouter::new(ShardPolicy::HashById, 2).unwrap();
+        assert!(hash.shard_slab(0, 1, Some(0)).contains(&[1e300]));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(ShardRouter::new(ShardPolicy::HashById, 0).is_err());
+        assert!(ShardRouter::new(
+            ShardPolicy::Range {
+                column: 0,
+                bounds: vec![1.0]
+            },
+            4
+        )
+        .is_err());
+        assert!(ShardRouter::new(
+            ShardPolicy::Range {
+                column: 0,
+                bounds: vec![2.0, 1.0, 3.0]
+            },
+            4
+        )
+        .is_err());
+        assert!(ShardPolicy::range_equal_width(0, 5.0, 5.0, 2).is_err());
+        assert!(ShardPolicy::range_equal_width(0, f64::NEG_INFINITY, 5.0, 2).is_err());
+    }
+}

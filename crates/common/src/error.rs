@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = JanusError::DimensionMismatch { expected: 2, actual: 3 };
+        let e = JanusError::DimensionMismatch {
+            expected: 2,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 2, got 3");
         assert!(JanusError::UnknownColumn("light".into())
             .to_string()

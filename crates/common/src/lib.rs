@@ -10,7 +10,10 @@
 //!   synopsis answers;
 //! * [`Moments`] — count/sum/sum-of-squares accumulators used for both exact
 //!   node statistics and sample-based estimators;
-//! * [`Estimate`] — an AQP answer with its variance and confidence interval.
+//! * [`Estimate`] — an AQP answer with its variance and confidence interval;
+//! * [`merge`] — composition of per-shard estimates (additive COUNT/SUM
+//!   merge, delta-method AVG ratio, MIN/MAX extremes) for scatter-gather
+//!   deployments.
 //!
 //! The crate is dependency-light by design: every other crate in the
 //! workspace builds on these types.
@@ -18,6 +21,7 @@
 pub mod det_hash;
 pub mod error;
 pub mod float;
+pub mod merge;
 pub mod query;
 pub mod rect;
 pub mod row;

@@ -1,0 +1,149 @@
+//! Estimate composition across independent partial answers.
+//!
+//! A sharded deployment (see the `janus-cluster` crate) scatters one query
+//! to several synopses and must gather the per-shard [`Estimate`]s into a
+//! single answer whose value *and* uncertainty are both right:
+//!
+//! * **COUNT/SUM** are additive: per-shard point estimates add, and —
+//!   because shards hold disjoint rows and sample independently — so do
+//!   their variances, separately per source (`ν_c` catch-up, `ν_s`
+//!   stratified-sample), preserving the §4.4.1 two-source decomposition.
+//! * **AVG** is *not* additive. It is re-derived as a ratio of merged
+//!   SUM and COUNT moment estimates, with the variance propagated by the
+//!   standard delta method for a ratio of estimators:
+//!   `Var(S/C) ≈ (Var(S) + (S/C)²·Var(C)) / C²`, again per source so the
+//!   combined estimate still reports a two-source confidence interval.
+//! * **MIN/MAX** take the extreme of the per-shard answers.
+
+use crate::query::Estimate;
+
+/// Merges additive (COUNT/SUM) partial estimates from disjoint shards:
+/// values add, per-source variances add, bookkeeping counters add.
+///
+/// The empty merge is the exact zero estimate (an empty shard set
+/// contributes nothing).
+pub fn merge_additive<'a>(parts: impl IntoIterator<Item = &'a Estimate>) -> Estimate {
+    let mut merged = Estimate::exact(0.0);
+    for part in parts {
+        merged.value += part.value;
+        merged.catchup_variance += part.catchup_variance;
+        merged.sample_variance += part.sample_variance;
+        merged.covered_nodes += part.covered_nodes;
+        merged.partial_nodes += part.partial_nodes;
+        merged.samples_used += part.samples_used;
+    }
+    merged
+}
+
+/// Combines a merged SUM estimate and a merged COUNT estimate into an AVG
+/// estimate via the delta method (see module docs). Returns `None` when
+/// the estimated selection is empty or negative (no meaningful ratio).
+pub fn combine_avg(sum: &Estimate, count: &Estimate) -> Option<Estimate> {
+    // `!(a > b)` deliberately rejects a NaN count as well.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    if !(count.value > 0.0) {
+        return None;
+    }
+    let ratio = sum.value / count.value;
+    let inv_count_sq = 1.0 / (count.value * count.value);
+    let propagate =
+        |sum_var: f64, count_var: f64| (sum_var + ratio * ratio * count_var) * inv_count_sq;
+    Some(Estimate {
+        value: ratio,
+        catchup_variance: propagate(sum.catchup_variance, count.catchup_variance),
+        sample_variance: propagate(sum.sample_variance, count.sample_variance),
+        covered_nodes: sum.covered_nodes.max(count.covered_nodes),
+        partial_nodes: sum.partial_nodes.max(count.partial_nodes),
+        samples_used: sum.samples_used.max(count.samples_used),
+    })
+}
+
+/// Merges MIN (`minimum = true`) or MAX partial estimates: the extreme
+/// per-shard value wins and carries its own uncertainty bookkeeping.
+/// Returns `None` when no shard produced an answer.
+pub fn merge_extremum<'a>(
+    parts: impl IntoIterator<Item = &'a Estimate>,
+    minimum: bool,
+) -> Option<Estimate> {
+    parts.into_iter().fold(None, |best, part| match best {
+        None => Some(*part),
+        Some(b) => {
+            let better = if minimum {
+                part.value < b.value
+            } else {
+                part.value > b.value
+            };
+            Some(if better { *part } else { b })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(value: f64, vc: f64, vs: f64) -> Estimate {
+        Estimate {
+            value,
+            catchup_variance: vc,
+            sample_variance: vs,
+            covered_nodes: 1,
+            partial_nodes: 2,
+            samples_used: 3,
+        }
+    }
+
+    #[test]
+    fn additive_merge_adds_values_and_variances() {
+        let parts = [est(10.0, 1.0, 2.0), est(5.0, 0.5, 0.25)];
+        let m = merge_additive(&parts);
+        assert_eq!(m.value, 15.0);
+        assert_eq!(m.catchup_variance, 1.5);
+        assert_eq!(m.sample_variance, 2.25);
+        assert_eq!(m.variance(), 3.75);
+        assert_eq!(m.covered_nodes, 2);
+        assert_eq!(m.samples_used, 6);
+    }
+
+    #[test]
+    fn additive_merge_of_nothing_is_exact_zero() {
+        let m = merge_additive([]);
+        assert_eq!(m.value, 0.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn avg_ratio_matches_hand_computation() {
+        // S = 100 ± (var 16), C = 25 ± (var 4); r = 4.
+        // Var = (16 + 16*4) / 625 = 0.128, split across sources.
+        let sum = est(100.0, 10.0, 6.0);
+        let count = est(25.0, 4.0, 0.0);
+        let avg = combine_avg(&sum, &count).unwrap();
+        assert_eq!(avg.value, 4.0);
+        let expect_vc = (10.0 + 16.0 * 4.0) / 625.0;
+        let expect_vs = 6.0 / 625.0;
+        assert!((avg.catchup_variance - expect_vc).abs() < 1e-12);
+        assert!((avg.sample_variance - expect_vs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_of_empty_selection_is_none() {
+        assert!(combine_avg(&est(0.0, 0.0, 0.0), &est(0.0, 0.0, 0.0)).is_none());
+        assert!(combine_avg(&est(1.0, 0.0, 0.0), &est(-2.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn avg_with_exact_inputs_is_exact() {
+        let avg = combine_avg(&Estimate::exact(54.0), &Estimate::exact(4.0)).unwrap();
+        assert_eq!(avg.value, 13.5);
+        assert_eq!(avg.variance(), 0.0);
+    }
+
+    #[test]
+    fn extremum_merge_picks_the_extreme() {
+        let parts = [est(3.0, 0.0, 0.0), est(-1.0, 0.0, 0.0), est(7.0, 0.0, 0.0)];
+        assert_eq!(merge_extremum(&parts, true).unwrap().value, -1.0);
+        assert_eq!(merge_extremum(&parts, false).unwrap().value, 7.0);
+        assert!(merge_extremum([], true).is_none());
+    }
+}

@@ -72,7 +72,11 @@ pub struct QueryTemplate {
 impl QueryTemplate {
     /// Convenience constructor.
     pub fn new(agg: AggregateFunction, agg_column: usize, predicate_columns: Vec<usize>) -> Self {
-        QueryTemplate { agg, agg_column, predicate_columns }
+        QueryTemplate {
+            agg,
+            agg_column,
+            predicate_columns,
+        }
     }
 
     /// Dimensionality `d` of the predicate space.
@@ -111,7 +115,12 @@ impl Query {
                 actual: range.dims(),
             });
         }
-        Ok(Query { agg, agg_column, predicate_columns, range })
+        Ok(Query {
+            agg,
+            agg_column,
+            predicate_columns,
+            range,
+        })
     }
 
     /// The template this query belongs to.
@@ -241,20 +250,47 @@ mod tests {
     fn exact_evaluation_matches_hand_computation() {
         let rows = rows();
         // rows with time in [2, 5]: values 4, 9, 16, 25
-        assert_eq!(q(AggregateFunction::Count, 2.0, 5.0).evaluate_exact(&rows), Some(4.0));
-        assert_eq!(q(AggregateFunction::Sum, 2.0, 5.0).evaluate_exact(&rows), Some(54.0));
-        assert_eq!(q(AggregateFunction::Avg, 2.0, 5.0).evaluate_exact(&rows), Some(13.5));
-        assert_eq!(q(AggregateFunction::Min, 2.0, 5.0).evaluate_exact(&rows), Some(4.0));
-        assert_eq!(q(AggregateFunction::Max, 2.0, 5.0).evaluate_exact(&rows), Some(25.0));
+        assert_eq!(
+            q(AggregateFunction::Count, 2.0, 5.0).evaluate_exact(&rows),
+            Some(4.0)
+        );
+        assert_eq!(
+            q(AggregateFunction::Sum, 2.0, 5.0).evaluate_exact(&rows),
+            Some(54.0)
+        );
+        assert_eq!(
+            q(AggregateFunction::Avg, 2.0, 5.0).evaluate_exact(&rows),
+            Some(13.5)
+        );
+        assert_eq!(
+            q(AggregateFunction::Min, 2.0, 5.0).evaluate_exact(&rows),
+            Some(4.0)
+        );
+        assert_eq!(
+            q(AggregateFunction::Max, 2.0, 5.0).evaluate_exact(&rows),
+            Some(25.0)
+        );
     }
 
     #[test]
     fn empty_selection_yields_none_for_avg_min_max() {
         let rows = rows();
-        assert_eq!(q(AggregateFunction::Count, 100.0, 200.0).evaluate_exact(&rows), Some(0.0));
-        assert_eq!(q(AggregateFunction::Sum, 100.0, 200.0).evaluate_exact(&rows), Some(0.0));
-        assert_eq!(q(AggregateFunction::Avg, 100.0, 200.0).evaluate_exact(&rows), None);
-        assert_eq!(q(AggregateFunction::Min, 100.0, 200.0).evaluate_exact(&rows), None);
+        assert_eq!(
+            q(AggregateFunction::Count, 100.0, 200.0).evaluate_exact(&rows),
+            Some(0.0)
+        );
+        assert_eq!(
+            q(AggregateFunction::Sum, 100.0, 200.0).evaluate_exact(&rows),
+            Some(0.0)
+        );
+        assert_eq!(
+            q(AggregateFunction::Avg, 100.0, 200.0).evaluate_exact(&rows),
+            None
+        );
+        assert_eq!(
+            q(AggregateFunction::Min, 100.0, 200.0).evaluate_exact(&rows),
+            None
+        );
     }
 
     #[test]

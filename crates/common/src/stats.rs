@@ -24,12 +24,20 @@ pub struct Moments {
 
 impl Moments {
     /// The empty accumulator.
-    pub const ZERO: Moments = Moments { count: 0.0, sum: 0.0, sumsq: 0.0 };
+    pub const ZERO: Moments = Moments {
+        count: 0.0,
+        sum: 0.0,
+        sumsq: 0.0,
+    };
 
     /// Accumulator holding a single value `a`.
     #[inline]
     pub fn of(a: f64) -> Self {
-        Moments { count: 1.0, sum: a, sumsq: a * a }
+        Moments {
+            count: 1.0,
+            sum: a,
+            sumsq: a * a,
+        }
     }
 
     /// Accumulates one value.

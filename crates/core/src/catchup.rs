@@ -27,7 +27,11 @@ impl CatchupQueue {
 
     /// An already-complete queue (used when the base is exact).
     pub fn completed() -> Self {
-        CatchupQueue { rows: Vec::new(), pos: 0, goal: 0 }
+        CatchupQueue {
+            rows: Vec::new(),
+            pos: 0,
+            goal: 0,
+        }
     }
 
     /// Number of samples applied so far.

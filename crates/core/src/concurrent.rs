@@ -152,7 +152,11 @@ pub fn apply_batch(engine: &mut JanusEngine, updates: Vec<Update>, threads: usiz
     }
     let serial_phase = started.elapsed();
 
-    BatchReport { applied, parallel_phase, serial_phase }
+    BatchReport {
+        applied,
+        parallel_phase,
+        serial_phase,
+    }
 }
 
 #[cfg(test)]

@@ -99,10 +99,14 @@ impl SynopsisConfig {
             return Err(JanusError::InvalidConfig("leaf_count must be >= 2".into()));
         }
         if !(self.sample_rate > 0.0 && self.sample_rate <= 1.0) {
-            return Err(JanusError::InvalidConfig("sample_rate must be in (0, 1]".into()));
+            return Err(JanusError::InvalidConfig(
+                "sample_rate must be in (0, 1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.catchup_ratio) {
-            return Err(JanusError::InvalidConfig("catchup_ratio must be in [0, 1]".into()));
+            return Err(JanusError::InvalidConfig(
+                "catchup_ratio must be in [0, 1]".into(),
+            ));
         }
         if self.beta <= 1.0 {
             return Err(JanusError::InvalidConfig("beta must exceed 1".into()));
@@ -111,13 +115,19 @@ impl SynopsisConfig {
             return Err(JanusError::InvalidConfig("rho must exceed 1".into()));
         }
         if !(self.delta > 0.0 && self.delta < 0.5) {
-            return Err(JanusError::InvalidConfig("delta must be in (0, 0.5)".into()));
+            return Err(JanusError::InvalidConfig(
+                "delta must be in (0, 0.5)".into(),
+            ));
         }
         if self.minmax_k == 0 {
-            return Err(JanusError::InvalidConfig("minmax_k must be positive".into()));
+            return Err(JanusError::InvalidConfig(
+                "minmax_k must be positive".into(),
+            ));
         }
         if self.template.predicate_columns.is_empty() {
-            return Err(JanusError::InvalidConfig("need at least one predicate column".into()));
+            return Err(JanusError::InvalidConfig(
+                "need at least one predicate column".into(),
+            ));
         }
         Ok(())
     }

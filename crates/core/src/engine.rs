@@ -104,7 +104,10 @@ impl JanusEngine {
         };
 
         Ok(JanusEngine {
-            trigger_cfg: TriggerConfig { beta: config.beta, underrep_fraction: 1.0 },
+            trigger_cfg: TriggerConfig {
+                beta: config.beta,
+                underrep_fraction: 1.0,
+            },
             partitioner,
             config,
             archive,
@@ -119,7 +122,10 @@ impl JanusEngine {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed_counter = self.seed_counter.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        self.seed_counter = self
+            .seed_counter
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(1);
         self.config.seed ^ self.seed_counter
     }
 
@@ -164,7 +170,10 @@ impl JanusEngine {
 
     /// Overrides the partitioner algorithm (experiments compare BS vs DP).
     pub fn set_partitioner(&mut self, kind: PartitionerKind) {
-        self.partitioner = Partitioner { kind, rho: self.config.rho };
+        self.partitioner = Partitioner {
+            kind,
+            rho: self.config.rho,
+        };
     }
 
     /// Catch-up progress in `[0, 1]`.
@@ -351,10 +360,46 @@ impl JanusEngine {
         }
     }
 
+    /// Moment-level merge hook for scatter-gather deployments: answers the
+    /// query's selection as a (SUM, COUNT) estimate pair over the same
+    /// predicate. A cluster façade merges these additively across shards
+    /// and re-derives AVG as the ratio of the merged moments
+    /// ([`janus_common::merge::combine_avg`]), which is the only
+    /// composition that keeps the §4.4.1 two-source confidence interval
+    /// correct — per-shard AVG answers themselves do not add.
+    pub fn answer_sum_count(&mut self, query: &Query) -> Result<(Estimate, Estimate)> {
+        let sum_query = Query::new(
+            janus_common::AggregateFunction::Sum,
+            query.agg_column,
+            query.predicate_columns.clone(),
+            query.range.clone(),
+        )?;
+        let count_query = Query::new(
+            janus_common::AggregateFunction::Count,
+            query.agg_column,
+            query.predicate_columns.clone(),
+            query.range.clone(),
+        )?;
+        let sum = self
+            .query(&sum_query)?
+            .expect("SUM answers are always produced");
+        let count = self
+            .query(&count_query)?
+            .expect("COUNT answers are always produced");
+        Ok((sum, count))
+    }
+
     /// Exact evaluation over the archive — the ground-truth oracle used by
     /// the experiment harness (never used to answer synopsis queries).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
         query.evaluate_exact(self.archive.iter())
+    }
+
+    /// Exports the live table rows (id order unspecified) — the archive
+    /// side of a shard migration or a full synopsis hand-off; pair with
+    /// [`JanusEngine::save_synopsis`] for the synopsis side.
+    pub fn export_rows(&self) -> Vec<Row> {
+        self.archive.iter().cloned().collect()
     }
 
     // ------------------------------------------------------------------
@@ -406,7 +451,8 @@ impl JanusEngine {
         if !self.config.auto_repartition {
             return;
         }
-        if let Some(decision) = trigger::check_leaf(&self.dpt, &self.maxvar, leaf, &self.trigger_cfg)
+        if let Some(decision) =
+            trigger::check_leaf(&self.dpt, &self.maxvar, leaf, &self.trigger_cfg)
         {
             let _ = self.try_repartition(decision);
         }
@@ -417,7 +463,10 @@ impl JanusEngine {
     /// whether a re-partitioning was adopted.
     pub fn try_repartition(&mut self, decision: TriggerDecision) -> bool {
         let _ = decision;
-        let Ok(outcome) = self.partitioner.compute(&self.maxvar, self.config.leaf_count) else {
+        let Ok(outcome) = self
+            .partitioner
+            .compute(&self.maxvar, self.config.leaf_count)
+        else {
             return false;
         };
         let current_max = self.current_max_variance();
@@ -444,7 +493,9 @@ impl JanusEngine {
     /// from the pooled sample, populate approximate statistics from it,
     /// re-sample the reservoir, and restart catch-up.
     pub fn reinitialize(&mut self) -> Result<()> {
-        let outcome = self.partitioner.compute(&self.maxvar, self.config.leaf_count)?;
+        let outcome = self
+            .partitioner
+            .compute(&self.maxvar, self.config.leaf_count)?;
         self.adopt_partitioning(outcome);
         self.stats.repartitions += 1;
         Ok(())
@@ -493,7 +544,10 @@ impl JanusEngine {
         let maxvar =
             MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
         Ok(JanusEngine {
-            trigger_cfg: TriggerConfig { beta: config.beta, underrep_fraction: 1.0 },
+            trigger_cfg: TriggerConfig {
+                beta: config.beta,
+                underrep_fraction: 1.0,
+            },
             partitioner: Partitioner::auto(config.rho),
             config,
             archive,
@@ -683,7 +737,11 @@ mod tests {
             let est = engine.query(&q).unwrap().unwrap();
             let truth = engine.evaluate_exact(&q).unwrap();
             let rel = (est.value - truth).abs() / truth;
-            assert!(rel < 0.15, "[{lo},{hi}]: est {} truth {truth} rel {rel}", est.value);
+            assert!(
+                rel < 0.15,
+                "[{lo},{hi}]: est {} truth {truth} rel {rel}",
+                est.value
+            );
         }
         assert_eq!(engine.stats().queries, 3);
     }
@@ -698,9 +756,7 @@ mod tests {
         for _ in 0..2_000 {
             if rng.gen_bool(0.8) {
                 let x = rng.gen::<f64>() * 100.0;
-                engine
-                    .insert(Row::new(next_id, vec![x, x * 2.0]))
-                    .unwrap();
+                engine.insert(Row::new(next_id, vec![x, x * 2.0])).unwrap();
                 live.push(next_id);
                 next_id += 1;
             } else {
@@ -722,7 +778,10 @@ mod tests {
         let data = rows(200, 4);
         let mut engine = JanusEngine::bootstrap(config(4), data).unwrap();
         assert!(engine.insert(Row::new(0, vec![1.0, 2.0])).is_err());
-        assert!(matches!(engine.delete(99_999), Err(JanusError::RowNotFound(_))));
+        assert!(matches!(
+            engine.delete(99_999),
+            Err(JanusError::RowNotFound(_))
+        ));
     }
 
     #[test]
@@ -734,7 +793,10 @@ mod tests {
         for id in 0..1_500u64 {
             engine.delete(id).unwrap();
         }
-        assert!(engine.stats().resamples >= 1, "reservoir should have been refilled");
+        assert!(
+            engine.stats().resamples >= 1,
+            "reservoir should have been refilled"
+        );
         // All remaining sampled ids must be live rows.
         for s in engine.reservoir().iter() {
             assert!(engine.archive().contains(s.id));
@@ -772,7 +834,10 @@ mod tests {
         let late = engine.query(&q).unwrap().unwrap();
         let early_err = (early.value - truth).abs() / truth;
         let late_err = (late.value - truth).abs() / truth;
-        assert!(late_err <= early_err + 0.02, "late {late_err} vs early {early_err}");
+        assert!(
+            late_err <= early_err + 0.02,
+            "late {late_err} vs early {early_err}"
+        );
         assert!(late_err < 0.05, "late err {late_err}");
     }
 

@@ -98,12 +98,20 @@ mod tests {
         // Verify N̂²/(4m) equals the SUM formula with all weights 1 and the
         // worst query containing m/2 samples.
         let m = 64.0;
-        let half = Moments { count: 32.0, sum: 32.0, sumsq: 32.0 };
+        let half = Moments {
+            count: 32.0,
+            sum: 32.0,
+            sumsq: 32.0,
+        };
         let via_sum = bucket_sum_query_variance(1000.0, m, &half);
         let direct = bucket_count_query_variance(1000.0, m);
         assert!((via_sum - direct).abs() < 1e-9);
         // Any other query cardinality gives a smaller kernel.
-        let third = Moments { count: 20.0, sum: 20.0, sumsq: 20.0 };
+        let third = Moments {
+            count: 20.0,
+            sum: 20.0,
+            sumsq: 20.0,
+        };
         assert!(bucket_sum_query_variance(1000.0, m, &third) < direct);
     }
 

@@ -64,7 +64,10 @@ impl LiveEngine {
                 }
             })
             .expect("spawn catch-up thread");
-        Ok(LiveEngine { shared, catchup_thread: Some(catchup_thread) })
+        Ok(LiveEngine {
+            shared,
+            catchup_thread: Some(catchup_thread),
+        })
     }
 
     /// Inserts a tuple.
@@ -289,7 +292,8 @@ mod tests {
                 let mut i = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let x = rng.gen::<f64>() * 100.0;
-                    live.insert(Row::new(2_000_000 + i, vec![x, x * 2.0])).unwrap();
+                    live.insert(Row::new(2_000_000 + i, vec![x, x * 2.0]))
+                        .unwrap();
                     i += 1;
                 }
                 i

@@ -92,7 +92,11 @@ impl MaxVarianceIndex {
 
     fn insert_treaps(&mut self, p: &IndexPoint) {
         for (dim, t) in self.coord.iter_mut().enumerate() {
-            t.insert(Entry { key: p.coords[dim], id: p.id, weight: p.weight });
+            t.insert(Entry {
+                key: p.coords[dim],
+                id: p.id,
+                weight: p.weight,
+            });
         }
     }
 
@@ -191,8 +195,7 @@ impl MaxVarianceIndex {
     /// a re-partitioning is computed.
     pub fn live_points(&self) -> Vec<IndexPoint> {
         match &self.spatial {
-            Spatial::None => self
-                .coord[0]
+            Spatial::None => self.coord[0]
                 .iter()
                 .map(|e| IndexPoint::new(vec![e.key], e.id, e.weight))
                 .collect(),
@@ -226,9 +229,7 @@ impl MaxVarianceIndex {
         }
         let m = (j - i) as f64;
         match self.focus {
-            AggregateFunction::Count => {
-                formulas::bucket_count_query_variance(m / self.alpha, m)
-            }
+            AggregateFunction::Count => formulas::bucket_count_query_variance(m / self.alpha, m),
             AggregateFunction::Sum | AggregateFunction::Min | AggregateFunction::Max => {
                 let mid = i + (j - i) / 2;
                 let left = self.coord[0].moments_by_rank(i, mid);
@@ -375,7 +376,13 @@ mod tests {
     fn points_1d(n: usize, seed: u64) -> Vec<IndexPoint> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| IndexPoint::new(vec![rng.gen::<f64>() * 100.0], i as u64, rng.gen::<f64>() * 10.0))
+            .map(|i| {
+                IndexPoint::new(
+                    vec![rng.gen::<f64>() * 100.0],
+                    i as u64,
+                    rng.gen::<f64>() * 10.0,
+                )
+            })
             .collect()
     }
 
@@ -394,7 +401,8 @@ mod tests {
 
     #[test]
     fn count_variance_is_closed_form() {
-        let idx = MaxVarianceIndex::bulk_load(1, AggregateFunction::Count, 0.1, 0.01, points_1d(100, 1));
+        let idx =
+            MaxVarianceIndex::bulk_load(1, AggregateFunction::Count, 0.1, 0.01, points_1d(100, 1));
         let r = Rect::new(vec![0.0], vec![100.1]).unwrap();
         let m = idx.count_in(&r) as f64;
         assert_eq!(m, 100.0);
@@ -421,8 +429,8 @@ mod tests {
         let mut exact = 0.0f64;
         for a in 0..sorted.len() {
             let mut q = Moments::ZERO;
-            for b in a..sorted.len() {
-                q.add(sorted[b].weight);
+            for p in &sorted[a..] {
+                q.add(p.weight);
                 exact = exact.max(formulas::bucket_sum_query_variance(n_hat, m, &q));
             }
         }
@@ -432,7 +440,8 @@ mod tests {
 
     #[test]
     fn updates_change_the_probe() {
-        let mut idx = MaxVarianceIndex::bulk_load(1, AggregateFunction::Sum, 0.1, 0.01, points_1d(50, 3));
+        let mut idx =
+            MaxVarianceIndex::bulk_load(1, AggregateFunction::Sum, 0.1, 0.01, points_1d(50, 3));
         let r = Rect::new(vec![0.0], vec![100.1]).unwrap();
         let before = idx.max_variance(&r);
         // Insert an outlier value: variance probe must increase.
@@ -485,7 +494,8 @@ mod tests {
 
     #[test]
     fn empty_rect_scores_zero() {
-        let idx = MaxVarianceIndex::bulk_load(2, AggregateFunction::Sum, 0.1, 0.01, points_nd(2, 50, 13));
+        let idx =
+            MaxVarianceIndex::bulk_load(2, AggregateFunction::Sum, 0.1, 0.01, points_nd(2, 50, 13));
         let r = Rect::new(vec![5.0, 5.0], vec![6.0, 6.0]).unwrap();
         assert_eq!(idx.max_variance(&r), 0.0);
         assert_eq!(idx.count_in(&r), 0);
@@ -494,7 +504,8 @@ mod tests {
     #[test]
     fn live_points_round_trip() {
         let pts = points_nd(2, 60, 17);
-        let mut idx = MaxVarianceIndex::bulk_load(2, AggregateFunction::Sum, 0.1, 0.01, pts.clone());
+        let mut idx =
+            MaxVarianceIndex::bulk_load(2, AggregateFunction::Sum, 0.1, 0.01, pts.clone());
         idx.delete(&pts[5]);
         let live = idx.live_points();
         assert_eq!(live.len(), 59);

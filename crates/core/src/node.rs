@@ -120,7 +120,11 @@ impl NodeStats {
         }
         let n_hat = self.estimated_moments(epochs).count;
         let phi = if count_query {
-            Moments { count: h_i, sum: h_i, sumsq: h_i }
+            Moments {
+                count: h_i,
+                sum: h_i,
+                sumsq: h_i,
+            }
         } else {
             self.catchup
         };
@@ -170,7 +174,10 @@ mod tests {
     use super::*;
 
     fn epochs(population: f64, offered: u64) -> Vec<EpochInfo> {
-        vec![EpochInfo { population, offered }]
+        vec![EpochInfo {
+            population,
+            offered,
+        }]
     }
 
     #[test]

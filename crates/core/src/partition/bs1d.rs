@@ -184,7 +184,13 @@ mod tests {
     fn uniform_points(n: usize, seed: u64) -> Vec<IndexPoint> {
         let mut rng = SmallRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| IndexPoint::new(vec![rng.gen::<f64>() * 100.0], i as u64, rng.gen::<f64>() * 10.0))
+            .map(|i| {
+                IndexPoint::new(
+                    vec![rng.gen::<f64>() * 100.0],
+                    i as u64,
+                    rng.gen::<f64>() * 10.0,
+                )
+            })
             .collect()
     }
 

@@ -49,6 +49,7 @@ pub fn partition(mv: &MaxVarianceIndex, k: usize, candidates: usize) -> Result<P
         for i in 1..n {
             let mut best = f64::INFINITY;
             let mut arg = 0;
+            #[allow(clippy::needless_range_loop)] // `s` also feeds err(s, i)
             for s in 0..i {
                 if d[s] >= best {
                     // d is non-decreasing in s: no better split remains.
@@ -128,8 +129,12 @@ mod tests {
         let mv = mv_sum(pts);
         let dp = partition(&mv, 12, 400).unwrap();
         let bs = super::super::bs1d::partition(&mv, 12, 2.0).unwrap();
-        assert!(dp.max_leaf_variance <= bs.max_leaf_variance * 1.5,
-            "dp {} vs bs {}", dp.max_leaf_variance, bs.max_leaf_variance);
+        assert!(
+            dp.max_leaf_variance <= bs.max_leaf_variance * 1.5,
+            "dp {} vs bs {}",
+            dp.max_leaf_variance,
+            bs.max_leaf_variance
+        );
     }
 
     #[test]

@@ -19,9 +19,16 @@ pub fn partition(mv: &MaxVarianceIndex, k: usize) -> Result<PartitionOutcome> {
 
 /// k-d partitioning restricted to `root_rect` — used by partial
 /// re-partitioning (Appendix E), which rebuilds only a subtree's region.
-pub fn partition_within(mv: &MaxVarianceIndex, root_rect: Rect, k: usize) -> Result<PartitionOutcome> {
+pub fn partition_within(
+    mv: &MaxVarianceIndex,
+    root_rect: Rect,
+    k: usize,
+) -> Result<PartitionOutcome> {
     let dims = mv.dims();
-    let mut nodes = vec![SpecNode { rect: root_rect, children: Vec::new() }];
+    let mut nodes = vec![SpecNode {
+        rect: root_rect,
+        children: Vec::new(),
+    }];
     // Heap entries: (variance, node index, depth). `F64` gives a total
     // order; ties broken by node index for determinism.
     let mut heap: BinaryHeap<(F64, std::cmp::Reverse<usize>, usize)> = BinaryHeap::new();
@@ -50,9 +57,15 @@ pub fn partition_within(mv: &MaxVarianceIndex, root_rect: Rect, k: usize) -> Res
         };
         let (left_rect, right_rect) = rect.split_at(dim, x);
         let left = nodes.len();
-        nodes.push(SpecNode { rect: left_rect, children: Vec::new() });
+        nodes.push(SpecNode {
+            rect: left_rect,
+            children: Vec::new(),
+        });
         let right = nodes.len();
-        nodes.push(SpecNode { rect: right_rect, children: Vec::new() });
+        nodes.push(SpecNode {
+            rect: right_rect,
+            children: Vec::new(),
+        });
         nodes[idx].children = vec![left, right];
         leaves += 1;
         for &c in &[left, right] {

@@ -48,7 +48,10 @@ impl PartitionSpec {
     /// A trivial single-node spec covering all of `dims`-dimensional space.
     pub fn trivial(dims: usize) -> Self {
         PartitionSpec {
-            nodes: vec![SpecNode { rect: Rect::unbounded(dims), children: Vec::new() }],
+            nodes: vec![SpecNode {
+                rect: Rect::unbounded(dims),
+                children: Vec::new(),
+            }],
             root: 0,
         }
     }
@@ -102,7 +105,10 @@ impl PartitionSpec {
     fn build_balanced(edges: &[f64], lo: usize, hi: usize, nodes: &mut Vec<SpecNode>) -> usize {
         let rect = Rect::new(vec![edges[lo]], vec![edges[hi]]).expect("edges ordered");
         let idx = nodes.len();
-        nodes.push(SpecNode { rect, children: Vec::new() });
+        nodes.push(SpecNode {
+            rect,
+            children: Vec::new(),
+        });
         if hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             let left = Self::build_balanced(edges, lo, mid, nodes);
@@ -189,7 +195,10 @@ pub struct Partitioner {
 impl Partitioner {
     /// A partitioner with automatic algorithm choice.
     pub fn auto(rho: f64) -> Self {
-        Partitioner { kind: PartitionerKind::Auto, rho }
+        Partitioner {
+            kind: PartitionerKind::Auto,
+            rho,
+        }
     }
 
     /// Runs the partitioner, producing a spec with (up to) `k` leaves.
@@ -233,7 +242,12 @@ pub(crate) fn finish(spec: PartitionSpec, mv: &MaxVarianceIndex) -> PartitionOut
         .map(|i| mv.max_variance(&spec.nodes[i].rect))
         .collect();
     let max_leaf_variance = leaf_variances.iter().copied().fold(0.0, f64::max);
-    PartitionOutcome { spec, leaf_variances, max_leaf_variance, elapsed: Duration::ZERO }
+    PartitionOutcome {
+        spec,
+        leaf_variances,
+        max_leaf_variance,
+        elapsed: Duration::ZERO,
+    }
 }
 
 /// Shared helper for the 1-D algorithms: snap a rank-space cut up past any

@@ -11,9 +11,7 @@
 
 use crate::node::{EpochInfo, NodeStats};
 use crate::tree::{Dpt, DptNode};
-use janus_common::{
-    JanusError, Moments, QueryTemplate, Rect, Result, Row, RowId,
-};
+use janus_common::{JanusError, Moments, QueryTemplate, Rect, Result, Row, RowId};
 use serde::{Deserialize, Serialize};
 
 /// Serialized form of one DPT node.
@@ -149,7 +147,9 @@ impl Dpt {
             });
         }
         if snapshot.root >= nodes.len() {
-            return Err(JanusError::InvalidConfig("snapshot root out of range".into()));
+            return Err(JanusError::InvalidConfig(
+                "snapshot root out of range".into(),
+            ));
         }
         Ok(Dpt::from_parts(
             snapshot.template.clone(),
@@ -206,18 +206,26 @@ mod tests {
         let mut e = engine(1);
         // Exercise deltas and MIN/MAX before snapshotting.
         for i in 0..500u64 {
-            e.insert(Row::new(100_000 + i, vec![(i % 100) as f64, i as f64])).unwrap();
+            e.insert(Row::new(100_000 + i, vec![(i % 100) as f64, i as f64]))
+                .unwrap();
         }
         let snap = e.dpt().to_snapshot();
         let restored = Dpt::from_snapshot(&snap).unwrap();
 
-        for (lo, hi) in [(0.0, 100.0), (20.0, 60.0), (f64::NEG_INFINITY, f64::INFINITY)] {
+        for (lo, hi) in [
+            (0.0, 100.0),
+            (20.0, 60.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+        ] {
             let query = q(lo, hi);
             let a = e.dpt().answer(&query, e.reservoir()).unwrap().unwrap();
             let b = restored.answer(&query, e.reservoir()).unwrap().unwrap();
             // Stratum sets are rebuilt at restore, so floating-point
             // summation order may differ by a few ULPs.
-            assert!((a.value - b.value).abs() <= 1e-9 * a.value.abs().max(1.0), "[{lo},{hi}]");
+            assert!(
+                (a.value - b.value).abs() <= 1e-9 * a.value.abs().max(1.0),
+                "[{lo},{hi}]"
+            );
             assert!((a.variance() - b.variance()).abs() <= 1e-9 * a.variance().max(1.0));
         }
     }
@@ -238,8 +246,7 @@ mod tests {
         let mut e = engine(3);
         let snap = e.save_synopsis();
         let archive: Vec<Row> = e.archive().iter().cloned().collect();
-        let mut restored =
-            JanusEngine::restore(e.config().clone(), archive, &snap).unwrap();
+        let mut restored = JanusEngine::restore(e.config().clone(), archive, &snap).unwrap();
 
         // Answers match (to summation-order ULPs) right after restore.
         let query = q(10.0, 90.0);

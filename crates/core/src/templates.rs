@@ -19,9 +19,7 @@ use crate::config::SynopsisConfig;
 use crate::maxvar::MaxVarianceIndex;
 use crate::partition::Partitioner;
 use crate::tree::Dpt;
-use janus_common::{
-    AggregateFunction, Estimate, JanusError, Moments, Query, Result, Row, RowId,
-};
+use janus_common::{AggregateFunction, Estimate, JanusError, Moments, Query, Result, Row, RowId};
 use janus_index::IndexPoint;
 use janus_sampling::{DeleteOutcome, DynamicReservoir, InsertOutcome};
 use janus_storage::ArchiveStore;
@@ -43,7 +41,11 @@ pub fn uniform_estimate<'a>(
         m += 1.0;
         if query.matches(row) {
             let a = row.value(query.agg_column);
-            phi.add(if query.agg == AggregateFunction::Count { 1.0 } else { a });
+            phi.add(if query.agg == AggregateFunction::Count {
+                1.0
+            } else {
+                a
+            });
             extremum = Some(match extremum {
                 None => a,
                 Some(b) if is_min => b.min(a),
@@ -110,7 +112,9 @@ impl MultiTemplateEngine {
     /// reservoir is sized by the largest configured sample rate.
     pub fn bootstrap(configs: Vec<SynopsisConfig>, rows: Vec<Row>) -> Result<Self> {
         if configs.is_empty() {
-            return Err(JanusError::InvalidConfig("need at least one template".into()));
+            return Err(JanusError::InvalidConfig(
+                "need at least one template".into(),
+            ));
         }
         for c in &configs {
             c.validate()?;
@@ -137,7 +141,10 @@ impl MultiTemplateEngine {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed_counter = self.seed_counter.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        self.seed_counter = self
+            .seed_counter
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(1);
         self.base_seed ^ self.seed_counter
     }
 
@@ -190,7 +197,12 @@ impl MultiTemplateEngine {
         let goal = (config.catchup_ratio * n as f64).ceil() as usize;
         let seed = self.next_seed();
         let catchup = CatchupQueue::new(self.archive.shuffled(seed), goal);
-        self.synopses.push(TemplateSynopsis { config, dpt, maxvar, catchup });
+        self.synopses.push(TemplateSynopsis {
+            config,
+            dpt,
+            maxvar,
+            catchup,
+        });
         Ok(())
     }
 
@@ -232,7 +244,10 @@ impl MultiTemplateEngine {
     /// Inserts a tuple, fanning out to every tree.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         if !self.archive.insert(row.clone()) {
-            return Err(JanusError::InvalidConfig(format!("duplicate row id {}", row.id)));
+            return Err(JanusError::InvalidConfig(format!(
+                "duplicate row id {}",
+                row.id
+            )));
         }
         for syn in &mut self.synopses {
             syn.dpt.record_insert(&row);
@@ -349,7 +364,11 @@ impl MultiTemplateEngine {
         {
             return syn.dpt.answer_sampling_only(query, &self.reservoir);
         }
-        Ok(uniform_estimate(query, self.reservoir.iter(), self.archive.len()))
+        Ok(uniform_estimate(
+            query,
+            self.reservoir.iter(),
+            self.archive.len(),
+        ))
     }
 }
 
@@ -383,8 +402,13 @@ mod tests {
     }
 
     fn q(agg: AggregateFunction, agg_col: usize, pred: usize, lo: f64, hi: f64) -> Query {
-        Query::new(agg, agg_col, vec![pred], RangePredicate::new(vec![lo], vec![hi]).unwrap())
-            .unwrap()
+        Query::new(
+            agg,
+            agg_col,
+            vec![pred],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -394,7 +418,11 @@ mod tests {
         let query = q(AggregateFunction::Sum, 2, 0, 10.0, 40.0);
         let est = uniform_estimate(&query, sample.into_iter(), data.len()).unwrap();
         let truth = query.evaluate_exact(&data).unwrap();
-        assert!((est.value - truth).abs() / truth < 0.2, "est {} truth {truth}", est.value);
+        assert!(
+            (est.value - truth).abs() / truth < 0.2,
+            "est {} truth {truth}",
+            est.value
+        );
         assert!(est.sample_variance > 0.0);
     }
 
@@ -411,11 +439,9 @@ mod tests {
     #[test]
     fn multi_template_routes_by_predicate_columns() {
         let data = rows(8_000, 3);
-        let mut engine = MultiTemplateEngine::bootstrap(
-            vec![cfg(2, vec![0], 7), cfg(2, vec![1], 7)],
-            data,
-        )
-        .unwrap();
+        let mut engine =
+            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 7), cfg(2, vec![1], 7)], data)
+                .unwrap();
         engine.run_all_catchup();
         // Template over column 0.
         let q0 = q(AggregateFunction::Sum, 2, 0, 5.0, 45.0);
@@ -432,8 +458,7 @@ mod tests {
     #[test]
     fn unknown_aggregation_column_uses_sampling_fallback() {
         let data = rows(8_000, 4);
-        let mut engine =
-            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 9)], data).unwrap();
+        let mut engine = MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 9)], data).unwrap();
         engine.run_all_catchup();
         // Aggregate column 1 (tree tracks column 2).
         let query = q(AggregateFunction::Sum, 1, 0, 5.0, 45.0);
@@ -445,8 +470,7 @@ mod tests {
     #[test]
     fn unknown_predicate_column_uses_uniform_fallback() {
         let data = rows(8_000, 5);
-        let mut engine =
-            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 11)], data).unwrap();
+        let mut engine = MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 11)], data).unwrap();
         engine.run_all_catchup();
         let query = q(AggregateFunction::Sum, 2, 1, 2.0, 8.0);
         let est = engine.query(&query).unwrap().unwrap();
@@ -457,17 +481,17 @@ mod tests {
     #[test]
     fn updates_fan_out_to_all_trees() {
         let data = rows(2_000, 6);
-        let mut engine = MultiTemplateEngine::bootstrap(
-            vec![cfg(2, vec![0], 13), cfg(2, vec![1], 13)],
-            data,
-        )
-        .unwrap();
+        let mut engine =
+            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 13), cfg(2, vec![1], 13)], data)
+                .unwrap();
         engine.run_all_catchup();
         let mut rng = SmallRng::seed_from_u64(14);
         for i in 0..500u64 {
             let x = rng.gen::<f64>() * 50.0;
             let y = rng.gen::<f64>() * 10.0;
-            engine.insert(Row::new(10_000 + i, vec![x, y, x + y])).unwrap();
+            engine
+                .insert(Row::new(10_000 + i, vec![x, y, x + y]))
+                .unwrap();
         }
         for id in 0..200u64 {
             engine.delete(id).unwrap();
@@ -478,15 +502,18 @@ mod tests {
         ] {
             let est = engine.query(&query).unwrap().unwrap();
             let truth = engine.evaluate_exact(&query).unwrap();
-            assert!((est.value - truth).abs() / truth < 0.12, "est {} truth {truth}", est.value);
+            assert!(
+                (est.value - truth).abs() / truth < 0.12,
+                "est {} truth {truth}",
+                est.value
+            );
         }
     }
 
     #[test]
     fn add_template_at_runtime() {
         let data = rows(4_000, 7);
-        let mut engine =
-            MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 17)], data).unwrap();
+        let mut engine = MultiTemplateEngine::bootstrap(vec![cfg(2, vec![0], 17)], data).unwrap();
         engine.run_all_catchup();
         assert_eq!(engine.template_count(), 1);
         engine.add_template(cfg(2, vec![1], 18)).unwrap();

@@ -112,7 +112,10 @@ impl Dpt {
             minmax_k,
             nodes,
             root: spec.root,
-            epochs: vec![EpochInfo { population, offered: 0 }],
+            epochs: vec![EpochInfo {
+                population,
+                offered: 0,
+            }],
             sample_leaf: DetHashMap::default(),
         })
     }
@@ -132,7 +135,14 @@ impl Dpt {
                 sample_leaf.insert(id, i);
             }
         }
-        Dpt { template, minmax_k, nodes, root, epochs, sample_leaf }
+        Dpt {
+            template,
+            minmax_k,
+            nodes,
+            root,
+            epochs,
+            sample_leaf,
+        }
     }
 
     /// Raw node arena (snapshot export).
@@ -231,8 +241,7 @@ impl Dpt {
         let mut idx = self.root;
         loop {
             self.nodes[idx].stats.record_insert(a);
-            let Some(&next) = self
-                .nodes[idx]
+            let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
                 .find(|&&c| self.nodes[c].rect.contains(&point))
@@ -250,8 +259,7 @@ impl Dpt {
         let mut idx = self.root;
         loop {
             self.nodes[idx].stats.record_delete(a);
-            let Some(&next) = self
-                .nodes[idx]
+            let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
                 .find(|&&c| self.nodes[c].rect.contains(&point))
@@ -275,8 +283,7 @@ impl Dpt {
             if self.nodes[idx].stats.epoch == epoch {
                 self.nodes[idx].stats.record_catchup(a);
             }
-            let Some(&next) = self
-                .nodes[idx]
+            let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
                 .find(|&&c| self.nodes[c].rect.contains(&point))
@@ -299,8 +306,7 @@ impl Dpt {
             loop {
                 acc[idx].add(a);
                 values[idx].push(a);
-                let Some(&next) = self
-                    .nodes[idx]
+                let Some(&next) = self.nodes[idx]
                     .children
                     .iter()
                     .find(|&&c| self.nodes[c].rect.contains(&point))
@@ -319,7 +325,10 @@ impl Dpt {
     /// Starts a fresh catch-up epoch with snapshot population `population`
     /// and re-homes *all* nodes into it (full re-initialization, §4.3).
     pub fn begin_epoch_all(&mut self, population: f64) {
-        self.epochs.push(EpochInfo { population, offered: 0 });
+        self.epochs.push(EpochInfo {
+            population,
+            offered: 0,
+        });
         let epoch = self.current_epoch();
         for node in &mut self.nodes {
             node.stats = NodeStats::new(self.minmax_k, epoch, 0);
@@ -431,7 +440,11 @@ impl Dpt {
             };
             m_i += 1;
             if query.matches(row) {
-                phi.add(if count_query { 1.0 } else { row.value(query.agg_column) });
+                phi.add(if count_query {
+                    1.0
+                } else {
+                    row.value(query.agg_column)
+                });
             }
         }
         (m_i, phi)
@@ -461,10 +474,7 @@ impl Dpt {
                 continue;
             }
             samples_used += phi.count as usize;
-            let n_hat = self.nodes[leaf]
-                .stats
-                .estimated_moments(&self.epochs)
-                .count;
+            let n_hat = self.nodes[leaf].stats.estimated_moments(&self.epochs).count;
             value += crate::formulas::sum_estimate(n_hat, m_i as f64, phi.sum);
             vs += crate::formulas::sum_estimate_variance(n_hat, m_i as f64, &phi);
         }
@@ -540,7 +550,11 @@ impl Dpt {
             if stats.estimated_moments(&self.epochs).count <= 0.0 {
                 continue;
             }
-            let v = if is_min { stats.minmax.min() } else { stats.minmax.max() };
+            let v = if is_min {
+                stats.minmax.min()
+            } else {
+                stats.minmax.max()
+            };
             if let Some(v) = v {
                 fold(v);
             }
@@ -740,10 +754,19 @@ impl Dpt {
     /// statistics while the rest of the tree keeps its estimates. Returns
     /// the sample ids orphaned from the replaced subtree — the caller
     /// re-assigns them (points are needed, which the sample owner has).
-    pub fn splice_subtree(&mut self, at: usize, spec: &PartitionSpec, built: &[f64]) -> Result<Vec<RowId>> {
+    pub fn splice_subtree(
+        &mut self,
+        at: usize,
+        spec: &PartitionSpec,
+        built: &[f64],
+    ) -> Result<Vec<RowId>> {
         spec.validate()?;
-        if !spec.nodes[spec.root].rect.is_subset_of(&self.nodes[at].rect)
-            || !self.nodes[at].rect.is_subset_of(&spec.nodes[spec.root].rect)
+        if !spec.nodes[spec.root]
+            .rect
+            .is_subset_of(&self.nodes[at].rect)
+            || !self.nodes[at]
+                .rect
+                .is_subset_of(&spec.nodes[spec.root].rect)
         {
             return Err(JanusError::InvalidConfig(
                 "splice root rectangle must equal the replaced node's rectangle".into(),
@@ -812,7 +835,11 @@ impl Dpt {
             self.nodes.push(DptNode {
                 rect: s.rect.clone(),
                 parent: Some(map(parent_spec, offset, spec.root, at)),
-                children: s.children.iter().map(|&c| map(c, offset, spec.root, at)).collect(),
+                children: s
+                    .children
+                    .iter()
+                    .map(|&c| map(c, offset, spec.root, at))
+                    .collect(),
                 stats: NodeStats::new(self.minmax_k, epoch, h_start),
                 built_variance: leaf_slots
                     .get(&i)
@@ -830,7 +857,10 @@ impl Dpt {
     /// node — the entry point for partial re-partitioning, where only the
     /// spliced nodes join the new epoch.
     pub fn push_epoch(&mut self, population: f64) {
-        self.epochs.push(EpochInfo { population, offered: 0 });
+        self.epochs.push(EpochInfo {
+            population,
+            offered: 0,
+        });
     }
 
     /// Maximum `built_variance` across live leaves (the trigger's
@@ -868,7 +898,13 @@ mod tests {
     }
 
     fn query(agg: AggregateFunction, lo: f64, hi: f64) -> Query {
-        Query::new(agg, 1, vec![0], RangePredicate::new(vec![lo], vec![hi]).unwrap()).unwrap()
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -882,7 +918,12 @@ mod tests {
         let truth = q.evaluate_exact(&rows).unwrap();
         // The [6.0, 6.0] sliver touches leaf [6, inf) partially but that
         // leaf has no samples; tolerate the boundary row (x == 6 exactly).
-        assert!((est.value - truth).abs() <= 60.0 + 1e-9, "est {} truth {}", est.value, truth);
+        assert!(
+            (est.value - truth).abs() <= 60.0 + 1e-9,
+            "est {} truth {}",
+            est.value,
+            truth
+        );
         assert_eq!(est.catchup_variance, 0.0);
     }
 
@@ -926,7 +967,10 @@ mod tests {
             samples.insert(r.id, r.clone());
             dpt.assign_sample(r.id, &[r.value(0)]);
         }
-        for (agg, tol) in [(AggregateFunction::Count, 0.02), (AggregateFunction::Avg, 0.02)] {
+        for (agg, tol) in [
+            (AggregateFunction::Count, 0.02),
+            (AggregateFunction::Avg, 0.02),
+        ] {
             let q = query(agg, 1.0, 5.0);
             let est = dpt.answer(&q, &samples).unwrap().unwrap();
             let truth = q.evaluate_exact(&rows).unwrap();

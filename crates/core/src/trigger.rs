@@ -28,7 +28,10 @@ pub struct TriggerConfig {
 
 impl Default for TriggerConfig {
     fn default() -> Self {
-        TriggerConfig { beta: 10.0, underrep_fraction: 1.0 }
+        TriggerConfig {
+            beta: 10.0,
+            underrep_fraction: 1.0,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ pub fn check_leaf(
     if built > 0.0 {
         let current = mv.max_variance(&node.rect);
         if current > cfg.beta * built || current < built / cfg.beta {
-            return Some(TriggerDecision::VarianceDrift { leaf, built, current });
+            return Some(TriggerDecision::VarianceDrift {
+                leaf,
+                built,
+                current,
+            });
         }
     }
     None
@@ -133,12 +140,31 @@ mod tests {
         // built_variance tiny -> current much larger triggers.
         let (dpt, mv) = setup(1e-12, 400);
         let leaf = dpt.leaf_indices()[0];
-        let d = check_leaf(&dpt, &mv, leaf, &TriggerConfig { beta: 10.0, underrep_fraction: 0.0 });
-        assert!(matches!(d, Some(TriggerDecision::VarianceDrift { .. })), "{d:?}");
+        let d = check_leaf(
+            &dpt,
+            &mv,
+            leaf,
+            &TriggerConfig {
+                beta: 10.0,
+                underrep_fraction: 0.0,
+            },
+        );
+        assert!(
+            matches!(d, Some(TriggerDecision::VarianceDrift { .. })),
+            "{d:?}"
+        );
         // built_variance huge -> current much smaller triggers.
         let (dpt, mv) = setup(1e12, 400);
         let leaf = dpt.leaf_indices()[0];
-        let d = check_leaf(&dpt, &mv, leaf, &TriggerConfig { beta: 10.0, underrep_fraction: 0.0 });
+        let d = check_leaf(
+            &dpt,
+            &mv,
+            leaf,
+            &TriggerConfig {
+                beta: 10.0,
+                underrep_fraction: 0.0,
+            },
+        );
         assert!(matches!(d, Some(TriggerDecision::VarianceDrift { .. })));
     }
 
@@ -159,7 +185,15 @@ mod tests {
         }
         let leaf2 = dpt2.leaf_indices()[0];
         assert_eq!(
-            check_leaf(&dpt2, &mv, leaf2, &TriggerConfig { beta: 10.0, underrep_fraction: 0.0 }),
+            check_leaf(
+                &dpt2,
+                &mv,
+                leaf2,
+                &TriggerConfig {
+                    beta: 10.0,
+                    underrep_fraction: 0.0
+                }
+            ),
             None
         );
     }

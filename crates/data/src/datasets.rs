@@ -52,7 +52,9 @@ pub fn intel_wireless(n: usize, seed: u64) -> Dataset {
         .map(|i| {
             let t = i as f64 * 31.0;
             let day_phase = (t / 86_400.0).fract(); // 0 = midnight
-            let daylight = ((day_phase - 0.5) * std::f64::consts::PI * 2.0).cos().max(0.0);
+            let daylight = ((day_phase - 0.5) * std::f64::consts::PI * 2.0)
+                .cos()
+                .max(0.0);
             let light = if daylight <= 0.05 || rng.gen::<f64>() < 0.08 {
                 // Night or sensor shadow: near-dark with a small floor.
                 rng.gen::<f64>() * 5.0
@@ -66,7 +68,11 @@ pub fn intel_wireless(n: usize, seed: u64) -> Dataset {
             Row::new(i as u64, vec![t, light, temperature, humidity, voltage])
         })
         .collect();
-    Dataset { name: "IntelWireless", schema, rows }
+    Dataset {
+        name: "IntelWireless",
+        schema,
+        rows,
+    }
 }
 
 /// NYC Taxi equivalent (§6.1.1): ~7.7M January-2019 trip records.
@@ -121,11 +127,21 @@ pub fn nyc_taxi(n: usize, seed: u64) -> Dataset {
             let time_of_day = (pickup / 86_400.0).fract() * 86_400.0;
             Row::new(
                 i as u64,
-                vec![pickup, pickup + duration, trip_distance, passenger_count, time_of_day],
+                vec![
+                    pickup,
+                    pickup + duration,
+                    trip_distance,
+                    passenger_count,
+                    time_of_day,
+                ],
             )
         })
         .collect();
-    Dataset { name: "NYCTaxi", schema, rows }
+    Dataset {
+        name: "NYCTaxi",
+        schema,
+        rows,
+    }
 }
 
 /// NASDAQ ETF equivalent (§6.1.1): ~4M daily price/volume entries for 2166
@@ -175,7 +191,11 @@ pub fn nasdaq_etf(n: usize, seed: u64) -> Dataset {
             Row::new(i as u64, vec![date, volume, open, close, high, low])
         })
         .collect();
-    Dataset { name: "NasdaqETF", schema, rows }
+    Dataset {
+        name: "NasdaqETF",
+        schema,
+        rows,
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +262,13 @@ mod tests {
     #[test]
     fn etf_prices_are_ordered_and_volumes_heavy() {
         let d = nasdaq_etf(30_000, 4);
-        let (o, c, h, l, v) = (d.col("open"), d.col("close"), d.col("high"), d.col("low"), d.col("volume"));
+        let (o, c, h, l, v) = (
+            d.col("open"),
+            d.col("close"),
+            d.col("high"),
+            d.col("low"),
+            d.col("volume"),
+        );
         for r in &d.rows {
             assert!(r.value(h) >= r.value(o).max(r.value(c)));
             assert!(r.value(l) <= r.value(o).min(r.value(c)));
@@ -253,7 +279,10 @@ mod tests {
         vols.sort_by(|a, b| a.total_cmp(b));
         let median = vols[vols.len() / 2];
         let p995 = vols[(vols.len() as f64 * 0.995) as usize];
-        assert!(p995 > 20.0 * median, "volume tail too light: {p995} vs {median}");
+        assert!(
+            p995 > 20.0 * median,
+            "volume tail too light: {p995} vs {median}"
+        );
     }
 
     #[test]

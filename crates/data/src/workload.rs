@@ -31,7 +31,13 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A 2000-query workload with the paper's defaults.
     pub fn paper_default(template: QueryTemplate, seed: u64) -> Self {
-        WorkloadSpec { template, count: 2000, min_width_fraction: 0.01, seed, domain_quantile: 1.0 }
+        WorkloadSpec {
+            template,
+            count: 2000,
+            min_width_fraction: 0.01,
+            seed,
+            domain_quantile: 1.0,
+        }
     }
 }
 
@@ -114,7 +120,9 @@ mod tests {
             template: QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]),
             count,
             min_width_fraction: 0.01,
-            seed: 11, domain_quantile: 1.0 }
+            seed: 11,
+            domain_quantile: 1.0,
+        }
     }
 
     #[test]
@@ -145,7 +153,9 @@ mod tests {
             template: QueryTemplate::new(AggregateFunction::Avg, 1, vec![0, 2, 3]),
             count: 100,
             min_width_fraction: 0.05,
-            seed: 3, domain_quantile: 1.0 };
+            seed: 3,
+            domain_quantile: 1.0,
+        };
         let w = QueryWorkload::generate(&d, &s);
         assert_eq!(w.domain.len(), 3);
         for q in &w.queries {

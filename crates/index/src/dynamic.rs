@@ -25,7 +25,10 @@ struct LevelData<I> {
     points: Vec<IndexPoint>,
 }
 
-fn build_levels<I: SpatialAggIndex>(dims: usize, mut points: Vec<IndexPoint>) -> Vec<Option<LevelData<I>>> {
+fn build_levels<I: SpatialAggIndex>(
+    dims: usize,
+    mut points: Vec<IndexPoint>,
+) -> Vec<Option<LevelData<I>>> {
     // Binary decomposition: one level per set bit of the point count.
     let mut levels: Vec<Option<LevelData<I>>> = Vec::new();
     let mut bit = 0;
@@ -33,7 +36,10 @@ fn build_levels<I: SpatialAggIndex>(dims: usize, mut points: Vec<IndexPoint>) ->
         if points.len() & (1 << bit) != 0 {
             let at = points.len() - (1 << bit);
             let chunk = points.split_off(at);
-            levels.push(Some(LevelData { index: I::build(dims, chunk.clone()), points: chunk }));
+            levels.push(Some(LevelData {
+                index: I::build(dims, chunk.clone()),
+                points: chunk,
+            }));
         } else {
             levels.push(None);
         }
@@ -119,7 +125,10 @@ impl<I: SpatialAggIndex> DynamicIndex<I> {
         for level in levels.iter_mut() {
             match level.take() {
                 None => {
-                    *level = Some(LevelData { index: I::build(dims, carry.clone()), points: carry });
+                    *level = Some(LevelData {
+                        index: I::build(dims, carry.clone()),
+                        points: carry,
+                    });
                     return;
                 }
                 Some(existing) => {
@@ -127,7 +136,10 @@ impl<I: SpatialAggIndex> DynamicIndex<I> {
                 }
             }
         }
-        levels.push(Some(LevelData { index: I::build(dims, carry.clone()), points: carry }));
+        levels.push(Some(LevelData {
+            index: I::build(dims, carry.clone()),
+            points: carry,
+        }));
     }
 
     /// Deletes the point with `point.id`. The caller supplies the full point
@@ -146,11 +158,7 @@ impl<I: SpatialAggIndex> DynamicIndex<I> {
     }
 
     fn stored(&self) -> usize {
-        self.levels
-            .iter()
-            .flatten()
-            .map(|l| l.points.len())
-            .sum()
+        self.levels.iter().flatten().map(|l| l.points.len()).sum()
     }
 
     /// Rebuilds the whole structure from live points, dropping tombstones.
@@ -306,7 +314,11 @@ mod tests {
         for p in pts.iter().take(300) {
             idx.delete(p.clone());
         }
-        assert!(idx.garbage_ratio() < 0.5, "garbage {:.2}", idx.garbage_ratio());
+        assert!(
+            idx.garbage_ratio() < 0.5,
+            "garbage {:.2}",
+            idx.garbage_ratio()
+        );
         let live: Vec<IndexPoint> = pts.iter().skip(300).cloned().collect();
         let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         let got = idx.moments_in(&r);
@@ -324,7 +336,8 @@ mod tests {
         let mut next_id = 0u64;
         for step in 0..800 {
             if rng.gen_bool(0.65) || live.is_empty() {
-                let p = IndexPoint::new(vec![rng.gen(), rng.gen()], next_id, rng.gen::<f64>() * 4.0);
+                let p =
+                    IndexPoint::new(vec![rng.gen(), rng.gen()], next_id, rng.gen::<f64>() * 4.0);
                 next_id += 1;
                 idx.insert(p.clone());
                 live.push(p);

@@ -16,14 +16,8 @@ const LEAF_SIZE: usize = 16;
 
 #[derive(Debug)]
 enum NodeKind {
-    Leaf {
-        start: usize,
-        end: usize,
-    },
-    Internal {
-        left: usize,
-        right: usize,
-    },
+    Leaf { start: usize, end: usize },
+    Internal { left: usize, right: usize },
 }
 
 #[derive(Debug)]
@@ -44,8 +38,7 @@ pub struct StaticKdTree {
 
 impl StaticKdTree {
     fn build_node(&mut self, start: usize, end: usize, cell: Rect, depth: usize) -> usize {
-        let slice_moments =
-            Moments::from_values(self.points[start..end].iter().map(|p| p.weight));
+        let slice_moments = Moments::from_values(self.points[start..end].iter().map(|p| p.weight));
         let count = end - start;
         let idx = self.nodes.len();
         self.nodes.push(Node {
@@ -74,8 +67,8 @@ impl StaticKdTree {
             if boundary == start {
                 // The median equals the minimum coordinate: cut at the next
                 // distinct coordinate instead so the left part is non-empty.
-                let upper = start
-                    + self.points[start..end].partition_point(|p| p.coords[dim] <= pivot);
+                let upper =
+                    start + self.points[start..end].partition_point(|p| p.coords[dim] <= pivot);
                 if upper < end {
                     pivot = self.points[upper].coords[dim];
                     boundary = upper;
@@ -157,7 +150,10 @@ impl StaticKdTree {
             }
             if n.count <= cap {
                 if n.cell.is_subset_of(rect) {
-                    return Some(CanonicalBox { rect: n.cell.clone(), moments: n.moments });
+                    return Some(CanonicalBox {
+                        rect: n.cell.clone(),
+                        moments: n.moments,
+                    });
                 }
                 // Partially covered leaf fragment: restrict to the points
                 // actually inside and use the intersection cell.
@@ -169,7 +165,10 @@ impl StaticKdTree {
                 if m.is_empty() {
                     return None;
                 }
-                return Some(CanonicalBox { rect: intersect(&n.cell, rect)?, moments: m });
+                return Some(CanonicalBox {
+                    rect: intersect(&n.cell, rect)?,
+                    moments: m,
+                });
             }
             match n.kind {
                 NodeKind::Leaf { start, end } => {
@@ -186,9 +185,11 @@ impl StaticKdTree {
                         (b.weight * b.weight).total_cmp(&(a.weight * a.weight))
                     });
                     inside.truncate(cap);
-                    let moments =
-                        Moments::from_values(inside.iter().map(|p| p.weight));
-                    return Some(CanonicalBox { rect: intersect(&n.cell, rect)?, moments });
+                    let moments = Moments::from_values(inside.iter().map(|p| p.weight));
+                    return Some(CanonicalBox {
+                        rect: intersect(&n.cell, rect)?,
+                        moments,
+                    });
                 }
                 NodeKind::Internal { left, right } => {
                     let ls = self.nodes[left].moments.sumsq;
@@ -223,7 +224,11 @@ fn intersect(cell: &Rect, rect: &Rect) -> Option<Rect> {
 
 impl SpatialAggIndex for StaticKdTree {
     fn build(dims: usize, points: Vec<IndexPoint>) -> Self {
-        let mut tree = StaticKdTree { dims, nodes: Vec::new(), points };
+        let mut tree = StaticKdTree {
+            dims,
+            nodes: Vec::new(),
+            points,
+        };
         if !tree.points.is_empty() {
             let cell = Rect::bounding(tree.points.iter().map(|p| p.coords.clone()))
                 .expect("non-empty point set");
@@ -376,11 +381,13 @@ mod tests {
         assert!((check.count - c.moments.count).abs() < 1e-9);
         assert!((check.sumsq - c.moments.sumsq).abs() < 1e-6);
         // And the rectangle is inside the query.
-        assert!(c.rect.is_subset_of(&r) || {
-            // allow clamped intersection boxes
-            let i = super::intersect(&c.rect, &r).unwrap();
-            i == c.rect
-        });
+        assert!(
+            c.rect.is_subset_of(&r) || {
+                // allow clamped intersection boxes
+                let i = super::intersect(&c.rect, &r).unwrap();
+                i == c.rect
+            }
+        );
     }
 
     #[test]

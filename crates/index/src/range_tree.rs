@@ -34,7 +34,11 @@ struct Level {
 
 impl Level {
     fn build(dims: usize, dim: usize, mut pts: Vec<IndexPoint>) -> Level {
-        pts.sort_unstable_by(|a, b| a.coords[dim].total_cmp(&b.coords[dim]).then(a.id.cmp(&b.id)));
+        pts.sort_unstable_by(|a, b| {
+            a.coords[dim]
+                .total_cmp(&b.coords[dim])
+                .then(a.id.cmp(&b.id))
+        });
         let mut prefix = Vec::with_capacity(pts.len() + 1);
         let mut acc = Moments::ZERO;
         prefix.push(acc);
@@ -43,7 +47,13 @@ impl Level {
             prefix.push(acc);
         }
         let last = dim + 1 >= dims;
-        let mut level = Level { dim, last, pts, prefix, assoc: Default::default() };
+        let mut level = Level {
+            dim,
+            last,
+            pts,
+            prefix,
+            assoc: Default::default(),
+        };
         if !last && !level.pts.is_empty() {
             level.build_assoc(dims, 0, level.pts.len());
         }
@@ -242,7 +252,12 @@ impl Level {
         inside.truncate(cap);
         let m = Moments::from_values(inside.iter().map(|p| p.weight));
         let lo: Vec<f64> = (0..rect.dims())
-            .map(|d| inside.iter().map(|p| p.coords[d]).fold(f64::INFINITY, f64::min))
+            .map(|d| {
+                inside
+                    .iter()
+                    .map(|p| p.coords[d])
+                    .fold(f64::INFINITY, f64::min)
+            })
             .collect();
         let hi: Vec<f64> = (0..rect.dims())
             .map(|d| {
@@ -253,7 +268,13 @@ impl Level {
             })
             .collect();
         if let Some(r) = clamp_box(lo, hi, rect) {
-            consider(best, Some(CanonicalBox { rect: r, moments: m }));
+            consider(
+                best,
+                Some(CanonicalBox {
+                    rect: r,
+                    moments: m,
+                }),
+            );
         }
     }
 
@@ -428,7 +449,11 @@ mod tests {
         let r = Rect::new(vec![0.1, 0.1], vec![0.9, 0.9]).unwrap();
         let cap = 40;
         let c = tree.heaviest_canonical(&r, cap).unwrap();
-        assert!(c.moments.count as usize <= cap, "cap violated: {}", c.moments.count);
+        assert!(
+            c.moments.count as usize <= cap,
+            "cap violated: {}",
+            c.moments.count
+        );
         // The reported cell's true moments must dominate-or-equal the
         // reported sumsq is consistent with the points inside the cell.
         let check = brute(&pts, &c.rect);

@@ -142,12 +142,10 @@ impl Treap {
     }
 
     /// Splits into (`< (key,id)`, `>= (key,id)`).
-    fn split(
-        tree: Option<Box<Node>>,
-        key: f64,
-        id: u64,
-    ) -> (Option<Box<Node>>, Option<Box<Node>>) {
-        let Some(mut t) = tree else { return (None, None) };
+    fn split(tree: Option<Box<Node>>, key: f64, id: u64) -> (Option<Box<Node>>, Option<Box<Node>>) {
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         if cmp_key(t.entry.key, t.entry.id, key, id).is_lt() {
             let (l, r) = Self::split(t.right.take(), key, id);
             t.right = l;
@@ -174,7 +172,9 @@ impl Treap {
         key: f64,
         id: u64,
     ) -> (Option<Box<Node>>, Option<Entry>) {
-        let Some(mut t) = tree else { return (None, None) };
+        let Some(mut t) = tree else {
+            return (None, None);
+        };
         match cmp_key(key, id, t.entry.key, t.entry.id) {
             std::cmp::Ordering::Less => {
                 let (l, rem) = Self::remove_node(t.left.take(), key, id);
@@ -352,7 +352,12 @@ mod tests {
 
     #[test]
     fn rank_of_key_counts_strictly_smaller() {
-        let t = Treap::from_entries([1.0, 2.0, 2.0, 3.0].into_iter().enumerate().map(|(i, k)| entry(k, i as u64, 1.0)));
+        let t = Treap::from_entries(
+            [1.0, 2.0, 2.0, 3.0]
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| entry(k, i as u64, 1.0)),
+        );
         assert_eq!(t.rank_of_key(0.5), 0);
         assert_eq!(t.rank_of_key(2.0), 1);
         assert_eq!(t.rank_of_key(2.5), 3);
@@ -383,7 +388,12 @@ mod tests {
 
     #[test]
     fn moments_by_key_is_half_open() {
-        let t = Treap::from_entries([1.0, 2.0, 3.0].into_iter().enumerate().map(|(i, k)| entry(k, i as u64, k)));
+        let t = Treap::from_entries(
+            [1.0, 2.0, 3.0]
+                .into_iter()
+                .enumerate()
+                .map(|(i, k)| entry(k, i as u64, k)),
+        );
         let m = t.moments_by_key(1.0, 3.0);
         assert_eq!(m.count, 2.0);
         assert_eq!(m.sum, 3.0);
@@ -407,7 +417,9 @@ mod tests {
         }
         let collected: Vec<Entry> = t.iter().collect();
         assert_eq!(collected.len(), live.len());
-        assert!(collected.windows(2).all(|w| cmp_key(w[0].key, w[0].id, w[1].key, w[1].id).is_lt()));
+        assert!(collected
+            .windows(2)
+            .all(|w| cmp_key(w[0].key, w[0].id, w[1].key, w[1].id).is_lt()));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`storage`] | Kafka-like stream log, archival store, stream samplers |
 //! | [`data`] | synthetic Intel/NYC-Taxi/ETF datasets, query workloads |
 //! | [`core`] | DPT, max-variance indexes, partitioners, triggers, engine |
+//! | [`cluster`] | sharded scatter-gather service over multiple engines |
 //! | [`baselines`] | RS, SRS, DPT-only, mini-SPN (DeepDB), PASS |
 //!
 //! ## Quickstart
@@ -52,6 +53,7 @@
 //! ```
 
 pub use janus_baselines as baselines;
+pub use janus_cluster as cluster;
 pub use janus_common as common;
 pub use janus_core as core;
 pub use janus_data as data;
@@ -61,6 +63,7 @@ pub use janus_storage as storage;
 
 /// The working set of types most applications need.
 pub mod prelude {
+    pub use janus_cluster::{ClusterConfig, ClusterEngine, ShardPolicy};
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,
         Schema, Z_95,
@@ -68,7 +71,9 @@ pub mod prelude {
     pub use janus_core::concurrent::{apply_batch, Update};
     pub use janus_core::templates::MultiTemplateEngine;
     pub use janus_core::{EngineStats, JanusEngine, LiveEngine, PartitionerKind, SynopsisConfig};
-    pub use janus_data::{intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec};
+    pub use janus_data::{
+        intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec,
+    };
 }
 
 #[cfg(test)]

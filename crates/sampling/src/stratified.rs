@@ -12,7 +12,10 @@
 /// Minimum stratum population for the Appendix B guarantee:
 /// `(16 / alpha) * ln(k)` (clamped below by 1).
 pub fn min_stratum_population(alpha: f64, k: usize) -> f64 {
-    assert!(alpha > 0.0 && alpha <= 1.0, "sampling rate must be in (0, 1]");
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "sampling rate must be in (0, 1]"
+    );
     let lnk = (k.max(2) as f64).ln();
     (16.0 / alpha * lnk).max(1.0)
 }
@@ -28,7 +31,11 @@ pub fn stratum_is_sufficient(population: f64, alpha: f64, k: usize) -> bool {
 /// scaled by the sampling rate; we implement the practical form
 /// `samples_in_stratum < threshold_fraction * ln(m)`, with
 /// `threshold_fraction` defaulting to 1.
-pub fn stratum_is_underrepresented(samples_in_stratum: usize, m: usize, threshold_fraction: f64) -> bool {
+pub fn stratum_is_underrepresented(
+    samples_in_stratum: usize,
+    m: usize,
+    threshold_fraction: f64,
+) -> bool {
     if m < 2 {
         return false;
     }
@@ -56,7 +63,7 @@ pub fn allocation_within_factor(observed: f64, expected: f64, factor: f64) -> bo
 /// The returned boundaries are strictly increasing; duplicate candidate
 /// boundaries (heavy ties) are skipped, so fewer than `k - 1` boundaries may
 /// be returned for low-cardinality data.
-pub fn equal_depth_boundaries(values: &mut Vec<f64>, k: usize) -> Vec<f64> {
+pub fn equal_depth_boundaries(values: &mut [f64], k: usize) -> Vec<f64> {
     assert!(k >= 1, "need at least one bucket");
     values.sort_unstable_by(|a, b| a.total_cmp(b));
     let n = values.len();

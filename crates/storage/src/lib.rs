@@ -9,7 +9,9 @@
 //!   poll*, exactly the constraint that makes sampling from Kafka
 //!   non-trivial (Appendix A). The three topics of §3.2 —
 //!   `insert(tuple)`, `delete(tuple)`, `execute(query)` — are modeled by
-//!   [`streamlog::RequestLog`].
+//!   [`streamlog::RequestLog`], and [`streamlog::ShardedLog`] gives a
+//!   sharded deployment one independent topic (and offset space) per
+//!   shard.
 //! * [`archive`] — the cold/archival store of §2.1: holds the full current
 //!   table state, accessible offline for initialization, re-sampling, and
 //!   catch-up, but never consulted at query time.
@@ -23,4 +25,4 @@ pub mod streamlog;
 
 pub use archive::ArchiveStore;
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
-pub use streamlog::{Request, RequestLog, TopicLog};
+pub use streamlog::{Request, RequestLog, ShardedLog, TopicLog};

@@ -87,7 +87,10 @@ pub struct SingletonSampler {
 impl SingletonSampler {
     /// Creates a singleton sampler.
     pub fn new(cost: PollCostModel, seed: u64) -> Self {
-        SingletonSampler { cost, rng: SmallRng::seed_from_u64(seed) }
+        SingletonSampler {
+            cost,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Draws `n` records uniformly (with replacement across draws, as each
@@ -131,7 +134,11 @@ impl SequentialSampler {
     /// Panics if `poll_size == 0`.
     pub fn new(cost: PollCostModel, poll_size: usize, seed: u64) -> Self {
         assert!(poll_size > 0, "poll size must be positive");
-        SequentialSampler { cost, poll_size, rng: SmallRng::seed_from_u64(seed) }
+        SequentialSampler {
+            cost,
+            poll_size,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Collects approximately `n` records by scanning the full topic and
@@ -139,7 +146,11 @@ impl SequentialSampler {
     pub fn sample<T: Clone>(&mut self, topic: &TopicLog<T>, n: usize) -> SampleRun<T> {
         let start = Instant::now();
         let len = topic.len();
-        let keep_p = if len == 0 { 0.0 } else { (n as f64 / len as f64).min(1.0) };
+        let keep_p = if len == 0 {
+            0.0
+        } else {
+            (n as f64 / len as f64).min(1.0)
+        };
         let mut sample = Vec::with_capacity(n + n / 8 + 4);
         let mut polls = 0u64;
         let mut transferred = 0u64;
@@ -216,7 +227,11 @@ mod tests {
         assert_eq!(run.records_transferred, 1000);
         assert_eq!(run.polls, 1000u64.div_ceil(64));
         // Binomial(1000, 0.1): extremely unlikely to fall outside [40, 180].
-        assert!(run.sample.len() > 40 && run.sample.len() < 180, "{}", run.sample.len());
+        assert!(
+            run.sample.len() > 40 && run.sample.len() < 180,
+            "{}",
+            run.sample.len()
+        );
     }
 
     #[test]

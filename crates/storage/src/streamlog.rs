@@ -27,7 +27,9 @@ impl<T: Clone> Default for TopicLog<T> {
 impl<T: Clone> TopicLog<T> {
     /// Creates an empty topic.
     pub fn new() -> Self {
-        TopicLog { entries: RwLock::new(Vec::new()) }
+        TopicLog {
+            entries: RwLock::new(Vec::new()),
+        }
     }
 
     /// Appends one record; returns its offset.
@@ -123,6 +125,58 @@ impl RequestLog {
     }
 }
 
+/// One Kafka-like topic per shard, with dense per-topic offsets — the
+/// ingest fabric of a sharded deployment (`janus-cluster`): a router
+/// appends each record to exactly one shard topic, and each shard consumer
+/// polls its own topic at its own offset, so per-shard catch-up is
+/// independent and replay from offset zero is deterministic.
+pub struct ShardedLog<T: Clone> {
+    topics: Vec<TopicLog<T>>,
+}
+
+impl<T: Clone> ShardedLog<T> {
+    /// Creates `shards` empty topics.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded log needs at least one shard");
+        ShardedLog {
+            topics: (0..shards).map(|_| TopicLog::new()).collect(),
+        }
+    }
+
+    /// Number of shard topics.
+    pub fn shards(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// The topic of one shard.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range (a routing bug).
+    pub fn topic(&self, shard: usize) -> &TopicLog<T> {
+        &self.topics[shard]
+    }
+
+    /// Appends one record to `shard`'s topic; returns its offset there.
+    pub fn publish(&self, shard: usize, record: T) -> u64 {
+        self.topics[shard].append(record)
+    }
+
+    /// Polls up to `max_records` of `shard`'s topic starting at `offset`.
+    pub fn poll(&self, shard: usize, offset: u64, max_records: usize) -> Vec<T> {
+        self.topics[shard].poll(offset, max_records)
+    }
+
+    /// End offset of every shard topic, in shard order.
+    pub fn end_offsets(&self) -> Vec<u64> {
+        self.topics.iter().map(|t| t.len() as u64).collect()
+    }
+
+    /// Total records across all shard topics.
+    pub fn total_len(&self) -> usize {
+        self.topics.iter().map(TopicLog::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +228,27 @@ mod tests {
         assert!(matches!(&reqs[2], Request::Execute(got) if *got == q));
         // Insert view only sees the insert.
         assert_eq!(log.inserts.len(), 1);
+    }
+
+    #[test]
+    fn sharded_log_keeps_topics_independent() {
+        let log = ShardedLog::new(3);
+        assert_eq!(log.shards(), 3);
+        assert_eq!(log.publish(0, 10), 0);
+        assert_eq!(log.publish(2, 20), 0, "offsets are per-topic");
+        assert_eq!(log.publish(2, 21), 1);
+        assert_eq!(log.end_offsets(), vec![1, 0, 2]);
+        assert_eq!(log.total_len(), 3);
+        assert_eq!(log.poll(2, 0, 10), vec![20, 21]);
+        assert_eq!(log.poll(2, 1, 10), vec![21]);
+        assert!(log.poll(1, 0, 10).is_empty());
+        assert_eq!(log.topic(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn sharded_log_rejects_zero_shards() {
+        let _ = ShardedLog::<u64>::new(0);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A fleet-scale dashboard over the NYC-Taxi-like stream: four
+//! `JanusEngine` shards behind the `janus-cluster` scatter-gather façade.
+//!
+//! The demo range-partitions trips by pickup time, streams the live half
+//! of the month through the per-shard topics, answers COUNT/SUM/AVG
+//! dashboard queries with merged confidence intervals, and then keeps
+//! streaming — pickup times only grow, so the newest slab's shard bloats
+//! until the cluster-level skew trigger fires and a range-split migration
+//! rebalances the fleet.
+//!
+//! Run with: `cargo run --release --example cluster_dashboard`
+
+use janus::prelude::*;
+
+fn main() {
+    let dataset = nyc_taxi(160_000, 9);
+    let pickup = dataset.col("pickup_time");
+    let distance = dataset.col("trip_distance");
+
+    let template = QueryTemplate::new(AggregateFunction::Sum, distance, vec![pickup]);
+    let mut base = SynopsisConfig::paper_default(template, 2026);
+    base.leaf_count = 64;
+    base.sample_rate = 0.02;
+    base.catchup_ratio = 0.2;
+
+    // Bootstrap on the first half of the month, range-partitioned so each
+    // shard owns a contiguous stretch of pickup time.
+    let split = dataset.len() / 2;
+    let (initial, arriving) = dataset.rows.split_at(split);
+    let policy = ShardPolicy::range_from_rows(pickup, initial, 4).expect("policy");
+    let mut cluster =
+        ClusterEngine::bootstrap(ClusterConfig::new(base, 4, policy), initial.to_vec())
+            .expect("bootstrap");
+    println!(
+        "bootstrapped 4 shards over {} trips; per-shard rows: {:?}",
+        cluster.population(),
+        cluster.shard_populations()
+    );
+
+    // Stream the first half of the remaining trips and pump.
+    let quarter = arriving.len() / 2;
+    let t0 = std::time::Instant::now();
+    for row in &arriving[..quarter] {
+        cluster.publish_insert(row.clone()).expect("publish");
+    }
+    cluster.pump_all().expect("pump");
+    println!(
+        "ingested {} trips through per-shard topics in {:?}",
+        quarter,
+        t0.elapsed()
+    );
+
+    // Dashboard tiles: merged scatter-gather answers with 95% CIs.
+    let domain_hi = arriving[quarter - 1].value(pickup);
+    let windows = [
+        ("whole month so far", 0.0, domain_hi),
+        ("first week", 0.0, 7.0 * 86_400.0),
+        ("latest day", domain_hi - 86_400.0, domain_hi),
+    ];
+    for (label, lo, hi) in windows {
+        for agg in [
+            AggregateFunction::Count,
+            AggregateFunction::Sum,
+            AggregateFunction::Avg,
+        ] {
+            let q = Query::new(
+                agg,
+                distance,
+                vec![pickup],
+                RangePredicate::new(vec![lo], vec![hi]).expect("window"),
+            )
+            .expect("query");
+            let Some(est) = cluster.query(&q).expect("scatter-gather") else {
+                println!("  {label:<20} {agg:<5} (empty selection)");
+                continue;
+            };
+            let truth = cluster.evaluate_exact(&q).unwrap_or(f64::NAN);
+            println!(
+                "  {label:<20} {agg:<5} {:>12.1} ± {:>8.1}   (truth {:>12.1})",
+                est.value,
+                est.ci_half_width(Z_95),
+                truth
+            );
+        }
+    }
+
+    // Keep streaming: arrivals are pickup-time-ordered, so the top slab's
+    // shard bloats — the cluster-level §6.8 scenario.
+    for row in &arriving[quarter..] {
+        cluster.publish_insert(row.clone()).expect("publish");
+    }
+    cluster.pump_all().expect("pump");
+    println!(
+        "\nafter the skewed tail of the stream: per-shard rows {:?}",
+        cluster.shard_populations()
+    );
+    match cluster.maybe_rebalance().expect("rebalance") {
+        Some(report) => println!(
+            "skew trigger fired: moved {} rows, new slab bounds (days) {:?}",
+            report.rows_moved,
+            report
+                .new_bounds
+                .map(|b| b
+                    .iter()
+                    .map(|x| (x / 86_400.0 * 10.0).round() / 10.0)
+                    .collect::<Vec<_>>())
+                .unwrap_or_default()
+        ),
+        None => println!("no rebalance needed"),
+    }
+    println!(
+        "rebalanced: per-shard rows {:?}",
+        cluster.shard_populations()
+    );
+
+    let q = Query::new(
+        AggregateFunction::Avg,
+        distance,
+        vec![pickup],
+        RangePredicate::new(vec![0.0], vec![f64::INFINITY]).expect("window"),
+    )
+    .expect("query");
+    let est = cluster.query(&q).expect("query").expect("non-empty");
+    let truth = cluster.evaluate_exact(&q).expect("non-empty");
+    println!(
+        "post-rebalance AVG(trip_distance): {:.3} ± {:.3} (truth {:.3})",
+        est.value,
+        est.ci_half_width(Z_95),
+        truth
+    );
+    let stats = cluster.stats();
+    println!(
+        "cluster stats: {} inserts, {} pumped, {} queries ({} sub-queries), \
+         {} rebalances ({} rows moved)",
+        stats.inserts,
+        stats.pumped,
+        stats.queries,
+        stats.subqueries,
+        stats.rebalances,
+        stats.rows_migrated
+    );
+}

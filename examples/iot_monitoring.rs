@@ -36,7 +36,11 @@ fn main() {
     )
     .expect("bootstrap");
     engine.run_all_catchup();
-    println!("{} templates over {} rows", engine.template_count(), engine.population());
+    println!(
+        "{} templates over {} rows",
+        engine.template_count(),
+        engine.population()
+    );
 
     // Stream the second half.
     for row in arriving {
@@ -45,19 +49,62 @@ fn main() {
 
     let day = 86_400.0;
     let queries = [
-        ("SUM(light), day 2", Query::new(AggregateFunction::Sum, light, vec![time],
-            RangePredicate::new(vec![day], vec![2.0 * day]).unwrap()).unwrap()),
-        ("AVG(light), day 2 PM", Query::new(AggregateFunction::Avg, light, vec![time],
-            RangePredicate::new(vec![1.5 * day], vec![1.8 * day]).unwrap()).unwrap()),
-        ("MAX(light), day 2", Query::new(AggregateFunction::Max, light, vec![time],
-            RangePredicate::new(vec![day], vec![2.0 * day]).unwrap()).unwrap()),
-        ("AVG(temp), low batt", Query::new(AggregateFunction::Avg, temperature, vec![voltage],
-            RangePredicate::new(vec![2.3], vec![2.5]).unwrap()).unwrap()),
-        ("COUNT, mid batt", Query::new(AggregateFunction::Count, temperature, vec![voltage],
-            RangePredicate::new(vec![2.5], vec![2.6]).unwrap()).unwrap()),
+        (
+            "SUM(light), day 2",
+            Query::new(
+                AggregateFunction::Sum,
+                light,
+                vec![time],
+                RangePredicate::new(vec![day], vec![2.0 * day]).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "AVG(light), day 2 PM",
+            Query::new(
+                AggregateFunction::Avg,
+                light,
+                vec![time],
+                RangePredicate::new(vec![1.5 * day], vec![1.8 * day]).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "MAX(light), day 2",
+            Query::new(
+                AggregateFunction::Max,
+                light,
+                vec![time],
+                RangePredicate::new(vec![day], vec![2.0 * day]).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "AVG(temp), low batt",
+            Query::new(
+                AggregateFunction::Avg,
+                temperature,
+                vec![voltage],
+                RangePredicate::new(vec![2.3], vec![2.5]).unwrap(),
+            )
+            .unwrap(),
+        ),
+        (
+            "COUNT, mid batt",
+            Query::new(
+                AggregateFunction::Count,
+                temperature,
+                vec![voltage],
+                RangePredicate::new(vec![2.5], vec![2.6]).unwrap(),
+            )
+            .unwrap(),
+        ),
     ];
 
-    println!("\n{:<22} {:>14} {:>14} {:>10}", "query", "estimate", "truth", "rel.err");
+    println!(
+        "\n{:<22} {:>14} {:>14} {:>10}",
+        "query", "estimate", "truth", "rel.err"
+    );
     for (name, q) in queries {
         match engine.query(&q).expect("query") {
             Some(est) => {

@@ -11,7 +11,11 @@ fn main() {
     let dataset = intel_wireless(100_000, 7);
     let time = dataset.col("time");
     let light = dataset.col("light");
-    println!("dataset: {} rows, {} columns", dataset.len(), dataset.schema.arity());
+    println!(
+        "dataset: {} rows, {} columns",
+        dataset.len(),
+        dataset.schema.arity()
+    );
 
     // 2. Configure a synopsis for `SELECT SUM(light) WHERE time IN [a, b]`:
     //    128 leaf partitions, a 1% pooled sample, 10% catch-up.
@@ -46,11 +50,12 @@ fn main() {
     );
 
     // 5. Ask queries and compare with exact answers.
-    let workload = QueryWorkload::generate_over_rows(
-        initial,
-        &WorkloadSpec::paper_default(template, 1),
+    let workload =
+        QueryWorkload::generate_over_rows(initial, &WorkloadSpec::paper_default(template, 1));
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>10} {:>12}",
+        "width", "estimate", "truth", "rel.err", "±95% CI"
     );
-    println!("\n{:<12} {:>14} {:>14} {:>10} {:>12}", "width", "estimate", "truth", "rel.err", "±95% CI");
     for q in workload.queries.iter().take(8) {
         let est = engine.query(q).expect("query").expect("non-empty");
         let truth = engine.evaluate_exact(q).expect("ground truth");

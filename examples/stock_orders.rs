@@ -54,7 +54,10 @@ fn main() {
         (5e4, 5e5, "active"),
         (5e5, 5e8, "heavy"),
     ];
-    println!("\n{:<10} {:>12} {:>12} {:>10} {:>10}", "band", "AVG(close)", "truth", "rel.err", "latency");
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>10} {:>10}",
+        "band", "AVG(close)", "truth", "rel.err", "latency"
+    );
     for (lo, hi, name) in bands {
         let q = Query::new(
             AggregateFunction::Avg,

@@ -54,12 +54,16 @@ fn main() {
             template: template.clone(),
             count: 200,
             min_width_fraction: 0.02,
-            seed: step as u64, domain_quantile: 1.0 };
+            seed: step as u64,
+            domain_quantile: 1.0,
+        };
         let workload = QueryWorkload::generate_over_rows(seen, &spec);
         let mut err_janus = Vec::new();
         let mut err_static = Vec::new();
         for q in &workload.queries {
-            let Some(truth) = janus.evaluate_exact(q) else { continue };
+            let Some(truth) = janus.evaluate_exact(q) else {
+                continue;
+            };
             if truth.abs() < 1e-9 {
                 continue;
             }

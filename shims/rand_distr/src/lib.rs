@@ -1,0 +1,123 @@
+//! Offline stand-in for the `rand_distr` distributions this workspace
+//! uses: [`Normal`] and [`LogNormal`], via the Box–Muller transform.
+
+use rand::{Rng, RngCore};
+
+/// Distributions sampleable with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter errors for distribution constructors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// Standard deviation was negative or non-finite.
+    BadVariance,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid distribution parameter: bad variance")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        // `!(a >= b)` deliberately rejects a NaN deviation as well.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(std_dev >= 0.0) || !std_dev.is_finite() || !mean.is_finite() {
+            return Err(Error::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1 = 1.0 - rng.gen::<f64>();
+    let u2 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+impl Distribution<f64> for Normal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// location `mu` and scale `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_heavy_tailed() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        let mut v: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(v.iter().all(|x| *x > 0.0));
+        v.sort_by(|a, b| a.total_cmp(b));
+        let median = v[v.len() / 2];
+        let p99 = v[(v.len() as f64 * 0.99) as usize];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(p99 > 5.0 * median, "tail too light: {p99}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+    }
+}

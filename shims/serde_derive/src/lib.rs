@@ -1,0 +1,254 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the in-tree serde
+//! shim. No `syn`/`quote` (the build is offline): the input token stream
+//! is scanned directly and the generated impls are assembled as source
+//! text, then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields (any visibility, attributes ignored);
+//! * enums whose variants are all unit variants (serialized as their
+//!   name, like serde's externally-tagged unit form).
+//!
+//! Anything else (tuple structs, generic types, data-carrying enum
+//! variants) panics at expansion time with a clear message, so a future
+//! unsupported use fails loudly at compile time rather than mis-encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Scans a derive input for the type name and its fields/variants.
+fn parse(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute group that follows `#`.
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" | "crate" => {
+                        // Skip a `pub(...)` restriction group if present.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" if kind.is_none() => {
+                        kind = Some(if s == "struct" { "struct" } else { "enum" });
+                        match tokens.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => panic!("serde shim derive: expected type name, got {other:?}"),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && kind.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kind.is_some() => {
+                panic!("serde shim derive: tuple structs are not supported")
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("serde shim derive: no struct/enum found");
+    let name = name.expect("serde shim derive: no type name found");
+    let body = body.expect("serde shim derive: no body found");
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: named_fields(body),
+        }
+    } else {
+        Shape::Enum {
+            name,
+            variants: unit_variants(body),
+        }
+    }
+}
+
+/// Extracts field names from a named-struct body, skipping attributes and
+/// visibility, and consuming each type up to the next top-level comma
+/// (angle-bracket depth tracked so `Map<K, V>` types don't split early).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip leading attributes and visibility.
+        let field_name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    panic!("serde shim derive: unexpected token in struct body: {other}")
+                }
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde shim derive: expected `:` after field `{field_name}`, got {other:?}")
+            }
+        }
+        // Consume the type up to a top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(field_name);
+    }
+}
+
+/// Extracts variant names from an enum body; panics on data-carrying
+/// variants.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let v = id.to_string();
+                match tokens.peek() {
+                    None => variants.push(v),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        let _ = tokens.next();
+                        variants.push(v);
+                    }
+                    Some(other) => panic!(
+                        "serde shim derive: enum variant `{v}` is not a unit variant ({other})"
+                    ),
+                }
+            }
+            other => panic!("serde shim derive: unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]` — see the crate docs for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__value, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {arms}\
+                                 __other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"a variant string\", __other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}

@@ -2,8 +2,8 @@
 //! sampling baselines on median error (the Table 2 headline), and every
 //! baseline must stay self-consistent.
 
-use janus::baselines::{MiniSpn, PassSynopsis, ReservoirBaseline, StratifiedReservoirBaseline};
 use janus::baselines::spn::SpnConfig;
+use janus::baselines::{MiniSpn, PassSynopsis, ReservoirBaseline, StratifiedReservoirBaseline};
 use janus::core::partition::PartitionerKind;
 use janus::prelude::*;
 
@@ -28,7 +28,13 @@ fn workbench() -> Workbench {
     );
     let workload = QueryWorkload::generate(
         &dataset,
-        &WorkloadSpec { template, count: 150, min_width_fraction: 0.03, seed: 31 , domain_quantile: 1.0 },
+        &WorkloadSpec {
+            template,
+            count: 150,
+            min_width_fraction: 0.03,
+            seed: 31,
+            domain_quantile: 1.0,
+        },
     );
     let mut queries = Vec::new();
     let mut truths = Vec::new();
@@ -39,7 +45,11 @@ fn workbench() -> Workbench {
             truths.push(truth);
         }
     }
-    Workbench { dataset, queries, truths }
+    Workbench {
+        dataset,
+        queries,
+        truths,
+    }
 }
 
 fn config(dataset: &Dataset, seed: u64) -> SynopsisConfig {
@@ -63,7 +73,8 @@ fn config(dataset: &Dataset, seed: u64) -> SynopsisConfig {
 #[test]
 fn janus_beats_rs_and_srs_at_equal_sample_rate() {
     let wb = workbench();
-    let mut janus = JanusEngine::bootstrap(config(&wb.dataset, 1), wb.dataset.rows.clone()).unwrap();
+    let mut janus =
+        JanusEngine::bootstrap(config(&wb.dataset, 1), wb.dataset.rows.clone()).unwrap();
     let rs = ReservoirBaseline::bootstrap(wb.dataset.rows.clone(), 0.02, 1).unwrap();
     let srs = StratifiedReservoirBaseline::bootstrap(
         wb.dataset.rows.clone(),
@@ -90,7 +101,10 @@ fn janus_beats_rs_and_srs_at_equal_sample_rate() {
     // 300k samples); at this test's scaled-down N the catch-up noise floor
     // compresses the gap, so demand a 1.5x margin here. The full-scale gap
     // is exercised by `exp_table2` (see EXPERIMENTS.md).
-    assert!(mj < mr / 1.5, "janus {mj:.4} vs RS {mr:.4}: expected > 1.5x gap");
+    assert!(
+        mj < mr / 1.5,
+        "janus {mj:.4} vs RS {mr:.4}: expected > 1.5x gap"
+    );
 }
 
 #[test]
@@ -139,7 +153,13 @@ fn spn_error_is_flat_as_data_grows() {
         let rows = &dataset.rows[..upto];
         let workload = QueryWorkload::generate_over_rows(
             rows,
-            &WorkloadSpec { template: template.clone(), count: 80, min_width_fraction: 0.05, seed: 33 , domain_quantile: 1.0 },
+            &WorkloadSpec {
+                template: template.clone(),
+                count: 80,
+                min_width_fraction: 0.05,
+                seed: 33,
+                domain_quantile: 1.0,
+            },
         );
         let mut errs = Vec::new();
         for q in &workload.queries {
@@ -165,7 +185,10 @@ fn spn_error_is_flat_as_data_grows() {
     spn.retrain(&train_full, dataset.len());
     let err_full = eval(&spn, dataset.len());
     assert!(err_third < 0.25, "initial SPN error {err_third:.4}");
-    assert!(err_full < err_third * 3.0 + 0.1, "error not flat after retrain: {err_third:.4} -> {err_full:.4}");
+    assert!(
+        err_full < err_third * 3.0 + 0.1,
+        "error not flat after retrain: {err_third:.4} -> {err_full:.4}"
+    );
 }
 
 #[test]

@@ -10,8 +10,7 @@ fn dataset() -> Dataset {
 }
 
 fn config(d: &Dataset, catchup: f64, seed: u64) -> SynopsisConfig {
-    let template =
-        QueryTemplate::new(AggregateFunction::Sum, d.col("light"), vec![d.col("time")]);
+    let template = QueryTemplate::new(AggregateFunction::Sum, d.col("light"), vec![d.col("time")]);
     let mut c = SynopsisConfig::paper_default(template, seed);
     c.leaf_count = 32;
     c.sample_rate = 0.02;
@@ -20,11 +19,16 @@ fn config(d: &Dataset, catchup: f64, seed: u64) -> SynopsisConfig {
 }
 
 fn workload(d: &Dataset, seed: u64) -> Vec<Query> {
-    let template =
-        QueryTemplate::new(AggregateFunction::Sum, d.col("light"), vec![d.col("time")]);
+    let template = QueryTemplate::new(AggregateFunction::Sum, d.col("light"), vec![d.col("time")]);
     QueryWorkload::generate(
         d,
-        &WorkloadSpec { template, count: 100, min_width_fraction: 0.05, seed, domain_quantile: 1.0 },
+        &WorkloadSpec {
+            template,
+            count: 100,
+            min_width_fraction: 0.05,
+            seed,
+            domain_quantile: 1.0,
+        },
     )
     .queries
 }
@@ -89,7 +93,9 @@ fn snapshot_survives_simulated_restart_with_replay() {
     // Pre-restart activity.
     for i in 0..2_000u64 {
         let t = 1e9 + i as f64;
-        engine.insert(Row::new(900_000 + i, vec![t, 100.0, 0.0, 0.0, 0.0])).unwrap();
+        engine
+            .insert(Row::new(900_000 + i, vec![t, 100.0, 0.0, 0.0, 0.0]))
+            .unwrap();
     }
     let snap: SynopsisSnapshot = engine.save_synopsis();
     let json = serde_json::to_vec(&snap).unwrap();
@@ -132,7 +138,10 @@ fn reoptimize_loop_under_live_load_preserves_consistency() {
             live.insert(row.clone()).unwrap();
         }
         let blocked = live.reoptimize().unwrap();
-        assert!(blocked.as_secs() < 10, "swap blocked too long at step {step}");
+        assert!(
+            blocked.as_secs() < 10,
+            "swap blocked too long at step {step}"
+        );
     }
     assert_eq!(live.population(), 30_000);
     live.wait_for_catchup();

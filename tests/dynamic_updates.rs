@@ -21,7 +21,13 @@ fn row(id: u64, rng: &mut SmallRng) -> Row {
 }
 
 fn q(lo: f64, hi: f64, agg: AggregateFunction) -> Query {
-    Query::new(agg, 1, vec![0], RangePredicate::new(vec![lo], vec![hi]).unwrap()).unwrap()
+    Query::new(
+        agg,
+        1,
+        vec![0],
+        RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+    )
+    .unwrap()
 }
 
 #[test]
@@ -96,7 +102,11 @@ fn growth_by_an_order_of_magnitude() {
     let query = q(0.0, 1_000.0, AggregateFunction::Sum);
     let est = engine.query(&query).unwrap().unwrap();
     let truth = engine.evaluate_exact(&query).unwrap();
-    assert!(est.relative_error(truth) < 0.1, "est {} truth {truth}", est.value);
+    assert!(
+        est.relative_error(truth) < 0.1,
+        "est {} truth {truth}",
+        est.value
+    );
 }
 
 #[test]
@@ -156,7 +166,10 @@ fn parallel_batches_match_sequential_processing() {
     let query = q(0.0, 1_000.0, AggregateFunction::Sum);
     let a = seq.query(&query).unwrap().unwrap().value;
     let b = par.query(&query).unwrap().unwrap().value;
-    assert!((a - b).abs() <= 1e-6 * a.abs().max(1.0), "seq {a} vs par {b}");
+    assert!(
+        (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+        "seq {a} vs par {b}"
+    );
 }
 
 #[test]

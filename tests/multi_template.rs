@@ -25,9 +25,23 @@ fn taxi_engine(n: usize, seed: u64) -> (Dataset, MultiTemplateEngine) {
     (d, engine)
 }
 
-fn range_query(d: &Dataset, agg: AggregateFunction, agg_col: usize, pred: usize, f: (f64, f64)) -> Query {
-    let lo = d.rows.iter().map(|r| r.value(pred)).fold(f64::INFINITY, f64::min);
-    let hi = d.rows.iter().map(|r| r.value(pred)).fold(f64::NEG_INFINITY, f64::max);
+fn range_query(
+    d: &Dataset,
+    agg: AggregateFunction,
+    agg_col: usize,
+    pred: usize,
+    f: (f64, f64),
+) -> Query {
+    let lo = d
+        .rows
+        .iter()
+        .map(|r| r.value(pred))
+        .fold(f64::INFINITY, f64::min);
+    let hi = d
+        .rows
+        .iter()
+        .map(|r| r.value(pred))
+        .fold(f64::NEG_INFINITY, f64::max);
     let w = hi - lo;
     Query::new(
         agg,
@@ -46,7 +60,11 @@ fn both_predicate_templates_answer_accurately() {
         let q = range_query(&d, AggregateFunction::Sum, dist, pred, (0.2, 0.7));
         let est = engine.query(&q).unwrap().unwrap();
         let truth = engine.evaluate_exact(&q).unwrap();
-        assert!(est.relative_error(truth) < 0.08, "pred {pred}: {}", est.relative_error(truth));
+        assert!(
+            est.relative_error(truth) < 0.08,
+            "pred {pred}: {}",
+            est.relative_error(truth)
+        );
     }
 }
 
@@ -56,7 +74,11 @@ fn aggregate_function_change_is_free() {
     let (d, engine) = taxi_engine(20_000, 41);
     let dist = d.col("trip_distance");
     let pickup = d.col("pickup_time");
-    for agg in [AggregateFunction::Sum, AggregateFunction::Count, AggregateFunction::Avg] {
+    for agg in [
+        AggregateFunction::Sum,
+        AggregateFunction::Count,
+        AggregateFunction::Avg,
+    ] {
         let q = range_query(&d, agg, dist, pickup, (0.1, 0.6));
         let est = engine.query(&q).unwrap().unwrap();
         let truth = engine.evaluate_exact(&q).unwrap();
@@ -78,7 +100,11 @@ fn aggregate_attribute_change_uses_sampling_fallback() {
     let q = range_query(&d, AggregateFunction::Sum, pax, pickup, (0.2, 0.8));
     let est = engine.query(&q).unwrap().unwrap();
     let truth = engine.evaluate_exact(&q).unwrap();
-    assert!(est.relative_error(truth) < 0.1, "rel {}", est.relative_error(truth));
+    assert!(
+        est.relative_error(truth) < 0.1,
+        "rel {}",
+        est.relative_error(truth)
+    );
 }
 
 #[test]
@@ -91,7 +117,11 @@ fn unknown_predicate_attribute_uses_uniform_fallback() {
     let q = range_query(&d, AggregateFunction::Sum, dist, tod, (0.25, 0.75));
     let est = engine.query(&q).unwrap().unwrap();
     let truth = engine.evaluate_exact(&q).unwrap();
-    assert!(est.relative_error(truth) < 0.2, "rel {}", est.relative_error(truth));
+    assert!(
+        est.relative_error(truth) < 0.2,
+        "rel {}",
+        est.relative_error(truth)
+    );
 }
 
 #[test]

@@ -6,9 +6,8 @@ use janus::prelude::*;
 use proptest::prelude::*;
 
 fn arb_row(id_base: u64) -> impl Strategy<Value = Row> {
-    (0.0f64..1000.0, 0.0f64..100.0, 0u64..1_000_000).prop_map(move |(x, a, salt)| {
-        Row::new(id_base + salt, vec![x, a])
-    })
+    (0.0f64..1000.0, 0.0f64..100.0, 0u64..1_000_000)
+        .prop_map(move |(x, a, salt)| Row::new(id_base + salt, vec![x, a]))
 }
 
 fn small_config(seed: u64, k: usize) -> SynopsisConfig {
