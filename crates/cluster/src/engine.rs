@@ -2,10 +2,12 @@
 //!
 //! * **Ingest** is published to one Kafka-like topic per shard
 //!   ([`janus_storage::ShardedLog`]); a [`ShardRouter`] picks the topic.
-//!   Nothing reaches a synopsis until [`ClusterEngine::pump`] drains the
-//!   topics in offset order, so per-shard catch-up is independent,
-//!   back-pressure is explicit, and replay from offset zero is
-//!   deterministic.
+//!   Nothing reaches a synopsis until the topics are drained in offset
+//!   order — by [`ClusterEngine::pump`] (all shards, scoped threads) or
+//!   [`ClusterEngine::pump_shard`] (one shard, the granularity the
+//!   [`crate::live::LiveCluster`] background workers use) — so per-shard
+//!   catch-up is independent, back-pressure is explicit, and replay from
+//!   offset zero is deterministic.
 //! * **Queries** scatter to every shard whose slab the predicate can touch
 //!   (all shards under discrete policies), run in parallel, and the
 //!   per-shard [`Estimate`]s are gathered with the variance-correct merges
@@ -17,7 +19,27 @@
 //! * **Re-partitioning** stays local to each shard (its own triggers keep
 //!   firing); the cluster level adds a row-count skew check and a
 //!   range-split migration — see [`crate::rebalance`].
+//!
+//! ## Locking model
+//!
+//! Every public operation takes `&self`: state is sharded across locks so
+//! ingest, pumping, and scatter-gather queries proceed concurrently on
+//! different shards instead of serializing on one `&mut self` borrow.
+//!
+//! | state | lock | writers |
+//! |---|---|---|
+//! | each [`Shard`] (engine + consumed offset) | own `RwLock` | pump, scatter, rebalance |
+//! | [`ShardRouter`] | `RwLock` | publish (rotation cursor), rebalance (bounds) |
+//! | row→shard directory | `RwLock` | publish, rebalance |
+//! | operation counters | atomics | everyone |
+//!
+//! Lock order is router → directory → shards (ascending); no path
+//! acquires them in any other order, so the engine is deadlock-free by
+//! construction. Publishes hold the directory lock across the topic
+//! append so a concurrent delete can never outrun its row's insert into
+//! the same shard topic.
 
+use crate::bootstrap::{build_shards, partition_rows};
 use crate::rebalance::{self, RebalanceReport};
 use crate::router::{ShardPolicy, ShardRouter};
 use janus_common::{
@@ -25,6 +47,8 @@ use janus_common::{
 };
 use janus_core::{JanusEngine, SynopsisConfig};
 use janus_storage::ShardedLog;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One record of a shard's ingest topic.
 #[derive(Clone, Debug, PartialEq)]
@@ -74,8 +98,8 @@ pub(crate) struct Shard {
     pub(crate) offset: u64,
 }
 
-/// Operation counters for the cluster layer.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Operation counters plus a pump-lag snapshot for the cluster layer.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ClusterStats {
     /// Inserts published.
     pub inserts: u64,
@@ -91,19 +115,59 @@ pub struct ClusterStats {
     pub rebalances: u64,
     /// Rows moved between shards by rebalancing.
     pub rows_migrated: u64,
+    /// Pump lag at snapshot time: records published but not yet applied,
+    /// per shard in shard order.
+    pub shard_backlog: Vec<u64>,
 }
 
-/// N `JanusEngine` shards behind one scatter-gather façade.
+impl ClusterStats {
+    /// The most-behind shard's backlog (0 for an empty cluster).
+    pub fn backlog_max(&self) -> u64 {
+        self.shard_backlog.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean per-shard backlog (0 for an empty cluster).
+    pub fn backlog_mean(&self) -> f64 {
+        if self.shard_backlog.is_empty() {
+            0.0
+        } else {
+            self.shard_backlog.iter().sum::<u64>() as f64 / self.shard_backlog.len() as f64
+        }
+    }
+}
+
+/// Lock-free operation counters (relaxed: they are metrics, not fences).
+#[derive(Default)]
+struct Counters {
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    queries: AtomicU64,
+    subqueries: AtomicU64,
+    pumped: AtomicU64,
+    rebalances: AtomicU64,
+    rows_migrated: AtomicU64,
+}
+
+/// N `JanusEngine` shards behind one scatter-gather façade. All methods
+/// take `&self` — see the module docs for the locking model.
 pub struct ClusterEngine {
     config: ClusterConfig,
-    router: ShardRouter,
+    router: RwLock<ShardRouter>,
     log: ShardedLog<ShardOp>,
-    shards: Vec<Shard>,
+    shards: Vec<RwLock<Shard>>,
     /// Authoritative row → shard placement, updated at publish time and by
     /// migrations; deletes and rebalancing route through it, so placement
     /// stays correct even after the router's bounds move.
-    directory: DetHashMap<RowId, usize>,
-    stats: ClusterStats,
+    directory: RwLock<DetHashMap<RowId, usize>>,
+    /// Bumped (under all locks) by every completed migration; queries
+    /// re-validate their pruning against it so a scatter never merges a
+    /// pre-migration target set with post-migration shard contents.
+    rebalance_generation: AtomicU64,
+    /// Per-shard published-minus-applied record counts, maintained at
+    /// publish/pump time so the backpressure probe is a handful of
+    /// relaxed loads instead of lock acquisitions.
+    backlog: Vec<AtomicU64>,
+    counters: Counters,
 }
 
 impl ClusterEngine {
@@ -116,34 +180,18 @@ impl ClusterEngine {
             return Err(JanusError::InvalidConfig("need at least one shard".into()));
         }
         let mut router = ShardRouter::new(config.policy.clone(), config.shards)?;
-        let mut per_shard: Vec<Vec<Row>> = (0..config.shards).map(|_| Vec::new()).collect();
-        let mut directory = DetHashMap::default();
-        for row in rows {
-            let shard = router.route(&row);
-            if directory.insert(row.id, shard).is_some() {
-                return Err(JanusError::InvalidConfig(format!(
-                    "duplicate row id {} in bootstrap data",
-                    row.id
-                )));
-            }
-            per_shard[shard].push(row);
-        }
-        let mut shards = Vec::with_capacity(config.shards);
-        for (i, shard_rows) in per_shard.into_iter().enumerate() {
-            let mut shard_config = config.base.clone();
-            shard_config.seed = shard_seed(config.base.seed, i);
-            shards.push(Shard {
-                engine: JanusEngine::bootstrap(shard_config, shard_rows)?,
-                offset: 0,
-            });
-        }
+        let (per_shard, directory) = partition_rows(&mut router, rows)?;
+        let shards = build_shards(&config.base, per_shard)?;
+        let n_shards = config.shards;
         Ok(ClusterEngine {
-            log: ShardedLog::new(config.shards),
+            log: ShardedLog::new(n_shards),
             config,
-            router,
-            shards,
-            directory,
-            stats: ClusterStats::default(),
+            router: RwLock::new(router),
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            directory: RwLock::new(directory),
+            rebalance_generation: AtomicU64::new(0),
+            backlog: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            counters: Counters::default(),
         })
     }
 
@@ -161,39 +209,74 @@ impl ClusterEngine {
         &self.config
     }
 
-    /// The router (current policy and bounds).
-    pub fn router(&self) -> &ShardRouter {
-        &self.router
+    /// The routing policy currently in force (bounds reflect past
+    /// rebalances).
+    pub fn policy(&self) -> ShardPolicy {
+        self.router.read().policy().clone()
     }
 
-    /// Cluster-level operation counters.
+    /// Cluster-level operation counters and the current pump-lag snapshot.
     pub fn stats(&self) -> ClusterStats {
-        self.stats
+        ClusterStats {
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            deletes: self.counters.deletes.load(Ordering::Relaxed),
+            queries: self.counters.queries.load(Ordering::Relaxed),
+            subqueries: self.counters.subqueries.load(Ordering::Relaxed),
+            pumped: self.counters.pumped.load(Ordering::Relaxed),
+            rebalances: self.counters.rebalances.load(Ordering::Relaxed),
+            rows_migrated: self.counters.rows_migrated.load(Ordering::Relaxed),
+            shard_backlog: self.shard_backlogs(),
+        }
     }
 
     /// Rows applied across all shard engines.
     pub fn population(&self) -> usize {
-        self.shards.iter().map(|s| s.engine.population()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.read().engine.population())
+            .sum()
     }
 
     /// Applied rows per shard, in shard order.
     pub fn shard_populations(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.engine.population()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.read().engine.population())
+            .collect()
     }
 
-    /// Records published but not yet pumped into shard engines.
-    pub fn pending(&self) -> u64 {
+    /// Records published but not yet pumped, per shard in shard order.
+    /// Read without a global lock, so under concurrent pumping the values
+    /// can only *under*-state the true lag — never overstate it.
+    pub fn shard_backlogs(&self) -> Vec<u64> {
         self.log
             .end_offsets()
             .iter()
             .zip(&self.shards)
-            .map(|(end, s)| end - s.offset)
-            .sum()
+            .map(|(end, s)| end.saturating_sub(s.read().offset))
+            .collect()
     }
 
-    /// A shard's engine (experiments and tests).
-    pub fn shard_engine(&self, shard: usize) -> &JanusEngine {
-        &self.shards[shard].engine
+    /// Records published but not yet pumped into shard engines.
+    pub fn pending(&self) -> u64 {
+        self.shard_backlogs().iter().sum()
+    }
+
+    /// True when any shard's publish-ahead backlog has reached `limit` —
+    /// the backpressure probe the live front end calls per record. Reads
+    /// only the per-shard atomic counters (no locks, no allocation); the
+    /// counters can transiently *over*state the lag between a pump's
+    /// application and its decrement, which errs on the safe side for
+    /// backpressure (a spurious stall, never a missed one).
+    pub fn backlog_exceeds(&self, limit: u64) -> bool {
+        self.backlog
+            .iter()
+            .any(|b| b.load(Ordering::Relaxed) >= limit)
+    }
+
+    /// Runs `f` against one shard's engine (experiments and tests).
+    pub fn with_shard_engine<T>(&self, shard: usize, f: impl FnOnce(&JanusEngine) -> T) -> T {
+        f(&self.shards[shard].read().engine)
     }
 
     // ------------------------------------------------------------------
@@ -201,88 +284,154 @@ impl ClusterEngine {
     // ------------------------------------------------------------------
 
     /// Routes an insert to its shard topic. The row is visible to queries
-    /// after the next [`ClusterEngine::pump`] that drains it.
-    pub fn publish_insert(&mut self, row: Row) -> Result<()> {
-        if self.directory.contains_key(&row.id) {
+    /// after the next pump that drains it.
+    pub fn publish_insert(&self, row: Row) -> Result<()> {
+        let mut router = self.router.write();
+        let mut directory = self.directory.write();
+        if directory.contains_key(&row.id) {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
             )));
         }
-        let shard = self.router.route(&row);
-        self.directory.insert(row.id, shard);
+        let shard = router.route(&row);
+        drop(router);
+        directory.insert(row.id, shard);
+        // Publish under the directory lock: once the directory names this
+        // row, its insert is already in the shard topic ahead of any
+        // delete a concurrent publisher could append.
         self.log.publish(shard, ShardOp::Insert(row));
-        self.stats.inserts += 1;
+        drop(directory);
+        self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Routes a delete to the shard actually holding the row (directory
     /// lookup, so placement survives round-robin/hash routing and past
     /// migrations).
-    pub fn publish_delete(&mut self, id: RowId) -> Result<()> {
-        let Some(shard) = self.directory.remove(&id) else {
+    pub fn publish_delete(&self, id: RowId) -> Result<()> {
+        let mut directory = self.directory.write();
+        let Some(shard) = directory.remove(&id) else {
             return Err(JanusError::RowNotFound(id));
         };
         self.log.publish(shard, ShardOp::Delete(id));
-        self.stats.deletes += 1;
+        drop(directory);
+        self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Drains up to `max` records of `shard`'s topic into its engine, in
+    /// offset order; returns the number applied. This is the granularity a
+    /// background pump worker owns: it write-locks only its shard, so
+    /// pumping never blocks ingest or queries on other shards.
+    pub fn pump_shard(&self, shard: usize, max: usize) -> Result<usize> {
+        let (applied, _, error) = self.pump_one(shard, max, false);
+        match error {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    /// Like [`ClusterEngine::pump_shard`], but a record whose application
+    /// fails is skipped (its offset consumed) instead of wedging the
+    /// topic; returns `(applied, skipped)`. Background workers use this:
+    /// a poisoned record must not stall a live shard forever.
+    pub(crate) fn pump_shard_lossy(&self, shard: usize, max: usize) -> (usize, usize) {
+        let (applied, skipped, _) = self.pump_one(shard, max, true);
+        (applied, skipped)
+    }
+
+    /// Single-shard drain: write-lock, then apply one batch.
+    fn pump_one(
+        &self,
+        shard: usize,
+        max: usize,
+        skip_failed: bool,
+    ) -> (usize, usize, Option<JanusError>) {
+        let mut guard = self.shards[shard].write();
+        self.drain_locked(shard, &mut guard, max, skip_failed)
+    }
+
+    /// The one batch-apply loop every pump path shares — callers hold the
+    /// shard's write guard. Returns `(applied, skipped, first error)`;
+    /// with `skip_failed` unset, the failing record stays at the head of
+    /// the topic (offset not consumed). Maintains the `pumped` counter
+    /// and the shard's atomic backlog gauge, so offset-advance, counter,
+    /// and gauge semantics cannot drift between pump paths.
+    fn drain_locked(
+        &self,
+        shard: usize,
+        guard: &mut Shard,
+        max: usize,
+        skip_failed: bool,
+    ) -> (usize, usize, Option<JanusError>) {
+        let batch = self.log.poll(shard, guard.offset, max);
+        let mut applied = 0;
+        let mut skipped = 0;
+        let mut first_error = None;
+        for op in batch {
+            match apply_op(&mut guard.engine, op) {
+                Ok(()) => {
+                    guard.offset += 1;
+                    applied += 1;
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    if !skip_failed {
+                        break;
+                    }
+                    guard.offset += 1;
+                    skipped += 1;
+                }
+            }
+        }
+        self.counters
+            .pumped
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        self.backlog[shard].fetch_sub((applied + skipped) as u64, Ordering::Relaxed);
+        (applied, skipped, first_error)
     }
 
     /// Drains up to `max_per_shard` topic records into every shard engine,
     /// in offset order per shard; returns the number applied. Shards are
-    /// independent, so they drain in parallel — each worker owns one
-    /// engine and its topic cursor, and per-shard record order (the only
-    /// order that matters) is preserved. Shard triggers
-    /// (under-representation, β-drift) fire as usual inside each engine
-    /// while it absorbs its records.
-    pub fn pump(&mut self, max_per_shard: usize) -> Result<usize> {
-        let log = &self.log;
-        // Each worker reports (records applied, first error): a shard that
-        // fails mid-batch already advanced its engine and offset for the
-        // records before the failure, and those must still be counted so
-        // `stats.pumped` never drifts from engine state.
-        let mut outcomes: Vec<(usize, Option<JanusError>)> = Vec::new();
+    /// independent, so they drain in parallel — each worker locks one
+    /// shard, and per-shard record order (the only order that matters) is
+    /// preserved. Shard triggers (under-representation, β-drift) fire as
+    /// usual inside each engine while it absorbs its records. A shard that
+    /// fails mid-batch already advanced its engine and offset for the
+    /// records before the failure, and those still count in `stats`.
+    pub fn pump(&self, max_per_shard: usize) -> Result<usize> {
+        let mut outcomes: Vec<(usize, usize, Option<JanusError>)> = Vec::new();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.shards.len());
-            for (i, shard) in self.shards.iter_mut().enumerate() {
-                handles.push(scope.spawn(move || {
-                    let batch = log.poll(i, shard.offset, max_per_shard);
-                    let mut applied = 0;
-                    for op in batch {
-                        let outcome = match op {
-                            ShardOp::Insert(row) => shard.engine.insert(row),
-                            ShardOp::Delete(id) => shard.engine.delete(id).map(|_| ()),
-                        };
-                        if let Err(e) = outcome {
-                            return (applied, Some(e));
-                        }
-                        shard.offset += 1;
-                        applied += 1;
-                    }
-                    (applied, None)
-                }));
-            }
+            let handles: Vec<_> = (0..self.shards.len())
+                .map(|i| scope.spawn(move || self.pump_one(i, max_per_shard, false)))
+                .collect();
             for handle in handles {
                 outcomes.push(handle.join().expect("pump worker panicked"));
             }
         });
         let mut applied = 0;
         let mut first_error = None;
-        for (n, error) in outcomes {
+        for (n, _, error) in outcomes {
             applied += n;
             if first_error.is_none() {
                 first_error = error;
             }
         }
-        self.stats.pumped += applied as u64;
         match first_error {
             Some(e) => Err(e),
             None => Ok(applied),
         }
     }
 
-    /// Pumps until every shard topic is fully drained.
-    pub fn pump_all(&mut self) -> Result<()> {
+    /// Pumps until every shard topic is fully drained. Note that under
+    /// concurrent publishing this is a moving target; the barrier only
+    /// means "drained at some instant".
+    pub fn pump_all(&self) -> Result<()> {
         let chunk = self.config.pump_chunk.max(1);
         while self.pump(chunk)? > 0 {}
         Ok(())
@@ -295,45 +444,66 @@ impl ClusterEngine {
     /// Answers a query by scatter-gather over the overlapping shards.
     /// `Ok(None)` for AVG/MIN/MAX over an (estimated) empty selection,
     /// matching the single-engine contract.
-    pub fn query(&mut self, query: &Query) -> Result<Option<Estimate>> {
-        self.stats.queries += 1;
-        let targets = self.router.overlapping(query);
-        self.stats.subqueries += targets.len() as u64;
-        match query.agg {
-            AggregateFunction::Count | AggregateFunction::Sum => {
-                let parts = self.scatter(&targets, |engine| {
-                    engine
-                        .query(query)
-                        .map(|e| e.expect("COUNT/SUM always answer"))
-                })?;
-                Ok(Some(merge::merge_additive(&parts)))
+    ///
+    /// The target-shard set is pruned against the router's range bounds,
+    /// which a concurrent [`ClusterEngine::maybe_rebalance`] can redraw
+    /// between pruning and gathering; the scatter therefore re-validates
+    /// the rebalance generation afterwards and retries on a mismatch, so
+    /// an answer never merges stale pruning with migrated shards.
+    pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
+        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        loop {
+            let generation = self.rebalance_generation.load(Ordering::Acquire);
+            let targets = self.router.read().overlapping(query);
+            let answer = match query.agg {
+                AggregateFunction::Count | AggregateFunction::Sum => {
+                    let parts = self.scatter(&targets, |engine| {
+                        engine
+                            .query(query)
+                            .map(|e| e.expect("COUNT/SUM always answer"))
+                    })?;
+                    Ok(Some(merge::merge_additive(&parts)))
+                }
+                AggregateFunction::Avg => {
+                    let parts = self.scatter(&targets, |engine| engine.answer_sum_count(query))?;
+                    let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
+                    Ok(merge::combine_avg(
+                        &merge::merge_additive(&sums),
+                        &merge::merge_additive(&counts),
+                    ))
+                }
+                AggregateFunction::Min | AggregateFunction::Max => {
+                    let minimum = query.agg == AggregateFunction::Min;
+                    let parts = self.scatter(&targets, |engine| engine.query(query))?;
+                    let answered: Vec<Estimate> = parts.into_iter().flatten().collect();
+                    Ok(merge::merge_extremum(&answered, minimum))
+                }
+            };
+            if self.rebalance_generation.load(Ordering::Acquire) == generation {
+                // Count only the attempt whose answer is returned, so
+                // subqueries-per-query stats don't drift on retries.
+                self.counters
+                    .subqueries
+                    .fetch_add(targets.len() as u64, Ordering::Relaxed);
+                return answer;
             }
-            AggregateFunction::Avg => {
-                let parts = self.scatter(&targets, |engine| engine.answer_sum_count(query))?;
-                let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
-                Ok(merge::combine_avg(
-                    &merge::merge_additive(&sums),
-                    &merge::merge_additive(&counts),
-                ))
-            }
-            AggregateFunction::Min | AggregateFunction::Max => {
-                let minimum = query.agg == AggregateFunction::Min;
-                let parts = self.scatter(&targets, |engine| engine.query(query))?;
-                let answered: Vec<Estimate> = parts.into_iter().flatten().collect();
-                Ok(merge::merge_extremum(&answered, minimum))
-            }
+            // A migration landed mid-scatter; the pruning may have missed
+            // shards that now hold matching rows. Rebalances are rare, so
+            // the retry loop terminates in practice after one extra pass.
         }
     }
 
     /// Exact evaluation across all shard archives (ground-truth oracle;
     /// ignores unpumped records, exactly like per-shard synopses do).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        query.evaluate_exact(self.shards.iter().flat_map(|s| s.engine.archive().iter()))
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        query.evaluate_exact(guards.iter().flat_map(|g| g.engine.archive().iter()))
     }
 
     /// Runs `f` against every target shard's engine in parallel and
-    /// returns the results in shard order (deterministic gather).
-    fn scatter<T, F>(&mut self, targets: &[usize], f: F) -> Result<Vec<T>>
+    /// returns the results in shard order (deterministic gather). Each
+    /// worker write-locks only its own shard.
+    fn scatter<T, F>(&self, targets: &[usize], f: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(&mut JanusEngine) -> Result<T> + Sync,
@@ -341,24 +511,12 @@ impl ClusterEngine {
         let mut slots: Vec<Option<Result<T>>> = Vec::new();
         slots.resize_with(targets.len(), || None);
         std::thread::scope(|scope| {
-            let mut pending = &mut self.shards[..];
-            let mut taken = 0usize;
-            let mut handles = Vec::with_capacity(targets.len());
-            // Targets are ascending; split the shard slice so each thread
-            // borrows exactly one shard mutably.
             for (slot, &target) in slots.iter_mut().zip(targets) {
-                let (skipped, rest) = pending.split_at_mut(target - taken);
-                let (shard, rest) = rest.split_first_mut().expect("target in range");
-                let _ = skipped;
-                pending = rest;
-                taken = target + 1;
                 let f = &f;
-                handles.push(scope.spawn(move || {
-                    *slot = Some(f(&mut shard.engine));
-                }));
-            }
-            for handle in handles {
-                handle.join().expect("scatter worker panicked");
+                let shard = &self.shards[target];
+                scope.spawn(move || {
+                    *slot = Some(f(&mut shard.write().engine));
+                });
             }
         });
         slots
@@ -373,31 +531,68 @@ impl ClusterEngine {
 
     /// Checks the shard row-count skew trigger and, when it fires, runs a
     /// range-split migration (see [`crate::rebalance`]). Topics are fully
-    /// drained first so migration acts on applied state. Returns the
-    /// migration report when one ran.
-    pub fn maybe_rebalance(&mut self) -> Result<Option<RebalanceReport>> {
+    /// drained first so migration acts on applied state; the migration
+    /// itself holds every lock (router → directory → shards), so
+    /// concurrent publishers, pumpers, and queries simply wait it out —
+    /// the cluster analogue of the paper's short blocking swap step.
+    /// Returns the migration report when one ran.
+    pub fn maybe_rebalance(&self) -> Result<Option<RebalanceReport>> {
         let Some(factor) = self.config.skew_factor else {
             return Ok(None);
         };
+        // Best-effort pre-drain outside the locks keeps the fully-locked
+        // window short.
         self.pump_all()?;
-        if !rebalance::skew_exceeds(&self.shard_populations(), factor) {
+        let mut router = self.router.write();
+        let mut directory = self.directory.write();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        // Drain the stragglers published between pump_all() and lock
+        // acquisition: we hold the directory lock, so no further records
+        // can land, and migrating with unapplied topic records would
+        // misplace them against the redrawn bounds (or resurrect rows
+        // whose pending delete fails on the donor after a move).
+        let chunk = self.config.pump_chunk.max(1);
+        for (i, guard) in guards.iter_mut().enumerate() {
+            loop {
+                let (applied, _, error) = self.drain_locked(i, guard, chunk, false);
+                if let Some(e) = error {
+                    return Err(e);
+                }
+                if applied == 0 {
+                    break;
+                }
+            }
+        }
+        let populations: Vec<usize> = guards.iter().map(|g| g.engine.population()).collect();
+        if !rebalance::skew_exceeds(&populations, factor) {
             return Ok(None);
         }
+        let mut shard_refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
         let report = rebalance::rebalance(
-            &mut self.router,
-            &mut self.shards,
-            &mut self.directory,
+            &mut router,
+            &mut shard_refs,
+            &mut directory,
             &self.config.base,
-        )?;
+        );
+        // Bump the generation on any mutation attempt — still under all
+        // locks. Even a failed migration may already have redrawn bounds
+        // and moved rows, so in-flight queries must re-prune either way.
+        self.rebalance_generation.fetch_add(1, Ordering::Release);
+        let report = report?;
         if let Some(r) = &report {
-            self.stats.rebalances += 1;
-            self.stats.rows_migrated += r.rows_moved as u64;
+            self.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .rows_migrated
+                .fetch_add(r.rows_moved as u64, Ordering::Relaxed);
         }
         Ok(report)
     }
 }
 
-/// Decorrelates shard engine seeds from the base seed.
-pub(crate) fn shard_seed(base: u64, shard: usize) -> u64 {
-    base ^ (shard as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)
+/// Applies one topic record to a shard engine.
+fn apply_op(engine: &mut JanusEngine, op: ShardOp) -> Result<()> {
+    match op {
+        ShardOp::Insert(row) => engine.insert(row),
+        ShardOp::Delete(id) => engine.delete(id).map(|_| ()),
+    }
 }

@@ -7,7 +7,9 @@
 //! | module | contents |
 //! |---|---|
 //! | [`router`] | [`ShardPolicy`] (hash-by-id, round-robin, range on a predicate attribute) and the [`ShardRouter`] that applies it: row placement, per-shard slabs as [`janus_common::Rect`]s, query overlap pruning |
-//! | [`engine`] | [`ClusterEngine`]: bootstrap-by-partition, publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay), parallel scatter-gather queries merged via [`janus_common::merge`] |
+//! | [`bootstrap`] | the shared shard-placement helpers: seed derivation, value→slab placement, partition-then-build |
+//! | [`engine`] | [`ClusterEngine`]: lock-sharded state (`&self` everywhere — one `RwLock` per shard, router/directory locks, atomic counters), publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay), parallel scatter-gather queries merged via [`janus_common::merge`] |
+//! | [`live`] | [`LiveCluster`]: the engine as a long-running service — one background pump worker per shard plus a request/response front end over [`janus_storage::RequestLog`], with per-shard backpressure, a `drain()` barrier, and graceful shutdown |
 //! | [`rebalance`] | the cluster-level skew trigger (largest shard ≥ `skew_factor` × median) and the range-split migration built on the `janus-core` snapshot path |
 //!
 //! ## Answer semantics
@@ -39,7 +41,7 @@
 //!
 //! // Four shards, range-partitioned on the predicate attribute.
 //! let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
-//! let mut cluster =
+//! let cluster =
 //!     ClusterEngine::bootstrap(ClusterConfig::new(base, 4, policy), rows).unwrap();
 //!
 //! // Ingest goes to per-shard topics; `pump` applies it.
@@ -58,11 +60,14 @@
 //! assert!((est.value - truth).abs() / truth < 0.2);
 //! ```
 
+pub mod bootstrap;
 pub mod engine;
+pub mod live;
 pub mod rebalance;
 pub mod router;
 
 pub use engine::{ClusterConfig, ClusterEngine, ClusterStats, ShardOp};
+pub use live::{LiveCluster, LiveConfig, LiveStats};
 pub use rebalance::RebalanceReport;
 pub use router::{ShardPolicy, ShardRouter};
 

@@ -1,0 +1,379 @@
+//! The long-running cluster service: background pump workers plus a
+//! request/response front end — the cluster-level analogue of
+//! [`janus_core::LiveEngine`].
+//!
+//! ## Worker / offset model
+//!
+//! [`LiveCluster::start`] bootstraps a lock-sharded [`ClusterEngine`] and
+//! spawns `shards + 1` threads:
+//!
+//! * **One pump worker per shard.** Worker `i` loops on
+//!   [`ClusterEngine::pump_shard`]'s lossy variant, draining shard `i`'s
+//!   topic into its engine in offset order. Each worker write-locks only
+//!   its own shard, so the shards absorb their streams in parallel and a
+//!   busy shard never blocks the others. An idle worker parks briefly and
+//!   is unparked when the front end publishes new records.
+//! * **One front-end worker** consuming a [`janus_storage::RequestLog`]
+//!   from offset zero, in arrival order: `Insert`/`Delete` requests are
+//!   republished to the owning shard's topic (the same routed publish the
+//!   synchronous engine uses, so replay is deterministic); `Execute`
+//!   requests are answered by scatter-gather over the *currently pumped*
+//!   state and the estimate is published onto the log's response topic
+//!   keyed by the request's offset. Consumption progress is an atomic
+//!   offset published *after* each request's effect is durable, which is
+//!   what makes [`LiveCluster::drain`] a real barrier.
+//!
+//! **Backpressure.** Before republishing a data request the front end
+//! checks the per-shard backlog ([`ClusterEngine::shard_backlogs`]); while
+//! any shard is `max_backlog` or more records behind, it stalls (parking,
+//! re-checking, nudging the pump workers) instead of letting a fast
+//! producer grow an unbounded gap between topics and synopses.
+//!
+//! **Consistency.** Queries answer from whatever has been pumped when the
+//! scatter runs — the same read-your-pumped-writes semantics as the
+//! synchronous engine, minus the manual pumping. After [`LiveCluster::
+//! drain`] (all topics consumed) the cluster state is *bit-identical* to
+//! a synchronous [`ClusterEngine`] fed the same request sequence, because
+//! per-shard application order is the topic offset order in both worlds —
+//! `tests/live_cluster.rs` pins this down.
+//!
+//! [`LiveCluster::shutdown`] stops all workers and returns the inner
+//! [`ClusterEngine`], mirroring `LiveEngine::shutdown`.
+
+use crate::engine::{ClusterConfig, ClusterEngine};
+use janus_common::{Result, Row};
+use janus_storage::{Request, RequestLog};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs of the live service loop.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Records a pump worker drains per lock acquisition.
+    pub pump_chunk: usize,
+    /// Requests the front end consumes per poll.
+    pub frontend_chunk: usize,
+    /// Per-shard backpressure limit: the front end stalls while any
+    /// shard's publish-ahead backlog is at or over this.
+    pub max_backlog: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            pump_chunk: 1024,
+            frontend_chunk: 256,
+            max_backlog: 65_536,
+        }
+    }
+}
+
+/// Front-end counters (all relaxed atomics; snapshot via
+/// [`LiveCluster::live_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Requests consumed from the unified log.
+    pub requests_consumed: u64,
+    /// Response records published — exactly one per consumed `Execute`.
+    pub responses_published: u64,
+    /// Queries whose (estimated) selection was empty — their response
+    /// record carries `None`.
+    pub empty_answers: u64,
+    /// Requests rejected at publish/answer time (duplicate insert, delete
+    /// of an unknown row, query error) — consumed, counted, skipped.
+    pub rejected_requests: u64,
+    /// Topic records skipped by the lossy pump path (always 0 unless the
+    /// ingest invariants were violated upstream).
+    pub records_skipped: u64,
+}
+
+#[derive(Default)]
+struct LiveCounters {
+    requests_consumed: AtomicU64,
+    responses_published: AtomicU64,
+    empty_answers: AtomicU64,
+    rejected_requests: AtomicU64,
+    records_skipped: AtomicU64,
+}
+
+struct Shared {
+    cluster: ClusterEngine,
+    requests: Arc<RequestLog>,
+    shutdown: AtomicBool,
+    /// Unified-log offset the front end has fully processed (stored with
+    /// release ordering after the request's republish/response landed).
+    front_offset: AtomicU64,
+    counters: LiveCounters,
+}
+
+/// A `ClusterEngine` running as a service: per-shard pump workers and a
+/// request/response front end over a shared [`RequestLog`].
+pub struct LiveCluster {
+    shared: Arc<Shared>,
+    pump_threads: Vec<JoinHandle<()>>,
+    frontend_thread: Option<JoinHandle<()>>,
+}
+
+impl LiveCluster {
+    /// Bootstraps the cluster on `rows` and starts the service loop over
+    /// `requests` with default [`LiveConfig`] knobs.
+    ///
+    /// The request log is consumed from offset zero, so it must carry
+    /// only post-bootstrap traffic (bootstrap rows arrive via `rows`).
+    pub fn start(config: ClusterConfig, rows: Vec<Row>, requests: Arc<RequestLog>) -> Result<Self> {
+        Self::start_with(config, rows, requests, LiveConfig::default())
+    }
+
+    /// [`LiveCluster::start`] with explicit service knobs.
+    pub fn start_with(
+        config: ClusterConfig,
+        rows: Vec<Row>,
+        requests: Arc<RequestLog>,
+        live: LiveConfig,
+    ) -> Result<Self> {
+        Self::wrap(ClusterEngine::bootstrap(config, rows)?, requests, live)
+    }
+
+    /// Takes over an already-bootstrapped engine and starts the workers —
+    /// the seam between the synchronous and live worlds.
+    pub fn wrap(
+        cluster: ClusterEngine,
+        requests: Arc<RequestLog>,
+        live: LiveConfig,
+    ) -> Result<Self> {
+        let shards = cluster.shards();
+        let shared = Arc::new(Shared {
+            cluster,
+            requests,
+            shutdown: AtomicBool::new(false),
+            front_offset: AtomicU64::new(0),
+            counters: LiveCounters::default(),
+        });
+
+        let pump_chunk = live.pump_chunk.max(1);
+        let mut pump_threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let worker = Arc::clone(&shared);
+            pump_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("janus-pump-{shard}"))
+                    .spawn(move || {
+                        while !worker.shutdown.load(Ordering::Relaxed) {
+                            let (applied, skipped) =
+                                worker.cluster.pump_shard_lossy(shard, pump_chunk);
+                            if skipped > 0 {
+                                worker
+                                    .counters
+                                    .records_skipped
+                                    .fetch_add(skipped as u64, Ordering::Relaxed);
+                            }
+                            if applied == 0 && skipped == 0 {
+                                // Topic drained: idle briefly instead of
+                                // spinning on the shard lock.
+                                std::thread::park_timeout(Duration::from_millis(1));
+                            }
+                        }
+                    })
+                    .expect("spawn pump worker"),
+            );
+        }
+
+        let pump_handles: Vec<std::thread::Thread> =
+            pump_threads.iter().map(|t| t.thread().clone()).collect();
+        let worker = Arc::clone(&shared);
+        let frontend_chunk = live.frontend_chunk.max(1);
+        let max_backlog = live.max_backlog.max(1);
+        let frontend_thread = std::thread::Builder::new()
+            .name("janus-frontend".into())
+            .spawn(move || frontend_loop(&worker, &pump_handles, frontend_chunk, max_backlog))
+            .expect("spawn front-end worker");
+
+        Ok(LiveCluster {
+            shared,
+            pump_threads,
+            frontend_thread: Some(frontend_thread),
+        })
+    }
+
+    /// The engine under service. All `ClusterEngine` methods take `&self`,
+    /// so direct reads (and even direct publishes) are safe alongside the
+    /// workers — this is the low-latency read path a dashboard uses.
+    pub fn engine(&self) -> &ClusterEngine {
+        &self.shared.cluster
+    }
+
+    /// The request log this service consumes.
+    pub fn requests(&self) -> &Arc<RequestLog> {
+        &self.shared.requests
+    }
+
+    /// Requests published but not yet processed by the front end.
+    pub fn frontend_lag(&self) -> u64 {
+        self.shared
+            .requests
+            .end_offset()
+            .saturating_sub(self.shared.front_offset.load(Ordering::Acquire))
+    }
+
+    /// Front-end counter snapshot.
+    pub fn live_stats(&self) -> LiveStats {
+        let c = &self.shared.counters;
+        LiveStats {
+            requests_consumed: c.requests_consumed.load(Ordering::Relaxed),
+            responses_published: c.responses_published.load(Ordering::Relaxed),
+            empty_answers: c.empty_answers.load(Ordering::Relaxed),
+            rejected_requests: c.rejected_requests.load(Ordering::Relaxed),
+            records_skipped: c.records_skipped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Barrier: blocks until every request published *so far* has been
+    /// consumed by the front end **and** every shard topic is fully
+    /// pumped — i.e. all effects of the traffic are in the synopses and
+    /// all query responses are on the response topic. Producers that keep
+    /// publishing move the goalposts; quiesce them first for a final
+    /// drain.
+    pub fn drain(&self) {
+        loop {
+            let end = self.shared.requests.end_offset();
+            let consumed = self.shared.front_offset.load(Ordering::Acquire);
+            if consumed >= end && self.shared.cluster.pending() == 0 {
+                return;
+            }
+            if let Some(t) = &self.frontend_thread {
+                t.thread().unpark();
+            }
+            for t in &self.pump_threads {
+                t.thread().unpark();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops all workers and returns the inner engine. Does *not* drain
+    /// first — call [`LiveCluster::drain`] before shutting down when the
+    /// remaining traffic matters.
+    pub fn shutdown(mut self) -> ClusterEngine {
+        self.stop_workers();
+        let shared = Arc::clone(&self.shared);
+        drop(self);
+        match Arc::try_unwrap(shared) {
+            Ok(s) => s.cluster,
+            Err(_) => panic!("outstanding references to the live cluster"),
+        }
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.frontend_thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+        for t in self.pump_threads.drain(..) {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LiveCluster {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// The front-end worker body: consume the unified request log in arrival
+/// order, republish data to shard topics, answer queries.
+fn frontend_loop(
+    shared: &Shared,
+    pump_workers: &[std::thread::Thread],
+    chunk: usize,
+    max_backlog: u64,
+) {
+    let mut offset = shared.front_offset.load(Ordering::Acquire);
+    loop {
+        let batch = shared.requests.poll_requests(offset, chunk);
+        if batch.is_empty() {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::park_timeout(Duration::from_millis(1));
+            continue;
+        }
+        for request in batch {
+            let counters = &shared.counters;
+            match request {
+                Request::Insert(row) => {
+                    if !stall_for_backlog(shared, pump_workers, max_backlog) {
+                        return; // shutdown while stalled
+                    }
+                    if shared.cluster.publish_insert(row).is_err() {
+                        counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Request::Delete(id) => {
+                    if !stall_for_backlog(shared, pump_workers, max_backlog) {
+                        return;
+                    }
+                    if shared.cluster.publish_delete(id).is_err() {
+                        counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                // Every consumed Execute publishes exactly one response
+                // record, so clients can always distinguish "not yet
+                // processed" (no record) from "empty/failed" (None).
+                Request::Execute(query) => {
+                    let answer = match shared.cluster.query(&query) {
+                        Ok(Some(est)) => Some(est),
+                        Ok(None) => {
+                            counters.empty_answers.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                        Err(_) => {
+                            counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    };
+                    shared.requests.publish_response(offset, answer);
+                    counters.responses_published.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            offset += 1;
+            counters.requests_consumed.fetch_add(1, Ordering::Relaxed);
+            // Release-publish progress only after the request's effect
+            // (topic record or response) is visible — the drain contract.
+            shared.front_offset.store(offset, Ordering::Release);
+        }
+        for worker in pump_workers {
+            worker.unpark();
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+/// Blocks while any shard's backlog is at/over `max_backlog`. Returns
+/// `false` when shutdown was requested mid-stall. Runs on every data
+/// request, so the fast path is the allocation-free early-exit probe
+/// [`ClusterEngine::backlog_exceeds`].
+fn stall_for_backlog(
+    shared: &Shared,
+    pump_workers: &[std::thread::Thread],
+    max_backlog: u64,
+) -> bool {
+    loop {
+        if !shared.cluster.backlog_exceeds(max_backlog) {
+            return true;
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        for worker in pump_workers {
+            worker.unpark();
+        }
+        std::thread::park_timeout(Duration::from_micros(200));
+    }
+}

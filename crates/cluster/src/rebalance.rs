@@ -20,6 +20,7 @@
 //!   to the receiver (smallest) shard. Queries touch every shard under
 //!   these policies, so correctness is unaffected; only balance improves.
 
+use crate::bootstrap::shard_of_value;
 use crate::engine::Shard;
 use crate::router::{ShardPolicy, ShardRouter};
 use janus_common::{DetHashMap, Result, Row, RowId};
@@ -57,10 +58,12 @@ pub fn skew_exceeds(populations: &[usize], factor: f64) -> bool {
 }
 
 /// Runs the migration appropriate for the router's policy. Returns `None`
-/// when the cluster has a single shard (nothing to move).
+/// when the cluster has a single shard (nothing to move). Takes the
+/// shards as exclusive references so the lock-sharded engine can hand in
+/// its per-shard write guards.
 pub(crate) fn rebalance(
     router: &mut ShardRouter,
-    shards: &mut [Shard],
+    shards: &mut [&mut Shard],
     directory: &mut DetHashMap<RowId, usize>,
     base: &SynopsisConfig,
 ) -> Result<Option<RebalanceReport>> {
@@ -81,7 +84,7 @@ pub(crate) fn rebalance(
 /// migrate misplaced rows.
 fn range_redraw(
     router: &mut ShardRouter,
-    shards: &mut [Shard],
+    shards: &mut [&mut Shard],
     directory: &mut DetHashMap<RowId, usize>,
     column: usize,
 ) -> Result<RebalanceReport> {
@@ -133,7 +136,7 @@ fn range_redraw(
     let mut moves: Vec<(usize, usize, Row)> = Vec::new();
     for (from, shard) in shards.iter().enumerate() {
         for row in shard.engine.archive().iter() {
-            let to = bounds.partition_point(|b| *b <= row.value(column));
+            let to = shard_of_value(&bounds, row.value(column));
             if to != from {
                 moves.push((from, to, row.clone()));
             }
@@ -155,7 +158,7 @@ fn range_redraw(
 /// keeps duplicate-heavy (even constant) columns from shipping the whole
 /// shard and oscillating.
 fn discrete_split(
-    shards: &mut [Shard],
+    shards: &mut [&mut Shard],
     directory: &mut DetHashMap<RowId, usize>,
     base: &SynopsisConfig,
 ) -> Result<RebalanceReport> {
@@ -211,7 +214,7 @@ fn discrete_split(
 /// on the receiver — both incremental §4.1/§4.2 paths, so no shard
 /// rebuilds from scratch and shard-local triggers may fire along the way.
 fn apply_moves(
-    shards: &mut [Shard],
+    shards: &mut [&mut Shard],
     directory: &mut DetHashMap<RowId, usize>,
     moves: Vec<(usize, usize, Row)>,
 ) -> Result<()> {
@@ -271,15 +274,16 @@ mod tests {
         let constant_rows = |ids: std::ops::Range<u64>| -> Vec<Row> {
             ids.map(|i| Row::new(i, vec![5.0, 1.0])).collect()
         };
-        let mut shards = vec![
+        let mut shards = [
             shard_of(constant_rows(0..4_000), 1),
             shard_of(constant_rows(10_000..10_500), 2),
         ];
+        let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
         let mut router = ShardRouter::new(ShardPolicy::RoundRobin, 2).unwrap();
         let mut directory = DetHashMap::default();
         let base = test_config(3);
 
-        let report = rebalance(&mut router, &mut shards, &mut directory, &base)
+        let report = rebalance(&mut router, &mut shard_refs, &mut directory, &base)
             .unwrap()
             .expect("two shards migrate");
         assert_eq!(report.rows_moved, 1_750, "exactly equalizing half moves");
@@ -288,7 +292,8 @@ mod tests {
         assert!(!skew_exceeds(&pops, 2.0), "balanced after one migration");
 
         // A second pass finds nothing to move — no oscillation.
-        let report = rebalance(&mut router, &mut shards, &mut directory, &base)
+        let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
+        let report = rebalance(&mut router, &mut shard_refs, &mut directory, &base)
             .unwrap()
             .expect("report still produced");
         assert_eq!(report.rows_moved, 0);

@@ -7,6 +7,7 @@
 //! owns a contiguous slab of predicate space — which is what lets the
 //! scatter phase prune shards whose slab a query cannot touch.
 
+use crate::bootstrap::shard_of_value;
 use janus_common::{JanusError, Query, Rect, Result, Row, RowId};
 
 /// How rows are assigned to shards.
@@ -211,12 +212,6 @@ impl ShardRouter {
             other => panic!("set_range_bounds on non-range policy {other:?}"),
         }
     }
-}
-
-/// Index of the half-open slab `[bounds[i-1], bounds[i])` containing `x`.
-#[inline]
-fn shard_of_value(bounds: &[f64], x: f64) -> usize {
-    bounds.partition_point(|b| *b <= x)
 }
 
 #[cfg(test)]

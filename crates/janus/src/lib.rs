@@ -63,7 +63,9 @@ pub use janus_storage as storage;
 
 /// The working set of types most applications need.
 pub mod prelude {
-    pub use janus_cluster::{ClusterConfig, ClusterEngine, ShardPolicy};
+    pub use janus_cluster::{
+        ClusterConfig, ClusterEngine, ClusterStats, LiveCluster, LiveConfig, LiveStats, ShardPolicy,
+    };
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,
         Schema, Z_95,
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use janus_data::{
         intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec,
     };
+    pub use janus_storage::{Request, RequestLog};
 }
 
 #[cfg(test)]

@@ -25,4 +25,4 @@ pub mod streamlog;
 
 pub use archive::ArchiveStore;
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
-pub use streamlog::{Request, RequestLog, ShardedLog, TopicLog};
+pub use streamlog::{QueryResponse, Request, RequestLog, ShardedLog, TopicLog};

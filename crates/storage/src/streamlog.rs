@@ -7,7 +7,7 @@
 //! an offset. This module reproduces that abstraction in-process and
 //! thread-safely.
 
-use janus_common::{Query, Row, RowId};
+use janus_common::{Estimate, Query, Row, RowId};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -80,16 +80,31 @@ pub enum Request {
     Execute(Query),
 }
 
+/// A query answer keyed by the unified-stream offset of the `Execute`
+/// request it answers; `None` when the query was consumed but produced no
+/// estimate (empty selection or an engine error). Responses are published
+/// by whoever consumes the request log (e.g. a `LiveCluster` front-end
+/// worker); clients correlate by request offset, and every consumed
+/// `Execute` request yields exactly one response record — so "no record
+/// yet" always means "not yet processed", never "empty answer".
+pub type QueryResponse = (u64, Option<Estimate>);
+
 /// The three Kafka topics of §3.2 plus a unified arrival-ordered request
-/// log. The unified log is the source of truth for processing order; the
-/// per-kind topics support offset-based sampling of historical data
-/// (Appendix A uses the insert topic for initialization and catch-up).
+/// log and a response topic. The unified log is the source of truth for
+/// processing order; the per-kind topics support offset-based sampling of
+/// historical data (Appendix A uses the insert topic for initialization
+/// and catch-up); the response topic carries `(request offset, estimate)`
+/// answers back to clients, making the log a complete request/response
+/// front end for a long-running service.
 #[derive(Default)]
 pub struct RequestLog {
     /// Unified arrival-ordered stream.
     pub requests: TopicLog<Request>,
     /// Insert-only view (the "historical data" topic samplers read).
     pub inserts: TopicLog<Row>,
+    /// Query answers, keyed by the `Execute` request's unified offset.
+    /// Publication order follows processing order, not request order.
+    pub responses: TopicLog<QueryResponse>,
 }
 
 impl RequestLog {
@@ -103,20 +118,53 @@ impl RequestLog {
         Arc::new(Self::new())
     }
 
-    /// Publishes an insertion.
-    pub fn publish_insert(&self, row: Row) {
+    /// Publishes an insertion; returns its unified-stream offset.
+    pub fn publish_insert(&self, row: Row) -> u64 {
         self.inserts.append(row.clone());
-        self.requests.append(Request::Insert(row));
+        self.requests.append(Request::Insert(row))
     }
 
-    /// Publishes a deletion.
-    pub fn publish_delete(&self, id: RowId) {
-        self.requests.append(Request::Delete(id));
+    /// Publishes a deletion; returns its unified-stream offset.
+    pub fn publish_delete(&self, id: RowId) -> u64 {
+        self.requests.append(Request::Delete(id))
     }
 
-    /// Publishes a query.
-    pub fn publish_query(&self, query: Query) {
-        self.requests.append(Request::Execute(query));
+    /// Publishes a query; returns its unified-stream offset — the key its
+    /// answer will carry on the response topic.
+    pub fn publish_query(&self, query: Query) -> u64 {
+        self.requests.append(Request::Execute(query))
+    }
+
+    /// Publishes the answer to the `Execute` request at `request_offset`
+    /// (`None` for an empty selection or a failed query); returns the
+    /// response topic offset.
+    pub fn publish_response(&self, request_offset: u64, answer: Option<Estimate>) -> u64 {
+        self.responses.append((request_offset, answer))
+    }
+
+    /// Polls up to `max_records` requests starting at `offset` — the
+    /// consumption surface a front-end worker drives.
+    pub fn poll_requests(&self, offset: u64, max_records: usize) -> Vec<Request> {
+        self.requests.poll(offset, max_records)
+    }
+
+    /// Scans the response topic for the answer to the request published at
+    /// `request_offset`: outer `None` means not yet answered, inner `None`
+    /// means answered with an empty/failed result. Linear in the number of
+    /// responses — a client convenience, not a hot path; services poll
+    /// the topic with a cursor.
+    pub fn find_response(&self, request_offset: u64) -> Option<Option<Estimate>> {
+        let mut cursor = 0u64;
+        loop {
+            let batch = self.responses.poll(cursor, 1024);
+            if batch.is_empty() {
+                return None;
+            }
+            cursor += batch.len() as u64;
+            if let Some((_, est)) = batch.into_iter().find(|(off, _)| *off == request_offset) {
+                return Some(est);
+            }
+        }
     }
 
     /// End offset of the unified stream.
@@ -211,8 +259,8 @@ mod tests {
     #[test]
     fn request_log_preserves_arrival_order() {
         let log = RequestLog::new();
-        log.publish_insert(row(1));
-        log.publish_delete(1);
+        assert_eq!(log.publish_insert(row(1)), 0);
+        assert_eq!(log.publish_delete(1), 1);
         let q = Query::new(
             AggregateFunction::Count,
             0,
@@ -220,7 +268,7 @@ mod tests {
             RangePredicate::new(vec![0.0], vec![1.0]).unwrap(),
         )
         .unwrap();
-        log.publish_query(q.clone());
+        assert_eq!(log.publish_query(q.clone()), 2);
         let reqs = log.requests.poll(0, 10);
         assert_eq!(reqs.len(), 3);
         assert!(matches!(reqs[0], Request::Insert(_)));
@@ -249,6 +297,111 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn sharded_log_rejects_zero_shards() {
         let _ = ShardedLog::<u64>::new(0);
+    }
+
+    #[test]
+    fn responses_correlate_by_request_offset() {
+        let log = RequestLog::new();
+        let q = Query::new(
+            AggregateFunction::Count,
+            0,
+            vec![0],
+            RangePredicate::new(vec![0.0], vec![1.0]).unwrap(),
+        )
+        .unwrap();
+        let first = log.publish_query(q.clone());
+        let second = log.publish_query(q.clone());
+        let third = log.publish_query(q);
+        // Answers may land out of request order; correlation is by offset.
+        log.publish_response(second, Some(Estimate::exact(2.0)));
+        log.publish_response(first, Some(Estimate::exact(1.0)));
+        log.publish_response(third, None);
+        assert_eq!(log.find_response(first).unwrap().unwrap().value, 1.0);
+        assert_eq!(log.find_response(second).unwrap().unwrap().value, 2.0);
+        assert_eq!(
+            log.find_response(third),
+            Some(None),
+            "consumed-but-empty is distinguishable from unanswered"
+        );
+        assert!(log.find_response(999).is_none());
+        assert_eq!(log.responses.len(), 3);
+    }
+
+    /// `append_batch` must hand each producer a contiguous, exclusive
+    /// offset range even under contention: polling `len` records at the
+    /// returned first offset yields exactly that producer's batch.
+    #[test]
+    fn concurrent_append_batch_keeps_batches_contiguous() {
+        use std::sync::Arc;
+        let log = Arc::new(TopicLog::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                let mut firsts = Vec::new();
+                for b in 0..50u64 {
+                    let batch: Vec<u64> = (0..20).map(|i| t * 10_000 + b * 100 + i).collect();
+                    firsts.push((log.append_batch(batch.clone()), batch));
+                }
+                firsts
+            }));
+        }
+        for h in handles {
+            for (first, batch) in h.join().unwrap() {
+                assert_eq!(log.poll(first, batch.len()), batch);
+            }
+        }
+        assert_eq!(log.len(), 8 * 50 * 20);
+    }
+
+    #[test]
+    fn poll_past_end_of_log_is_empty_not_fatal() {
+        let t: TopicLog<u64> = TopicLog::new();
+        assert!(t.poll(0, 16).is_empty(), "empty log");
+        t.append_batch(0..8);
+        assert!(t.poll(8, 1).is_empty(), "exactly at end");
+        assert!(t.poll(u64::MAX, usize::MAX).is_empty(), "overflow-safe");
+        assert_eq!(t.poll(6, usize::MAX).len(), 2, "max_records clamps");
+        let s: ShardedLog<u64> = ShardedLog::new(2);
+        s.publish(0, 1);
+        assert!(s.poll(0, 5, 10).is_empty());
+        assert!(s.poll(1, 0, 10).is_empty());
+    }
+
+    /// A reader advancing an offset cursor concurrently with a writer must
+    /// observe every record exactly once, in append order — the consumed-
+    /// offset contract `ClusterEngine::pump` and the `LiveCluster` pump
+    /// workers rely on.
+    #[test]
+    fn polling_while_appending_sees_a_consistent_prefix() {
+        use std::sync::Arc;
+        const N: u64 = 20_000;
+        let log = Arc::new(TopicLog::new());
+        let writer = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    if i % 3 == 0 {
+                        log.append_batch([i]);
+                    } else {
+                        log.append(i);
+                    }
+                }
+            })
+        };
+        let mut seen = Vec::new();
+        let mut offset = 0u64;
+        while seen.len() < N as usize {
+            let batch = log.poll(offset, 257);
+            offset += batch.len() as u64;
+            seen.extend(batch);
+            if seen.is_empty() {
+                std::thread::yield_now();
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(seen, (0..N).collect::<Vec<_>>(), "in order, exactly once");
+        assert!(log.poll(offset, 16).is_empty(), "cursor reached the end");
     }
 
     #[test]

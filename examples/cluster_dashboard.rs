@@ -6,11 +6,17 @@
 //! dashboard queries with merged confidence intervals, and then keeps
 //! streaming — pickup times only grow, so the newest slab's shard bloats
 //! until the cluster-level skew trigger fires and a range-split migration
-//! rebalances the fleet.
+//! rebalances the fleet. A final act hands the same workload to a
+//! `LiveCluster`: background pump workers drain the shard topics while a
+//! request/response front end serves queries, and the dashboard watches
+//! the per-shard pump lag fall to zero.
 //!
 //! Run with: `cargo run --release --example cluster_dashboard`
 
+use janus::cluster::LiveCluster;
 use janus::prelude::*;
+use janus::storage::RequestLog;
+use std::sync::Arc;
 
 fn main() {
     let dataset = nyc_taxi(160_000, 9);
@@ -28,9 +34,11 @@ fn main() {
     let split = dataset.len() / 2;
     let (initial, arriving) = dataset.rows.split_at(split);
     let policy = ShardPolicy::range_from_rows(pickup, initial, 4).expect("policy");
-    let mut cluster =
-        ClusterEngine::bootstrap(ClusterConfig::new(base, 4, policy), initial.to_vec())
-            .expect("bootstrap");
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(base.clone(), 4, policy.clone()),
+        initial.to_vec(),
+    )
+    .expect("bootstrap");
     println!(
         "bootstrapped 4 shards over {} trips; per-shard rows: {:?}",
         cluster.population(),
@@ -43,11 +51,20 @@ fn main() {
     for row in &arriving[..quarter] {
         cluster.publish_insert(row.clone()).expect("publish");
     }
+    let staged = cluster.stats();
+    println!(
+        "published {} trips; pump lag per shard {:?} (max {}, mean {:.0})",
+        quarter,
+        staged.shard_backlog,
+        staged.backlog_max(),
+        staged.backlog_mean()
+    );
     cluster.pump_all().expect("pump");
     println!(
-        "ingested {} trips through per-shard topics in {:?}",
+        "ingested {} trips through per-shard topics in {:?} (lag now {})",
         quarter,
-        t0.elapsed()
+        t0.elapsed(),
+        cluster.stats().backlog_max()
     );
 
     // Dashboard tiles: merged scatter-gather answers with 95% CIs.
@@ -138,5 +155,63 @@ fn main() {
         stats.subqueries,
         stats.rebalances,
         stats.rows_migrated
+    );
+
+    // ------------------------------------------------------------------
+    // Live serving: the same month, but nobody pumps by hand — background
+    // pump workers drain the topics while the front end answers queries
+    // from a shared request log.
+    // ------------------------------------------------------------------
+    println!("\n=== live serving (background pump workers + front end) ===");
+    let requests = RequestLog::shared();
+    let live = LiveCluster::start(
+        ClusterConfig::new(base, 4, policy),
+        initial.to_vec(),
+        Arc::clone(&requests),
+    )
+    .expect("live start");
+    for row in arriving {
+        requests.publish_insert(row.clone());
+    }
+    // Watch the pump lag while the workers chew through the stream.
+    loop {
+        let s = live.engine().stats();
+        println!(
+            "  frontend lag {:>6}, pump lag per shard {:?} (max {}, mean {:.0})",
+            live.frontend_lag(),
+            s.shard_backlog,
+            s.backlog_max(),
+            s.backlog_mean()
+        );
+        if live.frontend_lag() == 0 && s.backlog_max() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    // A query through the request/response path: publish, drain, poll.
+    let offset = requests.publish_query(q.clone());
+    live.drain();
+    let answer = requests
+        .find_response(offset)
+        .expect("answered")
+        .expect("non-empty");
+    println!(
+        "  request/response AVG(trip_distance): {:.3} ± {:.3} (request offset {offset})",
+        answer.value,
+        answer.ci_half_width(Z_95)
+    );
+    let live_stats = live.live_stats();
+    println!(
+        "  live stats: {} requests consumed, {} responses, {} empty, {} rejected",
+        live_stats.requests_consumed,
+        live_stats.responses_published,
+        live_stats.empty_answers,
+        live_stats.rejected_requests
+    );
+    let engine = live.shutdown();
+    println!(
+        "  clean shutdown: {} rows across {:?} per-shard",
+        engine.population(),
+        engine.shard_populations()
     );
 }

@@ -1,8 +1,9 @@
 //! Offline stand-in for `parking_lot`: thin wrappers over the std locks
 //! with `parking_lot`'s panic-free, non-poisoning API surface. A poisoned
-//! std lock (a writer panicked) aborts loudly instead of propagating
-//! poison, matching `parking_lot`'s "no poisoning" semantics closely
-//! enough for this workspace.
+//! std lock (a writer panicked) is ignored — the inner value is handed
+//! out via `PoisonError::into_inner`, exactly `parking_lot`'s "no
+//! poisoning" semantics: a panicking writer may leave partially updated
+//! state behind, and subsequent acquisitions see it.
 
 use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
 pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};

@@ -60,7 +60,7 @@ fn policies() -> Vec<ShardPolicy> {
 /// streamed through the cluster topics (and applied directly to the
 /// reference engine).
 fn mixed_workload(
-    cluster: &mut ClusterEngine,
+    cluster: &ClusterEngine,
     single: &mut janus::core::JanusEngine,
     n_updates: usize,
     seed: u64,
@@ -90,14 +90,14 @@ fn mixed_workload(
 fn four_shard_cluster_matches_single_engine_on_50k_mixed_workload() {
     let data = rows(30_000, 1);
     for policy in policies() {
-        let mut cluster = ClusterEngine::bootstrap(
+        let cluster = ClusterEngine::bootstrap(
             ClusterConfig::new(exact_config(1), 4, policy.clone()),
             data.clone(),
         )
         .unwrap();
         let mut single =
             janus::core::JanusEngine::bootstrap(exact_config(1), data.clone()).unwrap();
-        mixed_workload(&mut cluster, &mut single, 20_000, 2);
+        mixed_workload(&cluster, &mut single, 20_000, 2);
         assert_eq!(cluster.population(), single.population(), "{policy:?}");
 
         // Whole-domain COUNT: exact on both sides, so equal to the bit.
@@ -162,7 +162,7 @@ fn merged_estimates_are_bit_deterministic_across_runs() {
     let build = || {
         let data = rows(8_000, 7);
         let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
-        let mut cluster =
+        let cluster =
             ClusterEngine::bootstrap(ClusterConfig::new(exact_config(7), 4, policy), data).unwrap();
         let mut rng = SmallRng::seed_from_u64(8);
         let mut inserted: Vec<u64> = Vec::new();
@@ -207,7 +207,7 @@ fn merged_estimates_are_bit_deterministic_across_runs() {
 fn range_policy_prunes_non_overlapping_shards() {
     let data = rows(12_000, 11);
     let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
-    let mut cluster =
+    let cluster =
         ClusterEngine::bootstrap(ClusterConfig::new(exact_config(11), 4, policy), data).unwrap();
 
     // A query inside one slab touches exactly one shard...
@@ -231,7 +231,7 @@ fn skewed_ingest_triggers_range_split_rebalance() {
     let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
     let mut config = ClusterConfig::new(exact_config(13), 4, policy);
     config.skew_factor = Some(2.0);
-    let mut cluster = ClusterEngine::bootstrap(config, data).unwrap();
+    let cluster = ClusterEngine::bootstrap(config, data).unwrap();
 
     // Hammer the last slab (the §6.8 skewed-insert scenario at cluster
     // level): all new rows land in shard 3.
@@ -287,7 +287,7 @@ fn skewed_ingest_triggers_range_split_rebalance() {
 #[test]
 fn duplicate_inserts_and_missing_deletes_error_at_publish() {
     let data = rows(2_000, 17);
-    let mut cluster = ClusterEngine::bootstrap(
+    let cluster = ClusterEngine::bootstrap(
         ClusterConfig::new(exact_config(17), 2, ShardPolicy::HashById),
         data,
     )
