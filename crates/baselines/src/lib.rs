@@ -12,7 +12,7 @@
 //!   learned synopsis with expensive (re)training, fixed resolution, and
 //!   fast queries (see DESIGN.md for the substitution argument);
 //! * [`pass::PassSynopsis`] — the static partition tree (SPT) of the PASS
-//!   system [30], with exact node statistics from a full scan.
+//!   system \[30], with exact node statistics from a full scan.
 
 pub mod dpt_only;
 pub mod pass;

@@ -1,4 +1,4 @@
-//! PASS / static partition tree baseline (§2.3, [30]).
+//! PASS / static partition tree baseline (§2.3, \[30]).
 //!
 //! PASS builds a partition tree offline — partitioning optimized on a
 //! sample, node statistics computed *exactly* by a full scan, stratified

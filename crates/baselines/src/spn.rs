@@ -1,6 +1,6 @@
 //! DeepDB substitute: a mini sum-product network (SPN) learned synopsis.
 //!
-//! DeepDB [20] learns a relational SPN over a sample of the data and
+//! DeepDB \[20] learns a relational SPN over a sample of the data and
 //! answers aggregate queries from the model alone. This module implements
 //! the same construction at reproduction scale:
 //!

@@ -14,6 +14,13 @@
 //! `BENCH_cluster`, so the tracked JSON lands at
 //! `target/experiments/BENCH_cluster.json`; all columns carry unit
 //! suffixes and go through `metrics::rows_per_sec`.
+//!
+//! Two fault-tolerance columns ride along (CI fails if either goes
+//! missing): `recovery_rows_per_sec` — checkpoint the pumped cluster,
+//! drop it, restore from the checkpoint + surviving topics, and report
+//! restored rows per second of wall time — and `replica_queries_per_s` —
+//! the scatter-gather query rate of a cluster running one follower per
+//! shard with reads load-balanced across primaries and replicas.
 
 use super::{paper_config, TAXI_N};
 use crate::metrics::{mean, rows_per_sec};
@@ -65,6 +72,13 @@ pub fn run(scale: f64) -> ExpReport {
         }
         let query_wall = started.elapsed();
         let stats = cluster.stats();
+        let mean_shard_rows = mean(
+            &cluster
+                .shard_populations()
+                .iter()
+                .map(|p| *p as f64)
+                .collect::<Vec<_>>(),
+        );
 
         // Steady state: the same second-half ingest flows through a
         // LiveCluster's front end and background pump workers while this
@@ -74,7 +88,7 @@ pub fn run(scale: f64) -> ExpReport {
         // cluster never inflates the steady-state number.
         let requests = RequestLog::shared();
         let live = LiveCluster::start(
-            ClusterConfig::new(base, shards, policy),
+            ClusterConfig::new(base, shards, policy.clone()),
             dataset.rows[..existing].to_vec(),
             Arc::clone(&requests),
         )
@@ -96,6 +110,50 @@ pub fn run(scale: f64) -> ExpReport {
         let engine = live.shutdown();
         assert_eq!(engine.population(), n, "live ingest must not lose rows");
 
+        // Crash recovery: checkpoint the fully-pumped cluster, "crash"
+        // it, restore from checkpoint + surviving topics. The rate is
+        // restored rows per second of end-to-end recovery wall time.
+        let checkpoint = cluster.checkpoint();
+        let topics = cluster.topics();
+        let restore_config = ClusterConfig::new(
+            paper_config(&dataset, "pickup_time", "trip_distance", 0xc5),
+            shards,
+            policy.clone(),
+        );
+        drop(cluster);
+        let started = Instant::now();
+        let restored =
+            ClusterEngine::restore(restore_config, &checkpoint, topics).expect("restore");
+        restored.pump_all().expect("replay");
+        let recovery_wall = started.elapsed();
+        assert_eq!(restored.population(), n, "recovery must not lose rows");
+
+        // Replicated reads: one follower per shard, fully caught up,
+        // scatter-gather load-balanced across primaries and replicas.
+        let replicated = ClusterEngine::bootstrap(
+            ClusterConfig::new(
+                paper_config(&dataset, "pickup_time", "trip_distance", 0xc5),
+                shards,
+                policy.clone(),
+            )
+            .with_replicas(1),
+            dataset.rows[..existing].to_vec(),
+        )
+        .expect("bootstrap replicated");
+        for row in batch {
+            replicated.publish_insert(row.clone()).expect("publish");
+        }
+        replicated.pump_all().expect("pump replicated");
+        let started = Instant::now();
+        for q in &queries {
+            replicated.query(q).expect("replicated query");
+        }
+        let replica_wall = started.elapsed();
+        assert!(
+            queries.is_empty() || replicated.stats().replica_queries > 0,
+            "replicas should serve a share of the reads"
+        );
+
         rows_out.push(vec![
             json!(shards),
             json!(rows_per_sec(batch.len(), ingest_wall)),
@@ -105,14 +163,10 @@ pub fn run(scale: f64) -> ExpReport {
                 query_wall.as_secs_f64() * 1e3 / queries.len() as f64
             }),
             json!(rows_per_sec(answered, concurrent_wall)),
-            json!(mean(
-                &cluster
-                    .shard_populations()
-                    .iter()
-                    .map(|p| *p as f64)
-                    .collect::<Vec<_>>()
-            )),
+            json!(mean_shard_rows),
             json!(stats.subqueries as f64 / stats.queries.max(1) as f64),
+            json!(rows_per_sec(n, recovery_wall)),
+            json!(rows_per_sec(queries.len(), replica_wall)),
         ]);
     }
     ExpReport {
@@ -125,6 +179,8 @@ pub fn run(scale: f64) -> ExpReport {
             "concurrent_queries_per_s",
             "mean_shard_rows",
             "subqueries_per_query",
+            "recovery_rows_per_sec",
+            "replica_queries_per_s",
         ]
         .map(String::from)
         .to_vec(),

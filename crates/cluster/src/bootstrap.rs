@@ -70,6 +70,32 @@ pub(crate) fn build_shards(base: &SynopsisConfig, per_shard: Vec<Vec<Row>>) -> R
         .collect()
 }
 
+/// Bootstraps `count` follower engines per shard bucket. Followers use
+/// the *same* per-shard config (seed included) and rows as their primary:
+/// the engine is deterministic in its input sequence, so a follower that
+/// tails the primary's topic is bit-identical to the primary at equal
+/// offsets — the invariant replica reads and promotion rely on.
+pub(crate) fn build_replicas(
+    base: &SynopsisConfig,
+    per_shard: &[Vec<Row>],
+    count: usize,
+) -> Result<Vec<Vec<Shard>>> {
+    per_shard
+        .iter()
+        .enumerate()
+        .map(|(i, rows)| {
+            (0..count)
+                .map(|_| {
+                    Ok(Shard {
+                        engine: JanusEngine::bootstrap(shard_config(base, i), rows.clone())?,
+                        offset: 0,
+                    })
+                })
+                .collect()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@
 //!
 //! | state | lock | writers |
 //! |---|---|---|
-//! | each [`Shard`] (engine + consumed offset) | own `RwLock` | pump, scatter, rebalance |
+//! | each `Shard` (engine + consumed offset) | own `RwLock` | pump, scatter, rebalance |
 //! | [`ShardRouter`] | `RwLock` | publish (rotation cursor), rebalance (bounds) |
 //! | row→shard directory | `RwLock` | publish, rebalance |
 //! | operation counters | atomics | everyone |
@@ -39,7 +39,8 @@
 //! append so a concurrent delete can never outrun its row's insert into
 //! the same shard topic.
 
-use crate::bootstrap::{build_shards, partition_rows};
+use crate::bootstrap::{build_shards, partition_rows, shard_config};
+use crate::checkpoint::{ClusterCheckpoint, RouterSnapshot, ShardCheckpoint};
 use crate::rebalance::{self, RebalanceReport};
 use crate::router::{ShardPolicy, ShardRouter};
 use janus_common::{
@@ -49,6 +50,7 @@ use janus_core::{JanusEngine, SynopsisConfig};
 use janus_storage::ShardedLog;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One record of a shard's ingest topic.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,6 +77,19 @@ pub struct ClusterConfig {
     /// times the median shard population triggers a range-split migration
     /// on the next [`ClusterEngine::maybe_rebalance`]. `None` disables.
     pub skew_factor: Option<f64>,
+    /// Follower engines per shard. Each follower is built with the same
+    /// per-shard seed and tails the same topic as its primary, so at
+    /// equal offsets it is *bit-identical* to the primary — which is what
+    /// makes replica-served reads exact and
+    /// [`ClusterEngine::fail_shard`] promotion lossless. `0` disables
+    /// replication.
+    pub replicas: usize,
+    /// Freshness gate for replica-served reads: a follower may answer a
+    /// sub-query only while it trails its topic's end by at most this
+    /// many records. `0` (the default) serves from fully-caught-up
+    /// replicas only, so replica answers are indistinguishable from
+    /// primary answers.
+    pub replica_lag: u64,
 }
 
 impl ClusterConfig {
@@ -88,7 +103,15 @@ impl ClusterConfig {
             policy,
             pump_chunk: 4096,
             skew_factor: Some(2.0),
+            replicas: 0,
+            replica_lag: 0,
         }
+    }
+
+    /// Enables `replicas` follower engines per shard (builder-style).
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
     }
 }
 
@@ -115,6 +138,10 @@ pub struct ClusterStats {
     pub rebalances: u64,
     /// Rows moved between shards by rebalancing.
     pub rows_migrated: u64,
+    /// Sub-queries served by replica shards instead of primaries.
+    pub replica_queries: u64,
+    /// Replica promotions executed by [`ClusterEngine::fail_shard`].
+    pub promotions: u64,
     /// Pump lag at snapshot time: records published but not yet applied,
     /// per shard in shard order.
     pub shard_backlog: Vec<u64>,
@@ -146,6 +173,8 @@ struct Counters {
     pumped: AtomicU64,
     rebalances: AtomicU64,
     rows_migrated: AtomicU64,
+    replica_queries: AtomicU64,
+    promotions: AtomicU64,
 }
 
 /// N `JanusEngine` shards behind one scatter-gather façade. All methods
@@ -153,8 +182,19 @@ struct Counters {
 pub struct ClusterEngine {
     config: ClusterConfig,
     router: RwLock<ShardRouter>,
-    log: ShardedLog<ShardOp>,
+    /// Shard topics are `Arc`-shared: like Kafka partitions they are
+    /// durable *infrastructure*, not engine state, and surviving the
+    /// engine is what lets [`ClusterEngine::restore`] replay them.
+    log: Arc<ShardedLog<ShardOp>>,
     shards: Vec<RwLock<Shard>>,
+    /// Follower engines per shard (outer lock: membership, changed only
+    /// by promotion; inner locks: one per follower). Each follower tails
+    /// the primary's topic at its own offset. Lock order extends the
+    /// engine-wide order: primary shard → its replica set → one replica.
+    replicas: Vec<RwLock<Vec<RwLock<Shard>>>>,
+    /// Round-robin cursor spreading sub-queries across a shard's primary
+    /// and its fresh replicas.
+    read_cursor: AtomicU64,
     /// Authoritative row → shard placement, updated at publish time and by
     /// migrations; deletes and rebalancing route through it, so placement
     /// stays correct even after the router's bounds move.
@@ -181,13 +221,23 @@ impl ClusterEngine {
         }
         let mut router = ShardRouter::new(config.policy.clone(), config.shards)?;
         let (per_shard, directory) = partition_rows(&mut router, rows)?;
+        // Followers bootstrap from the same rows with the same per-shard
+        // seed as their primary: identical construction + identical topic
+        // replay keeps them bit-identical at equal offsets.
+        let replica_sets =
+            crate::bootstrap::build_replicas(&config.base, &per_shard, config.replicas)?;
         let shards = build_shards(&config.base, per_shard)?;
         let n_shards = config.shards;
         Ok(ClusterEngine {
-            log: ShardedLog::new(n_shards),
+            log: Arc::new(ShardedLog::new(n_shards)),
             config,
             router: RwLock::new(router),
             shards: shards.into_iter().map(RwLock::new).collect(),
+            replicas: replica_sets
+                .into_iter()
+                .map(|set| RwLock::new(set.into_iter().map(RwLock::new).collect()))
+                .collect(),
+            read_cursor: AtomicU64::new(0),
             directory: RwLock::new(directory),
             rebalance_generation: AtomicU64::new(0),
             backlog: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
@@ -215,6 +265,29 @@ impl ClusterEngine {
         self.router.read().policy().clone()
     }
 
+    /// A shared handle to the shard topics. Topics are durable
+    /// infrastructure (the Kafka side of the deployment): they outlive
+    /// the engine, and a handle taken before a crash is what
+    /// [`ClusterEngine::restore`] replays from.
+    pub fn topics(&self) -> Arc<ShardedLog<ShardOp>> {
+        Arc::clone(&self.log)
+    }
+
+    /// Live follower count of one shard (shrinks when a promotion
+    /// consumes a replica).
+    pub fn replica_count(&self, shard: usize) -> usize {
+        self.replicas[shard].read().len()
+    }
+
+    /// Topic offsets of one shard's followers, in replica order.
+    pub fn replica_offsets(&self, shard: usize) -> Vec<u64> {
+        self.replicas[shard]
+            .read()
+            .iter()
+            .map(|r| r.read().offset)
+            .collect()
+    }
+
     /// Cluster-level operation counters and the current pump-lag snapshot.
     pub fn stats(&self) -> ClusterStats {
         ClusterStats {
@@ -225,6 +298,8 @@ impl ClusterEngine {
             pumped: self.counters.pumped.load(Ordering::Relaxed),
             rebalances: self.counters.rebalances.load(Ordering::Relaxed),
             rows_migrated: self.counters.rows_migrated.load(Ordering::Relaxed),
+            replica_queries: self.counters.replica_queries.load(Ordering::Relaxed),
+            promotions: self.counters.promotions.load(Ordering::Relaxed),
             shard_backlog: self.shard_backlogs(),
         }
     }
@@ -260,6 +335,13 @@ impl ClusterEngine {
     /// Records published but not yet pumped into shard engines.
     pub fn pending(&self) -> u64 {
         self.shard_backlogs().iter().sum()
+    }
+
+    /// Records drained into primary shard engines so far — the cheap
+    /// (one relaxed load, no allocation) progress gauge the live
+    /// checkpointer paces itself by.
+    pub fn pumped_records(&self) -> u64 {
+        self.counters.pumped.load(Ordering::Relaxed)
     }
 
     /// True when any shard's publish-ahead backlog has reached `limit` —
@@ -299,10 +381,13 @@ impl ClusterEngine {
         directory.insert(row.id, shard);
         // Publish under the directory lock: once the directory names this
         // row, its insert is already in the shard topic ahead of any
-        // delete a concurrent publisher could append.
+        // delete a concurrent publisher could append. The backlog gauge
+        // bumps under the same lock so topic length and gauge can never
+        // be observed out of step by anyone holding the directory —
+        // which is what lets fail_shard rebuild the gauge absolutely.
         self.log.publish(shard, ShardOp::Insert(row));
-        drop(directory);
         self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        drop(directory);
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -316,8 +401,8 @@ impl ClusterEngine {
             return Err(JanusError::RowNotFound(id));
         };
         self.log.publish(shard, ShardOp::Delete(id));
-        drop(directory);
         self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        drop(directory);
         self.counters.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -354,10 +439,8 @@ impl ClusterEngine {
         self.drain_locked(shard, &mut guard, max, skip_failed)
     }
 
-    /// The one batch-apply loop every pump path shares — callers hold the
-    /// shard's write guard. Returns `(applied, skipped, first error)`;
-    /// with `skip_failed` unset, the failing record stays at the head of
-    /// the topic (offset not consumed). Maintains the `pumped` counter
+    /// Primary-shard drain — callers hold the shard's write guard. Wraps
+    /// the shared [`drain_topic`] loop and maintains the `pumped` counter
     /// and the shard's atomic backlog gauge, so offset-advance, counter,
     /// and gauge semantics cannot drift between pump paths.
     fn drain_locked(
@@ -367,33 +450,63 @@ impl ClusterEngine {
         max: usize,
         skip_failed: bool,
     ) -> (usize, usize, Option<JanusError>) {
-        let batch = self.log.poll(shard, guard.offset, max);
-        let mut applied = 0;
-        let mut skipped = 0;
-        let mut first_error = None;
-        for op in batch {
-            match apply_op(&mut guard.engine, op) {
-                Ok(()) => {
-                    guard.offset += 1;
-                    applied += 1;
-                }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
-                    if !skip_failed {
-                        break;
-                    }
-                    guard.offset += 1;
-                    skipped += 1;
-                }
-            }
-        }
+        let (applied, skipped, first_error) =
+            drain_topic(&self.log, shard, guard, max, skip_failed);
         self.counters
             .pumped
             .fetch_add(applied as u64, Ordering::Relaxed);
         self.backlog[shard].fetch_sub((applied + skipped) as u64, Ordering::Relaxed);
         (applied, skipped, first_error)
+    }
+
+    /// Drains up to `max` records of `shard`'s topic into each of its
+    /// follower engines, strictly — a record whose application fails
+    /// stays at the head of the follower's cursor, exactly like
+    /// [`ClusterEngine::pump_shard`] on the primary. Matching the
+    /// primary's drain mode is load-bearing: a follower must never
+    /// advance past a record its primary is still holding, or a later
+    /// promotion would silently drop it. Returns records applied across
+    /// all followers. Follower progress is tracked per replica and does
+    /// not touch the primary's backlog gauge or `pumped` counter.
+    pub fn pump_replicas(&self, shard: usize, max: usize) -> usize {
+        self.pump_replicas_mode(shard, max, false)
+    }
+
+    /// The lossy twin of [`ClusterEngine::pump_replicas`], for the live
+    /// workers whose *primary* drain is lossy too: follower engines are
+    /// bit-identical to the primary, so a record the primary skipped
+    /// fails (and is skipped) identically on every follower — the two
+    /// sides stay in lockstep in either mode, but only matching modes
+    /// keep them on the same offset.
+    pub(crate) fn pump_replicas_lossy(&self, shard: usize, max: usize) -> usize {
+        self.pump_replicas_mode(shard, max, true)
+    }
+
+    fn pump_replicas_mode(&self, shard: usize, max: usize, skip_failed: bool) -> usize {
+        let set = self.replicas[shard].read();
+        let mut applied = 0;
+        for replica in set.iter() {
+            let mut guard = replica.write();
+            let (a, s, _) = drain_topic(&self.log, shard, &mut guard, max, skip_failed);
+            applied += a + s;
+        }
+        applied
+    }
+
+    /// Records published but not yet applied by follower engines, summed
+    /// over every replica of every shard.
+    pub fn replica_pending(&self) -> u64 {
+        let ends = self.log.end_offsets();
+        self.replicas
+            .iter()
+            .zip(&ends)
+            .map(|(set, end)| {
+                set.read()
+                    .iter()
+                    .map(|r| end.saturating_sub(r.read().offset))
+                    .sum::<u64>()
+            })
+            .sum()
     }
 
     /// Drains up to `max_per_shard` topic records into every shard engine,
@@ -408,7 +521,16 @@ impl ClusterEngine {
         let mut outcomes: Vec<(usize, usize, Option<JanusError>)> = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.shards.len())
-                .map(|i| scope.spawn(move || self.pump_one(i, max_per_shard, false)))
+                .map(|i| {
+                    scope.spawn(move || {
+                        let outcome = self.pump_one(i, max_per_shard, false);
+                        // Followers tail the same topic right behind the
+                        // primary; their applies count toward the caller's
+                        // "anything left to do?" loop but not `pumped`.
+                        let replica_applied = self.pump_replicas(i, max_per_shard);
+                        (outcome.0 + replica_applied, outcome.1, outcome.2)
+                    })
+                })
                 .collect();
             for handle in handles {
                 outcomes.push(handle.join().expect("pump worker panicked"));
@@ -502,7 +624,7 @@ impl ClusterEngine {
 
     /// Runs `f` against every target shard's engine in parallel and
     /// returns the results in shard order (deterministic gather). Each
-    /// worker write-locks only its own shard.
+    /// worker locks only the one engine — primary or replica — it reads.
     fn scatter<T, F>(&self, targets: &[usize], f: F) -> Result<Vec<T>>
     where
         T: Send,
@@ -513,9 +635,8 @@ impl ClusterEngine {
         std::thread::scope(|scope| {
             for (slot, &target) in slots.iter_mut().zip(targets) {
                 let f = &f;
-                let shard = &self.shards[target];
                 scope.spawn(move || {
-                    *slot = Some(f(&mut shard.write().engine));
+                    *slot = Some(self.serve_shard_query(target, f));
                 });
             }
         });
@@ -523,6 +644,320 @@ impl ClusterEngine {
             .into_iter()
             .map(|slot| slot.expect("every target produced a result"))
             .collect()
+    }
+
+    /// Runs one sub-query against `shard`, load-balancing across the
+    /// primary and its *fresh* followers (round-robin). A follower is
+    /// fresh while it trails the topic end by at most
+    /// `config.replica_lag` records; at the default of 0 only fully
+    /// caught-up followers — whose engines are bit-identical to a fully
+    /// caught-up primary — serve, so replica answers are exact. Stale
+    /// followers are skipped, and the primary always remains a
+    /// candidate, so a lagging replica set degrades to primary-only
+    /// reads rather than stale answers.
+    fn serve_shard_query<T>(
+        &self,
+        shard: usize,
+        f: &(impl Fn(&mut JanusEngine) -> Result<T> + Sync),
+    ) -> Result<T> {
+        if self.config.replicas > 0 {
+            let set = self.replicas[shard].read();
+            if !set.is_empty() {
+                let end = self.log.topic(shard).len() as u64;
+                let lag = self.config.replica_lag;
+                let fresh: Vec<usize> = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| end.saturating_sub(r.read().offset) <= lag)
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick =
+                    self.read_cursor.fetch_add(1, Ordering::Relaxed) as usize % (fresh.len() + 1);
+                if pick > 0 {
+                    self.counters
+                        .replica_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                    return f(&mut set[fresh[pick - 1]].write().engine);
+                }
+            }
+        }
+        f(&mut self.shards[shard].write().engine)
+    }
+
+    /// Fails a shard's primary and promotes its freshest follower (ties
+    /// break toward the lowest replica index). The promoted engine
+    /// resumes pumping the shard topic from its own offset, so every
+    /// *acknowledged* write — every record published to the topic —
+    /// is eventually applied even if the follower lagged the primary at
+    /// promotion time: acknowledged writes survive, only the failed
+    /// process's unpublished in-memory state is lost. Errors when the
+    /// shard has no replica left.
+    pub fn fail_shard(&self, shard: usize) -> Result<()> {
+        if shard >= self.shards.len() {
+            return Err(JanusError::InvalidConfig(format!(
+                "shard {shard} out of range"
+            )));
+        }
+        // Directory write blocks publishers, so the backlog gauge can be
+        // rebuilt consistently; then primary → replica set, the
+        // engine-wide lock order.
+        let directory = self.directory.write();
+        let mut primary = self.shards[shard].write();
+        let mut set = self.replicas[shard].write();
+        if set.is_empty() {
+            return Err(JanusError::InvalidConfig(format!(
+                "shard {shard} has no replica to promote"
+            )));
+        }
+        let best = set
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, r)| (r.read().offset, usize::MAX - *i))
+            .expect("non-empty replica set")
+            .0;
+        *primary = set.remove(best).into_inner();
+        let end = self.log.topic(shard).len() as u64;
+        self.backlog[shard].store(end.saturating_sub(primary.offset), Ordering::Relaxed);
+        drop(set);
+        drop(primary);
+        drop(directory);
+        self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / restore
+    // ------------------------------------------------------------------
+
+    /// Captures a consistent whole-cluster checkpoint: router state,
+    /// rebalance generation, and per shard the engine's bit-faithful
+    /// synopsis snapshot, its archival rows, and its topic offsets.
+    ///
+    /// Holding the router and directory read locks for the duration
+    /// blocks both publish paths (inserts need the router write lock,
+    /// deletes the directory write lock), so no record lands in any
+    /// topic while the cut is taken; pump workers may keep applying
+    /// already-published records, but each shard's `(snapshot, offset)`
+    /// pair is read under that shard's lock and is internally
+    /// consistent. Replicas are not captured — they are reconstructed
+    /// from the primary snapshot at restore, which is exact because a
+    /// follower at the same offset *is* the primary, bit for bit.
+    ///
+    /// A later [`ClusterEngine::maybe_rebalance`] migration invalidates
+    /// replay from this checkpoint (migrations move rows without topic
+    /// records); take a fresh checkpoint after every rebalance. The
+    /// stored `rebalance_generation` makes the staleness detectable.
+    pub fn checkpoint(&self) -> ClusterCheckpoint {
+        let router = self.router.read();
+        let _directory = self.directory.read();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let g = s.read();
+                ShardCheckpoint {
+                    shard: i,
+                    applied_offset: g.offset,
+                    published_offset: self.log.topic(i).len() as u64,
+                    synopsis: g.engine.save_synopsis(),
+                    archive_rows: g.engine.export_rows(),
+                }
+            })
+            .collect();
+        ClusterCheckpoint {
+            router: RouterSnapshot::capture(&router),
+            rebalance_generation: self.rebalance_generation.load(Ordering::Acquire),
+            request_offset: 0,
+            shards,
+        }
+    }
+
+    /// Rebuilds a cluster from a checkpoint plus the *surviving* shard
+    /// topics (an `Arc` handle taken via [`ClusterEngine::topics`] before
+    /// the crash — topics are durable infrastructure in the modeled
+    /// deployment). Every record published after the checkpoint is still
+    /// in the topics; the restored shards resume at their checkpointed
+    /// offsets, so the next [`ClusterEngine::pump_all`] replays exactly
+    /// the missed tail and the cluster converges to the state of an
+    /// uninterrupted run — bit for bit, because engine restoration is
+    /// bit-faithful and per-shard replay order is topic order.
+    pub fn restore(
+        config: ClusterConfig,
+        checkpoint: &ClusterCheckpoint,
+        log: Arc<ShardedLog<ShardOp>>,
+    ) -> Result<Self> {
+        Self::restore_impl(config, checkpoint, Some(log))
+    }
+
+    /// Rebuilds a cluster from a checkpoint alone, on fresh empty topics
+    /// — the recovery path when the topics died with the process (e.g.
+    /// [`crate::live::LiveCluster::recover`], which re-derives shard
+    /// traffic from the durable request log instead). Requires a
+    /// *tail-free* checkpoint (`applied == published` on every shard):
+    /// with unapplied records recorded but no log to replay them from,
+    /// restoration would silently lose data, so it refuses.
+    pub fn restore_detached(config: ClusterConfig, checkpoint: &ClusterCheckpoint) -> Result<Self> {
+        if !checkpoint.is_tail_free() {
+            return Err(JanusError::Storage(
+                "checkpoint has unreplayed topic records but no surviving topics; \
+                 restore with the original log instead"
+                    .into(),
+            ));
+        }
+        Self::restore_impl(config, checkpoint, None)
+    }
+
+    fn restore_impl(
+        mut config: ClusterConfig,
+        checkpoint: &ClusterCheckpoint,
+        log: Option<Arc<ShardedLog<ShardOp>>>,
+    ) -> Result<Self> {
+        if config.shards != checkpoint.shards.len() {
+            return Err(JanusError::InvalidConfig(format!(
+                "config has {} shards but the checkpoint captured {}",
+                config.shards,
+                checkpoint.shards.len()
+            )));
+        }
+        if let Some(log) = &log {
+            if log.shards() != config.shards {
+                return Err(JanusError::InvalidConfig(format!(
+                    "surviving log has {} topics for {} shards",
+                    log.shards(),
+                    config.shards
+                )));
+            }
+        }
+        // The checkpoint's router state supersedes the configured policy:
+        // bounds move with rebalances and the rotation cursor with
+        // traffic, and both are part of what "exactly as it was" means.
+        let mut router = checkpoint.router.rebuild(config.shards)?;
+        config.policy = checkpoint.router.to_policy();
+        let detached = log.is_none();
+        let log = log.unwrap_or_else(|| Arc::new(ShardedLog::new(config.shards)));
+
+        let mut shards = Vec::with_capacity(config.shards);
+        let mut replica_sets = Vec::with_capacity(config.shards);
+        let mut directory: DetHashMap<RowId, usize> = DetHashMap::default();
+        for sc in &checkpoint.shards {
+            let offset = if detached { 0 } else { sc.applied_offset };
+            for row in &sc.archive_rows {
+                if directory.insert(row.id, sc.shard).is_some() {
+                    return Err(JanusError::InvalidConfig(format!(
+                        "row {} appears in two shard archives of the checkpoint",
+                        row.id
+                    )));
+                }
+            }
+            // Followers are the primary snapshot restored again —
+            // restoration is deterministic, so they come back
+            // bit-identical to the primary, exactly as replicas are.
+            let set: Vec<Shard> = (0..config.replicas)
+                .map(|_| {
+                    Ok(Shard {
+                        engine: JanusEngine::restore(
+                            shard_config(&config.base, sc.shard),
+                            sc.archive_rows.clone(),
+                            &sc.synopsis,
+                        )?,
+                        offset,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            replica_sets.push(set);
+            shards.push(Shard {
+                engine: JanusEngine::restore(
+                    shard_config(&config.base, sc.shard),
+                    sc.archive_rows.clone(),
+                    &sc.synopsis,
+                )?,
+                offset,
+            });
+        }
+
+        // Records published after the checkpoint updated the (lost)
+        // directory at publish time; replay their placement effects from
+        // the surviving topics. Topics carry no *global* order, so a
+        // naive shard-by-shard replay can mis-resolve a row deleted on
+        // one shard and re-inserted on another within the tail. Per-topic
+        // order *is* reliable, and deletes always route to the row's
+        // current shard, so a row's ops form matched insert/delete pairs
+        // per topic with at most one dangling insert across all topics:
+        // each topic's *final* op per row states whether the row ended
+        // live there. Dropping every id the tails mention (tail activity
+        // supersedes its archive placement) and re-adding the survivors
+        // resolves cross-shard ordering without timestamps.
+        //
+        // Each insert published beyond the checkpoint cut also advanced
+        // the (lost) rotation cursor; advance the restored one past them
+        // too, so future publishes continue the rotation exactly where
+        // the crashed cluster left it — replayed records were already
+        // routed, only *new* traffic consults the cursor.
+        if !detached {
+            let mut tail_inserts = 0u64;
+            // (id, shard, live-on-that-shard) — one entry per row id per
+            // topic, holding the topic's final op for that id.
+            let mut final_ops: Vec<(RowId, usize, bool)> = Vec::new();
+            for (i, sc) in checkpoint.shards.iter().enumerate() {
+                let mut last_op: DetHashMap<RowId, bool> = DetHashMap::default();
+                let mut cursor = sc.applied_offset;
+                loop {
+                    let batch = log.poll(i, cursor, 4096);
+                    if batch.is_empty() {
+                        break;
+                    }
+                    for op in batch.iter() {
+                        match op {
+                            ShardOp::Insert(row) => {
+                                last_op.insert(row.id, true);
+                                if cursor >= sc.published_offset {
+                                    tail_inserts += 1;
+                                }
+                            }
+                            ShardOp::Delete(id) => {
+                                last_op.insert(*id, false);
+                            }
+                        }
+                        cursor += 1;
+                    }
+                }
+                final_ops.extend(last_op.into_iter().map(|(id, live)| (id, i, live)));
+            }
+            for (id, _, _) in &final_ops {
+                directory.remove(id);
+            }
+            for (id, shard, live) in final_ops {
+                if live && directory.insert(id, shard).is_some() {
+                    return Err(JanusError::Storage(format!(
+                        "row {id} ends live on two shard topics; topics are corrupt"
+                    )));
+                }
+            }
+            router
+                .restore_cursor(checkpoint.router.cursor + (tail_inserts as usize % config.shards));
+        }
+
+        let backlog: Vec<AtomicU64> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| AtomicU64::new((log.topic(i).len() as u64).saturating_sub(s.offset)))
+            .collect();
+        Ok(ClusterEngine {
+            log,
+            config,
+            router: RwLock::new(router),
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            replicas: replica_sets
+                .into_iter()
+                .map(|set| RwLock::new(set.into_iter().map(RwLock::new).collect()))
+                .collect(),
+            read_cursor: AtomicU64::new(0),
+            directory: RwLock::new(directory),
+            rebalance_generation: AtomicU64::new(checkpoint.rebalance_generation),
+            backlog,
+            counters: Counters::default(),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -546,11 +981,14 @@ impl ClusterEngine {
         let mut router = self.router.write();
         let mut directory = self.directory.write();
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        let mut replica_guards: Vec<_> = self.replicas.iter().map(|s| s.write()).collect();
         // Drain the stragglers published between pump_all() and lock
         // acquisition: we hold the directory lock, so no further records
         // can land, and migrating with unapplied topic records would
         // misplace them against the redrawn bounds (or resurrect rows
-        // whose pending delete fails on the donor after a move).
+        // whose pending delete fails on the donor after a move). Replicas
+        // drain to the same point so mirrored migration ops keep them
+        // bit-identical to their primaries.
         let chunk = self.config.pump_chunk.max(1);
         for (i, guard) in guards.iter_mut().enumerate() {
             loop {
@@ -563,14 +1001,33 @@ impl ClusterEngine {
                 }
             }
         }
+        for (i, set) in replica_guards.iter_mut().enumerate() {
+            for replica in set.iter_mut() {
+                let guard = replica.get_mut();
+                loop {
+                    let (applied, _, error) = drain_topic(&self.log, i, guard, chunk, false);
+                    if let Some(e) = error {
+                        return Err(e);
+                    }
+                    if applied == 0 {
+                        break;
+                    }
+                }
+            }
+        }
         let populations: Vec<usize> = guards.iter().map(|g| g.engine.population()).collect();
         if !rebalance::skew_exceeds(&populations, factor) {
             return Ok(None);
         }
         let mut shard_refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
+        let mut replica_refs: Vec<Vec<&mut Shard>> = replica_guards
+            .iter_mut()
+            .map(|set| set.iter_mut().map(|r| r.get_mut()).collect())
+            .collect();
         let report = rebalance::rebalance(
             &mut router,
             &mut shard_refs,
+            &mut replica_refs,
             &mut directory,
             &self.config.base,
         );
@@ -595,4 +1052,40 @@ fn apply_op(engine: &mut JanusEngine, op: ShardOp) -> Result<()> {
         ShardOp::Insert(row) => engine.insert(row),
         ShardOp::Delete(id) => engine.delete(id).map(|_| ()),
     }
+}
+
+/// The one batch-apply loop every consumer of a shard topic shares —
+/// primaries and replicas alike. Returns `(applied, skipped, first
+/// error)`; with `skip_failed` unset, the failing record stays at the
+/// head of the topic (offset not consumed).
+fn drain_topic(
+    log: &ShardedLog<ShardOp>,
+    shard: usize,
+    guard: &mut Shard,
+    max: usize,
+    skip_failed: bool,
+) -> (usize, usize, Option<JanusError>) {
+    let batch = log.poll(shard, guard.offset, max);
+    let mut applied = 0;
+    let mut skipped = 0;
+    let mut first_error = None;
+    for op in batch {
+        match apply_op(&mut guard.engine, op) {
+            Ok(()) => {
+                guard.offset += 1;
+                applied += 1;
+            }
+            Err(e) => {
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+                if !skip_failed {
+                    break;
+                }
+                guard.offset += 1;
+                skipped += 1;
+            }
+        }
+    }
+    (applied, skipped, first_error)
 }

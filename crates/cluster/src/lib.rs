@@ -61,11 +61,13 @@
 //! ```
 
 pub mod bootstrap;
+pub mod checkpoint;
 pub mod engine;
 pub mod live;
 pub mod rebalance;
 pub mod router;
 
+pub use checkpoint::{ClusterCheckpoint, PolicyKind, RouterSnapshot, ShardCheckpoint};
 pub use engine::{ClusterConfig, ClusterEngine, ClusterStats, ShardOp};
 pub use live::{LiveCluster, LiveConfig, LiveStats};
 pub use rebalance::RebalanceReport;

@@ -39,10 +39,23 @@
 //!
 //! [`LiveCluster::shutdown`] stops all workers and returns the inner
 //! [`ClusterEngine`], mirroring `LiveEngine::shutdown`.
+//!
+//! **Crash recovery.** Started via [`LiveCluster::start_checkpointed`],
+//! the front end periodically cuts a *tail-free* whole-cluster checkpoint
+//! (all topics drained, so shard state equals "all effects of requests
+//! below the recorded offset") and persists it to a
+//! [`janus_storage::CheckpointStore`]. The durable pair (checkpoint
+//! store, request log) is the entire recovery contract:
+//! [`LiveCluster::recover`] rebuilds the cluster from the newest
+//! checkpoint and resumes consuming the request log at the checkpointed
+//! offset, re-deriving everything the crash destroyed. Recovery is
+//! bit-identical to an uninterrupted run — `tests/cluster_recovery.rs`
+//! holds it to that.
 
+use crate::checkpoint::ClusterCheckpoint;
 use crate::engine::{ClusterConfig, ClusterEngine};
 use janus_common::{Result, Row};
-use janus_storage::{Request, RequestLog};
+use janus_storage::{CheckpointStore, Request, RequestLog};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -58,6 +71,16 @@ pub struct LiveConfig {
     /// Per-shard backpressure limit: the front end stalls while any
     /// shard's publish-ahead backlog is at or over this.
     pub max_backlog: u64,
+    /// Automatic checkpoint cadence, in pumped records: after at least
+    /// this many records have been drained into shard engines since the
+    /// last checkpoint, the front end cuts the next one. `0` disables
+    /// the cadence (explicit [`LiveCluster::checkpoint_now`] still
+    /// works). Only takes effect when the service was started with a
+    /// checkpoint store.
+    pub checkpoint_every: u64,
+    /// Checkpoints retained in the store after each save (older ones are
+    /// pruned).
+    pub checkpoint_keep: usize,
 }
 
 impl Default for LiveConfig {
@@ -66,6 +89,8 @@ impl Default for LiveConfig {
             pump_chunk: 1024,
             frontend_chunk: 256,
             max_backlog: 65_536,
+            checkpoint_every: 100_000,
+            checkpoint_keep: 4,
         }
     }
 }
@@ -87,6 +112,11 @@ pub struct LiveStats {
     /// Topic records skipped by the lossy pump path (always 0 unless the
     /// ingest invariants were violated upstream).
     pub records_skipped: u64,
+    /// Checkpoints successfully persisted to the store.
+    pub checkpoints: u64,
+    /// Checkpoint saves that failed at the store (the service keeps
+    /// running; the previous checkpoint remains the recovery point).
+    pub checkpoint_failures: u64,
 }
 
 #[derive(Default)]
@@ -96,6 +126,8 @@ struct LiveCounters {
     empty_answers: AtomicU64,
     rejected_requests: AtomicU64,
     records_skipped: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_failures: AtomicU64,
 }
 
 struct Shared {
@@ -105,6 +137,16 @@ struct Shared {
     /// Unified-log offset the front end has fully processed (stored with
     /// release ordering after the request's republish/response landed).
     front_offset: AtomicU64,
+    /// Durable checkpoint destination; `None` runs the service without
+    /// crash recovery.
+    store: Option<Arc<dyn CheckpointStore>>,
+    /// Handshake flag for [`LiveCluster::checkpoint_now`]: the front-end
+    /// worker owns checkpointing (it is the sole topic publisher, which
+    /// is what makes the cut consistent), so external callers request
+    /// and wait.
+    checkpoint_requested: AtomicBool,
+    /// Checkpoints retained after each save.
+    checkpoint_keep: usize,
     counters: LiveCounters,
 }
 
@@ -143,12 +185,79 @@ impl LiveCluster {
         requests: Arc<RequestLog>,
         live: LiveConfig,
     ) -> Result<Self> {
+        Self::wrap_inner(cluster, requests, live, None, 0)
+    }
+
+    /// [`LiveCluster::start_with`] plus durable crash recovery: the front
+    /// end writes a tail-free whole-cluster checkpoint to `store` every
+    /// `checkpoint_every` pumped records (and on
+    /// [`LiveCluster::checkpoint_now`]). After a crash,
+    /// [`LiveCluster::recover`] over the same store and request log
+    /// resumes exactly where the newest checkpoint cut.
+    pub fn start_checkpointed(
+        config: ClusterConfig,
+        rows: Vec<Row>,
+        requests: Arc<RequestLog>,
+        live: LiveConfig,
+        store: Arc<dyn CheckpointStore>,
+    ) -> Result<Self> {
+        Self::wrap_inner(
+            ClusterEngine::bootstrap(config, rows)?,
+            requests,
+            live,
+            Some(store),
+            0,
+        )
+    }
+
+    /// Restarts a crashed service from the newest checkpoint in `store`:
+    /// rebuilds the cluster on fresh topics
+    /// ([`ClusterEngine::restore_detached`]) and resumes consuming
+    /// `requests` at the checkpointed offset. Requests processed after
+    /// the checkpoint but before the crash are simply re-consumed from
+    /// the durable log — their pre-crash effects died with the process,
+    /// so re-publishing them is exactly-once with respect to engine
+    /// state. An `Execute` re-consumed this way publishes a second
+    /// response record for its offset; clients that correlate by offset
+    /// see the first (pre-crash) answer, and both are valid estimates.
+    ///
+    /// The recovered run is *bit-identical* to an uninterrupted run of
+    /// the same request sequence — engine restoration is bit-faithful
+    /// and routing state (bounds, rotation cursor) is part of the
+    /// checkpoint — which `tests/cluster_recovery.rs` pins down.
+    pub fn recover(
+        config: ClusterConfig,
+        store: Arc<dyn CheckpointStore>,
+        requests: Arc<RequestLog>,
+        live: LiveConfig,
+    ) -> Result<Self> {
+        let (_, checkpoint) = ClusterCheckpoint::load_latest(store.as_ref())?;
+        let cluster = ClusterEngine::restore_detached(config, &checkpoint)?;
+        Self::wrap_inner(
+            cluster,
+            requests,
+            live,
+            Some(store),
+            checkpoint.request_offset,
+        )
+    }
+
+    fn wrap_inner(
+        cluster: ClusterEngine,
+        requests: Arc<RequestLog>,
+        live: LiveConfig,
+        store: Option<Arc<dyn CheckpointStore>>,
+        start_offset: u64,
+    ) -> Result<Self> {
         let shards = cluster.shards();
         let shared = Arc::new(Shared {
             cluster,
             requests,
             shutdown: AtomicBool::new(false),
-            front_offset: AtomicU64::new(0),
+            front_offset: AtomicU64::new(start_offset),
+            store,
+            checkpoint_requested: AtomicBool::new(false),
+            checkpoint_keep: live.checkpoint_keep.max(1),
             counters: LiveCounters::default(),
         });
 
@@ -169,7 +278,12 @@ impl LiveCluster {
                                     .records_skipped
                                     .fetch_add(skipped as u64, Ordering::Relaxed);
                             }
-                            if applied == 0 && skipped == 0 {
+                            // Followers of this shard tail the same topic
+                            // right behind the primary, in the same
+                            // (lossy) drain mode so offsets stay aligned.
+                            let replica_applied =
+                                worker.cluster.pump_replicas_lossy(shard, pump_chunk);
+                            if applied == 0 && skipped == 0 && replica_applied == 0 {
                                 // Topic drained: idle briefly instead of
                                 // spinning on the shard lock.
                                 std::thread::park_timeout(Duration::from_millis(1));
@@ -185,9 +299,18 @@ impl LiveCluster {
         let worker = Arc::clone(&shared);
         let frontend_chunk = live.frontend_chunk.max(1);
         let max_backlog = live.max_backlog.max(1);
+        let checkpoint_every = live.checkpoint_every;
         let frontend_thread = std::thread::Builder::new()
             .name("janus-frontend".into())
-            .spawn(move || frontend_loop(&worker, &pump_handles, frontend_chunk, max_backlog))
+            .spawn(move || {
+                frontend_loop(
+                    &worker,
+                    &pump_handles,
+                    frontend_chunk,
+                    max_backlog,
+                    checkpoint_every,
+                )
+            })
             .expect("spawn front-end worker");
 
         Ok(LiveCluster {
@@ -226,6 +349,43 @@ impl LiveCluster {
             empty_answers: c.empty_answers.load(Ordering::Relaxed),
             rejected_requests: c.rejected_requests.load(Ordering::Relaxed),
             records_skipped: c.records_skipped.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            checkpoint_failures: c.checkpoint_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Requests an immediate checkpoint and blocks until the front-end
+    /// worker (the sole publisher, hence the only thread that can cut a
+    /// consistent one) has taken it. Returns `true` when a checkpoint was
+    /// persisted, `false` when the service has no store, the save failed,
+    /// or the service is shutting down.
+    pub fn checkpoint_now(&self) -> bool {
+        if self.shared.store.is_none() {
+            return false;
+        }
+        let c = &self.shared.counters;
+        let attempts_before =
+            c.checkpoints.load(Ordering::Relaxed) + c.checkpoint_failures.load(Ordering::Relaxed);
+        let ok_before = c.checkpoints.load(Ordering::Relaxed);
+        self.shared
+            .checkpoint_requested
+            .store(true, Ordering::Release);
+        loop {
+            if let Some(t) = &self.frontend_thread {
+                t.thread().unpark();
+            }
+            for t in &self.pump_threads {
+                t.thread().unpark();
+            }
+            let attempts = c.checkpoints.load(Ordering::Relaxed)
+                + c.checkpoint_failures.load(Ordering::Relaxed);
+            if attempts > attempts_before {
+                return c.checkpoints.load(Ordering::Relaxed) > ok_before;
+            }
+            if self.shared.shutdown.load(Ordering::Relaxed) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -239,7 +399,10 @@ impl LiveCluster {
         loop {
             let end = self.shared.requests.end_offset();
             let consumed = self.shared.front_offset.load(Ordering::Acquire);
-            if consumed >= end && self.shared.cluster.pending() == 0 {
+            if consumed >= end
+                && self.shared.cluster.pending() == 0
+                && self.shared.cluster.replica_pending() == 0
+            {
                 return;
             }
             if let Some(t) = &self.frontend_thread {
@@ -285,15 +448,30 @@ impl Drop for LiveCluster {
 }
 
 /// The front-end worker body: consume the unified request log in arrival
-/// order, republish data to shard topics, answer queries.
+/// order, republish data to shard topics, answer queries — and, when a
+/// checkpoint store is attached, cut tail-free checkpoints between
+/// batches (every `checkpoint_every` pumped records, or on request).
 fn frontend_loop(
     shared: &Shared,
     pump_workers: &[std::thread::Thread],
     chunk: usize,
     max_backlog: u64,
+    checkpoint_every: u64,
 ) {
     let mut offset = shared.front_offset.load(Ordering::Acquire);
+    let mut pumped_at_checkpoint = shared.cluster.pumped_records();
     loop {
+        if shared.store.is_some() {
+            let requested = shared.checkpoint_requested.swap(false, Ordering::AcqRel);
+            let due = checkpoint_every > 0
+                && shared.cluster.pumped_records() - pumped_at_checkpoint >= checkpoint_every;
+            if requested || due {
+                if !take_checkpoint(shared, pump_workers) {
+                    return; // shutdown while waiting for the drain
+                }
+                pumped_at_checkpoint = shared.cluster.pumped_records();
+            }
+        }
         let batch = shared.requests.poll_requests(offset, chunk);
         if batch.is_empty() {
             if shared.shutdown.load(Ordering::Relaxed) {
@@ -352,6 +530,51 @@ fn frontend_loop(
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
+    }
+}
+
+/// Cuts one tail-free checkpoint and persists it. Runs on the front-end
+/// worker between request batches: the front end is the only topic
+/// publisher, so while it sits here nothing new lands in the shard
+/// topics, and waiting for `pending() == 0` gives a cut where every
+/// shard's engine state equals "all effects of requests `< front_offset`"
+/// — the exact point recovery resumes from. The tail-free property is
+/// re-verified on the cut itself (direct publishers bypassing the
+/// request log would violate it) and the cut retried until it holds.
+/// Returns `false` when shutdown was requested mid-wait.
+fn take_checkpoint(shared: &Shared, pump_workers: &[std::thread::Thread]) -> bool {
+    let store = shared
+        .store
+        .as_ref()
+        .expect("take_checkpoint requires a store");
+    loop {
+        if shared.cluster.pending() == 0 {
+            let mut checkpoint = shared.cluster.checkpoint();
+            if checkpoint.is_tail_free() {
+                checkpoint.request_offset = shared.front_offset.load(Ordering::Acquire);
+                let id = store.latest_id().map_or(0, |latest| latest + 1);
+                let saved = checkpoint
+                    .save(store.as_ref(), id)
+                    .and_then(|()| store.prune(shared.checkpoint_keep));
+                match saved {
+                    Ok(()) => shared.counters.checkpoints.fetch_add(1, Ordering::Relaxed),
+                    Err(_) => shared
+                        .counters
+                        .checkpoint_failures
+                        .fetch_add(1, Ordering::Relaxed),
+                };
+                return true;
+            }
+            // A record slipped in between the pending probe and the cut;
+            // wait for the pumps and retry.
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return false;
+        }
+        for worker in pump_workers {
+            worker.unpark();
+        }
+        std::thread::park_timeout(Duration::from_micros(200));
     }
 }
 

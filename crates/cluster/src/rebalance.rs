@@ -9,7 +9,7 @@
 //! median, re-draws the placement:
 //!
 //! * **Range policy** — new equal-count boundaries are estimated from the
-//!   shards' *synopsis snapshots* ([`JanusEngine::save_synopsis`], the
+//!   shards' *synopsis snapshots* ([`janus_core::JanusEngine::save_synopsis`], the
 //!   `janus-core` persistence path): the pooled snapshot samples are a
 //!   population-proportional sketch of every shard, so their quantiles
 //!   approximate global quantiles without scanning any archive. Rows on
@@ -64,6 +64,7 @@ pub fn skew_exceeds(populations: &[usize], factor: f64) -> bool {
 pub(crate) fn rebalance(
     router: &mut ShardRouter,
     shards: &mut [&mut Shard],
+    replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
     base: &SynopsisConfig,
 ) -> Result<Option<RebalanceReport>> {
@@ -72,10 +73,10 @@ pub(crate) fn rebalance(
     }
     match router.policy().clone() {
         ShardPolicy::Range { column, .. } => {
-            range_redraw(router, shards, directory, column).map(Some)
+            range_redraw(router, shards, replicas, directory, column).map(Some)
         }
         ShardPolicy::HashById | ShardPolicy::RoundRobin => {
-            discrete_split(shards, directory, base).map(Some)
+            discrete_split(shards, replicas, directory, base).map(Some)
         }
     }
 }
@@ -85,6 +86,7 @@ pub(crate) fn rebalance(
 fn range_redraw(
     router: &mut ShardRouter,
     shards: &mut [&mut Shard],
+    replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
     column: usize,
 ) -> Result<RebalanceReport> {
@@ -143,7 +145,7 @@ fn range_redraw(
         }
     }
     let rows_moved = moves.len();
-    apply_moves(shards, directory, moves)?;
+    apply_moves(shards, replicas, directory, moves)?;
     Ok(RebalanceReport {
         rows_moved,
         new_bounds: Some(bounds),
@@ -159,6 +161,7 @@ fn range_redraw(
 /// shard and oscillating.
 fn discrete_split(
     shards: &mut [&mut Shard],
+    replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
     base: &SynopsisConfig,
 ) -> Result<RebalanceReport> {
@@ -200,7 +203,7 @@ fn discrete_split(
         .map(|row| (donor, receiver, row))
         .collect();
     let rows_moved = moves.len();
-    apply_moves(shards, directory, moves)?;
+    apply_moves(shards, replicas, directory, moves)?;
     Ok(RebalanceReport {
         rows_moved,
         new_bounds: None,
@@ -213,14 +216,25 @@ fn discrete_split(
 /// directory. Each move is a delete on the donor synopsis and an insert
 /// on the receiver — both incremental §4.1/§4.2 paths, so no shard
 /// rebuilds from scratch and shard-local triggers may fire along the way.
+/// Every move is mirrored onto the donor's and receiver's follower
+/// engines: followers were drained to the same offsets before migration
+/// (so they are bit-identical to their primaries), and applying the same
+/// op sequence keeps them that way through the migration.
 fn apply_moves(
     shards: &mut [&mut Shard],
+    replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
     moves: Vec<(usize, usize, Row)>,
 ) -> Result<()> {
     for (from, to, row) in moves {
         shards[from].engine.delete(row.id)?;
         shards[to].engine.insert(row.clone())?;
+        for follower in replicas[from].iter_mut() {
+            follower.engine.delete(row.id)?;
+        }
+        for follower in replicas[to].iter_mut() {
+            follower.engine.insert(row.clone())?;
+        }
         directory.insert(row.id, to);
     }
     Ok(())
@@ -283,9 +297,16 @@ mod tests {
         let mut directory = DetHashMap::default();
         let base = test_config(3);
 
-        let report = rebalance(&mut router, &mut shard_refs, &mut directory, &base)
-            .unwrap()
-            .expect("two shards migrate");
+        let mut replica_refs: Vec<Vec<&mut Shard>> = vec![Vec::new(), Vec::new()];
+        let report = rebalance(
+            &mut router,
+            &mut shard_refs,
+            &mut replica_refs,
+            &mut directory,
+            &base,
+        )
+        .unwrap()
+        .expect("two shards migrate");
         assert_eq!(report.rows_moved, 1_750, "exactly equalizing half moves");
         let pops: Vec<usize> = shards.iter().map(|s| s.engine.population()).collect();
         assert_eq!(pops, vec![2_250, 2_250]);
@@ -293,9 +314,16 @@ mod tests {
 
         // A second pass finds nothing to move — no oscillation.
         let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
-        let report = rebalance(&mut router, &mut shard_refs, &mut directory, &base)
-            .unwrap()
-            .expect("report still produced");
+        let mut replica_refs: Vec<Vec<&mut Shard>> = vec![Vec::new(), Vec::new()];
+        let report = rebalance(
+            &mut router,
+            &mut shard_refs,
+            &mut replica_refs,
+            &mut directory,
+            &base,
+        )
+        .unwrap()
+        .expect("report still produced");
         assert_eq!(report.rows_moved, 0);
     }
 }

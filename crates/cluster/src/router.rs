@@ -131,6 +131,19 @@ impl ShardRouter {
         &self.policy
     }
 
+    /// The round-robin rotation cursor (always 0 under other policies).
+    /// Checkpoints persist it: restored routing must continue the
+    /// rotation exactly where the saved cluster stopped, or replayed
+    /// traffic would land on different shards than the original run.
+    pub fn rotation_cursor(&self) -> usize {
+        self.next
+    }
+
+    /// Restores the rotation cursor from a checkpoint.
+    pub fn restore_cursor(&mut self, cursor: usize) {
+        self.next = cursor % self.shards.max(1);
+    }
+
     /// Assigns a row to a shard. Advances the rotation cursor under
     /// `RoundRobin` (hence `&mut`).
     pub fn route(&mut self, row: &Row) -> usize {

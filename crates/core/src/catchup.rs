@@ -58,6 +58,13 @@ impl CatchupQueue {
         }
     }
 
+    /// The not-yet-applied remainder of the queue, in consumption order —
+    /// what a synopsis snapshot persists so a restored engine resumes
+    /// catch-up exactly where the original stood.
+    pub fn remaining(&self) -> &[Row] {
+        &self.rows[self.pos..self.goal]
+    }
+
     /// Takes the next chunk of at most `n` rows toward the goal.
     pub fn next_chunk(&mut self, n: usize) -> &[Row] {
         let end = (self.pos + n).min(self.goal);

@@ -510,6 +510,10 @@ impl JanusEngine {
             reservoir_floor: self.reservoir.floor(),
             reservoir_target: self.reservoir.target(),
             population: self.archive.len(),
+            reservoir_rng: self.reservoir.rng_state().to_vec(),
+            seed_counter: self.seed_counter,
+            updates_since_check: self.updates_since_check as u64,
+            catchup_rows: self.catchup.remaining().to_vec(),
         }
     }
 
@@ -517,6 +521,19 @@ impl JanusEngine {
     /// archival rows. The archive must match the snapshot's population —
     /// updates that happened after the snapshot must be replayed through
     /// `insert`/`delete` afterwards.
+    ///
+    /// Restoration is *bit-faithful*: the snapshot carries the reservoir's
+    /// RNG words, the derived-seed counter, the trigger cadence counter,
+    /// and the unconsumed catch-up queue, and `archive_rows` must be in
+    /// [`JanusEngine::export_rows`] order (archive eviction uses
+    /// `swap_remove`, so row order is part of the state). A restored
+    /// engine therefore answers — and keeps evolving under further
+    /// updates — bit-identically to the engine it was saved from, with
+    /// one scoped exception: the max-variance index is rebuilt from the
+    /// restored sample rather than carried over, so with
+    /// `auto_repartition` enabled a *re-partitioning decision* after
+    /// restore may differ. Operation counters ([`EngineStats`]) restart
+    /// from zero.
     pub fn restore(
         config: SynopsisConfig,
         archive_rows: Vec<Row>,
@@ -538,11 +555,21 @@ impl JanusEngine {
             config.seed ^ 0x4e4e,
         );
         reservoir.reset(snapshot.sample_rows.clone());
+        if let Ok(words) = <[u64; 4]>::try_from(snapshot.reservoir_rng.as_slice()) {
+            reservoir.restore_rng(words);
+        } else if !snapshot.reservoir_rng.is_empty() {
+            return Err(JanusError::InvalidConfig(format!(
+                "snapshot reservoir RNG has {} state words, expected 4",
+                snapshot.reservoir_rng.len()
+            )));
+        }
         let template = config.template.clone();
         let alpha = effective_alpha(reservoir.len(), archive.len());
         let points = sample_points(&template, reservoir.iter());
         let maxvar =
             MaxVarianceIndex::bulk_load(template.dims(), template.agg, alpha, config.delta, points);
+        let catchup_rows = snapshot.catchup_rows.clone();
+        let goal = catchup_rows.len();
         Ok(JanusEngine {
             trigger_cfg: TriggerConfig {
                 beta: config.beta,
@@ -554,12 +581,10 @@ impl JanusEngine {
             reservoir,
             maxvar,
             dpt,
-            // Catch-up state is not persisted; the restored synopsis keeps
-            // its snapshot-time estimates until the next re-initialization.
-            catchup: CatchupQueue::completed(),
+            catchup: CatchupQueue::new(catchup_rows, goal),
             stats: EngineStats::default(),
-            updates_since_check: 0,
-            seed_counter: 1,
+            updates_since_check: snapshot.updates_since_check as usize,
+            seed_counter: snapshot.seed_counter,
         })
     }
 

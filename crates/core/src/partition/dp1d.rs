@@ -1,6 +1,6 @@
 //! PASS-style dynamic-programming 1-D partitioning — the Table 3 baseline.
 //!
-//! PASS [30] finds the min-max-error contiguous partition by dynamic
+//! PASS \[30] finds the min-max-error contiguous partition by dynamic
 //! programming over candidate cut positions:
 //! `D[j][i] = min_s max(D[j-1][s], err(s, i))`. The cost is quadratic in
 //! the number of candidates per bucket count, which is exactly the scaling

@@ -69,11 +69,21 @@ pub struct DptSnapshot {
 }
 
 /// A full synopsis snapshot: the tree plus the pooled sample rows.
+///
+/// Beyond the estimate-bearing state (tree + sample), the snapshot also
+/// carries the engine's *evolution* state — the reservoir's RNG words,
+/// the derived-seed counter, the trigger cadence counter, and the
+/// unconsumed catch-up queue — so a restored engine does not merely
+/// answer like the original *at* the snapshot point, it makes
+/// bit-identical decisions on every subsequent insert/delete. That is the
+/// property cluster crash-recovery leans on: snapshot + deterministic
+/// topic replay reproduces an uninterrupted engine exactly.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SynopsisSnapshot {
     /// The partition tree.
     pub dpt: DptSnapshot,
-    /// The pooled reservoir rows at snapshot time.
+    /// The pooled reservoir rows at snapshot time, in reservoir order
+    /// (order matters: eviction uses `swap_remove`).
     pub sample_rows: Vec<Row>,
     /// Reservoir floor `m`.
     pub reservoir_floor: usize,
@@ -81,6 +91,16 @@ pub struct SynopsisSnapshot {
     pub reservoir_target: usize,
     /// Table size at snapshot time (consistency check at restore).
     pub population: usize,
+    /// The reservoir admission RNG's raw state words (4 × u64), captured
+    /// mid-stream so restored sampling decisions stay bit-identical.
+    pub reservoir_rng: Vec<u64>,
+    /// The engine's derived-seed counter (re-sample seeds after floor
+    /// breaches depend on it).
+    pub seed_counter: u64,
+    /// Updates since the last trigger-cadence check.
+    pub updates_since_check: u64,
+    /// Unconsumed catch-up rows, in consumption order.
+    pub catchup_rows: Vec<Row>,
 }
 
 impl Dpt {
@@ -103,11 +123,9 @@ impl Dpt {
                 built_variance: n.built_variance,
                 min_values: n.stats.minmax.min_values(),
                 max_values: n.stats.minmax.max_values(),
-                samples: {
-                    let mut s: Vec<RowId> = n.samples.iter().copied().collect();
-                    s.sort_unstable();
-                    s
-                },
+                // BTreeSet iteration is already ascending — the same
+                // canonical order the restored set will use.
+                samples: n.samples.iter().copied().collect(),
                 live: n.live,
             })
             .collect();
@@ -134,8 +152,7 @@ impl Dpt {
             stats.inserted = s.inserted;
             stats.deleted = s.deleted;
             stats.minmax.restore(&s.min_values, &s.max_values);
-            let mut samples = janus_common::DetHashSet::default();
-            samples.extend(s.samples.iter().copied());
+            let samples: std::collections::BTreeSet<RowId> = s.samples.iter().copied().collect();
             nodes.push(DptNode {
                 rect,
                 parent: s.parent,
@@ -201,8 +218,17 @@ mod tests {
         .unwrap()
     }
 
+    fn estimate_bits(e: &janus_common::Estimate) -> (u64, u64, u64, usize) {
+        (
+            e.value.to_bits(),
+            e.catchup_variance.to_bits(),
+            e.sample_variance.to_bits(),
+            e.samples_used,
+        )
+    }
+
     #[test]
-    fn dpt_snapshot_round_trips_answers_exactly() {
+    fn dpt_snapshot_round_trips_answers_bit_exactly() {
         let mut e = engine(1);
         // Exercise deltas and MIN/MAX before snapshotting.
         for i in 0..500u64 {
@@ -220,13 +246,69 @@ mod tests {
             let query = q(lo, hi);
             let a = e.dpt().answer(&query, e.reservoir()).unwrap().unwrap();
             let b = restored.answer(&query, e.reservoir()).unwrap().unwrap();
-            // Stratum sets are rebuilt at restore, so floating-point
-            // summation order may differ by a few ULPs.
-            assert!(
-                (a.value - b.value).abs() <= 1e-9 * a.value.abs().max(1.0),
-                "[{lo},{hi}]"
-            );
-            assert!((a.variance() - b.variance()).abs() <= 1e-9 * a.variance().max(1.0));
+            // Stratum sets iterate in canonical (sorted) order, so the
+            // restored tree reproduces summation order — and therefore
+            // answers — to the bit.
+            assert_eq!(estimate_bits(&a), estimate_bits(&b), "[{lo},{hi}]");
+        }
+    }
+
+    /// The full-fidelity claim cluster recovery rests on: a restored
+    /// engine is *observationally indistinguishable* from the original —
+    /// identical answers now, and identical answers after any further
+    /// identical update sequence (sampling decisions replay bit-exactly
+    /// from the captured RNG words).
+    #[test]
+    fn restored_engine_evolves_bit_identically() {
+        // auto_repartition stays off: the max-variance index is rebuilt
+        // (not carried) at restore, so re-partitioning *decisions* are the
+        // one part of evolution outside the bit-fidelity contract.
+        let mut cfg = SynopsisConfig::paper_default(
+            QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]),
+            7,
+        );
+        cfg.leaf_count = 16;
+        cfg.sample_rate = 0.05;
+        cfg.catchup_ratio = 0.4;
+        cfg.auto_repartition = false;
+        let mut original = JanusEngine::bootstrap(cfg, rows(10_000, 7)).unwrap();
+        for i in 0..800u64 {
+            original
+                .insert(Row::new(200_000 + i, vec![(i % 97) as f64, i as f64]))
+                .unwrap();
+        }
+        original.delete(10).unwrap();
+        original.delete(4_321).unwrap();
+
+        let snap = original.save_synopsis();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SynopsisSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored =
+            JanusEngine::restore(original.config().clone(), original.export_rows(), &back).unwrap();
+
+        // Same mixed update sequence on both sides, then compare to the bit.
+        let mut rng = SmallRng::seed_from_u64(70);
+        let mut live: Vec<u64> = (100..5_000).collect();
+        for step in 0..3_000u64 {
+            if rng.gen_bool(0.75) || live.len() < 32 {
+                let x = rng.gen::<f64>() * 100.0;
+                let row = Row::new(300_000 + step, vec![x, x * 2.0 + 1.0]);
+                original.insert(row.clone()).unwrap();
+                restored.insert(row).unwrap();
+                live.push(300_000 + step);
+            } else {
+                let at = rng.gen_range(0..live.len());
+                let id = live.swap_remove(at);
+                original.delete(id).unwrap();
+                restored.delete(id).unwrap();
+            }
+        }
+        assert_eq!(original.population(), restored.population());
+        for (lo, hi) in [(0.0, 100.0), (15.0, 60.0), (33.0, 34.0)] {
+            let query = q(lo, hi);
+            let a = original.query(&query).unwrap().unwrap();
+            let b = restored.query(&query).unwrap().unwrap();
+            assert_eq!(estimate_bits(&a), estimate_bits(&b), "[{lo},{hi}]");
         }
     }
 

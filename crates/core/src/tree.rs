@@ -13,12 +13,12 @@
 
 use crate::node::{EpochInfo, NodeStats};
 use crate::partition::PartitionSpec;
+use janus_common::DetHashMap;
 use janus_common::{
     AggregateFunction, Estimate, JanusError, Moments, Query, QueryTemplate, Rect, Result, Row,
     RowId,
 };
-use janus_common::{DetHashMap, DetHashSet};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Read-only access to the pooled sample rows, keyed by row id.
 ///
@@ -55,7 +55,10 @@ pub struct DptNode {
     /// reference point of the β-drift trigger (§5.4).
     pub built_variance: f64,
     /// Sample row ids of this leaf's virtual stratum (leaves only).
-    pub samples: DetHashSet<RowId>,
+    /// Ordered so that per-stratum floating-point accumulation order is a
+    /// function of the stratum's *content* — the property that lets a
+    /// snapshot-restored tree answer bit-identically to the original.
+    pub samples: BTreeSet<RowId>,
     /// False for nodes orphaned by a partial re-partitioning splice.
     pub live: bool,
 }
@@ -92,7 +95,7 @@ impl Dpt {
                 children: s.children.clone(),
                 stats: NodeStats::new(minmax_k, 0, 0),
                 built_variance: 0.0,
-                samples: DetHashSet::default(),
+                samples: BTreeSet::new(),
                 live: true,
             })
             .collect();
@@ -846,7 +849,7 @@ impl Dpt {
                     .and_then(|&slot| built.get(slot))
                     .copied()
                     .unwrap_or(0.0),
-                samples: DetHashSet::default(),
+                samples: BTreeSet::new(),
                 live: true,
             });
         }

@@ -3,7 +3,7 @@
 //!
 //! The paper's dynamic range tree (§5.3.1, §D.1) cites the classic
 //! static-to-dynamic transformations of Bentley–Saxe and
-//! Overmars–van Leeuwen ([5], [13], [34]); this module implements that
+//! Overmars–van Leeuwen (\[5], \[13], \[34]); this module implements that
 //! construction generically over any [`SpatialAggIndex`]:
 //!
 //! * the live set is kept as `O(log m)` static *levels*, level `j` holding

@@ -64,7 +64,8 @@ pub use janus_storage as storage;
 /// The working set of types most applications need.
 pub mod prelude {
     pub use janus_cluster::{
-        ClusterConfig, ClusterEngine, ClusterStats, LiveCluster, LiveConfig, LiveStats, ShardPolicy,
+        ClusterCheckpoint, ClusterConfig, ClusterEngine, ClusterStats, LiveCluster, LiveConfig,
+        LiveStats, ShardPolicy,
     };
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,
@@ -76,7 +77,9 @@ pub mod prelude {
     pub use janus_data::{
         intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec,
     };
-    pub use janus_storage::{Request, RequestLog};
+    pub use janus_storage::{
+        CheckpointStore, FileCheckpointStore, MemoryCheckpointStore, Request, RequestLog,
+    };
 }
 
 #[cfg(test)]

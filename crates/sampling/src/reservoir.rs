@@ -6,7 +6,7 @@
 //! * **insert** — below target the new tuple is always admitted; at target
 //!   it replaces a uniformly random resident with probability
 //!   `|S| / |D|`, preserving uniformity over the evolving population
-//!   (Gibbons–Matias–Poosala [16], Vitter [43]);
+//!   (Gibbons–Matias–Poosala \[16], Vitter \[43]);
 //! * **delete** — a tuple absent from the sample is ignored; a present one
 //!   is evicted, unless the reservoir already sits at the floor `m`, in
 //!   which case the caller must re-sample `2m` fresh tuples from the
@@ -154,6 +154,19 @@ impl DynamicReservoir {
         DeleteOutcome::Removed
     }
 
+    /// The admission RNG's raw state words — captured by synopsis
+    /// snapshots so a restored reservoir makes bit-identical future
+    /// admission/eviction decisions.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Resumes the admission RNG mid-stream from saved state words (the
+    /// snapshot-restore counterpart of [`DynamicReservoir::rng_state`]).
+    pub fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = SmallRng::from_state(state);
+    }
+
     /// Replaces the sample set wholesale (the re-sample step of §4.2/§4.3).
     pub fn reset(&mut self, rows: Vec<Row>) {
         self.index_of.clear();
@@ -276,6 +289,34 @@ mod tests {
             assert_eq!(r.get(s.id).unwrap().id, s.id);
         }
         assert_eq!(r.len(), 12);
+    }
+
+    #[test]
+    fn rng_state_round_trip_preserves_future_decisions() {
+        let mut a = DynamicReservoir::with_m(8, 77);
+        let mut b = DynamicReservoir::with_m(8, 77);
+        for i in 0..200 {
+            a.offer(row(i), (i + 1) as usize);
+            b.offer(row(i), (i + 1) as usize);
+        }
+        // Snapshot a's RNG into a *fresh-seeded* reservoir holding the
+        // same rows: future outcomes must still match a's exactly.
+        let mut c = DynamicReservoir::with_m(8, 1234);
+        c.reset(a.iter().cloned().collect());
+        c.restore_rng(a.rng_state());
+        for i in 200..600 {
+            let oa = a.offer(row(i), (i + 1) as usize);
+            let ob = b.offer(row(i + 10_000), (i + 1) as usize);
+            let oc = c.offer(row(i), (i + 1) as usize);
+            assert_eq!(oa, oc, "restored RNG must replay a's decisions");
+            // b drew the same stream from the same seed, so outcomes
+            // (though for different ids) stay in lockstep too.
+            match (oa, ob) {
+                (InsertOutcome::Skipped, InsertOutcome::Skipped) => {}
+                (InsertOutcome::Replaced { .. }, InsertOutcome::Replaced { .. }) => {}
+                (x, y) => panic!("seeded twins diverged: {x:?} vs {y:?}"),
+            }
+        }
     }
 
     #[test]

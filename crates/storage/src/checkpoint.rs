@@ -1,0 +1,261 @@
+//! Durable checkpoint storage — the recovery substrate of a sharded
+//! deployment.
+//!
+//! A crashed cluster loses every in-memory synopsis; what survives is
+//! whatever was written *outside* the process: the request topics (the
+//! Kafka side of §3.2) and the checkpoints saved here. This module keeps
+//! the store deliberately payload-agnostic — a [`CheckpointStore`] maps a
+//! monotonically-increasing checkpoint id to an opaque serialized payload
+//! (`janus-cluster` encodes its [`ClusterCheckpoint`] as JSON) — so the
+//! same trait-shaped API can grow further backends (object storage, mmap)
+//! without the cluster layer changing, mirroring how [`crate::archive`]
+//! seeds the multi-backend direction for cold data.
+//!
+//! Two backends ship in-tree:
+//!
+//! * [`MemoryCheckpointStore`] — a lock-protected map; the unit-test and
+//!   single-process default.
+//! * [`FileCheckpointStore`] — one JSON file per checkpoint in a
+//!   directory, written via temp-file + rename so a crash mid-write never
+//!   leaves a torn latest checkpoint; reopening the directory from a new
+//!   process recovers everything.
+//!
+//! [`ClusterCheckpoint`]: https://docs.rs/janus-cluster
+
+use janus_common::{JanusError, Result};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Keyed, durable storage for serialized checkpoints.
+///
+/// Ids are chosen by the writer and expected to increase over time;
+/// [`CheckpointStore::latest_id`] is what recovery starts from. A `put`
+/// to an existing id overwrites it (checkpointing is idempotent per id).
+pub trait CheckpointStore: Send + Sync {
+    /// Persists `payload` under `id`, overwriting any previous payload
+    /// with the same id.
+    fn put(&self, id: u64, payload: &str) -> Result<()>;
+
+    /// The payload stored under `id`, if any.
+    fn get(&self, id: u64) -> Option<String>;
+
+    /// All stored checkpoint ids, ascending.
+    fn ids(&self) -> Vec<u64>;
+
+    /// Deletes the checkpoint stored under `id` (absent ids are fine).
+    fn remove(&self, id: u64) -> Result<()>;
+
+    /// The newest checkpoint id — where recovery starts.
+    fn latest_id(&self) -> Option<u64> {
+        self.ids().last().copied()
+    }
+
+    /// Deletes all but the newest `keep` checkpoints — the retention
+    /// sweep a periodic checkpointer runs after each successful save.
+    fn prune(&self, keep: usize) -> Result<()> {
+        let ids = self.ids();
+        let drop_count = ids.len().saturating_sub(keep);
+        for id in ids.into_iter().take(drop_count) {
+            self.remove(id)?;
+        }
+        Ok(())
+    }
+}
+
+/// In-memory [`CheckpointStore`]: a `BTreeMap` behind a lock. Durable
+/// only for the process lifetime — which is exactly what tests and
+/// single-process "crash" simulations (drop the cluster, keep the store)
+/// need.
+#[derive(Default)]
+pub struct MemoryCheckpointStore {
+    slots: RwLock<BTreeMap<u64, String>>,
+}
+
+impl MemoryCheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemoryCheckpointStore {
+    fn put(&self, id: u64, payload: &str) -> Result<()> {
+        self.slots.write().insert(id, payload.to_string());
+        Ok(())
+    }
+
+    fn get(&self, id: u64) -> Option<String> {
+        self.slots.read().get(&id).cloned()
+    }
+
+    fn ids(&self) -> Vec<u64> {
+        self.slots.read().keys().copied().collect()
+    }
+
+    fn remove(&self, id: u64) -> Result<()> {
+        self.slots.write().remove(&id);
+        Ok(())
+    }
+}
+
+/// File-backed [`CheckpointStore`]: `checkpoint-<id>.json` files in one
+/// directory. Writes go to a temp file first and are renamed into place,
+/// so concurrent readers (and a crash mid-write) only ever see complete
+/// checkpoints. The id space is recovered from the directory listing, so
+/// reopening the same path in a fresh process resumes where the last one
+/// stopped.
+pub struct FileCheckpointStore {
+    dir: PathBuf,
+}
+
+impl FileCheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| storage_err("create checkpoint dir", &e))?;
+        Ok(FileCheckpointStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint-{id:020}.json"))
+    }
+
+    fn id_of(name: &str) -> Option<u64> {
+        name.strip_prefix("checkpoint-")?
+            .strip_suffix(".json")?
+            .parse()
+            .ok()
+    }
+}
+
+impl CheckpointStore for FileCheckpointStore {
+    fn put(&self, id: u64, payload: &str) -> Result<()> {
+        let target = self.path_of(id);
+        let tmp = self.dir.join(format!(".checkpoint-{id:020}.tmp"));
+        std::fs::write(&tmp, payload).map_err(|e| storage_err("write checkpoint", &e))?;
+        std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish checkpoint", &e))
+    }
+
+    fn get(&self, id: u64) -> Option<String> {
+        std::fs::read_to_string(self.path_of(id)).ok()
+    }
+
+    fn ids(&self) -> Vec<u64> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<u64> = entries
+            .flatten()
+            .filter_map(|e| Self::id_of(e.file_name().to_str()?))
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn remove(&self, id: u64) -> Result<()> {
+        match std::fs::remove_file(self.path_of(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(storage_err("remove checkpoint", &e)),
+        }
+    }
+}
+
+fn storage_err(what: &str, e: &std::io::Error) -> JanusError {
+    JanusError::Storage(format!("{what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "janus-ckpt-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(store: &dyn CheckpointStore) {
+        assert!(store.latest_id().is_none());
+        store.put(0, "zero").unwrap();
+        store.put(2, "two").unwrap();
+        store.put(1, "one").unwrap();
+        assert_eq!(store.ids(), vec![0, 1, 2]);
+        assert_eq!(store.latest_id(), Some(2));
+        assert_eq!(store.get(1).as_deref(), Some("one"));
+        assert!(store.get(9).is_none());
+        store.put(1, "one-v2").unwrap();
+        assert_eq!(store.get(1).as_deref(), Some("one-v2"), "put overwrites");
+        store.remove(0).unwrap();
+        store.remove(0).unwrap(); // absent id is fine
+        assert_eq!(store.ids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        exercise(&MemoryCheckpointStore::new());
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir = scratch_dir("contract");
+        exercise(&FileCheckpointStore::open(&dir).unwrap());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The property recovery depends on: drop the store handle (process
+    /// "exit"), reopen the same directory from a fresh handle (process
+    /// "start"), and everything — ids, ordering, payloads — is still
+    /// there.
+    #[test]
+    fn file_store_survives_simulated_process_reopen() {
+        let dir = scratch_dir("reopen");
+        {
+            let store = FileCheckpointStore::open(&dir).unwrap();
+            store.put(7, "{\"gen\":7}").unwrap();
+            store.put(12, "{\"gen\":12}").unwrap();
+        } // handle dropped: nothing of the store survives in memory
+
+        let reopened = FileCheckpointStore::open(&dir).unwrap();
+        assert_eq!(reopened.ids(), vec![7, 12]);
+        assert_eq!(reopened.latest_id(), Some(12));
+        assert_eq!(reopened.get(12).as_deref(), Some("{\"gen\":12}"));
+        assert_eq!(reopened.get(7).as_deref(), Some("{\"gen\":7}"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn prune_keeps_only_the_newest() {
+        let store = MemoryCheckpointStore::new();
+        for id in 0..6 {
+            store.put(id, "x").unwrap();
+        }
+        store.prune(2).unwrap();
+        assert_eq!(store.ids(), vec![4, 5]);
+        store.prune(5).unwrap(); // keeping more than exist is a no-op
+        assert_eq!(store.ids(), vec![4, 5]);
+    }
+
+    #[test]
+    fn torn_writes_are_invisible() {
+        let dir = scratch_dir("torn");
+        let store = FileCheckpointStore::open(&dir).unwrap();
+        store.put(3, "good").unwrap();
+        // A crash mid-write leaves a temp file behind; it must not be
+        // listed as a checkpoint.
+        std::fs::write(store.dir().join(".checkpoint-004.tmp"), "partial").unwrap();
+        std::fs::write(store.dir().join("unrelated.txt"), "noise").unwrap();
+        assert_eq!(store.ids(), vec![3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -18,11 +18,16 @@
 //! * [`samplers`] — the singleton and sequential stream samplers of
 //!   Appendix A, with a configurable poll cost model so Table 4's
 //!   poll-size trade-off reproduces in simulation.
+//! * [`checkpoint`] — durable, payload-agnostic checkpoint storage (an
+//!   in-memory store plus a crash-safe file-backed one): what a sharded
+//!   deployment recovers from after losing its in-memory synopses.
 
 pub mod archive;
+pub mod checkpoint;
 pub mod samplers;
 pub mod streamlog;
 
 pub use archive::ArchiveStore;
+pub use checkpoint::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
 pub use streamlog::{QueryResponse, Request, RequestLog, ShardedLog, TopicLog};

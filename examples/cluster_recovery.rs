@@ -1,0 +1,197 @@
+//! Crash-recovery smoke: a checkpointed `LiveCluster` is killed
+//! mid-stream and recovered from its file-backed checkpoint store plus
+//! the durable request log; the recovered cluster must answer
+//! bit-identically to an uninterrupted twin fed the same requests.
+//!
+//! This is the CI gate for the fault-tolerance path (release mode, see
+//! `.github/workflows/ci.yml`); `tests/cluster_recovery.rs` covers the
+//! same guarantees in depth across all routing policies.
+
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const BOOTSTRAP: usize = 20_000;
+const PHASE_STEPS: u64 = 6_000;
+
+fn config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 32;
+    c.sample_rate = 0.03;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn bootstrap_rows() -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..BOOTSTRAP as u64)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 3.0 + rng.gen::<f64>() * 5.0])
+        })
+        .collect()
+}
+
+/// Deterministic mixed workload, published identically to both logs.
+struct Feed {
+    rng: SmallRng,
+    live: Vec<u64>,
+    next: u64,
+}
+
+impl Feed {
+    fn publish(&mut self, logs: &[&RequestLog], steps: u64) {
+        for _ in 0..steps {
+            if self.rng.gen_bool(0.85) || self.live.len() < 64 {
+                let x = self.rng.gen::<f64>() * 100.0;
+                for log in logs {
+                    log.publish_insert(Row::new(self.next, vec![x, x * 3.0]));
+                }
+                self.live.push(self.next);
+                self.next += 1;
+            } else {
+                let at = self.rng.gen_range(0..self.live.len());
+                let id = self.live.swap_remove(at);
+                for log in logs {
+                    log.publish_delete(id);
+                }
+            }
+        }
+    }
+}
+
+fn probes() -> Vec<Query> {
+    [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, 20.0, 60.0),
+        (AggregateFunction::Sum, 12.5, 77.5),
+        (AggregateFunction::Min, 0.0, 100.0),
+        (AggregateFunction::Max, 0.0, 100.0),
+    ]
+    .into_iter()
+    .map(|(agg, lo, hi)| {
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    })
+    .collect()
+}
+
+fn main() {
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("janus-recovery-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let store: Arc<dyn CheckpointStore> =
+        Arc::new(FileCheckpointStore::open(&ckpt_dir).expect("open checkpoint dir"));
+
+    let reference_log = RequestLog::shared();
+    let crashing_log = RequestLog::shared();
+    let reference = LiveCluster::start(
+        ClusterConfig::new(config(1), 4, policy.clone()),
+        bootstrap_rows(),
+        Arc::clone(&reference_log),
+    )
+    .expect("start reference");
+    let crashing = LiveCluster::start_checkpointed(
+        ClusterConfig::new(config(1), 4, policy.clone()),
+        bootstrap_rows(),
+        Arc::clone(&crashing_log),
+        LiveConfig::default(),
+        Arc::clone(&store),
+    )
+    .expect("start checkpointed");
+
+    let mut feed = Feed {
+        rng: SmallRng::seed_from_u64(12),
+        live: (0..BOOTSTRAP as u64).collect(),
+        next: 1_000_000,
+    };
+
+    // Phase 1: serve traffic, then cut a checkpoint.
+    feed.publish(&[&reference_log, &crashing_log], PHASE_STEPS);
+    crashing.drain();
+    assert!(crashing.checkpoint_now(), "checkpoint must persist");
+    let stats = crashing.live_stats();
+    println!(
+        "checkpointed after {} requests ({} checkpoints in {:?})",
+        stats.requests_consumed, stats.checkpoints, ckpt_dir
+    );
+
+    // Phase 2: more traffic, then CRASH — drop without drain. Everything
+    // the service held in memory (shard synopses, topics, offsets) dies;
+    // only the checkpoint files and the request log survive.
+    let checkpointed_requests = stats.requests_consumed;
+    feed.publish(&[&reference_log, &crashing_log], PHASE_STEPS);
+    drop(crashing);
+    println!(
+        "crashed mid-stream with {} post-checkpoint requests to re-derive",
+        crashing_log.end_offset() - checkpointed_requests
+    );
+
+    // Recover from the durable pair and let it catch up.
+    let recovered = LiveCluster::recover(
+        ClusterConfig::new(config(1), 4, policy),
+        Arc::clone(&store),
+        Arc::clone(&crashing_log),
+        LiveConfig::default(),
+    )
+    .expect("recover from checkpoint");
+    recovered.drain();
+    reference.drain();
+
+    // The whole point: recovery is invisible — answers match the
+    // uninterrupted run to the bit.
+    assert_eq!(
+        recovered.engine().population(),
+        reference.engine().population(),
+        "populations diverged"
+    );
+    for q in probes() {
+        let a = recovered
+            .engine()
+            .query(&q)
+            .expect("query")
+            .expect("answer");
+        let b = reference
+            .engine()
+            .query(&q)
+            .expect("query")
+            .expect("answer");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{} answer diverged: {} vs {}",
+            q.agg,
+            a.value,
+            b.value
+        );
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits(), "{}", q.agg);
+        println!(
+            "  {:>5} [{:>6.1}, {:>6.1}] -> {:>14.3} (bit-identical)",
+            q.agg.to_string(),
+            q.range.lo()[0].max(-1e9),
+            q.range.hi()[0].min(1e9),
+            a.value
+        );
+    }
+
+    let final_stats = recovered.live_stats();
+    println!(
+        "recovered cluster consumed {} requests, population {}",
+        final_stats.requests_consumed,
+        recovered.engine().population()
+    );
+    println!("cluster recovery smoke: OK");
+    drop(recovered);
+    drop(reference);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+}

@@ -2,8 +2,8 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
-//! header), range and tuple strategies, [`Strategy::prop_map`],
-//! `prop::collection::vec`, [`any`], and the `prop_assert*` /
+//! header), range and tuple strategies, `Strategy::prop_map`,
+//! `prop::collection::vec`, `any`, and the `prop_assert*` /
 //! [`prop_assume!`] macros.
 //!
 //! Differences from upstream, deliberate for an offline reproduction

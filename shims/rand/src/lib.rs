@@ -200,6 +200,21 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words — for checkpoint/restore of
+        /// consumers whose future random stream must survive a process
+        /// restart bit-exactly (e.g. reservoir sampling snapshots).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator mid-stream from saved state words; the
+        /// stream continues exactly where [`SmallRng::state`] captured it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -325,6 +340,18 @@ mod tests {
         let vc: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream_exactly() {
+        let mut a = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            a.gen::<u64>();
+        }
+        let mut b = SmallRng::from_state(a.state());
+        let va: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(va, vb, "restored stream must continue bit-exactly");
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Cluster crash recovery: checkpoint → drop → restore → replay must be
+//! *observationally invisible* — bit-identical answers to an
+//! uninterrupted cluster — and replica promotion must lose no
+//! acknowledged write.
+//!
+//! The machinery under test composes three exactness guarantees:
+//! `JanusEngine::restore` is bit-faithful (snapshot carries RNG words,
+//! catch-up state, archive order), shard topics replay deterministically
+//! in offset order, and the checkpoint persists the routing state
+//! (range bounds, rotation cursor) that decides where replayed traffic
+//! lands. Every comparison here is to the bit — no tolerances.
+
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn rows(n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 3.0 + rng.gen::<f64>() * 5.0])
+        })
+        .collect()
+}
+
+fn exact_config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 16;
+    c.sample_rate = 0.03;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn query(agg: AggregateFunction, lo: f64, hi: f64) -> Query {
+    Query::new(
+        agg,
+        1,
+        vec![0],
+        RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+    )
+    .unwrap()
+}
+
+fn policies() -> Vec<ShardPolicy> {
+    vec![
+        ShardPolicy::HashById,
+        ShardPolicy::RoundRobin,
+        ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap(),
+    ]
+}
+
+fn estimate_bits(est: &Estimate) -> (u64, u64, u64, usize) {
+    (
+        est.value.to_bits(),
+        est.catchup_variance.to_bits(),
+        est.sample_variance.to_bits(),
+        est.samples_used,
+    )
+}
+
+fn probe_queries() -> Vec<Query> {
+    vec![
+        query(AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        query(AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        query(AggregateFunction::Avg, f64::NEG_INFINITY, f64::INFINITY),
+        query(AggregateFunction::Min, 0.0, 100.0),
+        query(AggregateFunction::Max, 0.0, 100.0),
+        query(AggregateFunction::Sum, 12.5, 77.5),
+        query(AggregateFunction::Avg, 20.0, 60.0),
+        query(AggregateFunction::Count, 35.0, 45.0),
+    ]
+}
+
+fn assert_same_answers(a: &ClusterEngine, b: &ClusterEngine, context: &str) {
+    assert_eq!(a.population(), b.population(), "{context}: population");
+    for q in probe_queries() {
+        let ea = a.query(&q).unwrap();
+        let eb = b.query(&q).unwrap();
+        match (ea, eb) {
+            (Some(x), Some(y)) => assert_eq!(
+                estimate_bits(&x),
+                estimate_bits(&y),
+                "{context}: {} [{:?}] diverged: {} vs {}",
+                q.agg,
+                q.range,
+                x.value,
+                y.value
+            ),
+            (x, y) => assert_eq!(x.is_none(), y.is_none(), "{context}: {}", q.agg),
+        }
+    }
+}
+
+/// A deterministic mixed insert/delete workload that can be published to
+/// any number of clusters in lockstep, in phases, without ever deleting
+/// an id twice.
+struct Stream {
+    rng: SmallRng,
+    live: Vec<u64>,
+    next: u64,
+}
+
+impl Stream {
+    fn new(seed: u64, bootstrap_rows: u64, base_id: u64) -> Self {
+        Stream {
+            rng: SmallRng::seed_from_u64(seed),
+            live: (0..bootstrap_rows).collect(),
+            next: base_id,
+        }
+    }
+
+    fn publish(&mut self, clusters: &[&ClusterEngine], steps: u64) {
+        for _ in 0..steps {
+            if self.rng.gen_bool(0.8) || self.live.len() < 64 {
+                let x = self.rng.gen::<f64>() * 100.0;
+                for c in clusters {
+                    c.publish_insert(Row::new(self.next, vec![x, x * 3.0]))
+                        .unwrap();
+                }
+                self.live.push(self.next);
+                self.next += 1;
+            } else {
+                let at = self.rng.gen_range(0..self.live.len());
+                let id = self.live.swap_remove(at);
+                for c in clusters {
+                    c.publish_delete(id).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Acceptance (a), synchronous path: checkpoint mid-stream (with a
+/// *pump lag* — unapplied topic records — still outstanding), keep
+/// publishing, "crash" by dropping the engine, restore from checkpoint +
+/// surviving topics, replay, and compare against the uninterrupted twin
+/// across all three routing policies — to the bit.
+#[test]
+fn checkpointed_restore_replays_to_bit_identical_answers() {
+    let data = rows(10_000, 91);
+    for policy in policies() {
+        let make = || {
+            ClusterEngine::bootstrap(
+                ClusterConfig::new(exact_config(91), 4, policy.clone()),
+                data.clone(),
+            )
+            .unwrap()
+        };
+        let uninterrupted = make();
+        let crashing = make();
+
+        // Phase 1: identical traffic, partially pumped, then checkpoint.
+        let mut stream = Stream::new(92, 10_000, 1_000_000);
+        stream.publish(&[&uninterrupted, &crashing], 3_000);
+        crashing.pump(256).unwrap(); // deliberately partial: leave a tail
+        let checkpoint = crashing.checkpoint();
+        assert!(
+            !checkpoint.is_tail_free(),
+            "{policy:?}: the scenario should exercise tail replay"
+        );
+
+        // The checkpoint itself must survive serialization: recovery
+        // always reads it back from a store.
+        let checkpoint = ClusterCheckpoint::from_json(&checkpoint.to_json()).unwrap();
+
+        // Phase 2: more identical traffic after the checkpoint.
+        stream.publish(&[&uninterrupted, &crashing], 2_000);
+
+        // Crash: the engine dies, the topics (durable fabric) survive.
+        let topics = crashing.topics();
+        drop(crashing);
+
+        let restored = ClusterEngine::restore(
+            ClusterConfig::new(exact_config(91), 4, policy.clone()),
+            &checkpoint,
+            topics,
+        )
+        .unwrap();
+        restored.pump_all().unwrap();
+        uninterrupted.pump_all().unwrap();
+        assert_same_answers(&uninterrupted, &restored, &format!("{policy:?}"));
+
+        // The restored cluster is fully operational, not a read-only
+        // artifact: further identical traffic keeps the twins in
+        // lockstep (routing state — bounds, rotation cursor — was
+        // restored too).
+        stream.publish(&[&uninterrupted, &restored], 1_000);
+        uninterrupted.pump_all().unwrap();
+        restored.pump_all().unwrap();
+        assert_same_answers(
+            &uninterrupted,
+            &restored,
+            &format!("{policy:?} post-restore"),
+        );
+    }
+}
+
+/// Acceptance (a), live path: a `LiveCluster` checkpoints, crashes
+/// mid-stream (dropped without drain, losing all post-checkpoint
+/// in-memory state), and `recover()` resumes from the durable pair
+/// (checkpoint store, request log) — converging to answers bit-identical
+/// to an uninterrupted live run of the same request sequence.
+#[test]
+fn live_recover_matches_uninterrupted_run() {
+    let data = rows(10_000, 81);
+    for policy in policies() {
+        let store: Arc<MemoryCheckpointStore> = Arc::new(MemoryCheckpointStore::new());
+        let uninterrupted_log = RequestLog::shared();
+        let crashing_log = RequestLog::shared();
+
+        let uninterrupted = LiveCluster::start(
+            ClusterConfig::new(exact_config(81), 4, policy.clone()),
+            data.clone(),
+            Arc::clone(&uninterrupted_log),
+        )
+        .unwrap();
+        let crashing = LiveCluster::start_checkpointed(
+            ClusterConfig::new(exact_config(81), 4, policy.clone()),
+            data.clone(),
+            Arc::clone(&crashing_log),
+            LiveConfig::default(),
+            Arc::clone(&store) as Arc<dyn CheckpointStore>,
+        )
+        .unwrap();
+
+        // Identical request sequences on both logs.
+        let mut rng = SmallRng::seed_from_u64(82);
+        let mut live_ids: Vec<u64> = (0..10_000).collect();
+        let mut next = 5_000_000u64;
+        let mut publish_phase = |n: u64| {
+            for _ in 0..n {
+                if rng.gen_bool(0.8) || live_ids.len() < 64 {
+                    let x = rng.gen::<f64>() * 100.0;
+                    uninterrupted_log.publish_insert(Row::new(next, vec![x, x * 3.0]));
+                    crashing_log.publish_insert(Row::new(next, vec![x, x * 3.0]));
+                    live_ids.push(next);
+                    next += 1;
+                } else {
+                    let at = rng.gen_range(0..live_ids.len());
+                    let id = live_ids.swap_remove(at);
+                    uninterrupted_log.publish_delete(id);
+                    crashing_log.publish_delete(id);
+                }
+            }
+        };
+
+        publish_phase(3_000);
+        crashing.drain();
+        assert!(crashing.checkpoint_now(), "{policy:?}: checkpoint failed");
+        assert_eq!(crashing.live_stats().checkpoints, 1, "{policy:?}");
+
+        // Post-checkpoint traffic, then crash without draining: every
+        // in-memory effect of this phase is lost with the process.
+        publish_phase(2_000);
+        drop(crashing);
+
+        let recovered = LiveCluster::recover(
+            ClusterConfig::new(exact_config(81), 4, policy.clone()),
+            Arc::clone(&store) as Arc<dyn CheckpointStore>,
+            Arc::clone(&crashing_log),
+            LiveConfig::default(),
+        )
+        .unwrap();
+        recovered.drain();
+        uninterrupted.drain();
+        assert_same_answers(
+            uninterrupted.engine(),
+            recovered.engine(),
+            &format!("{policy:?} live"),
+        );
+
+        // And the recovered service still serves the request/response
+        // front end.
+        let q = query(AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY);
+        let offset = crashing_log.publish_query(q);
+        recovered.drain();
+        let answer = crashing_log.find_response(offset).unwrap().unwrap();
+        assert_eq!(
+            answer.value,
+            recovered.engine().population() as f64,
+            "{policy:?}"
+        );
+        drop(recovered);
+        drop(uninterrupted);
+    }
+}
+
+/// Acceptance (b): every write acknowledged by the cluster (published to
+/// a shard topic) survives a primary failure, because the promoted
+/// follower tails the same durable topic — even when it lagged the
+/// primary at promotion time. With the replica fully caught up, the
+/// promoted cluster is bit-identical to an unfailed replica-free twin.
+#[test]
+fn replica_promotion_loses_no_acknowledged_writes() {
+    let data = rows(10_000, 71);
+    let plain = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(71), 4, ShardPolicy::HashById),
+        data.clone(),
+    )
+    .unwrap();
+    let replicated = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(71), 4, ShardPolicy::HashById).with_replicas(1),
+        data,
+    )
+    .unwrap();
+
+    Stream::new(72, 10_000, 7_000_000).publish(&[&plain, &replicated], 4_000);
+    // Pump primaries generously but replicas only a little: the failover
+    // happens while the follower is *behind*.
+    for shard in 0..4 {
+        replicated.pump_shard(shard, 10_000).unwrap();
+        replicated.pump_replicas(shard, 100);
+    }
+    let acknowledged = replicated.stats().inserts - replicated.stats().deletes;
+    assert!(
+        replicated.replica_offsets(2)[0] < replicated.topics().topic(2).len() as u64,
+        "scenario should promote a lagging replica"
+    );
+
+    replicated.fail_shard(2).unwrap();
+    assert_eq!(replicated.replica_count(2), 0, "promotion consumed it");
+    assert_eq!(replicated.stats().promotions, 1);
+
+    // The promoted follower resumes the topic from its own offset: after
+    // a full pump nothing acknowledged is missing.
+    replicated.pump_all().unwrap();
+    plain.pump_all().unwrap();
+    assert_eq!(
+        replicated.population() as u64,
+        10_000 + acknowledged,
+        "acknowledged writes lost across promotion"
+    );
+    assert_same_answers(&plain, &replicated, "promoted vs unfailed");
+
+    // A second failure on the same shard has no replica left to promote.
+    assert!(replicated.fail_shard(2).is_err());
+}
+
+/// Replica-served reads are exact and actually load-balanced: with fresh
+/// followers, scatter sub-queries alternate primary/replica and answers
+/// stay bit-identical to a replica-free cluster.
+#[test]
+fn fresh_replicas_serve_exact_reads() {
+    let data = rows(8_000, 61);
+    let plain = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(61), 2, ShardPolicy::RoundRobin),
+        data.clone(),
+    )
+    .unwrap();
+    let replicated = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(61), 2, ShardPolicy::RoundRobin).with_replicas(2),
+        data,
+    )
+    .unwrap();
+    Stream::new(62, 8_000, 8_000_000).publish(&[&plain, &replicated], 2_000);
+    plain.pump_all().unwrap();
+    replicated.pump_all().unwrap();
+
+    assert_same_answers(&plain, &replicated, "replicated reads");
+    let stats = replicated.stats();
+    assert!(
+        stats.replica_queries > 0,
+        "no sub-query was served by a replica"
+    );
+    assert!(
+        stats.replica_queries < stats.subqueries,
+        "primaries must keep serving too (round-robin)"
+    );
+}
+
+/// Regression: a row deleted on one shard and re-inserted onto a
+/// *different* shard within the un-checkpointed tail must resolve to its
+/// final placement in the restored directory. Shard topics carry no
+/// global order, so a naive shard-by-shard replay can process the
+/// re-insert (lower-indexed shard) before the delete (higher-indexed
+/// shard) and conclude the row is gone — after which deleting it errors
+/// with RowNotFound and re-inserting its id poisons the shard topic.
+#[test]
+fn restore_resolves_cross_shard_delete_then_reinsert_in_the_tail() {
+    // Round-robin over 2 shards makes the routing exact: inserts
+    // alternate 0, 1, 0, 1, ...
+    let data = rows(1_000, 41);
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(41), 2, ShardPolicy::RoundRobin),
+        data,
+    )
+    .unwrap();
+    cluster.pump_all().unwrap();
+    let checkpoint = cluster.checkpoint(); // tail starts empty here
+
+    // Tail (cursor position in parentheses): filler -> shard 0, X ->
+    // shard 1, delete X (routed to shard 1), X again -> shard 0.
+    let x = 9_500_000u64;
+    cluster
+        .publish_insert(Row::new(9_400_000, vec![1.0, 1.0]))
+        .unwrap(); // cursor 0 -> shard 0
+    cluster.publish_insert(Row::new(x, vec![2.0, 2.0])).unwrap(); // cursor 1 -> shard 1
+    cluster.publish_delete(x).unwrap(); // -> shard 1's topic
+    cluster.publish_insert(Row::new(x, vec![3.0, 3.0])).unwrap(); // cursor 0 -> shard 0
+
+    let topics = cluster.topics();
+    drop(cluster);
+    let restored = ClusterEngine::restore(
+        ClusterConfig::new(exact_config(41), 2, ShardPolicy::RoundRobin),
+        &checkpoint,
+        topics,
+    )
+    .unwrap();
+    restored.pump_all().unwrap();
+    assert_eq!(restored.population(), 1_002);
+
+    // X must be deletable (it is live, on shard 0) — a stale directory
+    // would answer RowNotFound here...
+    restored.publish_delete(x).expect("X is live after restore");
+    // ...and its id must be re-insertable afterwards without poisoning
+    // any topic.
+    restored
+        .publish_insert(Row::new(x, vec![4.0, 4.0]))
+        .unwrap();
+    restored.pump_all().unwrap();
+    assert_eq!(restored.population(), 1_002);
+    // 4 replayed tail records + the post-restore delete and re-insert.
+    assert_eq!(restored.stats().pumped, 6, "delete + reinsert applied");
+}
+
+/// A tail-bearing checkpoint cannot be restored without the original
+/// topics — detached restore must refuse rather than lose data.
+#[test]
+fn detached_restore_refuses_tail_bearing_checkpoints() {
+    let data = rows(2_000, 51);
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(51), 2, ShardPolicy::HashById),
+        data,
+    )
+    .unwrap();
+    cluster
+        .publish_insert(Row::new(9_000_000, vec![1.0, 2.0]))
+        .unwrap();
+    let checkpoint = cluster.checkpoint(); // unpumped record -> tail
+    assert!(!checkpoint.is_tail_free());
+    let config = ClusterConfig::new(exact_config(51), 2, ShardPolicy::HashById);
+    assert!(ClusterEngine::restore_detached(config.clone(), &checkpoint).is_err());
+
+    // With the surviving topics the same checkpoint restores fine.
+    let restored = ClusterEngine::restore(config, &checkpoint, cluster.topics()).unwrap();
+    restored.pump_all().unwrap();
+    assert_eq!(restored.population(), 2_001);
+}

@@ -256,6 +256,7 @@ fn backpressure_bounds_per_shard_backlog() {
         pump_chunk: 64,
         frontend_chunk: 512,
         max_backlog: 256,
+        ..LiveConfig::default()
     };
     let live = LiveCluster::start_with(
         ClusterConfig::new(exact_config(41), 2, ShardPolicy::RoundRobin),
