@@ -21,11 +21,24 @@
 //! restored rows per second of wall time — and `replica_queries_per_s` —
 //! the scatter-gather query rate of a cluster running one follower per
 //! shard with reads load-balanced across primaries and replicas.
+//!
+//! Three throughput columns track the batch-first hot paths (CI gates on
+//! all three): `batch_ingest_rows_per_sec` — the same second-half ingest
+//! through `publish_batch` (one router/directory acquisition and one
+//! topic append per shard per batch) + `pump_all`, with two batched/
+//! per-row ratios printed per sweep point (publish phase, which isolates
+//! what batching buys, and end-to-end, which includes the pump cost both
+//! passes share) —
+//! `pooled_queries_per_s` — scatter-gather throughput on the persistent
+//! per-shard worker pool — and `rebalance_rows_per_sec` — rows migrated
+//! per second by a skew-triggered snapshot-shipping rebalance (0 for a
+//! single shard, which has nowhere to migrate).
 
 use super::{paper_config, TAXI_N};
 use crate::metrics::{mean, rows_per_sec};
 use crate::ExpReport;
-use janus_cluster::{ClusterConfig, ClusterEngine, LiveCluster, ShardPolicy};
+use janus_cluster::{ClusterConfig, ClusterEngine, LiveCluster, ShardOp, ShardPolicy};
+use janus_common::Row;
 use janus_data::nyc_taxi;
 use janus_storage::RequestLog;
 use serde_json::json;
@@ -35,6 +48,9 @@ use std::time::Instant;
 /// Shard counts swept.
 pub const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
+/// Records per `publish_batch` call in the batched-ingest pass.
+const INGEST_BATCH: usize = 1024;
+
 /// Runs the shard sweep.
 pub fn run(scale: f64) -> ExpReport {
     let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0xc157e5);
@@ -42,6 +58,12 @@ pub fn run(scale: f64) -> ExpReport {
     let existing = n / 2;
     let queries = super::workload(&dataset, "pickup_time", "trip_distance", scale, 0xc1);
     let pickup = dataset.col("pickup_time");
+    let width = dataset.rows[0].arity();
+    let pickup_max = dataset
+        .rows
+        .iter()
+        .map(|r| r.value(pickup))
+        .fold(f64::NEG_INFINITY, f64::max);
     let mut rows_out = Vec::new();
 
     for shards in SHARD_SWEEP {
@@ -54,12 +76,15 @@ pub fn run(scale: f64) -> ExpReport {
         )
         .expect("bootstrap");
 
-        // Ingest: publish + pump the second half of the stream.
+        // Ingest, per-row seed path: publish + pump the second half of
+        // the stream one record at a time. The publish phase is timed on
+        // its own as well — that is where the batched path differs.
         let batch = &dataset.rows[existing..];
         let started = Instant::now();
         for row in batch {
             cluster.publish_insert(row.clone()).expect("publish");
         }
+        let publish_row_wall = started.elapsed();
         cluster.pump_all().expect("pump");
         let ingest_wall = started.elapsed();
 
@@ -79,6 +104,78 @@ pub fn run(scale: f64) -> ExpReport {
                 .map(|p| *p as f64)
                 .collect::<Vec<_>>(),
         );
+
+        // Ingest, batched path: the same second half through
+        // `publish_batch` — whole batches routed under one
+        // router/directory acquisition, landed with one append per shard.
+        let batched = ClusterEngine::bootstrap(
+            ClusterConfig::new(base.clone(), shards, policy.clone()),
+            dataset.rows[..existing].to_vec(),
+        )
+        .expect("bootstrap batched");
+        let started = Instant::now();
+        for chunk in batch.chunks(INGEST_BATCH) {
+            let report = batched.publish_batch(chunk.iter().cloned().map(ShardOp::Insert));
+            assert_eq!(report.rejected, 0, "batched ingest rejected rows");
+        }
+        let publish_batch_wall = started.elapsed();
+        batched.pump_all().expect("pump batched");
+        let batched_wall = started.elapsed();
+        assert_eq!(
+            batched.population(),
+            cluster.population(),
+            "batched ingest must land the same rows"
+        );
+        let per_row_rate = rows_per_sec(batch.len(), ingest_wall);
+        let batched_rate = rows_per_sec(batch.len(), batched_wall);
+        // The pump side is identical in both passes, so the publish-phase
+        // ratio is the one that isolates what batching buys; the
+        // end-to-end ratio shows what survives once pumping (the shared
+        // cost) is added back in.
+        let publish_ratio =
+            publish_row_wall.as_secs_f64() / publish_batch_wall.as_secs_f64().max(1e-9);
+        println!(
+            "[fig5_cluster] {shards} shard(s): publish phase batched {:.0} rows/s vs per-row {:.0} \
+             rows/s ({publish_ratio:.2}x); end-to-end {batched_rate:.0} vs {per_row_rate:.0} rows/s \
+             ({:.2}x)",
+            rows_per_sec(batch.len(), publish_batch_wall),
+            rows_per_sec(batch.len(), publish_row_wall),
+            batched_rate / per_row_rate.max(1e-9)
+        );
+
+        // Pooled scatter throughput: the same workload as the latency
+        // pass, framed as queries/s on the persistent worker pool.
+        let started = Instant::now();
+        for q in &queries {
+            batched.query(q).expect("pooled query");
+        }
+        let pooled_wall = started.elapsed();
+
+        // Snapshot-shipping rebalance: hammer the top slab until the
+        // skew trigger fires, then measure rows migrated per second of
+        // the `maybe_rebalance` call (drain + redraw + shipment).
+        let skew = existing.max(4);
+        let skew_rows: Vec<Row> = (0..skew as u64)
+            .map(|i| Row::new(2_000_000_000 + i, vec![pickup_max; width]))
+            .collect();
+        for chunk in skew_rows.chunks(INGEST_BATCH) {
+            let report = batched.publish_batch(chunk.iter().cloned().map(ShardOp::Insert));
+            assert_eq!(report.rejected, 0, "skew ingest rejected rows");
+        }
+        batched.pump_all().expect("pump skew");
+        let started = Instant::now();
+        let report = batched.maybe_rebalance().expect("rebalance");
+        let rebalance_wall = started.elapsed();
+        let rows_moved = report.as_ref().map_or(0, |r| r.rows_moved);
+        assert!(
+            shards == 1 || rows_moved > 0,
+            "skewed ingest must trigger a migration on a multi-shard cluster"
+        );
+        let rebalance_rate = if rows_moved == 0 {
+            0.0
+        } else {
+            rows_per_sec(rows_moved, rebalance_wall)
+        };
 
         // Steady state: the same second-half ingest flows through a
         // LiveCluster's front end and background pump workers while this
@@ -122,8 +219,7 @@ pub fn run(scale: f64) -> ExpReport {
         );
         drop(cluster);
         let started = Instant::now();
-        let restored =
-            ClusterEngine::restore(restore_config, &checkpoint, topics).expect("restore");
+        let restored = ClusterEngine::restore(restore_config, checkpoint, topics).expect("restore");
         restored.pump_all().expect("replay");
         let recovery_wall = started.elapsed();
         assert_eq!(restored.population(), n, "recovery must not lose rows");
@@ -156,7 +252,7 @@ pub fn run(scale: f64) -> ExpReport {
 
         rows_out.push(vec![
             json!(shards),
-            json!(rows_per_sec(batch.len(), ingest_wall)),
+            json!(per_row_rate),
             json!(if queries.is_empty() {
                 0.0
             } else {
@@ -167,6 +263,9 @@ pub fn run(scale: f64) -> ExpReport {
             json!(stats.subqueries as f64 / stats.queries.max(1) as f64),
             json!(rows_per_sec(n, recovery_wall)),
             json!(rows_per_sec(queries.len(), replica_wall)),
+            json!(batched_rate),
+            json!(rows_per_sec(queries.len(), pooled_wall)),
+            json!(rebalance_rate),
         ]);
     }
     ExpReport {
@@ -181,6 +280,9 @@ pub fn run(scale: f64) -> ExpReport {
             "subqueries_per_query",
             "recovery_rows_per_sec",
             "replica_queries_per_s",
+            "batch_ingest_rows_per_sec",
+            "pooled_queries_per_s",
+            "rebalance_rows_per_sec",
         ]
         .map(String::from)
         .to_vec(),

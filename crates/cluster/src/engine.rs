@@ -2,23 +2,35 @@
 //!
 //! * **Ingest** is published to one Kafka-like topic per shard
 //!   ([`janus_storage::ShardedLog`]); a [`ShardRouter`] picks the topic.
-//!   Nothing reaches a synopsis until the topics are drained in offset
-//!   order — by [`ClusterEngine::pump`] (all shards, scoped threads) or
-//!   [`ClusterEngine::pump_shard`] (one shard, the granularity the
+//!   The batch-first path is [`ClusterEngine::publish_batch`]: a whole
+//!   batch of operations is routed under **one** router-write +
+//!   directory-write acquisition, grouped per shard, and each group lands
+//!   in its topic with a single batch append — the per-record
+//!   [`ClusterEngine::publish_insert`]/[`ClusterEngine::publish_delete`]
+//!   pair remains for row-at-a-time producers. Nothing reaches a synopsis
+//!   until the topics are drained in offset order — by
+//!   [`ClusterEngine::pump`] (all shards, on the persistent worker pool)
+//!   or [`ClusterEngine::pump_shard`] (one shard, the granularity the
 //!   [`crate::live::LiveCluster`] background workers use) — so per-shard
 //!   catch-up is independent, back-pressure is explicit, and replay from
-//!   offset zero is deterministic.
+//!   offset zero is deterministic. Each drained batch is applied under
+//!   one shard-lock acquisition through the engine's batch-apply entry
+//!   point ([`JanusEngine::apply_update_batch`]).
 //! * **Queries** scatter to every shard whose slab the predicate can touch
-//!   (all shards under discrete policies), run in parallel, and the
-//!   per-shard [`Estimate`]s are gathered with the variance-correct merges
-//!   of [`janus_common::merge`]: COUNT/SUM add values and per-source
+//!   (all shards under discrete policies), run in parallel on the
+//!   long-lived per-shard workers of the internal `scatter` pool (no thread is
+//!   spawned per query), and the per-shard [`Estimate`]s are gathered in
+//!   shard order and merged with the variance-correct merges of
+//!   [`janus_common::merge`]: COUNT/SUM add values and per-source
 //!   variances; AVG is re-derived from merged SUM/COUNT moment estimates
 //!   (each shard answers through the
 //!   [`JanusEngine::answer_sum_count`] moment hook); MIN/MAX take the
 //!   extreme answer.
 //! * **Re-partitioning** stays local to each shard (its own triggers keep
-//!   firing); the cluster level adds a row-count skew check and a
-//!   range-split migration — see [`crate::rebalance`].
+//!   firing); the cluster level adds a row-count skew check with
+//!   hysteresis (a cooldown in pumped records plus a minimum skew-ratio
+//!   gain over the last migration's result) and a snapshot-shipping
+//!   migration — see [`crate::rebalance`].
 //!
 //! ## Locking model
 //!
@@ -34,18 +46,21 @@
 //! | operation counters | atomics | everyone |
 //!
 //! Lock order is router → directory → shards (ascending); no path
-//! acquires them in any other order, so the engine is deadlock-free by
-//! construction. Publishes hold the directory lock across the topic
-//! append so a concurrent delete can never outrun its row's insert into
+//! acquires them in any other order — the pool workers touch only shard
+//! and replica locks — so the engine is deadlock-free by construction.
+//! Publishes hold the directory lock across the topic append (batched or
+//! not) so a concurrent delete can never outrun its row's insert into
 //! the same shard topic.
 
 use crate::bootstrap::{build_shards, partition_rows, shard_config};
 use crate::checkpoint::{ClusterCheckpoint, RouterSnapshot, ShardCheckpoint};
 use crate::rebalance::{self, RebalanceReport};
 use crate::router::{ShardPolicy, ShardRouter};
+use crate::scatter::{Job, ScatterPool, SubAnswer};
 use janus_common::{
     merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
 };
+use janus_core::concurrent::Update;
 use janus_core::{JanusEngine, SynopsisConfig};
 use janus_storage::ShardedLog;
 use parking_lot::RwLock;
@@ -77,6 +92,16 @@ pub struct ClusterConfig {
     /// times the median shard population triggers a range-split migration
     /// on the next [`ClusterEngine::maybe_rebalance`]. `None` disables.
     pub skew_factor: Option<f64>,
+    /// Rebalance hysteresis, part 1: after a migration, at least this
+    /// many records must be pumped into primaries before the skew trigger
+    /// is evaluated again. `0` (the default) disables the cooldown.
+    pub rebalance_cooldown: u64,
+    /// Rebalance hysteresis, part 2: a new migration runs only when the
+    /// current skew ratio (largest shard / median shard) exceeds the
+    /// ratio measured right after the previous migration by at least this
+    /// much — repeated triggers on a skew the last migration could not
+    /// improve would otherwise thrash. `0.0` (the default) disables it.
+    pub rebalance_min_gain: f64,
     /// Follower engines per shard. Each follower is built with the same
     /// per-shard seed and tails the same topic as its primary, so at
     /// equal offsets it is *bit-identical* to the primary — which is what
@@ -95,7 +120,8 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A cluster of `shards` engines with the given per-shard synopsis
     /// config and policy, paper-ish pump chunk, and the 2x skew trigger
-    /// enabled.
+    /// enabled (without hysteresis — see
+    /// [`ClusterConfig::with_rebalance_hysteresis`]).
     pub fn new(base: SynopsisConfig, shards: usize, policy: ShardPolicy) -> Self {
         ClusterConfig {
             base,
@@ -103,6 +129,8 @@ impl ClusterConfig {
             policy,
             pump_chunk: 4096,
             skew_factor: Some(2.0),
+            rebalance_cooldown: 0,
+            rebalance_min_gain: 0.0,
             replicas: 0,
             replica_lag: 0,
         }
@@ -113,12 +141,33 @@ impl ClusterConfig {
         self.replicas = replicas;
         self
     }
+
+    /// Enables rebalance hysteresis (builder-style): a migration runs at
+    /// most every `cooldown` pumped records, and only when the skew ratio
+    /// has grown by at least `min_gain` since the previous migration's
+    /// result.
+    pub fn with_rebalance_hysteresis(mut self, cooldown: u64, min_gain: f64) -> Self {
+        self.rebalance_cooldown = cooldown;
+        self.rebalance_min_gain = min_gain;
+        self
+    }
 }
 
 /// One shard: a synopsis engine plus its consumption offset into its topic.
 pub(crate) struct Shard {
     pub(crate) engine: JanusEngine,
     pub(crate) offset: u64,
+}
+
+/// Outcome of one [`ClusterEngine::publish_batch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PublishReport {
+    /// Operations routed and appended to shard topics.
+    pub published: usize,
+    /// Operations rejected before publication (duplicate insert, delete
+    /// of an unknown row) — counted and skipped, exactly like the per-row
+    /// path's per-operation errors.
+    pub rejected: usize,
 }
 
 /// Operation counters plus a pump-lag snapshot for the cluster layer.
@@ -165,16 +214,142 @@ impl ClusterStats {
 
 /// Lock-free operation counters (relaxed: they are metrics, not fences).
 #[derive(Default)]
-struct Counters {
+pub(crate) struct Counters {
     inserts: AtomicU64,
     deletes: AtomicU64,
     queries: AtomicU64,
     subqueries: AtomicU64,
-    pumped: AtomicU64,
-    rebalances: AtomicU64,
+    pub(crate) pumped: AtomicU64,
+    pub(crate) rebalances: AtomicU64,
     rows_migrated: AtomicU64,
     replica_queries: AtomicU64,
     promotions: AtomicU64,
+}
+
+/// The shard-side state the façade shares with the persistent worker
+/// pool: topics, primary and follower engines, the backlog gauges, and
+/// the counters both sides maintain. Everything the scatter/pump workers
+/// touch lives here — the router, directory, and rebalance state stay
+/// exclusive to [`ClusterEngine`], so workers can never participate in a
+/// router→directory lock ordering.
+pub(crate) struct ShardSet {
+    /// Shard topics are `Arc`-shared: like Kafka partitions they are
+    /// durable *infrastructure*, not engine state, and surviving the
+    /// engine is what lets [`ClusterEngine::restore`] replay them.
+    pub(crate) log: Arc<ShardedLog<ShardOp>>,
+    pub(crate) shards: Vec<RwLock<Shard>>,
+    /// Follower engines per shard (outer lock: membership, changed only
+    /// by promotion; inner locks: one per follower). Each follower tails
+    /// the primary's topic at its own offset. Lock order extends the
+    /// engine-wide order: primary shard → its replica set → one replica.
+    pub(crate) replicas: Vec<RwLock<Vec<RwLock<Shard>>>>,
+    /// Round-robin cursor spreading sub-queries across a shard's primary
+    /// and its fresh replicas.
+    read_cursor: AtomicU64,
+    /// Per-shard published-minus-applied record counts, maintained at
+    /// publish/pump time so the backpressure probe is a handful of
+    /// relaxed loads instead of lock acquisitions.
+    pub(crate) backlog: Vec<AtomicU64>,
+    pub(crate) counters: Counters,
+    /// Configured follower count (`ClusterConfig::replicas`).
+    replica_count: usize,
+    /// Configured freshness gate (`ClusterConfig::replica_lag`).
+    replica_lag: u64,
+}
+
+impl ShardSet {
+    /// Single-shard drain: write-lock, then apply one batch.
+    pub(crate) fn pump_one(
+        &self,
+        shard: usize,
+        max: usize,
+        skip_failed: bool,
+    ) -> (usize, usize, Option<JanusError>) {
+        let mut guard = self.shards[shard].write();
+        self.drain_locked(shard, &mut guard, max, skip_failed)
+    }
+
+    /// Primary-shard drain — callers hold the shard's write guard. Wraps
+    /// the shared [`drain_topic`] batch apply and maintains the `pumped`
+    /// counter and the shard's atomic backlog gauge, so offset-advance,
+    /// counter, and gauge semantics cannot drift between pump paths.
+    pub(crate) fn drain_locked(
+        &self,
+        shard: usize,
+        guard: &mut Shard,
+        max: usize,
+        skip_failed: bool,
+    ) -> (usize, usize, Option<JanusError>) {
+        let (applied, skipped, first_error) =
+            drain_topic(&self.log, shard, guard, max, skip_failed);
+        self.counters
+            .pumped
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        self.backlog[shard].fetch_sub((applied + skipped) as u64, Ordering::Relaxed);
+        (applied, skipped, first_error)
+    }
+
+    /// Drains up to `max` records into each follower of `shard`; returns
+    /// records consumed across all followers. Follower progress is
+    /// tracked per replica and does not touch the primary's backlog gauge
+    /// or `pumped` counter.
+    pub(crate) fn pump_replicas_mode(&self, shard: usize, max: usize, skip_failed: bool) -> usize {
+        let set = self.replicas[shard].read();
+        let mut applied = 0;
+        for replica in set.iter() {
+            let mut guard = replica.write();
+            let (a, s, _) = drain_topic(&self.log, shard, &mut guard, max, skip_failed);
+            applied += a + s;
+        }
+        applied
+    }
+
+    /// Serves one sub-query in the shape the gather needs — the worker
+    /// entry point.
+    pub(crate) fn serve(&self, shard: usize, query: &Query, moments: bool) -> SubAnswer {
+        if moments {
+            SubAnswer::Moments(self.serve_shard_query(shard, &|e| e.answer_sum_count(query)))
+        } else {
+            SubAnswer::Estimate(self.serve_shard_query(shard, &|e| e.query(query)))
+        }
+    }
+
+    /// Runs one sub-query against `shard`, load-balancing across the
+    /// primary and its *fresh* followers (round-robin). A follower is
+    /// fresh while it trails the topic end by at most `replica_lag`
+    /// records; at the default of 0 only fully caught-up followers —
+    /// whose engines are bit-identical to a fully caught-up primary —
+    /// serve, so replica answers are exact. Stale followers are skipped,
+    /// and the primary always remains a candidate, so a lagging replica
+    /// set degrades to primary-only reads rather than stale answers.
+    fn serve_shard_query<T>(
+        &self,
+        shard: usize,
+        f: &(impl Fn(&mut JanusEngine) -> Result<T> + Sync),
+    ) -> Result<T> {
+        if self.replica_count > 0 {
+            let set = self.replicas[shard].read();
+            if !set.is_empty() {
+                let end = self.log.topic(shard).len() as u64;
+                let lag = self.replica_lag;
+                let fresh: Vec<usize> = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| end.saturating_sub(r.read().offset) <= lag)
+                    .map(|(i, _)| i)
+                    .collect();
+                let pick =
+                    self.read_cursor.fetch_add(1, Ordering::Relaxed) as usize % (fresh.len() + 1);
+                if pick > 0 {
+                    self.counters
+                        .replica_queries
+                        .fetch_add(1, Ordering::Relaxed);
+                    return f(&mut set[fresh[pick - 1]].write().engine);
+                }
+            }
+        }
+        f(&mut self.shards[shard].write().engine)
+    }
 }
 
 /// N `JanusEngine` shards behind one scatter-gather façade. All methods
@@ -182,19 +357,6 @@ struct Counters {
 pub struct ClusterEngine {
     config: ClusterConfig,
     router: RwLock<ShardRouter>,
-    /// Shard topics are `Arc`-shared: like Kafka partitions they are
-    /// durable *infrastructure*, not engine state, and surviving the
-    /// engine is what lets [`ClusterEngine::restore`] replay them.
-    log: Arc<ShardedLog<ShardOp>>,
-    shards: Vec<RwLock<Shard>>,
-    /// Follower engines per shard (outer lock: membership, changed only
-    /// by promotion; inner locks: one per follower). Each follower tails
-    /// the primary's topic at its own offset. Lock order extends the
-    /// engine-wide order: primary shard → its replica set → one replica.
-    replicas: Vec<RwLock<Vec<RwLock<Shard>>>>,
-    /// Round-robin cursor spreading sub-queries across a shard's primary
-    /// and its fresh replicas.
-    read_cursor: AtomicU64,
     /// Authoritative row → shard placement, updated at publish time and by
     /// migrations; deletes and rebalancing route through it, so placement
     /// stays correct even after the router's bounds move.
@@ -203,11 +365,17 @@ pub struct ClusterEngine {
     /// re-validate their pruning against it so a scatter never merges a
     /// pre-migration target set with post-migration shard contents.
     rebalance_generation: AtomicU64,
-    /// Per-shard published-minus-applied record counts, maintained at
-    /// publish/pump time so the backpressure probe is a handful of
-    /// relaxed loads instead of lock acquisitions.
-    backlog: Vec<AtomicU64>,
-    counters: Counters,
+    /// `pumped` counter value at the moment of the last executed
+    /// migration — the clock the rebalance cooldown runs on.
+    rebalance_mark: AtomicU64,
+    /// Skew ratio (as `f64::to_bits`) measured right after the last
+    /// migration — the baseline the `rebalance_min_gain` hysteresis
+    /// compares against.
+    post_rebalance_skew: AtomicU64,
+    /// Shard-side state shared with the worker pool.
+    set: Arc<ShardSet>,
+    /// The persistent per-shard scatter/pump workers; joined on drop.
+    pool: ScatterPool,
 }
 
 impl ClusterEngine {
@@ -228,21 +396,58 @@ impl ClusterEngine {
             crate::bootstrap::build_replicas(&config.base, &per_shard, config.replicas)?;
         let shards = build_shards(&config.base, per_shard)?;
         let n_shards = config.shards;
-        Ok(ClusterEngine {
-            log: Arc::new(ShardedLog::new(n_shards)),
+        let log = Arc::new(ShardedLog::new(n_shards));
+        let backlog = (0..n_shards).map(|_| AtomicU64::new(0)).collect();
+        Ok(Self::assemble(
             config,
-            router: RwLock::new(router),
+            router,
+            directory,
+            shards,
+            replica_sets,
+            log,
+            backlog,
+            0,
+        ))
+    }
+
+    /// Final assembly shared by [`ClusterEngine::bootstrap`] and
+    /// [`ClusterEngine::restore`]: wraps the state into the shared
+    /// [`ShardSet`] and starts the worker pool over it.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        config: ClusterConfig,
+        router: ShardRouter,
+        directory: DetHashMap<RowId, usize>,
+        shards: Vec<Shard>,
+        replica_sets: Vec<Vec<Shard>>,
+        log: Arc<ShardedLog<ShardOp>>,
+        backlog: Vec<AtomicU64>,
+        rebalance_generation: u64,
+    ) -> Self {
+        let set = Arc::new(ShardSet {
+            log,
             shards: shards.into_iter().map(RwLock::new).collect(),
             replicas: replica_sets
                 .into_iter()
                 .map(|set| RwLock::new(set.into_iter().map(RwLock::new).collect()))
                 .collect(),
             read_cursor: AtomicU64::new(0),
-            directory: RwLock::new(directory),
-            rebalance_generation: AtomicU64::new(0),
-            backlog: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            backlog,
             counters: Counters::default(),
-        })
+            replica_count: config.replicas,
+            replica_lag: config.replica_lag,
+        });
+        let pool = ScatterPool::start(&set);
+        ClusterEngine {
+            config,
+            router: RwLock::new(router),
+            directory: RwLock::new(directory),
+            rebalance_generation: AtomicU64::new(rebalance_generation),
+            rebalance_mark: AtomicU64::new(0),
+            post_rebalance_skew: AtomicU64::new(0f64.to_bits()),
+            set,
+            pool,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -251,7 +456,7 @@ impl ClusterEngine {
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.shards.len()
+        self.set.shards.len()
     }
 
     /// The cluster configuration.
@@ -270,18 +475,18 @@ impl ClusterEngine {
     /// the engine, and a handle taken before a crash is what
     /// [`ClusterEngine::restore`] replays from.
     pub fn topics(&self) -> Arc<ShardedLog<ShardOp>> {
-        Arc::clone(&self.log)
+        Arc::clone(&self.set.log)
     }
 
     /// Live follower count of one shard (shrinks when a promotion
     /// consumes a replica).
     pub fn replica_count(&self, shard: usize) -> usize {
-        self.replicas[shard].read().len()
+        self.set.replicas[shard].read().len()
     }
 
     /// Topic offsets of one shard's followers, in replica order.
     pub fn replica_offsets(&self, shard: usize) -> Vec<u64> {
-        self.replicas[shard]
+        self.set.replicas[shard]
             .read()
             .iter()
             .map(|r| r.read().offset)
@@ -290,23 +495,25 @@ impl ClusterEngine {
 
     /// Cluster-level operation counters and the current pump-lag snapshot.
     pub fn stats(&self) -> ClusterStats {
+        let counters = &self.set.counters;
         ClusterStats {
-            inserts: self.counters.inserts.load(Ordering::Relaxed),
-            deletes: self.counters.deletes.load(Ordering::Relaxed),
-            queries: self.counters.queries.load(Ordering::Relaxed),
-            subqueries: self.counters.subqueries.load(Ordering::Relaxed),
-            pumped: self.counters.pumped.load(Ordering::Relaxed),
-            rebalances: self.counters.rebalances.load(Ordering::Relaxed),
-            rows_migrated: self.counters.rows_migrated.load(Ordering::Relaxed),
-            replica_queries: self.counters.replica_queries.load(Ordering::Relaxed),
-            promotions: self.counters.promotions.load(Ordering::Relaxed),
+            inserts: counters.inserts.load(Ordering::Relaxed),
+            deletes: counters.deletes.load(Ordering::Relaxed),
+            queries: counters.queries.load(Ordering::Relaxed),
+            subqueries: counters.subqueries.load(Ordering::Relaxed),
+            pumped: counters.pumped.load(Ordering::Relaxed),
+            rebalances: counters.rebalances.load(Ordering::Relaxed),
+            rows_migrated: counters.rows_migrated.load(Ordering::Relaxed),
+            replica_queries: counters.replica_queries.load(Ordering::Relaxed),
+            promotions: counters.promotions.load(Ordering::Relaxed),
             shard_backlog: self.shard_backlogs(),
         }
     }
 
     /// Rows applied across all shard engines.
     pub fn population(&self) -> usize {
-        self.shards
+        self.set
+            .shards
             .iter()
             .map(|s| s.read().engine.population())
             .sum()
@@ -314,7 +521,8 @@ impl ClusterEngine {
 
     /// Applied rows per shard, in shard order.
     pub fn shard_populations(&self) -> Vec<usize> {
-        self.shards
+        self.set
+            .shards
             .iter()
             .map(|s| s.read().engine.population())
             .collect()
@@ -324,11 +532,26 @@ impl ClusterEngine {
     /// Read without a global lock, so under concurrent pumping the values
     /// can only *under*-state the true lag — never overstate it.
     pub fn shard_backlogs(&self) -> Vec<u64> {
-        self.log
+        self.set
+            .log
             .end_offsets()
             .iter()
-            .zip(&self.shards)
+            .zip(&self.set.shards)
             .map(|(end, s)| end.saturating_sub(s.read().offset))
+            .collect()
+    }
+
+    /// The per-shard backlog *gauges* (the atomics the backpressure probe
+    /// reads), in shard order. In any quiesced state they equal
+    /// [`ClusterEngine::shard_backlogs`] — `published - applied` per
+    /// shard — which the batching tests pin down; under concurrent
+    /// pumping a gauge may transiently overstate the lag between a
+    /// pump's application and its decrement.
+    pub fn backlog_gauges(&self) -> Vec<u64> {
+        self.set
+            .backlog
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
 
@@ -341,24 +564,25 @@ impl ClusterEngine {
     /// (one relaxed load, no allocation) progress gauge the live
     /// checkpointer paces itself by.
     pub fn pumped_records(&self) -> u64 {
-        self.counters.pumped.load(Ordering::Relaxed)
+        self.set.counters.pumped.load(Ordering::Relaxed)
     }
 
     /// True when any shard's publish-ahead backlog has reached `limit` —
-    /// the backpressure probe the live front end calls per record. Reads
+    /// the backpressure probe the live front end calls per batch. Reads
     /// only the per-shard atomic counters (no locks, no allocation); the
     /// counters can transiently *over*state the lag between a pump's
     /// application and its decrement, which errs on the safe side for
     /// backpressure (a spurious stall, never a missed one).
     pub fn backlog_exceeds(&self, limit: u64) -> bool {
-        self.backlog
+        self.set
+            .backlog
             .iter()
             .any(|b| b.load(Ordering::Relaxed) >= limit)
     }
 
     /// Runs `f` against one shard's engine (experiments and tests).
     pub fn with_shard_engine<T>(&self, shard: usize, f: impl FnOnce(&JanusEngine) -> T) -> T {
-        f(&self.shards[shard].read().engine)
+        f(&self.set.shards[shard].read().engine)
     }
 
     // ------------------------------------------------------------------
@@ -385,10 +609,10 @@ impl ClusterEngine {
         // bumps under the same lock so topic length and gauge can never
         // be observed out of step by anyone holding the directory —
         // which is what lets fail_shard rebuild the gauge absolutely.
-        self.log.publish(shard, ShardOp::Insert(row));
-        self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        self.set.log.publish(shard, ShardOp::Insert(row));
+        self.set.backlog[shard].fetch_add(1, Ordering::Relaxed);
         drop(directory);
-        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        self.set.counters.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -400,19 +624,92 @@ impl ClusterEngine {
         let Some(shard) = directory.remove(&id) else {
             return Err(JanusError::RowNotFound(id));
         };
-        self.log.publish(shard, ShardOp::Delete(id));
-        self.backlog[shard].fetch_add(1, Ordering::Relaxed);
+        self.set.log.publish(shard, ShardOp::Delete(id));
+        self.set.backlog[shard].fetch_add(1, Ordering::Relaxed);
         drop(directory);
-        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        self.set.counters.deletes.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Routes and publishes a whole batch of operations under **one**
+    /// router-write + directory-write acquisition: operations are
+    /// resolved against the directory in arrival order, grouped per
+    /// shard, and each group lands in its topic with a single batch
+    /// append — so per-shard topic contents (and therefore every drained
+    /// state) are identical to publishing the same operations one at a
+    /// time. The backlog gauge advances once per shard group instead of
+    /// once per record.
+    ///
+    /// An operation the per-row path would reject (duplicate insert,
+    /// delete of an unknown row) is counted in
+    /// [`PublishReport::rejected`] and skipped; the rest of the batch
+    /// still publishes — matching how a live front end treats per-request
+    /// errors.
+    pub fn publish_batch(&self, ops: impl IntoIterator<Item = ShardOp>) -> PublishReport {
+        let mut groups: Vec<Vec<ShardOp>> = (0..self.shards()).map(|_| Vec::new()).collect();
+        let mut inserts = 0u64;
+        let mut deletes = 0u64;
+        let mut rejected = 0usize;
+        let mut router = self.router.write();
+        let mut directory = self.directory.write();
+        for op in ops {
+            match op {
+                ShardOp::Insert(row) => {
+                    if directory.contains_key(&row.id) {
+                        rejected += 1;
+                        continue;
+                    }
+                    let shard = router.route(&row);
+                    directory.insert(row.id, shard);
+                    groups[shard].push(ShardOp::Insert(row));
+                    inserts += 1;
+                }
+                ShardOp::Delete(id) => {
+                    let Some(shard) = directory.remove(&id) else {
+                        rejected += 1;
+                        continue;
+                    };
+                    groups[shard].push(ShardOp::Delete(id));
+                    deletes += 1;
+                }
+            }
+        }
+        drop(router);
+        // Appends stay under the directory lock for the same
+        // insert-before-delete guarantee as the per-row path; per-shard
+        // relative order inside each group is arrival order, and
+        // cross-shard order carries no meaning (offsets are per topic).
+        let mut published = 0usize;
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let len = group.len();
+            self.set.log.publish_batch(shard, group);
+            self.set.backlog[shard].fetch_add(len as u64, Ordering::Relaxed);
+            published += len;
+        }
+        drop(directory);
+        self.set
+            .counters
+            .inserts
+            .fetch_add(inserts, Ordering::Relaxed);
+        self.set
+            .counters
+            .deletes
+            .fetch_add(deletes, Ordering::Relaxed);
+        PublishReport {
+            published,
+            rejected,
+        }
     }
 
     /// Drains up to `max` records of `shard`'s topic into its engine, in
     /// offset order; returns the number applied. This is the granularity a
-    /// background pump worker owns: it write-locks only its shard, so
-    /// pumping never blocks ingest or queries on other shards.
+    /// background pump worker owns: it write-locks only its shard once per
+    /// batch, so pumping never blocks ingest or queries on other shards.
     pub fn pump_shard(&self, shard: usize, max: usize) -> Result<usize> {
-        let (applied, _, error) = self.pump_one(shard, max, false);
+        let (applied, _, error) = self.set.pump_one(shard, max, false);
         match error {
             Some(e) => Err(e),
             None => Ok(applied),
@@ -424,39 +721,8 @@ impl ClusterEngine {
     /// topic; returns `(applied, skipped)`. Background workers use this:
     /// a poisoned record must not stall a live shard forever.
     pub(crate) fn pump_shard_lossy(&self, shard: usize, max: usize) -> (usize, usize) {
-        let (applied, skipped, _) = self.pump_one(shard, max, true);
+        let (applied, skipped, _) = self.set.pump_one(shard, max, true);
         (applied, skipped)
-    }
-
-    /// Single-shard drain: write-lock, then apply one batch.
-    fn pump_one(
-        &self,
-        shard: usize,
-        max: usize,
-        skip_failed: bool,
-    ) -> (usize, usize, Option<JanusError>) {
-        let mut guard = self.shards[shard].write();
-        self.drain_locked(shard, &mut guard, max, skip_failed)
-    }
-
-    /// Primary-shard drain — callers hold the shard's write guard. Wraps
-    /// the shared [`drain_topic`] loop and maintains the `pumped` counter
-    /// and the shard's atomic backlog gauge, so offset-advance, counter,
-    /// and gauge semantics cannot drift between pump paths.
-    fn drain_locked(
-        &self,
-        shard: usize,
-        guard: &mut Shard,
-        max: usize,
-        skip_failed: bool,
-    ) -> (usize, usize, Option<JanusError>) {
-        let (applied, skipped, first_error) =
-            drain_topic(&self.log, shard, guard, max, skip_failed);
-        self.counters
-            .pumped
-            .fetch_add(applied as u64, Ordering::Relaxed);
-        self.backlog[shard].fetch_sub((applied + skipped) as u64, Ordering::Relaxed);
-        (applied, skipped, first_error)
     }
 
     /// Drains up to `max` records of `shard`'s topic into each of its
@@ -466,10 +732,9 @@ impl ClusterEngine {
     /// primary's drain mode is load-bearing: a follower must never
     /// advance past a record its primary is still holding, or a later
     /// promotion would silently drop it. Returns records applied across
-    /// all followers. Follower progress is tracked per replica and does
-    /// not touch the primary's backlog gauge or `pumped` counter.
+    /// all followers.
     pub fn pump_replicas(&self, shard: usize, max: usize) -> usize {
-        self.pump_replicas_mode(shard, max, false)
+        self.set.pump_replicas_mode(shard, max, false)
     }
 
     /// The lossy twin of [`ClusterEngine::pump_replicas`], for the live
@@ -479,25 +744,15 @@ impl ClusterEngine {
     /// sides stay in lockstep in either mode, but only matching modes
     /// keep them on the same offset.
     pub(crate) fn pump_replicas_lossy(&self, shard: usize, max: usize) -> usize {
-        self.pump_replicas_mode(shard, max, true)
-    }
-
-    fn pump_replicas_mode(&self, shard: usize, max: usize, skip_failed: bool) -> usize {
-        let set = self.replicas[shard].read();
-        let mut applied = 0;
-        for replica in set.iter() {
-            let mut guard = replica.write();
-            let (a, s, _) = drain_topic(&self.log, shard, &mut guard, max, skip_failed);
-            applied += a + s;
-        }
-        applied
+        self.set.pump_replicas_mode(shard, max, true)
     }
 
     /// Records published but not yet applied by follower engines, summed
     /// over every replica of every shard.
     pub fn replica_pending(&self) -> u64 {
-        let ends = self.log.end_offsets();
-        self.replicas
+        let ends = self.set.log.end_offsets();
+        self.set
+            .replicas
             .iter()
             .zip(&ends)
             .map(|(set, end)| {
@@ -511,34 +766,36 @@ impl ClusterEngine {
 
     /// Drains up to `max_per_shard` topic records into every shard engine,
     /// in offset order per shard; returns the number applied. Shards are
-    /// independent, so they drain in parallel — each worker locks one
-    /// shard, and per-shard record order (the only order that matters) is
-    /// preserved. Shard triggers (under-representation, β-drift) fire as
-    /// usual inside each engine while it absorbs its records. A shard that
-    /// fails mid-batch already advanced its engine and offset for the
-    /// records before the failure, and those still count in `stats`.
+    /// independent, so they drain in parallel on the persistent worker
+    /// pool — each worker locks its shard once per batch, and per-shard
+    /// record order (the only order that matters) is preserved. Shard
+    /// triggers (under-representation, β-drift) fire as usual inside each
+    /// engine while it absorbs its records. A shard that fails mid-batch
+    /// already advanced its engine and offset for the records before the
+    /// failure, and those still count in `stats`.
     pub fn pump(&self, max_per_shard: usize) -> Result<usize> {
-        let mut outcomes: Vec<(usize, usize, Option<JanusError>)> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.shards.len())
-                .map(|i| {
-                    scope.spawn(move || {
-                        let outcome = self.pump_one(i, max_per_shard, false);
-                        // Followers tail the same topic right behind the
-                        // primary; their applies count toward the caller's
-                        // "anything left to do?" loop but not `pumped`.
-                        let replica_applied = self.pump_replicas(i, max_per_shard);
-                        (outcome.0 + replica_applied, outcome.1, outcome.2)
-                    })
-                })
-                .collect();
-            for handle in handles {
-                outcomes.push(handle.join().expect("pump worker panicked"));
-            }
-        });
+        let n = self.shards();
+        let (tx, rx) = std::sync::mpsc::channel();
+        for shard in 0..n {
+            self.pool.send(
+                shard,
+                Job::Pump {
+                    max: max_per_shard,
+                    reply: tx.clone(),
+                },
+            );
+        }
+        drop(tx);
+        let mut outcomes: Vec<(usize, usize, usize, Option<JanusError>)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(rx.recv().expect("pump worker died"));
+        }
+        // Deterministic error pick: the lowest-indexed failing shard, as
+        // the scoped-thread path reported.
+        outcomes.sort_by_key(|o| o.0);
         let mut applied = 0;
         let mut first_error = None;
-        for (n, _, error) in outcomes {
+        for (_, n, _, error) in outcomes {
             applied += n;
             if first_error.is_none() {
                 first_error = error;
@@ -573,21 +830,21 @@ impl ClusterEngine {
     /// the rebalance generation afterwards and retries on a mismatch, so
     /// an answer never merges stale pruning with migrated shards.
     pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
-        self.counters.queries.fetch_add(1, Ordering::Relaxed);
+        self.set.counters.queries.fetch_add(1, Ordering::Relaxed);
         loop {
             let generation = self.rebalance_generation.load(Ordering::Acquire);
             let targets = self.router.read().overlapping(query);
             let answer = match query.agg {
                 AggregateFunction::Count | AggregateFunction::Sum => {
-                    let parts = self.scatter(&targets, |engine| {
-                        engine
-                            .query(query)
-                            .map(|e| e.expect("COUNT/SUM always answer"))
-                    })?;
+                    let parts: Vec<Estimate> = self
+                        .scatter_estimates(&targets, query)?
+                        .into_iter()
+                        .map(|e| e.expect("COUNT/SUM always answer"))
+                        .collect();
                     Ok(Some(merge::merge_additive(&parts)))
                 }
                 AggregateFunction::Avg => {
-                    let parts = self.scatter(&targets, |engine| engine.answer_sum_count(query))?;
+                    let parts = self.scatter_moments(&targets, query)?;
                     let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
                     Ok(merge::combine_avg(
                         &merge::merge_additive(&sums),
@@ -596,7 +853,7 @@ impl ClusterEngine {
                 }
                 AggregateFunction::Min | AggregateFunction::Max => {
                     let minimum = query.agg == AggregateFunction::Min;
-                    let parts = self.scatter(&targets, |engine| engine.query(query))?;
+                    let parts = self.scatter_estimates(&targets, query)?;
                     let answered: Vec<Estimate> = parts.into_iter().flatten().collect();
                     Ok(merge::merge_extremum(&answered, minimum))
                 }
@@ -604,7 +861,8 @@ impl ClusterEngine {
             if self.rebalance_generation.load(Ordering::Acquire) == generation {
                 // Count only the attempt whose answer is returned, so
                 // subqueries-per-query stats don't drift on retries.
-                self.counters
+                self.set
+                    .counters
                     .subqueries
                     .fetch_add(targets.len() as u64, Ordering::Relaxed);
                 return answer;
@@ -618,70 +876,67 @@ impl ClusterEngine {
     /// Exact evaluation across all shard archives (ground-truth oracle;
     /// ignores unpumped records, exactly like per-shard synopses do).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let guards: Vec<_> = self.set.shards.iter().map(|s| s.read()).collect();
         query.evaluate_exact(guards.iter().flat_map(|g| g.engine.archive().iter()))
     }
 
-    /// Runs `f` against every target shard's engine in parallel and
-    /// returns the results in shard order (deterministic gather). Each
-    /// worker locks only the one engine — primary or replica — it reads.
-    fn scatter<T, F>(&self, targets: &[usize], f: F) -> Result<Vec<T>>
-    where
-        T: Send,
-        F: Fn(&mut JanusEngine) -> Result<T> + Sync,
-    {
-        let mut slots: Vec<Option<Result<T>>> = Vec::new();
+    /// Scatters `query` to `targets` on the worker pool and gathers the
+    /// per-shard answers in shard order. A single-target scatter is
+    /// served inline on the calling thread — no channel round trip.
+    fn scatter_raw(&self, targets: &[usize], query: &Query, moments: bool) -> Vec<SubAnswer> {
+        if targets.len() == 1 {
+            return vec![self.set.serve(targets[0], query, moments)];
+        }
+        let query = Arc::new(query.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (slot, &shard) in targets.iter().enumerate() {
+            self.pool.send(
+                shard,
+                Job::Query {
+                    slot,
+                    query: Arc::clone(&query),
+                    moments,
+                    reply: tx.clone(),
+                },
+            );
+        }
+        drop(tx);
+        let mut slots: Vec<Option<SubAnswer>> = Vec::new();
         slots.resize_with(targets.len(), || None);
-        std::thread::scope(|scope| {
-            for (slot, &target) in slots.iter_mut().zip(targets) {
-                let f = &f;
-                scope.spawn(move || {
-                    *slot = Some(self.serve_shard_query(target, f));
-                });
-            }
-        });
+        for _ in 0..targets.len() {
+            let (slot, answer) = rx.recv().expect("scatter worker died");
+            slots[slot] = Some(answer);
+        }
         slots
             .into_iter()
             .map(|slot| slot.expect("every target produced a result"))
             .collect()
     }
 
-    /// Runs one sub-query against `shard`, load-balancing across the
-    /// primary and its *fresh* followers (round-robin). A follower is
-    /// fresh while it trails the topic end by at most
-    /// `config.replica_lag` records; at the default of 0 only fully
-    /// caught-up followers — whose engines are bit-identical to a fully
-    /// caught-up primary — serve, so replica answers are exact. Stale
-    /// followers are skipped, and the primary always remains a
-    /// candidate, so a lagging replica set degrades to primary-only
-    /// reads rather than stale answers.
-    fn serve_shard_query<T>(
+    /// Estimate-shaped scatter (COUNT/SUM/MIN/MAX sub-queries).
+    fn scatter_estimates(&self, targets: &[usize], query: &Query) -> Result<Vec<Option<Estimate>>> {
+        self.scatter_raw(targets, query, false)
+            .into_iter()
+            .map(|answer| match answer {
+                SubAnswer::Estimate(r) => r,
+                SubAnswer::Moments(_) => unreachable!("estimate scatter got a moment answer"),
+            })
+            .collect()
+    }
+
+    /// Moment-shaped scatter (AVG sub-queries).
+    fn scatter_moments(
         &self,
-        shard: usize,
-        f: &(impl Fn(&mut JanusEngine) -> Result<T> + Sync),
-    ) -> Result<T> {
-        if self.config.replicas > 0 {
-            let set = self.replicas[shard].read();
-            if !set.is_empty() {
-                let end = self.log.topic(shard).len() as u64;
-                let lag = self.config.replica_lag;
-                let fresh: Vec<usize> = set
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| end.saturating_sub(r.read().offset) <= lag)
-                    .map(|(i, _)| i)
-                    .collect();
-                let pick =
-                    self.read_cursor.fetch_add(1, Ordering::Relaxed) as usize % (fresh.len() + 1);
-                if pick > 0 {
-                    self.counters
-                        .replica_queries
-                        .fetch_add(1, Ordering::Relaxed);
-                    return f(&mut set[fresh[pick - 1]].write().engine);
-                }
-            }
-        }
-        f(&mut self.shards[shard].write().engine)
+        targets: &[usize],
+        query: &Query,
+    ) -> Result<Vec<(Estimate, Estimate)>> {
+        self.scatter_raw(targets, query, true)
+            .into_iter()
+            .map(|answer| match answer {
+                SubAnswer::Moments(r) => r,
+                SubAnswer::Estimate(_) => unreachable!("moment scatter got an estimate answer"),
+            })
+            .collect()
     }
 
     /// Fails a shard's primary and promotes its freshest follower (ties
@@ -693,7 +948,7 @@ impl ClusterEngine {
     /// process's unpublished in-memory state is lost. Errors when the
     /// shard has no replica left.
     pub fn fail_shard(&self, shard: usize) -> Result<()> {
-        if shard >= self.shards.len() {
+        if shard >= self.set.shards.len() {
             return Err(JanusError::InvalidConfig(format!(
                 "shard {shard} out of range"
             )));
@@ -702,8 +957,8 @@ impl ClusterEngine {
         // rebuilt consistently; then primary → replica set, the
         // engine-wide lock order.
         let directory = self.directory.write();
-        let mut primary = self.shards[shard].write();
-        let mut set = self.replicas[shard].write();
+        let mut primary = self.set.shards[shard].write();
+        let mut set = self.set.replicas[shard].write();
         if set.is_empty() {
             return Err(JanusError::InvalidConfig(format!(
                 "shard {shard} has no replica to promote"
@@ -716,12 +971,12 @@ impl ClusterEngine {
             .expect("non-empty replica set")
             .0;
         *primary = set.remove(best).into_inner();
-        let end = self.log.topic(shard).len() as u64;
-        self.backlog[shard].store(end.saturating_sub(primary.offset), Ordering::Relaxed);
+        let end = self.set.log.topic(shard).len() as u64;
+        self.set.backlog[shard].store(end.saturating_sub(primary.offset), Ordering::Relaxed);
         drop(set);
         drop(primary);
         drop(directory);
-        self.counters.promotions.fetch_add(1, Ordering::Relaxed);
+        self.set.counters.promotions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -751,6 +1006,7 @@ impl ClusterEngine {
         let router = self.router.read();
         let _directory = self.directory.read();
         let shards = self
+            .set
             .shards
             .iter()
             .enumerate()
@@ -759,7 +1015,7 @@ impl ClusterEngine {
                 ShardCheckpoint {
                     shard: i,
                     applied_offset: g.offset,
-                    published_offset: self.log.topic(i).len() as u64,
+                    published_offset: self.set.log.topic(i).len() as u64,
                     synopsis: g.engine.save_synopsis(),
                     archive_rows: g.engine.export_rows(),
                 }
@@ -782,9 +1038,14 @@ impl ClusterEngine {
     /// the missed tail and the cluster converges to the state of an
     /// uninterrupted run — bit for bit, because engine restoration is
     /// bit-faithful and per-shard replay order is topic order.
+    ///
+    /// Takes the checkpoint by value: each shard's archive rows are
+    /// *moved* into its restored primary (followers, which need their own
+    /// copies, clone), so restoring a large cluster does not double its
+    /// transient memory footprint.
     pub fn restore(
         config: ClusterConfig,
-        checkpoint: &ClusterCheckpoint,
+        checkpoint: ClusterCheckpoint,
         log: Arc<ShardedLog<ShardOp>>,
     ) -> Result<Self> {
         Self::restore_impl(config, checkpoint, Some(log))
@@ -797,7 +1058,7 @@ impl ClusterEngine {
     /// *tail-free* checkpoint (`applied == published` on every shard):
     /// with unapplied records recorded but no log to replay them from,
     /// restoration would silently lose data, so it refuses.
-    pub fn restore_detached(config: ClusterConfig, checkpoint: &ClusterCheckpoint) -> Result<Self> {
+    pub fn restore_detached(config: ClusterConfig, checkpoint: ClusterCheckpoint) -> Result<Self> {
         if !checkpoint.is_tail_free() {
             return Err(JanusError::Storage(
                 "checkpoint has unreplayed topic records but no surviving topics; \
@@ -810,7 +1071,7 @@ impl ClusterEngine {
 
     fn restore_impl(
         mut config: ClusterConfig,
-        checkpoint: &ClusterCheckpoint,
+        checkpoint: ClusterCheckpoint,
         log: Option<Arc<ShardedLog<ShardOp>>>,
     ) -> Result<Self> {
         if config.shards != checkpoint.shards.len() {
@@ -834,13 +1095,23 @@ impl ClusterEngine {
         // traffic, and both are part of what "exactly as it was" means.
         let mut router = checkpoint.router.rebuild(config.shards)?;
         config.policy = checkpoint.router.to_policy();
+        let rebalance_generation = checkpoint.rebalance_generation;
+        let router_snapshot = checkpoint.router.clone();
         let detached = log.is_none();
         let log = log.unwrap_or_else(|| Arc::new(ShardedLog::new(config.shards)));
+
+        // Per-shard topic offsets survive the move-out of the archive
+        // rows below; the tail-replay pass needs them afterwards.
+        let offsets: Vec<(u64, u64)> = checkpoint
+            .shards
+            .iter()
+            .map(|sc| (sc.applied_offset, sc.published_offset))
+            .collect();
 
         let mut shards = Vec::with_capacity(config.shards);
         let mut replica_sets = Vec::with_capacity(config.shards);
         let mut directory: DetHashMap<RowId, usize> = DetHashMap::default();
-        for sc in &checkpoint.shards {
+        for sc in checkpoint.shards {
             let offset = if detached { 0 } else { sc.applied_offset };
             for row in &sc.archive_rows {
                 if directory.insert(row.id, sc.shard).is_some() {
@@ -853,6 +1124,7 @@ impl ClusterEngine {
             // Followers are the primary snapshot restored again —
             // restoration is deterministic, so they come back
             // bit-identical to the primary, exactly as replicas are.
+            // They clone the rows; the primary *moves* them.
             let set: Vec<Shard> = (0..config.replicas)
                 .map(|_| {
                     Ok(Shard {
@@ -869,7 +1141,7 @@ impl ClusterEngine {
             shards.push(Shard {
                 engine: JanusEngine::restore(
                     shard_config(&config.base, sc.shard),
-                    sc.archive_rows.clone(),
+                    sc.archive_rows,
                     &sc.synopsis,
                 )?,
                 offset,
@@ -899,9 +1171,9 @@ impl ClusterEngine {
             // (id, shard, live-on-that-shard) — one entry per row id per
             // topic, holding the topic's final op for that id.
             let mut final_ops: Vec<(RowId, usize, bool)> = Vec::new();
-            for (i, sc) in checkpoint.shards.iter().enumerate() {
+            for (i, (applied_offset, published_offset)) in offsets.iter().enumerate() {
                 let mut last_op: DetHashMap<RowId, bool> = DetHashMap::default();
-                let mut cursor = sc.applied_offset;
+                let mut cursor = *applied_offset;
                 loop {
                     let batch = log.poll(i, cursor, 4096);
                     if batch.is_empty() {
@@ -911,7 +1183,7 @@ impl ClusterEngine {
                         match op {
                             ShardOp::Insert(row) => {
                                 last_op.insert(row.id, true);
-                                if cursor >= sc.published_offset {
+                                if cursor >= *published_offset {
                                     tail_inserts += 1;
                                 }
                             }
@@ -934,8 +1206,7 @@ impl ClusterEngine {
                     )));
                 }
             }
-            router
-                .restore_cursor(checkpoint.router.cursor + (tail_inserts as usize % config.shards));
+            router.restore_cursor(router_snapshot.cursor + (tail_inserts as usize % config.shards));
         }
 
         let backlog: Vec<AtomicU64> = shards
@@ -943,21 +1214,16 @@ impl ClusterEngine {
             .enumerate()
             .map(|(i, s)| AtomicU64::new((log.topic(i).len() as u64).saturating_sub(s.offset)))
             .collect();
-        Ok(ClusterEngine {
-            log,
+        Ok(Self::assemble(
             config,
-            router: RwLock::new(router),
-            shards: shards.into_iter().map(RwLock::new).collect(),
-            replicas: replica_sets
-                .into_iter()
-                .map(|set| RwLock::new(set.into_iter().map(RwLock::new).collect()))
-                .collect(),
-            read_cursor: AtomicU64::new(0),
-            directory: RwLock::new(directory),
-            rebalance_generation: AtomicU64::new(checkpoint.rebalance_generation),
+            router,
+            directory,
+            shards,
+            replica_sets,
+            log,
             backlog,
-            counters: Counters::default(),
-        })
+            rebalance_generation,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -965,34 +1231,52 @@ impl ClusterEngine {
     // ------------------------------------------------------------------
 
     /// Checks the shard row-count skew trigger and, when it fires, runs a
-    /// range-split migration (see [`crate::rebalance`]). Topics are fully
-    /// drained first so migration acts on applied state; the migration
-    /// itself holds every lock (router → directory → shards), so
-    /// concurrent publishers, pumpers, and queries simply wait it out —
-    /// the cluster analogue of the paper's short blocking swap step.
-    /// Returns the migration report when one ran.
+    /// snapshot-shipping migration (see [`crate::rebalance`]). Topics are
+    /// fully drained first so migration acts on applied state; the
+    /// migration itself holds every lock (router → directory → shards),
+    /// so concurrent publishers, pumpers, and queries simply wait it out
+    /// — the cluster analogue of the paper's short blocking swap step.
+    ///
+    /// Two hysteresis gates keep repeated triggers from thrashing: a
+    /// cooldown (at least [`ClusterConfig::rebalance_cooldown`] records
+    /// pumped since the last migration) and a minimum skew-ratio gain
+    /// (the current ratio must exceed the post-migration ratio by at
+    /// least [`ClusterConfig::rebalance_min_gain`] — a skew the last
+    /// migration could not improve does not re-trigger). Returns the
+    /// migration report when one ran.
     pub fn maybe_rebalance(&self) -> Result<Option<RebalanceReport>> {
         let Some(factor) = self.config.skew_factor else {
             return Ok(None);
         };
+        // Cooldown gate, before any work: cheap relaxed loads.
+        if self.config.rebalance_cooldown > 0
+            && self.set.counters.rebalances.load(Ordering::Relaxed) > 0
+        {
+            let since = self
+                .pumped_records()
+                .saturating_sub(self.rebalance_mark.load(Ordering::Relaxed));
+            if since < self.config.rebalance_cooldown {
+                return Ok(None);
+            }
+        }
         // Best-effort pre-drain outside the locks keeps the fully-locked
         // window short.
         self.pump_all()?;
         let mut router = self.router.write();
         let mut directory = self.directory.write();
-        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
-        let mut replica_guards: Vec<_> = self.replicas.iter().map(|s| s.write()).collect();
+        let mut guards: Vec<_> = self.set.shards.iter().map(|s| s.write()).collect();
+        let mut replica_guards: Vec<_> = self.set.replicas.iter().map(|s| s.write()).collect();
         // Drain the stragglers published between pump_all() and lock
         // acquisition: we hold the directory lock, so no further records
         // can land, and migrating with unapplied topic records would
         // misplace them against the redrawn bounds (or resurrect rows
         // whose pending delete fails on the donor after a move). Replicas
-        // drain to the same point so mirrored migration ops keep them
-        // bit-identical to their primaries.
+        // drain to the same point so the shipped post-migration snapshots
+        // replace followers that were bit-identical to their primaries.
         let chunk = self.config.pump_chunk.max(1);
         for (i, guard) in guards.iter_mut().enumerate() {
             loop {
-                let (applied, _, error) = self.drain_locked(i, guard, chunk, false);
+                let (applied, _, error) = self.set.drain_locked(i, guard, chunk, false);
                 if let Some(e) = error {
                     return Err(e);
                 }
@@ -1005,7 +1289,7 @@ impl ClusterEngine {
             for replica in set.iter_mut() {
                 let guard = replica.get_mut();
                 loop {
-                    let (applied, _, error) = drain_topic(&self.log, i, guard, chunk, false);
+                    let (applied, _, error) = drain_topic(&self.set.log, i, guard, chunk, false);
                     if let Some(e) = error {
                         return Err(e);
                     }
@@ -1019,6 +1303,16 @@ impl ClusterEngine {
         if !rebalance::skew_exceeds(&populations, factor) {
             return Ok(None);
         }
+        // Minimum-gain gate: the skew must have grown meaningfully past
+        // what the previous migration left behind.
+        if self.config.rebalance_min_gain > 0.0
+            && self.set.counters.rebalances.load(Ordering::Relaxed) > 0
+        {
+            let baseline = f64::from_bits(self.post_rebalance_skew.load(Ordering::Relaxed));
+            if rebalance::skew_ratio(&populations) < baseline + self.config.rebalance_min_gain {
+                return Ok(None);
+            }
+        }
         let mut shard_refs: Vec<&mut Shard> = guards.iter_mut().map(|g| &mut **g).collect();
         let mut replica_refs: Vec<Vec<&mut Shard>> = replica_guards
             .iter_mut()
@@ -1031,31 +1325,36 @@ impl ClusterEngine {
             &mut directory,
             &self.config.base,
         );
+        drop(replica_refs);
+        drop(shard_refs);
         // Bump the generation on any mutation attempt — still under all
         // locks. Even a failed migration may already have redrawn bounds
         // and moved rows, so in-flight queries must re-prune either way.
         self.rebalance_generation.fetch_add(1, Ordering::Release);
         let report = report?;
         if let Some(r) = &report {
-            self.counters.rebalances.fetch_add(1, Ordering::Relaxed);
-            self.counters
+            self.set.counters.rebalances.fetch_add(1, Ordering::Relaxed);
+            self.set
+                .counters
                 .rows_migrated
                 .fetch_add(r.rows_moved as u64, Ordering::Relaxed);
+            // Record the hysteresis baselines: the pump clock and the
+            // skew ratio this migration achieved.
+            self.rebalance_mark
+                .store(self.pumped_records(), Ordering::Relaxed);
+            let post: Vec<usize> = guards.iter().map(|g| g.engine.population()).collect();
+            self.post_rebalance_skew
+                .store(rebalance::skew_ratio(&post).to_bits(), Ordering::Relaxed);
         }
         Ok(report)
     }
 }
 
-/// Applies one topic record to a shard engine.
-fn apply_op(engine: &mut JanusEngine, op: ShardOp) -> Result<()> {
-    match op {
-        ShardOp::Insert(row) => engine.insert(row),
-        ShardOp::Delete(id) => engine.delete(id).map(|_| ()),
-    }
-}
-
 /// The one batch-apply loop every consumer of a shard topic shares —
-/// primaries and replicas alike. Returns `(applied, skipped, first
+/// primaries and replicas alike. Polls one batch and applies it through
+/// the engine's batch entry point ([`JanusEngine::apply_update_batch`]),
+/// so a drained batch costs one poll and one apply call under the
+/// caller's single lock acquisition. Returns `(applied, skipped, first
 /// error)`; with `skip_failed` unset, the failing record stays at the
 /// head of the topic (offset not consumed).
 fn drain_topic(
@@ -1066,26 +1365,16 @@ fn drain_topic(
     skip_failed: bool,
 ) -> (usize, usize, Option<JanusError>) {
     let batch = log.poll(shard, guard.offset, max);
-    let mut applied = 0;
-    let mut skipped = 0;
-    let mut first_error = None;
-    for op in batch {
-        match apply_op(&mut guard.engine, op) {
-            Ok(()) => {
-                guard.offset += 1;
-                applied += 1;
-            }
-            Err(e) => {
-                if first_error.is_none() {
-                    first_error = Some(e);
-                }
-                if !skip_failed {
-                    break;
-                }
-                guard.offset += 1;
-                skipped += 1;
-            }
-        }
+    if batch.is_empty() {
+        return (0, 0, None);
     }
+    let (applied, skipped, first_error) = guard.engine.apply_update_batch(
+        batch.into_iter().map(|op| match op {
+            ShardOp::Insert(row) => Update::Insert(row),
+            ShardOp::Delete(id) => Update::Delete(id),
+        }),
+        skip_failed,
+    );
+    guard.offset += (applied + skipped) as u64;
     (applied, skipped, first_error)
 }

@@ -14,20 +14,27 @@
 //!   busy shard never blocks the others. An idle worker parks briefly and
 //!   is unparked when the front end publishes new records.
 //! * **One front-end worker** consuming a [`janus_storage::RequestLog`]
-//!   from offset zero, in arrival order: `Insert`/`Delete` requests are
-//!   republished to the owning shard's topic (the same routed publish the
-//!   synchronous engine uses, so replay is deterministic); `Execute`
-//!   requests are answered by scatter-gather over the *currently pumped*
-//!   state and the estimate is published onto the log's response topic
-//!   keyed by the request's offset. Consumption progress is an atomic
-//!   offset published *after* each request's effect is durable, which is
-//!   what makes [`LiveCluster::drain`] a real barrier.
+//!   from offset zero, in arrival order: runs of consecutive
+//!   `Insert`/`Delete` requests are republished through the *batched*
+//!   publish path ([`ClusterEngine::publish_batch`] — one
+//!   router/directory acquisition and one topic append per shard per
+//!   run; per-shard topic contents are identical to per-record
+//!   publishing, so replay stays deterministic); `Execute` requests act
+//!   as barriers — the pending run flushes first — and are answered by
+//!   scatter-gather over the *currently pumped* state, the estimate
+//!   published onto the log's response topic keyed by the request's
+//!   offset. Consumption progress is an atomic offset published *after*
+//!   each request's effect is durable, which is what makes
+//!   [`LiveCluster::drain`] a real barrier.
 //!
-//! **Backpressure.** Before republishing a data request the front end
-//! checks the per-shard backlog ([`ClusterEngine::shard_backlogs`]); while
-//! any shard is `max_backlog` or more records behind, it stalls (parking,
-//! re-checking, nudging the pump workers) instead of letting a fast
-//! producer grow an unbounded gap between topics and synopses.
+//! **Backpressure.** Data runs republish in bounded slices: a slice of
+//! `k` records is published only once every shard's backlog
+//! ([`ClusterEngine::backlog_exceeds`]) is at most `max_backlog - k`, so
+//! no shard's publish-ahead gap ever exceeds `max_backlog` — the same
+//! bound the per-record path enforced, at one stall check per slice.
+//! While over budget the front end stalls (parking, re-checking, nudging
+//! the pump workers) instead of letting a fast producer grow an unbounded
+//! gap between topics and synopses.
 //!
 //! **Consistency.** Queries answer from whatever has been pumped when the
 //! scatter runs — the same read-your-pumped-writes semantics as the
@@ -53,7 +60,7 @@
 //! holds it to that.
 
 use crate::checkpoint::ClusterCheckpoint;
-use crate::engine::{ClusterConfig, ClusterEngine};
+use crate::engine::{ClusterConfig, ClusterEngine, ShardOp};
 use janus_common::{Result, Row};
 use janus_storage::{CheckpointStore, Request, RequestLog};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -232,14 +239,9 @@ impl LiveCluster {
         live: LiveConfig,
     ) -> Result<Self> {
         let (_, checkpoint) = ClusterCheckpoint::load_latest(store.as_ref())?;
-        let cluster = ClusterEngine::restore_detached(config, &checkpoint)?;
-        Self::wrap_inner(
-            cluster,
-            requests,
-            live,
-            Some(store),
-            checkpoint.request_offset,
-        )
+        let request_offset = checkpoint.request_offset;
+        let cluster = ClusterEngine::restore_detached(config, checkpoint)?;
+        Self::wrap_inner(cluster, requests, live, Some(store), request_offset)
     }
 
     fn wrap_inner(
@@ -480,29 +482,24 @@ fn frontend_loop(
             std::thread::park_timeout(Duration::from_millis(1));
             continue;
         }
+        // Consecutive data requests republish through the *batched* path:
+        // one router/directory acquisition and one topic append per shard
+        // per run, instead of a lock round trip per record. An Execute is
+        // a barrier — its answer must see every earlier data request in
+        // the topics — so the pending run flushes first.
+        let mut pending: Vec<ShardOp> = Vec::new();
         for request in batch {
             let counters = &shared.counters;
             match request {
-                Request::Insert(row) => {
-                    if !stall_for_backlog(shared, pump_workers, max_backlog) {
-                        return; // shutdown while stalled
-                    }
-                    if shared.cluster.publish_insert(row).is_err() {
-                        counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-                Request::Delete(id) => {
-                    if !stall_for_backlog(shared, pump_workers, max_backlog) {
-                        return;
-                    }
-                    if shared.cluster.publish_delete(id).is_err() {
-                        counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                Request::Insert(row) => pending.push(ShardOp::Insert(row)),
+                Request::Delete(id) => pending.push(ShardOp::Delete(id)),
                 // Every consumed Execute publishes exactly one response
                 // record, so clients can always distinguish "not yet
                 // processed" (no record) from "empty/failed" (None).
                 Request::Execute(query) => {
+                    if !flush_ops(shared, pump_workers, &mut pending, &mut offset, max_backlog) {
+                        return; // shutdown while stalled
+                    }
                     let answer = match shared.cluster.query(&query) {
                         Ok(Some(est)) => Some(est),
                         Ok(None) => {
@@ -516,13 +513,17 @@ fn frontend_loop(
                     };
                     shared.requests.publish_response(offset, answer);
                     counters.responses_published.fetch_add(1, Ordering::Relaxed);
+                    offset += 1;
+                    counters.requests_consumed.fetch_add(1, Ordering::Relaxed);
+                    // Release-publish progress only after the request's
+                    // effect (topic record or response) is visible — the
+                    // drain contract.
+                    shared.front_offset.store(offset, Ordering::Release);
                 }
             }
-            offset += 1;
-            counters.requests_consumed.fetch_add(1, Ordering::Relaxed);
-            // Release-publish progress only after the request's effect
-            // (topic record or response) is visible — the drain contract.
-            shared.front_offset.store(offset, Ordering::Release);
+        }
+        if !flush_ops(shared, pump_workers, &mut pending, &mut offset, max_backlog) {
+            return;
         }
         for worker in pump_workers {
             worker.unpark();
@@ -531,6 +532,56 @@ fn frontend_loop(
             return;
         }
     }
+}
+
+/// Republishes a run of pending data requests through
+/// [`ClusterEngine::publish_batch`], in backpressure-bounded slices: a
+/// slice of `k` records is published only once every shard's backlog is
+/// at most `max_backlog - k`, so no shard's publish-ahead gap ever
+/// exceeds `max_backlog` — the same bound the per-record path enforced,
+/// reached in one stall check per slice instead of one per record. The
+/// front-end offset advances per slice (each slice maps 1:1 to a run of
+/// consumed requests), keeping the drain contract exact even across a
+/// shutdown mid-run. Returns `false` when shutdown was requested while
+/// stalled.
+fn flush_ops(
+    shared: &Shared,
+    pump_workers: &[std::thread::Thread],
+    ops: &mut Vec<ShardOp>,
+    offset: &mut u64,
+    max_backlog: u64,
+) -> bool {
+    if ops.is_empty() {
+        return true;
+    }
+    let counters = &shared.counters;
+    // Half the backlog budget per slice keeps publish and pump
+    // overlapped; capped so giant runs still stream.
+    let cap = (max_backlog / 2).clamp(1, 1024) as usize;
+    let mut queue = std::mem::take(ops);
+    while !queue.is_empty() {
+        let take = queue.len().min(cap);
+        let limit = (max_backlog + 1).saturating_sub(take as u64);
+        if !stall_for_backlog(shared, pump_workers, limit) {
+            return false;
+        }
+        let slice: Vec<ShardOp> = queue.drain(..take).collect();
+        let report = shared.cluster.publish_batch(slice);
+        if report.rejected > 0 {
+            counters
+                .rejected_requests
+                .fetch_add(report.rejected as u64, Ordering::Relaxed);
+        }
+        *offset += take as u64;
+        counters
+            .requests_consumed
+            .fetch_add(take as u64, Ordering::Relaxed);
+        shared.front_offset.store(*offset, Ordering::Release);
+        for worker in pump_workers {
+            worker.unpark();
+        }
+    }
+    true
 }
 
 /// Cuts one tail-free checkpoint and persists it. Runs on the front-end

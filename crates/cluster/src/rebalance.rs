@@ -1,30 +1,50 @@
 //! Cluster-level rebalancing: the row-count skew trigger and the
-//! range-split migration that repairs it.
+//! snapshot-shipping migration that repairs it.
 //!
 //! Shard-local re-optimization (β-drift, under-representation) keeps each
 //! synopsis sharp, but it cannot fix *placement* skew: under range routing
 //! a hot slab keeps absorbing the stream (the §6.8 skewed-insert scenario,
 //! lifted to the cluster level). The cluster therefore watches shard row
 //! counts and, when the largest shard reaches `skew_factor` times the
-//! median, re-draws the placement:
+//! median (and the hysteresis gates in
+//! [`crate::ClusterEngine::maybe_rebalance`] pass), re-draws the
+//! placement:
 //!
 //! * **Range policy** — new equal-count boundaries are estimated from the
 //!   shards' *synopsis snapshots* ([`janus_core::JanusEngine::save_synopsis`], the
 //!   `janus-core` persistence path): the pooled snapshot samples are a
 //!   population-proportional sketch of every shard, so their quantiles
 //!   approximate global quantiles without scanning any archive. Rows on
-//!   the wrong side of the new bounds then migrate engine-to-engine.
+//!   the wrong side of the new bounds then migrate.
 //! * **Discrete policies** (hash, round-robin) — placement is contentless,
 //!   so the donor (largest) shard ships the top of its routing-value
 //!   range — exactly enough rows by rank to equalize donor and receiver —
 //!   to the receiver (smallest) shard. Queries touch every shard under
 //!   these policies, so correctness is unaffected; only balance improves.
+//!
+//! ## Snapshot shipping
+//!
+//! The seed migrated row-by-row: every move was a `delete` on the donor
+//! engine and an `insert` on the receiver — per-row synopsis maintenance,
+//! reservoir churn (each delete of a sampled row can force a full
+//! re-sample), and the same op stream replayed again on *every* follower.
+//! The migration is now shipment-shaped: moves are grouped per shard, and
+//! each affected shard's post-migration engine is **rebuilt once** from
+//! its new row set (survivors in archive order + arrivals in move order —
+//! deterministic, seeded with the shard's own config, catch-up completed),
+//! then **shipped to its followers** as a synopsis snapshot + archive rows
+//! through the existing restore machinery
+//! ([`janus_core::JanusEngine::fork_via_snapshot`]), which reproduces the
+//! primary bit for bit — the exact invariant replica reads and promotion
+//! rely on. Unaffected shards are untouched. Cost is one bulk build per
+//! affected shard plus one restore per follower, independent of how many
+//! individual rows moved.
 
-use crate::bootstrap::shard_of_value;
+use crate::bootstrap::{shard_config, shard_of_value};
 use crate::engine::Shard;
 use crate::router::{ShardPolicy, ShardRouter};
-use janus_common::{DetHashMap, Result, Row, RowId};
-use janus_core::SynopsisConfig;
+use janus_common::{DetHashMap, DetHashSet, Result, Row, RowId};
+use janus_core::{JanusEngine, SynopsisConfig};
 
 /// What a migration did.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,14 +67,29 @@ pub fn skew_exceeds(populations: &[usize], factor: f64) -> bool {
     if populations.len() < 2 {
         return false;
     }
+    let max = *populations.iter().max().expect("non-empty");
+    max >= 2 && (max as f64) >= factor * (median_population(populations) as f64)
+}
+
+/// The skew ratio the trigger and its hysteresis compare: largest shard
+/// population over the (lower) median population, both clamped sane.
+/// `1.0` for clusters too small to be skewed.
+pub fn skew_ratio(populations: &[usize]) -> f64 {
+    if populations.len() < 2 {
+        return 1.0;
+    }
+    let max = *populations.iter().max().expect("non-empty");
+    max as f64 / median_population(populations) as f64
+}
+
+/// Lower median, clamped to at least 1: for even counts the upper median
+/// includes the maximum itself (for 2 shards it *is* the maximum), which
+/// would make the trigger compare the hot shard against itself and never
+/// fire.
+fn median_population(populations: &[usize]) -> usize {
     let mut sorted = populations.to_vec();
     sorted.sort_unstable();
-    // Lower median: for even counts the upper median includes the maximum
-    // itself (for 2 shards it *is* the maximum), which would make the
-    // trigger compare the hot shard against itself and never fire.
-    let median = sorted[(sorted.len() - 1) / 2].max(1);
-    let max = *sorted.last().expect("non-empty");
-    max >= 2 && (max as f64) >= factor * (median as f64)
+    sorted[(sorted.len() - 1) / 2].max(1)
 }
 
 /// Runs the migration appropriate for the router's policy. Returns `None`
@@ -73,7 +108,7 @@ pub(crate) fn rebalance(
     }
     match router.policy().clone() {
         ShardPolicy::Range { column, .. } => {
-            range_redraw(router, shards, replicas, directory, column).map(Some)
+            range_redraw(router, shards, replicas, directory, base, column).map(Some)
         }
         ShardPolicy::HashById | ShardPolicy::RoundRobin => {
             discrete_split(shards, replicas, directory, base).map(Some)
@@ -88,6 +123,7 @@ fn range_redraw(
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
+    base: &SynopsisConfig,
     column: usize,
 ) -> Result<RebalanceReport> {
     // Global quantiles from the snapshot samples. Reservoirs are capped
@@ -134,7 +170,7 @@ fn range_redraw(
     };
     router.set_range_bounds(bounds.clone());
 
-    // Collect misplaced rows per (from, to) and move them.
+    // Collect misplaced rows per (from, to) and ship them.
     let mut moves: Vec<(usize, usize, Row)> = Vec::new();
     for (from, shard) in shards.iter().enumerate() {
         for row in shard.engine.archive().iter() {
@@ -145,7 +181,7 @@ fn range_redraw(
         }
     }
     let rows_moved = moves.len();
-    apply_moves(shards, replicas, directory, moves)?;
+    apply_moves(shards, replicas, directory, base, moves)?;
     Ok(RebalanceReport {
         rows_moved,
         new_bounds: Some(bounds),
@@ -203,7 +239,7 @@ fn discrete_split(
         .map(|row| (donor, receiver, row))
         .collect();
     let rows_moved = moves.len();
-    apply_moves(shards, replicas, directory, moves)?;
+    apply_moves(shards, replicas, directory, base, moves)?;
     Ok(RebalanceReport {
         rows_moved,
         new_bounds: None,
@@ -212,30 +248,68 @@ fn discrete_split(
     })
 }
 
-/// Applies `(from, to, row)` migrations engine-to-engine and fixes the
-/// directory. Each move is a delete on the donor synopsis and an insert
-/// on the receiver — both incremental §4.1/§4.2 paths, so no shard
-/// rebuilds from scratch and shard-local triggers may fire along the way.
-/// Every move is mirrored onto the donor's and receiver's follower
-/// engines: followers were drained to the same offsets before migration
-/// (so they are bit-identical to their primaries), and applying the same
-/// op sequence keeps them that way through the migration.
+/// Applies `(from, to, row)` migrations by shipment (see the module
+/// docs): moves are grouped per shard, each affected shard's engine is
+/// rebuilt once from its post-migration row set, its followers receive
+/// the rebuilt primary as snapshot + rows via the restore machinery
+/// (bit-identical by the restore contract), and the directory is fixed
+/// per moved row. Shards no move touches keep their engines — and their
+/// synopsis state — untouched. Installation is all-or-nothing: every
+/// rebuild is staged before any engine or directory entry changes, so a
+/// mid-migration failure leaves the cluster exactly as it was.
 fn apply_moves(
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
     directory: &mut DetHashMap<RowId, usize>,
+    base: &SynopsisConfig,
     moves: Vec<(usize, usize, Row)>,
 ) -> Result<()> {
+    if moves.is_empty() {
+        return Ok(());
+    }
+    let n = shards.len();
+    let mut departing: Vec<DetHashSet<RowId>> = vec![DetHashSet::default(); n];
+    let mut arriving: Vec<Vec<Row>> = vec![Vec::new(); n];
+    let mut placements: Vec<(RowId, usize)> = Vec::new();
     for (from, to, row) in moves {
-        shards[from].engine.delete(row.id)?;
-        shards[to].engine.insert(row.clone())?;
-        for follower in replicas[from].iter_mut() {
-            follower.engine.delete(row.id)?;
+        placements.push((row.id, to));
+        departing[from].insert(row.id);
+        arriving[to].push(row);
+    }
+    // Stage every rebuild before installing anything: a failed build (or
+    // follower fork) aborts the migration with engines and directory
+    // exactly as they were — no window where the directory names a shard
+    // the rows never reached.
+    let mut staged: Vec<(usize, JanusEngine, Vec<JanusEngine>)> = Vec::new();
+    for shard in 0..n {
+        if departing[shard].is_empty() && arriving[shard].is_empty() {
+            continue;
         }
-        for follower in replicas[to].iter_mut() {
-            follower.engine.insert(row.clone())?;
+        // Post-migration row set: survivors in archive order, then
+        // arrivals in move order — deterministic input, deterministic
+        // (seeded) build.
+        let mut rows: Vec<Row> = shards[shard]
+            .engine
+            .archive()
+            .iter()
+            .filter(|r| !departing[shard].contains(&r.id))
+            .cloned()
+            .collect();
+        rows.append(&mut arriving[shard]);
+        let engine = JanusEngine::bootstrap(shard_config(base, shard), rows)?;
+        let followers = (0..replicas[shard].len())
+            .map(|_| engine.fork_via_snapshot())
+            .collect::<Result<Vec<_>>>()?;
+        staged.push((shard, engine, followers));
+    }
+    for (shard, engine, followers) in staged {
+        for (follower, engine) in replicas[shard].iter_mut().zip(followers) {
+            follower.engine = engine;
         }
-        directory.insert(row.id, to);
+        shards[shard].engine = engine;
+    }
+    for (id, to) in placements {
+        directory.insert(id, to);
     }
     Ok(())
 }
@@ -262,6 +336,14 @@ mod tests {
             "two-shard clusters compare against the smaller shard"
         );
         assert!(!skew_exceeds(&[100, 150], 2.0));
+    }
+
+    #[test]
+    fn skew_ratio_matches_the_trigger_arithmetic() {
+        assert_eq!(skew_ratio(&[100]), 1.0, "too small to be skewed");
+        assert_eq!(skew_ratio(&[100, 300]), 3.0);
+        assert_eq!(skew_ratio(&[100, 110, 120, 240]), 240.0 / 110.0);
+        assert_eq!(skew_ratio(&[0, 50]), 50.0, "empty median clamps to 1");
     }
 
     fn test_config(seed: u64) -> SynopsisConfig {
@@ -325,5 +407,49 @@ mod tests {
         .unwrap()
         .expect("report still produced");
         assert_eq!(report.rows_moved, 0);
+    }
+
+    /// Followers come out of a migration bit-identical to their rebuilt
+    /// primaries — the shipped snapshot *is* the primary.
+    #[test]
+    fn shipped_followers_match_their_primaries() {
+        let value_rows = |ids: std::ops::Range<u64>, v: f64| -> Vec<Row> {
+            ids.map(|i| Row::new(i, vec![v + (i % 10) as f64, 1.0]))
+                .collect()
+        };
+        let mut shards = [
+            shard_of(value_rows(0..3_000, 0.0), 1),
+            shard_of(value_rows(10_000..10_400, 50.0), 2),
+        ];
+        let mut followers = [
+            shard_of(value_rows(0..3_000, 0.0), 1),
+            shard_of(value_rows(10_000..10_400, 50.0), 2),
+        ];
+        let mut router = ShardRouter::new(ShardPolicy::HashById, 2).unwrap();
+        let mut directory = DetHashMap::default();
+        let base = test_config(3);
+        let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
+        let mut replica_refs: Vec<Vec<&mut Shard>> =
+            followers.iter_mut().map(|f| vec![f]).collect();
+        let report = rebalance(
+            &mut router,
+            &mut shard_refs,
+            &mut replica_refs,
+            &mut directory,
+            &base,
+        )
+        .unwrap()
+        .expect("two shards migrate");
+        assert!(report.rows_moved > 0);
+        for (primary, follower) in shards.iter().zip(&followers) {
+            assert_eq!(
+                primary.engine.population(),
+                follower.engine.population(),
+                "shipped follower must mirror its primary"
+            );
+            let ps = serde_json::to_string(&primary.engine.save_synopsis()).unwrap();
+            let fs = serde_json::to_string(&follower.engine.save_synopsis()).unwrap();
+            assert_eq!(ps, fs, "snapshots must be bit-identical");
+        }
     }
 }

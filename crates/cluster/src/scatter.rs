@@ -1,0 +1,123 @@
+//! The persistent per-shard worker pool behind scatter-gather queries
+//! and parallel pumping.
+//!
+//! The seed engine spawned a fresh `std::thread::scope` thread per target
+//! shard on *every* query (and per shard on every `pump` call), so
+//! steady-state query latency included thread creation and teardown. The
+//! pool replaces that with one long-lived worker per shard, created at
+//! engine construction and joined when the engine drops:
+//!
+//! * each worker owns a channel of [`Job`]s for its shard and executes
+//!   them in arrival order — a sub-query locks only the one engine
+//!   (primary or fresh replica) it reads, exactly like the scoped-thread
+//!   path did;
+//! * a scatter sends one job per target shard tagged with its gather
+//!   slot, then blocks on a per-query reply channel until every slot has
+//!   answered, so gather order (and therefore merge order) remains shard
+//!   order — answers stay bit-identical to the spawning path;
+//! * [`crate::ClusterEngine::pump`] reuses the same workers for parallel
+//!   drains, so the full-cluster pump no longer spawns either.
+//!
+//! Workers never take the router or directory locks, and never wait on
+//! each other, so the pool adds no lock-order edges: the engine-wide
+//! deadlock-freedom argument (router → directory → shards) is unchanged.
+
+use crate::engine::ShardSet;
+use janus_common::{Estimate, JanusError, Query, Result};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One sub-answer of a scatter, in the shape the aggregate needs.
+pub(crate) enum SubAnswer {
+    /// A plain per-shard estimate (COUNT/SUM expect `Some`; MIN/MAX may
+    /// be `None` on an empty selection).
+    Estimate(Result<Option<Estimate>>),
+    /// The (SUM, COUNT) moment pair AVG merges re-derive from.
+    Moments(Result<(Estimate, Estimate)>),
+}
+
+/// One unit of work for a shard's worker.
+pub(crate) enum Job {
+    /// Serve one sub-query and reply on the scatter's gather channel,
+    /// tagged with the target's slot so gather order is shard order.
+    Query {
+        slot: usize,
+        query: Arc<Query>,
+        moments: bool,
+        reply: Sender<(usize, SubAnswer)>,
+    },
+    /// Drain up to `max` topic records into the shard's primary engine
+    /// (strict mode) and its followers; reply with
+    /// `(shard, applied, skipped, first_error)`.
+    Pump {
+        max: usize,
+        reply: Sender<(usize, usize, usize, Option<JanusError>)>,
+    },
+}
+
+/// One long-lived worker thread per shard, fed by a channel.
+pub(crate) struct ScatterPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ScatterPool {
+    /// Spawns one worker per shard of `set`.
+    pub(crate) fn start(set: &Arc<ShardSet>) -> Self {
+        let mut senders = Vec::with_capacity(set.shards.len());
+        let mut handles = Vec::with_capacity(set.shards.len());
+        for shard in 0..set.shards.len() {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let set = Arc::clone(set);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("janus-scatter-{shard}"))
+                    .spawn(move || worker_loop(&set, shard, &rx))
+                    .expect("spawn scatter worker"),
+            );
+            senders.push(tx);
+        }
+        ScatterPool { senders, handles }
+    }
+
+    /// Enqueues a job on `shard`'s worker.
+    pub(crate) fn send(&self, shard: usize, job: Job) {
+        self.senders[shard]
+            .send(job)
+            .expect("scatter worker outlives the engine");
+    }
+}
+
+impl Drop for ScatterPool {
+    fn drop(&mut self) {
+        // Closing the channels is the shutdown signal; workers drain any
+        // queued jobs first, so in-flight scatters still complete.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(set: &ShardSet, shard: usize, jobs: &Receiver<Job>) {
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Query {
+                slot,
+                query,
+                moments,
+                reply,
+            } => {
+                // A gather abandoned mid-retry may have dropped its
+                // receiver; that is not the worker's problem.
+                let _ = reply.send((slot, set.serve(shard, &query, moments)));
+            }
+            Job::Pump { max, reply } => {
+                let (applied, skipped, error) = set.pump_one(shard, max, false);
+                let replica_applied = set.pump_replicas_mode(shard, max, false);
+                let _ = reply.send((shard, applied + replica_applied, skipped, error));
+            }
+        }
+    }
+}

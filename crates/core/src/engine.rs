@@ -389,6 +389,59 @@ impl JanusEngine {
         Ok((sum, count))
     }
 
+    /// Applies a batch of updates in arrival order under a single call —
+    /// the batch-apply entry point topic consumers (e.g. a cluster shard
+    /// draining its ingest log) use so per-record dispatch overhead is
+    /// paid once per batch. Application is strictly sequential, so the
+    /// resulting engine state is *bit-identical* to calling
+    /// [`JanusEngine::insert`]/[`JanusEngine::delete`] per record.
+    ///
+    /// Returns `(applied, skipped, first_error)`. With `skip_failed`
+    /// unset, application stops at the first failing update (it is
+    /// neither applied nor skipped); with it set, failing updates are
+    /// counted in `skipped` and the batch continues.
+    pub fn apply_update_batch(
+        &mut self,
+        updates: impl IntoIterator<Item = crate::concurrent::Update>,
+        skip_failed: bool,
+    ) -> (usize, usize, Option<JanusError>) {
+        let mut applied = 0;
+        let mut skipped = 0;
+        let mut first_error = None;
+        for update in updates {
+            let outcome = match update {
+                crate::concurrent::Update::Insert(row) => self.insert(row),
+                crate::concurrent::Update::Delete(id) => self.delete(id).map(|_| ()),
+            };
+            match outcome {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                    if !skip_failed {
+                        break;
+                    }
+                    skipped += 1;
+                }
+            }
+        }
+        (applied, skipped, first_error)
+    }
+
+    /// Builds a new engine *bit-identical* to this one by shipping its
+    /// synopsis snapshot plus archive rows through the restore machinery
+    /// ([`JanusEngine::save_synopsis`] / [`JanusEngine::restore`]) — the
+    /// snapshot-shipping path a cluster uses to (re)build follower
+    /// engines after a migration instead of replaying every operation.
+    pub fn fork_via_snapshot(&self) -> Result<Self> {
+        Self::restore(
+            self.config.clone(),
+            self.export_rows(),
+            &self.save_synopsis(),
+        )
+    }
+
     /// Exact evaluation over the archive — the ground-truth oracle used by
     /// the experiment harness (never used to answer synopsis queries).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {

@@ -65,7 +65,7 @@ pub use janus_storage as storage;
 pub mod prelude {
     pub use janus_cluster::{
         ClusterCheckpoint, ClusterConfig, ClusterEngine, ClusterStats, LiveCluster, LiveConfig,
-        LiveStats, ShardPolicy,
+        LiveStats, PublishReport, ShardOp, ShardPolicy,
     };
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,

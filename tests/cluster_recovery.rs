@@ -176,7 +176,7 @@ fn checkpointed_restore_replays_to_bit_identical_answers() {
 
         let restored = ClusterEngine::restore(
             ClusterConfig::new(exact_config(91), 4, policy.clone()),
-            &checkpoint,
+            checkpoint,
             topics,
         )
         .unwrap();
@@ -406,7 +406,7 @@ fn restore_resolves_cross_shard_delete_then_reinsert_in_the_tail() {
     drop(cluster);
     let restored = ClusterEngine::restore(
         ClusterConfig::new(exact_config(41), 2, ShardPolicy::RoundRobin),
-        &checkpoint,
+        checkpoint,
         topics,
     )
     .unwrap();
@@ -443,10 +443,10 @@ fn detached_restore_refuses_tail_bearing_checkpoints() {
     let checkpoint = cluster.checkpoint(); // unpumped record -> tail
     assert!(!checkpoint.is_tail_free());
     let config = ClusterConfig::new(exact_config(51), 2, ShardPolicy::HashById);
-    assert!(ClusterEngine::restore_detached(config.clone(), &checkpoint).is_err());
+    assert!(ClusterEngine::restore_detached(config.clone(), checkpoint.clone()).is_err());
 
     // With the surviving topics the same checkpoint restores fine.
-    let restored = ClusterEngine::restore(config, &checkpoint, cluster.topics()).unwrap();
+    let restored = ClusterEngine::restore(config, checkpoint, cluster.topics()).unwrap();
     restored.pump_all().unwrap();
     assert_eq!(restored.population(), 2_001);
 }
