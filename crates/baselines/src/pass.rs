@@ -72,8 +72,9 @@ impl PassSynopsis {
             &outcome.leaf_variances,
             n as f64,
         )?;
-        // Exact statistics from a full scan — the SPT construction.
-        dpt.install_exact_base(archive.iter());
+        // Exact statistics from a full scan — the SPT construction,
+        // streamed zero-copy off the columnar archive.
+        dpt.install_exact_base_with(|sink| archive.for_each_row(sink));
         let mut samples = SampleMap(DetHashMap::default());
         for row in sample_rows {
             let point = row.project(&template.predicate_columns);

@@ -82,9 +82,11 @@ impl ReservoirBaseline {
         uniform_estimate(query, self.reservoir.iter(), self.archive.len())
     }
 
-    /// Ground-truth oracle for experiments.
+    /// Ground-truth oracle for experiments (zero-copy archive scan).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        query.evaluate_exact(self.archive.iter())
+        let mut acc = query.exact_accumulator();
+        self.archive.for_each_row(|r| acc.offer(r.values));
+        acc.finish()
     }
 }
 

@@ -43,7 +43,8 @@ impl StratifiedReservoirBaseline {
             ));
         }
         let archive = ArchiveStore::from_rows(rows);
-        let mut values: Vec<f64> = archive.iter().map(|r| r.value(strat_column)).collect();
+        let mut values: Vec<f64> = Vec::with_capacity(archive.len());
+        archive.for_each_row(|r| values.push(r.value(strat_column)));
         let boundaries = equal_depth_boundaries(&mut values, k);
         let k = boundaries.len() + 1;
         let per_stratum_m = (((rate * archive.len() as f64) / k as f64).ceil() as usize).max(4);
@@ -59,7 +60,7 @@ impl StratifiedReservoirBaseline {
             seed_counter: 1,
         };
         // Populate strata by scanning once (bootstrap is offline).
-        let rows: Vec<Row> = baseline.archive.iter().cloned().collect();
+        let rows: Vec<Row> = baseline.archive.to_rows();
         for row in rows {
             let s = baseline.stratum_of(&row);
             baseline.populations[s] += 1.0;
@@ -129,15 +130,13 @@ impl StratifiedReservoirBaseline {
                 self.boundaries[s]
             };
             let col = self.strat_column;
-            let candidates: Vec<Row> = self
-                .archive
-                .iter()
-                .filter(|r| {
-                    let v = r.value(col);
-                    v >= lo && v < hi
-                })
-                .cloned()
-                .collect();
+            let mut candidates: Vec<Row> = Vec::new();
+            self.archive.for_each_row(|r| {
+                let v = r.value(col);
+                if v >= lo && v < hi {
+                    candidates.push(r.to_row());
+                }
+            });
             let target = self.strata[s].target();
             let pool = ArchiveStore::from_rows(candidates);
             self.strata[s].reset(pool.sample_distinct(target, seed));
@@ -216,9 +215,11 @@ impl StratifiedReservoirBaseline {
         }
     }
 
-    /// Ground-truth oracle for experiments.
+    /// Ground-truth oracle for experiments (zero-copy archive scan).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        query.evaluate_exact(self.archive.iter())
+        let mut acc = query.exact_accumulator();
+        self.archive.for_each_row(|r| acc.offer(r.values));
+        acc.finish()
     }
 }
 

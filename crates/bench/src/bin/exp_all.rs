@@ -17,6 +17,7 @@ fn main() {
         ("fig8", janus_bench::experiments::fig8::run),
         ("fig9", janus_bench::experiments::fig9::run),
         ("fig10", janus_bench::experiments::fig10::run),
+        ("archive", janus_bench::experiments::archive::run),
     ];
     for (name, run) in runs {
         let t = std::time::Instant::now();

@@ -1,0 +1,8 @@
+//! Cold-storage backend sweep (columnar vs file-backed ingest/export
+//! throughput); dumps `target/experiments/BENCH_archive.json`. Scale with
+//! `JANUS_SCALE` (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_archive] JANUS_SCALE = {scale}");
+    janus_bench::experiments::archive::run(scale).finish();
+}

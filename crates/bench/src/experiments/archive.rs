@@ -1,0 +1,130 @@
+//! Cold-storage sweep: archive ingest and export throughput per backend,
+//! as a function of table size.
+//!
+//! Each sweep point ingests a NYC-Taxi-like slice into the in-memory
+//! columnar archive and into the segmented file-backed spill store, then
+//! drives the two export paths over each: the zero-copy scan
+//! (`for_each_row`, what predicate evaluation / `evaluate_exact` /
+//! rebalance rebuilds use) and the materializing export (`to_rows`, the
+//! checkpoint / shard-hand-off path, one `Row` allocation per tuple —
+//! the shape the pre-columnar row-of-vecs store forced on *every*
+//! consumer). The printed scan/export ratio is therefore the measured
+//! win of the columnar views over the seed representation's
+//! clone-everything scans.
+//!
+//! The report id is `BENCH_archive`, so the tracked JSON lands at
+//! `target/experiments/BENCH_archive.json`. CI gates three columns:
+//! `archive_ingest_rows_per_sec` and `export_rows_per_sec` must be
+//! positive everywhere, and `file_backend_ratio` (file-backed ingest rate
+//! over in-memory ingest rate) must be positive — the spill store is
+//! expected to be slower, not broken. A per-point equivalence assert
+//! keeps the two backends bit-identical in slot order while they are
+//! being measured.
+
+use crate::metrics::rows_per_sec;
+use crate::ExpReport;
+use janus_common::Row;
+use janus_data::nyc_taxi;
+use janus_storage::{ArchiveStore, SegmentedFileArchive};
+use serde_json::json;
+use std::time::Instant;
+
+/// Paper-scale row count of the largest sweep point.
+const ARCHIVE_N: usize = 2_000_000;
+/// Records per sealed spill segment.
+const SEG_ROWS: usize = 8_192;
+
+/// Fractions of the scaled row count swept.
+const SWEEP: [f64; 3] = [0.25, 0.5, 1.0];
+
+fn ingest(rows: &[Row], mut store: ArchiveStore) -> (ArchiveStore, f64) {
+    let started = Instant::now();
+    for row in rows {
+        store.insert(row.clone());
+    }
+    (store, rows_per_sec(rows.len(), started.elapsed()))
+}
+
+/// Times the zero-copy scan (checksum keeps the loop honest).
+fn scan_rate(store: &ArchiveStore) -> f64 {
+    let started = Instant::now();
+    let mut checksum = 0.0f64;
+    store.for_each_row(|r| checksum += r.values[0]);
+    let rate = rows_per_sec(store.len(), started.elapsed());
+    assert!(checksum.is_finite());
+    rate
+}
+
+/// Times the materializing export (the checkpoint-shaped path).
+fn export_rate(store: &ArchiveStore) -> f64 {
+    let started = Instant::now();
+    let rows = store.to_rows();
+    let rate = rows_per_sec(rows.len(), started.elapsed());
+    assert_eq!(rows.len(), store.len());
+    rate
+}
+
+/// Runs the backend sweep.
+pub fn run(scale: f64) -> ExpReport {
+    let n = crate::scaled(ARCHIVE_N, scale);
+    let dataset = nyc_taxi(n, 0xa5c411);
+    let spill_root = std::env::temp_dir().join("janus-bench-archive");
+    let mut rows_out = Vec::new();
+
+    for fraction in SWEEP {
+        let count = ((n as f64 * fraction) as usize).max(64);
+        let slice = &dataset.rows[..count.min(dataset.rows.len())];
+
+        let (mem, mem_ingest) = ingest(slice, ArchiveStore::new());
+        let mem_scan = scan_rate(&mem);
+        let mem_export = export_rate(&mem);
+
+        let file_store = ArchiveStore::with_backend(Box::new(
+            SegmentedFileArchive::create_ephemeral(&spill_root, SEG_ROWS)
+                .expect("open spill store"),
+        ));
+        let (file, file_ingest) = ingest(slice, file_store);
+        let file_scan = scan_rate(&file);
+        let eq_seed = 0xa1 ^ (fraction * 100.0) as u64;
+        assert_eq!(
+            mem.sample_distinct(64, eq_seed),
+            file.sample_distinct(64, eq_seed),
+            "backends must stay bit-identical while being measured"
+        );
+
+        let ratio = file_ingest / mem_ingest.max(1e-9);
+        println!(
+            "[archive] {count} rows: columnar ingest {mem_ingest:.0} rows/s, zero-copy scan \
+             {mem_scan:.0} rows/s vs materializing export {mem_export:.0} rows/s \
+             ({:.2}x); file-backed ingest {file_ingest:.0} rows/s ({ratio:.2}x of memory), \
+             file scan {file_scan:.0} rows/s",
+            mem_scan / mem_export.max(1e-9)
+        );
+
+        rows_out.push(vec![
+            json!(count),
+            json!(mem_ingest),
+            json!(mem_export),
+            json!(mem_scan),
+            json!(file_ingest),
+            json!(file_scan),
+            json!(ratio),
+        ]);
+    }
+    ExpReport {
+        id: "BENCH_archive",
+        title: "Archive: columnar vs file-backed ingest/export throughput",
+        headers: [
+            "rows",
+            "archive_ingest_rows_per_sec",
+            "export_rows_per_sec",
+            "scan_rows_per_sec",
+            "file_ingest_rows_per_sec",
+            "file_scan_rows_per_sec",
+            "file_backend_ratio",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: rows_out,
+    }
+}

@@ -108,15 +108,13 @@ pub fn run(scale: f64) -> ExpReport {
                 .iter()
                 .map(|&l| janus.dpt().node(l).rect.clone())
                 .collect();
-            let victims: Vec<u64> = janus
-                .archive()
-                .iter()
-                .filter(|r| {
-                    let p = [r.value(pred)];
-                    r.id % 2 == 0 && victim_rects.iter().any(|rect| rect.contains(&p))
-                })
-                .map(|r| r.id)
-                .collect();
+            let mut victims: Vec<u64> = Vec::new();
+            janus.archive().for_each_row(|r| {
+                let p = [r.value(pred)];
+                if r.id % 2 == 0 && victim_rects.iter().any(|rect| rect.contains(&p)) {
+                    victims.push(r.id);
+                }
+            });
             for id in victims {
                 janus.delete(id).expect("delete");
                 dpt.delete(id).expect("delete");
@@ -128,7 +126,7 @@ pub fn run(scale: f64) -> ExpReport {
             // Deletion-driven re-partitioning for JanusAQP.
             janus.reinitialize().expect("reinit");
             janus.run_catchup_to_goal();
-            let seen: Vec<Row> = janus.archive().iter().cloned().collect();
+            let seen: Vec<Row> = janus.export_rows();
             let queries = queries_over(&seen, dist, pred, count, 0xb0 + step as u64);
             rows_out.push(vec![
                 json!("targeted_deletions"),

@@ -27,7 +27,7 @@ pub fn run(scale: f64) -> ExpReport {
                 engine.delete(id).expect("delete");
             }
             // Ground truth over what remains (§6.4).
-            let remaining: Vec<Row> = engine.archive().iter().cloned().collect();
+            let remaining: Vec<Row> = engine.export_rows();
             let gt = truths(&queries, &remaining);
             let (errors, _) = errors_against(&queries, &gt, |q| engine.query(q).ok().flatten());
             let med = if errors.is_empty() {

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Each exposes
 //! `run(scale: f64) -> ExpReport`.
 
+pub mod archive;
 pub mod fig10;
 pub mod fig5;
 pub mod fig5_cluster;

@@ -142,6 +142,16 @@ impl ClusterConfig {
         self
     }
 
+    /// Selects the archive backend every shard engine runs its cold
+    /// store on (builder-style): in-memory columnar by default, or the
+    /// segmented file-backed spill store for tables larger than RAM.
+    /// The representation never changes answers — restored and forked
+    /// engines stay bit-identical either way.
+    pub fn with_archive_backend(mut self, kind: janus_storage::ArchiveBackendKind) -> Self {
+        self.base.archive_backend = kind;
+        self
+    }
+
     /// Enables rebalance hysteresis (builder-style): a migration runs at
     /// most every `cooldown` pumped records, and only when the skew ratio
     /// has grown by at least `min_gain` since the previous migration's
@@ -875,9 +885,14 @@ impl ClusterEngine {
 
     /// Exact evaluation across all shard archives (ground-truth oracle;
     /// ignores unpumped records, exactly like per-shard synopses do).
+    /// One streaming accumulator scans every shard's archive zero-copy.
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
         let guards: Vec<_> = self.set.shards.iter().map(|s| s.read()).collect();
-        query.evaluate_exact(guards.iter().flat_map(|g| g.engine.archive().iter()))
+        let mut acc = query.exact_accumulator();
+        for g in &guards {
+            g.engine.archive().for_each_row(|r| acc.offer(r.values));
+        }
+        acc.finish()
     }
 
     /// Scatters `query` to `targets` on the worker pool and gathers the
@@ -1121,16 +1136,24 @@ impl ClusterEngine {
                     )));
                 }
             }
-            // Followers are the primary snapshot restored again —
-            // restoration is deterministic, so they come back
-            // bit-identical to the primary, exactly as replicas are.
-            // They clone the rows; the primary *moves* them.
+            // The checkpointed rows are materialized into an archive once
+            // (moved, on the configured backend); every follower *forks*
+            // that archive — a column-wise slot-order copy — instead of
+            // cloning the whole `Vec<Row>` once per replica. Restoration
+            // is deterministic and the fork preserves slot order, so the
+            // followers come back bit-identical to the primary, exactly
+            // as replicas are.
+            let shard_cfg = shard_config(&config.base, sc.shard);
+            let archive = janus_storage::ArchiveStore::from_rows_in(
+                &shard_cfg.archive_backend,
+                sc.archive_rows,
+            )?;
             let set: Vec<Shard> = (0..config.replicas)
                 .map(|_| {
                     Ok(Shard {
-                        engine: JanusEngine::restore(
-                            shard_config(&config.base, sc.shard),
-                            sc.archive_rows.clone(),
+                        engine: JanusEngine::restore_with_archive(
+                            shard_cfg.clone(),
+                            archive.fork(),
                             &sc.synopsis,
                         )?,
                         offset,
@@ -1139,11 +1162,7 @@ impl ClusterEngine {
                 .collect::<Result<_>>()?;
             replica_sets.push(set);
             shards.push(Shard {
-                engine: JanusEngine::restore(
-                    shard_config(&config.base, sc.shard),
-                    sc.archive_rows,
-                    &sc.synopsis,
-                )?,
+                engine: JanusEngine::restore_with_archive(shard_cfg, archive, &sc.synopsis)?,
                 offset,
             });
         }

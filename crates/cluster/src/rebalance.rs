@@ -170,15 +170,16 @@ fn range_redraw(
     };
     router.set_range_bounds(bounds.clone());
 
-    // Collect misplaced rows per (from, to) and ship them.
+    // Collect misplaced rows per (from, to) and ship them. The scan is
+    // zero-copy: only rows that actually move materialize.
     let mut moves: Vec<(usize, usize, Row)> = Vec::new();
     for (from, shard) in shards.iter().enumerate() {
-        for row in shard.engine.archive().iter() {
+        shard.engine.archive().for_each_row(|row| {
             let to = shard_of_value(&bounds, row.value(column));
             if to != from {
-                moves.push((from, to, row.clone()));
+                moves.push((from, to, row.to_row()));
             }
-        }
+        });
     }
     let rows_moved = moves.len();
     apply_moves(shards, replicas, directory, base, moves)?;
@@ -224,19 +225,24 @@ fn discrete_split(
         });
     }
     let column = base.template.predicate_columns[0];
-    // Sort the donor's rows by (routing value, id) — the id tiebreak makes
+    // Rank the donor's rows by (routing value, id) — the id tiebreak makes
     // the split deterministic — and ship the top `move_count` by rank.
-    let mut donor_rows = shards[donor].engine.export_rows();
-    donor_rows.sort_unstable_by(|a, b| {
-        a.value(column)
-            .total_cmp(&b.value(column))
-            .then(a.id.cmp(&b.id))
-    });
-    let moves: Vec<(usize, usize, Row)> = donor_rows
+    // Only the 16-byte sort keys are collected from the zero-copy scan;
+    // just the rows that actually move materialize afterwards.
+    let donor_archive = shards[donor].engine.archive();
+    let mut keys: Vec<(f64, RowId)> = Vec::with_capacity(donor_archive.len());
+    donor_archive.for_each_row(|row| keys.push((row.value(column), row.id)));
+    keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let moves: Vec<(usize, usize, Row)> = keys
         .into_iter()
         .rev()
         .take(move_count)
-        .map(|row| (donor, receiver, row))
+        .map(|(_, id)| {
+            let row = donor_archive
+                .get(id)
+                .expect("ranked id is live in the donor archive");
+            (donor, receiver, row)
+        })
         .collect();
     let rows_moved = moves.len();
     apply_moves(shards, replicas, directory, base, moves)?;
@@ -287,14 +293,15 @@ fn apply_moves(
         }
         // Post-migration row set: survivors in archive order, then
         // arrivals in move order — deterministic input, deterministic
-        // (seeded) build.
-        let mut rows: Vec<Row> = shards[shard]
-            .engine
-            .archive()
-            .iter()
-            .filter(|r| !departing[shard].contains(&r.id))
-            .cloned()
-            .collect();
+        // (seeded) build. Survivors materialize straight off the
+        // zero-copy scan.
+        let mut rows: Vec<Row> =
+            Vec::with_capacity(shards[shard].engine.population() + arriving[shard].len());
+        shards[shard].engine.archive().for_each_row(|r| {
+            if !departing[shard].contains(&r.id) {
+                rows.push(r.to_row());
+            }
+        });
         rows.append(&mut arriving[shard]);
         let engine = JanusEngine::bootstrap(shard_config(base, shard), rows)?;
         let followers = (0..replicas[shard].len())

@@ -30,9 +30,9 @@ pub mod stats;
 pub use det_hash::{DetHashMap, DetHashSet};
 pub use error::{JanusError, Result};
 pub use float::F64;
-pub use query::{AggregateFunction, Estimate, Query, QueryTemplate};
+pub use query::{AggregateFunction, Estimate, ExactAccumulator, Query, QueryTemplate};
 pub use rect::{RangePredicate, Rect};
-pub use row::{ColumnDef, Row, RowId, Schema};
+pub use row::{ColumnDef, Row, RowId, RowRef, Schema};
 pub use stats::Moments;
 
 /// Normal scaling factor for a 95% confidence interval (`z` in §4.4.1).

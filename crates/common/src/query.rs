@@ -135,38 +135,84 @@ impl Query {
     /// `Predicate(t, q)` from §2.3.2: does `row` satisfy the predicate?
     #[inline]
     pub fn matches(&self, row: &Row) -> bool {
+        self.matches_values(&row.values)
+    }
+
+    /// Predicate check over a raw value slice — the form columnar scans
+    /// use ([`crate::RowRef`] hands out slices, not [`Row`]s).
+    #[inline]
+    pub fn matches_values(&self, values: &[f64]) -> bool {
         self.predicate_columns
             .iter()
             .zip(self.range.lo())
             .zip(self.range.hi())
             .all(|((&c, lo), hi)| {
-                let x = row.value(c);
+                let x = values[c];
                 *lo <= x && x <= *hi
             })
     }
 
     /// Evaluates the query exactly over `rows` (the ground-truth oracle used
-    /// by tests and by the experiment harness).
+    /// by tests and by the experiment harness). Scans that cannot hand out
+    /// `&Row` (columnar archives) stream into an [`ExactAccumulator`]
+    /// instead.
     pub fn evaluate_exact<'a>(&self, rows: impl IntoIterator<Item = &'a Row>) -> Option<f64> {
-        let mut count = 0.0f64;
-        let mut sum = 0.0f64;
-        let mut min = f64::INFINITY;
-        let mut max = f64::NEG_INFINITY;
+        let mut acc = self.exact_accumulator();
         for row in rows {
-            if self.matches(row) {
-                let a = row.value(self.agg_column);
-                count += 1.0;
-                sum += a;
-                min = min.min(a);
-                max = max.max(a);
-            }
+            acc.offer(&row.values);
         }
-        match self.agg {
-            AggregateFunction::Count => Some(count),
-            AggregateFunction::Sum => Some(sum),
-            AggregateFunction::Avg => (count > 0.0).then(|| sum / count),
-            AggregateFunction::Min => (count > 0.0).then_some(min),
-            AggregateFunction::Max => (count > 0.0).then_some(max),
+        acc.finish()
+    }
+
+    /// A streaming exact evaluator for this query: `offer` every row's
+    /// value slice, then `finish`. This is how backend-agnostic archive
+    /// scans compute ground truth without materializing a `Row` per tuple.
+    pub fn exact_accumulator(&self) -> ExactAccumulator<'_> {
+        ExactAccumulator {
+            query: self,
+            count: 0.0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Streaming state of an exact query evaluation (see
+/// [`Query::exact_accumulator`]). Accumulation order is the offer order,
+/// so two scans that offer the same rows in the same order produce
+/// bit-identical answers.
+pub struct ExactAccumulator<'q> {
+    query: &'q Query,
+    count: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl ExactAccumulator<'_> {
+    /// Offers one row's full value slice.
+    #[inline]
+    pub fn offer(&mut self, values: &[f64]) {
+        if self.query.matches_values(values) {
+            let a = values[self.query.agg_column];
+            self.count += 1.0;
+            self.sum += a;
+            self.min = self.min.min(a);
+            self.max = self.max.max(a);
+        }
+    }
+
+    /// The exact answer over everything offered so far (`None` for
+    /// AVG/MIN/MAX over an empty selection, matching
+    /// [`Query::evaluate_exact`]).
+    pub fn finish(&self) -> Option<f64> {
+        match self.query.agg {
+            AggregateFunction::Count => Some(self.count),
+            AggregateFunction::Sum => Some(self.sum),
+            AggregateFunction::Avg => (self.count > 0.0).then(|| self.sum / self.count),
+            AggregateFunction::Min => (self.count > 0.0).then_some(self.min),
+            AggregateFunction::Max => (self.count > 0.0).then_some(self.max),
         }
     }
 }
@@ -291,6 +337,25 @@ mod tests {
             q(AggregateFunction::Min, 100.0, 200.0).evaluate_exact(&rows),
             None
         );
+    }
+
+    #[test]
+    fn accumulator_streams_to_the_same_answers() {
+        let rows = rows();
+        for agg in AggregateFunction::ALL {
+            for (lo, hi) in [(2.0, 5.0), (100.0, 200.0), (0.0, 9.0)] {
+                let query = q(agg, lo, hi);
+                let mut acc = query.exact_accumulator();
+                for row in &rows {
+                    acc.offer(&row.values);
+                }
+                assert_eq!(
+                    acc.finish(),
+                    query.evaluate_exact(&rows),
+                    "{agg} [{lo},{hi}]"
+                );
+            }
+        }
     }
 
     #[test]

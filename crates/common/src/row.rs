@@ -43,11 +43,97 @@ impl Row {
         cols.iter().map(|&c| self.values[c]).collect()
     }
 
+    /// Projects the row onto `cols` into a caller-owned buffer (cleared
+    /// first) — the allocation-free twin of [`Row::project`] for hot loops
+    /// that project many rows against the same column set.
+    #[inline]
+    pub fn project_into(&self, cols: &[usize], out: &mut Vec<f64>) {
+        project_values_into(&self.values, cols, out);
+    }
+
+    /// A borrowed view of this row.
+    #[inline]
+    pub fn as_ref(&self) -> RowRef<'_> {
+        RowRef {
+            id: self.id,
+            values: &self.values,
+        }
+    }
+
     /// Number of columns.
     #[inline]
     pub fn arity(&self) -> usize {
         self.values.len()
     }
+}
+
+/// A borrowed, zero-copy view of a tuple: the id plus a value slice.
+///
+/// This is the currency of columnar storage ([`janus-storage`]'s archive
+/// backends hand out `RowRef`s over their value buffers) and of every scan
+/// API that must not allocate one `Vec` per row. Materialize with
+/// [`RowRef::to_row`] only at ownership boundaries (queues, checkpoints).
+///
+/// [`janus-storage`]: https://docs.rs/janus-storage
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RowRef<'a> {
+    /// Stable unique id.
+    pub id: RowId,
+    /// One value per column of the owning schema.
+    pub values: &'a [f64],
+}
+
+impl<'a> RowRef<'a> {
+    /// Creates a view from parts.
+    #[inline]
+    pub fn new(id: RowId, values: &'a [f64]) -> Self {
+        RowRef { id, values }
+    }
+
+    /// Returns the value of column `col`.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of bounds (schema violation is a logic error).
+    #[inline]
+    pub fn value(&self, col: usize) -> f64 {
+        self.values[col]
+    }
+
+    /// Projects the view onto `cols` (allocating; prefer
+    /// [`RowRef::project_into`] in loops).
+    pub fn project(&self, cols: &[usize]) -> Vec<f64> {
+        cols.iter().map(|&c| self.values[c]).collect()
+    }
+
+    /// Projects the view onto `cols` into a caller-owned buffer.
+    #[inline]
+    pub fn project_into(&self, cols: &[usize], out: &mut Vec<f64>) {
+        project_values_into(self.values, cols, out);
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Materializes an owned [`Row`] (one allocation).
+    pub fn to_row(&self) -> Row {
+        Row::new(self.id, self.values.to_vec())
+    }
+}
+
+impl<'a> From<&'a Row> for RowRef<'a> {
+    #[inline]
+    fn from(row: &'a Row) -> Self {
+        row.as_ref()
+    }
+}
+
+#[inline]
+fn project_values_into(values: &[f64], cols: &[usize], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(cols.iter().map(|&c| values[c]));
 }
 
 /// A named column.
@@ -134,6 +220,32 @@ mod tests {
     fn project_extracts_predicate_point() {
         let r = Row::new(7, vec![1.0, 2.0, 3.0]);
         assert_eq!(r.project(&[2, 0]), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn project_into_reuses_the_buffer() {
+        let r = Row::new(7, vec![1.0, 2.0, 3.0]);
+        let mut buf = vec![99.0; 8];
+        r.project_into(&[2, 0], &mut buf);
+        assert_eq!(buf, vec![3.0, 1.0]);
+        r.project_into(&[1], &mut buf);
+        assert_eq!(buf, vec![2.0], "buffer is cleared between projections");
+    }
+
+    #[test]
+    fn row_ref_views_match_the_owned_row() {
+        let r = Row::new(9, vec![4.0, 5.0, 6.0]);
+        let v = r.as_ref();
+        assert_eq!(v.id, 9);
+        assert_eq!(v.value(2), 6.0);
+        assert_eq!(v.arity(), 3);
+        assert_eq!(v.project(&[1, 0]), r.project(&[1, 0]));
+        let mut buf = Vec::new();
+        v.project_into(&[2], &mut buf);
+        assert_eq!(buf, vec![6.0]);
+        assert_eq!(v.to_row(), r);
+        assert_eq!(RowRef::from(&r), v);
+        assert_eq!(RowRef::new(9, &r.values), v);
     }
 
     #[test]

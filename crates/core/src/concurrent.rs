@@ -81,7 +81,7 @@ pub fn apply_batch(engine: &mut JanusEngine, updates: Vec<Update>, threads: usiz
         .iter()
         .map(|u| match u {
             Update::Insert(row) => Some(row.clone()),
-            Update::Delete(id) => engine.archive().get(*id).cloned(),
+            Update::Delete(id) => engine.archive().get(*id),
         })
         .collect();
 
@@ -98,9 +98,10 @@ pub fn apply_batch(engine: &mut JanusEngine, updates: Vec<Update>, threads: usiz
             handles.push(scope.spawn(move || {
                 let mut local: std::collections::HashMap<usize, LeafDelta> =
                     std::collections::HashMap::with_capacity(leaf_count_hint.min(1024));
+                let mut point: Vec<f64> = Vec::new();
                 for (u, row) in updates.iter().zip(resolved) {
                     let Some(row) = row else { continue };
-                    let point = dpt.project(row);
+                    dpt.project_into(row, &mut point);
                     let leaf = dpt.leaf_of(&point);
                     if leaf % threads != worker {
                         continue;

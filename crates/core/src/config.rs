@@ -1,6 +1,7 @@
 //! Synopsis construction parameters (§3.1, §5.5).
 
 use janus_common::{JanusError, QueryTemplate, Result};
+use janus_storage::ArchiveBackendKind;
 
 /// All knobs governing one DPT synopsis.
 ///
@@ -42,6 +43,12 @@ pub struct SynopsisConfig {
     /// engine. Set to 0 to control catch-up manually (the Fig. 7 harness
     /// does).
     pub catchup_per_update: usize,
+    /// Which storage backend the archival (cold) store runs on: in-memory
+    /// columnar by default, or a segmented file-backed spill store for
+    /// tables larger than RAM. The representation never changes answers —
+    /// slot order (and with it every seeded sampling stream) depends only
+    /// on the update sequence.
+    pub archive_backend: ArchiveBackendKind,
 }
 
 impl SynopsisConfig {
@@ -62,6 +69,7 @@ impl SynopsisConfig {
             trigger_check_interval: 256,
             catchup_chunk: 4096,
             catchup_per_update: 4,
+            archive_backend: ArchiveBackendKind::Memory,
         }
     }
 

@@ -69,7 +69,7 @@ impl JanusEngine {
     /// caller can study the catch-up phase itself (Fig. 7).
     pub fn bootstrap_without_catchup(config: SynopsisConfig, rows: Vec<Row>) -> Result<Self> {
         config.validate()?;
-        let archive = ArchiveStore::from_rows(rows);
+        let archive = ArchiveStore::from_rows_in(&config.archive_backend, rows)?;
         let n = archive.len();
         let m = ((config.sample_rate * n as f64).ceil() as usize).max(16);
         let mut reservoir = DynamicReservoir::with_m(m, config.seed ^ 0x5e5e);
@@ -96,7 +96,7 @@ impl JanusEngine {
         }
 
         let catchup = if config.catchup_ratio >= 1.0 {
-            dpt.install_exact_base(archive.iter());
+            dpt.install_exact_base_with(|sink| archive.for_each_row(sink));
             CatchupQueue::completed()
         } else {
             let goal = (config.catchup_ratio * n as f64).ceil() as usize;
@@ -244,9 +244,16 @@ impl JanusEngine {
     /// from the stratum map and the max-variance index.
     fn evict_sample(&mut self, id: RowId) {
         self.dpt.remove_sample(id);
-        let row = self.archive.get(id).expect("replaced sample is live");
-        let point = self.dpt.project(row);
-        let a = self.dpt.agg_value(row);
+        let template = &self.config.template;
+        let (point, a) = self
+            .archive
+            .with_row(id, |r| {
+                (
+                    r.project(&template.predicate_columns),
+                    r.value(template.agg_column),
+                )
+            })
+            .expect("replaced sample is live");
         self.maxvar.delete(&IndexPoint::new(point, id, a));
     }
 
@@ -430,29 +437,39 @@ impl JanusEngine {
     }
 
     /// Builds a new engine *bit-identical* to this one by shipping its
-    /// synopsis snapshot plus archive rows through the restore machinery
-    /// ([`JanusEngine::save_synopsis`] / [`JanusEngine::restore`]) — the
-    /// snapshot-shipping path a cluster uses to (re)build follower
-    /// engines after a migration instead of replaying every operation.
+    /// synopsis snapshot plus a forked archive through the restore
+    /// machinery ([`JanusEngine::save_synopsis`] /
+    /// [`JanusEngine::restore_with_archive`]) — the snapshot-shipping
+    /// path a cluster uses to (re)build follower engines after a
+    /// migration instead of replaying every operation. The archive is
+    /// copied in slot order onto the engine's configured backend (a
+    /// column-wise memcpy for in-memory, a streamed spill for
+    /// `FileSpill` — a fork of a larger-than-RAM engine keeps
+    /// spilling), so the fork's sampling streams — and therefore its
+    /// entire future evolution — are bit-identical to this engine's.
     pub fn fork_via_snapshot(&self) -> Result<Self> {
-        Self::restore(
+        Self::restore_with_archive(
             self.config.clone(),
-            self.export_rows(),
+            self.archive.fork_in(&self.config.archive_backend)?,
             &self.save_synopsis(),
         )
     }
 
     /// Exact evaluation over the archive — the ground-truth oracle used by
     /// the experiment harness (never used to answer synopsis queries).
+    /// Streams the archive's zero-copy row views into an accumulator, so
+    /// the scan allocates nothing per row on any backend.
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        query.evaluate_exact(self.archive.iter())
+        let mut acc = query.exact_accumulator();
+        self.archive.for_each_row(|r| acc.offer(r.values));
+        acc.finish()
     }
 
     /// Exports the live table rows (id order unspecified) — the archive
     /// side of a shard migration or a full synopsis hand-off; pair with
     /// [`JanusEngine::save_synopsis`] for the synopsis side.
     pub fn export_rows(&self) -> Vec<Row> {
-        self.archive.iter().cloned().collect()
+        self.archive.to_rows()
     }
 
     // ------------------------------------------------------------------
@@ -461,18 +478,24 @@ impl JanusEngine {
 
     /// Applies up to `n` catch-up rows; returns how many were applied.
     pub fn advance_catchup(&mut self, n: usize) -> usize {
-        // Split borrows: the queue hands out rows, the tree absorbs them.
-        let rows: Vec<Row> = self.catchup.next_chunk(n).to_vec();
-        for row in &rows {
+        // Field-disjoint borrows: the queue hands out rows, the tree
+        // absorbs them — no chunk clone, no per-row projection allocation.
+        let rows = self.catchup.next_chunk(n);
+        let applied = rows.len();
+        let cols = &self.config.template.predicate_columns;
+        let agg_col = self.config.template.agg_column;
+        let mut point: Vec<f64> = Vec::new();
+        for row in rows {
             // Skip rows deleted since the snapshot was taken: their exact
             // deltas already account for them only if they were counted in
             // the base, so a deleted row *should* still be applied when it
             // was part of the epoch snapshot. Rows inserted after the
             // snapshot are not in the queue by construction.
-            self.dpt.apply_catchup_row(row);
+            row.project_into(cols, &mut point);
+            self.dpt.apply_catchup_point(&point, row.value(agg_col));
         }
-        self.stats.catchup_applied += rows.len() as u64;
-        rows.len()
+        self.stats.catchup_applied += applied as u64;
+        applied
     }
 
     /// Runs catch-up to the configured goal.
@@ -592,15 +615,29 @@ impl JanusEngine {
         archive_rows: Vec<Row>,
         snapshot: &crate::snapshot::SynopsisSnapshot,
     ) -> Result<Self> {
+        let archive = ArchiveStore::from_rows_in(&config.archive_backend, archive_rows)?;
+        Self::restore_with_archive(config, archive, snapshot)
+    }
+
+    /// [`JanusEngine::restore`] over an already-built archive — the
+    /// zero-copy restore path: callers that hold a forked or freshly
+    /// spilled archive (replica construction, [`JanusEngine::fork_via_snapshot`])
+    /// hand it over without materializing a `Vec<Row>` in between. The
+    /// archive's slot order must be the saved engine's export order, which
+    /// every [`ArchiveStore::fork`] guarantees.
+    pub fn restore_with_archive(
+        config: SynopsisConfig,
+        archive: ArchiveStore,
+        snapshot: &crate::snapshot::SynopsisSnapshot,
+    ) -> Result<Self> {
         config.validate()?;
-        if archive_rows.len() != snapshot.population {
+        if archive.len() != snapshot.population {
             return Err(JanusError::InvalidConfig(format!(
                 "archive has {} rows but the snapshot was taken at {}",
-                archive_rows.len(),
+                archive.len(),
                 snapshot.population
             )));
         }
-        let archive = ArchiveStore::from_rows(archive_rows);
         let dpt = Dpt::from_snapshot(&snapshot.dpt)?;
         let mut reservoir = DynamicReservoir::new(
             snapshot.reservoir_floor,

@@ -327,7 +327,7 @@ mod tests {
     fn engine_restore_resumes_updates_and_queries() {
         let mut e = engine(3);
         let snap = e.save_synopsis();
-        let archive: Vec<Row> = e.archive().iter().cloned().collect();
+        let archive: Vec<Row> = e.export_rows();
         let mut restored = JanusEngine::restore(e.config().clone(), archive, &snap).unwrap();
 
         // Answers match (to summation-order ULPs) right after restore.
@@ -352,7 +352,7 @@ mod tests {
     fn restore_rejects_population_mismatch() {
         let e = engine(4);
         let snap = e.save_synopsis();
-        let archive: Vec<Row> = e.archive().iter().take(100).cloned().collect();
+        let archive: Vec<Row> = e.archive().iter_rows().take(100).collect();
         assert!(JanusEngine::restore(e.config().clone(), archive, &snap).is_err());
     }
 

@@ -119,7 +119,7 @@ impl MultiTemplateEngine {
         for c in &configs {
             c.validate()?;
         }
-        let archive = ArchiveStore::from_rows(rows);
+        let archive = ArchiveStore::from_rows_in(&configs[0].archive_backend, rows)?;
         let n = archive.len();
         let rate = configs.iter().map(|c| c.sample_rate).fold(0.0, f64::max);
         let base_seed = configs[0].seed;
@@ -190,8 +190,9 @@ impl MultiTemplateEngine {
             &outcome.leaf_variances,
             n as f64,
         )?;
+        let mut point: Vec<f64> = Vec::new();
         for row in self.reservoir.iter() {
-            let point = row.project(&template.predicate_columns);
+            row.project_into(&template.predicate_columns, &mut point);
             dpt.assign_sample(row.id, &point);
         }
         let goal = (config.catchup_ratio * n as f64).ceil() as usize;
@@ -216,20 +217,24 @@ impl MultiTemplateEngine {
         self.archive.len()
     }
 
-    /// Ground-truth oracle.
+    /// Ground-truth oracle (zero-copy archive scan).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        query.evaluate_exact(self.archive.iter())
+        let mut acc = query.exact_accumulator();
+        self.archive.for_each_row(|r| acc.offer(r.values));
+        acc.finish()
     }
 
     /// Runs the catch-up of synopsis `idx` to its goal.
     pub fn run_catchup_to_goal(&mut self, idx: usize) {
+        let syn = &mut self.synopses[idx];
         loop {
-            let rows: Vec<Row> = self.synopses[idx].catchup.next_chunk(4096).to_vec();
+            // Field-disjoint borrows: queue hands out rows, tree absorbs.
+            let rows = syn.catchup.next_chunk(4096);
             if rows.is_empty() {
                 break;
             }
-            for row in &rows {
-                self.synopses[idx].dpt.apply_catchup_row(row);
+            for row in rows {
+                syn.dpt.apply_catchup_row(row);
             }
         }
     }
@@ -255,7 +260,7 @@ impl MultiTemplateEngine {
         match self.reservoir.offer(row.clone(), self.archive.len()) {
             InsertOutcome::Added => self.admit(&row),
             InsertOutcome::Replaced { evicted } => {
-                let old = self.archive.get(evicted).cloned();
+                let old = self.archive.get(evicted);
                 if let Some(old) = old {
                     self.evict(&old);
                 }
@@ -337,8 +342,9 @@ impl MultiTemplateEngine {
                 syn.config.delta,
                 points,
             );
+            let mut point: Vec<f64> = Vec::new();
             for r in &sampled {
-                let point = r.project(&template.predicate_columns);
+                r.project_into(&template.predicate_columns, &mut point);
                 syn.dpt.assign_sample(r.id, &point);
             }
         }

@@ -16,7 +16,7 @@ use crate::partition::PartitionSpec;
 use janus_common::DetHashMap;
 use janus_common::{
     AggregateFunction, Estimate, JanusError, Moments, Query, QueryTemplate, Rect, Result, Row,
-    RowId,
+    RowId, RowRef,
 };
 use std::collections::{BTreeSet, HashMap};
 
@@ -72,6 +72,10 @@ pub struct Dpt {
     epochs: Vec<EpochInfo>,
     /// Leaf index of each currently-sampled row.
     sample_leaf: DetHashMap<RowId, usize>,
+    /// Reusable projection buffer for the per-row hot paths (insert,
+    /// delete, catch-up): projecting through it instead of allocating a
+    /// fresh `Vec` per row is what keeps tree maintenance allocation-free.
+    point_scratch: Vec<f64>,
 }
 
 impl Dpt {
@@ -120,6 +124,7 @@ impl Dpt {
                 offered: 0,
             }],
             sample_leaf: DetHashMap::default(),
+            point_scratch: Vec::new(),
         })
     }
 
@@ -145,6 +150,7 @@ impl Dpt {
             root,
             epochs,
             sample_leaf,
+            point_scratch: Vec::new(),
         }
     }
 
@@ -212,6 +218,23 @@ impl Dpt {
         row.project(&self.template.predicate_columns)
     }
 
+    /// Projects a row onto predicate space into a caller-owned buffer —
+    /// the allocation-free twin of [`Dpt::project`] for batch loops.
+    #[inline]
+    pub fn project_into(&self, row: &Row, out: &mut Vec<f64>) {
+        row.project_into(&self.template.predicate_columns, out);
+    }
+
+    /// Takes the scratch projection buffer, projects `row` into it, and
+    /// hands it back with the buffer — the borrow-splitting dance the
+    /// `&mut self` per-row paths share.
+    #[inline]
+    fn project_scratch(&mut self, row: &Row) -> Vec<f64> {
+        let mut point = std::mem::take(&mut self.point_scratch);
+        row.project_into(&self.template.predicate_columns, &mut point);
+        point
+    }
+
     /// Aggregation value of a row under this template.
     #[inline]
     pub fn agg_value(&self, row: &Row) -> f64 {
@@ -239,46 +262,57 @@ impl Dpt {
 
     /// Records an insertion along the root-to-leaf path; returns the leaf.
     pub fn record_insert(&mut self, row: &Row) -> usize {
-        let point = self.project(row);
+        let point = self.project_scratch(row);
         let a = self.agg_value(row);
         let mut idx = self.root;
-        loop {
+        let leaf = loop {
             self.nodes[idx].stats.record_insert(a);
             let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
                 .find(|&&c| self.nodes[c].rect.contains(&point))
             else {
-                return idx;
+                break idx;
             };
             idx = next;
-        }
+        };
+        self.point_scratch = point;
+        leaf
     }
 
     /// Records a deletion along the root-to-leaf path; returns the leaf.
     pub fn record_delete(&mut self, row: &Row) -> usize {
-        let point = self.project(row);
+        let point = self.project_scratch(row);
         let a = self.agg_value(row);
         let mut idx = self.root;
-        loop {
+        let leaf = loop {
             self.nodes[idx].stats.record_delete(a);
             let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
                 .find(|&&c| self.nodes[c].rect.contains(&point))
             else {
-                return idx;
+                break idx;
             };
             idx = next;
-        }
+        };
+        self.point_scratch = point;
+        leaf
     }
 
     /// Absorbs one catch-up sample (§4.3 step 5): updates the catch-up
     /// moments of every *current-epoch* node on the path and advances the
     /// epoch's offered counter.
     pub fn apply_catchup_row(&mut self, row: &Row) {
-        let point = self.project(row);
-        let a = self.agg_value(row);
+        let point = self.project_scratch(row);
+        self.apply_catchup_point(&point, self.agg_value(row));
+        self.point_scratch = point;
+    }
+
+    /// [`Dpt::apply_catchup_row`] over a pre-projected predicate-space
+    /// point — the form catch-up loops use with a hoisted projection
+    /// buffer.
+    pub fn apply_catchup_point(&mut self, point: &[f64], a: f64) {
         let epoch = self.current_epoch();
         self.epochs[epoch].offered += 1;
         let mut idx = self.root;
@@ -289,7 +323,7 @@ impl Dpt {
             let Some(&next) = self.nodes[idx]
                 .children
                 .iter()
-                .find(|&&c| self.nodes[c].rect.contains(&point))
+                .find(|&&c| self.nodes[c].rect.contains(point))
             else {
                 return;
             };
@@ -300,24 +334,44 @@ impl Dpt {
     /// Installs exact base statistics by scanning `rows` (SPT-style
     /// construction, §2.3.1). Clears any catch-up state.
     pub fn install_exact_base<'a>(&mut self, rows: impl IntoIterator<Item = &'a Row>) {
+        self.install_exact_base_with(|sink| {
+            for row in rows {
+                sink(row.as_ref());
+            }
+        });
+    }
+
+    /// Scan-driven twin of [`Dpt::install_exact_base`]: `scan` is called
+    /// once with a row sink and drives it over every table row — the
+    /// shape a columnar archive's zero-copy `for_each_row` provides, so
+    /// exact-base construction allocates nothing per row.
+    pub fn install_exact_base_with(&mut self, scan: impl FnOnce(&mut dyn FnMut(RowRef<'_>))) {
         let mut acc: Vec<Moments> = vec![Moments::ZERO; self.nodes.len()];
         let mut values: Vec<Vec<f64>> = vec![Vec::new(); self.nodes.len()];
-        for row in rows {
-            let point = self.project(row);
-            let a = self.agg_value(row);
-            let mut idx = self.root;
-            loop {
-                acc[idx].add(a);
-                values[idx].push(a);
-                let Some(&next) = self.nodes[idx]
-                    .children
-                    .iter()
-                    .find(|&&c| self.nodes[c].rect.contains(&point))
-                else {
-                    break;
-                };
-                idx = next;
-            }
+        {
+            let nodes = &self.nodes;
+            let root = self.root;
+            let cols = &self.template.predicate_columns;
+            let agg_col = self.template.agg_column;
+            let mut point: Vec<f64> = Vec::new();
+            let mut sink = |row: RowRef<'_>| {
+                row.project_into(cols, &mut point);
+                let a = row.value(agg_col);
+                let mut idx = root;
+                loop {
+                    acc[idx].add(a);
+                    values[idx].push(a);
+                    let Some(&next) = nodes[idx]
+                        .children
+                        .iter()
+                        .find(|&&c| nodes[c].rect.contains(&point))
+                    else {
+                        break;
+                    };
+                    idx = next;
+                }
+            };
+            scan(&mut sink);
         }
         for (i, node) in self.nodes.iter_mut().enumerate() {
             node.stats.set_exact_base(acc[i]);

@@ -69,7 +69,7 @@ pub mod prelude {
     };
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,
-        Schema, Z_95,
+        RowRef, Schema, Z_95,
     };
     pub use janus_core::concurrent::{apply_batch, Update};
     pub use janus_core::templates::MultiTemplateEngine;
@@ -78,7 +78,8 @@ pub mod prelude {
         intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec,
     };
     pub use janus_storage::{
-        CheckpointStore, FileCheckpointStore, MemoryCheckpointStore, Request, RequestLog,
+        ArchiveBackend, ArchiveBackendKind, ArchiveStore, CheckpointStore, FileCheckpointStore,
+        MemoryCheckpointStore, Request, RequestLog, SegmentedFileArchive,
     };
 }
 

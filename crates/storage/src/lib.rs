@@ -14,7 +14,11 @@
 //!   shard.
 //! * [`archive`] — the cold/archival store of §2.1: holds the full current
 //!   table state, accessible offline for initialization, re-sampling, and
-//!   catch-up, but never consulted at query time.
+//!   catch-up, but never consulted at query time. Columnar in memory by
+//!   default, with a pluggable [`archive::ArchiveBackend`] trait.
+//! * [`spill`] — the segmented file-backed archive backend: sealed
+//!   tmp+rename segments on disk plus an in-memory slot index, for tables
+//!   larger than RAM.
 //! * [`samplers`] — the singleton and sequential stream samplers of
 //!   Appendix A, with a configurable poll cost model so Table 4's
 //!   poll-size trade-off reproduces in simulation.
@@ -25,9 +29,13 @@
 pub mod archive;
 pub mod checkpoint;
 pub mod samplers;
+pub mod spill;
 pub mod streamlog;
 
-pub use archive::ArchiveStore;
+pub use archive::{
+    ArchiveBackend, ArchiveBackendKind, ArchiveColumns, ArchiveStore, ColumnarArchive,
+};
 pub use checkpoint::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
+pub use spill::SegmentedFileArchive;
 pub use streamlog::{QueryResponse, Request, RequestLog, ShardedLog, TopicLog};

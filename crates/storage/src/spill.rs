@@ -1,0 +1,621 @@
+//! A crash-safe, segmented file-backed [`ArchiveBackend`] — cold storage
+//! for tables larger than RAM.
+//!
+//! ## Design
+//!
+//! The store is a log of fixed-size operation records (inserts carry the
+//! row values, deletes are tombstones), cut into *segments* of a
+//! configurable record count:
+//!
+//! * The **tail segment** is an in-memory buffer of not-yet-sealed
+//!   operations (inserted values included). When it reaches `seg_rows`
+//!   records it is **sealed**: serialized into `seg-NNNNNN.bin` via the
+//!   same temp-file + rename discipline as
+//!   [`crate::checkpoint::FileCheckpointStore`], so a crash mid-seal
+//!   leaves only an invisible `.tmp` — a reopened directory never sees a
+//!   torn segment.
+//! * **Sealed segments** are immutable. Row values are read back with
+//!   positioned reads (`pread`); deletions never rewrite a segment — they
+//!   only drop the row from the in-memory index (and append a tombstone
+//!   so a reopen replays the exact same live set and slot order).
+//!
+//! Only the **slot index** stays in memory: per live row an id and a disk
+//! (or tail) location — a few dozen bytes per row regardless of arity —
+//! which is what makes tables larger than RAM workable. Slot order uses
+//! the same `swap_remove` discipline as the in-memory columnar backend,
+//! so every seeded sampling stream is bit-identical across backends.
+//!
+//! [`SegmentedFileArchive::open`] reopens a directory and replays the
+//! sealed segments in order (unsealed tail operations die with the
+//! process — by construction they were never acknowledged as durable;
+//! durability of *engine* state goes through the checkpoint machinery).
+//! Trailing bytes that do not form a whole record are ignored.
+//!
+//! [`ArchiveBackend`]: crate::archive::ArchiveBackend
+
+use crate::archive::ArchiveBackend;
+use janus_common::{JanusError, Result, Row, RowId};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Read;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Segment header magic ("JANUSSEG", little-endian).
+const MAGIC: u64 = 0x4745_5353_554e_414a;
+/// Bytes of the per-segment header: magic + arity.
+const HEADER: usize = 16;
+/// Record kind tags.
+const KIND_INSERT: u64 = 0;
+const KIND_DELETE: u64 = 1;
+
+/// Where a live row's values currently are.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    /// Record `rec` of sealed segment `seg`.
+    Sealed { seg: u32, rec: u32 },
+    /// Tail operation `op` (values at stride `val` of the tail buffer).
+    Tail { op: u32, val: u32 },
+}
+
+/// One live slot: the row id plus its storage location.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    id: RowId,
+    loc: Loc,
+}
+
+/// A not-yet-sealed operation.
+enum TailOp {
+    /// Insert; values at stride `val` of the tail value buffer.
+    Insert { id: RowId, val: u32 },
+    /// Tombstone.
+    Delete { id: RowId },
+}
+
+/// An open sealed segment.
+struct Segment {
+    file: File,
+}
+
+/// Uniquifies ephemeral spill directories within the process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The segmented file-backed archive backend (see the module docs).
+pub struct SegmentedFileArchive {
+    dir: PathBuf,
+    seg_rows: usize,
+    /// Values per row; `None` until the first insert (or reopen) fixes it.
+    arity: Option<usize>,
+    slots: Vec<Slot>,
+    index_of: HashMap<RowId, usize>,
+    segments: Vec<Segment>,
+    tail_ops: Vec<TailOp>,
+    /// Arity-strided values of the tail's insert operations.
+    tail_values: Vec<f64>,
+    tail_inserts: u32,
+    /// Ephemeral stores delete their directory on drop (they are spill
+    /// caches, not the durability story).
+    ephemeral: bool,
+}
+
+impl SegmentedFileArchive {
+    /// Opens (creating if needed) a persistent spill directory and
+    /// replays its sealed segments. Torn `.tmp` files from a crashed seal
+    /// are ignored; trailing partial records are ignored.
+    pub fn open(dir: impl AsRef<Path>, seg_rows: usize) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| storage_err("create spill dir", &e))?;
+        let mut store = SegmentedFileArchive {
+            dir,
+            seg_rows: seg_rows.max(1),
+            arity: None,
+            slots: Vec::new(),
+            index_of: HashMap::new(),
+            segments: Vec::new(),
+            tail_ops: Vec::new(),
+            tail_values: Vec::new(),
+            tail_inserts: 0,
+            ephemeral: false,
+        };
+        store.replay_existing()?;
+        Ok(store)
+    }
+
+    /// Creates a fresh spill store in a unique subdirectory of `root`,
+    /// removed again when the store drops — the shape engine configs use
+    /// ([`crate::archive::ArchiveBackendKind::FileSpill`]): the spill
+    /// data is a working set, while durability goes through checkpoints.
+    pub fn create_ephemeral(root: impl AsRef<Path>, seg_rows: usize) -> Result<Self> {
+        let unique = format!(
+            "spill-{}-{}",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = root.as_ref().join(unique);
+        // A leftover directory from a recycled pid would replay foreign
+        // rows into a store the caller expects empty.
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = Self::open(dir, seg_rows)?;
+        store.ephemeral = true;
+        Ok(store)
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of sealed segment files.
+    pub fn sealed_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Operations buffered in the unsealed tail.
+    pub fn tail_len(&self) -> usize {
+        self.tail_ops.len()
+    }
+
+    /// Seals the tail (if non-empty) so everything ingested so far is on
+    /// disk — the durability barrier a clean shutdown or a pre-crash
+    /// flush wants.
+    pub fn flush(&mut self) -> Result<()> {
+        self.seal_tail()
+    }
+
+    fn seg_path(&self, seg: usize) -> PathBuf {
+        self.dir.join(format!("seg-{seg:06}.bin"))
+    }
+
+    fn record_size(arity: usize) -> usize {
+        16 + 8 * arity
+    }
+
+    /// Replays sealed segments (name order) into the in-memory index.
+    fn replay_existing(&mut self) -> Result<()> {
+        let entries =
+            std::fs::read_dir(&self.dir).map_err(|e| storage_err("list spill dir", &e))?;
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().to_str()?.to_string();
+                (name.starts_with("seg-") && name.ends_with(".bin")).then_some(name)
+            })
+            .collect();
+        names.sort_unstable();
+        for (seg_no, name) in names.iter().enumerate() {
+            let path = self.dir.join(name);
+            let mut file = File::open(&path).map_err(|e| storage_err("open segment", &e))?;
+            let mut header = [0u8; HEADER];
+            file.read_exact(&mut header)
+                .map_err(|e| storage_err("read segment header", &e))?;
+            let magic = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
+            if magic != MAGIC {
+                return Err(JanusError::Storage(format!(
+                    "{} is not a janus spill segment",
+                    path.display()
+                )));
+            }
+            let arity = u64::from_le_bytes(header[8..].try_into().expect("8 bytes")) as usize;
+            match self.arity {
+                None => self.arity = Some(arity),
+                Some(a) if a == arity => {}
+                Some(a) => {
+                    return Err(JanusError::Storage(format!(
+                        "segment {} has arity {arity}, store has {a}",
+                        path.display()
+                    )));
+                }
+            }
+            let rec_size = Self::record_size(arity);
+            let mut record = vec![0u8; rec_size];
+            let mut rec_no = 0u32;
+            while read_full_record(&mut file, &mut record)? {
+                let kind = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
+                let id = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));
+                match kind {
+                    KIND_INSERT => {
+                        if !self.index_of.contains_key(&id) {
+                            self.index_of.insert(id, self.slots.len());
+                            self.slots.push(Slot {
+                                id,
+                                loc: Loc::Sealed {
+                                    seg: seg_no as u32,
+                                    rec: rec_no,
+                                },
+                            });
+                        }
+                    }
+                    KIND_DELETE => {
+                        self.remove_slot(id);
+                    }
+                    other => {
+                        return Err(JanusError::Storage(format!(
+                            "segment {} record {rec_no} has unknown kind {other}",
+                            path.display()
+                        )));
+                    }
+                }
+                rec_no += 1;
+            }
+            self.segments.push(Segment { file });
+        }
+        Ok(())
+    }
+
+    /// Drops `id` from the slot index with `swap_remove` semantics.
+    /// Returns the removed slot.
+    fn remove_slot(&mut self, id: RowId) -> Option<Slot> {
+        let at = self.index_of.remove(&id)?;
+        let slot = self.slots.swap_remove(at);
+        if at < self.slots.len() {
+            self.index_of.insert(self.slots[at].id, at);
+        }
+        Some(slot)
+    }
+
+    /// Seals the tail into the next segment file (tmp + rename) and
+    /// remaps tail locations to sealed ones.
+    fn seal_tail(&mut self) -> Result<()> {
+        if self.tail_ops.is_empty() {
+            return Ok(());
+        }
+        let arity = self.arity.expect("tail operations imply a known arity");
+        let seg_no = self.segments.len();
+        let mut bytes = Vec::with_capacity(HEADER + self.tail_ops.len() * Self::record_size(arity));
+        bytes.extend_from_slice(&MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&(arity as u64).to_le_bytes());
+        for op in &self.tail_ops {
+            match op {
+                TailOp::Insert { id, val } => {
+                    bytes.extend_from_slice(&KIND_INSERT.to_le_bytes());
+                    bytes.extend_from_slice(&id.to_le_bytes());
+                    let start = *val as usize * arity;
+                    for v in &self.tail_values[start..start + arity] {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+                TailOp::Delete { id } => {
+                    bytes.extend_from_slice(&KIND_DELETE.to_le_bytes());
+                    bytes.extend_from_slice(&id.to_le_bytes());
+                    bytes.extend_from_slice(&vec![0u8; 8 * arity]);
+                }
+            }
+        }
+        let target = self.seg_path(seg_no);
+        let tmp = self.dir.join(format!(".seg-{seg_no:06}.tmp"));
+        std::fs::write(&tmp, &bytes).map_err(|e| storage_err("write segment", &e))?;
+        std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish segment", &e))?;
+        let file = File::open(&target).map_err(|e| storage_err("reopen sealed segment", &e))?;
+        self.segments.push(Segment { file });
+        // Tail op `k` became record `k` of the sealed segment.
+        for slot in &mut self.slots {
+            if let Loc::Tail { op, .. } = slot.loc {
+                slot.loc = Loc::Sealed {
+                    seg: seg_no as u32,
+                    rec: op,
+                };
+            }
+        }
+        self.tail_ops.clear();
+        self.tail_values.clear();
+        self.tail_inserts = 0;
+        Ok(())
+    }
+
+    fn read_values_into(&self, loc: Loc, buf: &mut Vec<f64>) {
+        let arity = self.arity.expect("live slots imply a known arity");
+        buf.clear();
+        match loc {
+            Loc::Tail { val, .. } => {
+                let start = val as usize * arity;
+                buf.extend_from_slice(&self.tail_values[start..start + arity]);
+            }
+            Loc::Sealed { seg, rec } => {
+                let mut bytes = vec![0u8; 8 * arity];
+                let offset = (HEADER + rec as usize * Self::record_size(arity) + 16) as u64;
+                self.segments[seg as usize]
+                    .file
+                    .read_exact_at(&mut bytes, offset)
+                    .expect("spill segment read failed; archive state is unrecoverable");
+                buf.extend(
+                    bytes
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))),
+                );
+            }
+        }
+    }
+}
+
+impl ArchiveBackend for SegmentedFileArchive {
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn arity(&self) -> usize {
+        self.arity.unwrap_or(0)
+    }
+
+    fn slot_of(&self, id: RowId) -> Option<usize> {
+        self.index_of.get(&id).copied()
+    }
+
+    fn insert(&mut self, id: RowId, values: &[f64]) -> bool {
+        if self.index_of.contains_key(&id) {
+            return false;
+        }
+        match self.arity {
+            None => self.arity = Some(values.len()),
+            Some(a) => assert_eq!(a, values.len(), "spill archive requires uniform row arity"),
+        }
+        let op = self.tail_ops.len() as u32;
+        let val = self.tail_inserts;
+        self.tail_values.extend_from_slice(values);
+        self.tail_ops.push(TailOp::Insert { id, val });
+        self.tail_inserts += 1;
+        self.index_of.insert(id, self.slots.len());
+        self.slots.push(Slot {
+            id,
+            loc: Loc::Tail { op, val },
+        });
+        if self.tail_ops.len() >= self.seg_rows {
+            self.seal_tail()
+                .expect("spill segment seal failed; archive state is unrecoverable");
+        }
+        true
+    }
+
+    fn delete(&mut self, id: RowId) -> Option<Row> {
+        let slot = self.remove_slot(id)?;
+        let mut values = Vec::new();
+        self.read_values_into(slot.loc, &mut values);
+        self.tail_ops.push(TailOp::Delete { id });
+        if self.tail_ops.len() >= self.seg_rows {
+            self.seal_tail()
+                .expect("spill segment seal failed; archive state is unrecoverable");
+        }
+        Some(Row::new(id, values))
+    }
+
+    fn read_slot(&self, slot: usize, buf: &mut Vec<f64>) -> RowId {
+        let s = self.slots[slot];
+        self.read_values_into(s.loc, buf);
+        s.id
+    }
+
+    fn name(&self) -> &'static str {
+        "file-segmented"
+    }
+}
+
+impl Drop for SegmentedFileArchive {
+    fn drop(&mut self) {
+        if self.ephemeral {
+            // Spill caches clean up after themselves; close handles first.
+            self.segments.clear();
+            let _ = std::fs::remove_dir_all(&self.dir);
+        } else {
+            // A clean close loses nothing: best-effort seal of the tail.
+            let _ = self.seal_tail();
+        }
+    }
+}
+
+/// Reads one whole record into `buf`; `Ok(false)` at end-of-segment.
+/// A trailing *partial* record (EOF mid-record) is treated as
+/// end-of-segment — a torn write must not poison the sealed prefix —
+/// but a genuine I/O error propagates: silently truncating the replay
+/// would reopen the store with a wrong live set.
+fn read_full_record(file: &mut File, buf: &mut [u8]) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(storage_err("read segment record", &e)),
+        }
+    }
+    Ok(true)
+}
+
+fn storage_err(what: &str, e: &std::io::Error) -> JanusError {
+    JanusError::Storage(format!("{what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archive::ArchiveStore;
+    use janus_common::Row;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "janus-spill-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn row(id: u64) -> Row {
+        Row::new(id, vec![id as f64, (id * 3) as f64])
+    }
+
+    fn file_store(tag: &str, seg_rows: usize) -> (ArchiveStore, PathBuf) {
+        let dir = scratch_dir(tag);
+        let store = ArchiveStore::with_backend(Box::new(
+            SegmentedFileArchive::open(&dir, seg_rows).unwrap(),
+        ));
+        (store, dir)
+    }
+
+    #[test]
+    fn file_backend_matches_memory_backend_exactly() {
+        let (mut file, dir) = file_store("equiv", 16);
+        let mut mem = ArchiveStore::new();
+        for i in 0..200u64 {
+            assert_eq!(mem.insert(row(i)), file.insert(row(i)));
+        }
+        for id in [3u64, 150, 7, 199, 0, 42] {
+            assert_eq!(mem.delete(id), file.delete(id));
+        }
+        assert_eq!(mem.len(), file.len());
+        assert_eq!(mem.to_rows(), file.to_rows(), "slot order identical");
+        assert_eq!(mem.sample_distinct(25, 9), file.sample_distinct(25, 9));
+        assert_eq!(
+            mem.sample_with_replacement(40, 9),
+            file.sample_with_replacement(40, 9)
+        );
+        assert_eq!(mem.shuffled(9), file.shuffled(9));
+        assert_eq!(mem.get(11), file.get(11));
+        assert_eq!(file.backend_name(), "file-segmented");
+        drop(file);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sealed_rows_survive_reopen() {
+        let dir = scratch_dir("reopen");
+        {
+            let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
+            for i in 0..30u64 {
+                assert!(ArchiveBackend::insert(&mut store, i, &[i as f64]));
+            }
+            ArchiveBackend::delete(&mut store, 5).unwrap();
+            store.flush().unwrap();
+            assert!(store.sealed_segments() >= 3);
+        } // dropped cleanly: Drop seals any tail remainder
+
+        let reopened =
+            ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir, 8).unwrap()));
+        assert_eq!(reopened.len(), 29);
+        assert!(!reopened.contains(5));
+        assert_eq!(reopened.get(29).unwrap().values, vec![29.0]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Replayed slot order equals the original's: a reopened store's
+    /// seeded sampling streams continue bit-identically.
+    #[test]
+    fn reopen_preserves_slot_order_and_sampling_streams() {
+        let dir = scratch_dir("order");
+        let (rows_before, sample_before, shuffle_before) = {
+            let mut store =
+                ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir, 4).unwrap()));
+            for i in 0..50u64 {
+                store.insert(row(i));
+            }
+            for id in [9u64, 0, 49, 20] {
+                store.delete(id);
+            }
+            (
+                store.to_rows(),
+                store.sample_distinct(10, 77),
+                store.shuffled(78),
+            )
+            // drop seals the tail
+        };
+        let reopened =
+            ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir, 4).unwrap()));
+        assert_eq!(reopened.to_rows(), rows_before);
+        assert_eq!(reopened.sample_distinct(10, 77), sample_before);
+        assert_eq!(reopened.shuffled(78), shuffle_before);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The crash-safety contract: a torn final segment — a `.tmp` the
+    /// crashed process never renamed, or trailing partial-record bytes —
+    /// is invisible after reopen; the sealed prefix is intact.
+    #[test]
+    fn torn_final_segment_is_invisible_after_reopen() {
+        let dir = scratch_dir("torn");
+        {
+            let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
+            for i in 0..16u64 {
+                ArchiveBackend::insert(&mut store, i, &[i as f64, 1.0]);
+            }
+            assert_eq!(store.sealed_segments(), 2);
+            // Crash mid-seal: a torn tmp that was never renamed…
+            std::fs::write(dir.join(".seg-000002.tmp"), b"torn-partial-write").unwrap();
+            std::mem::forget(store); // …and no clean shutdown.
+        }
+        {
+            let reopened = SegmentedFileArchive::open(&dir, 8).unwrap();
+            assert_eq!(ArchiveBackend::len(&reopened), 16, "sealed prefix intact");
+            assert!(reopened.slot_of(15).is_some());
+        }
+        // A torn *sealed* file tail (partial trailing record) is ignored
+        // too: append garbage shorter than one record to the last segment.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("seg-000001.bin"))
+                .unwrap();
+            f.write_all(&[0xAB; 9]).unwrap();
+        }
+        let reopened = SegmentedFileArchive::open(&dir, 8).unwrap();
+        assert_eq!(ArchiveBackend::len(&reopened), 16);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ephemeral_store_cleans_its_directory() {
+        let root = scratch_dir("ephemeral-root");
+        std::fs::create_dir_all(&root).unwrap();
+        let spill_dir;
+        {
+            let mut store = SegmentedFileArchive::create_ephemeral(&root, 4).unwrap();
+            for i in 0..10u64 {
+                ArchiveBackend::insert(&mut store, i, &[i as f64]);
+            }
+            spill_dir = store.dir().to_path_buf();
+            assert!(spill_dir.exists());
+        }
+        assert!(!spill_dir.exists(), "ephemeral spill dir removed on drop");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    /// Arity is fixed by the first insert for a store's lifetime — even
+    /// across emptiness — on *both* backends: the same update sequence
+    /// must be accepted or rejected identically regardless of
+    /// representation.
+    #[test]
+    fn arity_stays_locked_after_emptying_on_both_backends() {
+        let (mut file, dir) = file_store("arity", 8);
+        let mut mem = ArchiveStore::new();
+        for store in [&mut mem, &mut file] {
+            assert!(store.insert(Row::new(1, vec![1.0, 2.0])));
+            assert!(store.delete(1).is_some());
+            let refit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                store.insert(Row::new(2, vec![1.0, 2.0, 3.0]))
+            }));
+            assert!(
+                refit.is_err(),
+                "{}: arity must stay locked after emptying",
+                store.backend_name()
+            );
+            assert!(store.insert(Row::new(3, vec![4.0, 5.0])), "same arity ok");
+        }
+        drop(file);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn values_larger_than_the_tail_live_on_disk() {
+        let (mut store, dir) = file_store("large", 32);
+        // 10k rows with a 32-record tail: ≥ 99% of values are on disk.
+        for i in 0..10_000u64 {
+            store.insert(row(i));
+        }
+        let mut sum = 0.0;
+        store.for_each_row(|r| sum += r.value(0));
+        assert_eq!(sum, (0..10_000u64).map(|i| i as f64).sum::<f64>());
+        drop(store);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

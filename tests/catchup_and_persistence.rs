@@ -101,7 +101,7 @@ fn snapshot_survives_simulated_restart_with_replay() {
     let json = serde_json::to_vec(&snap).unwrap();
 
     // "Restart": rebuild from the durable archive + deserialized synopsis.
-    let archive: Vec<Row> = engine.archive().iter().cloned().collect();
+    let archive: Vec<Row> = engine.export_rows();
     let snap2: SynopsisSnapshot = serde_json::from_slice(&json).unwrap();
     let mut restored = JanusEngine::restore(engine.config().clone(), archive, &snap2).unwrap();
 

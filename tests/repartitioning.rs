@@ -165,7 +165,7 @@ fn node_targeted_deletions_trigger_recovery() {
     for id in victims {
         engine.delete(id).unwrap();
     }
-    let live: Vec<Row> = engine.archive().iter().cloned().collect();
+    let live: Vec<Row> = engine.export_rows();
     let before = p95(errors_over(&mut engine, &live, 25));
     engine.reinitialize().unwrap();
     engine.run_catchup_to_goal();
