@@ -33,6 +33,14 @@
 //! per-shard worker pool — and `rebalance_rows_per_sec` — rows migrated
 //! per second by a skew-triggered snapshot-shipping rebalance (0 for a
 //! single shard, which has nowhere to migrate).
+//!
+//! One networked column rides along (CI gates on it too):
+//! `network_ingest_rows_per_sec` — the same second-half ingest pushed
+//! through a `RemoteCluster` coordinator to a three-process-shaped
+//! fleet of in-process `NodeServer` daemons over localhost TCP, timed
+//! from first publish until `drain()` reports every shipped offset
+//! applied on the nodes. This is the full wire path: frame encode,
+//! kernel socket hop, decode, topic append, and pump on the daemon.
 
 use super::{paper_config, TAXI_N};
 use crate::metrics::{mean, rows_per_sec};
@@ -40,6 +48,7 @@ use crate::ExpReport;
 use janus_cluster::{ClusterConfig, ClusterEngine, LiveCluster, ShardOp, ShardPolicy};
 use janus_common::Row;
 use janus_data::nyc_taxi;
+use janus_net::{local_fleet, RemoteCluster, RemoteConfig};
 use janus_storage::RequestLog;
 use serde_json::json;
 use std::sync::Arc;
@@ -250,6 +259,41 @@ pub fn run(scale: f64) -> ExpReport {
             "replicas should serve a share of the reads"
         );
 
+        // Networked ingest: the same second half shipped over localhost
+        // TCP to a three-node fleet through `RemoteCluster` — publish on
+        // the coordinator, batched frames on the wire, pump on the node
+        // daemons — timed until `drain()` reports every copy caught up.
+        let fleet = local_fleet(3).expect("start node fleet");
+        let addrs: Vec<_> = fleet.iter().map(|s| s.addr()).collect();
+        let remote = RemoteCluster::bootstrap(
+            RemoteConfig::new(
+                paper_config(&dataset, "pickup_time", "trip_distance", 0xc5),
+                shards,
+                policy.clone(),
+            ),
+            dataset.rows[..existing].to_vec(),
+            &addrs,
+        )
+        .expect("bootstrap networked");
+        let started = Instant::now();
+        for chunk in batch.chunks(INGEST_BATCH) {
+            let report = remote.publish_batch(chunk.iter().cloned().map(ShardOp::Insert));
+            assert_eq!(report.rejected, 0, "networked ingest rejected rows");
+        }
+        remote.drain();
+        let network_wall = started.elapsed();
+        assert_eq!(
+            remote.population().expect("networked population"),
+            n as u64,
+            "networked ingest must not lose rows"
+        );
+        remote.shutdown_nodes();
+        remote.shutdown();
+        for server in fleet {
+            server.wait();
+        }
+        let network_rate = rows_per_sec(batch.len(), network_wall);
+
         rows_out.push(vec![
             json!(shards),
             json!(per_row_rate),
@@ -266,6 +310,7 @@ pub fn run(scale: f64) -> ExpReport {
             json!(batched_rate),
             json!(rows_per_sec(queries.len(), pooled_wall)),
             json!(rebalance_rate),
+            json!(network_rate),
         ]);
     }
     ExpReport {
@@ -283,6 +328,7 @@ pub fn run(scale: f64) -> ExpReport {
             "batch_ingest_rows_per_sec",
             "pooled_queries_per_s",
             "rebalance_rows_per_sec",
+            "network_ingest_rows_per_sec",
         ]
         .map(String::from)
         .to_vec(),

@@ -65,6 +65,7 @@ pub mod bootstrap;
 pub mod checkpoint;
 pub mod engine;
 pub mod live;
+pub mod notify;
 pub mod rebalance;
 pub mod router;
 pub(crate) mod scatter;
@@ -72,6 +73,7 @@ pub(crate) mod scatter;
 pub use checkpoint::{ClusterCheckpoint, PolicyKind, RouterSnapshot, ShardCheckpoint};
 pub use engine::{ClusterConfig, ClusterEngine, ClusterStats, PublishReport, ShardOp};
 pub use live::{LiveCluster, LiveConfig, LiveStats};
+pub use notify::Progress;
 pub use rebalance::RebalanceReport;
 pub use router::{ShardPolicy, ShardRouter};
 

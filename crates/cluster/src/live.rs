@@ -61,12 +61,21 @@
 
 use crate::checkpoint::ClusterCheckpoint;
 use crate::engine::{ClusterConfig, ClusterEngine, ShardOp};
+use crate::notify::Progress;
 use janus_common::{Result, Row};
 use janus_storage::{CheckpointStore, Request, RequestLog};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Idle-wait backoff bounds shared by the workers and the barriers:
+/// waits start short (snappy wakeups while traffic flows) and double up
+/// to the cap (cheap idling when nothing moves). Every wait is also
+/// cut short by a [`Progress`] bump or an unpark, so the cap only
+/// bounds the missed-wakeup worst case, not the common-path latency.
+const IDLE_MIN: Duration = Duration::from_micros(200);
+const IDLE_MAX: Duration = Duration::from_millis(64);
 
 /// Tuning knobs of the live service loop.
 #[derive(Clone, Debug)]
@@ -154,6 +163,12 @@ struct Shared {
     checkpoint_requested: AtomicBool,
     /// Checkpoints retained after each save.
     checkpoint_keep: usize,
+    /// Wakeup channel: workers bump it whenever they make observable
+    /// progress (records pumped, requests consumed, checkpoint cut), and
+    /// the barriers ([`LiveCluster::drain`], backlog stalls,
+    /// [`LiveCluster::checkpoint_now`]) block on it instead of
+    /// sleep-polling.
+    progress: Progress,
     counters: LiveCounters,
 }
 
@@ -260,6 +275,7 @@ impl LiveCluster {
             store,
             checkpoint_requested: AtomicBool::new(false),
             checkpoint_keep: live.checkpoint_keep.max(1),
+            progress: Progress::new(),
             counters: LiveCounters::default(),
         });
 
@@ -271,6 +287,7 @@ impl LiveCluster {
                 std::thread::Builder::new()
                     .name(format!("janus-pump-{shard}"))
                     .spawn(move || {
+                        let mut idle = IDLE_MIN;
                         while !worker.shutdown.load(Ordering::Relaxed) {
                             let (applied, skipped) =
                                 worker.cluster.pump_shard_lossy(shard, pump_chunk);
@@ -286,9 +303,16 @@ impl LiveCluster {
                             let replica_applied =
                                 worker.cluster.pump_replicas_lossy(shard, pump_chunk);
                             if applied == 0 && skipped == 0 && replica_applied == 0 {
-                                // Topic drained: idle briefly instead of
-                                // spinning on the shard lock.
-                                std::thread::park_timeout(Duration::from_millis(1));
+                                // Topic drained: park with bounded backoff
+                                // instead of spinning on the shard lock; a
+                                // publish unparks us immediately.
+                                std::thread::park_timeout(idle);
+                                idle = (idle * 2).min(IDLE_MAX);
+                            } else {
+                                // Applied records are progress the drain /
+                                // stall / checkpoint barriers wait on.
+                                worker.progress.bump();
+                                idle = IDLE_MIN;
                             }
                         }
                     })
@@ -372,6 +396,7 @@ impl LiveCluster {
         self.shared
             .checkpoint_requested
             .store(true, Ordering::Release);
+        let mut idle = IDLE_MIN;
         loop {
             if let Some(t) = &self.frontend_thread {
                 t.thread().unpark();
@@ -379,15 +404,25 @@ impl LiveCluster {
             for t in &self.pump_threads {
                 t.thread().unpark();
             }
-            let attempts = c.checkpoints.load(Ordering::Relaxed)
-                + c.checkpoint_failures.load(Ordering::Relaxed);
-            if attempts > attempts_before {
+            let attempts = || {
+                c.checkpoints.load(Ordering::Relaxed)
+                    + c.checkpoint_failures.load(Ordering::Relaxed)
+            };
+            if attempts() > attempts_before {
                 return c.checkpoints.load(Ordering::Relaxed) > ok_before;
             }
             if self.shared.shutdown.load(Ordering::Relaxed) {
                 return false;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            // Wait for the front end to report the cut (it bumps after
+            // every checkpoint attempt); re-check after the snapshot so
+            // a bump between the probe and the wait is never missed.
+            let seen = self.shared.progress.snapshot();
+            if attempts() > attempts_before {
+                return c.checkpoints.load(Ordering::Relaxed) > ok_before;
+            }
+            self.shared.progress.wait_past(seen, idle);
+            idle = (idle * 2).min(IDLE_MAX);
         }
     }
 
@@ -398,13 +433,15 @@ impl LiveCluster {
     /// publishing move the goalposts; quiesce them first for a final
     /// drain.
     pub fn drain(&self) {
-        loop {
+        let drained = || {
             let end = self.shared.requests.end_offset();
-            let consumed = self.shared.front_offset.load(Ordering::Acquire);
-            if consumed >= end
+            self.shared.front_offset.load(Ordering::Acquire) >= end
                 && self.shared.cluster.pending() == 0
                 && self.shared.cluster.replica_pending() == 0
-            {
+        };
+        let mut idle = IDLE_MIN;
+        loop {
+            if drained() {
                 return;
             }
             if let Some(t) = &self.frontend_thread {
@@ -413,7 +450,15 @@ impl LiveCluster {
             for t in &self.pump_threads {
                 t.thread().unpark();
             }
-            std::thread::sleep(Duration::from_millis(1));
+            // Workers bump after every pumped batch / consumed request,
+            // so the barrier wakes as soon as the state moves; the
+            // timeout only backstops a missed wakeup.
+            let seen = self.shared.progress.snapshot();
+            if drained() {
+                return;
+            }
+            self.shared.progress.wait_past(seen, idle);
+            idle = (idle * 2).min(IDLE_MAX);
         }
     }
 
@@ -432,6 +477,8 @@ impl LiveCluster {
 
     fn stop_workers(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Lift any barrier blocked on progress so it re-checks shutdown.
+        self.shared.progress.bump();
         if let Some(t) = self.frontend_thread.take() {
             t.thread().unpark();
             let _ = t.join();
@@ -462,6 +509,7 @@ fn frontend_loop(
 ) {
     let mut offset = shared.front_offset.load(Ordering::Acquire);
     let mut pumped_at_checkpoint = shared.cluster.pumped_records();
+    let mut idle = IDLE_MIN;
     loop {
         if shared.store.is_some() {
             let requested = shared.checkpoint_requested.swap(false, Ordering::AcqRel);
@@ -479,9 +527,11 @@ fn frontend_loop(
             if shared.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            std::thread::park_timeout(Duration::from_millis(1));
+            std::thread::park_timeout(idle);
+            idle = (idle * 2).min(IDLE_MAX);
             continue;
         }
+        idle = IDLE_MIN;
         // Consecutive data requests republish through the *batched* path:
         // one router/directory acquisition and one topic append per shard
         // per run, instead of a lock round trip per record. An Execute is
@@ -519,6 +569,7 @@ fn frontend_loop(
                     // effect (topic record or response) is visible — the
                     // drain contract.
                     shared.front_offset.store(offset, Ordering::Release);
+                    shared.progress.bump();
                 }
             }
         }
@@ -577,6 +628,7 @@ fn flush_ops(
             .requests_consumed
             .fetch_add(take as u64, Ordering::Relaxed);
         shared.front_offset.store(*offset, Ordering::Release);
+        shared.progress.bump();
         for worker in pump_workers {
             worker.unpark();
         }
@@ -598,6 +650,7 @@ fn take_checkpoint(shared: &Shared, pump_workers: &[std::thread::Thread]) -> boo
         .store
         .as_ref()
         .expect("take_checkpoint requires a store");
+    let mut idle = IDLE_MIN;
     loop {
         if shared.cluster.pending() == 0 {
             let mut checkpoint = shared.cluster.checkpoint();
@@ -614,6 +667,9 @@ fn take_checkpoint(shared: &Shared, pump_workers: &[std::thread::Thread]) -> boo
                         .checkpoint_failures
                         .fetch_add(1, Ordering::Relaxed),
                 };
+                // Wake any checkpoint_now() caller blocked on the
+                // attempt counters.
+                shared.progress.bump();
                 return true;
             }
             // A record slipped in between the pending probe and the cut;
@@ -625,7 +681,14 @@ fn take_checkpoint(shared: &Shared, pump_workers: &[std::thread::Thread]) -> boo
         for worker in pump_workers {
             worker.unpark();
         }
-        std::thread::park_timeout(Duration::from_micros(200));
+        // The pumps bump progress per applied batch; block until they
+        // move instead of poll-parking (re-probe after the snapshot so
+        // a bump in between is never slept through).
+        let seen = shared.progress.snapshot();
+        if shared.cluster.pending() != 0 && !shared.shutdown.load(Ordering::Relaxed) {
+            shared.progress.wait_past(seen, idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
     }
 }
 
@@ -638,6 +701,7 @@ fn stall_for_backlog(
     pump_workers: &[std::thread::Thread],
     max_backlog: u64,
 ) -> bool {
+    let mut idle = IDLE_MIN;
     loop {
         if !shared.cluster.backlog_exceeds(max_backlog) {
             return true;
@@ -648,6 +712,14 @@ fn stall_for_backlog(
         for worker in pump_workers {
             worker.unpark();
         }
-        std::thread::park_timeout(Duration::from_micros(200));
+        // The backlog only shrinks when a pump applies records, and
+        // every such batch bumps progress — wait on that instead of
+        // poll-parking, re-checking after the snapshot.
+        let seen = shared.progress.snapshot();
+        if !shared.cluster.backlog_exceeds(max_backlog) {
+            return true;
+        }
+        shared.progress.wait_past(seen, idle);
+        idle = (idle * 2).min(IDLE_MAX);
     }
 }

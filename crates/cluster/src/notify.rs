@@ -1,0 +1,118 @@
+//! Condvar-backed progress notification.
+//!
+//! [`Progress`] is the cluster's wakeup primitive: producers (pump
+//! workers, the live front end, network shippers) `bump()` a generation
+//! counter whenever they make observable progress, and waiters
+//! (`drain()`, backlog stalls, checkpoint barriers) block on the
+//! condvar until the generation moves past the value they last saw —
+//! with a caller-chosen timeout as a missed-wakeup backstop. This
+//! replaces the old spin/sleep polling loops, which burned a core per
+//! waiting thread at idle; a parked waiter costs nothing until the next
+//! bump.
+//!
+//! The usage pattern that makes the wait race-free:
+//!
+//! ```text
+//! loop {
+//!     if condition_met() { return; }
+//!     let seen = progress.snapshot();
+//!     if condition_met() { return; }   // re-check after snapshot
+//!     progress.wait_past(seen, backoff);
+//! }
+//! ```
+//!
+//! Any producer bump between the snapshot and the wait lifts the
+//! generation past `seen`, so the wait returns immediately instead of
+//! sleeping through the wakeup.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing generation counter paired with a condvar.
+#[derive(Default, Debug)]
+pub struct Progress {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Progress {
+    /// A fresh counter at generation zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records progress: advances the generation and wakes all waiters.
+    pub fn bump(&self) {
+        let mut g = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        *g += 1;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// The current generation, for a subsequent
+    /// [`Progress::wait_past`].
+    pub fn snapshot(&self) -> u64 {
+        *self.generation.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until the generation moves past `seen` or `timeout`
+    /// elapses, whichever is first. Returns `true` if progress was
+    /// observed (callers re-check their condition either way).
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        let mut g = self.generation.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        while *g == seen {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _result) = self
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bump_wakes_waiter_before_timeout() {
+        let p = Arc::new(Progress::new());
+        let seen = p.snapshot();
+        let waiter = {
+            let p = Arc::clone(&p);
+            std::thread::spawn(move || p.wait_past(seen, Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        p.bump();
+        let start = std::time::Instant::now();
+        assert!(waiter.join().unwrap(), "waiter must see the bump");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "wakeup must not wait out the long timeout"
+        );
+    }
+
+    #[test]
+    fn wait_past_times_out_without_progress() {
+        let p = Progress::new();
+        let seen = p.snapshot();
+        assert!(!p.wait_past(seen, Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn bump_between_snapshot_and_wait_returns_immediately() {
+        let p = Progress::new();
+        let seen = p.snapshot();
+        p.bump();
+        let start = std::time::Instant::now();
+        assert!(p.wait_past(seen, Duration::from_secs(30)));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

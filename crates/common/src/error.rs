@@ -24,6 +24,9 @@ pub enum JanusError {
     UnsupportedTemplate(String),
     /// A storage-layer failure (topic missing, offset out of range, ...).
     Storage(String),
+    /// A wire-protocol failure (malformed frame, version mismatch,
+    /// oversized length prefix, connection torn mid-frame, ...).
+    Protocol(String),
 }
 
 impl fmt::Display for JanusError {
@@ -38,6 +41,7 @@ impl fmt::Display for JanusError {
             JanusError::RowNotFound(id) => write!(f, "row {id} not found"),
             JanusError::UnsupportedTemplate(msg) => write!(f, "unsupported query template: {msg}"),
             JanusError::Storage(msg) => write!(f, "storage error: {msg}"),
+            JanusError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }

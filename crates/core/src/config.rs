@@ -8,7 +8,7 @@ use janus_storage::ArchiveBackendKind;
 /// §5.5 notes that, given a memory constraint, the system derives `m`
 /// (samples) and `k` (leaves) with `k ≈ (0.5/100)·m`;
 /// [`SynopsisConfig::from_memory_budget`] implements that rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SynopsisConfig {
     /// The query template this synopsis is optimized for.
     pub template: QueryTemplate,

@@ -1,0 +1,36 @@
+//! The shard-hosting node daemon.
+//!
+//! ```text
+//! janus-node <bind-addr> <node-id> <failure-domain>
+//! ```
+//!
+//! Binds a [`janus_net::NodeServer`] on `bind-addr` (use port 0 for an
+//! ephemeral port), prints `LISTENING <addr>` on stdout once ready —
+//! the line launchers parse to learn the port — and serves until a
+//! coordinator sends `Shutdown` or the process is killed.
+
+use janus_net::{NodeConfig, NodeServer};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(bind), Some(node_id), Some(domain)) = (args.next(), args.next(), args.next()) else {
+        eprintln!("usage: janus-node <bind-addr> <node-id> <failure-domain>");
+        std::process::exit(2);
+    };
+    let node_id: u64 = match node_id.parse() {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("janus-node: bad node id {node_id:?}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match NodeServer::start(&bind, NodeConfig::new(node_id, domain)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("janus-node: bind {bind}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("LISTENING {}", server.addr());
+    server.wait();
+}

@@ -1,0 +1,41 @@
+//! # janus-net
+//!
+//! The networked deployment of the JanusAQP cluster: shard engines
+//! hosted in separate node processes, coordinated over a length-prefixed
+//! binary TCP protocol.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`wire`] | the versioned wire protocol: [`wire::Frame`] (publish / scatter-query / checkpoint / heartbeat / host frames), the byte-level codec (LE integers, `f64::to_bits` so estimates cross the wire bit-exactly), [`wire::FrameDecoder`] for split reads, and blocking [`wire::read_frame`] / [`wire::write_frame`] helpers with an allocation-guarded length check |
+//! | [`node`] | [`node::NodeServer`]: the shard-hosting daemon — per-shard engine + local topic tail with a pump thread (bounded park backoff), serving publishes idempotently by offset, queries behind the replica freshness gate, and checkpoint export/install |
+//! | [`directory`] | [`directory::Directory`]: shard → node placement with followers pinned to distinct failure domains, freshest-follower promotion on node failure (`fail_shard` semantics), loud lost-shard tracking, and a JSON-serializable snapshot for replication |
+//! | [`remote`] | [`remote::RemoteCluster`]: the coordinator front end presenting the in-process cluster's API (publish / query / drain / backpressure / move_shard) over per-node shipper threads and a heartbeat failure detector |
+//!
+//! ## Deployment shape
+//!
+//! ```text
+//!   publishers ──▶ RemoteCluster (coordinator)
+//!                  ├─ router + row directory   (placement identical to ClusterEngine)
+//!                  ├─ per-shard topics          (durable source of truth)
+//!                  ├─ directory                 (replicated via CheckpointStore)
+//!                  └─ shipper threads ──TCP──▶ janus-node daemons
+//!                                               └─ shard engines + pump threads
+//! ```
+//!
+//! Acknowledged publishes are durable in the coordinator topics before
+//! any node applies them, so killing a node loses nothing: the
+//! directory promotes the freshest follower (or the coordinator
+//! re-hosts from a checkpoint) and re-ships the tail, converging to the
+//! same bit-exact state the in-process cluster reaches — the
+//! equivalence `tests/remote_cluster.rs` and
+//! `examples/cluster_nodes.rs` pin down.
+
+pub mod directory;
+pub mod node;
+pub mod remote;
+pub mod wire;
+
+pub use directory::{Directory, DirectorySnapshot, NodeDesc, ShardHosts};
+pub use node::{NodeConfig, NodeServer};
+pub use remote::{local_fleet, RemoteCluster, RemoteConfig, RemoteStats};
+pub use wire::{Frame, FrameDecoder, QueryOutcome, MAX_FRAME_LEN, WIRE_VERSION};

@@ -1,0 +1,963 @@
+//! The coordinator front end for a networked cluster.
+//!
+//! [`RemoteCluster`] presents the same publish / query / drain /
+//! backpressure surface as the in-process cluster (`ClusterEngine` +
+//! `LiveCluster`), but every shard engine lives in a remote
+//! [`crate::node::NodeServer`] process. The coordinator owns the
+//! durable state:
+//!
+//! * the **router** and the authoritative row → shard directory, so
+//!   publishes route identically to the in-process cluster (identical
+//!   per-shard topic contents, hence bit-identical shard engines);
+//! * the **per-shard topics** ([`ShardedLog`]) — the source of truth a
+//!   node death can never lose: an acknowledged publish is durable at
+//!   the coordinator before any node sees it;
+//! * the **placement directory** ([`Directory`]), replicated by value
+//!   through an optional [`CheckpointStore`].
+//!
+//! Per-node *shipper* threads push each shard topic's tail to every
+//! node hosting a copy ([`Frame::PublishBatch`]), so followers tail
+//! remote topics exactly like in-process replicas tail local ones. A
+//! heartbeat thread doubles as failure detector and applied-offset
+//! poller. When a node dies (heartbeat or ship error), the directory
+//! promotes the freshest surviving follower per lost primary — the
+//! `fail_shard` rule — and the promoted copy catches up from the
+//! coordinator topic, so recovery is bit-exact for every acknowledged
+//! record.
+//!
+//! Reads scatter per overlapping shard with the same freshness gate as
+//! in-process replicas: a follower may serve only while it trails the
+//! topic end by at most `replica_lag` records (round-robin across
+//! primary + fresh followers); the node re-checks the gate under its
+//! engine lock and answers `Stale` if it fell behind, in which case the
+//! coordinator falls back to the primary.
+
+use crate::directory::{Directory, NodeDesc};
+use crate::node::NodeConfig;
+use crate::wire::{self, Frame, QueryOutcome};
+use janus_cluster::bootstrap::shard_seed;
+use janus_cluster::notify::Progress;
+use janus_cluster::{PublishReport, ShardCheckpoint, ShardOp, ShardPolicy, ShardRouter};
+use janus_common::{
+    merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
+};
+use janus_core::SynopsisConfig;
+use janus_storage::{CheckpointStore, ShardedLog};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const IDLE_MIN: Duration = Duration::from_micros(200);
+const IDLE_MAX: Duration = Duration::from_millis(20);
+
+/// Deployment parameters for a networked cluster.
+#[derive(Clone, Debug)]
+pub struct RemoteConfig {
+    /// Base synopsis configuration; each shard gets its seed mixed via
+    /// [`shard_seed`], exactly like the in-process cluster.
+    pub base: SynopsisConfig,
+    /// Number of shards.
+    pub shards: usize,
+    /// Row → shard routing policy.
+    pub policy: ShardPolicy,
+    /// Follower copies per shard (placed in distinct failure domains).
+    pub replicas: usize,
+    /// Freshness gate: a follower serves reads only while it trails the
+    /// shard topic end by at most this many records.
+    pub replica_lag: u64,
+    /// Per-shard publish-ahead bound: publishes stall while any copy of
+    /// the target shard trails by more than this many applied records
+    /// (0 disables backpressure).
+    pub max_backlog: u64,
+    /// Records per shipped batch.
+    pub ship_chunk: usize,
+    /// Failure-detection / offset-poll period.
+    pub heartbeat_every: Duration,
+}
+
+impl RemoteConfig {
+    /// Defaults mirroring the in-process cluster's tuning.
+    pub fn new(base: SynopsisConfig, shards: usize, policy: ShardPolicy) -> Self {
+        RemoteConfig {
+            base,
+            shards,
+            policy,
+            replicas: 0,
+            replica_lag: 0,
+            max_backlog: 65_536,
+            ship_chunk: 1024,
+            heartbeat_every: Duration::from_millis(100),
+        }
+    }
+
+    /// Enables `replicas` follower copies per shard with freshness gate
+    /// `replica_lag`.
+    pub fn with_replicas(mut self, replicas: usize, replica_lag: u64) -> Self {
+        self.replicas = replicas;
+        self.replica_lag = replica_lag;
+        self
+    }
+}
+
+/// Counters for the coordinator's observable work.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Records accepted into shard topics.
+    pub published: u64,
+    /// Publishes rejected (duplicate insert / unknown delete).
+    pub rejected: u64,
+    /// Node failures handled.
+    pub failovers: u64,
+    /// Sub-queries served by a follower instead of the primary.
+    pub replica_queries: u64,
+    /// Shard migrations completed via checkpoint shipping.
+    pub migrations: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    published: AtomicU64,
+    rejected: AtomicU64,
+    failovers: AtomicU64,
+    replica_queries: AtomicU64,
+    migrations: AtomicU64,
+}
+
+/// Live connection state for one node.
+struct NodeLink {
+    desc: NodeDesc,
+    /// Bulk data channel: host/install, tail shipping, checkpoints.
+    ship: Mutex<TcpStream>,
+    /// Control channel: heartbeats, queries, population probes — kept
+    /// separate so a large in-flight batch never delays a read.
+    ctrl: Mutex<TcpStream>,
+    alive: AtomicBool,
+    /// Per-shard topic offset acknowledged as received by the node.
+    shipped: Mutex<HashMap<u32, u64>>,
+    /// Per-shard topic offset the node reported as applied.
+    applied: Mutex<HashMap<u32, u64>>,
+    /// Shipper thread handle, for publish-side unparks.
+    thread: Mutex<Option<std::thread::Thread>>,
+    hb_seq: AtomicU64,
+}
+
+impl NodeLink {
+    fn request(stream: &Mutex<TcpStream>, frame: &Frame) -> Result<Frame> {
+        let mut s = stream.lock();
+        wire::roundtrip(&mut *s, frame)
+    }
+
+    fn request_ship(&self, frame: &Frame) -> Result<Frame> {
+        Self::request(&self.ship, frame)
+    }
+
+    fn request_ctrl(&self, frame: &Frame) -> Result<Frame> {
+        Self::request(&self.ctrl, frame)
+    }
+
+    fn shipped_of(&self, shard: u32) -> u64 {
+        self.shipped.lock().get(&shard).copied().unwrap_or(0)
+    }
+
+    fn applied_of(&self, shard: u32) -> u64 {
+        self.applied.lock().get(&shard).copied().unwrap_or(0)
+    }
+
+    fn unpark(&self) {
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+struct RemoteShared {
+    config: RemoteConfig,
+    router: RwLock<ShardRouter>,
+    /// Authoritative row → shard placement (same role as the in-process
+    /// cluster's directory): dedups inserts, routes deletes.
+    row_homes: Mutex<DetHashMap<RowId, usize>>,
+    /// The durable per-shard operation topics. Source of truth: every
+    /// acknowledged publish lives here before any node applies it.
+    topics: ShardedLog<ShardOp>,
+    directory: RwLock<Directory>,
+    links: Vec<NodeLink>,
+    shutdown: AtomicBool,
+    progress: Progress,
+    read_cursor: AtomicU64,
+    query_seq: AtomicU64,
+    /// Directory replication target plus its version counter.
+    store: Option<Arc<dyn CheckpointStore>>,
+    store_version: AtomicU64,
+    counters: Counters,
+}
+
+impl RemoteShared {
+    fn unpark_shippers(&self) {
+        for link in &self.links {
+            link.unpark();
+        }
+    }
+
+    fn persist_directory(&self, dir: &Directory) {
+        if let Some(store) = &self.store {
+            let version = self.store_version.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Ok(json) = serde_json::to_string(&dir.snapshot()) {
+                let _ = store.put(version, &json);
+                let _ = store.prune(2);
+            }
+        }
+    }
+
+    /// Worst observed lag for `shard`: topic end minus the smallest
+    /// applied offset over its alive copies.
+    fn backlog_of(&self, shard: u32) -> u64 {
+        let dir = self.directory.read();
+        if dir.lost_shards().contains(&shard) {
+            return 0;
+        }
+        let end = self.topics.topic(shard as usize).len() as u64;
+        dir.hosts_of(shard)
+            .all()
+            .filter(|&n| dir.is_alive(n))
+            .map(|n| end.saturating_sub(self.links[n].applied_of(shard)))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Marks a node dead and promotes followers for every shard it led.
+/// Idempotent: concurrent detectors (shipper error, heartbeat timeout,
+/// query error) race on the `alive` swap and only one runs promotions.
+fn fail_node(shared: &RemoteShared, idx: usize) {
+    if !shared.links[idx].alive.swap(false, Ordering::AcqRel) {
+        return;
+    }
+    let mut dir = shared.directory.write();
+    let promotions = dir.fail_node(idx, |node, shard| shared.links[node].applied_of(shard));
+    shared.persist_directory(&dir);
+    drop(dir);
+    drop(promotions);
+    shared.counters.failovers.fetch_add(1, Ordering::Relaxed);
+    shared.unpark_shippers();
+    shared.progress.bump();
+}
+
+/// One heartbeat sweep: probe every alive node, fold its applied
+/// offsets into the link state, fail nodes that do not answer.
+fn probe_all(shared: &RemoteShared) {
+    for (idx, link) in shared.links.iter().enumerate() {
+        if !link.alive.load(Ordering::Acquire) {
+            continue;
+        }
+        let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
+        match link.request_ctrl(&Frame::Heartbeat { seq }) {
+            Ok(Frame::HeartbeatAck { applied, .. }) => {
+                let mut map = link.applied.lock();
+                for (shard, off) in applied {
+                    map.insert(shard, off);
+                }
+                drop(map);
+                shared.progress.bump();
+            }
+            _ => fail_node(shared, idx),
+        }
+    }
+}
+
+/// Pushes topic tails to one node until shutdown or node death.
+fn shipper_loop(shared: &RemoteShared, idx: usize) {
+    let link = &shared.links[idx];
+    let mut idle = IDLE_MIN;
+    while !shared.shutdown.load(Ordering::Acquire) && link.alive.load(Ordering::Acquire) {
+        let hosted = shared.directory.read().hosted_shards(idx);
+        let mut moved = false;
+        for shard in hosted {
+            let cursor = link.shipped_of(shard);
+            let batch = shared
+                .topics
+                .poll(shard as usize, cursor, shared.config.ship_chunk.max(1));
+            if batch.is_empty() {
+                continue;
+            }
+            let frame = Frame::PublishBatch {
+                shard,
+                first_offset: cursor,
+                ops: batch,
+            };
+            match link.request_ship(&frame) {
+                Ok(Frame::PublishAck {
+                    received, applied, ..
+                }) => {
+                    link.shipped.lock().insert(shard, received);
+                    link.applied.lock().insert(shard, applied);
+                    moved = true;
+                    shared.progress.bump();
+                }
+                // A node-side error (gap, unhosted shard) or transport
+                // failure both mean this copy can no longer be trusted
+                // to converge; treat the node as failed.
+                Ok(_) | Err(_) => {
+                    fail_node(shared, idx);
+                    return;
+                }
+            }
+        }
+        if moved {
+            idle = IDLE_MIN;
+        } else {
+            std::thread::park_timeout(idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+    }
+}
+
+fn heartbeat_loop(shared: &RemoteShared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::park_timeout(shared.config.heartbeat_every);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        probe_all(shared);
+    }
+}
+
+/// A networked cluster's coordinator handle.
+pub struct RemoteCluster {
+    shared: Arc<RemoteShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl RemoteCluster {
+    /// Connects to node daemons at `addrs`, partitions `rows` across
+    /// `config.shards` shards exactly like the in-process cluster
+    /// (same router, same per-shard seeds), places primaries and
+    /// distinct-failure-domain followers via [`Directory::place`], and
+    /// ships each shard's bootstrap partition to its hosts.
+    pub fn bootstrap(config: RemoteConfig, rows: Vec<Row>, addrs: &[SocketAddr]) -> Result<Self> {
+        Self::bootstrap_with_store(config, rows, addrs, None)
+    }
+
+    /// [`RemoteCluster::bootstrap`] that also replicates the placement
+    /// directory into `store` after every mutation (bootstrap,
+    /// failover, migration) — give the directory its own store, not the
+    /// one shard checkpoints use.
+    pub fn bootstrap_with_store(
+        config: RemoteConfig,
+        rows: Vec<Row>,
+        addrs: &[SocketAddr],
+        store: Option<Arc<dyn CheckpointStore>>,
+    ) -> Result<Self> {
+        config.base.validate()?;
+        if config.shards == 0 {
+            return Err(JanusError::InvalidConfig("need at least one shard".into()));
+        }
+        let mut links = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            links.push(connect_node(*addr)?);
+        }
+        let descs: Vec<NodeDesc> = links.iter().map(|l| l.desc.clone()).collect();
+        let directory = Directory::place(descs, config.shards, config.replicas)?;
+
+        let mut router = ShardRouter::new(config.policy.clone(), config.shards)?;
+        let mut per_shard: Vec<Vec<Row>> = (0..config.shards).map(|_| Vec::new()).collect();
+        let mut row_homes = DetHashMap::default();
+        for row in rows {
+            let shard = router.route(&row);
+            if row_homes.insert(row.id, shard).is_some() {
+                return Err(JanusError::InvalidConfig(format!(
+                    "duplicate row id {} in bootstrap data",
+                    row.id
+                )));
+            }
+            per_shard[shard].push(row);
+        }
+
+        for (shard, bucket) in per_shard.into_iter().enumerate() {
+            let mut shard_cfg = config.base.clone();
+            shard_cfg.seed = shard_seed(config.base.seed, shard);
+            for node in directory.hosts_of(shard as u32).all() {
+                let reply = links[node].request_ship(&Frame::Host {
+                    shard: shard as u32,
+                    config: shard_cfg.clone(),
+                    rows: bucket.clone(),
+                })?;
+                match reply {
+                    Frame::Ok => {}
+                    Frame::Error { message } => return Err(JanusError::Storage(message)),
+                    other => {
+                        return Err(JanusError::Protocol(format!(
+                            "unexpected host reply: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let shards = config.shards;
+        let shared = Arc::new(RemoteShared {
+            config,
+            router: RwLock::new(router),
+            row_homes: Mutex::new(row_homes),
+            topics: ShardedLog::new(shards),
+            directory: RwLock::new(directory),
+            links,
+            shutdown: AtomicBool::new(false),
+            progress: Progress::new(),
+            read_cursor: AtomicU64::new(0),
+            query_seq: AtomicU64::new(0),
+            store,
+            store_version: AtomicU64::new(0),
+            counters: Counters::default(),
+        });
+        shared.persist_directory(&shared.directory.read());
+
+        let mut workers = Vec::new();
+        for idx in 0..shared.links.len() {
+            let s = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("janus-ship-{idx}"))
+                .spawn(move || shipper_loop(&s, idx))
+                .map_err(|e| JanusError::Storage(format!("spawn shipper: {e}")))?;
+            *shared.links[idx].thread.lock() = Some(handle.thread().clone());
+            workers.push(handle);
+        }
+        let s = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name("janus-heartbeat".into())
+                .spawn(move || heartbeat_loop(&s))
+                .map_err(|e| JanusError::Storage(format!("spawn heartbeat: {e}")))?,
+        );
+        Ok(RemoteCluster { shared, workers })
+    }
+
+    /// Routes an insert (duplicate ids rejected via the row directory,
+    /// like the in-process cluster) and appends it to the owning shard
+    /// topic. The record is durable at the coordinator on return;
+    /// shippers push it to every hosting node asynchronously.
+    pub fn publish_insert(&self, row: Row) -> Result<()> {
+        let shard = {
+            let mut homes = self.shared.row_homes.lock();
+            if homes.contains_key(&row.id) {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(JanusError::InvalidConfig(format!(
+                    "duplicate row id {}",
+                    row.id
+                )));
+            }
+            let shard = self.shared.router.write().route(&row);
+            homes.insert(row.id, shard);
+            // Publish under the row-directory lock, mirroring the
+            // in-process ordering guarantee: once the directory names
+            // this row, its insert is in the topic ahead of any delete
+            // a concurrent publisher could append.
+            self.shared.topics.publish(shard, ShardOp::Insert(row));
+            shard
+        };
+        self.shared
+            .counters
+            .published
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.links.iter().for_each(NodeLink::unpark);
+        self.stall_for_backlog(shard as u32);
+        Ok(())
+    }
+
+    /// Routes a delete to the shard holding the row.
+    pub fn publish_delete(&self, id: RowId) -> Result<()> {
+        let shard = {
+            let mut homes = self.shared.row_homes.lock();
+            let Some(shard) = homes.remove(&id) else {
+                self.shared
+                    .counters
+                    .rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(JanusError::RowNotFound(id));
+            };
+            self.shared.topics.publish(shard, ShardOp::Delete(id));
+            shard
+        };
+        self.shared
+            .counters
+            .published
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.links.iter().for_each(NodeLink::unpark);
+        self.stall_for_backlog(shard as u32);
+        Ok(())
+    }
+
+    /// Publishes a batch, counting accepted and rejected operations.
+    pub fn publish_batch(&self, ops: impl IntoIterator<Item = ShardOp>) -> PublishReport {
+        let mut report = PublishReport::default();
+        for op in ops {
+            let outcome = match op {
+                ShardOp::Insert(row) => self.publish_insert(row),
+                ShardOp::Delete(id) => self.publish_delete(id),
+            };
+            match outcome {
+                Ok(()) => report.published += 1,
+                Err(_) => report.rejected += 1,
+            }
+        }
+        report
+    }
+
+    /// Blocks while the publish-ahead bound is exceeded for `shard`:
+    /// the slowest alive copy may trail the topic end by at most
+    /// `max_backlog` records (plus in-flight publishers), so an
+    /// unbounded producer cannot run away from the fleet.
+    fn stall_for_backlog(&self, shard: u32) {
+        let limit = self.shared.config.max_backlog;
+        if limit == 0 {
+            return;
+        }
+        let mut idle = IDLE_MIN;
+        while !self.shared.shutdown.load(Ordering::Acquire) && self.shared.backlog_of(shard) > limit
+        {
+            let seen = self.shared.progress.snapshot();
+            if self.shared.backlog_of(shard) <= limit {
+                return;
+            }
+            self.shared.progress.wait_past(seen, idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+    }
+
+    /// Worst publish-ahead lag across shards — `true` if any shard's
+    /// slowest alive copy trails by more than `limit` records.
+    pub fn backlog_exceeds(&self, limit: u64) -> bool {
+        (0..self.shared.config.shards).any(|s| self.shared.backlog_of(s as u32) > limit)
+    }
+
+    /// Blocks until every alive copy of every shard has received and
+    /// applied the full topic — the networked drain barrier. Probes
+    /// nodes directly (not just on the heartbeat period) so the barrier
+    /// resolves promptly.
+    pub fn drain(&self) {
+        let mut idle = IDLE_MIN;
+        loop {
+            self.shared.unpark_shippers();
+            probe_all(&self.shared);
+            if self.drained() {
+                return;
+            }
+            let seen = self.shared.progress.snapshot();
+            if self.drained() {
+                return;
+            }
+            self.shared.progress.wait_past(seen, idle);
+            idle = (idle * 2).min(IDLE_MAX);
+        }
+    }
+
+    fn drained(&self) -> bool {
+        let dir = self.shared.directory.read();
+        let ends = self.shared.topics.end_offsets();
+        (0..self.shared.config.shards as u32).all(|shard| {
+            if dir.lost_shards().contains(&shard) {
+                return true; // nothing left to converge
+            }
+            let end = ends[shard as usize];
+            dir.hosts_of(shard)
+                .all()
+                .filter(|&n| dir.is_alive(n))
+                .all(|n| {
+                    self.shared.links[n].shipped_of(shard) >= end
+                        && self.shared.links[n].applied_of(shard) >= end
+                })
+        })
+    }
+
+    /// Scatter-gather query with the in-process cluster's exact merge
+    /// semantics: COUNT/SUM merge additively, AVG re-derives from
+    /// merged SUM/COUNT moments, MIN/MAX take the extreme of per-shard
+    /// answers. Shard pruning uses the same router, and each sub-answer
+    /// comes from an engine applying the same records in the same
+    /// order — so a drained networked cluster answers bit-identically
+    /// to a drained in-process one.
+    pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
+        let targets = self.shared.router.read().overlapping(query);
+        match query.agg {
+            AggregateFunction::Count | AggregateFunction::Sum => {
+                let parts: Vec<Estimate> = self
+                    .scatter(&targets, query, false)?
+                    .into_iter()
+                    .map(|o| match o {
+                        QueryOutcome::Estimate(e) => e,
+                        other => unreachable!("COUNT/SUM always answer, got {other:?}"),
+                    })
+                    .collect();
+                Ok(Some(merge::merge_additive(&parts)))
+            }
+            AggregateFunction::Avg => {
+                let parts: Vec<(Estimate, Estimate)> = self
+                    .scatter(&targets, query, true)?
+                    .into_iter()
+                    .map(|o| match o {
+                        QueryOutcome::Moments { sum, count } => (sum, count),
+                        other => unreachable!("moment scatter got {other:?}"),
+                    })
+                    .collect();
+                let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
+                Ok(merge::combine_avg(
+                    &merge::merge_additive(&sums),
+                    &merge::merge_additive(&counts),
+                ))
+            }
+            AggregateFunction::Min | AggregateFunction::Max => {
+                let minimum = query.agg == AggregateFunction::Min;
+                let answered: Vec<Estimate> = self
+                    .scatter(&targets, query, false)?
+                    .into_iter()
+                    .filter_map(|o| match o {
+                        QueryOutcome::Estimate(e) => Some(e),
+                        QueryOutcome::Empty => None,
+                        other => unreachable!("estimate scatter got {other:?}"),
+                    })
+                    .collect();
+                Ok(merge::merge_extremum(&answered, minimum))
+            }
+        }
+    }
+
+    /// Scatters `query` at every target shard concurrently, in target
+    /// order.
+    fn scatter(
+        &self,
+        targets: &[usize],
+        query: &Query,
+        moments: bool,
+    ) -> Result<Vec<QueryOutcome>> {
+        if targets.is_empty() {
+            return Ok(Vec::new());
+        }
+        if targets.len() == 1 {
+            return Ok(vec![self.scatter_one(targets[0] as u32, query, moments)?]);
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .iter()
+                .map(|&t| scope.spawn(move || self.scatter_one(t as u32, query, moments)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Serves one sub-query, load-balancing across the primary and
+    /// fresh followers, falling back to the primary on a `Stale`
+    /// refusal and failing over on transport errors.
+    fn scatter_one(&self, shard: u32, query: &Query, moments: bool) -> Result<QueryOutcome> {
+        let shared = &self.shared;
+        let id = shared.query_seq.fetch_add(1, Ordering::Relaxed);
+        let mut primary_only = false;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return Err(JanusError::Storage("cluster shut down".into()));
+            }
+            let picked = {
+                let dir = shared.directory.read();
+                if dir.lost_shards().contains(&shard) {
+                    return Err(JanusError::Storage(format!(
+                        "shard {shard} lost every copy"
+                    )));
+                }
+                let hosts = dir.hosts_of(shard);
+                let end = shared.topics.topic(shard as usize).len() as u64;
+                let lag = shared.config.replica_lag;
+                let fresh: Vec<usize> = hosts
+                    .followers
+                    .iter()
+                    .copied()
+                    .filter(|&f| {
+                        dir.is_alive(f)
+                            && end.saturating_sub(shared.links[f].applied_of(shard)) <= lag
+                    })
+                    .collect();
+                if dir.is_alive(hosts.primary) {
+                    let pick = if primary_only {
+                        0
+                    } else {
+                        shared.read_cursor.fetch_add(1, Ordering::Relaxed) as usize
+                            % (fresh.len() + 1)
+                    };
+                    if pick == 0 {
+                        Some((hosts.primary, 0))
+                    } else {
+                        shared
+                            .counters
+                            .replica_queries
+                            .fetch_add(1, Ordering::Relaxed);
+                        Some((fresh[pick - 1], end.saturating_sub(lag)))
+                    }
+                } else {
+                    // Primary death observed mid-promotion; retry after
+                    // the failover lands.
+                    None
+                }
+            };
+            let Some((node, min_applied)) = picked else {
+                std::thread::park_timeout(Duration::from_millis(1));
+                continue;
+            };
+            let frame = Frame::Query {
+                id,
+                shard,
+                moments,
+                min_applied,
+                query: query.clone(),
+            };
+            match shared.links[node].request_ctrl(&frame) {
+                Ok(Frame::Estimate {
+                    outcome: QueryOutcome::Stale { .. },
+                    ..
+                }) => primary_only = true,
+                Ok(Frame::Estimate {
+                    outcome: QueryOutcome::Failed(message),
+                    ..
+                }) => return Err(JanusError::Storage(message)),
+                Ok(Frame::Estimate { outcome, .. }) => return Ok(outcome),
+                Ok(other) => {
+                    return Err(JanusError::Protocol(format!(
+                        "unexpected query reply: {other:?}"
+                    )))
+                }
+                Err(_) => fail_node(shared, node),
+            }
+        }
+    }
+
+    /// Exact total population across shards (primary copies).
+    pub fn population(&self) -> Result<u64> {
+        let mut total = 0;
+        for shard in 0..self.shared.config.shards as u32 {
+            loop {
+                let primary = {
+                    let dir = self.shared.directory.read();
+                    if dir.lost_shards().contains(&shard) {
+                        return Err(JanusError::Storage(format!(
+                            "shard {shard} lost every copy"
+                        )));
+                    }
+                    let p = dir.hosts_of(shard).primary;
+                    dir.is_alive(p).then_some(p)
+                };
+                let Some(primary) = primary else {
+                    std::thread::park_timeout(Duration::from_millis(1));
+                    continue;
+                };
+                match self.shared.links[primary].request_ctrl(&Frame::Population { shard }) {
+                    Ok(Frame::PopulationAck { rows, .. }) => {
+                        total += rows;
+                        break;
+                    }
+                    Ok(other) => {
+                        return Err(JanusError::Protocol(format!(
+                            "unexpected population reply: {other:?}"
+                        )))
+                    }
+                    Err(_) => fail_node(&self.shared, primary),
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Moves `shard`'s primary copy to node `to` via checkpoint
+    /// shipping — the networked twin of the in-process
+    /// snapshot-shipping rebalance (`fork_via_snapshot` + archive
+    /// fork): the source serializes synopsis + archive, the target
+    /// restores them bit-identically, and the coordinator re-ships the
+    /// topic tail from the checkpoint's applied offset. Publishes may
+    /// continue throughout.
+    pub fn move_shard(&self, shard: u32, to: usize) -> Result<()> {
+        let shared = &self.shared;
+        if to >= shared.links.len() {
+            return Err(JanusError::InvalidConfig(format!("no node {to}")));
+        }
+        let from = {
+            let dir = shared.directory.read();
+            if !dir.is_alive(to) {
+                return Err(JanusError::InvalidConfig(format!("node {to} is dead")));
+            }
+            dir.hosts_of(shard).primary
+        };
+        if from == to {
+            return Ok(());
+        }
+        let shipped = shared.links[from].request_ship(&Frame::FetchCheckpoint { shard })?;
+        let applied_offset = match &shipped {
+            Frame::Checkpoint { payload, .. } => {
+                let ck: ShardCheckpoint = serde_json::from_slice(payload)
+                    .map_err(|e| JanusError::Storage(format!("parse shipped checkpoint: {e}")))?;
+                ck.applied_offset
+            }
+            Frame::Error { message } => return Err(JanusError::Storage(message.clone())),
+            other => {
+                return Err(JanusError::Protocol(format!(
+                    "unexpected checkpoint reply: {other:?}"
+                )))
+            }
+        };
+        match shared.links[to].request_ship(&shipped)? {
+            Frame::Ok => {}
+            Frame::Error { message } => return Err(JanusError::Storage(message)),
+            other => {
+                return Err(JanusError::Protocol(format!(
+                    "unexpected install reply: {other:?}"
+                )))
+            }
+        }
+        shared.links[to]
+            .shipped
+            .lock()
+            .insert(shard, applied_offset);
+        shared.links[to]
+            .applied
+            .lock()
+            .insert(shard, applied_offset);
+        {
+            let mut dir = shared.directory.write();
+            dir.repoint(shard, from, to);
+            shared.persist_directory(&dir);
+        }
+        let _ = shared.links[from].request_ship(&Frame::Release { shard });
+        shared.links[from].shipped.lock().remove(&shard);
+        shared.links[from].applied.lock().remove(&shard);
+        shared.counters.migrations.fetch_add(1, Ordering::Relaxed);
+        shared.unpark_shippers();
+        shared.progress.bump();
+        Ok(())
+    }
+
+    /// Snapshot of the coordinator's counters.
+    pub fn stats(&self) -> RemoteStats {
+        let c = &self.shared.counters;
+        RemoteStats {
+            published: c.published.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            failovers: c.failovers.load(Ordering::Relaxed),
+            replica_queries: c.replica_queries.load(Ordering::Relaxed),
+            migrations: c.migrations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current placement snapshot (for inspection / tests).
+    pub fn directory_snapshot(&self) -> crate::directory::DirectorySnapshot {
+        self.shared.directory.read().snapshot()
+    }
+
+    /// Shards that lost every copy (answers for them fail loudly).
+    pub fn lost_shards(&self) -> Vec<u32> {
+        self.shared.directory.read().lost_shards().to_vec()
+    }
+
+    /// Asks every alive node daemon to exit (best-effort).
+    pub fn shutdown_nodes(&self) {
+        for link in &self.links_alive() {
+            let _ = self.shared.links[*link].request_ctrl(&Frame::Shutdown);
+        }
+    }
+
+    fn links_alive(&self) -> Vec<usize> {
+        self.shared
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.alive.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Stops coordinator threads (shippers, heartbeat). Node daemons
+    /// keep running; use [`RemoteCluster::shutdown_nodes`] first to
+    /// stop them too.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.unpark_shippers();
+        self.shared.progress.bump();
+        for w in self.workers.drain(..) {
+            w.unpark_and_join();
+        }
+    }
+}
+
+/// Unpark-then-join, so parked workers observe the shutdown flag.
+trait UnparkJoin {
+    fn unpark_and_join(self);
+}
+
+impl UnparkJoin for JoinHandle<()> {
+    fn unpark_and_join(self) {
+        self.thread().unpark();
+        let _ = self.join();
+    }
+}
+
+impl Drop for RemoteCluster {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+        }
+    }
+}
+
+/// Dials both channels to a node and exchanges the hello handshake.
+fn connect_node(addr: SocketAddr) -> Result<NodeLink> {
+    let dial = || -> std::io::Result<TcpStream> {
+        let s = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        s.set_nodelay(true)?;
+        Ok(s)
+    };
+    let ship = dial().map_err(|e| JanusError::Storage(format!("connect {addr}: {e}")))?;
+    let mut ctrl = dial().map_err(|e| JanusError::Storage(format!("connect {addr}: {e}")))?;
+    let hello = wire::roundtrip(&mut ctrl, &Frame::Hello { node_id: 0 })?;
+    let Frame::HelloAck {
+        node_id, domain, ..
+    } = hello
+    else {
+        return Err(JanusError::Protocol(format!(
+            "unexpected hello reply from {addr}: {hello:?}"
+        )));
+    };
+    Ok(NodeLink {
+        desc: NodeDesc {
+            node_id,
+            domain,
+            addr,
+        },
+        ship: Mutex::new(ship),
+        ctrl: Mutex::new(ctrl),
+        alive: AtomicBool::new(true),
+        shipped: Mutex::new(HashMap::new()),
+        applied: Mutex::new(HashMap::new()),
+        thread: Mutex::new(None),
+        hb_seq: AtomicU64::new(0),
+    })
+}
+
+/// Spawns `n` in-process node servers on loopback — the test/bench
+/// harness for a networked deployment without separate processes.
+pub fn local_fleet(n: usize) -> std::io::Result<Vec<crate::node::NodeServer>> {
+    (0..n)
+        .map(|i| {
+            crate::node::NodeServer::start(
+                "127.0.0.1:0",
+                NodeConfig::new(i as u64, format!("domain-{i}")),
+            )
+        })
+        .collect()
+}

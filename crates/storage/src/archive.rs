@@ -119,7 +119,7 @@ pub trait ArchiveBackend: Send + Sync {
 
 /// Which [`ArchiveBackend`] an engine's archive runs on — the knob wired
 /// through `SynopsisConfig`/`ClusterConfig` down to every shard engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum ArchiveBackendKind {
     /// In-memory columnar storage (the default).
     #[default]

@@ -110,11 +110,17 @@ pub struct FileCheckpointStore {
 }
 
 impl FileCheckpointStore {
-    /// Opens (creating if needed) a checkpoint directory.
+    /// Opens (creating if needed) a checkpoint directory. Sweeps any
+    /// `.checkpoint-*.tmp` orphans a previous process left behind by
+    /// crashing between the temp write and the rename — they were never
+    /// published, so deleting them is always safe, and it stops torn
+    /// payloads from accumulating across crash/recover cycles.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| storage_err("create checkpoint dir", &e))?;
-        Ok(FileCheckpointStore { dir })
+        let store = FileCheckpointStore { dir };
+        store.sweep_orphans()?;
+        Ok(store)
     }
 
     /// The directory backing this store.
@@ -131,6 +137,26 @@ impl FileCheckpointStore {
             .strip_suffix(".json")?
             .parse()
             .ok()
+    }
+
+    /// Deletes every unpublished `.checkpoint-*.tmp` file in the
+    /// directory. A temp file is only ever an in-flight [`Self::put`];
+    /// one that outlives its put is a crash leftover.
+    fn sweep_orphans(&self) -> Result<()> {
+        let entries =
+            std::fs::read_dir(&self.dir).map_err(|e| storage_err("list checkpoint dir", &e))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with(".checkpoint-") && name.ends_with(".tmp") {
+                match std::fs::remove_file(entry.path()) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(storage_err("sweep orphaned checkpoint temp", &e)),
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -164,6 +190,20 @@ impl CheckpointStore for FileCheckpointStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(storage_err("remove checkpoint", &e)),
         }
+    }
+
+    /// The default retention sweep, plus deletion of orphaned temp
+    /// files: `prune` runs right after each successful save — the one
+    /// moment no put is in flight — so any `.tmp` present then is a
+    /// leftover from an earlier failed put and gets collected here
+    /// instead of surviving until the next process restart.
+    fn prune(&self, keep: usize) -> Result<()> {
+        let ids = self.ids();
+        let drop_count = ids.len().saturating_sub(keep);
+        for id in ids.into_iter().take(drop_count) {
+            self.remove(id)?;
+        }
+        self.sweep_orphans()
     }
 }
 
@@ -256,6 +296,52 @@ mod tests {
         std::fs::write(store.dir().join(".checkpoint-004.tmp"), "partial").unwrap();
         std::fs::write(store.dir().join("unrelated.txt"), "noise").unwrap();
         assert_eq!(store.ids(), vec![3]);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Crash between temp-write and rename, then recover: reopening the
+    /// directory collects the orphaned temp file while published
+    /// checkpoints and unrelated files survive untouched.
+    #[test]
+    fn reopen_sweeps_orphaned_temp_files() {
+        let dir = scratch_dir("sweep-open");
+        {
+            let store = FileCheckpointStore::open(&dir).unwrap();
+            store.put(3, "good").unwrap();
+            std::fs::write(store.dir().join(".checkpoint-004.tmp"), "torn").unwrap();
+            std::fs::write(store.dir().join("unrelated.txt"), "noise").unwrap();
+        } // "crash"
+
+        let reopened = FileCheckpointStore::open(&dir).unwrap();
+        assert!(
+            !reopened.dir().join(".checkpoint-004.tmp").exists(),
+            "orphaned temp must be swept on open"
+        );
+        assert_eq!(reopened.get(3).as_deref(), Some("good"));
+        assert!(
+            reopened.dir().join("unrelated.txt").exists(),
+            "sweep must only touch checkpoint temp files"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// The retention sweep collects orphaned temp files too, so a failed
+    /// put inside a long-lived process doesn't leak its temp until the
+    /// next restart.
+    #[test]
+    fn prune_collects_orphaned_temp_files() {
+        let dir = scratch_dir("sweep-prune");
+        let store = FileCheckpointStore::open(&dir).unwrap();
+        for id in 0..4 {
+            store.put(id, "x").unwrap();
+        }
+        std::fs::write(store.dir().join(".checkpoint-009.tmp"), "torn").unwrap();
+        store.prune(2).unwrap();
+        assert_eq!(store.ids(), vec![2, 3]);
+        assert!(
+            !store.dir().join(".checkpoint-009.tmp").exists(),
+            "prune must collect orphaned temps"
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 }

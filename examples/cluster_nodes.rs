@@ -1,0 +1,253 @@
+//! Networked-cluster smoke: a coordinator drives THREE separate node
+//! processes over localhost TCP, one node is killed mid-stream, and
+//! after failover the cluster must answer bit-identically to an
+//! in-process `ClusterEngine` twin fed the same operations.
+//!
+//! The binary re-executes itself as the node daemons: invoked as
+//! `cluster_nodes node <id> <domain>` it hosts shards on an ephemeral
+//! port and prints `LISTENING <addr>`; invoked bare it is the driver.
+//!
+//! This is the CI gate for the networked deployment (release mode, see
+//! `.github/workflows/ci.yml`); `tests/remote_cluster.rs` covers the
+//! same guarantees in depth against in-process node servers.
+
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+const BOOTSTRAP: usize = 20_000;
+const PHASE_STEPS: u64 = 6_000;
+
+fn config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 32;
+    c.sample_rate = 0.03;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn bootstrap_rows() -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    (0..BOOTSTRAP as u64)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 3.0 + rng.gen::<f64>() * 5.0])
+        })
+        .collect()
+}
+
+/// Deterministic mixed workload applied identically to both clusters.
+struct Feed {
+    rng: SmallRng,
+    live: Vec<u64>,
+    next: u64,
+}
+
+impl Feed {
+    fn publish(&mut self, remote: &RemoteCluster, twin: &ClusterEngine, steps: u64) {
+        for _ in 0..steps {
+            if self.rng.gen_bool(0.85) || self.live.len() < 64 {
+                let x = self.rng.gen::<f64>() * 100.0;
+                remote
+                    .publish_insert(Row::new(self.next, vec![x, x * 3.0]))
+                    .expect("remote insert");
+                twin.publish_insert(Row::new(self.next, vec![x, x * 3.0]))
+                    .expect("twin insert");
+                self.live.push(self.next);
+                self.next += 1;
+            } else {
+                let at = self.rng.gen_range(0..self.live.len());
+                let id = self.live.swap_remove(at);
+                remote.publish_delete(id).expect("remote delete");
+                twin.publish_delete(id).expect("twin delete");
+            }
+        }
+    }
+}
+
+fn probes() -> Vec<Query> {
+    [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, 20.0, 60.0),
+        (AggregateFunction::Sum, 12.5, 77.5),
+        (AggregateFunction::Min, 0.0, 100.0),
+        (AggregateFunction::Max, 0.0, 100.0),
+    ]
+    .into_iter()
+    .map(|(agg, lo, hi)| {
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    })
+    .collect()
+}
+
+fn assert_bit_identical(remote: &RemoteCluster, twin: &ClusterEngine, when: &str) {
+    for q in probes() {
+        let a = remote.query(&q).expect("remote query").expect("answer");
+        let b = twin.query(&q).expect("twin query").expect("answer");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{when}: {} answer diverged: {} vs {}",
+            q.agg,
+            a.value,
+            b.value
+        );
+        assert_eq!(
+            a.variance().to_bits(),
+            b.variance().to_bits(),
+            "{when}: {} variance diverged",
+            q.agg
+        );
+        println!(
+            "  {:>5} [{:>6.1}, {:>6.1}] -> {:>14.3} (bit-identical, {when})",
+            q.agg.to_string(),
+            q.range.lo()[0].max(-1e9),
+            q.range.hi()[0].min(1e9),
+            a.value
+        );
+    }
+}
+
+/// A spawned node process; killed on drop so a failed assertion never
+/// leaks daemons.
+struct NodeProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl NodeProc {
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn spawn_node(id: u64) -> NodeProc {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .args(["node", &id.to_string(), &format!("rack-{id}")])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn node process");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("LISTENING ")
+        .expect("LISTENING line")
+        .parse()
+        .expect("parse node addr");
+    NodeProc { child, addr }
+}
+
+fn run_node(id: u64, domain: String) {
+    let server = NodeServer::start("127.0.0.1:0", NodeConfig::new(id, domain)).expect("bind node");
+    println!("LISTENING {}", server.addr());
+    server.wait();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if args.next().as_deref() == Some("node") {
+        let id = args.next().expect("node id").parse().expect("numeric id");
+        let domain = args.next().expect("failure domain");
+        run_node(id, domain);
+        return;
+    }
+
+    // Driver: three node processes in distinct failure domains.
+    let mut nodes: Vec<NodeProc> = (0..3).map(spawn_node).collect();
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr).collect();
+    println!(
+        "spawned 3 node processes: {}",
+        addrs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(1), 4, policy.clone()).with_replicas(1, 0),
+        bootstrap_rows(),
+        &addrs,
+    )
+    .expect("bootstrap networked cluster");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(1), 4, policy), bootstrap_rows())
+        .expect("bootstrap twin");
+
+    let mut feed = Feed {
+        rng: SmallRng::seed_from_u64(12),
+        live: (0..BOOTSTRAP as u64).collect(),
+        next: 1_000_000,
+    };
+
+    // Phase 1: both clusters serve the same stream; answers must match
+    // to the bit once the networked one drains.
+    feed.publish(&remote, &twin, PHASE_STEPS);
+    remote.drain();
+    twin.pump_all().expect("twin pump");
+    assert_eq!(
+        remote.population().expect("population"),
+        twin.population() as u64,
+        "populations diverged before the kill"
+    );
+    assert_bit_identical(&remote, &twin, "before kill");
+
+    // Phase 2: KILL node 0 mid-stream — no drain, no warning. Every
+    // shard it led fails over to its follower on a surviving node, and
+    // the coordinator re-ships the topic tail the dead node never
+    // applied.
+    println!("killing node process 0 (pid {})", nodes[0].child.id());
+    nodes[0].kill();
+
+    feed.publish(&remote, &twin, PHASE_STEPS);
+    remote.drain();
+    twin.pump_all().expect("twin pump");
+
+    let stats = remote.stats();
+    assert!(
+        stats.failovers >= 1,
+        "killing a node must register a failover, stats: {stats:?}"
+    );
+    assert!(
+        remote.lost_shards().is_empty(),
+        "replicated shards must survive a single node kill"
+    );
+    assert_eq!(
+        remote.population().expect("population"),
+        twin.population() as u64,
+        "populations diverged after failover"
+    );
+    assert_bit_identical(&remote, &twin, "after kill");
+
+    println!(
+        "published {} ops, {} failovers, {} replica-served sub-queries",
+        stats.published, stats.failovers, stats.replica_queries
+    );
+    remote.shutdown_nodes();
+    remote.shutdown();
+    println!("cluster nodes smoke: OK");
+}

@@ -1,0 +1,430 @@
+//! Networked-cluster integration tests against in-process node servers:
+//! bit-exact equivalence with the synchronous `ClusterEngine`, the drain
+//! barrier, replica freshness + failover promotion, checkpoint-shipped
+//! shard migration, publish error parity, backpressure bounds, and loud
+//! failure once a shard loses every copy.
+//!
+//! `examples/cluster_nodes.rs` covers the same guarantees across real
+//! process boundaries (spawned daemons, SIGKILL); these tests keep the
+//! nodes in-process so every policy/topology variant stays fast.
+
+use janus::common::JanusError;
+use janus::net::local_fleet;
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+
+fn config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 16;
+    c.sample_rate = 0.05;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn rows(n: u64, seed: u64) -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 2.0 + rng.gen::<f64>()])
+        })
+        .collect()
+}
+
+fn probes() -> Vec<Query> {
+    [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, 10.0, 90.0),
+        (AggregateFunction::Sum, 25.0, 75.0),
+        (AggregateFunction::Min, 0.0, 100.0),
+        (AggregateFunction::Max, 0.0, 100.0),
+    ]
+    .into_iter()
+    .map(|(agg, lo, hi)| {
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    })
+    .collect()
+}
+
+fn assert_bit_identical(remote: &RemoteCluster, twin: &ClusterEngine, when: &str) {
+    for q in probes() {
+        let a = remote.query(&q).expect("remote query").expect("answer");
+        let b = twin.query(&q).expect("twin query").expect("answer");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{when}: {} diverged: {} vs {}",
+            q.agg,
+            a.value,
+            b.value
+        );
+        assert_eq!(
+            a.variance().to_bits(),
+            b.variance().to_bits(),
+            "{when}: {} variance diverged",
+            q.agg
+        );
+    }
+}
+
+fn addrs_of(fleet: &[NodeServer]) -> Vec<SocketAddr> {
+    fleet.iter().map(|s| s.addr()).collect()
+}
+
+/// A deterministic insert/delete stream applied identically to both
+/// clusters; carries its live-id set across phases so deletes always
+/// target rows that still exist.
+struct Feed {
+    rng: SmallRng,
+    live: Vec<u64>,
+    next: u64,
+}
+
+impl Feed {
+    fn new(seed: u64, bootstrap: u64) -> Self {
+        Feed {
+            rng: SmallRng::seed_from_u64(seed),
+            live: (0..bootstrap).collect(),
+            next: 5_000_000,
+        }
+    }
+
+    fn publish(&mut self, remote: &RemoteCluster, twin: &ClusterEngine, steps: u64) {
+        for _ in 0..steps {
+            if self.rng.gen_bool(0.85) || self.live.len() < 64 {
+                let x = self.rng.gen::<f64>() * 100.0;
+                remote
+                    .publish_insert(Row::new(self.next, vec![x, x * 2.0]))
+                    .expect("remote insert");
+                twin.publish_insert(Row::new(self.next, vec![x, x * 2.0]))
+                    .expect("twin insert");
+                self.live.push(self.next);
+                self.next += 1;
+            } else {
+                let at = self.rng.gen_range(0..self.live.len());
+                let id = self.live.swap_remove(at);
+                remote.publish_delete(id).expect("remote delete");
+                twin.publish_delete(id).expect("twin delete");
+            }
+        }
+    }
+}
+
+#[test]
+fn networked_cluster_matches_sync_engine_bit_for_bit() {
+    for policy in [
+        ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap(),
+        ShardPolicy::HashById,
+    ] {
+        let fleet = local_fleet(3).expect("start fleet");
+        let remote = RemoteCluster::bootstrap(
+            RemoteConfig::new(config(3), 4, policy.clone()),
+            rows(4_000, 9),
+            &addrs_of(&fleet),
+        )
+        .expect("bootstrap remote");
+        let twin =
+            ClusterEngine::bootstrap(ClusterConfig::new(config(3), 4, policy), rows(4_000, 9))
+                .expect("bootstrap twin");
+
+        let mut feed = Feed::new(21, 4_000);
+        feed.publish(&remote, &twin, 2_000);
+        remote.drain();
+        twin.pump_all().expect("pump");
+
+        assert_eq!(
+            remote.population().unwrap(),
+            twin.population() as u64,
+            "population diverged"
+        );
+        assert_bit_identical(&remote, &twin, "steady state");
+        remote.shutdown_nodes();
+        remote.shutdown();
+        for s in fleet {
+            s.wait(); // Shutdown frame already sent; reap the daemons
+        }
+    }
+}
+
+#[test]
+fn drain_is_a_barrier_for_every_copy() {
+    let fleet = local_fleet(3).expect("start fleet");
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(
+            config(5),
+            4,
+            ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap(),
+        )
+        .with_replicas(1, 0),
+        rows(4_000, 5),
+        &addrs_of(&fleet),
+    )
+    .expect("bootstrap");
+
+    for i in 0..3_000u64 {
+        let x = (i % 100) as f64;
+        remote
+            .publish_insert(Row::new(1_000_000 + i, vec![x, x]))
+            .unwrap();
+    }
+    remote.drain();
+
+    // After the barrier, a whole-domain COUNT must see every publish no
+    // matter which copy serves it: ask repeatedly so the round-robin
+    // replica pick cycles through followers too.
+    let q = Query::new(
+        AggregateFunction::Count,
+        1,
+        vec![0],
+        RangePredicate::new(vec![f64::NEG_INFINITY], vec![f64::INFINITY]).unwrap(),
+    )
+    .unwrap();
+    for _ in 0..8 {
+        let est = remote.query(&q).unwrap().unwrap();
+        assert_eq!(est.value as u64, 7_000, "a copy answered before converging");
+    }
+    assert!(
+        remote.stats().replica_queries > 0,
+        "round-robin must route some reads to followers"
+    );
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn killing_a_node_promotes_followers_and_stays_bit_exact() {
+    let mut fleet = local_fleet(3).expect("start fleet");
+    let addrs = addrs_of(&fleet);
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(7), 4, policy.clone()).with_replicas(1, 0),
+        rows(4_000, 7),
+        &addrs,
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(7), 4, policy), rows(4_000, 7))
+        .expect("twin");
+
+    let mut feed = Feed::new(31, 4_000);
+    feed.publish(&remote, &twin, 1_000);
+
+    // Kill node 0 mid-stream: its connections drop, shippers error, the
+    // directory promotes the freshest follower per shard it led.
+    fleet.remove(0).stop();
+
+    feed.publish(&remote, &twin, 1_000);
+    remote.drain();
+    twin.pump_all().expect("pump");
+
+    let stats = remote.stats();
+    assert!(stats.failovers >= 1, "kill must register a failover");
+    assert!(
+        remote.lost_shards().is_empty(),
+        "one replica per shard must survive a single-node kill"
+    );
+    assert_eq!(remote.population().unwrap(), twin.population() as u64);
+    assert_bit_identical(&remote, &twin, "after failover");
+
+    // The directory no longer routes anything at the dead node.
+    let snapshot = remote.directory_snapshot();
+    assert!(
+        snapshot.primaries.iter().all(|&p| p != 0)
+            && snapshot.followers.iter().flatten().all(|&f| f != 0),
+        "dead node still referenced: {snapshot:?}"
+    );
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn move_shard_ships_a_bit_identical_checkpoint() {
+    let fleet = local_fleet(3).expect("start fleet");
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(11), 4, policy.clone()),
+        rows(4_000, 11),
+        &addrs_of(&fleet),
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(11), 4, policy), rows(4_000, 11))
+        .expect("twin");
+
+    let mut feed = Feed::new(41, 4_000);
+    feed.publish(&remote, &twin, 800);
+    remote.drain();
+
+    // Move shard 0 away from its primary; publishes continue afterwards
+    // and must land on the new host.
+    let before = remote.directory_snapshot();
+    let target = (before.primaries[0] + 1) % 3;
+    remote.move_shard(0, target).expect("move shard");
+    assert_eq!(remote.directory_snapshot().primaries[0], target);
+    assert_eq!(remote.stats().migrations, 1);
+
+    feed.publish(&remote, &twin, 800);
+    remote.drain();
+    twin.pump_all().expect("pump");
+
+    assert_eq!(remote.population().unwrap(), twin.population() as u64);
+    assert_bit_identical(&remote, &twin, "after migration");
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn publish_errors_match_the_sync_engine() {
+    let fleet = local_fleet(2).expect("start fleet");
+    let policy = ShardPolicy::HashById;
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(13), 2, policy.clone()),
+        rows(500, 13),
+        &addrs_of(&fleet),
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(13), 2, policy), rows(500, 13))
+        .expect("twin");
+
+    // Duplicate insert: rejected by the coordinator's row directory,
+    // same category the in-process cluster raises.
+    let dup = Row::new(7, vec![1.0, 1.0]);
+    assert!(matches!(
+        remote.publish_insert(dup.clone()),
+        Err(JanusError::InvalidConfig(_))
+    ));
+    assert!(matches!(
+        twin.publish_insert(dup),
+        Err(JanusError::InvalidConfig(_))
+    ));
+
+    // Unknown delete.
+    assert!(matches!(
+        remote.publish_delete(999_999),
+        Err(JanusError::RowNotFound(999_999))
+    ));
+    assert!(matches!(
+        twin.publish_delete(999_999),
+        Err(JanusError::RowNotFound(999_999))
+    ));
+
+    // A mixed batch reports the same accept/reject split.
+    let batch = vec![
+        ShardOp::Insert(Row::new(10_001, vec![1.0, 2.0])),
+        ShardOp::Insert(Row::new(3, vec![0.0, 0.0])), // duplicate
+        ShardOp::Delete(10_001),
+        ShardOp::Delete(77_777), // unknown
+    ];
+    let a = remote.publish_batch(batch.clone());
+    let b = twin.publish_batch(batch);
+    assert_eq!((a.published, a.rejected), (b.published, b.rejected));
+    assert_eq!(remote.stats().rejected, 4);
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn backpressure_bounds_the_publish_ahead_window() {
+    let fleet = local_fleet(2).expect("start fleet");
+    let mut cfg = RemoteConfig::new(config(17), 2, ShardPolicy::HashById);
+    cfg.max_backlog = 256;
+    cfg.ship_chunk = 64;
+    let remote =
+        RemoteCluster::bootstrap(cfg, rows(500, 17), &addrs_of(&fleet)).expect("bootstrap");
+
+    // A tight producer loop cannot run away: after every stalled
+    // publish the worst-shard backlog stays within the bound plus the
+    // in-flight slack of concurrent appends (none here — one producer).
+    for i in 0..5_000u64 {
+        remote
+            .publish_insert(Row::new(1_000_000 + i, vec![i as f64, 0.0]))
+            .unwrap();
+        if i % 512 == 0 {
+            assert!(
+                !remote.backlog_exceeds(256 + 64),
+                "backlog ran past the bound at publish {i}"
+            );
+        }
+    }
+    remote.drain();
+    assert!(!remote.backlog_exceeds(0), "drain leaves zero backlog");
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn unreplicated_shards_fail_loudly_when_their_node_dies() {
+    let mut fleet = local_fleet(2).expect("start fleet");
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(19), 2, ShardPolicy::HashById),
+        rows(500, 19),
+        &addrs_of(&fleet),
+    )
+    .expect("bootstrap");
+    remote.drain();
+
+    // No replicas: killing a node orphans the shards it led.
+    let victim_primary = remote.directory_snapshot().primaries[0];
+    fleet.remove(victim_primary).stop();
+
+    // Queries touching the lost shard must error, not silently
+    // under-count.
+    let q = Query::new(
+        AggregateFunction::Count,
+        1,
+        vec![0],
+        RangePredicate::new(vec![f64::NEG_INFINITY], vec![f64::INFINITY]).unwrap(),
+    )
+    .unwrap();
+    let mut saw_lost = false;
+    for _ in 0..50 {
+        match remote.query(&q) {
+            Err(_) => {
+                saw_lost = true;
+                break;
+            }
+            Ok(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+        }
+    }
+    assert!(saw_lost, "query over a lost shard must fail loudly");
+    assert!(!remote.lost_shards().is_empty());
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
+
+#[test]
+fn directory_places_followers_in_distinct_failure_domains() {
+    let fleet = local_fleet(3).expect("start fleet");
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(
+            config(23),
+            4,
+            ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap(),
+        )
+        .with_replicas(1, 0),
+        rows(1_000, 23),
+        &addrs_of(&fleet),
+    )
+    .expect("bootstrap");
+
+    let snap = remote.directory_snapshot();
+    for (shard, followers) in snap.followers.iter().enumerate() {
+        assert_eq!(followers.len(), 1, "shard {shard} wants one follower");
+        let primary = snap.primaries[shard];
+        assert_ne!(
+            snap.nodes[primary].domain, snap.nodes[followers[0]].domain,
+            "shard {shard}: follower shares the primary's failure domain"
+        );
+    }
+    remote.shutdown_nodes();
+    remote.shutdown();
+}
