@@ -72,9 +72,12 @@ impl PassSynopsis {
             &outcome.leaf_variances,
             n as f64,
         )?;
-        // Exact statistics from a full scan — the SPT construction,
-        // streamed zero-copy off the columnar archive.
-        dpt.install_exact_base_with(|sink| archive.for_each_row(sink));
+        // Exact statistics from a full scan — the SPT construction, via
+        // the chunked columnar installer on dense backends.
+        match archive.columns() {
+            Some(c) => dpt.install_exact_base_columns(c.values, c.arity),
+            None => dpt.install_exact_base_with(|sink| archive.for_each_row(sink)),
+        }
         let mut samples = SampleMap(DetHashMap::default());
         for row in sample_rows {
             let point = row.project(&template.predicate_columns);

@@ -82,11 +82,10 @@ impl ReservoirBaseline {
         uniform_estimate(query, self.reservoir.iter(), self.archive.len())
     }
 
-    /// Ground-truth oracle for experiments (zero-copy archive scan).
+    /// Ground-truth oracle for experiments (chunked columnar scan on
+    /// dense backends).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        let mut acc = query.exact_accumulator();
-        self.archive.for_each_row(|r| acc.offer(r.values));
-        acc.finish()
+        self.archive.evaluate_exact(query)
     }
 }
 

@@ -1,32 +1,39 @@
-//! Cold-storage sweep: archive ingest and export throughput per backend,
-//! as a function of table size.
+//! Cold-storage sweep: archive ingest, export, and scan throughput per
+//! backend, as a function of table size — plus a sustained-churn phase
+//! that exercises spill compaction.
 //!
 //! Each sweep point ingests a NYC-Taxi-like slice into the in-memory
 //! columnar archive and into the segmented file-backed spill store, then
-//! drives the two export paths over each: the zero-copy scan
-//! (`for_each_row`, what predicate evaluation / `evaluate_exact` /
-//! rebalance rebuilds use) and the materializing export (`to_rows`, the
-//! checkpoint / shard-hand-off path, one `Row` allocation per tuple —
-//! the shape the pre-columnar row-of-vecs store forced on *every*
-//! consumer). The printed scan/export ratio is therefore the measured
-//! win of the columnar views over the seed representation's
-//! clone-everything scans.
+//! measures:
+//!
+//! * the materializing export (`to_rows`, the checkpoint / shard-hand-off
+//!   path, one `Row` allocation per tuple);
+//! * the *exact predicate-query scan* — the `evaluate_exact` oracle
+//!   workload — sequentially through the chunked columnar kernels
+//!   (`scan_partial`) and in parallel across scoped worker threads
+//!   (`scan_partial_parallel`), asserting the parallel answer is
+//!   bit-identical to the sequential segmented twin while it is being
+//!   measured;
+//! * the same query scan on the file-backed store (per-row path);
+//! * a sustained-churn loop on the spill store (interleaved
+//!   delete-oldest / insert-new with auto-compaction disabled), the live
+//!   record ratio it decays to, and the ratio an explicit compaction
+//!   restores — with a bit-equality assert that compaction does not move
+//!   the query answer.
 //!
 //! The report id is `BENCH_archive`, so the tracked JSON lands at
-//! `target/experiments/BENCH_archive.json`. CI gates three columns:
-//! `archive_ingest_rows_per_sec` and `export_rows_per_sec` must be
-//! positive everywhere, and `file_backend_ratio` (file-backed ingest rate
-//! over in-memory ingest rate) must be positive — the spill store is
-//! expected to be slower, not broken. A per-point equivalence assert
-//! keeps the two backends bit-identical in slot order while they are
-//! being measured.
+//! `target/experiments/BENCH_archive.json`. CI gates the throughput
+//! columns positive, `parallel_scan_speedup` positive, and
+//! `live_ratio_after_compact >= live_ratio_before_compact`.
 
 use crate::metrics::rows_per_sec;
 use crate::ExpReport;
-use janus_common::Row;
+use janus_common::kernels::SEGMENT_ROWS;
+use janus_common::{AggregateFunction, Query, RangePredicate, Row};
 use janus_data::nyc_taxi;
 use janus_storage::{ArchiveStore, SegmentedFileArchive};
 use serde_json::json;
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Paper-scale row count of the largest sweep point.
@@ -37,6 +44,19 @@ const SEG_ROWS: usize = 8_192;
 /// Fractions of the scaled row count swept.
 const SWEEP: [f64; 3] = [0.25, 0.5, 1.0];
 
+/// The oracle workload: SUM of trip distance over a pickup-time ×
+/// time-of-day box selecting roughly half the table — every scan below
+/// runs this exact query.
+fn scan_query() -> Query {
+    Query::new(
+        AggregateFunction::Sum,
+        2,
+        vec![0, 4],
+        RangePredicate::new(vec![0.0, 20_000.0], vec![1.6e6, 70_000.0]).unwrap(),
+    )
+    .unwrap()
+}
+
 fn ingest(rows: &[Row], mut store: ArchiveStore) -> (ArchiveStore, f64) {
     let started = Instant::now();
     for row in rows {
@@ -45,13 +65,28 @@ fn ingest(rows: &[Row], mut store: ArchiveStore) -> (ArchiveStore, f64) {
     (store, rows_per_sec(rows.len(), started.elapsed()))
 }
 
-/// Times the zero-copy scan (checksum keeps the loop honest).
-fn scan_rate(store: &ArchiveStore) -> f64 {
+/// Times the sequential exact query scan (kernels on dense backends,
+/// per-row on file-backed ones).
+fn scan_rate(store: &ArchiveStore, query: &Query) -> f64 {
     let started = Instant::now();
-    let mut checksum = 0.0f64;
-    store.for_each_row(|r| checksum += r.values[0]);
+    let answer = store.evaluate_exact(query);
     let rate = rows_per_sec(store.len(), started.elapsed());
-    assert!(checksum.is_finite());
+    assert!(answer.is_some_and(f64::is_finite));
+    rate
+}
+
+/// Times the pooled-parallel segmented scan and asserts it bit-matches
+/// the sequential segmented twin while it is being measured.
+fn parallel_scan_rate(store: &ArchiveStore, query: &Query, threads: usize) -> f64 {
+    let started = Instant::now();
+    let partial = store.scan_partial_parallel(query, SEGMENT_ROWS, threads);
+    let rate = rows_per_sec(store.len(), started.elapsed());
+    let twin = store.scan_partial_segmented(query, SEGMENT_ROWS);
+    assert_eq!(
+        partial.finish(query.agg).map(f64::to_bits),
+        twin.finish(query.agg).map(f64::to_bits),
+        "parallel scan must be bit-identical to its sequential segmented twin"
+    );
     rate
 }
 
@@ -64,11 +99,63 @@ fn export_rate(store: &ArchiveStore) -> f64 {
     rate
 }
 
+/// Sustained churn on the spill store: delete-oldest / insert-new at a
+/// fixed live population with auto-compaction off, then one explicit
+/// compaction. Returns `(churn_rows_per_sec, live_ratio_before,
+/// live_ratio_after)`.
+fn churn_phase(spill_root: &std::path::Path, slice: &[Row], query: &Query) -> (f64, f64, f64) {
+    let mut spill =
+        SegmentedFileArchive::create_ephemeral(spill_root, SEG_ROWS).expect("open churn store");
+    // Compaction is measured explicitly below; the churn loop itself
+    // must run uncompacted so `live_ratio_before` shows the decay.
+    spill.set_auto_compaction(None, 0);
+    let mut store = ArchiveStore::with_backend(Box::new(spill));
+    let mut live: VecDeque<u64> = VecDeque::with_capacity(slice.len());
+    for row in slice {
+        store.insert(row.clone());
+        live.push_back(row.id);
+    }
+    let base_id = slice.iter().map(|r| r.id).max().unwrap_or(0) + 1;
+
+    let ops = slice.len();
+    let started = Instant::now();
+    for i in 0..ops {
+        let victim = live.pop_front().expect("population stays positive");
+        store.delete(victim).expect("victim is live");
+        let id = base_id + i as u64;
+        store.insert(Row::new(id, slice[i % slice.len()].values.clone()));
+        live.push_back(id);
+    }
+    // One op = one delete + one insert: two row mutations.
+    let churn_rate = rows_per_sec(2 * ops, started.elapsed());
+
+    let before = store
+        .spill_stats()
+        .expect("spill backend reports stats")
+        .live_record_ratio();
+    let truth = store.evaluate_exact(query);
+    assert!(store.compact(), "a churned store has records to drop");
+    let after = store
+        .spill_stats()
+        .expect("spill backend reports stats")
+        .live_record_ratio();
+    assert_eq!(
+        store.evaluate_exact(query).map(f64::to_bits),
+        truth.map(f64::to_bits),
+        "compaction must not move the exact answer"
+    );
+    (churn_rate, before, after)
+}
+
 /// Runs the backend sweep.
 pub fn run(scale: f64) -> ExpReport {
     let n = crate::scaled(ARCHIVE_N, scale);
     let dataset = nyc_taxi(n, 0xa5c411);
     let spill_root = std::env::temp_dir().join("janus-bench-archive");
+    let query = scan_query();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
     let mut rows_out = Vec::new();
 
     for fraction in SWEEP {
@@ -76,7 +163,8 @@ pub fn run(scale: f64) -> ExpReport {
         let slice = &dataset.rows[..count.min(dataset.rows.len())];
 
         let (mem, mem_ingest) = ingest(slice, ArchiveStore::new());
-        let mem_scan = scan_rate(&mem);
+        let mem_scan = scan_rate(&mem, &query);
+        let par_scan = parallel_scan_rate(&mem, &query, threads);
         let mem_export = export_rate(&mem);
 
         let file_store = ArchiveStore::with_backend(Box::new(
@@ -84,21 +172,29 @@ pub fn run(scale: f64) -> ExpReport {
                 .expect("open spill store"),
         ));
         let (file, file_ingest) = ingest(slice, file_store);
-        let file_scan = scan_rate(&file);
+        let file_scan = scan_rate(&file, &query);
         let eq_seed = 0xa1 ^ (fraction * 100.0) as u64;
         assert_eq!(
             mem.sample_distinct(64, eq_seed),
             file.sample_distinct(64, eq_seed),
             "backends must stay bit-identical while being measured"
         );
+        assert_eq!(
+            mem.evaluate_exact(&query).map(f64::to_bits),
+            file.evaluate_exact(&query).map(f64::to_bits),
+            "kernel scan must be bit-identical to the per-row file scan"
+        );
+
+        let (churn_rate, live_before, live_after) = churn_phase(&spill_root, slice, &query);
 
         let ratio = file_ingest / mem_ingest.max(1e-9);
+        let speedup = par_scan / mem_scan.max(1e-9);
         println!(
-            "[archive] {count} rows: columnar ingest {mem_ingest:.0} rows/s, zero-copy scan \
-             {mem_scan:.0} rows/s vs materializing export {mem_export:.0} rows/s \
-             ({:.2}x); file-backed ingest {file_ingest:.0} rows/s ({ratio:.2}x of memory), \
-             file scan {file_scan:.0} rows/s",
-            mem_scan / mem_export.max(1e-9)
+            "[archive] {count} rows: columnar ingest {mem_ingest:.0} rows/s, kernel query scan \
+             {mem_scan:.0} rows/s ({threads}-way parallel {par_scan:.0} rows/s, {speedup:.2}x), \
+             export {mem_export:.0} rows/s; file ingest {file_ingest:.0} rows/s ({ratio:.2}x of \
+             memory), file scan {file_scan:.0} rows/s; churn {churn_rate:.0} rows/s, live ratio \
+             {live_before:.2} -> {live_after:.2} after compaction"
         );
 
         rows_out.push(vec![
@@ -106,22 +202,32 @@ pub fn run(scale: f64) -> ExpReport {
             json!(mem_ingest),
             json!(mem_export),
             json!(mem_scan),
+            json!(par_scan),
+            json!(speedup),
             json!(file_ingest),
             json!(file_scan),
             json!(ratio),
+            json!(churn_rate),
+            json!(live_before),
+            json!(live_after),
         ]);
     }
     ExpReport {
         id: "BENCH_archive",
-        title: "Archive: columnar vs file-backed ingest/export throughput",
+        title: "Archive: columnar vs file-backed ingest/scan/export throughput",
         headers: [
             "rows",
             "archive_ingest_rows_per_sec",
             "export_rows_per_sec",
             "scan_rows_per_sec",
+            "parallel_scan_rows_per_sec",
+            "parallel_scan_speedup",
             "file_ingest_rows_per_sec",
             "file_scan_rows_per_sec",
             "file_backend_ratio",
+            "churn_rows_per_sec",
+            "live_ratio_before_compact",
+            "live_ratio_after_compact",
         ]
         .map(String::from)
         .to_vec(),

@@ -58,7 +58,8 @@ use crate::rebalance::{self, RebalanceReport};
 use crate::router::{ShardPolicy, ShardRouter};
 use crate::scatter::{Job, ScatterPool, SubAnswer};
 use janus_common::{
-    merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
+    kernels, merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
+    ScanPartial,
 };
 use janus_core::concurrent::Update;
 use janus_core::{JanusEngine, SynopsisConfig};
@@ -359,6 +360,25 @@ impl ShardSet {
             }
         }
         f(&mut self.shards[shard].write().engine)
+    }
+
+    /// Scans one fixed-size segment of `shard`'s archive under the
+    /// shard's own read lock — the worker-side half of the parallel
+    /// exact scan ([`crate::ClusterEngine::evaluate_exact_parallel`]).
+    /// Segment bounds are recomputed from the shard's *current* length
+    /// and clamped, so a segment index that went stale (the shard shrank
+    /// since the fan-out snapshot) yields an empty partial, not a panic.
+    pub(crate) fn scan_segment(
+        &self,
+        shard: usize,
+        seg: usize,
+        segment_rows: usize,
+        query: &Query,
+    ) -> ScanPartial {
+        let guard = self.shards[shard].read();
+        let archive = guard.engine.archive();
+        let (start, end) = kernels::segment_bounds(seg, archive.len(), segment_rows);
+        archive.scan_partial_range(query, start, end)
     }
 }
 
@@ -885,14 +905,94 @@ impl ClusterEngine {
 
     /// Exact evaluation across all shard archives (ground-truth oracle;
     /// ignores unpumped records, exactly like per-shard synopses do).
-    /// One streaming accumulator scans every shard's archive zero-copy.
+    /// One accumulator continues the same serial accumulation chain
+    /// across shards in shard order; dense shard archives feed it through
+    /// the chunked columnar kernels, spill-backed ones stream zero-copy
+    /// row views — bit-identical either way, and unchanged from the
+    /// pre-kernel scan.
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
         let guards: Vec<_> = self.set.shards.iter().map(|s| s.read()).collect();
         let mut acc = query.exact_accumulator();
         for g in &guards {
-            g.engine.archive().for_each_row(|r| acc.offer(r.values));
+            let archive = g.engine.archive();
+            match archive.columns() {
+                Some(c) => acc.offer_columns(c.values, c.arity),
+                None => archive.for_each_row(|r| acc.offer(r.values)),
+            }
         }
         acc.finish()
+    }
+
+    /// Parallel twin of [`ClusterEngine::evaluate_exact`]: tiles every
+    /// shard's archive into fixed [`kernels::SEGMENT_ROWS`]-row segments
+    /// and fans one `Job::Scan` per segment round-robin across **all**
+    /// pool workers, then merges the gathered partials in (shard,
+    /// segment) order. The segmentation is a function of table lengths
+    /// only — never of the worker count — so on a quiesced cluster (no
+    /// concurrent pumps or rebalances; the oracle/bench use case) the
+    /// answer is bit-identical to a sequential segmented merge in the
+    /// same order, for COUNT/MIN/MAX bit-identical to
+    /// [`ClusterEngine::evaluate_exact`] itself, and independent of how
+    /// many workers the pool happens to have.
+    ///
+    /// The caller snapshots lengths under brief per-shard read locks,
+    /// drops them, and holds *nothing* while waiting on the gather, so
+    /// scan workers (which take their own shard read locks) can never
+    /// deadlock against it.
+    pub fn evaluate_exact_parallel(&self, query: &Query) -> Option<f64> {
+        const SEGMENT_ROWS: usize = kernels::SEGMENT_ROWS;
+        let seg_counts: Vec<usize> = self
+            .set
+            .shards
+            .iter()
+            .map(|s| kernels::segment_count(s.read().engine.archive().len(), SEGMENT_ROWS))
+            .collect();
+        let total: usize = seg_counts.iter().sum();
+        let workers = self.set.shards.len();
+        if workers <= 1 || total <= 1 {
+            // Sequential fallback with the *same* segmentation, so the
+            // fallback answer matches the parallel one bit-for-bit.
+            let mut acc = ScanPartial::EMPTY;
+            for s in &self.set.shards {
+                let g = s.read();
+                acc.merge(
+                    &g.engine
+                        .archive()
+                        .scan_partial_segmented(query, SEGMENT_ROWS),
+                );
+            }
+            return acc.finish(query.agg);
+        }
+        let query_arc = Arc::new(query.clone());
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut slot = 0usize;
+        for (shard, &segs) in seg_counts.iter().enumerate() {
+            for seg in 0..segs {
+                self.pool.send(
+                    slot % workers,
+                    Job::Scan {
+                        slot,
+                        shard,
+                        seg,
+                        segment_rows: SEGMENT_ROWS,
+                        query: Arc::clone(&query_arc),
+                        reply: tx.clone(),
+                    },
+                );
+                slot += 1;
+            }
+        }
+        drop(tx);
+        let mut partials = vec![ScanPartial::EMPTY; total];
+        for _ in 0..total {
+            let (slot, partial) = rx.recv().expect("scan worker died");
+            partials[slot] = partial;
+        }
+        let mut acc = ScanPartial::EMPTY;
+        for partial in &partials {
+            acc.merge(partial);
+        }
+        acc.finish(query.agg)
     }
 
     /// Scatters `query` to `targets` on the worker pool and gathers the

@@ -21,9 +21,19 @@
 //! Workers never take the router or directory locks, and never wait on
 //! each other, so the pool adds no lock-order edges: the engine-wide
 //! deadlock-freedom argument (router → directory → shards) is unchanged.
+//!
+//! [`Job::Scan`] extends the pool to *segmented exact scans*: the
+//! parallel oracle tiles every shard's archive into fixed-size segments
+//! (see `janus_common::kernels::SEGMENT_ROWS`) and fans one scan job per
+//! segment round-robin across **all** workers, not just the segment's
+//! home worker. Each scan job takes its own read lock on the target
+//! shard and the gathering caller holds *no* locks while it waits, so a
+//! scan worker can only ever be blocked by a writer that itself
+//! terminates independently — the pool stays deadlock-free even though
+//! scan jobs cross shard boundaries.
 
 use crate::engine::ShardSet;
-use janus_common::{Estimate, JanusError, Query, Result};
+use janus_common::{Estimate, JanusError, Query, Result, ScanPartial};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,6 +63,18 @@ pub(crate) enum Job {
     Pump {
         max: usize,
         reply: Sender<(usize, usize, usize, Option<JanusError>)>,
+    },
+    /// Scan one fixed-size segment of `shard`'s archive under the
+    /// shard's own read lock (the worker executing the job need not be
+    /// the shard's home worker) and reply with the segment's partial,
+    /// tagged with the gather slot so merge order stays segment order.
+    Scan {
+        slot: usize,
+        shard: usize,
+        seg: usize,
+        segment_rows: usize,
+        query: Arc<Query>,
+        reply: Sender<(usize, ScanPartial)>,
     },
 }
 
@@ -117,6 +139,16 @@ fn worker_loop(set: &ShardSet, shard: usize, jobs: &Receiver<Job>) {
                 let (applied, skipped, error) = set.pump_one(shard, max, false);
                 let replica_applied = set.pump_replicas_mode(shard, max, false);
                 let _ = reply.send((shard, applied + replica_applied, skipped, error));
+            }
+            Job::Scan {
+                slot,
+                shard: target,
+                seg,
+                segment_rows,
+                query,
+                reply,
+            } => {
+                let _ = reply.send((slot, set.scan_segment(target, seg, segment_rows, &query)));
             }
         }
     }

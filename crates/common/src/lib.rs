@@ -10,6 +10,9 @@
 //!   synopsis answers;
 //! * [`Moments`] — count/sum/sum-of-squares accumulators used for both exact
 //!   node statistics and sample-based estimators;
+//! * [`kernels`] — chunked, branch-light columnar scan kernels (and the
+//!   mergeable [`ScanPartial`]) with a bit-identity contract against the
+//!   per-row scan paths;
 //! * [`Estimate`] — an AQP answer with its variance and confidence interval;
 //! * [`merge`] — composition of per-shard estimates (additive COUNT/SUM
 //!   merge, delta-method AVG ratio, MIN/MAX extremes) for scatter-gather
@@ -21,6 +24,7 @@
 pub mod det_hash;
 pub mod error;
 pub mod float;
+pub mod kernels;
 pub mod merge;
 pub mod query;
 pub mod rect;
@@ -30,6 +34,7 @@ pub mod stats;
 pub use det_hash::{DetHashMap, DetHashSet};
 pub use error::{JanusError, Result};
 pub use float::F64;
+pub use kernels::ScanPartial;
 pub use query::{AggregateFunction, Estimate, ExactAccumulator, Query, QueryTemplate};
 pub use rect::{RangePredicate, Rect};
 pub use row::{ColumnDef, Row, RowId, RowRef, Schema};

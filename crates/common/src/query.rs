@@ -1,5 +1,6 @@
 //! Queries, query templates, and estimates.
 
+use crate::kernels::{self, ScanPartial};
 use crate::rect::RangePredicate;
 use crate::row::Row;
 use serde::{Deserialize, Serialize};
@@ -139,17 +140,19 @@ impl Query {
     }
 
     /// Predicate check over a raw value slice — the form columnar scans
-    /// use ([`crate::RowRef`] hands out slices, not [`Row`]s).
+    /// use ([`crate::RowRef`] hands out slices, not [`Row`]s). The
+    /// conjunction folds with non-short-circuiting `&` (the
+    /// [`crate::kernels`] mask idiom) so the scan loop carries one
+    /// predictable branch instead of one per predicate dimension.
     #[inline]
     pub fn matches_values(&self, values: &[f64]) -> bool {
-        self.predicate_columns
-            .iter()
-            .zip(self.range.lo())
-            .zip(self.range.hi())
-            .all(|((&c, lo), hi)| {
-                let x = values[c];
-                *lo <= x && x <= *hi
-            })
+        let (lo, hi) = (self.range.lo(), self.range.hi());
+        let mut m = true;
+        for (d, &c) in self.predicate_columns.iter().enumerate() {
+            let x = values[c];
+            m &= (lo[d] <= x) & (x <= hi[d]);
+        }
+        m
     }
 
     /// Evaluates the query exactly over `rows` (the ground-truth oracle used
@@ -170,10 +173,7 @@ impl Query {
     pub fn exact_accumulator(&self) -> ExactAccumulator<'_> {
         ExactAccumulator {
             query: self,
-            count: 0.0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
+            partial: ScanPartial::EMPTY,
         }
     }
 }
@@ -181,13 +181,13 @@ impl Query {
 /// Streaming state of an exact query evaluation (see
 /// [`Query::exact_accumulator`]). Accumulation order is the offer order,
 /// so two scans that offer the same rows in the same order produce
-/// bit-identical answers.
+/// bit-identical answers — whether rows arrive one at a time through
+/// [`ExactAccumulator::offer`] or in dense chunks through
+/// [`ExactAccumulator::offer_columns`] (see the [`crate::kernels`]
+/// bit-identity contract).
 pub struct ExactAccumulator<'q> {
     query: &'q Query,
-    count: f64,
-    sum: f64,
-    min: f64,
-    max: f64,
+    partial: ScanPartial,
 }
 
 impl ExactAccumulator<'_> {
@@ -195,25 +195,39 @@ impl ExactAccumulator<'_> {
     #[inline]
     pub fn offer(&mut self, values: &[f64]) {
         if self.query.matches_values(values) {
-            let a = values[self.query.agg_column];
-            self.count += 1.0;
-            self.sum += a;
-            self.min = self.min.min(a);
-            self.max = self.max.max(a);
+            self.partial.accept(values[self.query.agg_column]);
         }
+    }
+
+    /// Offers a dense arity-strided block of rows (a columnar backend's
+    /// value buffer) through the chunked kernels, continuing the same
+    /// serial accumulation: bit-identical to calling [`offer`] on each
+    /// row slice in order, including across multiple blocks.
+    ///
+    /// [`offer`]: ExactAccumulator::offer
+    #[inline]
+    pub fn offer_columns(&mut self, values: &[f64], arity: usize) {
+        kernels::scan_columns(self.query, values, arity, &mut self.partial);
+    }
+
+    /// The mergeable partial state accumulated so far.
+    #[inline]
+    pub fn partial(&self) -> &ScanPartial {
+        &self.partial
+    }
+
+    /// Merges a later partial (e.g. one produced by a segmented scan)
+    /// into this accumulator; see [`ScanPartial::merge`] for ordering.
+    #[inline]
+    pub fn merge_partial(&mut self, later: &ScanPartial) {
+        self.partial.merge(later);
     }
 
     /// The exact answer over everything offered so far (`None` for
     /// AVG/MIN/MAX over an empty selection, matching
     /// [`Query::evaluate_exact`]).
     pub fn finish(&self) -> Option<f64> {
-        match self.query.agg {
-            AggregateFunction::Count => Some(self.count),
-            AggregateFunction::Sum => Some(self.sum),
-            AggregateFunction::Avg => (self.count > 0.0).then(|| self.sum / self.count),
-            AggregateFunction::Min => (self.count > 0.0).then_some(self.min),
-            AggregateFunction::Max => (self.count > 0.0).then_some(self.max),
-        }
+        self.partial.finish(self.query.agg)
     }
 }
 

@@ -70,15 +70,12 @@ impl Rect {
         &self.hi
     }
 
-    /// Half-open membership test.
+    /// Half-open membership test (branch-light: the per-dimension
+    /// conjunction folds with `&`, see [`crate::kernels`]).
     #[inline]
     pub fn contains(&self, p: &[f64]) -> bool {
         debug_assert_eq!(p.len(), self.dims());
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .zip(p)
-            .all(|((lo, hi), x)| lo <= x && x < hi)
+        crate::kernels::contains_half_open(&self.lo, &self.hi, p)
     }
 
     /// True iff `self` is a subset of `other` (both half-open).
@@ -214,15 +211,11 @@ impl RangePredicate {
         &self.hi
     }
 
-    /// Closed membership test.
+    /// Closed membership test (branch-light, like [`Rect::contains`]).
     #[inline]
     pub fn contains(&self, p: &[f64]) -> bool {
         debug_assert_eq!(p.len(), self.dims());
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .zip(p)
-            .all(|((lo, hi), x)| lo <= x && x <= hi)
+        crate::kernels::contains_closed(&self.lo, &self.hi, p)
     }
 
     /// True iff the half-open `rect` is provably inside this closed predicate.

@@ -96,7 +96,12 @@ impl JanusEngine {
         }
 
         let catchup = if config.catchup_ratio >= 1.0 {
-            dpt.install_exact_base_with(|sink| archive.for_each_row(sink));
+            // Dense backends feed the chunked columnar installer; spill
+            // backends stream row views — bit-identical either way.
+            match archive.columns() {
+                Some(c) => dpt.install_exact_base_columns(c.values, c.arity),
+                None => dpt.install_exact_base_with(|sink| archive.for_each_row(sink)),
+            }
             CatchupQueue::completed()
         } else {
             let goal = (config.catchup_ratio * n as f64).ceil() as usize;
@@ -457,12 +462,11 @@ impl JanusEngine {
 
     /// Exact evaluation over the archive — the ground-truth oracle used by
     /// the experiment harness (never used to answer synopsis queries).
-    /// Streams the archive's zero-copy row views into an accumulator, so
-    /// the scan allocates nothing per row on any backend.
+    /// Dense backends go through the chunked columnar kernels; file-backed
+    /// ones stream zero-copy row views — bit-identical either way (see the
+    /// `janus_common::kernels` bit-identity contract).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        let mut acc = query.exact_accumulator();
-        self.archive.for_each_row(|r| acc.offer(r.values));
-        acc.finish()
+        self.archive.evaluate_exact(query)
     }
 
     /// Exports the live table rows (id order unspecified) — the archive

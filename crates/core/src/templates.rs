@@ -217,11 +217,9 @@ impl MultiTemplateEngine {
         self.archive.len()
     }
 
-    /// Ground-truth oracle (zero-copy archive scan).
+    /// Ground-truth oracle (chunked columnar scan on dense backends).
     pub fn evaluate_exact(&self, query: &Query) -> Option<f64> {
-        let mut acc = query.exact_accumulator();
-        self.archive.for_each_row(|r| acc.offer(r.values));
-        acc.finish()
+        self.archive.evaluate_exact(query)
     }
 
     /// Runs the catch-up of synopsis `idx` to its goal.

@@ -379,6 +379,86 @@ impl Dpt {
         }
     }
 
+    /// Columnar twin of [`Dpt::install_exact_base_with`]: scans a dense
+    /// arity-strided value buffer in slot order, gathering the predicate
+    /// projection and aggregate lane of [`janus_common::kernels::CHUNK`]
+    /// rows at a time before the per-row tree descent.
+    ///
+    /// Bit-identical to the sink-driven path: both visit slots in the
+    /// same order and feed every node accumulator the same `f64`
+    /// sequence, so a synopsis bootstrapped from a dense column view
+    /// answers (and checkpoints) bit-for-bit like one bootstrapped from
+    /// `for_each_row`.
+    pub fn install_exact_base_columns(&mut self, values: &[f64], arity: usize) {
+        use janus_common::kernels::CHUNK;
+        let dims = self.template.predicate_columns.len();
+        let mut acc: Vec<Moments> = vec![Moments::ZERO; self.nodes.len()];
+        let mut leaf_vals: Vec<Vec<f64>> = vec![Vec::new(); self.nodes.len()];
+        if arity > 0 {
+            debug_assert_eq!(values.len() % arity, 0);
+            let nodes = &self.nodes;
+            let root = self.root;
+            let cols = &self.template.predicate_columns;
+            let agg_col = self.template.agg_column;
+            let mut points = vec![0.0f64; CHUNK * dims];
+            let mut aggs = [0.0f64; CHUNK];
+            let mut blocks = values.chunks_exact(CHUNK * arity);
+            for block in blocks.by_ref() {
+                // Gather column-by-column so each predicate column strides
+                // uniformly through the block (the autovectorizable shape).
+                for (d, &c) in cols.iter().enumerate() {
+                    for lane in 0..CHUNK {
+                        points[lane * dims + d] = block[lane * arity + c];
+                    }
+                }
+                for (lane, a) in aggs.iter_mut().enumerate() {
+                    *a = block[lane * arity + agg_col];
+                }
+                for lane in 0..CHUNK {
+                    let point = &points[lane * dims..(lane + 1) * dims];
+                    Self::descend_add(nodes, root, point, aggs[lane], &mut acc, &mut leaf_vals);
+                }
+            }
+            let mut point = vec![0.0f64; dims];
+            for row in blocks.remainder().chunks_exact(arity) {
+                for (d, &c) in cols.iter().enumerate() {
+                    point[d] = row[c];
+                }
+                Self::descend_add(nodes, root, &point, row[agg_col], &mut acc, &mut leaf_vals);
+            }
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.stats.set_exact_base(acc[i]);
+            node.stats.minmax.rebuild(leaf_vals[i].iter().copied());
+        }
+    }
+
+    /// Root-to-leaf descent shared by the exact-base installers: adds `a`
+    /// to every node on `point`'s path (identical accumulation order to
+    /// the sink in [`Dpt::install_exact_base_with`]).
+    fn descend_add(
+        nodes: &[DptNode],
+        root: usize,
+        point: &[f64],
+        a: f64,
+        acc: &mut [Moments],
+        vals: &mut [Vec<f64>],
+    ) {
+        let mut idx = root;
+        loop {
+            acc[idx].add(a);
+            vals[idx].push(a);
+            let Some(&next) = nodes[idx]
+                .children
+                .iter()
+                .find(|&&c| nodes[c].rect.contains(point))
+            else {
+                break;
+            };
+            idx = next;
+        }
+    }
+
     /// Starts a fresh catch-up epoch with snapshot population `population`
     /// and re-homes *all* nodes into it (full re-initialization, §4.3).
     pub fn begin_epoch_all(&mut self, population: f64) {

@@ -37,5 +37,5 @@ pub use archive::{
 };
 pub use checkpoint::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
-pub use spill::SegmentedFileArchive;
+pub use spill::{SegmentedFileArchive, SpillStats};
 pub use streamlog::{QueryResponse, Request, RequestLog, ShardedLog, TopicLog};

@@ -31,6 +31,30 @@
 //! durability of *engine* state goes through the checkpoint machinery).
 //! Trailing bytes that do not form a whole record are ignored.
 //!
+//! ## Compaction
+//!
+//! Deletes never rewrite sealed segments, so a delete-heavy workload
+//! accumulates dead records (overwritten inserts + tombstones) without
+//! bound. [`SegmentedFileArchive::compact`] fixes that: it seals the
+//! tail, rewrites the **live rows in slot order** as pure insert records
+//! into fresh segment files (tmp + rename, monotonically increasing file
+//! numbers), atomically swaps the segment list by rewriting the
+//! `MANIFEST` file (tmp + rename — the single commit point), and then
+//! deletes the old files. Because replaying a pure-insert record
+//! sequence appends slots in record order, a compacted directory reopens
+//! to the **identical live set and slot order** as the uncompacted one —
+//! seeded sampling streams continue bit-identically across compaction
+//! and reopen. A crash at any point leaves a consistent state: before
+//! the manifest rename the old manifest + old files are intact (the new
+//! files are unlisted and swept on the next open); after it, the new
+//! manifest + new files are (stale old files are likewise swept).
+//!
+//! Compaction also runs automatically: after each seal, if the
+//! dead-record ratio (`1 − live/sealed_records`) crosses the configured
+//! threshold (default 0.5) past a minimum sealed-record floor, the store
+//! compacts in place. [`SpillStats`] exposes segment/compaction counters
+//! so callers can watch the live-record ratio stay bounded.
+//!
 //! [`ArchiveBackend`]: crate::archive::ArchiveBackend
 
 use crate::archive::ArchiveBackend;
@@ -49,6 +73,15 @@ const HEADER: usize = 16;
 /// Record kind tags.
 const KIND_INSERT: u64 = 0;
 const KIND_DELETE: u64 = 1;
+/// The atomically swapped segment listing (see the module docs).
+const MANIFEST: &str = "MANIFEST";
+/// First line of a valid manifest.
+const MANIFEST_HEADER: &str = "janus-spill-manifest v1";
+/// Default dead-record ratio that triggers auto-compaction.
+const DEFAULT_COMPACT_THRESHOLD: f64 = 0.5;
+/// Default minimum sealed segments' worth of records before the
+/// auto-trigger is considered (avoids churning tiny stores).
+const DEFAULT_COMPACT_MIN_SEGMENTS: u64 = 4;
 
 /// Where a live row's values currently are.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +112,53 @@ struct Segment {
     file: File,
 }
 
+/// Segment/compaction counters of a [`SegmentedFileArchive`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpillStats {
+    /// Sealed segment files currently open.
+    pub sealed_segments: usize,
+    /// Records across all sealed segments (live + dead + tombstones).
+    pub sealed_records: u64,
+    /// Operations buffered in the unsealed tail.
+    pub tail_records: usize,
+    /// Live rows.
+    pub live_rows: usize,
+    /// Compaction passes performed by this store instance.
+    pub compactions: u64,
+    /// Dead records dropped by those passes.
+    pub records_dropped: u64,
+}
+
+impl SpillStats {
+    /// Live rows over total records currently held (sealed + tail);
+    /// `1.0` for an empty store. Compaction exists to keep this bounded
+    /// away from zero under sustained churn.
+    pub fn live_record_ratio(&self) -> f64 {
+        let total = self.sealed_records + self.tail_records as u64;
+        if total == 0 {
+            1.0
+        } else {
+            self.live_rows as f64 / total as f64
+        }
+    }
+
+    /// Dead records over total sealed records (`0.0` when nothing is
+    /// sealed) — the quantity the auto-compaction threshold tests.
+    pub fn dead_record_ratio(&self) -> f64 {
+        if self.sealed_records == 0 {
+            return 0.0;
+        }
+        let live_sealed = (self.live_rows - self.tail_live_bound()) as u64;
+        1.0 - live_sealed.min(self.sealed_records) as f64 / self.sealed_records as f64
+    }
+
+    /// Upper bound on live rows residing in the tail (every tail record
+    /// could be a live insert).
+    fn tail_live_bound(&self) -> usize {
+        self.tail_records.min(self.live_rows)
+    }
+}
+
 /// Uniquifies ephemeral spill directories within the process.
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -91,10 +171,28 @@ pub struct SegmentedFileArchive {
     slots: Vec<Slot>,
     index_of: HashMap<RowId, usize>,
     segments: Vec<Segment>,
+    /// File name of each open segment, in logical (replay) order. The
+    /// manifest is this list, published atomically.
+    seg_files: Vec<String>,
+    /// Next segment *file number* — monotonic for the directory's
+    /// lifetime, never reused, so compacted files always sort and list
+    /// after the files they replace.
+    next_seg_no: u64,
+    /// Records across all sealed segments (live + dead + tombstones).
+    sealed_records: u64,
     tail_ops: Vec<TailOp>,
     /// Arity-strided values of the tail's insert operations.
     tail_values: Vec<f64>,
     tail_inserts: u32,
+    /// Dead-record ratio that triggers auto-compaction after a seal
+    /// (`None` disables the trigger; explicit `compact` still works).
+    auto_compact_threshold: Option<f64>,
+    /// Minimum sealed records before the auto-trigger is considered.
+    compact_min_records: u64,
+    /// Compaction passes performed by this instance.
+    compactions: u64,
+    /// Dead records dropped by those passes.
+    records_dropped: u64,
     /// Ephemeral stores delete their directory on drop (they are spill
     /// caches, not the durability story).
     ephemeral: bool,
@@ -107,16 +205,24 @@ impl SegmentedFileArchive {
     pub fn open(dir: impl AsRef<Path>, seg_rows: usize) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(|e| storage_err("create spill dir", &e))?;
+        let seg_rows = seg_rows.max(1);
         let mut store = SegmentedFileArchive {
             dir,
-            seg_rows: seg_rows.max(1),
+            seg_rows,
             arity: None,
             slots: Vec::new(),
             index_of: HashMap::new(),
             segments: Vec::new(),
+            seg_files: Vec::new(),
+            next_seg_no: 0,
+            sealed_records: 0,
             tail_ops: Vec::new(),
             tail_values: Vec::new(),
             tail_inserts: 0,
+            auto_compact_threshold: Some(DEFAULT_COMPACT_THRESHOLD),
+            compact_min_records: DEFAULT_COMPACT_MIN_SEGMENTS * seg_rows as u64,
+            compactions: 0,
+            records_dropped: 0,
             ephemeral: false,
         };
         store.replay_existing()?;
@@ -157,6 +263,29 @@ impl SegmentedFileArchive {
         self.tail_ops.len()
     }
 
+    /// Segment/compaction counters.
+    pub fn stats(&self) -> SpillStats {
+        SpillStats {
+            sealed_segments: self.segments.len(),
+            sealed_records: self.sealed_records,
+            tail_records: self.tail_ops.len(),
+            live_rows: self.slots.len(),
+            compactions: self.compactions,
+            records_dropped: self.records_dropped,
+        }
+    }
+
+    /// Configures the auto-compaction trigger: after a seal, if at
+    /// least `min_records` records are sealed and the dead-record ratio
+    /// reaches `threshold`, the store compacts in place. `None`
+    /// disables the trigger (explicit [`SegmentedFileArchive::compact`]
+    /// still works) — e.g. for a bit-compare twin that must keep its
+    /// tombstones.
+    pub fn set_auto_compaction(&mut self, threshold: Option<f64>, min_records: u64) {
+        self.auto_compact_threshold = threshold;
+        self.compact_min_records = min_records;
+    }
+
     /// Seals the tail (if non-empty) so everything ingested so far is on
     /// disk — the durability barrier a clean shutdown or a pre-crash
     /// flush wants.
@@ -164,26 +293,96 @@ impl SegmentedFileArchive {
         self.seal_tail()
     }
 
-    fn seg_path(&self, seg: usize) -> PathBuf {
-        self.dir.join(format!("seg-{seg:06}.bin"))
+    fn seg_name(seg_no: u64) -> String {
+        format!("seg-{seg_no:06}.bin")
     }
 
     fn record_size(arity: usize) -> usize {
         16 + 8 * arity
     }
 
-    /// Replays sealed segments (name order) into the in-memory index.
+    /// Atomically publishes the current segment list (+ the arity lock)
+    /// as the directory's manifest — tmp + rename, the same discipline
+    /// as segment seals and checkpoints.
+    fn write_manifest(&self) -> Result<()> {
+        let mut text =
+            String::with_capacity(64 + self.seg_files.iter().map(|n| n.len() + 1).sum::<usize>());
+        text.push_str(MANIFEST_HEADER);
+        text.push('\n');
+        match self.arity {
+            Some(a) => text.push_str(&format!("arity {a}\n")),
+            None => text.push_str("arity -\n"),
+        }
+        for name in &self.seg_files {
+            text.push_str(name);
+            text.push('\n');
+        }
+        let tmp = self.dir.join(".MANIFEST.tmp");
+        std::fs::write(&tmp, text.as_bytes()).map_err(|e| storage_err("write manifest", &e))?;
+        std::fs::rename(&tmp, self.dir.join(MANIFEST))
+            .map_err(|e| storage_err("publish manifest", &e))
+    }
+
+    /// Parses the manifest into `(arity, segment names)`.
+    fn parse_manifest(text: &str, path: &Path) -> Result<(Option<usize>, Vec<String>)> {
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(JanusError::Storage(format!(
+                "{} is not a janus spill manifest",
+                path.display()
+            )));
+        }
+        let arity =
+            match lines.next().and_then(|l| l.strip_prefix("arity ")) {
+                Some("-") => None,
+                Some(n) => Some(n.parse::<usize>().map_err(|_| {
+                    JanusError::Storage(format!("{}: bad arity line", path.display()))
+                })?),
+                None => {
+                    return Err(JanusError::Storage(format!(
+                        "{}: missing arity line",
+                        path.display()
+                    )))
+                }
+            };
+        Ok((
+            arity,
+            lines
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect(),
+        ))
+    }
+
+    /// Replays sealed segments into the in-memory index. When a manifest
+    /// exists its listing is authoritative: unlisted segment files are
+    /// leftovers of a crashed seal or compaction and are swept. Without
+    /// a manifest (pre-manifest directory or fresh dir) the name-sorted
+    /// file set is adopted as the listing.
     fn replay_existing(&mut self) -> Result<()> {
         let entries =
             std::fs::read_dir(&self.dir).map_err(|e| storage_err("list spill dir", &e))?;
-        let mut names: Vec<String> = entries
+        let mut on_disk: Vec<String> = entries
             .flatten()
             .filter_map(|e| {
                 let name = e.file_name().to_str()?.to_string();
                 (name.starts_with("seg-") && name.ends_with(".bin")).then_some(name)
             })
             .collect();
-        names.sort_unstable();
+        on_disk.sort_unstable();
+        let manifest_path = self.dir.join(MANIFEST);
+        let names = match std::fs::read_to_string(&manifest_path) {
+            Ok(text) => {
+                let (arity, names) = Self::parse_manifest(&text, &manifest_path)?;
+                self.arity = arity;
+                for stale in on_disk.iter().filter(|n| !names.contains(n)) {
+                    let _ = std::fs::remove_file(self.dir.join(stale));
+                }
+                names
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => on_disk,
+            Err(e) => return Err(storage_err("read manifest", &e)),
+        };
         for (seg_no, name) in names.iter().enumerate() {
             let path = self.dir.join(name);
             let mut file = File::open(&path).map_err(|e| storage_err("open segment", &e))?;
@@ -239,8 +438,23 @@ impl SegmentedFileArchive {
                 }
                 rec_no += 1;
             }
+            self.sealed_records += rec_no as u64;
             self.segments.push(Segment { file });
         }
+        // File numbering continues past everything seen (parsed from the
+        // `seg-NNNNNN.bin` names so compaction-era gaps are respected).
+        self.next_seg_no = names
+            .iter()
+            .filter_map(|n| {
+                n.strip_prefix("seg-")?
+                    .strip_suffix(".bin")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .map_or(0, |m| m + 1)
+            .max(names.len() as u64);
+        self.seg_files = names;
         Ok(())
     }
 
@@ -255,14 +469,25 @@ impl SegmentedFileArchive {
         Some(slot)
     }
 
-    /// Seals the tail into the next segment file (tmp + rename) and
-    /// remaps tail locations to sealed ones.
+    /// Writes one segment file (header + records) via tmp + rename and
+    /// reopens it for positioned reads.
+    fn publish_segment(&self, seg_no: u64, bytes: &[u8]) -> Result<(String, File)> {
+        let name = Self::seg_name(seg_no);
+        let target = self.dir.join(&name);
+        let tmp = self.dir.join(format!(".seg-{seg_no:06}.tmp"));
+        std::fs::write(&tmp, bytes).map_err(|e| storage_err("write segment", &e))?;
+        std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish segment", &e))?;
+        let file = File::open(&target).map_err(|e| storage_err("reopen sealed segment", &e))?;
+        Ok((name, file))
+    }
+
+    /// Seals the tail into the next segment file (tmp + rename), remaps
+    /// tail locations to sealed ones, and republishes the manifest.
     fn seal_tail(&mut self) -> Result<()> {
         if self.tail_ops.is_empty() {
             return Ok(());
         }
         let arity = self.arity.expect("tail operations imply a known arity");
-        let seg_no = self.segments.len();
         let mut bytes = Vec::with_capacity(HEADER + self.tail_ops.len() * Self::record_size(arity));
         bytes.extend_from_slice(&MAGIC.to_le_bytes());
         bytes.extend_from_slice(&(arity as u64).to_le_bytes());
@@ -283,17 +508,20 @@ impl SegmentedFileArchive {
                 }
             }
         }
-        let target = self.seg_path(seg_no);
-        let tmp = self.dir.join(format!(".seg-{seg_no:06}.tmp"));
-        std::fs::write(&tmp, &bytes).map_err(|e| storage_err("write segment", &e))?;
-        std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish segment", &e))?;
-        let file = File::open(&target).map_err(|e| storage_err("reopen sealed segment", &e))?;
+        let seg_no = self.next_seg_no;
+        let (name, file) = self.publish_segment(seg_no, &bytes)?;
+        self.next_seg_no = seg_no + 1;
+        // Position index of the new segment in the logical order.
+        let seg_pos = self.segments.len();
         self.segments.push(Segment { file });
+        self.seg_files.push(name);
+        self.sealed_records += self.tail_ops.len() as u64;
+        self.write_manifest()?;
         // Tail op `k` became record `k` of the sealed segment.
         for slot in &mut self.slots {
             if let Loc::Tail { op, .. } = slot.loc {
                 slot.loc = Loc::Sealed {
-                    seg: seg_no as u32,
+                    seg: seg_pos as u32,
                     rec: op,
                 };
             }
@@ -302,6 +530,89 @@ impl SegmentedFileArchive {
         self.tail_values.clear();
         self.tail_inserts = 0;
         Ok(())
+    }
+
+    /// Compacts the store: seals the tail, rewrites the live rows **in
+    /// slot order** as pure insert records into fresh segment files,
+    /// atomically swaps the manifest to the new listing, and deletes
+    /// the replaced files. Slot order (and with it every seeded
+    /// sampling stream) is untouched, and a reopened directory replays
+    /// the pure-insert segments back to the identical live set and slot
+    /// order. Returns `false` if there was nothing to drop.
+    pub fn compact(&mut self) -> Result<bool> {
+        self.seal_tail()?;
+        let live = self.slots.len() as u64;
+        // No deletes ever happened: every sealed record is a live
+        // insert, already in canonical slot order.
+        if self.sealed_records == live {
+            return Ok(false);
+        }
+        let arity = self
+            .arity
+            .expect("dead records imply sealed segments and a known arity");
+        let rec_size = Self::record_size(arity);
+        let mut new_files = Vec::new();
+        let mut new_names = Vec::new();
+        let mut buf = Vec::with_capacity(arity);
+        let mut start = 0usize;
+        while start < self.slots.len() {
+            let end = (start + self.seg_rows).min(self.slots.len());
+            let mut bytes = Vec::with_capacity(HEADER + (end - start) * rec_size);
+            bytes.extend_from_slice(&MAGIC.to_le_bytes());
+            bytes.extend_from_slice(&(arity as u64).to_le_bytes());
+            for k in start..end {
+                let slot = self.slots[k];
+                self.read_values_into(slot.loc, &mut buf);
+                bytes.extend_from_slice(&KIND_INSERT.to_le_bytes());
+                bytes.extend_from_slice(&slot.id.to_le_bytes());
+                for v in &buf {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            let seg_no = self.next_seg_no;
+            let (name, file) = self.publish_segment(seg_no, &bytes)?;
+            self.next_seg_no = seg_no + 1;
+            new_files.push(Segment { file });
+            new_names.push(name);
+            start = end;
+        }
+        // Switch in memory, then commit on disk: the manifest rename is
+        // the single atomic commit point. A crash before it reopens the
+        // old listing (the new files are unlisted and swept); a crash
+        // after it reopens the new listing (stale old files are swept).
+        let old_names = std::mem::replace(&mut self.seg_files, new_names);
+        self.segments = new_files;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.loc = Loc::Sealed {
+                seg: (i / self.seg_rows) as u32,
+                rec: (i % self.seg_rows) as u32,
+            };
+        }
+        self.write_manifest()?;
+        for name in old_names {
+            let _ = std::fs::remove_file(self.dir.join(name));
+        }
+        self.records_dropped += self.sealed_records - live;
+        self.sealed_records = live;
+        self.compactions += 1;
+        Ok(true)
+    }
+
+    /// Runs the auto-compaction trigger; call only when the tail is
+    /// empty (right after a seal), so the dead-record ratio is exact.
+    fn maybe_auto_compact(&mut self) {
+        debug_assert!(self.tail_ops.is_empty());
+        let Some(threshold) = self.auto_compact_threshold else {
+            return;
+        };
+        if self.sealed_records < self.compact_min_records.max(1) {
+            return;
+        }
+        let dead = self.sealed_records - self.slots.len() as u64;
+        if dead as f64 >= threshold * self.sealed_records as f64 {
+            self.compact()
+                .expect("spill compaction failed; archive state is unrecoverable");
+        }
     }
 
     fn read_values_into(&self, loc: Loc, buf: &mut Vec<f64>) {
@@ -363,6 +674,7 @@ impl ArchiveBackend for SegmentedFileArchive {
         if self.tail_ops.len() >= self.seg_rows {
             self.seal_tail()
                 .expect("spill segment seal failed; archive state is unrecoverable");
+            self.maybe_auto_compact();
         }
         true
     }
@@ -375,6 +687,7 @@ impl ArchiveBackend for SegmentedFileArchive {
         if self.tail_ops.len() >= self.seg_rows {
             self.seal_tail()
                 .expect("spill segment seal failed; archive state is unrecoverable");
+            self.maybe_auto_compact();
         }
         Some(Row::new(id, values))
     }
@@ -383,6 +696,15 @@ impl ArchiveBackend for SegmentedFileArchive {
         let s = self.slots[slot];
         self.read_values_into(s.loc, buf);
         s.id
+    }
+
+    fn compact(&mut self) -> bool {
+        SegmentedFileArchive::compact(self)
+            .expect("spill compaction failed; archive state is unrecoverable")
+    }
+
+    fn spill_stats(&self) -> Option<SpillStats> {
+        Some(self.stats())
     }
 
     fn name(&self) -> &'static str {
@@ -602,6 +924,135 @@ mod tests {
             assert!(store.insert(Row::new(3, vec![4.0, 5.0])), "same arity ok");
         }
         drop(file);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Compaction drops dead records and tombstones without moving a
+    /// single slot: the live set, slot order, seeded sampling streams,
+    /// and exact query scans are bit-identical before/after — and a
+    /// *reopened* compacted directory replays to the same state as a
+    /// never-compacted twin.
+    #[test]
+    fn compaction_preserves_slot_order_and_reopen_matches_uncompacted_twin() {
+        let dir_a = scratch_dir("compact-a");
+        let dir_b = scratch_dir("compact-b");
+        let drive = |store: &mut SegmentedFileArchive| {
+            for i in 0..300u64 {
+                ArchiveBackend::insert(store, i, &[i as f64, (i * 3) as f64]);
+            }
+            for i in (0..300u64).filter(|i| i % 3 != 0) {
+                ArchiveBackend::delete(store, i).unwrap();
+            }
+        };
+        let mut compacted = SegmentedFileArchive::open(&dir_a, 16).unwrap();
+        compacted.set_auto_compaction(None, 0);
+        let mut twin = SegmentedFileArchive::open(&dir_b, 16).unwrap();
+        twin.set_auto_compaction(None, 0);
+        drive(&mut compacted);
+        drive(&mut twin);
+
+        let segments_before = compacted.sealed_segments();
+        let stats_before = compacted.stats();
+        assert!(
+            stats_before.live_record_ratio() < 0.5,
+            "churn left dead records"
+        );
+        assert!(compacted.compact().unwrap());
+        let stats_after = compacted.stats();
+        assert!(
+            compacted.sealed_segments() < segments_before,
+            "segment count shrinks"
+        );
+        assert_eq!(stats_after.sealed_records, 100);
+        assert_eq!(stats_after.compactions, 1);
+        assert!(stats_after.records_dropped >= 200);
+        assert!(stats_after.live_record_ratio() == 1.0);
+
+        // In-place state is untouched…
+        let store_a = ArchiveStore::with_backend(Box::new(compacted));
+        let store_b = ArchiveStore::with_backend(Box::new(twin));
+        assert_eq!(store_a.to_rows(), store_b.to_rows());
+        assert_eq!(
+            store_a.sample_distinct(40, 31),
+            store_b.sample_distinct(40, 31)
+        );
+        assert_eq!(store_a.shuffled(32), store_b.shuffled(32));
+        drop(store_a);
+        drop(store_b);
+
+        // …and so is the state a *reopen* replays from the compacted
+        // pure-insert segments, bit-compared against the never-compacted
+        // twin's replay.
+        let re_a =
+            ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir_a, 16).unwrap()));
+        let re_b =
+            ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir_b, 16).unwrap()));
+        assert_eq!(re_a.len(), 100);
+        assert_eq!(re_a.to_rows(), re_b.to_rows());
+        assert_eq!(re_a.sample_distinct(40, 33), re_b.sample_distinct(40, 33));
+        assert_eq!(
+            re_a.sample_with_replacement(64, 34),
+            re_b.sample_with_replacement(64, 34)
+        );
+        assert_eq!(re_a.shuffled(35), re_b.shuffled(35));
+        let _ = std::fs::remove_dir_all(dir_a);
+        let _ = std::fs::remove_dir_all(dir_b);
+    }
+
+    /// The auto-trigger compacts once the dead-record ratio crosses the
+    /// threshold, keeping the live-record ratio bounded under sustained
+    /// insert+delete churn.
+    #[test]
+    fn auto_compaction_bounds_live_record_ratio_under_churn() {
+        let dir = scratch_dir("auto-compact");
+        let mut store = SegmentedFileArchive::open(&dir, 32).unwrap();
+        // Steady-state churn: every insert is eventually deleted.
+        for i in 0..4_000u64 {
+            ArchiveBackend::insert(&mut store, i, &[i as f64]);
+            if i >= 200 {
+                ArchiveBackend::delete(&mut store, i - 200).unwrap();
+            }
+        }
+        let stats = store.stats();
+        assert!(stats.compactions >= 1, "churn must trigger compaction");
+        assert!(
+            stats.live_record_ratio() > 0.2,
+            "live-record ratio must stay bounded, got {}",
+            stats.live_record_ratio()
+        );
+        // And the live set is exactly the last 200 inserts, in order.
+        let s = ArchiveStore::with_backend(Box::new(store));
+        let ids: Vec<u64> = s.to_rows().iter().map(|r| r.id).collect();
+        assert_eq!(ids.len(), 200);
+        assert!(ids.iter().all(|&id| id >= 3_800));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Unlisted segment files — leftovers of a compaction that crashed
+    /// before its manifest rename — are ignored and swept on reopen.
+    #[test]
+    fn stale_unlisted_segments_are_swept_on_reopen() {
+        let dir = scratch_dir("stale");
+        {
+            let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
+            for i in 0..16u64 {
+                ArchiveBackend::insert(&mut store, i, &[i as f64]);
+            }
+            std::mem::forget(store);
+        }
+        // Forge an unlisted (crashed-compaction) segment with a bogus id.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(&MAGIC.to_le_bytes());
+        forged.extend_from_slice(&1u64.to_le_bytes());
+        forged.extend_from_slice(&KIND_INSERT.to_le_bytes());
+        forged.extend_from_slice(&999u64.to_le_bytes());
+        forged.extend_from_slice(&0.0f64.to_le_bytes());
+        let stale = dir.join("seg-000077.bin");
+        std::fs::write(&stale, &forged).unwrap();
+        let store = SegmentedFileArchive::open(&dir, 8).unwrap();
+        assert_eq!(ArchiveBackend::len(&store), 16, "forged segment ignored");
+        assert!(store.slot_of(999).is_none());
+        assert!(!stale.exists(), "stale segment swept");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -1,8 +1,9 @@
 //! Larger-than-RAM cold storage smoke: a `JanusEngine` whose archive
 //! runs on the segmented file-backed spill store ingests far more rows
-//! than the store's in-memory tail holds, answers queries, checkpoints
-//! into a `FileCheckpointStore`, and recovers — bit-identically to the
-//! engine it was saved from, and bit-identically to an in-memory twin
+//! than the store's in-memory tail holds, answers queries, rides through
+//! a forced background-compaction cycle, checkpoints into a
+//! `FileCheckpointStore`, and recovers — bit-identically to the engine
+//! it was saved from, and bit-identically to an in-memory twin
 //! throughout (the storage representation must never change an answer).
 //!
 //! This is the CI gate for the archive-backend path (release mode, see
@@ -115,6 +116,51 @@ fn main() {
         "[archive_spill] streamed {STREAM_STEPS} updates; population {}",
         spill.population()
     );
+
+    // Force a compaction cycle: delete well over half the table through
+    // both engines. The spill store's dead-record trigger (threshold
+    // 0.5) must fire, the sealed segment set must shrink, and not one
+    // answer bit may move relative to the in-memory twin.
+    let seg_before = spill
+        .archive()
+        .spill_stats()
+        .expect("file backend reports spill stats")
+        .sealed_segments;
+    let victims = live.len() * 6 / 10;
+    for _ in 0..victims {
+        let id = live.pop().unwrap();
+        spill.delete(id).unwrap();
+        twin.delete(id).unwrap();
+    }
+    let stats = spill.archive().spill_stats().unwrap();
+    assert!(
+        stats.compactions >= 1,
+        "deleting {victims} rows must trigger auto-compaction"
+    );
+    assert!(
+        stats.sealed_segments < seg_before,
+        "compaction must shrink the segment set ({} -> {})",
+        seg_before,
+        stats.sealed_segments
+    );
+    println!(
+        "[archive_spill] deleted {victims} rows: {} compactions dropped {} dead records, \
+         segments {seg_before} -> {}, live ratio {:.2}",
+        stats.compactions,
+        stats.records_dropped,
+        stats.sealed_segments,
+        stats.live_record_ratio()
+    );
+    for q in &queries() {
+        let a = spill.query(q).unwrap().unwrap();
+        let b = twin.query(q).unwrap().unwrap();
+        assert_eq!(estimate_bits(&a), estimate_bits(&b), "compaction drifted");
+        assert_eq!(
+            spill.evaluate_exact(q).map(f64::to_bits),
+            twin.evaluate_exact(q).map(f64::to_bits),
+            "compaction moved the exact answer"
+        );
+    }
 
     // Checkpoint the spilling engine into a crash-safe file store…
     let ckpt_dir = std::env::temp_dir().join("janus-archive-spill-ckpt");
