@@ -197,6 +197,7 @@ impl StratifiedReservoirBaseline {
                 covered_nodes: 0,
                 partial_nodes: self.strata.len(),
                 samples_used,
+                partial: false,
             }),
             AggregateFunction::Avg => {
                 if count_est <= 0.0 {
@@ -209,6 +210,7 @@ impl StratifiedReservoirBaseline {
                     covered_nodes: 0,
                     partial_nodes: self.strata.len(),
                     samples_used,
+                    partial: false,
                 })
             }
             AggregateFunction::Min | AggregateFunction::Max => extremum.map(Estimate::exact),

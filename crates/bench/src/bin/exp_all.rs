@@ -18,6 +18,7 @@ fn main() {
         ("fig9", janus_bench::experiments::fig9::run),
         ("fig10", janus_bench::experiments::fig10::run),
         ("archive", janus_bench::experiments::archive::run),
+        ("slo", janus_bench::experiments::slo::run),
     ];
     for (name, run) in runs {
         let t = std::time::Instant::now();

@@ -1,0 +1,9 @@
+//! Multi-tenant SLO serving sweep (tail latency under deadlines,
+//! partial-answer rate, cache hit rate, per-tenant throughput); dumps
+//! `target/experiments/BENCH_slo.json`. Scale with `JANUS_SCALE`
+//! (default 0.02).
+fn main() {
+    let scale = janus_bench::scale();
+    eprintln!("[exp_slo] JANUS_SCALE = {scale}");
+    janus_bench::experiments::slo::run(scale).finish();
+}

@@ -1,0 +1,179 @@
+//! Multi-tenant SLO serving sweep: tail latency under deadline pressure,
+//! partial-answer rate, answer-cache hit rate, and per-tenant serving
+//! throughput, as a function of the tenant count.
+//!
+//! Each sweep point bootstraps a hash-sharded 4-shard `ClusterEngine`
+//! (hash placement so every scatter fans out to all shards — the case
+//! deadlines exist for) with the answer cache enabled, then runs three
+//! phases:
+//!
+//! 1. **Deadline pressure** — one shard gets an injected serve stall and
+//!    the workload runs with a gather deadline a fraction of the stall.
+//!    Per-query wall times give `p50_latency_ms` / `p99_latency_ms`; the
+//!    fraction of answers carrying [`janus_common::Estimate::partial`]
+//!    is `partial_answer_rate`. A trailing no-deadline query acts as a
+//!    barrier that drains the straggler's backlog before phase 2.
+//! 2. **Answer cache** — a quiescent pass asks each distinct rectangle
+//!    twice with caching on; `cache_hit_rate` is hits/(hits+misses) from
+//!    the cluster counters (the second ask of each rectangle must hit,
+//!    so ~0.5 is the expected floor).
+//! 3. **Tenant fan-in** — the cluster becomes a `LiveCluster` and
+//!    `tenants` tenants push the workload through the front end under an
+//!    in-flight quota (alternating interactive/bulk lanes); the answered
+//!    count over the wall time, split per tenant, is `qps_per_tenant`.
+//!
+//! The report id is `BENCH_slo`, so the tracked JSON lands at
+//! `target/experiments/BENCH_slo.json`; the committed `bench_gates.json`
+//! manifest gates every column through `scripts/check_bench.sh`.
+
+use super::{paper_config, TAXI_N};
+use crate::metrics::percentile;
+use crate::ExpReport;
+use janus_cluster::{ClusterConfig, ClusterEngine, LiveCluster, LiveConfig, ShardPolicy};
+use janus_common::JanusError;
+use janus_data::nyc_taxi;
+use janus_storage::RequestLog;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tenant counts swept.
+pub const TENANT_SWEEP: [usize; 2] = [2, 4];
+
+/// Shards behind the front end at every sweep point.
+const SHARDS: usize = 4;
+
+/// Injected serve stall on the straggler shard during phase 1.
+const STALL: Duration = Duration::from_millis(6);
+
+/// Gather deadline the phase-1 workload runs with (well under [`STALL`],
+/// so the straggler misses it whenever its queue is non-empty).
+const DEADLINE: Duration = Duration::from_millis(2);
+
+/// Queries timed in the deadline phase (workload cycled if shorter).
+const DEADLINE_QUERIES: usize = 100;
+
+/// Distinct rectangles asked twice each in the cache phase.
+const CACHE_QUERIES: usize = 50;
+
+/// Queries each tenant pushes through the front end in phase 3.
+const PER_TENANT_QUERIES: usize = 30;
+
+/// Per-tenant in-flight quota during phase 3 (rejections are retried, so
+/// the quota shapes pacing rather than dropping work).
+const TENANT_QUOTA: u64 = 64;
+
+/// Runs the tenant sweep.
+pub fn run(scale: f64) -> ExpReport {
+    let dataset = nyc_taxi(crate::scaled(TAXI_N, scale), 0x510);
+    let queries = super::workload(&dataset, "pickup_time", "trip_distance", scale, 0x51);
+    assert!(!queries.is_empty(), "scaled workload may not be empty");
+    let mut rows_out = Vec::new();
+
+    for tenants in TENANT_SWEEP {
+        let base = paper_config(&dataset, "pickup_time", "trip_distance", 0x5105);
+        let config = ClusterConfig::new(base, SHARDS, ShardPolicy::HashById).with_answer_cache(256);
+        let cluster =
+            ClusterEngine::bootstrap(config, dataset.rows.clone()).expect("bootstrap slo cluster");
+
+        // Phase 1: tail latency + partial rate under deadline pressure.
+        cluster.inject_scatter_delay(0, STALL);
+        let opts = janus_cluster::QueryOptions::interactive()
+            .with_deadline(DEADLINE)
+            .no_cache();
+        let mut latencies_ms = Vec::with_capacity(DEADLINE_QUERIES);
+        let mut partials = 0usize;
+        for q in queries.iter().cycle().take(DEADLINE_QUERIES) {
+            let started = Instant::now();
+            let answer = cluster.query_with(q, opts).expect("deadline query");
+            latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            if answer.is_some_and(|e| e.partial) {
+                partials += 1;
+            }
+        }
+        let p50 = percentile(latencies_ms.clone(), 0.50);
+        let p99 = percentile(latencies_ms, 0.99);
+        let partial_rate = partials as f64 / DEADLINE_QUERIES as f64;
+        cluster.inject_scatter_delay(0, Duration::ZERO);
+        // Barrier: a no-deadline query waits for every shard, so the
+        // straggler's queued stalls are fully served before phase 2.
+        cluster.query(&queries[0]).expect("drain barrier");
+
+        // Phase 2: quiescent answer-cache pass — each rectangle twice.
+        let before = cluster.stats();
+        for q in queries.iter().cycle().take(CACHE_QUERIES) {
+            cluster.query(q).expect("cache prime");
+        }
+        for q in queries.iter().cycle().take(CACHE_QUERIES) {
+            cluster.query(q).expect("cache replay");
+        }
+        let after = cluster.stats();
+        let hits = (after.cache_hits - before.cache_hits) as f64;
+        let misses = (after.cache_misses - before.cache_misses) as f64;
+        let cache_hit_rate = hits / (hits + misses).max(1.0);
+
+        // Phase 3: tenant fan-in through the live front end.
+        let requests = RequestLog::shared();
+        let live = LiveCluster::wrap(
+            cluster,
+            Arc::clone(&requests),
+            LiveConfig::default().with_tenant_quota(TENANT_QUOTA),
+        )
+        .expect("live wrap");
+        let total = tenants * PER_TENANT_QUERIES;
+        let started = Instant::now();
+        let mut rejections = 0usize;
+        for (i, q) in queries.iter().cycle().take(total).enumerate() {
+            let tenant = (i % tenants) as u32 + 1;
+            let interactive = i % 2 == 0;
+            loop {
+                match live.submit_query(tenant, q.clone(), None, interactive) {
+                    Ok(_) => break,
+                    Err(JanusError::Backpressure(_)) => {
+                        rejections += 1;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("submit failed: {e}"),
+                }
+            }
+        }
+        live.drain();
+        let fanin_wall = started.elapsed();
+        let stats = live.live_stats();
+        assert_eq!(
+            stats.responses_published, total as u64,
+            "every accepted query must be answered"
+        );
+        let qps_per_tenant = total as f64 / fanin_wall.as_secs_f64().max(1e-9) / tenants as f64;
+        println!(
+            "[slo] {tenants} tenant(s): p50 {p50:.2}ms p99 {p99:.2}ms, partial {partial_rate:.2}, \
+             cache hit {cache_hit_rate:.2}, {qps_per_tenant:.0} q/s/tenant \
+             ({rejections} backpressure retries)"
+        );
+        live.shutdown();
+
+        rows_out.push(vec![
+            json!(tenants),
+            json!(p50),
+            json!(p99),
+            json!(partial_rate),
+            json!(cache_hit_rate),
+            json!(qps_per_tenant),
+        ]);
+    }
+    ExpReport {
+        id: "BENCH_slo",
+        title: "Multi-tenant SLO serving: tail latency, partials, cache, per-tenant throughput",
+        headers: [
+            "tenants",
+            "p50_latency_ms",
+            "p99_latency_ms",
+            "partial_answer_rate",
+            "cache_hit_rate",
+            "qps_per_tenant",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: rows_out,
+    }
+}

@@ -1,0 +1,238 @@
+//! Scatter-answer memoization with offset-based invalidation.
+//!
+//! Hot dashboards replay the same `(template, rectangle)` queries against
+//! a cluster whose shards change far less often than they are read. The
+//! [`AnswerCache`] memoizes one gathered answer per exact query shape,
+//! keyed by the query's aggregate, columns, and the *bit patterns* of its
+//! rectangle bounds (f64 payloads are compared as bits, so two queries
+//! hit the same entry iff their predicates are literally identical).
+//!
+//! Every entry snapshots, at memoization time, the rebalance generation
+//! and the **applied topic offset of every shard the query covered**. A
+//! hit is valid only while all of those are unchanged — a write pumped
+//! into any covered shard advances that shard's applied offset and the
+//! entry self-invalidates on its next lookup (writes to shards the query
+//! never touched keep the entry alive). While valid, a hit returns
+//! bit-identically the estimate the original scatter produced: the cache
+//! can serve stale-by-zero-rows answers only, never stale-by-data ones.
+//!
+//! Capacity is bounded; insertion past capacity evicts the oldest entry
+//! (FIFO). Only *complete* answers are memoized — a deadline-bounded
+//! partial answer is a property of one gather's timing, not of the data,
+//! so it never enters the cache.
+
+use janus_common::{Estimate, Query};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Exact-shape cache key: aggregate, columns, and the rectangle bounds as
+/// IEEE-754 bit patterns (so `Eq`/`Hash` are well-defined for the f64
+/// payloads).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct QueryKey {
+    agg: u8,
+    agg_column: usize,
+    predicate_columns: Vec<usize>,
+    lo_bits: Vec<u64>,
+    hi_bits: Vec<u64>,
+}
+
+impl QueryKey {
+    /// The key of one concrete query.
+    pub(crate) fn of(query: &Query) -> Self {
+        QueryKey {
+            agg: query.agg as u8,
+            agg_column: query.agg_column,
+            predicate_columns: query.predicate_columns.clone(),
+            lo_bits: query.range.lo().iter().map(|v| v.to_bits()).collect(),
+            hi_bits: query.range.hi().iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+}
+
+/// One memoized gather.
+struct Entry {
+    /// Rebalance generation the answer was gathered under.
+    generation: u64,
+    /// Shards the query covered, with the applied offset each had when
+    /// the answer was memoized (parallel vectors).
+    targets: Vec<usize>,
+    offsets: Vec<u64>,
+    /// The gathered answer (`None` is a real, cacheable answer — e.g. an
+    /// AVG over an empty selection).
+    answer: Option<Estimate>,
+}
+
+struct Inner {
+    map: HashMap<QueryKey, Entry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<QueryKey>,
+}
+
+/// Bounded memo of complete scatter answers. See the module docs for the
+/// validity rule.
+pub(crate) struct AnswerCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl AnswerCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        AnswerCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Looks up `key` and validates the entry against the current
+    /// rebalance generation and per-shard applied offsets (read through
+    /// `applied`). A stale entry is evicted and reported as a miss, so
+    /// any write pumped into a covered shard invalidates exactly once.
+    pub(crate) fn lookup(
+        &self,
+        key: &QueryKey,
+        generation: u64,
+        applied: impl Fn(usize) -> u64,
+    ) -> Option<Option<Estimate>> {
+        let mut inner = self.inner.lock();
+        let entry = inner.map.get(key)?;
+        let fresh = entry.generation == generation
+            && entry
+                .targets
+                .iter()
+                .zip(&entry.offsets)
+                .all(|(&shard, &offset)| applied(shard) == offset);
+        if !fresh {
+            inner.map.remove(key);
+            inner.order.retain(|k| k != key);
+            return None;
+        }
+        Some(entry.answer)
+    }
+
+    /// Memoizes a complete answer gathered under `generation` with the
+    /// covered shards at `offsets`. Replaces any existing entry for the
+    /// key; evicts the oldest entry when full.
+    pub(crate) fn insert(
+        &self,
+        key: QueryKey,
+        generation: u64,
+        targets: Vec<usize>,
+        offsets: Vec<u64>,
+        answer: Option<Estimate>,
+    ) {
+        debug_assert_eq!(targets.len(), offsets.len());
+        let mut inner = self.inner.lock();
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.map.remove(&oldest);
+            }
+            inner.order.push_back(key.clone());
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                generation,
+                targets,
+                offsets,
+                answer,
+            },
+        );
+    }
+
+    /// Entries currently held (tests/diagnostics).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::{AggregateFunction, RangePredicate};
+
+    fn query(lo: f64, hi: f64) -> Query {
+        Query::new(
+            AggregateFunction::Sum,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hit_returns_the_memoized_answer_bit_identically() {
+        let cache = AnswerCache::new(8);
+        let key = QueryKey::of(&query(0.0, 10.0));
+        let answer = Some(Estimate::exact(42.5));
+        cache.insert(key.clone(), 7, vec![0, 2], vec![5, 9], answer);
+        let hit = cache.lookup(&key, 7, |s| if s == 0 { 5 } else { 9 });
+        assert_eq!(hit, Some(answer));
+    }
+
+    #[test]
+    fn advanced_offset_on_a_covered_shard_evicts() {
+        let cache = AnswerCache::new(8);
+        let key = QueryKey::of(&query(0.0, 10.0));
+        cache.insert(key.clone(), 1, vec![0, 2], vec![5, 9], None);
+        // Shard 2 applied one more record: the entry must die.
+        assert_eq!(cache.lookup(&key, 1, |s| if s == 0 { 5 } else { 10 }), None);
+        assert_eq!(cache.len(), 0);
+        // And it stays dead even if the offsets later look right again.
+        assert_eq!(cache.lookup(&key, 1, |s| if s == 0 { 5 } else { 9 }), None);
+    }
+
+    #[test]
+    fn generation_change_evicts() {
+        let cache = AnswerCache::new(8);
+        let key = QueryKey::of(&query(0.0, 10.0));
+        cache.insert(key.clone(), 1, vec![0], vec![5], None);
+        assert_eq!(cache.lookup(&key, 2, |_| 5), None);
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn distinct_rectangles_are_distinct_keys() {
+        assert_ne!(
+            QueryKey::of(&query(0.0, 10.0)),
+            QueryKey::of(&query(0.0, 10.5))
+        );
+        // -0.0 and 0.0 differ as bit patterns: exact-shape semantics.
+        assert_ne!(
+            QueryKey::of(&query(-0.0, 10.0)),
+            QueryKey::of(&query(0.0, 10.0))
+        );
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = AnswerCache::new(2);
+        for i in 0..4 {
+            cache.insert(
+                QueryKey::of(&query(0.0, i as f64)),
+                1,
+                vec![0],
+                vec![0],
+                None,
+            );
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest two are gone, newest two remain.
+        assert_eq!(
+            cache.lookup(&QueryKey::of(&query(0.0, 0.0)), 1, |_| 0),
+            None
+        );
+        assert!(cache
+            .lookup(&QueryKey::of(&query(0.0, 3.0)), 1, |_| 0)
+            .is_some());
+    }
+}

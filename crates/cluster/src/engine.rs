@@ -53,10 +53,11 @@
 //! the same shard topic.
 
 use crate::bootstrap::{build_shards, partition_rows, shard_config};
+use crate::cache::{AnswerCache, QueryKey};
 use crate::checkpoint::{ClusterCheckpoint, RouterSnapshot, ShardCheckpoint};
 use crate::rebalance::{self, RebalanceReport};
 use crate::router::{ShardPolicy, ShardRouter};
-use crate::scatter::{Job, ScatterPool, SubAnswer};
+use crate::scatter::{Job, Priority, ScatterPool, SubAnswer};
 use janus_common::{
     kernels, merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
     ScanPartial,
@@ -66,7 +67,9 @@ use janus_core::{JanusEngine, SynopsisConfig};
 use janus_storage::ShardedLog;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One record of a shard's ingest topic.
 #[derive(Clone, Debug, PartialEq)]
@@ -116,6 +119,11 @@ pub struct ClusterConfig {
     /// replicas only, so replica answers are indistinguishable from
     /// primary answers.
     pub replica_lag: u64,
+    /// Capacity of the scatter-answer memo (entries). `0` (the default)
+    /// disables caching entirely, leaving the query path untouched. See
+    /// [`ClusterConfig::with_answer_cache`] for the offset-based
+    /// invalidation rule.
+    pub answer_cache: usize,
 }
 
 impl ClusterConfig {
@@ -134,6 +142,7 @@ impl ClusterConfig {
             rebalance_min_gain: 0.0,
             replicas: 0,
             replica_lag: 0,
+            answer_cache: 0,
         }
     }
 
@@ -160,6 +169,73 @@ impl ClusterConfig {
     pub fn with_rebalance_hysteresis(mut self, cooldown: u64, min_gain: f64) -> Self {
         self.rebalance_cooldown = cooldown;
         self.rebalance_min_gain = min_gain;
+        self
+    }
+
+    /// Enables the answer cache with room for `capacity` memoized gathers
+    /// (builder-style). Each entry snapshots the rebalance generation and
+    /// the applied topic offset of every shard its query covered; a write
+    /// pumped into any covered shard — or any rebalance — invalidates the
+    /// entry on its next lookup, so a hit always returns bit-identically
+    /// what a fresh scatter against the same shard states would. `0`
+    /// disables caching.
+    pub fn with_answer_cache(mut self, capacity: usize) -> Self {
+        self.answer_cache = capacity;
+        self
+    }
+}
+
+/// Per-call serving options for [`ClusterEngine::query_with`].
+///
+/// The default — bulk lane, no deadline, cache allowed — makes
+/// `query_with(q, QueryOptions::default())` behave exactly like
+/// [`ClusterEngine::query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Pool lane the scatter's sub-queries ride. Interactive jobs
+    /// overtake queued bulk work at job boundaries; scheduling-only,
+    /// never changes answers.
+    pub priority: Priority,
+    /// Gather budget. `None` waits for every covered shard (the classic
+    /// path); `Some(budget)` returns after the budget with whatever
+    /// shards answered, merged k-of-n style and flagged
+    /// [`Estimate::partial`] if any shard holding rows was missed.
+    pub deadline: Option<Duration>,
+    /// Whether this call may consult and populate the cluster's answer
+    /// cache. Ignored when [`ClusterConfig::with_answer_cache`] never
+    /// enabled one.
+    pub use_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            priority: Priority::Bulk,
+            deadline: None,
+            use_cache: true,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Interactive-lane options with no deadline and caching allowed —
+    /// the front-end default for latency-sensitive tenants.
+    pub fn interactive() -> Self {
+        QueryOptions {
+            priority: Priority::Interactive,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Sets the gather budget (builder-style).
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Opts this call out of the answer cache (builder-style).
+    pub fn no_cache(mut self) -> Self {
+        self.use_cache = false;
         self
     }
 }
@@ -202,6 +278,14 @@ pub struct ClusterStats {
     pub replica_queries: u64,
     /// Replica promotions executed by [`ClusterEngine::fail_shard`].
     pub promotions: u64,
+    /// Deadline-bounded answers returned from a strict subset of the
+    /// covered shards (the estimate carried `partial: true`).
+    pub partial_answers: u64,
+    /// Queries answered from the scatter-answer memo without scattering.
+    pub cache_hits: u64,
+    /// Cache-enabled queries that had to scatter (no entry, or the entry
+    /// was invalidated by a pumped write or a rebalance).
+    pub cache_misses: u64,
     /// Pump lag at snapshot time: records published but not yet applied,
     /// per shard in shard order.
     pub shard_backlog: Vec<u64>,
@@ -235,6 +319,9 @@ pub(crate) struct Counters {
     rows_migrated: AtomicU64,
     replica_queries: AtomicU64,
     promotions: AtomicU64,
+    partial_answers: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// The shard-side state the façade shares with the persistent worker
@@ -406,6 +493,8 @@ pub struct ClusterEngine {
     set: Arc<ShardSet>,
     /// The persistent per-shard scatter/pump workers; joined on drop.
     pool: ScatterPool,
+    /// Scatter-answer memo, present when `config.answer_cache > 0`.
+    cache: Option<AnswerCache>,
 }
 
 impl ClusterEngine {
@@ -468,6 +557,7 @@ impl ClusterEngine {
             replica_lag: config.replica_lag,
         });
         let pool = ScatterPool::start(&set);
+        let cache = (config.answer_cache > 0).then(|| AnswerCache::new(config.answer_cache));
         ClusterEngine {
             config,
             router: RwLock::new(router),
@@ -477,6 +567,7 @@ impl ClusterEngine {
             post_rebalance_skew: AtomicU64::new(0f64.to_bits()),
             set,
             pool,
+            cache,
         }
     }
 
@@ -536,6 +627,9 @@ impl ClusterEngine {
             rows_migrated: counters.rows_migrated.load(Ordering::Relaxed),
             replica_queries: counters.replica_queries.load(Ordering::Relaxed),
             promotions: counters.promotions.load(Ordering::Relaxed),
+            partial_answers: counters.partial_answers.load(Ordering::Relaxed),
+            cache_hits: counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: counters.cache_misses.load(Ordering::Relaxed),
             shard_backlog: self.shard_backlogs(),
         }
     }
@@ -854,38 +948,175 @@ impl ClusterEngine {
     /// `Ok(None)` for AVG/MIN/MAX over an (estimated) empty selection,
     /// matching the single-engine contract.
     ///
+    /// Equivalent to [`ClusterEngine::query_with`] under
+    /// [`QueryOptions::default`]: bulk lane, no deadline, cache consulted
+    /// when the cluster has one.
+    ///
     /// The target-shard set is pruned against the router's range bounds,
     /// which a concurrent [`ClusterEngine::maybe_rebalance`] can redraw
     /// between pruning and gathering; the scatter therefore re-validates
     /// the rebalance generation afterwards and retries on a mismatch, so
     /// an answer never merges stale pruning with migrated shards.
     pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
+        self.query_with(query, QueryOptions::default())
+    }
+
+    /// [`ClusterEngine::query`] with per-call serving options.
+    ///
+    /// * **Priority** picks the pool lane the scatter's sub-queries ride
+    ///   (see [`Priority`]); it affects scheduling only, never answers.
+    /// * **Deadline** bounds the *gather*: the first sub-answer is always
+    ///   awaited (a partial answer needs at least one shard's rate to
+    ///   extrapolate from), then the remaining shards get whatever is
+    ///   left of the budget. Sub-answers from shards that miss it are
+    ///   dropped, and the arrived ones are merged k-of-n style
+    ///   ([`merge::merge_partial_additive`]): the merged value is scaled
+    ///   by the missing shards' share of the pre-scatter population
+    ///   snapshot, the CI widened by the between-shard rate dispersion,
+    ///   and the estimate flagged [`Estimate::partial`]. With no deadline
+    ///   — or when every shard answers in time — the gather, the merges,
+    ///   and the answer are bit-identical to [`ClusterEngine::query`].
+    ///   The deadline bounds waiting, not correctness: the rare
+    ///   mid-scatter rebalance still retries even past the deadline, so
+    ///   an answer never merges stale pruning with migrated shards.
+    /// * **`use_cache`** consults (and on a complete miss populates) the
+    ///   cluster's answer cache, when [`ClusterConfig::with_answer_cache`]
+    ///   enabled one. A hit returns bit-identically the memoized
+    ///   estimate; entries self-invalidate as soon as a write is pumped
+    ///   into any covered shard or a rebalance lands. Partial answers are
+    ///   never cached.
+    pub fn query_with(&self, query: &Query, opts: QueryOptions) -> Result<Option<Estimate>> {
         self.set.counters.queries.fetch_add(1, Ordering::Relaxed);
+        let deadline = opts.deadline.map(|budget| Instant::now() + budget);
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|_| opts.use_cache)
+            .map(|cache| (cache, QueryKey::of(query)));
         loop {
             let generation = self.rebalance_generation.load(Ordering::Acquire);
             let targets = self.router.read().overlapping(query);
+            // Cache lookup, and the offsets a complete answer would be
+            // memoized under. Snapshotting them *before* the scatter (and
+            // re-checking after) guarantees a memoized answer corresponds
+            // to exactly these shard states — a write pumped mid-scatter
+            // vetoes the insert rather than caching an ambiguous answer.
+            let pre_offsets: Vec<u64> = match &cache {
+                Some((cache, key)) => {
+                    let offsets: Vec<u64> =
+                        targets.iter().map(|&s| self.applied_offset(s)).collect();
+                    if let Some(hit) = cache.lookup(key, generation, |s| self.applied_offset(s)) {
+                        self.set.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(hit);
+                    }
+                    self.set
+                        .counters
+                        .cache_misses
+                        .fetch_add(1, Ordering::Relaxed);
+                    offsets
+                }
+                None => Vec::new(),
+            };
+            // Population snapshot for k-of-n extrapolation weights; only
+            // a deadline-bounded gather can need it.
+            let populations: Vec<u64> = if deadline.is_some() {
+                targets
+                    .iter()
+                    .map(|&s| self.set.shards[s].read().engine.population() as u64)
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let moments = query.agg == AggregateFunction::Avg;
+            let raw = self.scatter_bounded(&targets, query, moments, opts.priority, deadline);
+            let complete = raw.iter().all(Option::is_some);
             let answer = match query.agg {
                 AggregateFunction::Count | AggregateFunction::Sum => {
-                    let parts: Vec<Estimate> = self
-                        .scatter_estimates(&targets, query)?
-                        .into_iter()
-                        .map(|e| e.expect("COUNT/SUM always answer"))
-                        .collect();
-                    Ok(Some(merge::merge_additive(&parts)))
+                    let mut parts = Vec::with_capacity(raw.len());
+                    let mut part_rows = Vec::with_capacity(raw.len());
+                    let mut missing_rows = 0u64;
+                    for (i, sub) in raw.into_iter().enumerate() {
+                        match sub {
+                            Some(SubAnswer::Estimate(r)) => {
+                                parts.push(r?.expect("COUNT/SUM always answer"));
+                                if !complete {
+                                    part_rows.push(populations[i]);
+                                }
+                            }
+                            Some(SubAnswer::Moments(_)) => {
+                                unreachable!("estimate scatter got a moment answer")
+                            }
+                            None => missing_rows += populations[i],
+                        }
+                    }
+                    if complete {
+                        Ok(Some(merge::merge_additive(&parts)))
+                    } else {
+                        Ok(Some(merge::merge_partial_additive(
+                            &parts,
+                            &part_rows,
+                            missing_rows,
+                        )))
+                    }
                 }
                 AggregateFunction::Avg => {
-                    let parts = self.scatter_moments(&targets, query)?;
-                    let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
-                    Ok(merge::combine_avg(
-                        &merge::merge_additive(&sums),
-                        &merge::merge_additive(&counts),
-                    ))
+                    let mut sums = Vec::with_capacity(raw.len());
+                    let mut counts = Vec::with_capacity(raw.len());
+                    let mut part_rows = Vec::with_capacity(raw.len());
+                    let mut missing_rows = 0u64;
+                    for (i, sub) in raw.into_iter().enumerate() {
+                        match sub {
+                            Some(SubAnswer::Moments(r)) => {
+                                let (sum, count) = r?;
+                                sums.push(sum);
+                                counts.push(count);
+                                if !complete {
+                                    part_rows.push(populations[i]);
+                                }
+                            }
+                            Some(SubAnswer::Estimate(_)) => {
+                                unreachable!("moment scatter got an estimate answer")
+                            }
+                            None => missing_rows += populations[i],
+                        }
+                    }
+                    if complete {
+                        Ok(merge::combine_avg(
+                            &merge::merge_additive(&sums),
+                            &merge::merge_additive(&counts),
+                        ))
+                    } else {
+                        Ok(merge::merge_partial_avg(
+                            &sums,
+                            &counts,
+                            &part_rows,
+                            missing_rows,
+                        ))
+                    }
                 }
                 AggregateFunction::Min | AggregateFunction::Max => {
                     let minimum = query.agg == AggregateFunction::Min;
-                    let parts = self.scatter_estimates(&targets, query)?;
-                    let answered: Vec<Estimate> = parts.into_iter().flatten().collect();
-                    Ok(merge::merge_extremum(&answered, minimum))
+                    let mut answered = Vec::with_capacity(raw.len());
+                    let mut missing_rows = 0u64;
+                    for (i, sub) in raw.into_iter().enumerate() {
+                        match sub {
+                            Some(SubAnswer::Estimate(r)) => answered.extend(r?),
+                            Some(SubAnswer::Moments(_)) => {
+                                unreachable!("estimate scatter got a moment answer")
+                            }
+                            None => missing_rows += populations[i],
+                        }
+                    }
+                    let mut extremum = merge::merge_extremum(&answered, minimum);
+                    // An extremum cannot be extrapolated; a missed shard
+                    // that held rows just flags the answer as partial
+                    // (missed *empty* shards cannot change the answer).
+                    if missing_rows > 0 {
+                        if let Some(e) = &mut extremum {
+                            e.partial = true;
+                        }
+                    }
+                    Ok(extremum)
                 }
             };
             if self.rebalance_generation.load(Ordering::Acquire) == generation {
@@ -895,12 +1126,46 @@ impl ClusterEngine {
                     .counters
                     .subqueries
                     .fetch_add(targets.len() as u64, Ordering::Relaxed);
+                if let Ok(estimate) = &answer {
+                    if estimate.is_some_and(|e| e.partial) {
+                        self.set
+                            .counters
+                            .partial_answers
+                            .fetch_add(1, Ordering::Relaxed);
+                    } else if let Some((cache, key)) = &cache {
+                        let post_offsets: Vec<u64> =
+                            targets.iter().map(|&s| self.applied_offset(s)).collect();
+                        if post_offsets == pre_offsets {
+                            cache.insert(
+                                key.clone(),
+                                generation,
+                                targets.clone(),
+                                post_offsets,
+                                *estimate,
+                            );
+                        }
+                    }
+                }
                 return answer;
             }
             // A migration landed mid-scatter; the pruning may have missed
             // shards that now hold matching rows. Rebalances are rare, so
             // the retry loop terminates in practice after one extra pass.
         }
+    }
+
+    /// One shard's applied topic offset — the cache-invalidation clock.
+    fn applied_offset(&self, shard: usize) -> u64 {
+        self.set.shards[shard].read().offset
+    }
+
+    /// Makes `shard`'s pool worker sleep `delay` before serving each
+    /// sub-query (zero clears it) — a deterministic straggler for tests,
+    /// demos, and the SLO benchmark. Scheduling-only: answers are
+    /// unaffected, so it exercises deadline paths without touching data.
+    #[doc(hidden)]
+    pub fn inject_scatter_delay(&self, shard: usize, delay: Duration) {
+        self.pool.set_stall_ms(shard, delay.as_millis() as u64);
     }
 
     /// Exact evaluation across all shard archives (ground-truth oracle;
@@ -996,17 +1261,37 @@ impl ClusterEngine {
     }
 
     /// Scatters `query` to `targets` on the worker pool and gathers the
-    /// per-shard answers in shard order. A single-target scatter is
-    /// served inline on the calling thread — no channel round trip.
-    fn scatter_raw(&self, targets: &[usize], query: &Query, moments: bool) -> Vec<SubAnswer> {
+    /// per-shard answers in shard order; slot `i` is `None` iff shard
+    /// `targets[i]` missed the deadline. A single-target scatter is
+    /// served inline on the calling thread — no channel round trip, no
+    /// deadline (there is nothing to overlap the wait with, and a
+    /// one-shard gather can never be usefully partial).
+    ///
+    /// With `deadline: None` every slot is `Some` and the gather is the
+    /// pre-deadline path unchanged. With a deadline, the gather always
+    /// blocks for the *first* sub-answer (partial extrapolation needs at
+    /// least one responder), bounds the rest with `recv_timeout`, and
+    /// after expiry scoops whatever already sits in the channel — a shard
+    /// that answered while the gather was timing out still counts.
+    /// Stragglers' late replies land on a dropped receiver, which the
+    /// workers tolerate by design.
+    fn scatter_bounded(
+        &self,
+        targets: &[usize],
+        query: &Query,
+        moments: bool,
+        priority: Priority,
+        deadline: Option<Instant>,
+    ) -> Vec<Option<SubAnswer>> {
         if targets.len() == 1 {
-            return vec![self.set.serve(targets[0], query, moments)];
+            return vec![Some(self.set.serve(targets[0], query, moments))];
         }
         let query = Arc::new(query.clone());
         let (tx, rx) = std::sync::mpsc::channel();
         for (slot, &shard) in targets.iter().enumerate() {
-            self.pool.send(
+            self.pool.send_with(
                 shard,
+                priority,
                 Job::Query {
                     slot,
                     query: Arc::clone(&query),
@@ -1018,40 +1303,35 @@ impl ClusterEngine {
         drop(tx);
         let mut slots: Vec<Option<SubAnswer>> = Vec::new();
         slots.resize_with(targets.len(), || None);
-        for _ in 0..targets.len() {
-            let (slot, answer) = rx.recv().expect("scatter worker died");
+        let mut received = 0usize;
+        while received < targets.len() {
+            let message = match deadline {
+                None => rx.recv().ok(),
+                Some(_) if received == 0 => rx.recv().ok(),
+                Some(deadline) => {
+                    match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                        Ok(message) => Some(message),
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => None,
+                    }
+                }
+            };
+            let Some((slot, answer)) = message else {
+                // Workers outlive the engine, so a closed channel means
+                // every outstanding job already replied.
+                break;
+            };
             slots[slot] = Some(answer);
+            received += 1;
+        }
+        // Deadline expired: take answers that raced in while we were
+        // giving up, but wait for nobody.
+        while let Ok((slot, answer)) = rx.try_recv() {
+            if slots[slot].is_none() {
+                slots[slot] = Some(answer);
+            }
         }
         slots
-            .into_iter()
-            .map(|slot| slot.expect("every target produced a result"))
-            .collect()
-    }
-
-    /// Estimate-shaped scatter (COUNT/SUM/MIN/MAX sub-queries).
-    fn scatter_estimates(&self, targets: &[usize], query: &Query) -> Result<Vec<Option<Estimate>>> {
-        self.scatter_raw(targets, query, false)
-            .into_iter()
-            .map(|answer| match answer {
-                SubAnswer::Estimate(r) => r,
-                SubAnswer::Moments(_) => unreachable!("estimate scatter got a moment answer"),
-            })
-            .collect()
-    }
-
-    /// Moment-shaped scatter (AVG sub-queries).
-    fn scatter_moments(
-        &self,
-        targets: &[usize],
-        query: &Query,
-    ) -> Result<Vec<(Estimate, Estimate)>> {
-        self.scatter_raw(targets, query, true)
-            .into_iter()
-            .map(|answer| match answer {
-                SubAnswer::Moments(r) => r,
-                SubAnswer::Estimate(_) => unreachable!("moment scatter got an estimate answer"),
-            })
-            .collect()
     }
 
     /// Fails a shard's primary and promotes its freshest follower (ties

@@ -9,8 +9,9 @@
 //! | [`router`] | [`ShardPolicy`] (hash-by-id, round-robin, range on a predicate attribute) and the [`ShardRouter`] that applies it: row placement, per-shard slabs as [`janus_common::Rect`]s, query overlap pruning |
 //! | [`bootstrap`] | the shared shard-placement helpers: seed derivation, value→slab placement, partition-then-build |
 //! | [`engine`] | [`ClusterEngine`]: lock-sharded state (`&self` everywhere — one `RwLock` per shard, router/directory locks, atomic counters), batch-first publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay; [`ClusterEngine::publish_batch`] routes a whole batch under one lock acquisition), parallel scatter-gather queries merged via [`janus_common::merge`] |
-//! | `scatter` (internal) | the persistent per-shard worker pool queries scatter on and `pump` drains through — long-lived threads fed by channels, created at engine construction, joined on drop |
-//! | [`live`] | [`LiveCluster`]: the engine as a long-running service — one background pump worker per shard plus a request/response front end over [`janus_storage::RequestLog`] (data runs republished through the batched path), with per-shard backpressure, a `drain()` barrier, and graceful shutdown |
+//! | `scatter` (internal) | the persistent per-shard worker pool queries scatter on and `pump` drains through — long-lived threads fed by channels with a two-lane ([`Priority`]) queue, created at engine construction, joined on drop |
+//! | `cache` (internal) | the answer cache behind [`ClusterConfig::with_answer_cache`]: exact-shape query keys, entries pinned to (rebalance generation, per-shard applied offsets), lazily self-invalidating |
+//! | [`live`] | [`LiveCluster`]: the engine as a long-running service — one background pump worker per shard plus a request/response front end over [`janus_storage::RequestLog`] (data runs republished through the batched path), with per-shard backpressure, a `drain()` barrier, graceful shutdown, and a multi-tenant submit path ([`LiveCluster::submit_query`]: admission quotas, deadlines, priority lanes) |
 //! | [`rebalance`] | the cluster-level skew trigger (largest shard ≥ `skew_factor` × median, with cooldown + minimum-gain hysteresis) and the snapshot-shipping migration built on the `janus-core` snapshot path |
 //!
 //! ## Answer semantics
@@ -62,6 +63,7 @@
 //! ```
 
 pub mod bootstrap;
+pub(crate) mod cache;
 pub mod checkpoint;
 pub mod engine;
 pub mod live;
@@ -71,11 +73,14 @@ pub mod router;
 pub(crate) mod scatter;
 
 pub use checkpoint::{ClusterCheckpoint, PolicyKind, RouterSnapshot, ShardCheckpoint};
-pub use engine::{ClusterConfig, ClusterEngine, ClusterStats, PublishReport, ShardOp};
-pub use live::{LiveCluster, LiveConfig, LiveStats};
+pub use engine::{
+    ClusterConfig, ClusterEngine, ClusterStats, PublishReport, QueryOptions, ShardOp,
+};
+pub use live::{LiveCluster, LiveConfig, LiveStats, TenantStats};
 pub use notify::Progress;
 pub use rebalance::RebalanceReport;
 pub use router::{ShardPolicy, ShardRouter};
+pub use scatter::Priority;
 
 #[allow(unused_imports)]
 use janus_core::JanusEngine; // rustdoc link target

@@ -36,6 +36,23 @@
 //! the pump workers) instead of letting a fast producer grow an unbounded
 //! gap between topics and synopses.
 //!
+//! ## Multi-tenant serving
+//!
+//! Clients tag work with a [`TenantId`] via [`LiveCluster::submit_query`]:
+//! the request lands on the log as [`Request::ExecuteFor`] carrying the
+//! tenant, an optional gather deadline, and an interactive flag.
+//! Admission control happens *at submit time*: when
+//! [`LiveConfig::tenant_quota`] is set, a tenant already holding that
+//! many in-flight queries is refused with [`JanusError::Backpressure`]
+//! before anything touches the log — a hammering tenant exhausts its own
+//! budget and leaves everyone else's latency alone. Interactive queries
+//! ride the scatter pool's priority lane; deadlines turn stragglers into
+//! *partial* answers merged from the shards that made it (see
+//! [`QueryOptions`]). Per-tenant counters snapshot via
+//! [`LiveCluster::tenant_stats`]; in-flight accounting is in-memory per
+//! service instance, so it resets on recovery (at worst briefly
+//! under-counting a tenant toward its quota).
+//!
 //! **Consistency.** Queries answer from whatever has been pumped when the
 //! scatter runs — the same read-your-pumped-writes semantics as the
 //! synchronous engine, minus the manual pumping. After [`LiveCluster::
@@ -60,10 +77,13 @@
 //! holds it to that.
 
 use crate::checkpoint::ClusterCheckpoint;
-use crate::engine::{ClusterConfig, ClusterEngine, ShardOp};
+use crate::engine::{ClusterConfig, ClusterEngine, QueryOptions, ShardOp};
 use crate::notify::Progress;
-use janus_common::{Result, Row};
+use crate::scatter::Priority;
+use janus_common::{JanusError, Query, Result, Row, TenantId};
 use janus_storage::{CheckpointStore, Request, RequestLog};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -97,6 +117,11 @@ pub struct LiveConfig {
     /// Checkpoints retained in the store after each save (older ones are
     /// pruned).
     pub checkpoint_keep: usize,
+    /// Per-tenant admission quota: a tenant may hold at most this many
+    /// in-flight queries (submitted via [`LiveCluster::submit_query`],
+    /// not yet answered); further submissions are refused with
+    /// [`JanusError::Backpressure`]. `0` disables admission control.
+    pub tenant_quota: u64,
 }
 
 impl Default for LiveConfig {
@@ -107,7 +132,17 @@ impl Default for LiveConfig {
             max_backlog: 65_536,
             checkpoint_every: 100_000,
             checkpoint_keep: 4,
+            tenant_quota: 0,
         }
+    }
+}
+
+impl LiveConfig {
+    /// Caps each tenant at `quota` in-flight queries (builder-style; see
+    /// [`LiveConfig::tenant_quota`]).
+    pub fn with_tenant_quota(mut self, quota: u64) -> Self {
+        self.tenant_quota = quota;
+        self
     }
 }
 
@@ -133,6 +168,11 @@ pub struct LiveStats {
     /// Checkpoint saves that failed at the store (the service keeps
     /// running; the previous checkpoint remains the recovery point).
     pub checkpoint_failures: u64,
+    /// Query submissions refused by per-tenant admission control.
+    pub admission_rejections: u64,
+    /// Responses published with [`janus_common::Estimate::partial`] set —
+    /// a deadline expired before every covered shard answered.
+    pub partial_responses: u64,
 }
 
 #[derive(Default)]
@@ -144,6 +184,26 @@ struct LiveCounters {
     records_skipped: AtomicU64,
     checkpoints: AtomicU64,
     checkpoint_failures: AtomicU64,
+    admission_rejections: AtomicU64,
+    partial_responses: AtomicU64,
+}
+
+/// Per-tenant serving counters (snapshot via
+/// [`LiveCluster::tenant_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Queries accepted from this tenant (admission passed).
+    pub submitted: u64,
+    /// Responses published for this tenant.
+    pub answered: u64,
+    /// Submissions refused because the tenant was at its quota.
+    pub admission_rejections: u64,
+    /// Answered queries whose estimate carried the partial flag.
+    pub partial_answers: u64,
+    /// Accepted queries not yet answered. In-memory accounting for this
+    /// service instance only — it resets on recovery, which at worst
+    /// briefly under-counts a tenant toward its quota.
+    pub inflight: u64,
 }
 
 struct Shared {
@@ -170,6 +230,10 @@ struct Shared {
     /// sleep-polling.
     progress: Progress,
     counters: LiveCounters,
+    /// Per-tenant admission quota (`0` = admission control off).
+    tenant_quota: u64,
+    /// Per-tenant serving counters, keyed by tenant id.
+    tenants: Mutex<BTreeMap<TenantId, TenantStats>>,
 }
 
 /// A `ClusterEngine` running as a service: per-shard pump workers and a
@@ -277,6 +341,8 @@ impl LiveCluster {
             checkpoint_keep: live.checkpoint_keep.max(1),
             progress: Progress::new(),
             counters: LiveCounters::default(),
+            tenant_quota: live.tenant_quota,
+            tenants: Mutex::new(BTreeMap::new()),
         });
 
         let pump_chunk = live.pump_chunk.max(1);
@@ -377,7 +443,78 @@ impl LiveCluster {
             records_skipped: c.records_skipped.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
             checkpoint_failures: c.checkpoint_failures.load(Ordering::Relaxed),
+            admission_rejections: c.admission_rejections.load(Ordering::Relaxed),
+            partial_responses: c.partial_responses.load(Ordering::Relaxed),
         }
+    }
+
+    /// Submits a query on behalf of `tenant` and returns the request-log
+    /// offset its response record will be keyed by. Admission control
+    /// runs *here*, before anything touches the log: when
+    /// [`LiveConfig::tenant_quota`] is set and the tenant is already at
+    /// it, the call fails with [`JanusError::Backpressure`] and nothing
+    /// is published. `deadline` bounds how long the gather waits for
+    /// stragglers — expired shards are merged out into a *partial*
+    /// answer — and `interactive` routes the scatter through the pool's
+    /// priority lane. Tenant `0` with no deadline and `interactive =
+    /// false` is exactly the legacy `publish_query` path.
+    pub fn submit_query(
+        &self,
+        tenant: TenantId,
+        query: Query,
+        deadline: Option<Duration>,
+        interactive: bool,
+    ) -> Result<u64> {
+        {
+            let mut tenants = self.shared.tenants.lock();
+            let state = tenants.entry(tenant).or_default();
+            if self.shared.tenant_quota > 0 && state.inflight >= self.shared.tenant_quota {
+                state.admission_rejections += 1;
+                self.shared
+                    .counters
+                    .admission_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(JanusError::Backpressure(format!(
+                    "tenant {tenant} is at its in-flight quota ({})",
+                    self.shared.tenant_quota
+                )));
+            }
+            state.inflight += 1;
+            state.submitted += 1;
+        }
+        // Sub-millisecond deadlines round *up* to 1ms — `0` on the wire
+        // means "no deadline", and a requested deadline must stay one.
+        let deadline_ms = deadline.map_or(0, |d| {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+        });
+        let offset =
+            self.shared
+                .requests
+                .publish_query_for(tenant, query, deadline_ms, interactive);
+        if let Some(t) = &self.frontend_thread {
+            t.thread().unpark();
+        }
+        Ok(offset)
+    }
+
+    /// Counter snapshot for one tenant (all zeros if never seen).
+    pub fn tenant_stats(&self, tenant: TenantId) -> TenantStats {
+        self.shared
+            .tenants
+            .lock()
+            .get(&tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of every tenant seen so far, in tenant-id order.
+    pub fn all_tenant_stats(&self) -> Vec<(TenantId, TenantStats)> {
+        self.shared
+            .tenants
+            .lock()
+            .iter()
+            .map(|(&t, &s)| (t, s))
+            .collect()
     }
 
     /// Requests an immediate checkpoint and blocks until the front-end
@@ -539,37 +676,37 @@ fn frontend_loop(
         // the topics — so the pending run flushes first.
         let mut pending: Vec<ShardOp> = Vec::new();
         for request in batch {
-            let counters = &shared.counters;
             match request {
                 Request::Insert(row) => pending.push(ShardOp::Insert(row)),
                 Request::Delete(id) => pending.push(ShardOp::Delete(id)),
-                // Every consumed Execute publishes exactly one response
-                // record, so clients can always distinguish "not yet
-                // processed" (no record) from "empty/failed" (None).
+                // Every consumed Execute/ExecuteFor publishes exactly one
+                // response record, so clients can always distinguish "not
+                // yet processed" (no record) from "empty/failed" (None).
                 Request::Execute(query) => {
                     if !flush_ops(shared, pump_workers, &mut pending, &mut offset, max_backlog) {
                         return; // shutdown while stalled
                     }
-                    let answer = match shared.cluster.query(&query) {
-                        Ok(Some(est)) => Some(est),
-                        Ok(None) => {
-                            counters.empty_answers.fetch_add(1, Ordering::Relaxed);
-                            None
-                        }
-                        Err(_) => {
-                            counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
-                            None
-                        }
+                    answer_query(shared, &mut offset, &query, QueryOptions::default(), None);
+                }
+                Request::ExecuteFor {
+                    tenant,
+                    deadline_ms,
+                    interactive,
+                    query,
+                } => {
+                    if !flush_ops(shared, pump_workers, &mut pending, &mut offset, max_backlog) {
+                        return; // shutdown while stalled
+                    }
+                    let opts = QueryOptions {
+                        priority: if interactive {
+                            Priority::Interactive
+                        } else {
+                            Priority::Bulk
+                        },
+                        deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+                        use_cache: true,
                     };
-                    shared.requests.publish_response(offset, answer);
-                    counters.responses_published.fetch_add(1, Ordering::Relaxed);
-                    offset += 1;
-                    counters.requests_consumed.fetch_add(1, Ordering::Relaxed);
-                    // Release-publish progress only after the request's
-                    // effect (topic record or response) is visible — the
-                    // drain contract.
-                    shared.front_offset.store(offset, Ordering::Release);
-                    shared.progress.bump();
+                    answer_query(shared, &mut offset, &query, opts, Some(tenant));
                 }
             }
         }
@@ -583,6 +720,52 @@ fn frontend_loop(
             return;
         }
     }
+}
+
+/// Answers one `Execute`/`ExecuteFor` request through
+/// [`ClusterEngine::query_with`] and publishes its response record,
+/// maintaining the per-request counters and — when the request was
+/// tenanted — the tenant's in-flight/answered/partial accounting.
+fn answer_query(
+    shared: &Shared,
+    offset: &mut u64,
+    query: &Query,
+    opts: QueryOptions,
+    tenant: Option<TenantId>,
+) {
+    let counters = &shared.counters;
+    let answer = match shared.cluster.query_with(query, opts) {
+        Ok(Some(est)) => Some(est),
+        Ok(None) => {
+            counters.empty_answers.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Err(_) => {
+            counters.rejected_requests.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    };
+    let partial = answer.is_some_and(|e| e.partial);
+    if partial {
+        counters.partial_responses.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(tenant) = tenant {
+        let mut tenants = shared.tenants.lock();
+        let state = tenants.entry(tenant).or_default();
+        state.inflight = state.inflight.saturating_sub(1);
+        state.answered += 1;
+        if partial {
+            state.partial_answers += 1;
+        }
+    }
+    shared.requests.publish_response(*offset, answer);
+    counters.responses_published.fetch_add(1, Ordering::Relaxed);
+    *offset += 1;
+    counters.requests_consumed.fetch_add(1, Ordering::Relaxed);
+    // Release-publish progress only after the request's effect (topic
+    // record or response) is visible — the drain contract.
+    shared.front_offset.store(*offset, Ordering::Release);
+    shared.progress.bump();
 }
 
 /// Republishes a run of pending data requests through

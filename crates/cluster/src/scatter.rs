@@ -32,11 +32,39 @@
 //! terminates independently — the pool stays deadlock-free even though
 //! scan jobs cross shard boundaries.
 
+//! ## Priority lanes
+//!
+//! Every job travels with a [`Priority`]. A worker drains its channel
+//! into two local queues and always serves the interactive queue first,
+//! so a dashboard query scattered behind a long run of bulk pump/scan
+//! jobs overtakes them at the *next* job boundary — jobs themselves are
+//! never preempted, and jobs of equal priority keep strict arrival
+//! order, which is why the default-priority path stays bit-identical to
+//! the single-queue pool it replaced.
+
 use crate::engine::ShardSet;
 use janus_common::{Estimate, JanusError, Query, Result, ScanPartial};
-use std::sync::mpsc::{Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Scheduling lane for one pool job. Everything defaults to [`Bulk`];
+/// deadline-bound tenant queries ride [`Interactive`] and overtake queued
+/// bulk work at job boundaries.
+///
+/// [`Bulk`]: Priority::Bulk
+/// [`Interactive`]: Priority::Interactive
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Priority {
+    /// Background lane: ingest pumps, analytical sweeps, anything
+    /// without a deadline. The default.
+    #[default]
+    Bulk,
+    /// Latency-sensitive lane, served before any queued bulk job.
+    Interactive,
+}
 
 /// One sub-answer of a scatter, in the shape the aggregate needs.
 pub(crate) enum SubAnswer {
@@ -80,34 +108,57 @@ pub(crate) enum Job {
 
 /// One long-lived worker thread per shard, fed by a channel.
 pub(crate) struct ScatterPool {
-    senders: Vec<Sender<Job>>,
+    senders: Vec<Sender<(Priority, Job)>>,
     handles: Vec<JoinHandle<()>>,
+    /// Per-shard artificial serve delay in milliseconds — a test/demo
+    /// hook that makes one shard a deterministic straggler so deadline
+    /// paths can be exercised without relying on machine load.
+    stall_ms: Arc<Vec<AtomicU64>>,
 }
 
 impl ScatterPool {
     /// Spawns one worker per shard of `set`.
     pub(crate) fn start(set: &Arc<ShardSet>) -> Self {
+        let stall_ms: Arc<Vec<AtomicU64>> =
+            Arc::new((0..set.shards.len()).map(|_| AtomicU64::new(0)).collect());
         let mut senders = Vec::with_capacity(set.shards.len());
         let mut handles = Vec::with_capacity(set.shards.len());
         for shard in 0..set.shards.len() {
             let (tx, rx) = std::sync::mpsc::channel();
             let set = Arc::clone(set);
+            let stall = Arc::clone(&stall_ms);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("janus-scatter-{shard}"))
-                    .spawn(move || worker_loop(&set, shard, &rx))
+                    .spawn(move || worker_loop(&set, shard, &rx, &stall))
                     .expect("spawn scatter worker"),
             );
             senders.push(tx);
         }
-        ScatterPool { senders, handles }
+        ScatterPool {
+            senders,
+            handles,
+            stall_ms,
+        }
     }
 
-    /// Enqueues a job on `shard`'s worker.
+    /// Enqueues a job on `shard`'s worker in the bulk lane (the
+    /// pre-priority behavior: strict arrival order).
     pub(crate) fn send(&self, shard: usize, job: Job) {
+        self.send_with(shard, Priority::Bulk, job);
+    }
+
+    /// Enqueues a job on `shard`'s worker in the given lane.
+    pub(crate) fn send_with(&self, shard: usize, priority: Priority, job: Job) {
         self.senders[shard]
-            .send(job)
+            .send((priority, job))
             .expect("scatter worker outlives the engine");
+    }
+
+    /// Sets the artificial per-query serve delay for `shard`'s worker
+    /// (0 clears it). Test/demo hook only.
+    pub(crate) fn set_stall_ms(&self, shard: usize, ms: u64) {
+        self.stall_ms[shard].store(ms, Ordering::Relaxed);
     }
 }
 
@@ -122,34 +173,88 @@ impl Drop for ScatterPool {
     }
 }
 
-fn worker_loop(set: &ShardSet, shard: usize, jobs: &Receiver<Job>) {
-    while let Ok(job) = jobs.recv() {
-        match job {
-            Job::Query {
-                slot,
-                query,
-                moments,
-                reply,
-            } => {
-                // A gather abandoned mid-retry may have dropped its
-                // receiver; that is not the worker's problem.
-                let _ = reply.send((slot, set.serve(shard, &query, moments)));
+fn worker_loop(
+    set: &ShardSet,
+    shard: usize,
+    jobs: &Receiver<(Priority, Job)>,
+    stall_ms: &[AtomicU64],
+) {
+    let mut interactive: VecDeque<Job> = VecDeque::new();
+    let mut bulk: VecDeque<Job> = VecDeque::new();
+    let mut open = true;
+    loop {
+        // Block only when there is nothing local to run; once the channel
+        // closes (engine drop), finish the queued backlog so in-flight
+        // scatters still complete, then exit.
+        if interactive.is_empty() && bulk.is_empty() {
+            if !open {
+                return;
             }
-            Job::Pump { max, reply } => {
-                let (applied, skipped, error) = set.pump_one(shard, max, false);
-                let replica_applied = set.pump_replicas_mode(shard, max, false);
-                let _ = reply.send((shard, applied + replica_applied, skipped, error));
+            match jobs.recv() {
+                Ok((priority, job)) => enqueue(&mut interactive, &mut bulk, priority, job),
+                Err(_) => {
+                    open = false;
+                    continue;
+                }
             }
-            Job::Scan {
-                slot,
-                shard: target,
-                seg,
-                segment_rows,
-                query,
-                reply,
-            } => {
-                let _ = reply.send((slot, set.scan_segment(target, seg, segment_rows, &query)));
+        }
+        // Scoop everything already sent, so an interactive job that
+        // arrived behind queued bulk work overtakes it here.
+        loop {
+            match jobs.try_recv() {
+                Ok((priority, job)) => enqueue(&mut interactive, &mut bulk, priority, job),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    open = false;
+                    break;
+                }
             }
+        }
+        let Some(job) = interactive.pop_front().or_else(|| bulk.pop_front()) else {
+            continue;
+        };
+        run_job(set, shard, job, stall_ms);
+    }
+}
+
+fn enqueue(interactive: &mut VecDeque<Job>, bulk: &mut VecDeque<Job>, p: Priority, job: Job) {
+    match p {
+        Priority::Interactive => interactive.push_back(job),
+        Priority::Bulk => bulk.push_back(job),
+    }
+}
+
+fn run_job(set: &ShardSet, shard: usize, job: Job, stall_ms: &[AtomicU64]) {
+    match job {
+        Job::Query {
+            slot,
+            query,
+            moments,
+            reply,
+        } => {
+            let stall = stall_ms[shard].load(Ordering::Relaxed);
+            if stall > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(stall));
+            }
+            // A gather abandoned mid-retry (or one whose deadline
+            // expired) may have dropped its receiver; that is not the
+            // worker's problem.
+            let _ = reply.send((slot, set.serve(shard, &query, moments)));
+        }
+        Job::Pump { max, reply } => {
+            let (applied, skipped, error) = set.pump_one(shard, max, false);
+            let replica_applied = set.pump_replicas_mode(shard, max, false);
+            let _ = reply.send((shard, applied + replica_applied, skipped, error));
+        }
+        Job::Scan {
+            slot,
+            shard: target,
+            seg,
+            segment_rows,
+            query,
+            reply,
+        } => {
+            let _ = reply.send((slot, set.scan_segment(target, seg, segment_rows, &query)));
         }
     }
 }

@@ -27,6 +27,14 @@ pub enum JanusError {
     /// A wire-protocol failure (malformed frame, version mismatch,
     /// oversized length prefix, connection torn mid-frame, ...).
     Protocol(String),
+    /// A deadline expired before the operation produced its result — the
+    /// peer is healthy but slow, so callers must *not* treat this as a
+    /// node failure.
+    Deadline,
+    /// Admission control refused the request: accepting it would exceed
+    /// a configured quota (e.g. a tenant's in-flight budget). Retry
+    /// after earlier work completes.
+    Backpressure(String),
 }
 
 impl fmt::Display for JanusError {
@@ -42,6 +50,8 @@ impl fmt::Display for JanusError {
             JanusError::UnsupportedTemplate(msg) => write!(f, "unsupported query template: {msg}"),
             JanusError::Storage(msg) => write!(f, "storage error: {msg}"),
             JanusError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            JanusError::Deadline => write!(f, "deadline expired before a reply arrived"),
+            JanusError::Backpressure(msg) => write!(f, "backpressure: {msg}"),
         }
     }
 }

@@ -35,7 +35,7 @@ pub use det_hash::{DetHashMap, DetHashSet};
 pub use error::{JanusError, Result};
 pub use float::F64;
 pub use kernels::ScanPartial;
-pub use query::{AggregateFunction, Estimate, ExactAccumulator, Query, QueryTemplate};
+pub use query::{AggregateFunction, Estimate, ExactAccumulator, Query, QueryTemplate, TenantId};
 pub use rect::{RangePredicate, Rect};
 pub use row::{ColumnDef, Row, RowId, RowRef, Schema};
 pub use stats::Moments;

@@ -14,6 +14,20 @@
 //!   `Var(S/C) ≈ (Var(S) + (S/C)²·Var(C)) / C²`, again per source so the
 //!   combined estimate still reports a two-source confidence interval.
 //! * **MIN/MAX** take the extreme of the per-shard answers.
+//!
+//! ## Deadline-bounded (k-of-n) gathers
+//!
+//! A deadline-aware gather may hold answers from only `k` of the `n`
+//! shards a query was scattered to. [`merge_partial_additive`] composes
+//! the `k` arrivals and *extrapolates* to the missing shards' population
+//! share: the pooled per-row rate of the responders is applied to the
+//! missing rows, the responders' estimator variance is scaled by the
+//! squared extrapolation factor, and a between-shard rate-dispersion term
+//! (finite-population corrected) is added so the widened CI covers the
+//! exact answer at the nominal rate even when shards are heterogeneous
+//! (range partitioning). The result is flagged [`Estimate::partial`].
+//! With nothing missing the call *is* [`merge_additive`] — bit-identical,
+//! no widening, no flag.
 
 use crate::query::Estimate;
 
@@ -31,8 +45,108 @@ pub fn merge_additive<'a>(parts: impl IntoIterator<Item = &'a Estimate>) -> Esti
         merged.covered_nodes += part.covered_nodes;
         merged.partial_nodes += part.partial_nodes;
         merged.samples_used += part.samples_used;
+        merged.partial |= part.partial;
     }
     merged
+}
+
+/// Merges `k`-of-`n` additive (COUNT/SUM) partials from a deadline-bounded
+/// gather. `part_rows[i]` is the row population of the shard that produced
+/// `parts[i]`; `missing_rows` is the total population of the shards whose
+/// answers did not arrive.
+///
+/// With `missing_rows == 0` this *is* [`merge_additive`] — the k = n
+/// boundary returns bit-identically the complete merge, unflagged.
+/// Otherwise the responders' pooled per-row rate is extrapolated over the
+/// missing rows and the variance is widened (see the module docs), and the
+/// result carries [`Estimate::partial`] ` = true`.
+///
+/// An empty `parts` with rows missing has no rate to extrapolate from;
+/// callers must gather at least one sub-answer before invoking this (the
+/// cluster gather blocks for the first arrival regardless of deadline).
+pub fn merge_partial_additive(
+    parts: &[Estimate],
+    part_rows: &[u64],
+    missing_rows: u64,
+) -> Estimate {
+    assert_eq!(
+        parts.len(),
+        part_rows.len(),
+        "one population per partial estimate"
+    );
+    let merged = merge_additive(parts);
+    if missing_rows == 0 {
+        return merged;
+    }
+    let responding: u64 = part_rows.iter().sum();
+    if responding == 0 {
+        // The shards that answered hold no rows, so they say nothing about
+        // the missing population: keep their (empty) merge, flag it.
+        return Estimate {
+            partial: true,
+            ..merged
+        };
+    }
+    let total = responding + missing_rows;
+    let factor = total as f64 / responding as f64;
+    let pooled_rate = merged.value / responding as f64;
+
+    // Estimator uncertainty scales with the extrapolated magnitude.
+    let catchup_variance = merged.catchup_variance * factor * factor;
+    let mut sample_variance = merged.sample_variance * factor * factor;
+
+    // Extrapolation uncertainty: the missing shards' true per-row rates
+    // are unknown, so charge the observed between-shard rate dispersion,
+    // shrunk by the responder count and by the finite-population factor
+    // (nothing is extrapolated when nothing is missing).
+    let k = parts.len();
+    if k >= 2 {
+        let mut dispersion = 0.0;
+        for (part, &rows) in parts.iter().zip(part_rows) {
+            if rows == 0 {
+                continue;
+            }
+            let rate = part.value / rows as f64;
+            dispersion += (rate - pooled_rate) * (rate - pooled_rate);
+        }
+        dispersion /= (k - 1) as f64;
+        let missing_share = missing_rows as f64 / total as f64;
+        sample_variance +=
+            (total as f64) * (total as f64) * (dispersion / k as f64) * missing_share;
+    } else {
+        // A single responder carries no dispersion signal; fall back to a
+        // conservative floor — the full extrapolated magnitude could be
+        // off by its own size.
+        let extrapolated = missing_rows as f64 * pooled_rate;
+        sample_variance += extrapolated * extrapolated;
+    }
+
+    Estimate {
+        value: merged.value * factor,
+        catchup_variance,
+        sample_variance,
+        covered_nodes: merged.covered_nodes,
+        partial_nodes: merged.partial_nodes,
+        samples_used: merged.samples_used,
+        partial: true,
+    }
+}
+
+/// Merges `k`-of-`n` AVG partials from a deadline-bounded gather: the
+/// per-shard SUM and COUNT moment estimates are each extrapolated via
+/// [`merge_partial_additive`] (the shared scale factor cancels in the
+/// ratio, so only the CI widens) and re-combined with [`combine_avg`].
+/// With `missing_rows == 0` this is bit-identical to the complete
+/// moment-merge path.
+pub fn merge_partial_avg(
+    sums: &[Estimate],
+    counts: &[Estimate],
+    part_rows: &[u64],
+    missing_rows: u64,
+) -> Option<Estimate> {
+    let sum = merge_partial_additive(sums, part_rows, missing_rows);
+    let count = merge_partial_additive(counts, part_rows, missing_rows);
+    combine_avg(&sum, &count)
 }
 
 /// Combines a merged SUM estimate and a merged COUNT estimate into an AVG
@@ -55,6 +169,7 @@ pub fn combine_avg(sum: &Estimate, count: &Estimate) -> Option<Estimate> {
         covered_nodes: sum.covered_nodes.max(count.covered_nodes),
         partial_nodes: sum.partial_nodes.max(count.partial_nodes),
         samples_used: sum.samples_used.max(count.samples_used),
+        partial: sum.partial || count.partial,
     })
 }
 
@@ -90,6 +205,7 @@ mod tests {
             covered_nodes: 1,
             partial_nodes: 2,
             samples_used: 3,
+            partial: false,
         }
     }
 
@@ -145,5 +261,156 @@ mod tests {
         assert_eq!(merge_extremum(&parts, true).unwrap().value, -1.0);
         assert_eq!(merge_extremum(&parts, false).unwrap().value, 7.0);
         assert!(merge_extremum([], true).is_none());
+    }
+
+    #[test]
+    fn partial_flag_propagates_through_merges() {
+        let mut flagged = est(5.0, 1.0, 1.0);
+        flagged.partial = true;
+        let merged = merge_additive([&est(1.0, 0.0, 0.0), &flagged]);
+        assert!(merged.partial);
+        let clean = merge_additive(&[est(1.0, 0.0, 0.0), est(2.0, 0.0, 0.0)]);
+        assert!(!clean.partial);
+        let avg = combine_avg(&flagged, &est(2.0, 0.0, 0.0)).unwrap();
+        assert!(avg.partial);
+        let avg = combine_avg(&est(4.0, 0.0, 0.0), &est(2.0, 0.0, 0.0)).unwrap();
+        assert!(!avg.partial);
+    }
+
+    #[test]
+    fn k_of_n_with_nothing_missing_is_bit_identical_to_complete_merge() {
+        // The k = n boundary must not widen, scale, or flag anything: the
+        // partial merge with zero missing rows *is* the complete merge.
+        let parts = [est(10.0, 1.0, 2.0), est(5.0, 0.5, 0.25), est(2.5, 0.0, 1.0)];
+        let rows = [100, 50, 25];
+        let complete = merge_additive(&parts);
+        let bounded = merge_partial_additive(&parts, &rows, 0);
+        assert_eq!(bounded, complete);
+        assert!(!bounded.partial);
+
+        let avg = merge_partial_avg(&parts, &parts, &rows, 0).unwrap();
+        let complete_avg = combine_avg(&complete, &complete).unwrap();
+        assert_eq!(avg, complete_avg);
+        assert!(!avg.partial);
+    }
+
+    #[test]
+    fn k_of_n_extrapolates_the_pooled_rate_and_widens() {
+        // Two responders, 100 rows each at rate 0.1, 200 rows missing:
+        // value extrapolates 20 -> 40 and the estimator variance scales by
+        // the squared factor. Equal rates mean zero dispersion, so the
+        // sample variance is exactly the scaled responder variance.
+        let parts = [est(10.0, 1.0, 2.0), est(10.0, 1.0, 2.0)];
+        let bounded = merge_partial_additive(&parts, &[100, 100], 200);
+        assert!(bounded.partial);
+        assert!((bounded.value - 40.0).abs() < 1e-12);
+        assert!((bounded.catchup_variance - 2.0 * 4.0).abs() < 1e-12);
+        assert!((bounded.sample_variance - 4.0 * 4.0).abs() < 1e-12);
+
+        // Heterogeneous rates add a dispersion term on top.
+        let skewed = [est(10.0, 1.0, 2.0), est(30.0, 1.0, 2.0)];
+        let widened = merge_partial_additive(&skewed, &[100, 100], 200);
+        assert!(widened.partial);
+        assert!((widened.value - 80.0).abs() < 1e-12);
+        assert!(widened.sample_variance > 16.0, "dispersion must widen");
+    }
+
+    #[test]
+    fn single_responder_gets_a_conservative_floor() {
+        let parts = [est(10.0, 0.5, 0.5)];
+        let bounded = merge_partial_additive(&parts, &[100], 300);
+        assert!(bounded.partial);
+        assert!((bounded.value - 40.0).abs() < 1e-12);
+        // Floor: the extrapolated 30 rows * rate 0.1 could be off by its
+        // own size, so at least 30^2 lands in the sample variance.
+        assert!(bounded.sample_variance >= 900.0);
+    }
+
+    #[test]
+    fn k_of_n_avg_keeps_the_ratio_and_widens_the_ci() {
+        let sums = [est(100.0, 4.0, 4.0), est(110.0, 4.0, 4.0)];
+        let counts = [est(25.0, 1.0, 1.0), est(27.0, 1.0, 1.0)];
+        let complete = combine_avg(&merge_additive(&sums), &merge_additive(&counts)).unwrap();
+        let bounded = merge_partial_avg(&sums, &counts, &[1000, 1000], 500).unwrap();
+        assert!(bounded.partial);
+        // The extrapolation factor cancels in the ratio.
+        assert!((bounded.value - complete.value).abs() < 1e-9);
+        assert!(bounded.variance() > complete.variance());
+    }
+
+    #[test]
+    fn empty_responders_are_flagged_but_not_extrapolated() {
+        let bounded = merge_partial_additive(&[], &[], 500);
+        assert!(bounded.partial);
+        assert_eq!(bounded.value, 0.0);
+        let zero_rows = merge_partial_additive(&[est(0.0, 0.0, 0.0)], &[0], 500);
+        assert!(zero_rows.partial);
+        assert_eq!(zero_rows.value, 0.0);
+    }
+
+    /// Pin (b) of the multi-tenant SLO work: over many seeded trials, the
+    /// widened CI of a k-of-n merge must cover the exact total at (at
+    /// least) the nominal rate, including under heterogeneous per-shard
+    /// rates — the regime range partitioning produces.
+    #[test]
+    fn k_of_n_ci_covers_the_exact_total_at_the_nominal_rate() {
+        use rand::{Rng, SeedableRng};
+        use rand_distr::{Distribution, Normal};
+
+        const SHARDS: usize = 8;
+        const RESPONDERS: usize = 5;
+        const ROWS_PER_SHARD: u64 = 1_000;
+        const TRIALS: usize = 500;
+        const Z: f64 = 2.0;
+
+        let mut covered = 0usize;
+        let mut covered_complete = 0usize;
+        for trial in 0..TRIALS {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0x51_0c0de + trial as u64);
+            // Heterogeneous per-shard rates: each shard's true per-row
+            // contribution is its own draw, so the missing shards really
+            // do differ from the responders.
+            let rates: Vec<f64> = (0..SHARDS).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let truths: Vec<f64> = rates.iter().map(|r| r * ROWS_PER_SHARD as f64).collect();
+            let exact_total: f64 = truths.iter().sum();
+
+            // Per-shard estimates: truth + estimator noise of known
+            // variance (the per-shard synopsis CI contract).
+            let noise_sd = 30.0;
+            let noise = Normal::new(0.0, noise_sd).unwrap();
+            let parts: Vec<Estimate> = truths
+                .iter()
+                .map(|t| {
+                    let mut e = est(t + noise.sample(&mut rng), 0.0, noise_sd * noise_sd);
+                    e.covered_nodes = 1;
+                    e
+                })
+                .collect();
+            let rows = [ROWS_PER_SHARD; SHARDS];
+
+            let bounded = merge_partial_additive(&parts[..RESPONDERS], &rows[..RESPONDERS], {
+                (SHARDS - RESPONDERS) as u64 * ROWS_PER_SHARD
+            });
+            assert!(bounded.partial);
+            if (bounded.value - exact_total).abs() <= bounded.ci_half_width(Z) {
+                covered += 1;
+            }
+
+            let complete = merge_partial_additive(&parts, &rows, 0);
+            assert!(!complete.partial);
+            if (complete.value - exact_total).abs() <= complete.ci_half_width(Z) {
+                covered_complete += 1;
+            }
+        }
+        let rate = covered as f64 / TRIALS as f64;
+        let rate_complete = covered_complete as f64 / TRIALS as f64;
+        assert!(
+            rate >= 0.90,
+            "k-of-n coverage {rate} below the nominal z=2 rate"
+        );
+        assert!(
+            rate_complete >= 0.90,
+            "complete-merge coverage {rate_complete} regressed"
+        );
     }
 }

@@ -5,6 +5,11 @@ use crate::rect::RangePredicate;
 use crate::row::Row;
 use serde::{Deserialize, Serialize};
 
+/// Identifies the tenant a request is billed to in a multi-tenant
+/// deployment. Tenant `0` is the untenanted default every legacy path
+/// implicitly uses.
+pub type TenantId = u32;
+
 /// The aggregate functions supported by JanusAQP synopses (§1, §3.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AggregateFunction {
@@ -246,6 +251,13 @@ pub struct Estimate {
     pub partial_nodes: usize,
     /// Number of stratified samples that contributed to the estimate.
     pub samples_used: usize,
+    /// True when the answer was assembled from a subset of the shards that
+    /// hold the data — a deadline-bounded gather merged the sub-answers
+    /// that arrived in time and widened the CI for the missing population
+    /// (see `janus_common::merge::merge_partial_additive`). Complete
+    /// answers always carry `false`, so the flag never perturbs the
+    /// bit-identity pins on the full scatter-gather path.
+    pub partial: bool,
 }
 
 impl Estimate {
@@ -258,6 +270,7 @@ impl Estimate {
             covered_nodes: 0,
             partial_nodes: 0,
             samples_used: 0,
+            partial: false,
         }
     }
 
@@ -387,6 +400,7 @@ mod tests {
             covered_nodes: 1,
             partial_nodes: 1,
             samples_used: 5,
+            partial: false,
         };
         assert!((e.ci_half_width(2.0) - 4.0).abs() < 1e-12);
         assert_eq!(e.variance(), 4.0);

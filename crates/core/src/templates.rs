@@ -71,6 +71,7 @@ pub fn uniform_estimate<'a>(
                 covered_nodes: 0,
                 partial_nodes: 0,
                 samples_used: phi.count as usize,
+                partial: false,
             })
         }
         AggregateFunction::Avg => {
@@ -84,6 +85,7 @@ pub fn uniform_estimate<'a>(
                 covered_nodes: 0,
                 partial_nodes: 0,
                 samples_used: phi.count as usize,
+                partial: false,
             })
         }
         AggregateFunction::Min | AggregateFunction::Max => extremum.map(Estimate::exact),

@@ -622,6 +622,7 @@ impl Dpt {
             covered_nodes: covered.len(),
             partial_nodes: partial.len(),
             samples_used,
+            partial: false,
         }
     }
 
@@ -668,6 +669,7 @@ impl Dpt {
             covered_nodes: covered.len(),
             partial_nodes: partial.len(),
             samples_used,
+            partial: false,
         })
     }
 
@@ -712,6 +714,7 @@ impl Dpt {
             covered_nodes: covered.len(),
             partial_nodes: partial.len(),
             samples_used: 0,
+            partial: false,
         })
     }
 
@@ -760,6 +763,7 @@ impl Dpt {
                     covered_nodes: 0,
                     partial_nodes: leaves.len(),
                     samples_used,
+                    partial: false,
                 }))
             }
             AggregateFunction::Avg => {
@@ -794,6 +798,7 @@ impl Dpt {
                     covered_nodes: 0,
                     partial_nodes: leaves.len(),
                     samples_used,
+                    partial: false,
                 }))
             }
             AggregateFunction::Min | AggregateFunction::Max => {

@@ -67,11 +67,11 @@ pub use janus_storage as storage;
 pub mod prelude {
     pub use janus_cluster::{
         ClusterCheckpoint, ClusterConfig, ClusterEngine, ClusterStats, LiveCluster, LiveConfig,
-        LiveStats, PublishReport, ShardOp, ShardPolicy,
+        LiveStats, Priority, PublishReport, QueryOptions, ShardOp, ShardPolicy, TenantStats,
     };
     pub use janus_common::{
         AggregateFunction, Estimate, Query, QueryTemplate, RangePredicate, Rect, Row, RowId,
-        RowRef, Schema, Z_95,
+        RowRef, Schema, TenantId, Z_95,
     };
     pub use janus_core::concurrent::{apply_batch, Update};
     pub use janus_core::templates::MultiTemplateEngine;

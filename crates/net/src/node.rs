@@ -200,11 +200,16 @@ fn handle(state: &Arc<NodeState>, frame: Frame) -> (Frame, bool) {
             first_offset,
             ops,
         } => publish(state, shard, first_offset, ops),
+        // `tenant` and `deadline_ms` are advisory on the node side: the
+        // coordinator bills the query and enforces the deadline with a
+        // socket read timeout, so the node just answers as fast as it can.
         Frame::Query {
             id,
             shard,
             moments,
             min_applied,
+            tenant: _,
+            deadline_ms: _,
             query,
         } => Frame::Estimate {
             id,
@@ -593,6 +598,8 @@ mod tests {
                     shard: 2,
                     moments: false,
                     min_applied: 2,
+                    tenant: 0,
+                    deadline_ms: 0,
                     query: q,
                 },
             )
@@ -666,6 +673,8 @@ mod tests {
                 shard: 0,
                 moments: false,
                 min_applied: 0,
+                tenant: 0,
+                deadline_ms: 0,
                 query: q.clone(),
             },
         )

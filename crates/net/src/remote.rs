@@ -49,7 +49,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const IDLE_MIN: Duration = Duration::from_micros(200);
 const IDLE_MAX: Duration = Duration::from_millis(20);
@@ -116,6 +116,8 @@ pub struct RemoteStats {
     pub replica_queries: u64,
     /// Shard migrations completed via checkpoint shipping.
     pub migrations: u64,
+    /// Deadline-bounded answers merged from a strict subset of shards.
+    pub partial_answers: u64,
 }
 
 #[derive(Default)]
@@ -125,6 +127,7 @@ struct Counters {
     failovers: AtomicU64,
     replica_queries: AtomicU64,
     migrations: AtomicU64,
+    partial_answers: AtomicU64,
 }
 
 /// Live connection state for one node.
@@ -148,7 +151,38 @@ struct NodeLink {
 impl NodeLink {
     fn request(stream: &Mutex<TcpStream>, frame: &Frame) -> Result<Frame> {
         let mut s = stream.lock();
-        wire::roundtrip(&mut *s, frame)
+        Self::exchange(&mut s, frame, false)
+    }
+
+    /// One request/reply exchange that tolerates *straggler* replies: a
+    /// query whose socket deadline expired leaves its eventual
+    /// [`Frame::Estimate`] in the stream, so every reader discards any
+    /// estimate whose correlation id is not the one it asked for (or any
+    /// estimate at all, for non-query requests). `bounded` reads honor
+    /// the stream's configured read timeout via
+    /// [`wire::read_frame_deadline`].
+    fn exchange(s: &mut TcpStream, frame: &Frame, bounded: bool) -> Result<Frame> {
+        let want = match frame {
+            Frame::Query { id, .. } => Some(*id),
+            _ => None,
+        };
+        wire::write_frame(s, frame)?;
+        loop {
+            let reply = if bounded {
+                wire::read_frame_deadline(s)?
+            } else {
+                wire::read_frame(s)?
+            };
+            match reply {
+                None => {
+                    return Err(JanusError::Protocol(
+                        "connection closed before reply".into(),
+                    ))
+                }
+                Some(Frame::Estimate { id, .. }) if want != Some(id) => continue,
+                Some(reply) => return Ok(reply),
+            }
+        }
     }
 
     fn request_ship(&self, frame: &Frame) -> Result<Frame> {
@@ -157,6 +191,24 @@ impl NodeLink {
 
     fn request_ctrl(&self, frame: &Frame) -> Result<Frame> {
         Self::request(&self.ctrl, frame)
+    }
+
+    /// [`NodeLink::request_ctrl`] under a read deadline: the socket read
+    /// times out after `budget`, surfacing [`JanusError::Deadline`] when
+    /// the node is healthy but too slow — the caller treats the shard as
+    /// missing from the gather, **not** as a node failure. The timeout is
+    /// always cleared before the lock is released.
+    fn request_ctrl_deadline(&self, frame: &Frame, budget: Duration) -> Result<Frame> {
+        let mut s = self.ctrl.lock();
+        // A zero timeout would mean "no timeout" to the OS; clamp up.
+        if s.set_read_timeout(Some(budget.max(Duration::from_millis(1))))
+            .is_err()
+        {
+            return Self::exchange(&mut s, frame, false);
+        }
+        let result = Self::exchange(&mut s, frame, true);
+        let _ = s.set_read_timeout(None);
+        result
     }
 
     fn shipped_of(&self, shard: u32) -> u64 {
@@ -583,68 +635,165 @@ impl RemoteCluster {
     /// order — so a drained networked cluster answers bit-identically
     /// to a drained in-process one.
     pub fn query(&self, query: &Query) -> Result<Option<Estimate>> {
+        self.query_with(query, 0, None)
+    }
+
+    /// [`RemoteCluster::query`] with a tenant tag and an optional gather
+    /// deadline.
+    ///
+    /// The tenant rides every scattered [`Frame::Query`] (billing /
+    /// tracing on the node side). The deadline is enforced with socket
+    /// read timeouts on the per-node control channels: a node that is
+    /// healthy but too slow surfaces [`JanusError::Deadline`] for its
+    /// shard — **never** a failover — and the arrived sub-answers are
+    /// merged k-of-n style exactly like the in-process engine's
+    /// deadline path, weighted by the coordinator's applied-offset
+    /// gauges and flagged [`Estimate::partial`]. With no deadline the
+    /// call is [`RemoteCluster::query`] unchanged. Errs with
+    /// [`JanusError::Deadline`] only when *no* shard answered in time.
+    pub fn query_with(
+        &self,
+        query: &Query,
+        tenant: u32,
+        deadline: Option<Duration>,
+    ) -> Result<Option<Estimate>> {
+        let expiry = deadline.map(|budget| Instant::now() + budget);
         let targets = self.shared.router.read().overlapping(query);
-        match query.agg {
+        // Extrapolation weights for a partial merge: the coordinator's
+        // per-shard applied-record gauges (maintained by heartbeats and
+        // publish acks) — a zero-cost proxy for shard row counts that
+        // never blocks on a slow node.
+        let weights: Vec<u64> = if expiry.is_some() {
+            targets
+                .iter()
+                .map(|&t| self.shard_weight(t as u32))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let raw = self.scatter(&targets, query, tenant, expiry)?;
+        if !targets.is_empty() && raw.iter().all(Option::is_none) {
+            return Err(JanusError::Deadline);
+        }
+        let complete = raw.iter().all(Option::is_some);
+        let answer = match query.agg {
             AggregateFunction::Count | AggregateFunction::Sum => {
-                let parts: Vec<Estimate> = self
-                    .scatter(&targets, query, false)?
-                    .into_iter()
-                    .map(|o| match o {
-                        QueryOutcome::Estimate(e) => e,
-                        other => unreachable!("COUNT/SUM always answer, got {other:?}"),
-                    })
-                    .collect();
-                Ok(Some(merge::merge_additive(&parts)))
+                let mut parts = Vec::with_capacity(raw.len());
+                let mut part_rows = Vec::with_capacity(raw.len());
+                let mut missing_rows = 0u64;
+                for (i, outcome) in raw.into_iter().enumerate() {
+                    match outcome {
+                        Some(QueryOutcome::Estimate(e)) => {
+                            parts.push(e);
+                            if !complete {
+                                part_rows.push(weights[i]);
+                            }
+                        }
+                        Some(other) => unreachable!("COUNT/SUM always answer, got {other:?}"),
+                        None => missing_rows += weights[i],
+                    }
+                }
+                if complete {
+                    Some(merge::merge_additive(&parts))
+                } else {
+                    Some(merge::merge_partial_additive(
+                        &parts,
+                        &part_rows,
+                        missing_rows,
+                    ))
+                }
             }
             AggregateFunction::Avg => {
-                let parts: Vec<(Estimate, Estimate)> = self
-                    .scatter(&targets, query, true)?
-                    .into_iter()
-                    .map(|o| match o {
-                        QueryOutcome::Moments { sum, count } => (sum, count),
-                        other => unreachable!("moment scatter got {other:?}"),
-                    })
-                    .collect();
-                let (sums, counts): (Vec<Estimate>, Vec<Estimate>) = parts.into_iter().unzip();
-                Ok(merge::combine_avg(
-                    &merge::merge_additive(&sums),
-                    &merge::merge_additive(&counts),
-                ))
+                let mut sums = Vec::with_capacity(raw.len());
+                let mut counts = Vec::with_capacity(raw.len());
+                let mut part_rows = Vec::with_capacity(raw.len());
+                let mut missing_rows = 0u64;
+                for (i, outcome) in raw.into_iter().enumerate() {
+                    match outcome {
+                        Some(QueryOutcome::Moments { sum, count }) => {
+                            sums.push(sum);
+                            counts.push(count);
+                            if !complete {
+                                part_rows.push(weights[i]);
+                            }
+                        }
+                        Some(other) => unreachable!("moment scatter got {other:?}"),
+                        None => missing_rows += weights[i],
+                    }
+                }
+                if complete {
+                    merge::combine_avg(
+                        &merge::merge_additive(&sums),
+                        &merge::merge_additive(&counts),
+                    )
+                } else {
+                    merge::merge_partial_avg(&sums, &counts, &part_rows, missing_rows)
+                }
             }
             AggregateFunction::Min | AggregateFunction::Max => {
                 let minimum = query.agg == AggregateFunction::Min;
-                let answered: Vec<Estimate> = self
-                    .scatter(&targets, query, false)?
-                    .into_iter()
-                    .filter_map(|o| match o {
-                        QueryOutcome::Estimate(e) => Some(e),
-                        QueryOutcome::Empty => None,
-                        other => unreachable!("estimate scatter got {other:?}"),
-                    })
-                    .collect();
-                Ok(merge::merge_extremum(&answered, minimum))
+                let mut answered = Vec::with_capacity(raw.len());
+                let mut missing_rows = 0u64;
+                for (i, outcome) in raw.into_iter().enumerate() {
+                    match outcome {
+                        Some(QueryOutcome::Estimate(e)) => answered.push(e),
+                        Some(QueryOutcome::Empty) => {}
+                        Some(other) => unreachable!("estimate scatter got {other:?}"),
+                        None => missing_rows += weights[i],
+                    }
+                }
+                let mut extremum = merge::merge_extremum(&answered, minimum);
+                if missing_rows > 0 {
+                    if let Some(e) = &mut extremum {
+                        e.partial = true;
+                    }
+                }
+                extremum
             }
+        };
+        if answer.is_some_and(|e| e.partial) {
+            self.shared
+                .counters
+                .partial_answers
+                .fetch_add(1, Ordering::Relaxed);
         }
+        Ok(answer)
+    }
+
+    /// The coordinator's applied-record gauge for `shard`'s primary — the
+    /// partial-merge weight proxy.
+    fn shard_weight(&self, shard: u32) -> u64 {
+        let dir = self.shared.directory.read();
+        let primary = dir.hosts_of(shard).primary;
+        self.shared.links[primary].applied_of(shard)
     }
 
     /// Scatters `query` at every target shard concurrently, in target
-    /// order.
+    /// order; slot `i` is `None` iff shard `targets[i]` missed the
+    /// deadline (every slot is `Some` when `expiry` is `None`).
     fn scatter(
         &self,
         targets: &[usize],
         query: &Query,
-        moments: bool,
-    ) -> Result<Vec<QueryOutcome>> {
+        tenant: u32,
+        expiry: Option<Instant>,
+    ) -> Result<Vec<Option<QueryOutcome>>> {
+        let moments = query.agg == AggregateFunction::Avg;
         if targets.is_empty() {
             return Ok(Vec::new());
         }
+        let run = |t: usize| match self.scatter_one(t as u32, query, moments, tenant, expiry) {
+            Ok(outcome) => Ok(Some(outcome)),
+            Err(JanusError::Deadline) => Ok(None),
+            Err(e) => Err(e),
+        };
         if targets.len() == 1 {
-            return Ok(vec![self.scatter_one(targets[0] as u32, query, moments)?]);
+            return Ok(vec![run(targets[0])?]);
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = targets
                 .iter()
-                .map(|&t| scope.spawn(move || self.scatter_one(t as u32, query, moments)))
+                .map(|&t| scope.spawn(move || run(t)))
                 .collect();
             handles
                 .into_iter()
@@ -655,8 +804,18 @@ impl RemoteCluster {
 
     /// Serves one sub-query, load-balancing across the primary and
     /// fresh followers, falling back to the primary on a `Stale`
-    /// refusal and failing over on transport errors.
-    fn scatter_one(&self, shard: u32, query: &Query, moments: bool) -> Result<QueryOutcome> {
+    /// refusal and failing over on transport errors. Under an `expiry`
+    /// every socket wait is bounded by the remaining budget;
+    /// [`JanusError::Deadline`] means "shard too slow", and explicitly
+    /// does not mark the node dead.
+    fn scatter_one(
+        &self,
+        shard: u32,
+        query: &Query,
+        moments: bool,
+        tenant: u32,
+        expiry: Option<Instant>,
+    ) -> Result<QueryOutcome> {
         let shared = &self.shared;
         let id = shared.query_seq.fetch_add(1, Ordering::Relaxed);
         let mut primary_only = false;
@@ -664,6 +823,16 @@ impl RemoteCluster {
             if shared.shutdown.load(Ordering::Acquire) {
                 return Err(JanusError::Storage("cluster shut down".into()));
             }
+            let budget = match expiry {
+                Some(expiry) => {
+                    let left = expiry.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(JanusError::Deadline);
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
             let picked = {
                 let dir = shared.directory.read();
                 if dir.lost_shards().contains(&shard) {
@@ -714,9 +883,15 @@ impl RemoteCluster {
                 shard,
                 moments,
                 min_applied,
+                tenant,
+                deadline_ms: budget.map_or(0, |b| b.as_millis().max(1) as u64),
                 query: query.clone(),
             };
-            match shared.links[node].request_ctrl(&frame) {
+            let reply = match budget {
+                Some(budget) => shared.links[node].request_ctrl_deadline(&frame, budget),
+                None => shared.links[node].request_ctrl(&frame),
+            };
+            match reply {
                 Ok(Frame::Estimate {
                     outcome: QueryOutcome::Stale { .. },
                     ..
@@ -731,6 +906,9 @@ impl RemoteCluster {
                         "unexpected query reply: {other:?}"
                     )))
                 }
+                // A healthy-but-slow node: the shard misses this gather,
+                // the node stays in the cluster.
+                Err(JanusError::Deadline) => return Err(JanusError::Deadline),
                 Err(_) => fail_node(shared, node),
             }
         }
@@ -848,6 +1026,7 @@ impl RemoteCluster {
             failovers: c.failovers.load(Ordering::Relaxed),
             replica_queries: c.replica_queries.load(Ordering::Relaxed),
             migrations: c.migrations.load(Ordering::Relaxed),
+            partial_answers: c.partial_answers.load(Ordering::Relaxed),
         }
     }
 

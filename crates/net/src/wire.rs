@@ -31,8 +31,10 @@ use janus_core::SynopsisConfig;
 use janus_storage::ArchiveBackendKind;
 use std::io::{Read, Write};
 
-/// Protocol version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version carried in every frame header. Version 2 added the
+/// tenant/deadline fields on [`Frame::Query`] and the partiality flag on
+/// every transported [`Estimate`].
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's declared length. A prefix above this is a
 /// protocol error and is rejected before any allocation happens, so a
@@ -142,6 +144,12 @@ pub enum Frame {
         /// Freshness gate: the node must have applied at least this
         /// topic offset or answer [`QueryOutcome::Stale`].
         min_applied: u64,
+        /// Tenant the query is billed to (0 = the untenanted default).
+        tenant: u32,
+        /// Milliseconds the coordinator is willing to wait for this
+        /// sub-answer (0 = no deadline). Advisory on the node side; the
+        /// coordinator enforces it with a socket read timeout.
+        deadline_ms: u64,
         /// The sub-query.
         query: Query,
     },
@@ -314,6 +322,7 @@ impl Enc {
         self.usize(e.covered_nodes);
         self.usize(e.partial_nodes);
         self.usize(e.samples_used);
+        self.bool(e.partial);
     }
     fn query(&mut self, q: &Query) {
         self.agg(q.agg);
@@ -449,12 +458,16 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             shard,
             moments,
             min_applied,
+            tenant,
+            deadline_ms,
             query,
         } => {
             e.u64(*id);
             e.u32(*shard);
             e.bool(*moments);
             e.u64(*min_applied);
+            e.u32(*tenant);
+            e.u64(*deadline_ms);
             e.query(query);
             KIND_QUERY
         }
@@ -619,6 +632,7 @@ impl<'a> Dec<'a> {
             covered_nodes: self.usize()?,
             partial_nodes: self.usize()?,
             samples_used: self.usize()?,
+            partial: self.bool()?,
         })
     }
     fn query(&mut self) -> Result<Query> {
@@ -754,6 +768,8 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
             shard: d.u32()?,
             moments: d.bool()?,
             min_applied: d.u64()?,
+            tenant: d.u32()?,
+            deadline_ms: d.u64()?,
             query: d.query()?,
         },
         KIND_ESTIMATE => Frame::Estimate {
@@ -876,6 +892,51 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
 pub fn roundtrip(stream: &mut (impl Read + Write), frame: &Frame) -> Result<Frame> {
     write_frame(stream, frame)?;
     read_frame(stream)?.ok_or_else(|| perr("connection closed before reply"))
+}
+
+fn is_read_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// [`read_frame`] for a stream carrying a socket read timeout. A timeout
+/// that strikes **before the first header byte** returns
+/// [`JanusError::Deadline`] — the peer is slow, not broken, and the
+/// stream is still at a frame boundary so the connection remains usable.
+/// Once any byte of a frame has arrived the frame is known to be in
+/// flight, so timeouts mid-frame *retry the read* instead of erroring:
+/// the caller may overshoot its deadline by one small frame, but the
+/// stream can never desynchronize mid-frame.
+pub fn read_frame_deadline(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(perr("connection closed mid frame header")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_read_timeout(&e) && got == 0 => return Err(JanusError::Deadline),
+            Err(e) if is_read_timeout(&e) => continue,
+            Err(e) => return Err(io_err("read frame header", e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    check_len(len)?;
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(perr("connection closed mid frame body")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_read_timeout(&e) => continue,
+            Err(e) => return Err(io_err("read frame body", e)),
+        }
+    }
+    decode_payload(&payload).map(Some)
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! an offset. This module reproduces that abstraction in-process and
 //! thread-safely.
 
-use janus_common::{Estimate, Query, Row, RowId};
+use janus_common::{Estimate, Query, Row, RowId, TenantId};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -78,6 +78,20 @@ pub enum Request {
     Delete(RowId),
     /// `execute(query)` topic.
     Execute(Query),
+    /// `execute(query)` on behalf of a tenant, with the serving options
+    /// the consumer should honor. [`Request::Execute`] is exactly
+    /// `ExecuteFor { tenant: 0, deadline_ms: 0, interactive: false, .. }`
+    /// and remains the untenanted fast path.
+    ExecuteFor {
+        /// Tenant the query is billed to.
+        tenant: TenantId,
+        /// Gather budget in milliseconds (0 = wait for every shard).
+        deadline_ms: u64,
+        /// Serve on the interactive (latency-sensitive) lane.
+        interactive: bool,
+        /// The query itself.
+        query: Query,
+    },
 }
 
 /// A query answer keyed by the unified-stream offset of the `Execute`
@@ -133,6 +147,23 @@ impl RequestLog {
     /// answer will carry on the response topic.
     pub fn publish_query(&self, query: Query) -> u64 {
         self.requests.append(Request::Execute(query))
+    }
+
+    /// Publishes a tenant-tagged query with serving options; returns its
+    /// unified-stream offset. `deadline_ms == 0` means no deadline.
+    pub fn publish_query_for(
+        &self,
+        tenant: TenantId,
+        query: Query,
+        deadline_ms: u64,
+        interactive: bool,
+    ) -> u64 {
+        self.requests.append(Request::ExecuteFor {
+            tenant,
+            deadline_ms,
+            interactive,
+            query,
+        })
     }
 
     /// Publishes the answer to the `Execute` request at `request_offset`

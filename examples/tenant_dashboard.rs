@@ -1,0 +1,213 @@
+//! Two tenants sharing one cluster: a *bulk* tenant hammering the
+//! front end with analytical sweeps while an *interactive* tenant asks
+//! latency-sensitive dashboard queries with a deadline.
+//!
+//! The demo shows every piece of the multi-tenant serving layer:
+//!
+//! * **Admission control** — the bulk tenant runs with an in-flight
+//!   quota and gets `Backpressure` rejections once it is over budget,
+//!   so its flood never starves the interactive tenant;
+//! * **Priority lanes** — interactive submissions overtake queued bulk
+//!   scatter work at job boundaries;
+//! * **Deadline-aware partial gathers** — an injected straggler shard
+//!   misses the interactive deadline, and the answer comes back merged
+//!   from the shards that made it, CI widened, flagged `partial`;
+//! * **The answer cache** — repeated dashboard tiles hit the memoized
+//!   estimate until a write to a covered shard invalidates it.
+//!
+//! Run with: `cargo run --release --example tenant_dashboard`
+
+use janus::cluster::Priority;
+use janus::common::JanusError;
+use janus::prelude::*;
+use janus::storage::RequestLog;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const BULK: TenantId = 1;
+const INTERACTIVE: TenantId = 2;
+
+fn main() {
+    let dataset = nyc_taxi(120_000, 11);
+    let pickup = dataset.col("pickup_time");
+    let distance = dataset.col("trip_distance");
+
+    let template = QueryTemplate::new(AggregateFunction::Sum, distance, vec![pickup]);
+    let mut base = SynopsisConfig::paper_default(template, 77);
+    base.leaf_count = 64;
+    base.sample_rate = 0.02;
+    base.catchup_ratio = 0.2;
+
+    let policy = ShardPolicy::range_from_rows(pickup, &dataset.rows, 4).expect("policy");
+    let requests = RequestLog::shared();
+    let live = LiveCluster::start_with(
+        ClusterConfig::new(base, 4, policy).with_answer_cache(128),
+        dataset.rows.clone(),
+        Arc::clone(&requests),
+        // Quota of 4 in-flight queries per tenant: the bulk tenant's
+        // flood trips admission control instead of filling the log.
+        LiveConfig::default().with_tenant_quota(4),
+    )
+    .expect("live start");
+    println!(
+        "serving {} trips across 4 shards; per-tenant in-flight quota 4",
+        live.engine().population()
+    );
+
+    let window = |lo: f64, hi: f64| {
+        Query::new(
+            AggregateFunction::Sum,
+            distance,
+            vec![pickup],
+            RangePredicate::new(vec![lo], vec![hi]).expect("window"),
+        )
+        .expect("query")
+    };
+    let day = 86_400.0;
+
+    // ------------------------------------------------------------------
+    // Act 1: the bulk tenant floods; admission control pushes back.
+    // ------------------------------------------------------------------
+    println!("\n=== act 1: bulk flood vs admission quota ===");
+    // Slow the shards down so the flood actually queues.
+    for shard in 0..4 {
+        live.engine()
+            .inject_scatter_delay(shard, Duration::from_millis(15));
+    }
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for i in 0..32 {
+        let sweep = window(i as f64 * day / 4.0, (i + 8) as f64 * day / 4.0);
+        match live.submit_query(BULK, sweep, None, false) {
+            Ok(_) => accepted += 1,
+            Err(JanusError::Backpressure(_)) => rejected += 1,
+            Err(e) => panic!("unexpected submit failure: {e}"),
+        }
+    }
+    println!("  bulk tenant: {accepted} accepted, {rejected} rejected by backpressure");
+
+    // The interactive tenant submits mid-flood on the priority lane and
+    // is admitted: its budget is its own.
+    let t0 = Instant::now();
+    let tile = live
+        .submit_query(INTERACTIVE, window(0.0, 7.0 * day), None, true)
+        .expect("interactive admission");
+    live.drain();
+    let est = requests
+        .find_response(tile)
+        .expect("answered")
+        .expect("non-empty");
+    println!(
+        "  interactive tile (first week SUM): {:.0} ± {:.0}, answered in {:?}",
+        est.value,
+        est.ci_half_width(Z_95),
+        t0.elapsed()
+    );
+
+    // ------------------------------------------------------------------
+    // Act 2: a straggler shard + a deadline = a flagged partial answer.
+    // ------------------------------------------------------------------
+    println!("\n=== act 2: deadline pressure and partial answers ===");
+    live.engine()
+        .inject_scatter_delay(0, Duration::from_millis(300));
+    for shard in 1..4 {
+        live.engine().inject_scatter_delay(shard, Duration::ZERO);
+    }
+    let offset = live
+        .submit_query(
+            INTERACTIVE,
+            window(0.0, 30.0 * day),
+            Some(Duration::from_millis(30)),
+            true,
+        )
+        .expect("admission");
+    live.drain();
+    let est = requests
+        .find_response(offset)
+        .expect("answered")
+        .expect("non-empty");
+    println!(
+        "  month SUM under a 30ms deadline: {:.0} ± {:.0} (partial: {})",
+        est.value,
+        est.ci_half_width(Z_95),
+        est.partial
+    );
+    live.engine().inject_scatter_delay(0, Duration::ZERO);
+
+    // ------------------------------------------------------------------
+    // Act 3: the answer cache — repeat tiles hit, a write invalidates.
+    // ------------------------------------------------------------------
+    println!("\n=== act 3: the answer cache ===");
+    // Let the straggler worker sleep off its injected stalls first.
+    std::thread::sleep(Duration::from_millis(400));
+    let tile_query = window(7.0 * day, 14.0 * day);
+    for round in 0..3 {
+        let t0 = Instant::now();
+        let offset = live
+            .submit_query(INTERACTIVE, tile_query.clone(), None, true)
+            .expect("admission");
+        live.drain();
+        let est = requests
+            .find_response(offset)
+            .expect("answered")
+            .expect("non-empty");
+        let s = live.engine().stats();
+        println!(
+            "  round {round}: {:.0} ± {:.0} in {:?} (cache {} hits / {} misses)",
+            est.value,
+            est.ci_half_width(Z_95),
+            t0.elapsed(),
+            s.cache_hits,
+            s.cache_misses
+        );
+    }
+    // A write covering the tile's shards evicts the entry. The row
+    // carries the full nyc_taxi arity: [pickup, dropoff, distance,
+    // passengers, time_of_day], landing inside the 7–14 day tile.
+    requests.publish_insert(Row::new(
+        9_000_000,
+        vec![10.0 * day, 10.0 * day + 600.0, 42.0, 1.0, 0.0],
+    ));
+    live.drain();
+    let offset = live
+        .submit_query(INTERACTIVE, tile_query, None, true)
+        .expect("admission");
+    live.drain();
+    let est = requests
+        .find_response(offset)
+        .expect("answered")
+        .expect("non-empty");
+    let s = live.engine().stats();
+    println!(
+        "  after a covered write: {:.0} ± {:.0} (cache {} hits / {} misses — invalidated)",
+        est.value,
+        est.ci_half_width(Z_95),
+        s.cache_hits,
+        s.cache_misses
+    );
+
+    // ------------------------------------------------------------------
+    // The per-tenant scoreboard.
+    // ------------------------------------------------------------------
+    println!("\n=== tenant scoreboard ===");
+    for (tenant, t) in live.all_tenant_stats() {
+        let label = match tenant {
+            BULK => "bulk",
+            INTERACTIVE => "interactive",
+            _ => "other",
+        };
+        println!(
+            "  tenant {tenant} ({label:<11}): {} submitted, {} answered, \
+             {} rejected, {} partial",
+            t.submitted, t.answered, t.admission_rejections, t.partial_answers
+        );
+    }
+    let stats = live.live_stats();
+    println!(
+        "  service: {} responses, {} partial, {} admission rejections",
+        stats.responses_published, stats.partial_responses, stats.admission_rejections
+    );
+    let _ = Priority::Interactive; // lane selection is implied by submit_query's flag
+    live.shutdown();
+    println!("clean shutdown");
+}

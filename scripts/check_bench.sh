@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Gate the tracked bench reports against the committed manifest.
+#
+# Usage: scripts/check_bench.sh [manifest] [reports_dir]
+#   manifest     defaults to bench_gates.json
+#   reports_dir  defaults to target/experiments
+#
+# The manifest (see its _comment block for the schema) names, per report
+# file, the columns every row must carry and the predicate each must
+# satisfy. One failing gate, missing column, or missing report fails the
+# run — this replaces the pile of inline `jq -e` steps CI used to carry,
+# so adding a bench gate is now a manifest edit, not workflow surgery.
+set -euo pipefail
+
+manifest="${1:-bench_gates.json}"
+dir="${2:-target/experiments}"
+
+if [[ ! -f "$manifest" ]]; then
+  echo "check_bench: manifest not found: $manifest" >&2
+  exit 2
+fi
+command -v jq >/dev/null || { echo "check_bench: jq is required" >&2; exit 2; }
+
+fail=0
+reports=$(jq '.reports | length' "$manifest")
+for ((i = 0; i < reports; i++)); do
+  file=$(jq -r ".reports[$i].file" "$manifest")
+  min_rows=$(jq -r ".reports[$i].min_rows // 1" "$manifest")
+  path="$dir/$file"
+  if [[ ! -f "$path" ]]; then
+    echo "FAIL $file: report missing at $path"
+    fail=1
+    continue
+  fi
+  rows=$(jq '.rows | length' "$path")
+  if ((rows < min_rows)); then
+    echo "FAIL $file: $rows row(s), need at least $min_rows"
+    fail=1
+    continue
+  fi
+  gates=$(jq ".reports[$i].gates | length" "$manifest")
+  for ((g = 0; g < gates; g++)); do
+    gate=$(jq -c ".reports[$i].gates[$g]" "$manifest")
+    ok=$(jq --argjson gate "$gate" '
+      def idx($name): (.headers | index($name));
+      idx($gate.column) as $c
+      | (if $gate.other != null then idx($gate.other) else null end) as $o
+      | (if $gate.unless_eq != null then idx($gate.unless_eq.column) else null end) as $u
+      | if $c == null
+           or ($gate.other != null and $o == null)
+           or ($gate.unless_eq != null and $u == null)
+        then false
+        else
+          [ .rows[]
+            | if $u != null and .[$u] == $gate.unless_eq.value then true
+              elif $gate.op == "gt" then .[$c] > $gate.value
+              elif $gate.op == "ge" then .[$c] >= $gate.value
+              elif $gate.op == "lt" then .[$c] < $gate.value
+              elif $gate.op == "le" then .[$c] <= $gate.value
+              elif $gate.op == "ge_col" then .[$c] >= .[$o]
+              else false
+              end ]
+          | all
+        end' "$path")
+    desc="$file: $(jq -r '
+      .column + " " + .op
+      + (if .other != null then " " + .other else " " + (.value | tostring) end)
+      + (if .unless_eq != null
+         then " (unless " + .unless_eq.column + " == " + (.unless_eq.value | tostring) + ")"
+         else "" end)' <<<"$gate")"
+    if [[ "$ok" == true ]]; then
+      echo "ok   $desc"
+    else
+      echo "FAIL $desc"
+      fail=1
+    fi
+  done
+done
+
+if ((fail)); then
+  echo "check_bench: gate failures (see FAIL lines above)" >&2
+fi
+exit $fail

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run a named step, echo its wall time, and append a row to the CI job
+# summary table (when $GITHUB_STEP_SUMMARY is set — locally it just
+# prints). Usage: scripts/timed.sh "<step name>" <command> [args...]
+set -euo pipefail
+
+name="$1"
+shift
+
+start=$(date +%s)
+status=0
+"$@" || status=$?
+end=$(date +%s)
+elapsed=$((end - start))
+
+printf '[timed] %s: %ds\n' "$name" "$elapsed"
+if [[ -n "${GITHUB_STEP_SUMMARY:-}" ]]; then
+  # First write of the job creates the table header.
+  if [[ ! -s "$GITHUB_STEP_SUMMARY" ]]; then
+    {
+      echo "| step | wall time |"
+      echo "|---|---|"
+    } >>"$GITHUB_STEP_SUMMARY"
+  fi
+  echo "| $name | ${elapsed}s |" >>"$GITHUB_STEP_SUMMARY"
+fi
+exit $status

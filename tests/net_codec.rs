@@ -34,16 +34,19 @@ fn arb_estimate() -> impl Strategy<Value = Estimate> {
         0.0f64..1.0e6,
         0.0f64..1.0e6,
         0usize..1_000,
-        0usize..1_000,
+        (0usize..1_000, any::<bool>()),
     )
-        .prop_map(|(value, vc, vs, covered, partial)| Estimate {
-            value,
-            catchup_variance: vc,
-            sample_variance: vs,
-            covered_nodes: covered,
-            partial_nodes: partial,
-            samples_used: covered + partial,
-        })
+        .prop_map(
+            |(value, vc, vs, covered, (partial, was_partial))| Estimate {
+                value,
+                catchup_variance: vc,
+                sample_variance: vs,
+                covered_nodes: covered,
+                partial_nodes: partial,
+                samples_used: covered + partial,
+                partial: was_partial,
+            },
+        )
 }
 
 fn arb_row() -> impl Strategy<Value = Row> {
@@ -221,9 +224,13 @@ proptest! {
         shard in 0u32..64,
         moments in any::<bool>(),
         min_applied in 0u64..1_000_000,
+        tenant in 0u32..1_000,
+        deadline_ms in 0u64..100_000,
         query in arb_query(),
     ) {
-        assert_round_trips(Frame::Query { id, shard, moments, min_applied, query });
+        assert_round_trips(Frame::Query {
+            id, shard, moments, min_applied, tenant, deadline_ms, query,
+        });
     }
 
     #[test]

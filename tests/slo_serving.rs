@@ -1,0 +1,402 @@
+//! Multi-tenant SLO serving: deadline-aware partial gathers, the answer
+//! cache, and per-tenant admission control — with the correctness pins
+//! the serving layer promises:
+//!
+//! 1. **No deadline + no cache ⇒ bit-identical to the classic path.**
+//!    `query_with` with no deadline and the cache disabled (or absent)
+//!    must reproduce `query()` to the bit, whatever the priority lane.
+//! 2. **Partial answers stay calibrated.** When a deadline drops shards
+//!    from the gather, the widened CI must still cover the exact answer
+//!    at (at least) the nominal rate — checked statistically across many
+//!    rectangles with a rotating injected straggler.
+//! 3. **Cache hits are memoized bits, and writes invalidate.** A hit
+//!    returns the stored estimate bit-identically; any write applied to
+//!    a covered shard evicts the entry and the next call recomputes.
+
+use janus::common::JanusError;
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn rows(n: usize, seed: u64) -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 3.0 + rng.gen::<f64>() * 5.0])
+        })
+        .collect()
+}
+
+/// Exact-base configuration: deterministic engines, sharp whole-domain
+/// answers — divergence anywhere is a real bug, not sampling noise.
+fn exact_config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 16;
+    c.sample_rate = 0.03;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn query(agg: AggregateFunction, lo: f64, hi: f64) -> Query {
+    Query::new(
+        agg,
+        1,
+        vec![0],
+        RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+    )
+    .unwrap()
+}
+
+fn estimate_bits(est: &Estimate) -> (u64, u64, u64, usize, bool) {
+    (
+        est.value.to_bits(),
+        est.catchup_variance.to_bits(),
+        est.sample_variance.to_bits(),
+        est.samples_used,
+        est.partial,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Pin 1: the options path without deadline/cache IS the classic path.
+// ---------------------------------------------------------------------
+
+/// Two identically-seeded clusters, one queried through `query()`, one
+/// through `query_with` (interactive lane, no deadline, cache opted
+/// out): every aggregate must match to the bit. The priority lane is
+/// scheduling-only and the unset knobs must not perturb anything.
+#[test]
+fn no_deadline_no_cache_is_bit_identical_to_the_classic_path() {
+    let data = rows(8_000, 91);
+    let classic = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(91), 4, ShardPolicy::HashById),
+        data.clone(),
+    )
+    .unwrap();
+    // The options-path cluster even has a cache configured — opting out
+    // per call must keep it untouched.
+    let optioned = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(91), 4, ShardPolicy::HashById).with_answer_cache(32),
+        data,
+    )
+    .unwrap();
+
+    for (agg, lo, hi) in [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Min, 0.0, 100.0),
+        (AggregateFunction::Max, 0.0, 100.0),
+        (AggregateFunction::Sum, 12.5, 77.5),
+        (AggregateFunction::Avg, 20.0, 60.0),
+        (AggregateFunction::Count, 35.0, 45.0),
+    ] {
+        let q = query(agg, lo, hi);
+        let a = classic.query(&q).unwrap();
+        let opts = QueryOptions::interactive().no_cache();
+        let b = optioned.query_with(&q, opts).unwrap();
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(estimate_bits(&a), estimate_bits(&b), "{agg} [{lo},{hi}]");
+                assert!(!b.partial, "complete answers must never be flagged");
+            }
+            (a, b) => assert_eq!(a.is_none(), b.is_none(), "{agg}"),
+        }
+    }
+    let stats = optioned.stats();
+    assert_eq!(
+        stats.cache_hits, 0,
+        "opted-out calls must not read the cache"
+    );
+    assert_eq!(
+        stats.cache_misses, 0,
+        "opted-out calls must not probe the cache"
+    );
+    assert_eq!(stats.partial_answers, 0);
+}
+
+// ---------------------------------------------------------------------
+// Pin 2: deadline pressure produces flagged, calibrated partials.
+// ---------------------------------------------------------------------
+
+/// An injected straggler plus a short deadline must yield an answer with
+/// `partial == true`; clearing the stall makes the same deadline produce
+/// complete answers again.
+#[test]
+fn deadline_turns_a_straggler_into_a_flagged_partial_answer() {
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(17), 4, ShardPolicy::HashById),
+        rows(8_000, 17),
+    )
+    .unwrap();
+    let q = query(AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY);
+
+    cluster.inject_scatter_delay(2, Duration::from_millis(400));
+    let opts = QueryOptions::default().with_deadline(Duration::from_millis(25));
+    let est = cluster.query_with(&q, opts).unwrap().unwrap();
+    assert!(est.partial, "a missed shard must flag the answer");
+    assert!(cluster.stats().partial_answers >= 1);
+
+    // The partial answer is still in the right ballpark: three of four
+    // hash-sharded slices scale up to a sane whole-domain sum.
+    let truth = cluster.evaluate_exact(&q).unwrap();
+    assert!(
+        (est.value - truth).abs() / truth.abs() < 0.25,
+        "partial {} vs truth {truth}",
+        est.value
+    );
+
+    cluster.inject_scatter_delay(2, Duration::ZERO);
+    // The straggler's worker is still sleeping off the first query's
+    // stall; wait for it to drain before expecting a complete gather.
+    std::thread::sleep(Duration::from_millis(500));
+    let est = cluster.query_with(&q, opts).unwrap().unwrap();
+    assert!(!est.partial, "no straggler, no flag — even with a deadline");
+}
+
+/// The calibration pin: across many rectangles, with the straggler
+/// rotating over shards, the partial answer's widened 2σ interval must
+/// cover the exact answer at least ~as often as a complete estimate's
+/// would. (The merge-level statistical test pins the rate at the unit
+/// level; this holds the assembled scatter→deadline→merge path to it.)
+#[test]
+fn partial_answer_cis_cover_the_exact_value() {
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(53), 4, ShardPolicy::HashById),
+        rows(10_000, 53),
+    )
+    .unwrap();
+    let mut rng = SmallRng::seed_from_u64(54);
+    let trials = 40;
+    let mut covered = 0usize;
+    let mut partials = 0usize;
+    for trial in 0..trials {
+        let lo = rng.gen::<f64>() * 50.0;
+        let width = 20.0 + rng.gen::<f64>() * 50.0;
+        let q = query(AggregateFunction::Sum, lo, lo + width);
+        let straggler = trial % 4;
+        cluster.inject_scatter_delay(straggler, Duration::from_millis(300));
+        let est = cluster
+            .query_with(
+                &q,
+                QueryOptions::default().with_deadline(Duration::from_millis(20)),
+            )
+            .unwrap()
+            .unwrap();
+        cluster.inject_scatter_delay(straggler, Duration::ZERO);
+        let truth = cluster.evaluate_exact(&q).unwrap();
+        if est.partial {
+            partials += 1;
+            if (est.value - truth).abs() <= est.ci_half_width(Z_95) {
+                covered += 1;
+            }
+        }
+    }
+    assert!(
+        partials >= trials / 2,
+        "straggler injection barely bit: {partials}/{trials} partial"
+    );
+    let rate = covered as f64 / partials as f64;
+    assert!(
+        rate >= 0.80,
+        "partial CI coverage {rate:.2} ({covered}/{partials}) below the calibration floor"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Pin 3: cache hits are memoized bits; covered writes invalidate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn cache_hits_are_bit_identical_and_covered_writes_invalidate() {
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(29), 4, ShardPolicy::HashById).with_answer_cache(64),
+        rows(6_000, 29),
+    )
+    .unwrap();
+    let q = query(AggregateFunction::Sum, 10.0, 90.0);
+
+    let first = cluster
+        .query_with(&q, QueryOptions::default())
+        .unwrap()
+        .unwrap();
+    let second = cluster
+        .query_with(&q, QueryOptions::default())
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        estimate_bits(&first),
+        estimate_bits(&second),
+        "a hit must return the memoized estimate bit-identically"
+    );
+    let stats = cluster.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+
+    // A write applied to a covered shard advances its offset past the
+    // cached snapshot: the entry must be evicted and the next call must
+    // see the new row.
+    cluster
+        .publish_insert(Row::new(9_000_000, vec![50.0, 1_000.0]))
+        .unwrap();
+    cluster.pump_all().unwrap();
+    let third = cluster
+        .query_with(&q, QueryOptions::default())
+        .unwrap()
+        .unwrap();
+    assert!(
+        (third.value - (first.value + 1_000.0)).abs() < 1e-6,
+        "post-write answer must include the new row: {} vs {}",
+        third.value,
+        first.value
+    );
+    let stats = cluster.stats();
+    assert_eq!(stats.cache_hits, 1, "the stale entry must not hit");
+    assert_eq!(stats.cache_misses, 2);
+
+    // The recomputed answer is cached again.
+    let fourth = cluster
+        .query_with(&q, QueryOptions::default())
+        .unwrap()
+        .unwrap();
+    assert_eq!(estimate_bits(&third), estimate_bits(&fourth));
+    assert_eq!(cluster.stats().cache_hits, 2);
+
+    // `query()` (the legacy entry point) shares the same cache.
+    let fifth = cluster.query(&q).unwrap().unwrap();
+    assert_eq!(estimate_bits(&fourth), estimate_bits(&fifth));
+    assert_eq!(cluster.stats().cache_hits, 3);
+}
+
+/// Partial answers must never be memoized: a cache hit after deadline
+/// pressure would serve stale, flagged data to a caller who asked for a
+/// complete answer.
+#[test]
+fn partial_answers_are_never_cached() {
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(exact_config(37), 4, ShardPolicy::HashById).with_answer_cache(64),
+        rows(6_000, 37),
+    )
+    .unwrap();
+    let q = query(AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY);
+
+    cluster.inject_scatter_delay(1, Duration::from_millis(300));
+    let partial = cluster
+        .query_with(
+            &q,
+            QueryOptions::default().with_deadline(Duration::from_millis(20)),
+        )
+        .unwrap()
+        .unwrap();
+    assert!(partial.partial);
+    cluster.inject_scatter_delay(1, Duration::ZERO);
+
+    // The follow-up complete query must be a miss (nothing was stored)
+    // and must not carry the flag.
+    let complete = cluster
+        .query_with(&q, QueryOptions::default())
+        .unwrap()
+        .unwrap();
+    assert!(!complete.partial);
+    let stats = cluster.stats();
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+// ---------------------------------------------------------------------
+// The tenant front end: admission control, per-tenant accounting, and
+// deadline/priority plumbing through the request log.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tenant_quota_rejects_submissions_over_the_inflight_budget() {
+    let data = rows(6_000, 71);
+    let requests = RequestLog::shared();
+    let live = LiveCluster::start_with(
+        ClusterConfig::new(exact_config(71), 4, ShardPolicy::HashById),
+        data,
+        Arc::clone(&requests),
+        LiveConfig::default().with_tenant_quota(1),
+    )
+    .unwrap();
+    let q = query(AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY);
+
+    // Stall every shard so the first accepted query holds its in-flight
+    // slot while the follow-ups arrive.
+    for shard in 0..4 {
+        live.engine()
+            .inject_scatter_delay(shard, Duration::from_millis(250));
+    }
+    let accepted = live.submit_query(7, q.clone(), None, false).unwrap();
+    let rejected = live.submit_query(7, q.clone(), None, false);
+    assert!(
+        matches!(rejected, Err(JanusError::Backpressure(_))),
+        "over-quota submission must fail with Backpressure, got {rejected:?}"
+    );
+    // A different tenant has its own budget and sails through.
+    let other = live.submit_query(8, q.clone(), None, true).unwrap();
+
+    for shard in 0..4 {
+        live.engine().inject_scatter_delay(shard, Duration::ZERO);
+    }
+    live.drain();
+    assert!(requests.find_response(accepted).is_some());
+    assert!(requests.find_response(other).is_some());
+
+    let t7 = live.tenant_stats(7);
+    assert_eq!(t7.submitted, 1);
+    assert_eq!(t7.answered, 1);
+    assert_eq!(t7.admission_rejections, 1);
+    assert_eq!(t7.inflight, 0, "answered queries release their slot");
+    let t8 = live.tenant_stats(8);
+    assert_eq!(t8.submitted, 1);
+    assert_eq!(t8.admission_rejections, 0);
+    assert_eq!(live.live_stats().admission_rejections, 1);
+
+    // The slot freed: the same tenant can submit again.
+    let again = live.submit_query(7, q, None, false).unwrap();
+    live.drain();
+    assert!(requests.find_response(again).is_some());
+    assert_eq!(live.tenant_stats(7).submitted, 2);
+    assert_eq!(live.all_tenant_stats().len(), 2);
+}
+
+/// Deadlines ride the log: a tenanted submission with a deadline against
+/// a stalled shard comes back as a *partial* response record, and the
+/// per-tenant/per-service counters see it.
+#[test]
+fn tenant_deadline_produces_a_partial_response_through_the_log() {
+    let data = rows(6_000, 83);
+    let requests = RequestLog::shared();
+    let live = LiveCluster::start_with(
+        ClusterConfig::new(exact_config(83), 4, ShardPolicy::HashById),
+        data,
+        Arc::clone(&requests),
+        LiveConfig::default(),
+    )
+    .unwrap();
+    let q = query(AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY);
+
+    live.engine()
+        .inject_scatter_delay(3, Duration::from_millis(400));
+    let offset = live
+        .submit_query(42, q.clone(), Some(Duration::from_millis(25)), true)
+        .unwrap();
+    live.drain();
+    let est = requests.find_response(offset).unwrap().unwrap();
+    assert!(est.partial, "the stalled shard must be merged out, flagged");
+    assert_eq!(live.tenant_stats(42).partial_answers, 1);
+    assert!(live.live_stats().partial_responses >= 1);
+
+    // Untenanted legacy traffic still flows unchanged next to it.
+    live.engine().inject_scatter_delay(3, Duration::ZERO);
+    let legacy = requests.publish_query(q);
+    live.drain();
+    let est = requests.find_response(legacy).unwrap().unwrap();
+    assert!(!est.partial);
+}
