@@ -59,7 +59,14 @@ pub struct RouterSnapshot {
 impl RouterSnapshot {
     /// Captures a router's full routing state.
     pub fn capture(router: &ShardRouter) -> Self {
-        let (kind, column, bounds) = match router.policy() {
+        Self::from_policy(router.policy(), router.rotation_cursor())
+    }
+
+    /// Encodes a bare policy (plus rotation cursor) without a live
+    /// router — what the bulk loader pins into its resume journal from a
+    /// [`crate::RoutingSnapshot`].
+    pub fn from_policy(policy: &ShardPolicy, cursor: usize) -> Self {
+        let (kind, column, bounds) = match policy {
             ShardPolicy::HashById => (PolicyKind::HashById, 0, Vec::new()),
             ShardPolicy::RoundRobin => (PolicyKind::RoundRobin, 0, Vec::new()),
             ShardPolicy::Range { column, bounds } => (PolicyKind::Range, *column, bounds.clone()),
@@ -68,7 +75,7 @@ impl RouterSnapshot {
             kind,
             column,
             bounds,
-            cursor: router.rotation_cursor(),
+            cursor,
         }
     }
 

@@ -1,0 +1,383 @@
+//! The striped row → shard directory.
+//!
+//! The cluster's authoritative placement map used to be one
+//! `RwLock<DetHashMap<RowId, usize>>`, which made the directory write
+//! lock the serialization point of every publish — the flattening 4→8
+//! shard ingest curve in `BENCH_cluster.json`. This module shards the map
+//! into [`STRIPES`] independently locked stripes keyed by a SplitMix64
+//! hash of the row id, so concurrent pre-routed publishers
+//! ([`crate::ClusterEngine::publish_batch_routed`]) only contend when
+//! their rows actually collide on a stripe.
+//!
+//! ## Lock order
+//!
+//! The engine-wide order is **router → ingest gate → directory stripes
+//! (ascending stripe index) → shards (ascending) → replica sets**. Every
+//! multi-stripe acquisition in this module ([`StripedDirectory::write_all`],
+//! [`StripedDirectory::read_all`], [`StripedDirectory::reserve`],
+//! [`StripedDirectory::commit`]) locks stripes in ascending index order;
+//! single-stripe paths trivially comply. No code in this crate takes a
+//! router or gate lock while holding a stripe.
+//!
+//! ## Pending entries
+//!
+//! The routed fast path publishes *without* the classic paths' "hold the
+//! directory lock across the topic append" rule — holding 16 stripe locks
+//! across an append would re-serialize everything. Instead it reserves
+//! ids with the [`PENDING`] bit set, appends to the shard topic, then
+//! commits (clears the bit). Invariants:
+//!
+//! * Pending entries exist only while a routed call is between its
+//!   reserve and commit, and every routed call holds the router **read**
+//!   lock plus the ingest gate (shared) for its whole body. Classic
+//!   publishers hold the router **write** lock and checkpoint/fail-shard
+//!   hold the gate exclusively, so none of them can ever observe a
+//!   pending entry.
+//! * [`crate::ClusterEngine::publish_delete`] takes neither lock and
+//!   *can* observe one: it treats pending as "insert in flight" and
+//!   retries after yielding (the committer holds no lock the deleter
+//!   owns, so it always makes progress).
+
+use crate::router::mix;
+use janus_common::{DetHashMap, RowId};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Number of directory stripes. A power of two so stripe selection is a
+/// mask; 16 comfortably exceeds any plausible loader-thread count while
+/// keeping the all-stripes paths (rebalance, checkpoint) cheap.
+pub(crate) const STRIPES: usize = 16;
+
+/// High bit of a directory entry: the row's insert has been reserved by
+/// a routed publisher but its topic append has not committed yet. The
+/// low bits still carry the claimed shard.
+const PENDING: usize = 1usize << (usize::BITS - 1);
+
+/// What a directory probe saw for a row id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Placement {
+    /// No entry: the row is unknown.
+    Absent,
+    /// Committed entry: the row lives on this shard.
+    Live(usize),
+    /// Reserved by an in-flight routed publish; retry shortly.
+    Pending,
+}
+
+/// Outcome of a [`StripedDirectory::remove_if_live`] attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RemoveOutcome {
+    /// The row was live on this shard and is now removed.
+    Removed(usize),
+    /// No such row.
+    Missing,
+    /// A routed insert of this id is mid-flight; retry.
+    Pending,
+}
+
+fn placement_of(entry: Option<&usize>) -> Placement {
+    match entry {
+        None => Placement::Absent,
+        Some(&v) if v & PENDING != 0 => Placement::Pending,
+        Some(&v) => Placement::Live(v),
+    }
+}
+
+/// Anything placement updates can be recorded into — the live
+/// [`StripedDirectory`] via [`AllStripesWrite`], or a plain map when
+/// rebuilding placement offline (bootstrap, restore, unit tests).
+pub(crate) trait PlacementSink {
+    /// Records that `id` now lives on `shard` (insert or overwrite).
+    fn place(&mut self, id: RowId, shard: usize);
+}
+
+impl PlacementSink for DetHashMap<RowId, usize> {
+    fn place(&mut self, id: RowId, shard: usize) {
+        self.insert(id, shard);
+    }
+}
+
+/// The row → shard placement map, sharded over [`STRIPES`] locks.
+pub(crate) struct StripedDirectory {
+    stripes: Vec<RwLock<DetHashMap<RowId, usize>>>,
+}
+
+/// Stripe index of a row id. Uses the *high* half of the SplitMix64 mix —
+/// hash routing consumes the low bits (`mix % shards`), so stripe choice
+/// stays decorrelated from shard choice under `ShardPolicy::HashById`.
+#[inline]
+pub(crate) fn stripe_of(id: RowId) -> usize {
+    ((mix(id) >> 32) as usize) & (STRIPES - 1)
+}
+
+impl StripedDirectory {
+    /// An empty directory.
+    pub(crate) fn new() -> Self {
+        StripedDirectory {
+            stripes: (0..STRIPES)
+                .map(|_| RwLock::new(DetHashMap::default()))
+                .collect(),
+        }
+    }
+
+    /// Builds a directory from a flat placement map (bootstrap/restore).
+    pub(crate) fn from_map(map: DetHashMap<RowId, usize>) -> Self {
+        let dir = Self::new();
+        {
+            let mut all = dir.write_all();
+            for (id, shard) in map {
+                all.place(id, shard);
+            }
+        }
+        dir
+    }
+
+    /// The stripe lock owning `id` — single-stripe callers (per-row
+    /// publish paths) lock exactly this one.
+    pub(crate) fn stripe_for(&self, id: RowId) -> &RwLock<DetHashMap<RowId, usize>> {
+        &self.stripes[stripe_of(id)]
+    }
+
+    /// Probes `id` under its stripe's read lock.
+    #[cfg(test)]
+    pub(crate) fn probe(&self, id: RowId) -> Placement {
+        placement_of(self.stripe_for(id).read().get(&id))
+    }
+
+    /// The `publish_delete` primitive: locks `id`'s stripe and, if the
+    /// row is live, removes it and runs `under_lock(shard)` (the topic
+    /// append) before releasing — so a later insert of the same id can
+    /// never append ahead of this delete on the same topic. A pending
+    /// entry (routed insert mid-flight) is left untouched and reported;
+    /// the caller retries after yielding — the committer holds no lock
+    /// the deleter owns, so the retry always terminates.
+    pub(crate) fn remove_if_live(
+        &self,
+        id: RowId,
+        under_lock: impl FnOnce(usize),
+    ) -> RemoveOutcome {
+        let mut guard = self.stripe_for(id).write();
+        match placement_of(guard.get(&id)) {
+            Placement::Absent => RemoveOutcome::Missing,
+            Placement::Pending => RemoveOutcome::Pending,
+            Placement::Live(shard) => {
+                guard.remove(&id);
+                under_lock(shard);
+                RemoveOutcome::Removed(shard)
+            }
+        }
+    }
+
+    /// Write-locks every stripe in ascending index order. Callers must
+    /// hold the router write lock or the ingest gate exclusively first
+    /// (see the module docs) so no pending entries can be in flight.
+    pub(crate) fn write_all(&self) -> AllStripesWrite<'_> {
+        AllStripesWrite {
+            guards: self.stripes.iter().map(|s| s.write()).collect(),
+        }
+    }
+
+    /// Read-locks every stripe in ascending index order (checkpoint cut).
+    pub(crate) fn read_all(&self) -> Vec<RwLockReadGuard<'_, DetHashMap<RowId, usize>>> {
+        self.stripes.iter().map(|s| s.read()).collect()
+    }
+
+    /// Committed entries across all stripes (pending entries are counted
+    /// too: their rows' topic appends are imminent).
+    pub(crate) fn len(&self) -> usize {
+        self.stripes.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Routed-publish phase 1: reserves `rows`' ids for `shard`, bucketed
+    /// by stripe and locked in ascending stripe order, one acquisition
+    /// per touched stripe. `accepted[i]` is set for each row that was
+    /// absent (now pending); rows already present — live or pending — are
+    /// left untouched (duplicate inserts, rejected exactly like the
+    /// classic paths reject them). Returns the number accepted.
+    pub(crate) fn reserve(
+        &self,
+        shard: usize,
+        rows: &[janus_common::Row],
+        accepted: &mut [bool],
+    ) -> usize {
+        debug_assert_eq!(rows.len(), accepted.len());
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); STRIPES];
+        for (i, row) in rows.iter().enumerate() {
+            buckets[stripe_of(row.id)].push(i);
+        }
+        let mut ok = 0usize;
+        for (stripe, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = self.stripes[stripe].write();
+            for &i in bucket {
+                let id = rows[i].id;
+                if guard.contains_key(&id) {
+                    continue;
+                }
+                guard.insert(id, shard | PENDING);
+                accepted[i] = true;
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// Routed-publish phase 2: clears the pending bit on `ids` (all
+    /// reserved for `shard` by a preceding [`StripedDirectory::reserve`]),
+    /// again one acquisition per touched stripe in ascending order.
+    pub(crate) fn commit(&self, shard: usize, ids: &[RowId]) {
+        let mut buckets: Vec<Vec<RowId>> = vec![Vec::new(); STRIPES];
+        for &id in ids {
+            buckets[stripe_of(id)].push(id);
+        }
+        for (stripe, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut guard = self.stripes[stripe].write();
+            for &id in bucket {
+                let slot = guard.get_mut(&id).expect("committing an unreserved id");
+                debug_assert_eq!(*slot, shard | PENDING, "commit does not match reserve");
+                *slot = shard;
+            }
+        }
+    }
+}
+
+/// Exclusive guard over every stripe (acquired in ascending order by
+/// [`StripedDirectory::write_all`]). Presents the flat-map API the
+/// classic batch path, rebalance, and restore code were written against.
+pub(crate) struct AllStripesWrite<'a> {
+    guards: Vec<RwLockWriteGuard<'a, DetHashMap<RowId, usize>>>,
+}
+
+impl AllStripesWrite<'_> {
+    /// Whether `id` is placed anywhere. Callers hold every stripe
+    /// exclusively, so no pending entry can exist (debug-asserted).
+    pub(crate) fn contains_key(&self, id: RowId) -> bool {
+        match self.guards[stripe_of(id)].get(&id) {
+            Some(&v) => {
+                debug_assert_eq!(v & PENDING, 0, "pending entry under an all-stripes write");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Records `id` on `shard`.
+    pub(crate) fn insert(&mut self, id: RowId, shard: usize) {
+        self.guards[stripe_of(id)].insert(id, shard);
+    }
+
+    /// Removes `id`, returning the shard it lived on.
+    pub(crate) fn remove(&mut self, id: RowId) -> Option<usize> {
+        self.guards[stripe_of(id)].remove(&id)
+    }
+}
+
+impl PlacementSink for AllStripesWrite<'_> {
+    fn place(&mut self, id: RowId, shard: usize) {
+        self.insert(id, shard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_common::Row;
+    use std::sync::Arc;
+
+    fn rows(ids: std::ops::Range<u64>) -> Vec<Row> {
+        ids.map(|id| Row::new(id, vec![id as f64])).collect()
+    }
+
+    #[test]
+    fn reserve_then_commit_round_trips() {
+        let dir = StripedDirectory::new();
+        let batch = rows(0..100);
+        let mut accepted = vec![false; batch.len()];
+        assert_eq!(dir.reserve(3, &batch, &mut accepted), 100);
+        assert!(accepted.iter().all(|&a| a));
+        // Mid-flight: every id reads as pending, not live.
+        assert_eq!(dir.probe(7), Placement::Pending);
+        // A second reserve of the same ids is fully rejected.
+        let mut again = vec![false; batch.len()];
+        assert_eq!(dir.reserve(5, &batch, &mut again), 0);
+        let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+        dir.commit(3, &ids);
+        assert_eq!(dir.probe(7), Placement::Live(3));
+        assert_eq!(dir.len(), 100);
+    }
+
+    #[test]
+    fn from_map_preserves_placement() {
+        let mut map: DetHashMap<u64, usize> = DetHashMap::default();
+        for id in 0..500u64 {
+            map.insert(id, (id % 7) as usize);
+        }
+        let dir = StripedDirectory::from_map(map);
+        assert_eq!(dir.len(), 500);
+        for id in 0..500u64 {
+            assert_eq!(dir.probe(id), Placement::Live((id % 7) as usize));
+        }
+    }
+
+    #[test]
+    fn stripes_spread_ids() {
+        let dir = StripedDirectory::new();
+        let batch = rows(0..16_000);
+        let mut accepted = vec![false; batch.len()];
+        dir.reserve(0, &batch, &mut accepted);
+        for stripe in &dir.stripes {
+            let n = stripe.read().len();
+            assert!((500..1500).contains(&n), "skewed stripe population: {n}");
+        }
+    }
+
+    /// The ordering satellite: concurrent inserters (via reserve/commit,
+    /// the routed discipline) race deleters (single-stripe remove, the
+    /// `publish_delete` discipline) across every stripe; the surviving
+    /// population must be exactly the inserted-minus-deleted set, with
+    /// no pending entry left behind and no lost or resurrected row.
+    #[test]
+    fn racing_inserts_and_deletes_stay_consistent() {
+        let dir = Arc::new(StripedDirectory::new());
+        let threads = 4;
+        let per_thread = 2_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let dir = Arc::clone(&dir);
+                scope.spawn(move || {
+                    let batch = rows(t * per_thread..(t + 1) * per_thread);
+                    // Insert in small routed batches...
+                    for chunk in batch.chunks(64) {
+                        let mut accepted = vec![false; chunk.len()];
+                        let got = dir.reserve(t as usize, chunk, &mut accepted);
+                        assert_eq!(got, chunk.len(), "ids are disjoint per thread");
+                        let ids: Vec<u64> = chunk.iter().map(|r| r.id).collect();
+                        dir.commit(t as usize, &ids);
+                        // ...and immediately delete every other row, with
+                        // the deleter's pending-retry discipline.
+                        for id in ids.iter().step_by(2) {
+                            loop {
+                                match dir.remove_if_live(*id, |s| assert_eq!(s, t as usize)) {
+                                    RemoveOutcome::Pending => std::thread::yield_now(),
+                                    RemoveOutcome::Removed(_) => break,
+                                    RemoveOutcome::Missing => panic!("row {id} lost"),
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let expected = (threads * per_thread / 2) as usize;
+        assert_eq!(dir.len(), expected);
+        for t in 0..threads {
+            for id in (t * per_thread..(t + 1) * per_thread).skip(1).step_by(2) {
+                assert_eq!(dir.probe(id), Placement::Live(t as usize));
+            }
+        }
+    }
+}

@@ -42,21 +42,46 @@
 //! |---|---|---|
 //! | each `Shard` (engine + consumed offset) | own `RwLock` | pump, scatter, rebalance |
 //! | [`ShardRouter`] | `RwLock` | publish (rotation cursor), rebalance (bounds) |
-//! | row→shard directory | `RwLock` | publish, rebalance |
+//! | row→shard directory | 16 striped `RwLock`s (`crate::directory`) | publish, rebalance |
+//! | ingest gate | `RwLock<()>` | checkpoint, fail_shard (exclusive); routed publish (shared) |
 //! | operation counters | atomics | everyone |
 //!
-//! Lock order is router → directory → shards (ascending); no path
-//! acquires them in any other order — the pool workers touch only shard
-//! and replica locks — so the engine is deadlock-free by construction.
-//! Publishes hold the directory lock across the topic append (batched or
-//! not) so a concurrent delete can never outrun its row's insert into
-//! the same shard topic.
+//! Lock order is router → ingest gate → directory stripes (ascending
+//! stripe index) → shards (ascending) → replica sets; no path acquires
+//! them in any other order — the pool workers touch only shard and
+//! replica locks — so the engine is deadlock-free by construction.
+//! Classic publishes hold the row's directory stripe across the topic
+//! append (batched paths hold all stripes) so a concurrent delete can
+//! never outrun its row's insert into the same shard topic.
+//!
+//! ## The pre-routed fast path
+//!
+//! [`ClusterEngine::publish_batch_routed`] is the bulk-ingest contract:
+//! the caller groups insert batches by shard against a
+//! [`RoutingSnapshot`] taken via [`ClusterEngine::routing_snapshot`], and
+//! the engine lands them under a router **read** lock — concurrent
+//! loaders do not serialize on the router, and the striped directory
+//! confines their placement writes to the stripes their rows hash to.
+//! Safety comes from three checks inside the call: the snapshot's
+//! rebalance generation must still be current, the policy must be
+//! stateless (`RoundRobin` placement is cursor-dependent and cannot be
+//! pre-routed), and every row's claimed shard is re-verified against the
+//! live bounds; any miss re-routes the whole call through the classic
+//! [`ClusterEngine::publish_batch`] path. Either way the per-shard topic
+//! contents — and therefore every drained state — are bit-identical to
+//! publishing the same rows one at a time in group order. Mid-flight
+//! reservations are marked in the directory (a *pending* placement);
+//! only [`ClusterEngine::publish_delete`] can observe one, and it
+//! retries until the insert's topic append commits. Checkpoint and
+//! fail-shard exclude routed publishers with the ingest gate instead of
+//! the router write lock, keeping queries live while the cut is taken.
 
 use crate::bootstrap::{build_shards, partition_rows, shard_config};
 use crate::cache::{AnswerCache, QueryKey};
 use crate::checkpoint::{ClusterCheckpoint, RouterSnapshot, ShardCheckpoint};
+use crate::directory::{RemoveOutcome, StripedDirectory};
 use crate::rebalance::{self, RebalanceReport};
-use crate::router::{ShardPolicy, ShardRouter};
+use crate::router::{RoutingSnapshot, ShardPolicy, ShardRouter};
 use crate::scatter::{Job, Priority, ScatterPool, SubAnswer};
 use janus_common::{
     kernels, merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
@@ -476,8 +501,17 @@ pub struct ClusterEngine {
     router: RwLock<ShardRouter>,
     /// Authoritative row → shard placement, updated at publish time and by
     /// migrations; deletes and rebalancing route through it, so placement
-    /// stays correct even after the router's bounds move.
-    directory: RwLock<DetHashMap<RowId, usize>>,
+    /// stays correct even after the router's bounds move. Striped over 16
+    /// locks so concurrent pre-routed publishers don't serialize on one
+    /// write lock — see [`crate::directory`] for the stripe discipline.
+    directory: StripedDirectory,
+    /// The ingest gate: routed publishers hold it shared for the span of
+    /// a [`ClusterEngine::publish_batch_routed`] call (they never take
+    /// the router *write* lock); checkpoint and fail-shard take it
+    /// exclusively to fence all topic appends without blocking queries
+    /// behind a router write. Sits between the router and the directory
+    /// stripes in the lock order.
+    ingest_gate: RwLock<()>,
     /// Bumped (under all locks) by every completed migration; queries
     /// re-validate their pruning against it so a scatter never merges a
     /// pre-migration target set with post-migration shard contents.
@@ -561,7 +595,8 @@ impl ClusterEngine {
         ClusterEngine {
             config,
             router: RwLock::new(router),
-            directory: RwLock::new(directory),
+            directory: StripedDirectory::from_map(directory),
+            ingest_gate: RwLock::new(()),
             rebalance_generation: AtomicU64::new(rebalance_generation),
             rebalance_mark: AtomicU64::new(0),
             post_rebalance_skew: AtomicU64::new(0f64.to_bits()),
@@ -679,6 +714,12 @@ impl ClusterEngine {
             .collect()
     }
 
+    /// Rows the row → shard directory currently places — published
+    /// inserts minus published deletes, whether or not pumped yet.
+    pub fn directory_len(&self) -> usize {
+        self.directory.len()
+    }
+
     /// Records published but not yet pumped into shard engines.
     pub fn pending(&self) -> u64 {
         self.shard_backlogs().iter().sum()
@@ -717,8 +758,11 @@ impl ClusterEngine {
     /// after the next pump that drains it.
     pub fn publish_insert(&self, row: Row) -> Result<()> {
         let mut router = self.router.write();
-        let mut directory = self.directory.write();
-        if directory.contains_key(&row.id) {
+        // Holding the router write lock excludes every routed publisher
+        // (they hold router read for their whole call), so the row's
+        // stripe can hold no pending entry here.
+        let mut stripe = self.directory.stripe_for(row.id).write();
+        if stripe.contains_key(&row.id) {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
@@ -726,16 +770,17 @@ impl ClusterEngine {
         }
         let shard = router.route(&row);
         drop(router);
-        directory.insert(row.id, shard);
-        // Publish under the directory lock: once the directory names this
-        // row, its insert is already in the shard topic ahead of any
-        // delete a concurrent publisher could append. The backlog gauge
-        // bumps under the same lock so topic length and gauge can never
-        // be observed out of step by anyone holding the directory —
-        // which is what lets fail_shard rebuild the gauge absolutely.
+        stripe.insert(row.id, shard);
+        // Publish under the row's stripe lock: once the directory names
+        // this row, its insert is already in the shard topic ahead of any
+        // delete a concurrent publisher could append (deletes of this id
+        // need this same stripe). The backlog gauge bumps under the same
+        // lock so topic length and gauge can never be observed out of
+        // step by anyone holding all stripes — which is what lets
+        // fail_shard rebuild the gauge absolutely.
         self.set.log.publish(shard, ShardOp::Insert(row));
         self.set.backlog[shard].fetch_add(1, Ordering::Relaxed);
-        drop(directory);
+        drop(stripe);
         self.set.counters.inserts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -743,16 +788,28 @@ impl ClusterEngine {
     /// Routes a delete to the shard actually holding the row (directory
     /// lookup, so placement survives round-robin/hash routing and past
     /// migrations).
+    ///
+    /// Takes only the row's directory stripe — never the router — so it
+    /// can observe a *pending* placement: a routed insert of the same id
+    /// whose topic append has not committed yet. Deleting then would
+    /// reorder the delete ahead of its insert in the shard topic, so the
+    /// call yields and retries until the insert commits (the committer
+    /// holds no lock this path owns, so the retry always terminates).
     pub fn publish_delete(&self, id: RowId) -> Result<()> {
-        let mut directory = self.directory.write();
-        let Some(shard) = directory.remove(&id) else {
-            return Err(JanusError::RowNotFound(id));
-        };
-        self.set.log.publish(shard, ShardOp::Delete(id));
-        self.set.backlog[shard].fetch_add(1, Ordering::Relaxed);
-        drop(directory);
-        self.set.counters.deletes.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        loop {
+            let outcome = self.directory.remove_if_live(id, |shard| {
+                self.set.log.publish(shard, ShardOp::Delete(id));
+                self.set.backlog[shard].fetch_add(1, Ordering::Relaxed);
+            });
+            match outcome {
+                RemoveOutcome::Removed(_) => {
+                    self.set.counters.deletes.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                RemoveOutcome::Missing => return Err(JanusError::RowNotFound(id)),
+                RemoveOutcome::Pending => std::thread::yield_now(),
+            }
+        }
     }
 
     /// Routes and publishes a whole batch of operations under **one**
@@ -775,11 +832,13 @@ impl ClusterEngine {
         let mut deletes = 0u64;
         let mut rejected = 0usize;
         let mut router = self.router.write();
-        let mut directory = self.directory.write();
+        // Router write excludes routed publishers, so the all-stripes
+        // guard can see no pending entries (debug-asserted inside it).
+        let mut directory = self.directory.write_all();
         for op in ops {
             match op {
                 ShardOp::Insert(row) => {
-                    if directory.contains_key(&row.id) {
+                    if directory.contains_key(row.id) {
                         rejected += 1;
                         continue;
                     }
@@ -789,7 +848,7 @@ impl ClusterEngine {
                     inserts += 1;
                 }
                 ShardOp::Delete(id) => {
-                    let Some(shard) = directory.remove(&id) else {
+                    let Some(shard) = directory.remove(id) else {
                         rejected += 1;
                         continue;
                     };
@@ -799,7 +858,7 @@ impl ClusterEngine {
             }
         }
         drop(router);
-        // Appends stay under the directory lock for the same
+        // Appends stay under the directory stripes for the same
         // insert-before-delete guarantee as the per-row path; per-shard
         // relative order inside each group is arrival order, and
         // cross-shard order carries no meaning (offsets are per topic).
@@ -826,6 +885,115 @@ impl ClusterEngine {
             published,
             rejected,
         }
+    }
+
+    /// The routing state a bulk producer pre-routes against: policy,
+    /// shard count, and the rebalance generation they were read under.
+    /// [`ClusterEngine::publish_batch_routed`] validates batches grouped
+    /// by this snapshot and falls back to classic routing when a
+    /// rebalance has moved the bounds since.
+    pub fn routing_snapshot(&self) -> RoutingSnapshot {
+        let router = self.router.read();
+        // Generation bumps happen under the router write lock, so a read
+        // under the router read lock pairs generation and policy
+        // race-free.
+        RoutingSnapshot {
+            generation: self.rebalance_generation.load(Ordering::Acquire),
+            shards: router.shards(),
+            policy: router.policy().clone(),
+        }
+    }
+
+    /// The shard-affine bulk-insert fast path: lands insert batches the
+    /// caller already grouped by shard (against a [`RoutingSnapshot`] of
+    /// `generation`) under a router **read** lock, so concurrent loaders
+    /// feeding different shards do not serialize on the router — each
+    /// group costs one directory-stripe pass (reserve), one batched topic
+    /// append, and one commit pass.
+    ///
+    /// The call re-verifies its inputs before trusting them: if the
+    /// generation is stale (a rebalance landed since the snapshot), the
+    /// policy is stateful (`RoundRobin`), or any row's claimed shard
+    /// disagrees with the live bounds, the whole call falls back to the
+    /// classic [`ClusterEngine::publish_batch`] path, which re-routes
+    /// every row — correctness never depends on the caller's grouping.
+    ///
+    /// Per-shard topic contents — and therefore every drained state —
+    /// are **bit-identical** to publishing the same rows per-row in group
+    /// order (groups iterated in the given order, rows in order within
+    /// each group): duplicates are rejected identically and counted in
+    /// [`PublishReport::rejected`], accepted rows append in order.
+    pub fn publish_batch_routed(
+        &self,
+        generation: u64,
+        groups: Vec<(usize, Vec<Row>)>,
+    ) -> Result<PublishReport> {
+        let shards = self.shards();
+        if let Some((bad, _)) = groups.iter().find(|(s, _)| *s >= shards) {
+            return Err(JanusError::InvalidConfig(format!(
+                "routed batch names shard {bad} of a {shards}-shard cluster"
+            )));
+        }
+        let router = self.router.read();
+        // Claim verification is one stateless route per row (branchless
+        // under range policies) — negligible next to the hashing the
+        // directory pass does, and it makes misuse impossible: a stale or
+        // wrongly grouped batch re-routes instead of landing misplaced.
+        let fresh = self.rebalance_generation.load(Ordering::Acquire) == generation;
+        let claims_hold = fresh
+            && groups.iter().all(|(shard, rows)| {
+                rows.iter()
+                    .all(|row| router.route_stateless(row) == Some(*shard))
+            });
+        if !claims_hold {
+            drop(router);
+            return Ok(self.publish_batch(
+                groups
+                    .into_iter()
+                    .flat_map(|(_, rows)| rows.into_iter().map(ShardOp::Insert)),
+            ));
+        }
+        // Fast path. The gate (shared) is what checkpoint/fail_shard
+        // fence appends with; the router read lock is held for the whole
+        // body so no rebalance — and no pending-intolerant classic batch
+        // — can interleave with the reserve → append → commit window.
+        let _gate = self.ingest_gate.read();
+        let mut published = 0usize;
+        let mut rejected = 0usize;
+        for (shard, rows) in groups {
+            if rows.is_empty() {
+                continue;
+            }
+            let mut accepted = vec![false; rows.len()];
+            let ok = self.directory.reserve(shard, &rows, &mut accepted);
+            rejected += rows.len() - ok;
+            if ok == 0 {
+                continue;
+            }
+            let mut ids = Vec::with_capacity(ok);
+            let mut ops = Vec::with_capacity(ok);
+            for (row, acc) in rows.into_iter().zip(accepted) {
+                if acc {
+                    ids.push(row.id);
+                    ops.push(ShardOp::Insert(row));
+                }
+            }
+            self.set.log.publish_batch(shard, ops);
+            self.set.backlog[shard].fetch_add(ok as u64, Ordering::Relaxed);
+            // Commit after the append: a delete that raced in saw the
+            // reservation as pending and waited, so its topic record can
+            // only land after the insert it targets.
+            self.directory.commit(shard, &ids);
+            published += ok;
+        }
+        self.set
+            .counters
+            .inserts
+            .fetch_add(published as u64, Ordering::Relaxed);
+        Ok(PublishReport {
+            published,
+            rejected,
+        })
     }
 
     /// Drains up to `max` records of `shard`'s topic into its engine, in
@@ -1348,10 +1516,12 @@ impl ClusterEngine {
                 "shard {shard} out of range"
             )));
         }
-        // Directory write blocks publishers, so the backlog gauge can be
-        // rebuilt consistently; then primary → replica set, the
-        // engine-wide lock order.
-        let directory = self.directory.write();
+        // The exclusive ingest gate fences routed publishers and the
+        // all-stripes write blocks the classic paths, so no topic append
+        // is in flight and the backlog gauge can be rebuilt consistently;
+        // then primary → replica set, the engine-wide lock order.
+        let _gate = self.ingest_gate.write();
+        let _directory = self.directory.write_all();
         let mut primary = self.set.shards[shard].write();
         let mut set = self.set.replicas[shard].write();
         if set.is_empty() {
@@ -1370,7 +1540,6 @@ impl ClusterEngine {
         self.set.backlog[shard].store(end.saturating_sub(primary.offset), Ordering::Relaxed);
         drop(set);
         drop(primary);
-        drop(directory);
         self.set.counters.promotions.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -1383,12 +1552,14 @@ impl ClusterEngine {
     /// rebalance generation, and per shard the engine's bit-faithful
     /// synopsis snapshot, its archival rows, and its topic offsets.
     ///
-    /// Holding the router and directory read locks for the duration
-    /// blocks both publish paths (inserts need the router write lock,
-    /// deletes the directory write lock), so no record lands in any
-    /// topic while the cut is taken; pump workers may keep applying
-    /// already-published records, but each shard's `(snapshot, offset)`
-    /// pair is read under that shard's lock and is internally
+    /// Holding the router read lock, the ingest gate (exclusive), and
+    /// every directory stripe (read) for the duration blocks all publish
+    /// paths — classic inserts need the router write lock, routed
+    /// publishes the shared gate, deletes a stripe write lock — so no
+    /// record lands in any topic while the cut is taken; queries keep
+    /// flowing (they take none of these), and pump workers may keep
+    /// applying already-published records, but each shard's `(snapshot,
+    /// offset)` pair is read under that shard's lock and is internally
     /// consistent. Replicas are not captured — they are reconstructed
     /// from the primary snapshot at restore, which is exact because a
     /// follower at the same offset *is* the primary, bit for bit.
@@ -1399,7 +1570,8 @@ impl ClusterEngine {
     /// stored `rebalance_generation` makes the staleness detectable.
     pub fn checkpoint(&self) -> ClusterCheckpoint {
         let router = self.router.read();
-        let _directory = self.directory.read();
+        let _gate = self.ingest_gate.write();
+        let _directory = self.directory.read_all();
         let shards = self
             .set
             .shards
@@ -1632,7 +1804,8 @@ impl ClusterEngine {
     /// Checks the shard row-count skew trigger and, when it fires, runs a
     /// snapshot-shipping migration (see [`crate::rebalance`]). Topics are
     /// fully drained first so migration acts on applied state; the
-    /// migration itself holds every lock (router → directory → shards),
+    /// migration itself holds every lock (router → directory stripes →
+    /// shards),
     /// so concurrent publishers, pumpers, and queries simply wait it out
     /// — the cluster analogue of the paper's short blocking swap step.
     ///
@@ -1662,12 +1835,16 @@ impl ClusterEngine {
         // window short.
         self.pump_all()?;
         let mut router = self.router.write();
-        let mut directory = self.directory.write();
+        // Router write excludes routed publishers entirely, so the
+        // all-stripes guard sees no pending entries and no append can
+        // land anywhere for the duration of the migration.
+        let mut directory = self.directory.write_all();
         let mut guards: Vec<_> = self.set.shards.iter().map(|s| s.write()).collect();
         let mut replica_guards: Vec<_> = self.set.replicas.iter().map(|s| s.write()).collect();
         // Drain the stragglers published between pump_all() and lock
-        // acquisition: we hold the directory lock, so no further records
-        // can land, and migrating with unapplied topic records would
+        // acquisition: we hold the router write lock and every directory
+        // stripe, so no further records can land, and migrating with
+        // unapplied topic records would
         // misplace them against the redrawn bounds (or resurrect rows
         // whose pending delete fails on the donor after a move). Replicas
         // drain to the same point so the shipped post-migration snapshots

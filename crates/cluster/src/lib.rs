@@ -8,7 +8,8 @@
 //! |---|---|
 //! | [`router`] | [`ShardPolicy`] (hash-by-id, round-robin, range on a predicate attribute) and the [`ShardRouter`] that applies it: row placement, per-shard slabs as [`janus_common::Rect`]s, query overlap pruning |
 //! | [`bootstrap`] | the shared shard-placement helpers: seed derivation, value→slab placement, partition-then-build |
-//! | [`engine`] | [`ClusterEngine`]: lock-sharded state (`&self` everywhere — one `RwLock` per shard, router/directory locks, atomic counters), batch-first publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay; [`ClusterEngine::publish_batch`] routes a whole batch under one lock acquisition), parallel scatter-gather queries merged via [`janus_common::merge`] |
+//! | `directory` (internal) | the striped row→shard placement map: 16 independently locked stripes keyed by a SplitMix64 hash of the row id, with the reserve/commit (pending-entry) protocol the pre-routed publish path lands batches under |
+//! | [`engine`] | [`ClusterEngine`]: lock-sharded state (`&self` everywhere — one `RwLock` per shard, router lock, striped directory, atomic counters), batch-first publish/pump ingest over [`janus_storage::ShardedLog`] (one Kafka-like topic + offset per shard, deterministic replay; [`ClusterEngine::publish_batch`] routes a whole batch under one lock acquisition, [`ClusterEngine::publish_batch_routed`] lands pre-grouped batches under a router *read* lock against a [`RoutingSnapshot`] generation check), parallel scatter-gather queries merged via [`janus_common::merge`] |
 //! | `scatter` (internal) | the persistent per-shard worker pool queries scatter on and `pump` drains through — long-lived threads fed by channels with a two-lane ([`Priority`]) queue, created at engine construction, joined on drop |
 //! | `cache` (internal) | the answer cache behind [`ClusterConfig::with_answer_cache`]: exact-shape query keys, entries pinned to (rebalance generation, per-shard applied offsets), lazily self-invalidating |
 //! | [`live`] | [`LiveCluster`]: the engine as a long-running service — one background pump worker per shard plus a request/response front end over [`janus_storage::RequestLog`] (data runs republished through the batched path), with per-shard backpressure, a `drain()` barrier, graceful shutdown, and a multi-tenant submit path ([`LiveCluster::submit_query`]: admission quotas, deadlines, priority lanes) |
@@ -65,6 +66,7 @@
 pub mod bootstrap;
 pub(crate) mod cache;
 pub mod checkpoint;
+pub(crate) mod directory;
 pub mod engine;
 pub mod live;
 pub mod notify;
@@ -79,7 +81,7 @@ pub use engine::{
 pub use live::{LiveCluster, LiveConfig, LiveStats, TenantStats};
 pub use notify::Progress;
 pub use rebalance::RebalanceReport;
-pub use router::{ShardPolicy, ShardRouter};
+pub use router::{RoutingSnapshot, ShardPolicy, ShardRouter};
 pub use scatter::Priority;
 
 #[allow(unused_imports)]

@@ -41,9 +41,10 @@
 //! individual rows moved.
 
 use crate::bootstrap::{shard_config, shard_of_value};
+use crate::directory::PlacementSink;
 use crate::engine::Shard;
 use crate::router::{ShardPolicy, ShardRouter};
-use janus_common::{DetHashMap, DetHashSet, Result, Row, RowId};
+use janus_common::{DetHashSet, Result, Row, RowId};
 use janus_core::{JanusEngine, SynopsisConfig};
 
 /// What a migration did.
@@ -100,7 +101,7 @@ pub(crate) fn rebalance(
     router: &mut ShardRouter,
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
-    directory: &mut DetHashMap<RowId, usize>,
+    directory: &mut dyn PlacementSink,
     base: &SynopsisConfig,
 ) -> Result<Option<RebalanceReport>> {
     if shards.len() < 2 {
@@ -122,7 +123,7 @@ fn range_redraw(
     router: &mut ShardRouter,
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
-    directory: &mut DetHashMap<RowId, usize>,
+    directory: &mut dyn PlacementSink,
     base: &SynopsisConfig,
     column: usize,
 ) -> Result<RebalanceReport> {
@@ -199,7 +200,7 @@ fn range_redraw(
 fn discrete_split(
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
-    directory: &mut DetHashMap<RowId, usize>,
+    directory: &mut dyn PlacementSink,
     base: &SynopsisConfig,
 ) -> Result<RebalanceReport> {
     let populations: Vec<usize> = shards.iter().map(|s| s.engine.population()).collect();
@@ -266,7 +267,7 @@ fn discrete_split(
 fn apply_moves(
     shards: &mut [&mut Shard],
     replicas: &mut [Vec<&mut Shard>],
-    directory: &mut DetHashMap<RowId, usize>,
+    directory: &mut dyn PlacementSink,
     base: &SynopsisConfig,
     moves: Vec<(usize, usize, Row)>,
 ) -> Result<()> {
@@ -316,7 +317,7 @@ fn apply_moves(
         shards[shard].engine = engine;
     }
     for (id, to) in placements {
-        directory.insert(id, to);
+        directory.place(id, to);
     }
     Ok(())
 }
@@ -383,7 +384,7 @@ mod tests {
         ];
         let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
         let mut router = ShardRouter::new(ShardPolicy::RoundRobin, 2).unwrap();
-        let mut directory = DetHashMap::default();
+        let mut directory: janus_common::DetHashMap<RowId, usize> = Default::default();
         let base = test_config(3);
 
         let mut replica_refs: Vec<Vec<&mut Shard>> = vec![Vec::new(), Vec::new()];
@@ -433,7 +434,7 @@ mod tests {
             shard_of(value_rows(10_000..10_400, 50.0), 2),
         ];
         let mut router = ShardRouter::new(ShardPolicy::HashById, 2).unwrap();
-        let mut directory = DetHashMap::default();
+        let mut directory: janus_common::DetHashMap<RowId, usize> = Default::default();
         let base = test_config(3);
         let mut shard_refs: Vec<&mut Shard> = shards.iter_mut().collect();
         let mut replica_refs: Vec<Vec<&mut Shard>> =

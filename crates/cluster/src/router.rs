@@ -85,9 +85,11 @@ pub struct ShardRouter {
 }
 
 /// SplitMix64 — the same mixer the engine seeds derive from, so hash
-/// routing is deterministic across runs and platforms.
+/// routing is deterministic across runs and platforms. Shared with the
+/// directory stripes, which consume the *high* half of the mix so stripe
+/// choice stays independent of `mix % shards` hash routing.
 #[inline]
-fn mix(id: RowId) -> u64 {
+pub(crate) fn mix(id: RowId) -> u64 {
     let mut z = id.wrapping_add(0x9e3779b97f4a7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -158,6 +160,15 @@ impl ShardRouter {
         }
     }
 
+    /// Stateless placement under the current policy: the shard `row`
+    /// would route to, or `None` under `RoundRobin` (whose placement
+    /// depends on the rotation cursor and cannot be predicted without
+    /// advancing it). The basis of the pre-routed publish fast path —
+    /// see [`RoutingSnapshot`].
+    pub fn route_stateless(&self, row: &Row) -> Option<usize> {
+        route_stateless(&self.policy, self.shards, row)
+    }
+
     /// The slab of predicate space shard `shard` can contain, as a
     /// `dims`-dimensional [`Rect`] (unbounded in every non-routing
     /// dimension; fully unbounded under discrete policies). `column_dim`
@@ -223,6 +234,61 @@ impl ShardRouter {
                 *bounds = new_bounds;
             }
             other => panic!("set_range_bounds on non-range policy {other:?}"),
+        }
+    }
+}
+
+/// Shared stateless routing math: `HashById` and `Range` place a row from
+/// the row alone; `RoundRobin` cannot (cursor-dependent) and yields `None`.
+fn route_stateless(policy: &ShardPolicy, shards: usize, row: &Row) -> Option<usize> {
+    match policy {
+        ShardPolicy::HashById => Some((mix(row.id) % shards as u64) as usize),
+        ShardPolicy::RoundRobin => None,
+        ShardPolicy::Range { column, bounds } => Some(shard_of_value(bounds, row.value(*column))),
+    }
+}
+
+/// An immutable copy of the cluster's routing state, pinned to the
+/// rebalance generation it was taken at — what a bulk loader routes
+/// against *outside* the cluster's locks.
+///
+/// [`RoutingSnapshot::route`] places rows exactly as the live router
+/// would while the generation holds; a rebalance bumps the cluster's
+/// generation, at which point batches grouped by this snapshot are stale
+/// and [`crate::ClusterEngine::publish_batch_routed`] falls back to
+/// re-routing them through the classic path. Obtained from
+/// [`crate::ClusterEngine::routing_snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoutingSnapshot {
+    /// The rebalance generation the policy copy was read under.
+    pub generation: u64,
+    /// Shard count (fixed for a cluster's lifetime).
+    pub shards: usize,
+    /// The routing policy as of `generation`.
+    pub policy: ShardPolicy,
+}
+
+impl RoutingSnapshot {
+    /// The shard `row` routes to under the snapshot, or `None` when the
+    /// policy is stateful (`RoundRobin`) and pre-routing is impossible.
+    pub fn route(&self, row: &Row) -> Option<usize> {
+        route_stateless(&self.policy, self.shards, row)
+    }
+
+    /// Whether the policy places rows from row content alone — `false`
+    /// only for `RoundRobin`, where callers must fall back to the
+    /// classic (router-locking) publish path.
+    pub fn is_stateless(&self) -> bool {
+        !matches!(self.policy, ShardPolicy::RoundRobin)
+    }
+
+    /// The range-partition boundaries, when range-routed: shard `i` owns
+    /// `[bounds[i-1], bounds[i])` of the routing column. Loaders use
+    /// these to align file partitions with shard ownership.
+    pub fn range_bounds(&self) -> Option<(usize, &[f64])> {
+        match &self.policy {
+            ShardPolicy::Range { column, bounds } => Some((*column, bounds)),
+            _ => None,
         }
     }
 }
@@ -334,6 +400,30 @@ mod tests {
         // Discrete policies: every slab is all of space.
         let hash = ShardRouter::new(ShardPolicy::HashById, 2).unwrap();
         assert!(hash.shard_slab(0, 1, Some(0)).contains(&[1e300]));
+    }
+
+    #[test]
+    fn stateless_routing_matches_the_stateful_router() {
+        for policy in [
+            ShardPolicy::HashById,
+            ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap(),
+        ] {
+            let mut r = ShardRouter::new(policy.clone(), 4).unwrap();
+            let snap = RoutingSnapshot {
+                generation: 0,
+                shards: 4,
+                policy,
+            };
+            assert!(snap.is_stateless());
+            for id in 0..1_000 {
+                let rw = row(id, (id % 131) as f64);
+                let s = r.route(&rw);
+                assert_eq!(r.route_stateless(&rw), Some(s));
+                assert_eq!(snap.route(&rw), Some(s));
+            }
+        }
+        let rr = ShardRouter::new(ShardPolicy::RoundRobin, 4).unwrap();
+        assert_eq!(rr.route_stateless(&row(1, 0.0)), None, "cursor-dependent");
     }
 
     #[test]

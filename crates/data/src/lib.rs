@@ -13,7 +13,12 @@
 //! All generators are deterministic in their seed.
 
 pub mod datasets;
+pub mod partitioned;
 pub mod workload;
 
 pub use datasets::{intel_wireless, nasdaq_etf, nyc_taxi, Dataset};
+pub use partitioned::{
+    generate_partitioned, list_chunks, read_chunk, read_chunk_header, write_rows_chunked,
+    ChunkHeader, PartitionedSpec, ValueDistribution,
+};
 pub use workload::{QueryWorkload, WorkloadSpec};

@@ -15,6 +15,7 @@
 //! | [`data`] | synthetic Intel/NYC-Taxi/ETF datasets, query workloads |
 //! | [`core`] | DPT, max-variance indexes, partitioners, triggers, engine |
 //! | [`cluster`] | sharded scatter-gather service over multiple engines |
+//! | [`load`] | shard-affine parallel bulk loader with exactly-once resume |
 //! | [`net`] | networked deployment: TCP wire protocol, node daemons, replicated directory |
 //! | [`baselines`] | RS, SRS, DPT-only, mini-SPN (DeepDB), PASS |
 //!
@@ -59,6 +60,7 @@ pub use janus_common as common;
 pub use janus_core as core;
 pub use janus_data as data;
 pub use janus_index as index;
+pub use janus_load as load;
 pub use janus_net as net;
 pub use janus_sampling as sampling;
 pub use janus_storage as storage;
@@ -77,8 +79,10 @@ pub mod prelude {
     pub use janus_core::templates::MultiTemplateEngine;
     pub use janus_core::{EngineStats, JanusEngine, LiveEngine, PartitionerKind, SynopsisConfig};
     pub use janus_data::{
-        intel_wireless, nasdaq_etf, nyc_taxi, Dataset, QueryWorkload, WorkloadSpec,
+        generate_partitioned, intel_wireless, nasdaq_etf, nyc_taxi, Dataset, PartitionedSpec,
+        QueryWorkload, WorkloadSpec,
     };
+    pub use janus_load::{BulkLoader, LoadConfig, LoadReport};
     pub use janus_net::{NodeConfig, NodeServer, RemoteCluster, RemoteConfig, RemoteStats};
     pub use janus_storage::{
         ArchiveBackend, ArchiveBackendKind, ArchiveStore, CheckpointStore, FileCheckpointStore,

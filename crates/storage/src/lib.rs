@@ -25,9 +25,14 @@
 //! * [`checkpoint`] — durable, payload-agnostic checkpoint storage (an
 //!   in-memory store plus a crash-safe file-backed one): what a sharded
 //!   deployment recovers from after losing its in-memory synopses.
+//! * [`loadlog`] — the bulk-load progress journal ([`LoadProgress`]): per
+//!   input file, per shard, how many rows a bulk loader has attempted to
+//!   publish, pinned to the routing snapshot the claims were made under —
+//!   what makes a killed load resumable exactly-once.
 
 pub mod archive;
 pub mod checkpoint;
+pub mod loadlog;
 pub mod samplers;
 pub mod spill;
 pub mod streamlog;
@@ -36,6 +41,7 @@ pub use archive::{
     ArchiveBackend, ArchiveBackendKind, ArchiveColumns, ArchiveStore, ColumnarArchive,
 };
 pub use checkpoint::{CheckpointStore, FileCheckpointStore, MemoryCheckpointStore};
+pub use loadlog::{FileLoadProgress, LoadProgress};
 pub use samplers::{PollCostModel, SampleRun, SequentialSampler, SingletonSampler};
 pub use spill::{SegmentedFileArchive, SpillStats};
 pub use streamlog::{QueryResponse, Request, RequestLog, ShardedLog, TopicLog};

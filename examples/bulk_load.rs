@@ -1,0 +1,206 @@
+//! Bulk-ingestion smoke: generate a partitioned on-disk dataset, load it
+//! with shard-affine parallel loaders through the pre-routed publish
+//! fast path, kill the load mid-flight, resume it from the file-backed
+//! journal, and verify the recovered cluster answers bit-identically to
+//! an uninterrupted twin.
+//!
+//! This is the CI gate for the bulk-ingestion path (release mode, see
+//! `.github/workflows/ci.yml`); `tests/bulk_load.rs` covers the same
+//! guarantees in depth across all routing policies.
+
+use janus::prelude::*;
+use janus::storage::LoadProgress;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+const DATASET_ROWS: usize = 30_000;
+const CHUNK_ROWS: usize = 512;
+const SHARDS: usize = 4;
+const THREADS: usize = 4;
+
+fn config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 32;
+    c.sample_rate = 0.03;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn make_cluster() -> ClusterEngine {
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, SHARDS).unwrap();
+    let seed: Vec<Row> = (0..4_000u64)
+        .map(|i| Row::new(10_000_000 + i, vec![(i % 100) as f64, (i % 17) as f64]))
+        .collect();
+    ClusterEngine::bootstrap(ClusterConfig::new(config(3), SHARDS, policy), seed)
+        .expect("bootstrap cluster")
+}
+
+fn load_config() -> LoadConfig {
+    LoadConfig {
+        threads: THREADS,
+        batch_rows: 256,
+        checkpoint_batches: 1,
+        ..LoadConfig::default()
+    }
+}
+
+/// A journal store that trips the stop flag after `after` writes — the
+/// deterministic "kill -9" of this smoke.
+struct TrippingStore<'a> {
+    inner: &'a dyn CheckpointStore,
+    stop: &'a AtomicBool,
+    puts: AtomicU64,
+    after: u64,
+}
+
+impl CheckpointStore for TrippingStore<'_> {
+    fn put(&self, id: u64, payload: &str) -> janus::common::Result<()> {
+        self.inner.put(id, payload)?;
+        if self.puts.fetch_add(1, Ordering::Relaxed) + 1 >= self.after {
+            self.stop.store(true, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+    fn get(&self, id: u64) -> Option<String> {
+        self.inner.get(id)
+    }
+    fn ids(&self) -> Vec<u64> {
+        self.inner.ids()
+    }
+    fn remove(&self, id: u64) -> janus::common::Result<()> {
+        self.inner.remove(id)
+    }
+}
+
+fn probes() -> Vec<Query> {
+    [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, 20.0, 60.0),
+        (AggregateFunction::Sum, 12.5, 77.5),
+    ]
+    .into_iter()
+    .map(|(agg, lo, hi)| {
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    })
+    .collect()
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("janus-bulk-load-smoke-{}", std::process::id()));
+    let data_dir = base.join("dataset");
+    let journal_dir = base.join("journal");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Generate: a range-sorted chunked dataset, the layout that lets
+    // every loader thread read only the files feeding its shards.
+    let spec = PartitionedSpec::uniform_sorted(DATASET_ROWS, CHUNK_ROWS, 29);
+    let chunks = generate_partitioned(&data_dir, &spec).expect("generate dataset");
+    println!(
+        "generated {} rows across {} chunk files in {:?}",
+        DATASET_ROWS,
+        chunks.len(),
+        data_dir
+    );
+
+    // Twin: one uninterrupted load, for the bit-compare at the end.
+    let reference = make_cluster();
+    let full = BulkLoader::new(&reference, &data_dir)
+        .with_config(load_config())
+        .load()
+        .expect("uninterrupted load");
+    assert!(full.routed, "range policy must take the fast path");
+    assert_eq!(full.rows_published, DATASET_ROWS);
+    println!(
+        "uninterrupted twin: {} rows via {} routed loader threads",
+        full.rows_published, full.threads
+    );
+
+    // Load + kill: journal every batch; the store kills the load partway.
+    let cluster = make_cluster();
+    let store = FileCheckpointStore::open(&journal_dir).expect("open journal dir");
+    let stop = AtomicBool::new(false);
+    let tripping = TrippingStore {
+        inner: &store,
+        stop: &stop,
+        puts: AtomicU64::new(0),
+        after: 40,
+    };
+    let first = BulkLoader::new(&cluster, &data_dir)
+        .with_config(load_config())
+        .with_journal(&tripping)
+        .load_with_stop(&stop)
+        .expect("killed load");
+    assert!(first.interrupted, "the kill must land mid-load");
+    println!(
+        "killed mid-load: {} of {} rows published, journal persisted in {:?}",
+        first.rows_published, DATASET_ROWS, journal_dir
+    );
+
+    // Resume: a fresh store handle over the same journal directory (the
+    // "process restart"), a fresh loader over the same cluster.
+    let reopened = FileCheckpointStore::open(&journal_dir).expect("reopen journal dir");
+    let (_, journal) = LoadProgress::load_latest(&reopened)
+        .expect("read journal")
+        .expect("journal present");
+    println!(
+        "resuming from journal: {} rows recorded across {} files",
+        journal.total_published(),
+        journal.files.len()
+    );
+    let second = BulkLoader::new(&cluster, &data_dir)
+        .with_config(load_config())
+        .with_journal(&reopened)
+        .load()
+        .expect("resumed load");
+    assert!(second.routed, "journal still matches the live router");
+    assert_eq!(
+        first.rows_published + second.rows_published,
+        DATASET_ROWS,
+        "exactly-once: the two runs' topic appends cover the dataset"
+    );
+    println!(
+        "resumed: {} skipped by journal, {} duplicate re-attempts rejected, {} published",
+        second.rows_skipped, second.rows_rejected, second.rows_published
+    );
+
+    // The whole point: the kill+resume is invisible — the recovered
+    // cluster matches the uninterrupted twin to the bit.
+    cluster.pump_all().expect("final pump");
+    assert_eq!(cluster.population(), reference.population());
+    assert_eq!(cluster.shard_populations(), reference.shard_populations());
+    for q in probes() {
+        let a = cluster.query(&q).expect("query").expect("answer");
+        let b = reference.query(&q).expect("query").expect("answer");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{} answer diverged: {} vs {}",
+            q.agg,
+            a.value,
+            b.value
+        );
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits(), "{}", q.agg);
+        println!(
+            "  {:>5} [{:>6.1}, {:>6.1}] -> {:>14.3} (bit-identical)",
+            q.agg.to_string(),
+            q.range.lo()[0].max(-1e9),
+            q.range.hi()[0].min(1e9),
+            a.value
+        );
+    }
+    println!(
+        "recovered cluster population {} across shards {:?}",
+        cluster.population(),
+        cluster.shard_populations()
+    );
+    println!("bulk load smoke: OK");
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -46,13 +46,16 @@ for ((i = 0; i < reports; i++)); do
       idx($gate.column) as $c
       | (if $gate.other != null then idx($gate.other) else null end) as $o
       | (if $gate.unless_eq != null then idx($gate.unless_eq.column) else null end) as $u
+      | (if $gate.only_eq != null then idx($gate.only_eq.column) else null end) as $y
       | if $c == null
            or ($gate.other != null and $o == null)
            or ($gate.unless_eq != null and $u == null)
+           or ($gate.only_eq != null and $y == null)
         then false
         else
           [ .rows[]
             | if $u != null and .[$u] == $gate.unless_eq.value then true
+              elif $y != null and .[$y] != $gate.only_eq.value then true
               elif $gate.op == "gt" then .[$c] > $gate.value
               elif $gate.op == "ge" then .[$c] >= $gate.value
               elif $gate.op == "lt" then .[$c] < $gate.value
@@ -67,6 +70,9 @@ for ((i = 0; i < reports; i++)); do
       + (if .other != null then " " + .other else " " + (.value | tostring) end)
       + (if .unless_eq != null
          then " (unless " + .unless_eq.column + " == " + (.unless_eq.value | tostring) + ")"
+         else "" end)
+      + (if .only_eq != null
+         then " (only where " + .only_eq.column + " == " + (.only_eq.value | tostring) + ")"
          else "" end)' <<<"$gate")"
     if [[ "$ok" == true ]]; then
       echo "ok   $desc"
