@@ -54,7 +54,7 @@ impl ReservoirBaseline {
 
     /// Inserts a tuple.
     pub fn insert(&mut self, row: Row) -> Result<()> {
-        if !self.archive.insert(row.clone()) {
+        if !self.archive.insert(row.clone())? {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
@@ -68,7 +68,10 @@ impl ReservoirBaseline {
 
     /// Deletes a tuple by id.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        let row = self
+            .archive
+            .delete(id)?
+            .ok_or(JanusError::RowNotFound(id))?;
         if self.reservoir.delete(id) == DeleteOutcome::NeedsResample {
             let seed = self.next_seed();
             let fresh = self.archive.sample_distinct(self.reservoir.target(), seed);

@@ -96,7 +96,7 @@ impl StratifiedReservoirBaseline {
 
     /// Inserts a tuple.
     pub fn insert(&mut self, row: Row) -> Result<()> {
-        if !self.archive.insert(row.clone()) {
+        if !self.archive.insert(row.clone())? {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
@@ -113,7 +113,10 @@ impl StratifiedReservoirBaseline {
 
     /// Deletes a tuple by id.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        let row = self
+            .archive
+            .delete(id)?
+            .ok_or(JanusError::RowNotFound(id))?;
         let s = self.stratum_of(&row);
         self.populations[s] -= 1.0;
         if self.strata[s].delete(id) == DeleteOutcome::NeedsResample {

@@ -36,7 +36,9 @@ fn bench_throughput(c: &mut Criterion) {
                         cfg.auto_repartition = false;
                         JanusEngine::bootstrap(cfg, d.rows[..60_000].to_vec()).unwrap()
                     },
-                    |mut engine| black_box(apply_batch(&mut engine, batch.clone(), t).applied),
+                    |mut engine| {
+                        black_box(apply_batch(&mut engine, batch.clone(), t).unwrap().applied)
+                    },
                     criterion::BatchSize::LargeInput,
                 )
             },

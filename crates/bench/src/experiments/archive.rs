@@ -60,7 +60,7 @@ fn scan_query() -> Query {
 fn ingest(rows: &[Row], mut store: ArchiveStore) -> (ArchiveStore, f64) {
     let started = Instant::now();
     for row in rows {
-        store.insert(row.clone());
+        store.insert(row.clone()).unwrap();
     }
     (store, rows_per_sec(rows.len(), started.elapsed()))
 }
@@ -112,7 +112,7 @@ fn churn_phase(spill_root: &std::path::Path, slice: &[Row], query: &Query) -> (f
     let mut store = ArchiveStore::with_backend(Box::new(spill));
     let mut live: VecDeque<u64> = VecDeque::with_capacity(slice.len());
     for row in slice {
-        store.insert(row.clone());
+        store.insert(row.clone()).unwrap();
         live.push_back(row.id);
     }
     let base_id = slice.iter().map(|r| r.id).max().unwrap_or(0) + 1;
@@ -121,9 +121,11 @@ fn churn_phase(spill_root: &std::path::Path, slice: &[Row], query: &Query) -> (f
     let started = Instant::now();
     for i in 0..ops {
         let victim = live.pop_front().expect("population stays positive");
-        store.delete(victim).expect("victim is live");
+        store.delete(victim).unwrap().expect("victim is live");
         let id = base_id + i as u64;
-        store.insert(Row::new(id, slice[i % slice.len()].values.clone()));
+        store
+            .insert(Row::new(id, slice[i % slice.len()].values.clone()))
+            .unwrap();
         live.push_back(id);
     }
     // One op = one delete + one insert: two row mutations.
@@ -134,7 +136,10 @@ fn churn_phase(spill_root: &std::path::Path, slice: &[Row], query: &Query) -> (f
         .expect("spill backend reports stats")
         .live_record_ratio();
     let truth = store.evaluate_exact(query);
-    assert!(store.compact(), "a churned store has records to drop");
+    assert!(
+        store.compact().unwrap(),
+        "a churned store has records to drop"
+    );
     let after = store
         .spill_stats()
         .expect("spill backend reports stats")

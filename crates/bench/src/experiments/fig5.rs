@@ -34,13 +34,13 @@ pub fn run(scale: f64) -> ExpReport {
             .cloned()
             .map(Update::Insert)
             .collect();
-        let ins_report = apply_batch(&mut engine, inserts, THREADS);
+        let ins_report = apply_batch(&mut engine, inserts, THREADS).expect("batch insert");
 
         // Delete throughput: a uniform slice of existing ids.
         let deletes: Vec<Update> = (0..batch_len)
             .map(|i| Update::Delete((i * existing / batch_len) as u64))
             .collect();
-        let del_report = apply_batch(&mut engine, deletes, THREADS);
+        let del_report = apply_batch(&mut engine, deletes, THREADS).expect("batch delete");
 
         // Re-optimization cost: full JanusAQP re-initialization vs SPN
         // retrain over a 10% sample of the current table.

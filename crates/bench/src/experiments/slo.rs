@@ -30,8 +30,9 @@ use super::{paper_config, TAXI_N};
 use crate::metrics::percentile;
 use crate::ExpReport;
 use janus_cluster::{ClusterConfig, ClusterEngine, LiveCluster, LiveConfig, ShardPolicy};
-use janus_common::JanusError;
+use janus_common::{JanusError, Query};
 use janus_data::nyc_taxi;
+use janus_net::{local_fleet, RemoteCluster, RemoteConfig};
 use janus_storage::RequestLog;
 use serde_json::json;
 use std::sync::Arc;
@@ -59,9 +60,54 @@ const CACHE_QUERIES: usize = 50;
 /// Queries each tenant pushes through the front end in phase 3.
 const PER_TENANT_QUERIES: usize = 30;
 
+/// Queries timed against the degraded networked cluster (phase 0).
+const DEGRADED_QUERIES: usize = 60;
+
 /// Per-tenant in-flight quota during phase 3 (rejections are retried, so
 /// the quota shapes pacing rather than dropping work).
 const TENANT_QUOTA: u64 = 64;
+
+/// Phase 0: serving tail latency while one node's circuit breaker is
+/// open. A replicated networked fleet drains, shard 0's primary is
+/// force-tripped via [`RemoteCluster::trip_breaker`], and the workload
+/// runs against the degraded cluster — every read touching that shard
+/// must route to a fresh follower instead of failing. The p99 wall
+/// time is the `degraded_query_p99_ms` column.
+fn degraded_p99_ms(
+    base: janus_core::SynopsisConfig,
+    rows: Vec<janus_common::Row>,
+    queries: &[Query],
+) -> f64 {
+    let fleet = local_fleet(3).expect("start fleet");
+    let addrs: Vec<std::net::SocketAddr> = fleet.iter().map(|s| s.addr()).collect();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(base, SHARDS, ShardPolicy::HashById).with_replicas(1, 0),
+        rows,
+        &addrs,
+    )
+    .expect("bootstrap degraded fleet");
+    remote.drain();
+    let primary = remote.directory_snapshot().primaries[0];
+    remote
+        .trip_breaker(primary, Duration::from_secs(300))
+        .expect("trip breaker");
+    let mut latencies_ms = Vec::with_capacity(DEGRADED_QUERIES);
+    for q in queries.iter().cycle().take(DEGRADED_QUERIES) {
+        let started = Instant::now();
+        remote.query(q).expect("degraded query");
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(
+        remote.stats().degraded_reads > 0,
+        "an open breaker must serve some reads from replicas"
+    );
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for server in fleet {
+        server.wait();
+    }
+    percentile(latencies_ms, 0.99)
+}
 
 /// Runs the tenant sweep.
 pub fn run(scale: f64) -> ExpReport {
@@ -69,6 +115,15 @@ pub fn run(scale: f64) -> ExpReport {
     let queries = super::workload(&dataset, "pickup_time", "trip_distance", scale, 0x51);
     assert!(!queries.is_empty(), "scaled workload may not be empty");
     let mut rows_out = Vec::new();
+
+    // Phase 0 runs once (it is tenant-independent); the column repeats
+    // per row so the gate applies everywhere.
+    let degraded_p99 = degraded_p99_ms(
+        paper_config(&dataset, "pickup_time", "trip_distance", 0x5105),
+        dataset.rows.clone(),
+        &queries,
+    );
+    println!("[slo] degraded (one breaker open) p99 {degraded_p99:.2}ms");
 
     for tenants in TENANT_SWEEP {
         let base = paper_config(&dataset, "pickup_time", "trip_distance", 0x5105);
@@ -159,6 +214,7 @@ pub fn run(scale: f64) -> ExpReport {
             json!(partial_rate),
             json!(cache_hit_rate),
             json!(qps_per_tenant),
+            json!(degraded_p99),
         ]);
     }
     ExpReport {
@@ -171,6 +227,7 @@ pub fn run(scale: f64) -> ExpReport {
             "partial_answer_rate",
             "cache_hit_rate",
             "qps_per_tenant",
+            "degraded_query_p99_ms",
         ]
         .map(String::from)
         .to_vec(),

@@ -16,13 +16,19 @@
 //! * [`Estimate`] — an AQP answer with its variance and confidence interval;
 //! * [`merge`] — composition of per-shard estimates (additive COUNT/SUM
 //!   merge, delta-method AVG ratio, MIN/MAX extremes) for scatter-gather
-//!   deployments.
+//!   deployments;
+//! * [`faults`] — the seeded, zero-cost-when-disabled failpoint registry
+//!   every durability and network boundary checks;
+//! * [`mod@crc32`] — the end-to-end integrity checksum on wire frames and
+//!   sealed spill segments.
 //!
 //! The crate is dependency-light by design: every other crate in the
 //! workspace builds on these types.
 
+pub mod crc32;
 pub mod det_hash;
 pub mod error;
+pub mod faults;
 pub mod float;
 pub mod kernels;
 pub mod merge;
@@ -31,8 +37,10 @@ pub mod rect;
 pub mod row;
 pub mod stats;
 
+pub use crc32::{crc32, Crc32};
 pub use det_hash::{DetHashMap, DetHashSet};
 pub use error::{JanusError, Result};
+pub use faults::{FaultKind, FaultPlan, FaultRule, TriggerMode};
 pub use float::F64;
 pub use kernels::ScanPartial;
 pub use query::{AggregateFunction, Estimate, ExactAccumulator, Query, QueryTemplate, TenantId};

@@ -18,7 +18,7 @@
 //! triggers disabled, which the tests verify.
 
 use crate::engine::JanusEngine;
-use janus_common::{Moments, Row, RowId};
+use janus_common::{Moments, Result, Row, RowId};
 use std::time::{Duration, Instant};
 
 /// One update of a mixed workload.
@@ -72,7 +72,11 @@ struct LeafDelta {
 ///
 /// Re-partitioning triggers are not evaluated inside the batch; call the
 /// engine's trigger path between batches if desired.
-pub fn apply_batch(engine: &mut JanusEngine, updates: Vec<Update>, threads: usize) -> BatchReport {
+pub fn apply_batch(
+    engine: &mut JanusEngine,
+    updates: Vec<Update>,
+    threads: usize,
+) -> Result<BatchReport> {
     let threads = threads.max(1);
 
     // Resolve deletes to full rows first (archive reads are cheap and the
@@ -147,17 +151,17 @@ pub fn apply_batch(engine: &mut JanusEngine, updates: Vec<Update>, threads: usiz
     for (u, row) in updates.iter().zip(&resolved) {
         let Some(row) = row else { continue };
         match u {
-            Update::Insert(_) => engine.apply_insert_sampling(row.clone()),
-            Update::Delete(id) => engine.apply_delete_sampling(*id, row),
+            Update::Insert(_) => engine.apply_insert_sampling(row.clone())?,
+            Update::Delete(id) => engine.apply_delete_sampling(*id, row)?,
         }
     }
     let serial_phase = started.elapsed();
 
-    BatchReport {
+    Ok(BatchReport {
         applied,
         parallel_phase,
         serial_phase,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -226,7 +230,7 @@ mod tests {
 
         // Parallel batch.
         let mut par = crate::engine::JanusEngine::bootstrap(config(5), data).unwrap();
-        let report = apply_batch(&mut par, updates, 4);
+        let report = apply_batch(&mut par, updates, 4).unwrap();
         assert!(report.applied > 0);
 
         let q = Query::new(
@@ -247,7 +251,7 @@ mod tests {
         let data = rows(2_000, 3);
         let mut engine = crate::engine::JanusEngine::bootstrap(config(7), data).unwrap();
         let updates = mixed_updates(1_000, 50_000, &[], 4);
-        let report = apply_batch(&mut engine, updates, 2);
+        let report = apply_batch(&mut engine, updates, 2).unwrap();
         assert_eq!(report.applied, 1_000);
         assert!(report.throughput() > 0.0);
         assert!(report.total() >= report.parallel_phase);
@@ -258,7 +262,7 @@ mod tests {
         let data = rows(500, 5);
         let mut engine = crate::engine::JanusEngine::bootstrap(config(9), data).unwrap();
         let updates = vec![Update::Delete(999_999), Update::Delete(999_998)];
-        let report = apply_batch(&mut engine, updates, 2);
+        let report = apply_batch(&mut engine, updates, 2).unwrap();
         assert_eq!(report.applied, 0);
         assert_eq!(engine.population(), 500);
     }

@@ -193,7 +193,7 @@ impl JanusEngine {
     /// Inserts a tuple: archive, tree path statistics, reservoir, and (if
     /// sampled) the max-variance index; may trigger re-partitioning.
     pub fn insert(&mut self, row: Row) -> Result<()> {
-        if !self.archive.insert(row.clone()) {
+        if !self.archive.insert(row.clone())? {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
@@ -216,7 +216,10 @@ impl JanusEngine {
 
     /// Deletes a tuple by id; returns the removed row.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        let row = self
+            .archive
+            .delete(id)?
+            .ok_or(JanusError::RowNotFound(id))?;
         let leaf = self.dpt.record_delete(&row);
         match self.reservoir.delete(id) {
             DeleteOutcome::NotInSample => {}
@@ -281,9 +284,9 @@ impl JanusEngine {
 
     /// Archive + reservoir bookkeeping for an insert whose tree statistics
     /// were already applied by the batch updater.
-    pub(crate) fn apply_insert_sampling(&mut self, row: Row) {
-        if !self.archive.insert(row.clone()) {
-            return;
+    pub(crate) fn apply_insert_sampling(&mut self, row: Row) -> Result<()> {
+        if !self.archive.insert(row.clone())? {
+            return Ok(());
         }
         match self.reservoir.offer(row.clone(), self.archive.len()) {
             InsertOutcome::Added => self.admit_sample(&row),
@@ -294,13 +297,14 @@ impl JanusEngine {
             InsertOutcome::Skipped => {}
         }
         self.stats.inserts += 1;
+        Ok(())
     }
 
     /// Archive + reservoir bookkeeping for a delete whose tree statistics
     /// were already applied by the batch updater.
-    pub(crate) fn apply_delete_sampling(&mut self, id: RowId, row: &Row) {
-        if self.archive.delete(id).is_none() {
-            return;
+    pub(crate) fn apply_delete_sampling(&mut self, id: RowId, row: &Row) -> Result<()> {
+        if self.archive.delete(id)?.is_none() {
+            return Ok(());
         }
         match self.reservoir.delete(id) {
             DeleteOutcome::NotInSample => {}
@@ -316,6 +320,7 @@ impl JanusEngine {
             }
         }
         self.stats.deletes += 1;
+        Ok(())
     }
 
     /// Re-sample `2m` fresh rows from the archive (§4.2 floor breach and

@@ -248,7 +248,7 @@ impl MultiTemplateEngine {
 
     /// Inserts a tuple, fanning out to every tree.
     pub fn insert(&mut self, row: Row) -> Result<()> {
-        if !self.archive.insert(row.clone()) {
+        if !self.archive.insert(row.clone())? {
             return Err(JanusError::InvalidConfig(format!(
                 "duplicate row id {}",
                 row.id
@@ -273,7 +273,10 @@ impl MultiTemplateEngine {
 
     /// Deletes a tuple by id, fanning out to every tree.
     pub fn delete(&mut self, id: RowId) -> Result<Row> {
-        let row = self.archive.delete(id).ok_or(JanusError::RowNotFound(id))?;
+        let row = self
+            .archive
+            .delete(id)?
+            .ok_or(JanusError::RowNotFound(id))?;
         for syn in &mut self.synopses {
             syn.dpt.record_delete(&row);
         }

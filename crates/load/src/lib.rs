@@ -151,6 +151,7 @@ impl Journal<'_> {
         if let Some(store) = self.store {
             inner.since_flush += 1;
             if self.every > 0 && inner.since_flush >= self.every {
+                janus_common::faults::check_storage("load.journal")?;
                 inner.progress.save(store, inner.next_id)?;
                 store.prune(2)?;
                 inner.next_id += 1;
@@ -164,6 +165,7 @@ impl Journal<'_> {
     fn finish(&self) -> Result<()> {
         let mut inner = self.inner.lock();
         if let Some(store) = self.store {
+            janus_common::faults::check_storage("load.journal")?;
             inner.progress.save(store, inner.next_id)?;
             store.prune(2)?;
             inner.next_id += 1;

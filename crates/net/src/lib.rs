@@ -37,5 +37,5 @@ pub mod wire;
 
 pub use directory::{Directory, DirectorySnapshot, NodeDesc, ShardHosts};
 pub use node::{NodeConfig, NodeServer};
-pub use remote::{local_fleet, RemoteCluster, RemoteConfig, RemoteStats};
+pub use remote::{local_fleet, RemoteCluster, RemoteConfig, RemoteStats, RetryPolicy};
 pub use wire::{Frame, FrameDecoder, QueryOutcome, MAX_FRAME_LEN, WIRE_VERSION};

@@ -138,6 +138,15 @@ impl NodeState {
 fn pump_loop(state: &NodeState, slot: &ShardSlot) {
     let mut idle = IDLE_MIN;
     while !state.shutdown.load(Ordering::Acquire) && !slot.retired.load(Ordering::Acquire) {
+        // Chaos hook: an injected fault here models a wedged applier —
+        // a transient stall, never a wrong apply. `Stall` sleeps inside
+        // `hit`; error kinds park one idle period and re-poll, so the
+        // shard falls behind (stale reads, backpressure) but always
+        // converges once the plan stops firing.
+        if janus_common::faults::hit("node.pump").is_some() {
+            std::thread::park_timeout(IDLE_MAX);
+            continue;
+        }
         let applied = slot.applied.load(Ordering::Acquire);
         let batch = slot
             .log

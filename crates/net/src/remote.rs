@@ -31,6 +31,21 @@
 //! primary + fresh followers); the node re-checks the gate under its
 //! engine lock and answers `Stale` if it fell behind, in which case the
 //! coordinator falls back to the primary.
+//!
+//! # Transient-failure hardening
+//!
+//! Every transport exchange (shipper pushes, query scatters, checkpoint
+//! shipping, population probes) runs under a seeded [`RetryPolicy`]:
+//! exponential backoff with deterministic jitter, a fresh TCP dial
+//! before each retry (connections are stateless after the bootstrap
+//! hello, and publish replays deduplicate by offset on the node), and
+//! `fail_node` only after the budget is exhausted. Heartbeats fail a
+//! node only after `retry.budget` *consecutive* misses. Each node also
+//! carries a circuit breaker: after `retry.budget` consecutive
+//! query-path failures it opens for `retry.cap`, during which scatters
+//! prefer fresh followers (degraded replica reads, counted in
+//! [`RemoteStats::degraded_reads`]); a half-open probe then readmits
+//! the node on the first success.
 
 use crate::directory::{Directory, NodeDesc};
 use crate::node::NodeConfig;
@@ -39,20 +54,135 @@ use janus_cluster::bootstrap::shard_seed;
 use janus_cluster::notify::Progress;
 use janus_cluster::{PublishReport, ShardCheckpoint, ShardOp, ShardPolicy, ShardRouter};
 use janus_common::{
-    merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
+    faults, merge, AggregateFunction, DetHashMap, Estimate, JanusError, Query, Result, Row, RowId,
 };
 use janus_core::SynopsisConfig;
 use janus_storage::{CheckpointStore, ShardedLog};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 const IDLE_MIN: Duration = Duration::from_micros(200);
 const IDLE_MAX: Duration = Duration::from_millis(20);
+/// Bound on a re-dial attempt during retry; the bootstrap dial keeps its
+/// own, more generous timeout.
+const REDIAL_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// Exponential-backoff budget for transport exchanges with one node.
+///
+/// `budget` attempts total; attempt `n` (1-based) sleeps a jittered
+/// `base * 2^(n-1)` capped at `cap` before the retry. Jitter is a pure
+/// function of `(seed, salt, attempt)` via the same SplitMix64 finalizer
+/// the failpoint registry uses, so two coordinators configured alike
+/// back off identically — the chaos suite pins that.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts before the operation fails over (minimum 1).
+    pub budget: u32,
+    /// First backoff sleep.
+    pub base: Duration,
+    /// Backoff ceiling — also the circuit breaker's open interval.
+    pub cap: Duration,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 0x6a61_6e75_735f_7270,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered sleep before retry number `attempt` (1-based).
+    /// Deterministic in `(seed, salt, attempt)`; jitter spans the upper
+    /// half of the exponential step so backoff never collapses to zero.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.base.as_nanos().max(1) as u64;
+        let cap = self.cap.as_nanos().max(1) as u64;
+        let step = base
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+            .min(cap);
+        let h = faults::mix64(self.seed ^ salt ^ u64::from(attempt).wrapping_mul(0x9e37));
+        let jittered = step / 2 + h % (step / 2 + 1);
+        Duration::from_nanos(jittered.min(cap))
+    }
+}
+
+/// Per-node circuit breaker: opens after `threshold` consecutive
+/// failures, holds for `cooldown`, then admits a single half-open probe
+/// whose outcome closes or re-opens it.
+struct Breaker {
+    fails: AtomicU32,
+    state: Mutex<BreakerState>,
+}
+
+enum BreakerState {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+impl Breaker {
+    fn new() -> Self {
+        Breaker {
+            fails: AtomicU32::new(0),
+            state: Mutex::new(BreakerState::Closed),
+        }
+    }
+
+    /// `true` while callers should avoid this node. The first caller to
+    /// observe an expired open interval transitions to half-open and is
+    /// told `false` — it becomes the probe; everyone else keeps seeing
+    /// `true` until the probe reports.
+    fn is_open(&self) -> bool {
+        let mut state = self.state.lock();
+        match *state {
+            BreakerState::Closed => false,
+            BreakerState::Open { until } => {
+                if Instant::now() < until {
+                    true
+                } else {
+                    *state = BreakerState::HalfOpen;
+                    false
+                }
+            }
+            BreakerState::HalfOpen => true,
+        }
+    }
+
+    fn record_ok(&self) {
+        self.fails.store(0, Ordering::Relaxed);
+        *self.state.lock() = BreakerState::Closed;
+    }
+
+    fn record_err(&self, threshold: u32, cooldown: Duration) -> bool {
+        let fails = self.fails.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut state = self.state.lock();
+        let reopen = matches!(*state, BreakerState::HalfOpen) || fails >= threshold.max(1);
+        if reopen {
+            *state = BreakerState::Open {
+                until: Instant::now() + cooldown,
+            };
+        }
+        reopen
+    }
+
+    fn force_open(&self, hold: Duration) {
+        *self.state.lock() = BreakerState::Open {
+            until: Instant::now() + hold,
+        };
+    }
+}
 
 /// Deployment parameters for a networked cluster.
 #[derive(Clone, Debug)]
@@ -77,6 +207,15 @@ pub struct RemoteConfig {
     pub ship_chunk: usize,
     /// Failure-detection / offset-poll period.
     pub heartbeat_every: Duration,
+    /// Socket read timeout on both channels of every node link. `None`
+    /// (the default, matching the pre-retry behavior) blocks reads
+    /// indefinitely; setting it makes a stalled node surface as a
+    /// transport error that the retry/breaker machinery handles.
+    pub read_timeout: Option<Duration>,
+    /// Backoff budget for every transport exchange; also sets the
+    /// heartbeat miss threshold (`budget` consecutive misses) and the
+    /// circuit breaker's threshold and open interval.
+    pub retry: RetryPolicy,
 }
 
 impl RemoteConfig {
@@ -91,6 +230,8 @@ impl RemoteConfig {
             max_backlog: 65_536,
             ship_chunk: 1024,
             heartbeat_every: Duration::from_millis(100),
+            read_timeout: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -99,6 +240,32 @@ impl RemoteConfig {
     pub fn with_replicas(mut self, replicas: usize, replica_lag: u64) -> Self {
         self.replicas = replicas;
         self.replica_lag = replica_lag;
+        self
+    }
+
+    /// Sets the failure-detection / offset-poll period.
+    pub fn with_heartbeat_every(mut self, period: Duration) -> Self {
+        self.heartbeat_every = period;
+        self
+    }
+
+    /// Sets the socket read timeout on every node link.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the publish-ahead window (`max_backlog`): publishes stall
+    /// while any copy of the target shard trails by more than this many
+    /// applied records. `0` disables backpressure.
+    pub fn with_publish_window(mut self, max_backlog: u64) -> Self {
+        self.max_backlog = max_backlog;
+        self
+    }
+
+    /// Sets the transport retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -118,6 +285,11 @@ pub struct RemoteStats {
     pub migrations: u64,
     /// Deadline-bounded answers merged from a strict subset of shards.
     pub partial_answers: u64,
+    /// Transport retries that eventually succeeded or failed over.
+    pub link_retries: u64,
+    /// Sub-queries steered to a follower because the primary's circuit
+    /// breaker was open.
+    pub degraded_reads: u64,
 }
 
 #[derive(Default)]
@@ -128,6 +300,8 @@ struct Counters {
     replica_queries: AtomicU64,
     migrations: AtomicU64,
     partial_answers: AtomicU64,
+    link_retries: AtomicU64,
+    degraded_reads: AtomicU64,
 }
 
 /// Live connection state for one node.
@@ -146,6 +320,11 @@ struct NodeLink {
     /// Shipper thread handle, for publish-side unparks.
     thread: Mutex<Option<std::thread::Thread>>,
     hb_seq: AtomicU64,
+    /// Consecutive heartbeat misses; `retry.budget` of them fail the node.
+    hb_misses: AtomicU32,
+    /// Socket read timeout restored after every deadline-bounded call.
+    read_timeout: Option<Duration>,
+    breaker: Breaker,
 }
 
 impl NodeLink {
@@ -207,8 +386,57 @@ impl NodeLink {
             return Self::exchange(&mut s, frame, false);
         }
         let result = Self::exchange(&mut s, frame, true);
-        let _ = s.set_read_timeout(None);
+        let _ = s.set_read_timeout(self.read_timeout);
         result
+    }
+
+    /// Dials a fresh connection to this node (retry path — bounded by
+    /// [`REDIAL_TIMEOUT`]). No hello is needed: connections are
+    /// stateless after the bootstrap handshake.
+    fn dial(&self) -> std::io::Result<TcpStream> {
+        let s = TcpStream::connect_timeout(&self.desc.addr, REDIAL_TIMEOUT)?;
+        s.set_nodelay(true)?;
+        s.set_read_timeout(self.read_timeout)?;
+        Ok(s)
+    }
+
+    /// Best-effort replacement of the control stream with a fresh dial.
+    fn redial_ctrl(&self) {
+        if let Ok(fresh) = self.dial() {
+            *self.ctrl.lock() = fresh;
+        }
+    }
+
+    /// One request with the full retry budget: on a transport error,
+    /// back off (jitter salted by this node's id), re-dial, and resend.
+    /// Safe for every frame the coordinator ships — publishes replay
+    /// idempotently by offset and the rest are read-only or idempotent
+    /// installs. Returns the last error once the budget is exhausted.
+    fn request_retry(
+        &self,
+        stream: &Mutex<TcpStream>,
+        frame: &Frame,
+        policy: &RetryPolicy,
+        retries: &AtomicU64,
+    ) -> Result<Frame> {
+        let mut s = stream.lock();
+        let mut attempt = 0u32;
+        loop {
+            match Self::exchange(&mut s, frame, false) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= policy.budget.max(1) {
+                        return Err(e);
+                    }
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt, self.desc.node_id));
+                    if let Ok(fresh) = self.dial() {
+                        *s = fresh;
+                    }
+                }
+            }
+        }
     }
 
     fn shipped_of(&self, shard: u32) -> u64 {
@@ -299,8 +527,11 @@ fn fail_node(shared: &RemoteShared, idx: usize) {
 }
 
 /// One heartbeat sweep: probe every alive node, fold its applied
-/// offsets into the link state, fail nodes that do not answer.
+/// offsets into the link state. A miss re-dials and is only fatal after
+/// `retry.budget` *consecutive* misses — a dropped connection or one
+/// slow reply no longer kills a node that is otherwise healthy.
 fn probe_all(shared: &RemoteShared) {
+    let threshold = shared.config.retry.budget.max(1);
     for (idx, link) in shared.links.iter().enumerate() {
         if !link.alive.load(Ordering::Acquire) {
             continue;
@@ -308,6 +539,7 @@ fn probe_all(shared: &RemoteShared) {
         let seq = link.hb_seq.fetch_add(1, Ordering::Relaxed);
         match link.request_ctrl(&Frame::Heartbeat { seq }) {
             Ok(Frame::HeartbeatAck { applied, .. }) => {
+                link.hb_misses.store(0, Ordering::Relaxed);
                 let mut map = link.applied.lock();
                 for (shard, off) in applied {
                     map.insert(shard, off);
@@ -315,7 +547,14 @@ fn probe_all(shared: &RemoteShared) {
                 drop(map);
                 shared.progress.bump();
             }
-            _ => fail_node(shared, idx),
+            _ => {
+                let misses = link.hb_misses.fetch_add(1, Ordering::Relaxed) + 1;
+                if misses >= threshold {
+                    fail_node(shared, idx);
+                } else {
+                    link.redial_ctrl();
+                }
+            }
         }
     }
 }
@@ -340,7 +579,13 @@ fn shipper_loop(shared: &RemoteShared, idx: usize) {
                 first_offset: cursor,
                 ops: batch,
             };
-            match link.request_ship(&frame) {
+            let reply = link.request_retry(
+                &link.ship,
+                &frame,
+                &shared.config.retry,
+                &shared.counters.link_retries,
+            );
+            match reply {
                 Ok(Frame::PublishAck {
                     received, applied, ..
                 }) => {
@@ -349,9 +594,10 @@ fn shipper_loop(shared: &RemoteShared, idx: usize) {
                     moved = true;
                     shared.progress.bump();
                 }
-                // A node-side error (gap, unhosted shard) or transport
-                // failure both mean this copy can no longer be trusted
-                // to converge; treat the node as failed.
+                // A node-side error (gap, unhosted shard) means this
+                // copy cannot converge; a transport failure surviving
+                // the full retry budget means the node is gone. Either
+                // way the copy is done for.
                 Ok(_) | Err(_) => {
                     fail_node(shared, idx);
                     return;
@@ -409,7 +655,7 @@ impl RemoteCluster {
         }
         let mut links = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            links.push(connect_node(*addr)?);
+            links.push(connect_node(*addr, config.read_timeout)?);
         }
         let descs: Vec<NodeDesc> = links.iter().map(|l| l.desc.clone()).collect();
         let directory = Directory::place(descs, config.shards, config.replicas)?;
@@ -819,6 +1065,7 @@ impl RemoteCluster {
         let shared = &self.shared;
         let id = shared.query_seq.fetch_add(1, Ordering::Relaxed);
         let mut primary_only = false;
+        let mut attempts: HashMap<usize, u32> = HashMap::new();
         loop {
             if shared.shutdown.load(Ordering::Acquire) {
                 return Err(JanusError::Storage("cluster shut down".into()));
@@ -853,8 +1100,23 @@ impl RemoteCluster {
                     })
                     .collect();
                 if dir.is_alive(hosts.primary) {
+                    // Degraded replica reads: while the primary's
+                    // breaker is open, steer round-robin across fresh
+                    // followers only — unless the freshness fallback
+                    // already pinned this gather to the primary (the
+                    // pinned read doubles as the half-open probe).
+                    let degraded = !primary_only
+                        && !fresh.is_empty()
+                        && shared.links[hosts.primary].breaker.is_open();
                     let pick = if primary_only {
                         0
+                    } else if degraded {
+                        shared
+                            .counters
+                            .degraded_reads
+                            .fetch_add(1, Ordering::Relaxed);
+                        1 + shared.read_cursor.fetch_add(1, Ordering::Relaxed) as usize
+                            % fresh.len()
                     } else {
                         shared.read_cursor.fetch_add(1, Ordering::Relaxed) as usize
                             % (fresh.len() + 1)
@@ -891,6 +1153,9 @@ impl RemoteCluster {
                 Some(budget) => shared.links[node].request_ctrl_deadline(&frame, budget),
                 None => shared.links[node].request_ctrl(&frame),
             };
+            if reply.is_ok() {
+                shared.links[node].breaker.record_ok();
+            }
             match reply {
                 Ok(Frame::Estimate {
                     outcome: QueryOutcome::Stale { .. },
@@ -907,9 +1172,31 @@ impl RemoteCluster {
                     )))
                 }
                 // A healthy-but-slow node: the shard misses this gather,
-                // the node stays in the cluster.
+                // the node stays in the cluster — and the breaker is
+                // left alone (slowness is the deadline's business).
                 Err(JanusError::Deadline) => return Err(JanusError::Deadline),
-                Err(_) => fail_node(shared, node),
+                // Transport failure: back off and retry through a fresh
+                // dial; the node is marked dead only once it burns the
+                // whole budget for this gather.
+                Err(_) => {
+                    let policy = &shared.config.retry;
+                    shared.links[node]
+                        .breaker
+                        .record_err(policy.budget, policy.cap);
+                    let tried = attempts.entry(node).or_insert(0);
+                    *tried += 1;
+                    if *tried >= policy.budget.max(1) {
+                        fail_node(shared, node);
+                    } else {
+                        shared.counters.link_retries.fetch_add(1, Ordering::Relaxed);
+                        let mut sleep = policy.backoff(*tried, node as u64 ^ id);
+                        if let Some(expiry) = expiry {
+                            sleep = sleep.min(expiry.saturating_duration_since(Instant::now()));
+                        }
+                        std::thread::sleep(sleep);
+                        shared.links[node].redial_ctrl();
+                    }
+                }
             }
         }
     }
@@ -933,7 +1220,14 @@ impl RemoteCluster {
                     std::thread::park_timeout(Duration::from_millis(1));
                     continue;
                 };
-                match self.shared.links[primary].request_ctrl(&Frame::Population { shard }) {
+                let link = &self.shared.links[primary];
+                let reply = link.request_retry(
+                    &link.ctrl,
+                    &Frame::Population { shard },
+                    &self.shared.config.retry,
+                    &self.shared.counters.link_retries,
+                );
+                match reply {
                     Ok(Frame::PopulationAck { rows, .. }) => {
                         total += rows;
                         break;
@@ -972,7 +1266,12 @@ impl RemoteCluster {
         if from == to {
             return Ok(());
         }
-        let shipped = shared.links[from].request_ship(&Frame::FetchCheckpoint { shard })?;
+        let shipped = shared.links[from].request_retry(
+            &shared.links[from].ship,
+            &Frame::FetchCheckpoint { shard },
+            &shared.config.retry,
+            &shared.counters.link_retries,
+        )?;
         let applied_offset = match &shipped {
             Frame::Checkpoint { payload, .. } => {
                 let ck: ShardCheckpoint = serde_json::from_slice(payload)
@@ -986,8 +1285,17 @@ impl RemoteCluster {
                 )))
             }
         };
-        match shared.links[to].request_ship(&shipped)? {
+        let install = shared.links[to].request_retry(
+            &shared.links[to].ship,
+            &shipped,
+            &shared.config.retry,
+            &shared.counters.link_retries,
+        )?;
+        match install {
             Frame::Ok => {}
+            // An install whose ack was lost to a retried transport
+            // error already landed; "already hosted" is success here.
+            Frame::Error { message } if message.contains("already hosted") => {}
             Frame::Error { message } => return Err(JanusError::Storage(message)),
             other => {
                 return Err(JanusError::Protocol(format!(
@@ -1027,7 +1335,24 @@ impl RemoteCluster {
             replica_queries: c.replica_queries.load(Ordering::Relaxed),
             migrations: c.migrations.load(Ordering::Relaxed),
             partial_answers: c.partial_answers.load(Ordering::Relaxed),
+            link_retries: c.link_retries.load(Ordering::Relaxed),
+            degraded_reads: c.degraded_reads.load(Ordering::Relaxed),
         }
+    }
+
+    /// Forces node `idx`'s circuit breaker open for `hold` — the test /
+    /// benchmark hook for measuring degraded (replica-served) reads
+    /// without killing a node. Scatters avoid the node while the
+    /// breaker holds; the first read after expiry is the half-open
+    /// probe that readmits it.
+    pub fn trip_breaker(&self, idx: usize, hold: Duration) -> Result<()> {
+        let link = self
+            .shared
+            .links
+            .get(idx)
+            .ok_or_else(|| JanusError::InvalidConfig(format!("no node {idx}")))?;
+        link.breaker.force_open(hold);
+        Ok(())
     }
 
     /// Current placement snapshot (for inspection / tests).
@@ -1095,10 +1420,11 @@ impl Drop for RemoteCluster {
 }
 
 /// Dials both channels to a node and exchanges the hello handshake.
-fn connect_node(addr: SocketAddr) -> Result<NodeLink> {
+fn connect_node(addr: SocketAddr, read_timeout: Option<Duration>) -> Result<NodeLink> {
     let dial = || -> std::io::Result<TcpStream> {
         let s = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
         s.set_nodelay(true)?;
+        s.set_read_timeout(read_timeout)?;
         Ok(s)
     };
     let ship = dial().map_err(|e| JanusError::Storage(format!("connect {addr}: {e}")))?;
@@ -1125,6 +1451,9 @@ fn connect_node(addr: SocketAddr) -> Result<NodeLink> {
         applied: Mutex::new(HashMap::new()),
         thread: Mutex::new(None),
         hb_seq: AtomicU64::new(0),
+        hb_misses: AtomicU32::new(0),
+        read_timeout,
+        breaker: Breaker::new(),
     })
 }
 

@@ -3,22 +3,28 @@
 //! Every frame on the wire is
 //!
 //! ```text
-//! [u32 LE length][u8 version][u8 kind][body ...]
+//! [u32 LE length][u8 version][u8 kind][body ...][u32 LE crc32]
 //! ```
 //!
-//! where `length` counts the version byte, the kind byte, and the body
-//! (so a frame occupies `4 + length` bytes total). All integers are
+//! where `length` counts the version byte, the kind byte, the body, and
+//! the 4-byte CRC trailer (so a frame occupies `4 + length` bytes
+//! total). The trailer is the CRC32 (IEEE) of the version byte, the
+//! kind byte, and the body; a frame whose checksum does not match is
+//! rejected with [`JanusError::Protocol`] *before* any field is parsed,
+//! so a flipped bit anywhere in transit can kill the connection but can
+//! never mis-parse into a structurally valid frame. All integers are
 //! little-endian; floats travel as their IEEE-754 bit patterns, so
 //! estimates survive the wire bit-exactly — the property the cluster's
 //! equivalence tests pin. Collections are `u32` count-prefixed; strings
 //! are count-prefixed UTF-8.
 //!
 //! The decoder is hardened against hostile or torn input: a length
-//! prefix above [`MAX_FRAME_LEN`] (or below the 2-byte header) is
-//! rejected *before* any body allocation, collection counts are checked
-//! against the bytes actually present before a `Vec` is reserved,
-//! unknown versions/kinds/tags error out, and a payload with trailing
-//! bytes after its last field is malformed. [`FrameDecoder`] is the
+//! prefix above [`MAX_FRAME_LEN`] (or below the 6-byte
+//! version/kind/CRC envelope) is rejected *before* any body allocation,
+//! collection counts are checked against the bytes actually present
+//! before a `Vec` is reserved, unknown versions/kinds/tags error out,
+//! and a payload with trailing bytes after its last field is
+//! malformed. [`FrameDecoder`] is the
 //! incremental path (feed arbitrary byte slices, frames pop out as they
 //! complete — reads split across buffer boundaries are the normal
 //! case); [`read_frame`] / [`write_frame`] are the blocking-socket
@@ -26,15 +32,18 @@
 
 use janus_cluster::ShardOp;
 use janus_common::QueryTemplate;
-use janus_common::{AggregateFunction, Estimate, JanusError, Query, RangePredicate, Result, Row};
+use janus_common::{
+    crc32, faults, AggregateFunction, Estimate, JanusError, Query, RangePredicate, Result, Row,
+};
 use janus_core::SynopsisConfig;
 use janus_storage::ArchiveBackendKind;
 use std::io::{Read, Write};
 
 /// Protocol version carried in every frame header. Version 2 added the
 /// tenant/deadline fields on [`Frame::Query`] and the partiality flag on
-/// every transported [`Estimate`].
-pub const WIRE_VERSION: u8 = 2;
+/// every transported [`Estimate`]; version 3 added the end-to-end CRC32
+/// trailer on every frame.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on a frame's declared length. A prefix above this is a
 /// protocol error and is rejected before any allocation happens, so a
@@ -511,8 +520,17 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Shutdown => KIND_SHUTDOWN,
     };
     e.buf[5] = kind;
+    let crc = crc32(&e.buf[4..]);
+    e.buf.extend_from_slice(&crc.to_le_bytes());
     let len = (e.buf.len() - 4) as u32;
     e.buf[..4].copy_from_slice(&len.to_le_bytes());
+    // Chaos hook: flips one bit *after* the checksum was stamped, so an
+    // injected corruption models in-flight damage the CRC must catch.
+    // Only the payload (version/kind/body/crc) is fair game: the length
+    // prefix is framing, whose integrity the transport owns (a flipped
+    // length would stall the peer waiting for bytes that never come,
+    // not corrupt data) — end-to-end CRC guards everything after it.
+    faults::maybe_corrupt("wire.encode", &mut e.buf[4..]);
     e.buf
 }
 
@@ -694,9 +712,9 @@ impl<'a> Dec<'a> {
 
 /// Validates a length prefix before any body is read or allocated.
 fn check_len(len: usize) -> Result<()> {
-    if len < 2 {
+    if len < 6 {
         return Err(perr(format!(
-            "frame length {len} below the 2-byte version/kind header"
+            "frame length {len} below the 6-byte version/kind/crc envelope"
         )));
     }
     if len > MAX_FRAME_LEN {
@@ -708,10 +726,26 @@ fn check_len(len: usize) -> Result<()> {
 }
 
 /// Decodes one frame payload (the bytes *after* the length prefix:
-/// version, kind, body). Trailing bytes are a protocol error.
+/// version, kind, body, CRC trailer). The checksum is verified before
+/// any field is parsed; trailing bytes are a protocol error.
 pub fn decode_payload(payload: &[u8]) -> Result<Frame> {
+    if payload.len() < 6 {
+        return Err(perr(format!(
+            "frame payload of {} bytes is below the 6-byte envelope",
+            payload.len()
+        )));
+    }
+    let (covered, trailer) = payload.split_at(payload.len() - 4);
+    let want = u32::from_le_bytes(trailer.try_into().unwrap());
+    let got = crc32(covered);
+    if got != want {
+        return Err(perr(format!(
+            "frame CRC mismatch: computed {got:08x}, trailer says {want:08x} — \
+             corrupt frame, dropping the connection"
+        )));
+    }
     let mut d = Dec {
-        buf: payload,
+        buf: covered,
         pos: 0,
     };
     let version = d.u8()?;
@@ -859,6 +893,7 @@ fn io_err(what: &str, e: std::io::Error) -> JanusError {
 
 /// Writes one frame to a blocking stream.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    faults::check_protocol("net.write")?;
     w.write_all(&encode_frame(frame))
         .map_err(|e| io_err("write frame", e))
 }
@@ -868,6 +903,7 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
 /// error. The body buffer is only allocated after the length prefix
 /// passes validation.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    faults::check_protocol("net.read")?;
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -910,6 +946,7 @@ fn is_read_timeout(e: &std::io::Error) -> bool {
 /// the caller may overshoot its deadline by one small frame, but the
 /// stream can never desynchronize mid-frame.
 pub fn read_frame_deadline(r: &mut impl Read) -> Result<Option<Frame>> {
+    faults::check_protocol("net.read")?;
     let mut header = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -972,13 +1009,36 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = encode_frame(&Frame::Ok);
-        bytes.push(0xff);
-        let len = (bytes.len() - 4) as u32;
-        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        // Hand-build a payload with a stray byte after the body and a
+        // *valid* CRC over it, so the trailing-byte check (not the
+        // checksum) is what rejects it.
+        let encoded = encode_frame(&Frame::Ok);
+        let mut payload = encoded[4..encoded.len() - 4].to_vec();
+        payload.push(0xff);
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
         let mut dec = FrameDecoder::new();
         dec.feed(&bytes);
         assert!(dec.try_next().is_err());
+    }
+
+    #[test]
+    fn flipped_bit_fails_the_frame_crc_with_a_typed_error() {
+        let frame = Frame::Publish {
+            shard: 1,
+            offset: 7,
+            op: ShardOp::Insert(Row::new(3, vec![0.5])),
+        };
+        let mut bytes = encode_frame(&frame);
+        bytes[6] ^= 0x10; // damage the body, leave the length intact
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        match dec.try_next() {
+            Err(JanusError::Protocol(msg)) => assert!(msg.contains("CRC")),
+            other => panic!("corrupt frame must fail CRC, got {other:?}"),
+        }
     }
 
     #[test]

@@ -78,9 +78,16 @@ impl<'a> ArchiveColumns<'a> {
 /// derives from slot indices — depends only on the insert/delete
 /// sequence.
 ///
-/// Backends are infallible at this interface: I/O-backed implementations
-/// panic on storage errors (the archive is load-bearing state; continuing
-/// on a torn read would corrupt answers silently).
+/// Mutations (`insert`, `delete`, `compact`) are fallible: I/O-backed
+/// implementations surface storage failures — including injected
+/// [`janus_common::faults`] — as typed [`JanusError`]s so callers can
+/// recover (re-fetch the shard, retry the publish) instead of crashing.
+/// Reads (`read_slot`) stay infallible: scan paths only touch segments
+/// whose integrity was CRC-verified at open, so a read failure there
+/// means the media died mid-process and panicking beats silently
+/// corrupting answers.
+///
+/// [`JanusError`]: janus_common::JanusError
 pub trait ArchiveBackend: Send + Sync {
     /// Live row count.
     fn len(&self) -> usize;
@@ -96,13 +103,14 @@ pub trait ArchiveBackend: Send + Sync {
     /// The slot currently holding `id`, if live.
     fn slot_of(&self, id: RowId) -> Option<usize>;
 
-    /// Appends a row at slot `len`. Returns `false` (storing nothing) if
-    /// the id is already live.
-    fn insert(&mut self, id: RowId, values: &[f64]) -> bool;
+    /// Appends a row at slot `len`. Returns `Ok(false)` (storing nothing)
+    /// if the id is already live; `Err` on a storage failure (the row was
+    /// not stored).
+    fn insert(&mut self, id: RowId, values: &[f64]) -> Result<bool>;
 
     /// Deletes a row by id with `swap_remove` slot semantics, returning
-    /// the materialized row if it was live.
-    fn delete(&mut self, id: RowId) -> Option<Row>;
+    /// the materialized row if it was live; `Err` on a storage failure.
+    fn delete(&mut self, id: RowId) -> Result<Option<Row>>;
 
     /// Copies slot `slot`'s values into `buf` (cleared first) and returns
     /// its row id.
@@ -113,11 +121,11 @@ pub trait ArchiveBackend: Send + Sync {
         None
     }
 
-    /// Forces a maintenance compaction pass, returning `true` if the
+    /// Forces a maintenance compaction pass, returning `Ok(true)` if the
     /// backend rewrote storage. In-memory backends have nothing to
     /// compact (swap-remove deletion never leaves dead records).
-    fn compact(&mut self) -> bool {
-        false
+    fn compact(&mut self) -> Result<bool> {
+        Ok(false)
     }
 
     /// Segment/compaction counters, for backends that spill to disk.
@@ -231,9 +239,9 @@ impl ArchiveBackend for ColumnarArchive {
         self.index_of.get(&id).copied()
     }
 
-    fn insert(&mut self, id: RowId, values: &[f64]) -> bool {
+    fn insert(&mut self, id: RowId, values: &[f64]) -> Result<bool> {
         if self.index_of.contains_key(&id) {
-            return false;
+            return Ok(false);
         }
         match self.arity {
             None => self.arity = Some(values.len()),
@@ -246,11 +254,13 @@ impl ArchiveBackend for ColumnarArchive {
         self.index_of.insert(id, self.ids.len());
         self.ids.push(id);
         self.values.extend_from_slice(values);
-        true
+        Ok(true)
     }
 
-    fn delete(&mut self, id: RowId) -> Option<Row> {
-        let at = self.index_of.remove(&id)?;
+    fn delete(&mut self, id: RowId) -> Result<Option<Row>> {
+        let Some(at) = self.index_of.remove(&id) else {
+            return Ok(None);
+        };
         let row = Row::new(id, self.slot_values(at).to_vec());
         let last = self.ids.len() - 1;
         let arity = self.stride();
@@ -267,7 +277,7 @@ impl ArchiveBackend for ColumnarArchive {
         if at < self.ids.len() {
             self.index_of.insert(self.ids[at], at);
         }
-        Some(row)
+        Ok(Some(row))
     }
 
     fn read_slot(&self, slot: usize, buf: &mut Vec<f64>) -> RowId {
@@ -330,7 +340,7 @@ impl ArchiveStore {
     pub fn from_rows(rows: impl IntoIterator<Item = Row>) -> Self {
         let mut a = Self::new();
         for r in rows {
-            a.insert(r);
+            a.insert(r).expect("in-memory archive insert cannot fail");
         }
         a
     }
@@ -342,7 +352,7 @@ impl ArchiveStore {
     ) -> Result<Self> {
         let mut a = Self::open(kind)?;
         for r in rows {
-            a.insert(r);
+            a.insert(r)?;
         }
         Ok(a)
     }
@@ -362,14 +372,15 @@ impl ArchiveStore {
         self.backend.is_empty()
     }
 
-    /// Inserts a row. Returns `false` (and ignores the row) if the id is
-    /// already present.
-    pub fn insert(&mut self, row: Row) -> bool {
+    /// Inserts a row. Returns `Ok(false)` (and ignores the row) if the id
+    /// is already present; `Err` on a backend storage failure.
+    pub fn insert(&mut self, row: Row) -> Result<bool> {
         self.backend.insert(row.id, &row.values)
     }
 
-    /// Deletes a row by id, returning it if it existed.
-    pub fn delete(&mut self, id: RowId) -> Option<Row> {
+    /// Deletes a row by id, returning it if it existed; `Err` on a
+    /// backend storage failure.
+    pub fn delete(&mut self, id: RowId) -> Result<Option<Row>> {
         self.backend.delete(id)
     }
 
@@ -526,9 +537,9 @@ impl ArchiveStore {
         self.scan_partial(query).finish(query.agg)
     }
 
-    /// Forces a maintenance compaction on the backend (no-op and `false`
-    /// on backends with nothing to compact).
-    pub fn compact(&mut self) -> bool {
+    /// Forces a maintenance compaction on the backend (no-op and
+    /// `Ok(false)` on backends with nothing to compact).
+    pub fn compact(&mut self) -> Result<bool> {
         self.backend.compact()
     }
 
@@ -580,7 +591,8 @@ impl ArchiveStore {
         }
         let mut out = ColumnarArchive::new();
         self.for_each_row(|r| {
-            out.insert(r.id, r.values);
+            out.insert(r.id, r.values)
+                .expect("in-memory archive insert cannot fail");
         });
         ArchiveStore::with_backend(Box::new(out))
     }
@@ -596,10 +608,18 @@ impl ArchiveStore {
             return Ok(self.fork());
         }
         let mut backend = kind.open_backend()?;
+        let mut failed = None;
         self.for_each_row(|r| {
-            backend.insert(r.id, r.values);
+            if failed.is_none() {
+                if let Err(e) = backend.insert(r.id, r.values) {
+                    failed = Some(e);
+                }
+            }
         });
-        Ok(ArchiveStore { backend })
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(ArchiveStore { backend }),
+        }
     }
 
     /// Uniform sample of `n` *distinct* rows (fewer if the table is
@@ -669,15 +689,15 @@ mod tests {
     #[test]
     fn insert_get_delete_round_trip() {
         let mut a = ArchiveStore::new();
-        assert!(a.insert(row(1)));
-        assert!(a.insert(row(2)));
-        assert!(!a.insert(row(1)), "duplicate id rejected");
+        assert!(a.insert(row(1)).unwrap());
+        assert!(a.insert(row(2)).unwrap());
+        assert!(!a.insert(row(1)).unwrap(), "duplicate id rejected");
         assert_eq!(a.len(), 2);
         assert_eq!(a.get(1).unwrap().values[1], 2.0);
-        let deleted = a.delete(1).unwrap();
+        let deleted = a.delete(1).unwrap().unwrap();
         assert_eq!(deleted.id, 1);
         assert_eq!(deleted.values, vec![1.0, 2.0]);
-        assert!(a.delete(1).is_none());
+        assert!(a.delete(1).unwrap().is_none());
         assert!(!a.contains(1));
         assert!(a.contains(2));
         assert_eq!(a.len(), 1);
@@ -687,7 +707,7 @@ mod tests {
     fn swap_remove_keeps_lookup_consistent() {
         let mut a = ArchiveStore::from_rows((0..100).map(row));
         for id in [0u64, 50, 99, 3, 97] {
-            a.delete(id);
+            a.delete(id).unwrap();
         }
         assert_eq!(a.len(), 95);
         a.for_each_row(|r| {
@@ -709,12 +729,12 @@ mod tests {
                 if !model.iter().any(|r| r.id == id) {
                     model.push(row(id));
                 }
-                a.insert(row(id));
+                a.insert(row(id)).unwrap();
             } else if let Some(at) = model.iter().position(|r| r.id == id) {
                 model.swap_remove(at);
-                assert_eq!(a.delete(id).unwrap().id, id);
+                assert_eq!(a.delete(id).unwrap().unwrap().id, id);
             } else {
-                assert!(a.delete(id).is_none());
+                assert!(a.delete(id).unwrap().is_none());
             }
         }
         let stored: Vec<Row> = a.to_rows();
@@ -790,8 +810,8 @@ mod tests {
     #[test]
     fn fork_preserves_slot_order_and_streams() {
         let mut a = ArchiveStore::from_rows((0..40).map(row));
-        a.delete(7);
-        a.delete(31);
+        a.delete(7).unwrap();
+        a.delete(31).unwrap();
         let b = a.fork();
         assert_eq!(a.to_rows(), b.to_rows());
         assert_eq!(a.sample_distinct(8, 5), b.sample_distinct(8, 5));

@@ -164,7 +164,12 @@ impl CheckpointStore for FileCheckpointStore {
     fn put(&self, id: u64, payload: &str) -> Result<()> {
         let target = self.path_of(id);
         let tmp = self.dir.join(format!(".checkpoint-{id:020}.tmp"));
+        janus_common::faults::check_storage("checkpoint.write")?;
         std::fs::write(&tmp, payload).map_err(|e| storage_err("write checkpoint", &e))?;
+        // A fault here models a crash between the temp write and the
+        // rename: the torn temp file stays on disk for the orphan sweep,
+        // exactly like a real kill would leave it.
+        janus_common::faults::check_storage("checkpoint.rename")?;
         std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish checkpoint", &e))
     }
 

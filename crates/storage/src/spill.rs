@@ -29,7 +29,19 @@
 //! sealed segments in order (unsealed tail operations die with the
 //! process — by construction they were never acknowledged as durable;
 //! durability of *engine* state goes through the checkpoint machinery).
-//! Trailing bytes that do not form a whole record are ignored.
+//!
+//! ## End-to-end integrity
+//!
+//! Every sealed segment and the MANIFEST carry a CRC32 trailer
+//! ([`mod@janus_common::crc32`]) over their full contents. Reopen verifies
+//! each listed segment before replaying a single record: a mismatch —
+//! bit rot, a torn in-place overwrite, an injected
+//! [`janus_common::faults`] corruption — **quarantines** the file
+//! (renamed to `<name>.quarantine`, counted in
+//! [`SpillStats::quarantined`]) and fails the open with a typed
+//! [`JanusError::Storage`], so the caller re-fetches the shard from a
+//! healthy replica or checkpoint instead of silently replaying garbage.
+//! A corrupt MANIFEST is quarantined the same way.
 //!
 //! ## Compaction
 //!
@@ -58,10 +70,9 @@
 //! [`ArchiveBackend`]: crate::archive::ArchiveBackend
 
 use crate::archive::ArchiveBackend;
-use janus_common::{JanusError, Result, Row, RowId};
+use janus_common::{crc32, faults, JanusError, Result, Row, RowId};
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::Read;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,13 +81,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const MAGIC: u64 = 0x4745_5353_554e_414a;
 /// Bytes of the per-segment header: magic + arity.
 const HEADER: usize = 16;
+/// Bytes of the CRC32 integrity trailer closing every sealed segment.
+const TRAILER: usize = 4;
 /// Record kind tags.
 const KIND_INSERT: u64 = 0;
 const KIND_DELETE: u64 = 1;
 /// The atomically swapped segment listing (see the module docs).
 const MANIFEST: &str = "MANIFEST";
-/// First line of a valid manifest.
-const MANIFEST_HEADER: &str = "janus-spill-manifest v1";
+/// First line of a valid manifest (v2 added the closing `crc` line).
+const MANIFEST_HEADER: &str = "janus-spill-manifest v2";
+/// Suffix a corrupt file is renamed to when quarantined.
+const QUARANTINE_SUFFIX: &str = ".quarantine";
 /// Default dead-record ratio that triggers auto-compaction.
 const DEFAULT_COMPACT_THRESHOLD: f64 = 0.5;
 /// Default minimum sealed segments' worth of records before the
@@ -127,6 +142,10 @@ pub struct SpillStats {
     pub compactions: u64,
     /// Dead records dropped by those passes.
     pub records_dropped: u64,
+    /// Corrupt files quarantined in this directory (`.quarantine`
+    /// renames observed at open) — nonzero means a CRC check failed and
+    /// the shard had to be re-fetched from a healthy copy.
+    pub quarantined: u64,
 }
 
 impl SpillStats {
@@ -193,6 +212,8 @@ pub struct SegmentedFileArchive {
     compactions: u64,
     /// Dead records dropped by those passes.
     records_dropped: u64,
+    /// `.quarantine` files present in the directory (counted at open).
+    quarantined: u64,
     /// Ephemeral stores delete their directory on drop (they are spill
     /// caches, not the durability story).
     ephemeral: bool,
@@ -223,6 +244,7 @@ impl SegmentedFileArchive {
             compact_min_records: DEFAULT_COMPACT_MIN_SEGMENTS * seg_rows as u64,
             compactions: 0,
             records_dropped: 0,
+            quarantined: 0,
             ephemeral: false,
         };
         store.replay_existing()?;
@@ -272,6 +294,7 @@ impl SegmentedFileArchive {
             live_rows: self.slots.len(),
             compactions: self.compactions,
             records_dropped: self.records_dropped,
+            quarantined: self.quarantined,
         }
     }
 
@@ -303,10 +326,12 @@ impl SegmentedFileArchive {
 
     /// Atomically publishes the current segment list (+ the arity lock)
     /// as the directory's manifest — tmp + rename, the same discipline
-    /// as segment seals and checkpoints.
+    /// as segment seals and checkpoints. The final `crc` line checksums
+    /// everything above it.
     fn write_manifest(&self) -> Result<()> {
+        faults::check_storage("spill.manifest")?;
         let mut text =
-            String::with_capacity(64 + self.seg_files.iter().map(|n| n.len() + 1).sum::<usize>());
+            String::with_capacity(80 + self.seg_files.iter().map(|n| n.len() + 1).sum::<usize>());
         text.push_str(MANIFEST_HEADER);
         text.push('\n');
         match self.arity {
@@ -317,15 +342,45 @@ impl SegmentedFileArchive {
             text.push_str(name);
             text.push('\n');
         }
+        let crc = crc32::crc32(text.as_bytes());
+        text.push_str(&format!("crc {crc:08x}\n"));
+        let mut bytes = text.into_bytes();
+        faults::maybe_corrupt("spill.manifest.bytes", &mut bytes);
         let tmp = self.dir.join(".MANIFEST.tmp");
-        std::fs::write(&tmp, text.as_bytes()).map_err(|e| storage_err("write manifest", &e))?;
+        std::fs::write(&tmp, &bytes).map_err(|e| storage_err("write manifest", &e))?;
         std::fs::rename(&tmp, self.dir.join(MANIFEST))
             .map_err(|e| storage_err("publish manifest", &e))
     }
 
-    /// Parses the manifest into `(arity, segment names)`.
+    /// Parses and CRC-verifies the manifest into `(arity, segment names)`.
     fn parse_manifest(text: &str, path: &Path) -> Result<(Option<usize>, Vec<String>)> {
-        let mut lines = text.lines();
+        // The closing `crc` line checksums everything before it; verify
+        // first so a flipped bit anywhere — header, arity, a segment
+        // name — is rejected before any of it is trusted.
+        let body = text.strip_suffix('\n').unwrap_or(text);
+        let (covered, crc_line) = match body.rfind('\n') {
+            Some(at) => (&text[..at + 1], &body[at + 1..]),
+            None => ("", body),
+        };
+        // The trailer line is the one part of the file its own CRC cannot
+        // cover, so its encoding must be canonical: exactly 8 lowercase
+        // hex digits. Accepting uppercase too would let a case-flipping
+        // bit flip (0x20) corrupt the line yet parse to the same value.
+        let stated = crc_line
+            .strip_prefix("crc ")
+            .filter(|h| h.len() == 8 && h.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')))
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| {
+                JanusError::Storage(format!("{}: missing crc trailer line", path.display()))
+            })?;
+        let actual = crc32::crc32(covered.as_bytes());
+        if stated != actual {
+            return Err(JanusError::Storage(format!(
+                "{}: crc mismatch (stated {stated:08x}, computed {actual:08x})",
+                path.display()
+            )));
+        }
+        let mut lines = covered.lines();
         if lines.next() != Some(MANIFEST_HEADER) {
             return Err(JanusError::Storage(format!(
                 "{} is not a janus spill manifest",
@@ -354,49 +409,91 @@ impl SegmentedFileArchive {
         ))
     }
 
+    /// Renames a corrupt file aside (`<name>.quarantine`) and returns the
+    /// typed error the caller propagates: the store must not be opened
+    /// over corrupt data, and the shard should be re-fetched from its
+    /// freshest healthy replica or checkpoint.
+    fn quarantine(&mut self, name: &str, why: &str) -> JanusError {
+        let from = self.dir.join(name);
+        let to = self.dir.join(format!("{name}{QUARANTINE_SUFFIX}"));
+        let _ = std::fs::rename(&from, &to);
+        self.quarantined += 1;
+        JanusError::Storage(format!(
+            "{} quarantined ({why}); re-fetch this shard from a healthy replica or checkpoint",
+            from.display()
+        ))
+    }
+
     /// Replays sealed segments into the in-memory index. When a manifest
     /// exists its listing is authoritative: unlisted segment files are
     /// leftovers of a crashed seal or compaction and are swept. Without
-    /// a manifest (pre-manifest directory or fresh dir) the name-sorted
-    /// file set is adopted as the listing.
+    /// a manifest (fresh dir) the name-sorted file set is adopted as the
+    /// listing. Every listed segment is CRC-verified in full before any
+    /// of its records are trusted; a mismatch quarantines the file and
+    /// fails the open.
     fn replay_existing(&mut self) -> Result<()> {
         let entries =
             std::fs::read_dir(&self.dir).map_err(|e| storage_err("list spill dir", &e))?;
-        let mut on_disk: Vec<String> = entries
-            .flatten()
-            .filter_map(|e| {
-                let name = e.file_name().to_str()?.to_string();
-                (name.starts_with("seg-") && name.ends_with(".bin")).then_some(name)
-            })
-            .collect();
+        let mut on_disk: Vec<String> = Vec::new();
+        for e in entries.flatten() {
+            let Some(name) = e.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            if name.starts_with("seg-") && name.ends_with(".bin") {
+                on_disk.push(name);
+            } else if name.ends_with(QUARANTINE_SUFFIX) {
+                self.quarantined += 1;
+            }
+        }
         on_disk.sort_unstable();
         let manifest_path = self.dir.join(MANIFEST);
-        let names = match std::fs::read_to_string(&manifest_path) {
-            Ok(text) => {
-                let (arity, names) = Self::parse_manifest(&text, &manifest_path)?;
-                self.arity = arity;
-                for stale in on_disk.iter().filter(|n| !names.contains(n)) {
-                    let _ = std::fs::remove_file(self.dir.join(stale));
+        let names = match std::fs::read(&manifest_path) {
+            // Corruption can land anywhere, including inside a UTF-8
+            // sequence — that is still manifest damage and quarantines
+            // like a failed CRC, not like a missing file.
+            Ok(bytes) => match String::from_utf8(bytes)
+                .map_err(|_| "not valid UTF-8".to_string())
+                .and_then(|text| {
+                    Self::parse_manifest(&text, &manifest_path).map_err(|e| e.to_string())
+                }) {
+                Ok((arity, names)) => {
+                    self.arity = arity;
+                    for stale in on_disk.iter().filter(|n| !names.contains(n)) {
+                        let _ = std::fs::remove_file(self.dir.join(stale));
+                    }
+                    names
                 }
-                names
-            }
+                Err(why) => return Err(self.quarantine(MANIFEST, &why)),
+            },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => on_disk,
             Err(e) => return Err(storage_err("read manifest", &e)),
         };
         for (seg_no, name) in names.iter().enumerate() {
             let path = self.dir.join(name);
-            let mut file = File::open(&path).map_err(|e| storage_err("open segment", &e))?;
-            let mut header = [0u8; HEADER];
-            file.read_exact(&mut header)
-                .map_err(|e| storage_err("read segment header", &e))?;
-            let magic = u64::from_le_bytes(header[..8].try_into().expect("8 bytes"));
-            if magic != MAGIC {
-                return Err(JanusError::Storage(format!(
-                    "{} is not a janus spill segment",
-                    path.display()
-                )));
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => return Err(storage_err("read segment", &e)),
+            };
+            // Integrity first: nothing in the file is trusted until the
+            // trailer checks out over everything before it.
+            if bytes.len() < HEADER + TRAILER {
+                return Err(self.quarantine(name, "shorter than header + crc trailer"));
             }
-            let arity = u64::from_le_bytes(header[8..].try_into().expect("8 bytes")) as usize;
+            let body = &bytes[..bytes.len() - TRAILER];
+            let stated =
+                u32::from_le_bytes(bytes[bytes.len() - TRAILER..].try_into().expect("4 bytes"));
+            let actual = crc32::crc32(body);
+            if stated != actual {
+                return Err(self.quarantine(
+                    name,
+                    &format!("crc mismatch (stated {stated:08x}, computed {actual:08x})"),
+                ));
+            }
+            let magic = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+            if magic != MAGIC {
+                return Err(self.quarantine(name, "not a janus spill segment"));
+            }
+            let arity = u64::from_le_bytes(body[8..HEADER].try_into().expect("8 bytes")) as usize;
             match self.arity {
                 None => self.arity = Some(arity),
                 Some(a) if a == arity => {}
@@ -408,9 +505,11 @@ impl SegmentedFileArchive {
                 }
             }
             let rec_size = Self::record_size(arity);
-            let mut record = vec![0u8; rec_size];
-            let mut rec_no = 0u32;
-            while read_full_record(&mut file, &mut record)? {
+            let records = &body[HEADER..];
+            if records.len() % rec_size != 0 {
+                return Err(self.quarantine(name, "record area is not whole records"));
+            }
+            for (rec_no, record) in records.chunks_exact(rec_size).enumerate() {
                 let kind = u64::from_le_bytes(record[..8].try_into().expect("8 bytes"));
                 let id = u64::from_le_bytes(record[8..16].try_into().expect("8 bytes"));
                 match kind {
@@ -421,7 +520,7 @@ impl SegmentedFileArchive {
                                 id,
                                 loc: Loc::Sealed {
                                     seg: seg_no as u32,
-                                    rec: rec_no,
+                                    rec: rec_no as u32,
                                 },
                             });
                         }
@@ -436,9 +535,9 @@ impl SegmentedFileArchive {
                         )));
                     }
                 }
-                rec_no += 1;
             }
-            self.sealed_records += rec_no as u64;
+            self.sealed_records += (records.len() / rec_size) as u64;
+            let file = File::open(&path).map_err(|e| storage_err("open segment", &e))?;
             self.segments.push(Segment { file });
         }
         // File numbering continues past everything seen (parsed from the
@@ -469,13 +568,19 @@ impl SegmentedFileArchive {
         Some(slot)
     }
 
-    /// Writes one segment file (header + records) via tmp + rename and
-    /// reopens it for positioned reads.
-    fn publish_segment(&self, seg_no: u64, bytes: &[u8]) -> Result<(String, File)> {
+    /// Appends the CRC32 trailer, writes one segment file (header +
+    /// records + trailer) via tmp + rename and reopens it for positioned
+    /// reads. The `spill.segment.bytes` failpoint flips a bit *after*
+    /// the checksum is computed — modeling media corruption that the
+    /// next open's CRC verification must catch.
+    fn publish_segment(&self, seg_no: u64, mut bytes: Vec<u8>) -> Result<(String, File)> {
+        let crc = crc32::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        faults::maybe_corrupt("spill.segment.bytes", &mut bytes);
         let name = Self::seg_name(seg_no);
         let target = self.dir.join(&name);
         let tmp = self.dir.join(format!(".seg-{seg_no:06}.tmp"));
-        std::fs::write(&tmp, bytes).map_err(|e| storage_err("write segment", &e))?;
+        std::fs::write(&tmp, &bytes).map_err(|e| storage_err("write segment", &e))?;
         std::fs::rename(&tmp, &target).map_err(|e| storage_err("publish segment", &e))?;
         let file = File::open(&target).map_err(|e| storage_err("reopen sealed segment", &e))?;
         Ok((name, file))
@@ -487,6 +592,7 @@ impl SegmentedFileArchive {
         if self.tail_ops.is_empty() {
             return Ok(());
         }
+        faults::check_storage("spill.seal")?;
         let arity = self.arity.expect("tail operations imply a known arity");
         let mut bytes = Vec::with_capacity(HEADER + self.tail_ops.len() * Self::record_size(arity));
         bytes.extend_from_slice(&MAGIC.to_le_bytes());
@@ -509,7 +615,7 @@ impl SegmentedFileArchive {
             }
         }
         let seg_no = self.next_seg_no;
-        let (name, file) = self.publish_segment(seg_no, &bytes)?;
+        let (name, file) = self.publish_segment(seg_no, bytes)?;
         self.next_seg_no = seg_no + 1;
         // Position index of the new segment in the logical order.
         let seg_pos = self.segments.len();
@@ -547,6 +653,7 @@ impl SegmentedFileArchive {
         if self.sealed_records == live {
             return Ok(false);
         }
+        faults::check_storage("spill.compact")?;
         let arity = self
             .arity
             .expect("dead records imply sealed segments and a known arity");
@@ -562,7 +669,7 @@ impl SegmentedFileArchive {
             bytes.extend_from_slice(&(arity as u64).to_le_bytes());
             for k in start..end {
                 let slot = self.slots[k];
-                self.read_values_into(slot.loc, &mut buf);
+                self.read_values_into(slot.loc, &mut buf)?;
                 bytes.extend_from_slice(&KIND_INSERT.to_le_bytes());
                 bytes.extend_from_slice(&slot.id.to_le_bytes());
                 for v in &buf {
@@ -570,7 +677,7 @@ impl SegmentedFileArchive {
                 }
             }
             let seg_no = self.next_seg_no;
-            let (name, file) = self.publish_segment(seg_no, &bytes)?;
+            let (name, file) = self.publish_segment(seg_no, bytes)?;
             self.next_seg_no = seg_no + 1;
             new_files.push(Segment { file });
             new_names.push(name);
@@ -600,22 +707,22 @@ impl SegmentedFileArchive {
 
     /// Runs the auto-compaction trigger; call only when the tail is
     /// empty (right after a seal), so the dead-record ratio is exact.
-    fn maybe_auto_compact(&mut self) {
+    fn maybe_auto_compact(&mut self) -> Result<()> {
         debug_assert!(self.tail_ops.is_empty());
         let Some(threshold) = self.auto_compact_threshold else {
-            return;
+            return Ok(());
         };
         if self.sealed_records < self.compact_min_records.max(1) {
-            return;
+            return Ok(());
         }
         let dead = self.sealed_records - self.slots.len() as u64;
         if dead as f64 >= threshold * self.sealed_records as f64 {
-            self.compact()
-                .expect("spill compaction failed; archive state is unrecoverable");
+            self.compact()?;
         }
+        Ok(())
     }
 
-    fn read_values_into(&self, loc: Loc, buf: &mut Vec<f64>) {
+    fn read_values_into(&self, loc: Loc, buf: &mut Vec<f64>) -> Result<()> {
         let arity = self.arity.expect("live slots imply a known arity");
         buf.clear();
         match loc {
@@ -624,12 +731,13 @@ impl SegmentedFileArchive {
                 buf.extend_from_slice(&self.tail_values[start..start + arity]);
             }
             Loc::Sealed { seg, rec } => {
+                faults::check_storage("spill.pread")?;
                 let mut bytes = vec![0u8; 8 * arity];
                 let offset = (HEADER + rec as usize * Self::record_size(arity) + 16) as u64;
                 self.segments[seg as usize]
                     .file
                     .read_exact_at(&mut bytes, offset)
-                    .expect("spill segment read failed; archive state is unrecoverable");
+                    .map_err(|e| storage_err("read sealed segment record", &e))?;
                 buf.extend(
                     bytes
                         .chunks_exact(8)
@@ -637,6 +745,7 @@ impl SegmentedFileArchive {
                 );
             }
         }
+        Ok(())
     }
 }
 
@@ -653,9 +762,9 @@ impl ArchiveBackend for SegmentedFileArchive {
         self.index_of.get(&id).copied()
     }
 
-    fn insert(&mut self, id: RowId, values: &[f64]) -> bool {
+    fn insert(&mut self, id: RowId, values: &[f64]) -> Result<bool> {
         if self.index_of.contains_key(&id) {
-            return false;
+            return Ok(false);
         }
         match self.arity {
             None => self.arity = Some(values.len()),
@@ -672,35 +781,38 @@ impl ArchiveBackend for SegmentedFileArchive {
             loc: Loc::Tail { op, val },
         });
         if self.tail_ops.len() >= self.seg_rows {
-            self.seal_tail()
-                .expect("spill segment seal failed; archive state is unrecoverable");
-            self.maybe_auto_compact();
+            self.seal_tail()?;
+            self.maybe_auto_compact()?;
         }
-        true
+        Ok(true)
     }
 
-    fn delete(&mut self, id: RowId) -> Option<Row> {
-        let slot = self.remove_slot(id)?;
+    fn delete(&mut self, id: RowId) -> Result<Option<Row>> {
+        let Some(slot) = self.remove_slot(id) else {
+            return Ok(None);
+        };
         let mut values = Vec::new();
-        self.read_values_into(slot.loc, &mut values);
+        self.read_values_into(slot.loc, &mut values)?;
         self.tail_ops.push(TailOp::Delete { id });
         if self.tail_ops.len() >= self.seg_rows {
-            self.seal_tail()
-                .expect("spill segment seal failed; archive state is unrecoverable");
-            self.maybe_auto_compact();
+            self.seal_tail()?;
+            self.maybe_auto_compact()?;
         }
-        Some(Row::new(id, values))
+        Ok(Some(Row::new(id, values)))
     }
 
     fn read_slot(&self, slot: usize, buf: &mut Vec<f64>) -> RowId {
         let s = self.slots[slot];
-        self.read_values_into(s.loc, buf);
+        // Scan paths are infallible by contract (see [`ArchiveBackend`]):
+        // this segment passed CRC verification at open, so a failed read
+        // here is the media dying mid-process.
+        self.read_values_into(s.loc, buf)
+            .expect("spill segment read failed; archive state is unrecoverable");
         s.id
     }
 
-    fn compact(&mut self) -> bool {
+    fn compact(&mut self) -> Result<bool> {
         SegmentedFileArchive::compact(self)
-            .expect("spill compaction failed; archive state is unrecoverable")
     }
 
     fn spill_stats(&self) -> Option<SpillStats> {
@@ -723,24 +835,6 @@ impl Drop for SegmentedFileArchive {
             let _ = self.seal_tail();
         }
     }
-}
-
-/// Reads one whole record into `buf`; `Ok(false)` at end-of-segment.
-/// A trailing *partial* record (EOF mid-record) is treated as
-/// end-of-segment — a torn write must not poison the sealed prefix —
-/// but a genuine I/O error propagates: silently truncating the replay
-/// would reopen the store with a wrong live set.
-fn read_full_record(file: &mut File, buf: &mut [u8]) -> Result<bool> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match file.read(&mut buf[filled..]) {
-            Ok(0) => return Ok(false),
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(storage_err("read segment record", &e)),
-        }
-    }
-    Ok(true)
 }
 
 fn storage_err(what: &str, e: &std::io::Error) -> JanusError {
@@ -805,9 +899,9 @@ mod tests {
         {
             let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
             for i in 0..30u64 {
-                assert!(ArchiveBackend::insert(&mut store, i, &[i as f64]));
+                assert!(ArchiveBackend::insert(&mut store, i, &[i as f64]).unwrap());
             }
-            ArchiveBackend::delete(&mut store, 5).unwrap();
+            ArchiveBackend::delete(&mut store, 5).unwrap().unwrap();
             store.flush().unwrap();
             assert!(store.sealed_segments() >= 3);
         } // dropped cleanly: Drop seals any tail remainder
@@ -829,10 +923,10 @@ mod tests {
             let mut store =
                 ArchiveStore::with_backend(Box::new(SegmentedFileArchive::open(&dir, 4).unwrap()));
             for i in 0..50u64 {
-                store.insert(row(i));
+                store.insert(row(i)).unwrap();
             }
             for id in [9u64, 0, 49, 20] {
-                store.delete(id);
+                store.delete(id).unwrap();
             }
             (
                 store.to_rows(),
@@ -849,16 +943,18 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    /// The crash-safety contract: a torn final segment — a `.tmp` the
-    /// crashed process never renamed, or trailing partial-record bytes —
-    /// is invisible after reopen; the sealed prefix is intact.
+    /// The crash-safety contract: a torn `.tmp` the crashed process
+    /// never renamed is invisible after reopen (the sealed prefix is
+    /// intact), while *in-place* damage to a sealed segment — appended
+    /// garbage, a flipped bit — fails the CRC check and quarantines the
+    /// file with a typed error instead of mis-parsing it.
     #[test]
-    fn torn_final_segment_is_invisible_after_reopen() {
+    fn torn_tmp_is_invisible_and_sealed_damage_is_quarantined() {
         let dir = scratch_dir("torn");
         {
             let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
             for i in 0..16u64 {
-                ArchiveBackend::insert(&mut store, i, &[i as f64, 1.0]);
+                ArchiveBackend::insert(&mut store, i, &[i as f64, 1.0]).unwrap();
             }
             assert_eq!(store.sealed_segments(), 2);
             // Crash mid-seal: a torn tmp that was never renamed…
@@ -870,8 +966,8 @@ mod tests {
             assert_eq!(ArchiveBackend::len(&reopened), 16, "sealed prefix intact");
             assert!(reopened.slot_of(15).is_some());
         }
-        // A torn *sealed* file tail (partial trailing record) is ignored
-        // too: append garbage shorter than one record to the last segment.
+        // Damage a sealed file in place: the reopen must reject it with
+        // a typed error and move it aside, never replay garbage.
         {
             use std::io::Write;
             let mut f = std::fs::OpenOptions::new()
@@ -880,10 +976,59 @@ mod tests {
                 .unwrap();
             f.write_all(&[0xAB; 9]).unwrap();
         }
-        let reopened = SegmentedFileArchive::open(&dir, 8).unwrap();
-        assert_eq!(ArchiveBackend::len(&reopened), 16);
+        match SegmentedFileArchive::open(&dir, 8) {
+            Err(JanusError::Storage(msg)) => {
+                assert!(msg.contains("quarantined"), "loud quarantine, got: {msg}")
+            }
+            Ok(_) => panic!("damaged segment must fail open"),
+            Err(other) => panic!("damaged segment must quarantine, got {other:?}"),
+        }
+        assert!(
+            dir.join("seg-000001.bin.quarantine").exists(),
+            "corrupt segment renamed aside"
+        );
+        assert!(!dir.join("seg-000001.bin").exists());
         let _ = std::fs::remove_dir_all(dir);
     }
+
+    /// A flipped bit in the MANIFEST is rejected by its CRC line and the
+    /// manifest is quarantined; the *next* open falls back to the intact
+    /// name-sorted segment files and reports the quarantine in stats.
+    #[test]
+    fn corrupt_manifest_is_quarantined_and_counted() {
+        let dir = scratch_dir("manifest-crc");
+        {
+            let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
+            for i in 0..16u64 {
+                ArchiveBackend::insert(&mut store, i, &[i as f64]).unwrap();
+            }
+            std::mem::forget(store);
+        }
+        let mut bytes = std::fs::read(dir.join(MANIFEST)).unwrap();
+        bytes[10] ^= 0x04; // flip one bit mid-header
+        std::fs::write(dir.join(MANIFEST), &bytes).unwrap();
+
+        match SegmentedFileArchive::open(&dir, 8) {
+            Err(JanusError::Storage(msg)) => {
+                assert!(msg.contains("quarantined"), "loud quarantine, got: {msg}")
+            }
+            Ok(_) => panic!("corrupt manifest must fail open"),
+            Err(other) => panic!("corrupt manifest must quarantine, got {other:?}"),
+        }
+        assert!(dir.join("MANIFEST.quarantine").exists());
+
+        // Recovery path: without a manifest the CRC-valid segments are
+        // adopted, and the quarantine stays loudly visible in stats.
+        let store = SegmentedFileArchive::open(&dir, 8).unwrap();
+        assert_eq!(ArchiveBackend::len(&store), 16);
+        assert_eq!(store.stats().quarantined, 1);
+        drop(store);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // NOTE: tests that *install* a fault plan live in `tests/chaos.rs`,
+    // serialized behind a mutex — the registry is process-global, so
+    // installing one here would race with the parallel unit tests.
 
     #[test]
     fn ephemeral_store_cleans_its_directory() {
@@ -893,7 +1038,7 @@ mod tests {
         {
             let mut store = SegmentedFileArchive::create_ephemeral(&root, 4).unwrap();
             for i in 0..10u64 {
-                ArchiveBackend::insert(&mut store, i, &[i as f64]);
+                ArchiveBackend::insert(&mut store, i, &[i as f64]).unwrap();
             }
             spill_dir = store.dir().to_path_buf();
             assert!(spill_dir.exists());
@@ -911,8 +1056,8 @@ mod tests {
         let (mut file, dir) = file_store("arity", 8);
         let mut mem = ArchiveStore::new();
         for store in [&mut mem, &mut file] {
-            assert!(store.insert(Row::new(1, vec![1.0, 2.0])));
-            assert!(store.delete(1).is_some());
+            assert!(store.insert(Row::new(1, vec![1.0, 2.0])).unwrap());
+            assert!(store.delete(1).unwrap().is_some());
             let refit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 store.insert(Row::new(2, vec![1.0, 2.0, 3.0]))
             }));
@@ -921,7 +1066,10 @@ mod tests {
                 "{}: arity must stay locked after emptying",
                 store.backend_name()
             );
-            assert!(store.insert(Row::new(3, vec![4.0, 5.0])), "same arity ok");
+            assert!(
+                store.insert(Row::new(3, vec![4.0, 5.0])).unwrap(),
+                "same arity ok"
+            );
         }
         drop(file);
         let _ = std::fs::remove_dir_all(dir);
@@ -938,10 +1086,10 @@ mod tests {
         let dir_b = scratch_dir("compact-b");
         let drive = |store: &mut SegmentedFileArchive| {
             for i in 0..300u64 {
-                ArchiveBackend::insert(store, i, &[i as f64, (i * 3) as f64]);
+                ArchiveBackend::insert(store, i, &[i as f64, (i * 3) as f64]).unwrap();
             }
             for i in (0..300u64).filter(|i| i % 3 != 0) {
-                ArchiveBackend::delete(store, i).unwrap();
+                ArchiveBackend::delete(store, i).unwrap().unwrap();
             }
         };
         let mut compacted = SegmentedFileArchive::open(&dir_a, 16).unwrap();
@@ -1008,9 +1156,11 @@ mod tests {
         let mut store = SegmentedFileArchive::open(&dir, 32).unwrap();
         // Steady-state churn: every insert is eventually deleted.
         for i in 0..4_000u64 {
-            ArchiveBackend::insert(&mut store, i, &[i as f64]);
+            ArchiveBackend::insert(&mut store, i, &[i as f64]).unwrap();
             if i >= 200 {
-                ArchiveBackend::delete(&mut store, i - 200).unwrap();
+                ArchiveBackend::delete(&mut store, i - 200)
+                    .unwrap()
+                    .unwrap();
             }
         }
         let stats = store.stats();
@@ -1036,7 +1186,7 @@ mod tests {
         {
             let mut store = SegmentedFileArchive::open(&dir, 8).unwrap();
             for i in 0..16u64 {
-                ArchiveBackend::insert(&mut store, i, &[i as f64]);
+                ArchiveBackend::insert(&mut store, i, &[i as f64]).unwrap();
             }
             std::mem::forget(store);
         }
@@ -1061,7 +1211,7 @@ mod tests {
         let (mut store, dir) = file_store("large", 32);
         // 10k rows with a 32-record tail: ≥ 99% of values are on disk.
         for i in 0..10_000u64 {
-            store.insert(row(i));
+            store.insert(row(i)).unwrap();
         }
         let mut sum = 0.0;
         store.for_each_row(|r| sum += r.value(0));

@@ -111,16 +111,16 @@ fn sampling_streams_match_the_seed_representation() {
             if rng.gen_bool(0.7) || live.len() < 8 {
                 let r = row(next);
                 assert!(model.insert(r.clone()));
-                assert!(mem.insert(r.clone()));
-                assert!(file.insert(r));
+                assert!(mem.insert(r.clone()).unwrap());
+                assert!(file.insert(r).unwrap());
                 live.push(next);
                 next += 1;
             } else {
                 let at = rng.gen_range(0..live.len());
                 let id = live.swap_remove(at);
                 let expected = model.delete(id);
-                assert_eq!(mem.delete(id), expected);
-                assert_eq!(file.delete(id), expected);
+                assert_eq!(mem.delete(id).unwrap(), expected);
+                assert_eq!(file.delete(id).unwrap(), expected);
             }
         }
         let seed = 0xabc ^ phase;
@@ -415,11 +415,11 @@ fn torn_spill_segment_is_invisible_after_reopen() {
         // ops 16..31 (inserts 15..30) seal segment 1; inserts 31 and 32
         // stay in the unsealed tail.
         for i in 0..15u64 {
-            store.insert(row(i));
+            store.insert(row(i)).unwrap();
         }
-        store.delete(3);
+        store.delete(3).unwrap();
         for i in 15..33u64 {
-            store.insert(row(i));
+            store.insert(row(i)).unwrap();
         }
         // Crash mid-seal: a torn tmp the process never renamed, then no
         // clean shutdown (the unsealed tail dies with the process).

@@ -1,0 +1,1043 @@
+//! Seeded chaos suite: randomized kill / partition / corrupt / stall
+//! schedules composed over an in-process node fleet, plus targeted
+//! fault-plan scenarios for every durability and network boundary the
+//! failpoint registry guards.
+//!
+//! The determinism contract under test:
+//!
+//! * **Same seed ⇒ same schedule.** Schedule generation is a pure
+//!   function of the seed (no wall clock, no OS entropy).
+//! * **Same seed ⇒ same final bit-state.** Every chaos run must drain
+//!   to answers bit-identical to an unfaulted in-process twin — so two
+//!   runs with one seed agree with each other *and* with the twin.
+//! * **Every fault class converges or surfaces a typed error.** Stalls
+//!   and transient drops are retried into convergence; corruption is
+//!   CRC-rejected (connection drop + resend on the wire, quarantine on
+//!   disk); exhausted retries and lost shards fail loudly as
+//!   `JanusError`, never as a silent wrong answer.
+//!
+//! The fault registry is process-global, so every test here serializes
+//! behind one mutex and resets the registry on scope exit (drop guard —
+//! a panicking test must not leak its plan into the next).
+
+use janus::common::faults::{self, FaultKind, FaultPlan, TriggerMode};
+use janus::common::JanusError;
+use janus::net::wire::{decode_payload, encode_frame, Frame, FrameDecoder, QueryOutcome};
+use janus::net::{local_fleet, RetryPolicy};
+use janus::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Serialization + cleanup plumbing
+// ---------------------------------------------------------------------
+
+/// One plan installed at a time: the registry is process-global.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Installs a plan and guarantees `faults::reset()` on drop, so a
+/// panicking assertion cannot leak failpoints into the next test.
+struct PlanGuard;
+
+impl PlanGuard {
+    fn install(plan: FaultPlan) -> Self {
+        faults::install(plan);
+        PlanGuard
+    }
+
+    fn none() -> Self {
+        faults::reset();
+        PlanGuard
+    }
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        faults::reset();
+    }
+}
+
+fn tdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("janus-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Cluster harness (same shape the remote_cluster suite pins)
+// ---------------------------------------------------------------------
+
+fn config(seed: u64) -> SynopsisConfig {
+    let template = QueryTemplate::new(AggregateFunction::Sum, 1, vec![0]);
+    let mut c = SynopsisConfig::paper_default(template, seed);
+    c.leaf_count = 16;
+    c.sample_rate = 0.05;
+    c.catchup_ratio = 1.0;
+    c.auto_repartition = false;
+    c
+}
+
+fn rows(n: u64, seed: u64) -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let x = rng.gen::<f64>() * 100.0;
+            Row::new(i, vec![x, x * 2.0 + rng.gen::<f64>()])
+        })
+        .collect()
+}
+
+fn probes() -> Vec<Query> {
+    [
+        (AggregateFunction::Count, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Sum, f64::NEG_INFINITY, f64::INFINITY),
+        (AggregateFunction::Avg, 10.0, 90.0),
+        (AggregateFunction::Sum, 25.0, 75.0),
+        (AggregateFunction::Min, 0.0, 100.0),
+        (AggregateFunction::Max, 0.0, 100.0),
+    ]
+    .into_iter()
+    .map(|(agg, lo, hi)| {
+        Query::new(
+            agg,
+            1,
+            vec![0],
+            RangePredicate::new(vec![lo], vec![hi]).unwrap(),
+        )
+        .unwrap()
+    })
+    .collect()
+}
+
+fn assert_bit_identical(remote: &RemoteCluster, twin: &ClusterEngine, when: &str) {
+    for q in probes() {
+        let a = remote.query(&q).expect("remote query").expect("answer");
+        let b = twin.query(&q).expect("twin query").expect("answer");
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{when}: {} diverged: {} vs {}",
+            q.agg,
+            a.value,
+            b.value
+        );
+        assert_eq!(
+            a.variance().to_bits(),
+            b.variance().to_bits(),
+            "{when}: {} variance diverged",
+            q.agg
+        );
+    }
+}
+
+/// A deterministic insert/delete stream applied identically to the
+/// remote cluster and its in-process twin.
+struct Feed {
+    rng: SmallRng,
+    live: Vec<u64>,
+    next: u64,
+}
+
+impl Feed {
+    fn new(seed: u64, bootstrap: u64) -> Self {
+        Feed {
+            rng: SmallRng::seed_from_u64(seed),
+            live: (0..bootstrap).collect(),
+            next: 5_000_000,
+        }
+    }
+
+    fn publish(&mut self, remote: &RemoteCluster, twin: &ClusterEngine, steps: u64) {
+        for _ in 0..steps {
+            if self.rng.gen_bool(0.85) || self.live.len() < 64 {
+                let x = self.rng.gen::<f64>() * 100.0;
+                remote
+                    .publish_insert(Row::new(self.next, vec![x, x * 2.0]))
+                    .expect("remote insert");
+                twin.publish_insert(Row::new(self.next, vec![x, x * 2.0]))
+                    .expect("twin insert");
+                self.live.push(self.next);
+                self.next += 1;
+            } else {
+                let at = self.rng.gen_range(0..self.live.len());
+                let id = self.live.swap_remove(at);
+                remote.publish_delete(id).expect("remote delete");
+                twin.publish_delete(id).expect("twin delete");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded schedule generation
+// ---------------------------------------------------------------------
+
+/// One phase of a chaos schedule. Probabilities are integer permille so
+/// schedule equality is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChaosEvent {
+    /// SIGKILL-equivalent: stop one in-process node daemon.
+    Kill { node: usize },
+    /// Flip one bit in encoded wire frames with probability
+    /// `permille/1000` per frame — in-flight corruption the frame CRC
+    /// must catch.
+    CorruptWire { permille: u64 },
+    /// Fail socket reads/writes with probability `permille/1000` per
+    /// call — a lossy ("grey") partition the retry policy must ride out.
+    DropPackets { permille: u64 },
+    /// Stall node pump iterations with probability `permille/1000` —
+    /// slow disks / starved schedulers that only delay convergence.
+    StallPumps { permille: u64 },
+}
+
+/// Pure function of the seed: three phases, at most one kill, every
+/// parameter derived through the same splitmix64 finalizer the fault
+/// registry uses.
+fn gen_schedule(seed: u64, nodes: usize) -> Vec<ChaosEvent> {
+    let mut events = Vec::new();
+    let mut killed = false;
+    for phase in 0..3u64 {
+        let w = faults::mix64(seed ^ phase.wrapping_mul(0x517c_c1b7_2722_0a95));
+        match w % 4 {
+            0 if !killed => {
+                killed = true;
+                events.push(ChaosEvent::Kill {
+                    node: ((w >> 8) as usize) % nodes,
+                });
+            }
+            0 | 1 => events.push(ChaosEvent::CorruptWire {
+                permille: 5 + (w >> 16) % 11,
+            }),
+            2 => events.push(ChaosEvent::DropPackets {
+                permille: 5 + (w >> 16) % 11,
+            }),
+            _ => events.push(ChaosEvent::StallPumps {
+                permille: 50 + (w >> 16) % 151,
+            }),
+        }
+    }
+    events
+}
+
+fn plan_for(event: &ChaosEvent, seed: u64) -> Option<FaultPlan> {
+    let p = |permille: u64| TriggerMode::Probability(permille as f64 / 1000.0);
+    match event {
+        ChaosEvent::Kill { .. } => None,
+        ChaosEvent::CorruptWire { permille } => {
+            Some(FaultPlan::new(seed).rule("wire.encode", p(*permille), FaultKind::CorruptBit))
+        }
+        ChaosEvent::DropPackets { permille } => Some(
+            FaultPlan::new(seed)
+                .rule("net.read", p(*permille), FaultKind::Error)
+                .rule("net.write", p(*permille), FaultKind::Error),
+        ),
+        ChaosEvent::StallPumps { permille } => {
+            Some(FaultPlan::new(seed).rule("node.pump", p(*permille), FaultKind::Stall(0)))
+        }
+    }
+}
+
+/// Runs one full chaos schedule over a 3-node fleet and returns the
+/// final probe answers as bit patterns. Panics (with the schedule in
+/// the message) if the run fails to converge to the unfaulted twin.
+fn run_chaos(seed: u64) -> Vec<u64> {
+    let schedule = gen_schedule(seed, 3);
+    let mut fleet: Vec<Option<NodeServer>> = local_fleet(3)
+        .expect("start fleet")
+        .into_iter()
+        .map(Some)
+        .collect();
+    let addrs: Vec<SocketAddr> = fleet.iter().map(|s| s.as_ref().unwrap().addr()).collect();
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+
+    // A generous retry budget: transient drop/corrupt phases must be
+    // ridden out by retries, and only a real kill should fail a node.
+    let retry = RetryPolicy {
+        budget: 6,
+        base: Duration::from_millis(5),
+        cap: Duration::from_millis(80),
+        seed,
+    };
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(3), 4, policy.clone())
+            .with_replicas(1, 0)
+            .with_retry(retry),
+        rows(3_000, 9),
+        &addrs,
+    )
+    .expect("bootstrap remote");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(3), 4, policy), rows(3_000, 9))
+        .expect("bootstrap twin");
+
+    let mut feed = Feed::new(seed ^ 0xFEED, 3_000);
+    let mut killed = false;
+    for event in &schedule {
+        let _plan = match event {
+            ChaosEvent::Kill { node } => {
+                faults::reset();
+                if let Some(server) = fleet[*node].take() {
+                    server.stop();
+                    killed = true;
+                }
+                PlanGuard::none()
+            }
+            other => PlanGuard::install(plan_for(other, seed).expect("non-kill event has a plan")),
+        };
+        feed.publish(&remote, &twin, 400);
+    }
+    faults::reset();
+
+    remote.drain();
+    twin.pump_all().expect("twin pump");
+    assert_eq!(
+        remote
+            .population()
+            .unwrap_or_else(|e| panic!("population after {schedule:?}: {e}")),
+        twin.population() as u64,
+        "population diverged after {schedule:?}"
+    );
+    if killed {
+        assert!(
+            remote.stats().failovers >= 1,
+            "a kill must register a failover ({schedule:?})"
+        );
+        assert!(
+            remote.lost_shards().is_empty(),
+            "replicated shards must survive a single kill ({schedule:?})"
+        );
+    }
+    assert_bit_identical(&remote, &twin, &format!("after {schedule:?}"));
+
+    let bits: Vec<u64> = probes()
+        .iter()
+        .map(|q| {
+            remote
+                .query(q)
+                .expect("final probe")
+                .expect("answer")
+                .value
+                .to_bits()
+        })
+        .collect();
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for server in fleet.into_iter().flatten() {
+        server.wait();
+    }
+    bits
+}
+
+// ---------------------------------------------------------------------
+// Determinism pins
+// ---------------------------------------------------------------------
+
+#[test]
+fn schedules_are_a_pure_function_of_the_seed() {
+    let _g = lock();
+    for seed in [0u64, 1, 0xA11CE, 0xDEADBEEF, u64::MAX] {
+        assert_eq!(
+            gen_schedule(seed, 3),
+            gen_schedule(seed, 3),
+            "same seed must generate the same schedule"
+        );
+    }
+    assert_ne!(
+        gen_schedule(0xA11CE, 3),
+        gen_schedule(0xA11CF, 3),
+        "different seeds should generate different schedules"
+    );
+    // All four fault classes are reachable across a small seed sweep.
+    let mut kills = 0;
+    let mut corrupts = 0;
+    let mut drops = 0;
+    let mut stalls = 0;
+    for seed in 0..64u64 {
+        for event in gen_schedule(seed, 3) {
+            match event {
+                ChaosEvent::Kill { .. } => kills += 1,
+                ChaosEvent::CorruptWire { .. } => corrupts += 1,
+                ChaosEvent::DropPackets { .. } => drops += 1,
+                ChaosEvent::StallPumps { .. } => stalls += 1,
+            }
+        }
+    }
+    assert!(
+        kills > 0 && corrupts > 0 && drops > 0 && stalls > 0,
+        "sweep must exercise every fault class ({kills}/{corrupts}/{drops}/{stalls})"
+    );
+}
+
+#[test]
+fn retry_backoff_is_seed_deterministic_and_capped() {
+    let _g = lock();
+    let a = RetryPolicy {
+        seed: 0x5EED,
+        ..RetryPolicy::default()
+    };
+    let b = RetryPolicy {
+        seed: 0x5EED,
+        ..RetryPolicy::default()
+    };
+    let c = RetryPolicy {
+        seed: 0x5EEE,
+        ..RetryPolicy::default()
+    };
+    let mut diverged = false;
+    for attempt in 1..=6u32 {
+        for salt in [0u64, 7, 42] {
+            let d = a.backoff(attempt, salt);
+            assert_eq!(
+                d,
+                b.backoff(attempt, salt),
+                "backoff must be pure in (seed, salt, attempt)"
+            );
+            assert!(d <= a.cap, "backoff may never exceed the cap");
+            assert!(
+                d > Duration::ZERO,
+                "jitter spans the upper half of the step"
+            );
+            diverged |= d != c.backoff(attempt, salt);
+        }
+    }
+    assert!(diverged, "different seeds must produce different jitter");
+}
+
+#[test]
+fn fault_free_runs_pay_nothing_and_retry_nothing() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    assert!(!faults::active());
+    assert!(faults::hit("spill.seal").is_none());
+    assert_eq!(faults::fired_total(), 0);
+
+    let fleet = local_fleet(2).expect("start fleet");
+    let addrs: Vec<SocketAddr> = fleet.iter().map(|s| s.addr()).collect();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(29), 2, ShardPolicy::HashById),
+        rows(800, 29),
+        &addrs,
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(
+        ClusterConfig::new(config(29), 2, ShardPolicy::HashById),
+        rows(800, 29),
+    )
+    .expect("twin");
+    let mut feed = Feed::new(51, 800);
+    feed.publish(&remote, &twin, 400);
+    remote.drain();
+    twin.pump_all().expect("pump");
+    assert_bit_identical(&remote, &twin, "fault-free run");
+
+    let stats = remote.stats();
+    assert_eq!(stats.link_retries, 0, "no faults, no retries");
+    assert_eq!(
+        stats.degraded_reads, 0,
+        "no open breakers, no degraded reads"
+    );
+    assert_eq!(stats.failovers, 0, "no faults, no failovers");
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for s in fleet {
+        s.wait();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The capstone: randomized schedules, fixed seeds
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_schedules_converge_bit_identically_and_deterministically() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    // Two fixed seeds picked to cover a kill and every transient class
+    // (the schedule sweep test proves the generator reaches all four).
+    for seed in [0xA11CEu64, 0xB0B] {
+        let first = run_chaos(seed);
+        let second = run_chaos(seed);
+        assert_eq!(
+            first, second,
+            "seed {seed:#x}: same seed must converge to the same final bit-state"
+        );
+    }
+}
+
+/// Extended randomized sweep, off by default: set `JANUS_CHAOS_EXTENDED=1`
+/// (and optionally `JANUS_CHAOS_SEED=<u64>`) to run it. Every attempted
+/// seed is printed and its schedule is written to
+/// `target/chaos/schedule-<seed>.txt` *before* the run, so a failing
+/// schedule survives the panic for CI to upload as an artifact.
+#[test]
+fn extended_randomized_chaos_sweep() {
+    if std::env::var("JANUS_CHAOS_EXTENDED")
+        .map(|v| v != "1")
+        .unwrap_or(true)
+    {
+        return;
+    }
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    let base = match std::env::var("JANUS_CHAOS_SEED") {
+        Ok(s) => s.parse::<u64>().expect("JANUS_CHAOS_SEED must be a u64"),
+        Err(_) => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .expect("clock before epoch")
+            .as_nanos() as u64,
+    };
+    let iters: u64 = std::env::var("JANUS_CHAOS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let artifacts = PathBuf::from("target/chaos");
+    std::fs::create_dir_all(&artifacts).expect("create artifact dir");
+    for i in 0..iters {
+        let seed = faults::mix64(base ^ i);
+        let schedule = gen_schedule(seed, 3);
+        println!("[chaos] seed {seed:#018x} schedule {schedule:?}");
+        std::fs::write(
+            artifacts.join(format!("schedule-{seed:016x}.txt")),
+            format!("seed: {seed:#018x}\nschedule: {schedule:#?}\n"),
+        )
+        .expect("write schedule artifact");
+        run_chaos(seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Targeted transient-fault scenarios
+// ---------------------------------------------------------------------
+
+#[test]
+fn wire_corruption_is_detected_retried_and_converges() {
+    let _g = lock();
+    let fleet = local_fleet(3).expect("start fleet");
+    let addrs: Vec<SocketAddr> = fleet.iter().map(|s| s.addr()).collect();
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let mut cfg = RemoteConfig::new(config(7), 4, policy.clone())
+        .with_replicas(1, 0)
+        .with_retry(RetryPolicy {
+            budget: 6,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(80),
+            seed: 0xC0FFEE,
+        });
+    // Small batches: plenty of distinct frames for the plan to corrupt.
+    cfg.ship_chunk = 64;
+    let remote = RemoteCluster::bootstrap(cfg, rows(2_000, 7), &addrs).expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(7), 4, policy), rows(2_000, 7))
+        .expect("twin");
+
+    let fired;
+    {
+        // The Nth rule guarantees at least one corruption regardless of
+        // how many frames a fast run gets through; the probabilistic
+        // rule spreads more over the rest of the stream.
+        let _plan = PlanGuard::install(
+            FaultPlan::new(0xC0FFEE)
+                .rule("wire.encode", TriggerMode::Nth(7), FaultKind::CorruptBit)
+                .rule(
+                    "wire.encode",
+                    TriggerMode::Probability(0.02),
+                    FaultKind::CorruptBit,
+                ),
+        );
+        let mut feed = Feed::new(61, 2_000);
+        feed.publish(&remote, &twin, 1_200);
+        // Publishing is asynchronous: shippers keep encoding (and the
+        // plan keeps corrupting) until the backlog drains.
+        remote.drain();
+        fired = faults::fired("wire.encode");
+    }
+    assert!(fired > 0, "the corruption plan must actually fire");
+    remote.drain();
+    twin.pump_all().expect("pump");
+    assert_eq!(remote.population().unwrap(), twin.population() as u64);
+    assert_bit_identical(&remote, &twin, "after wire corruption");
+    // Every corruption lands on some connection: most kill a request
+    // path (counted as a link retry); a corrupted heartbeat instead
+    // burns a probe miss, and enough of those fail the node over. One
+    // of the two recovery paths must have engaged.
+    let stats = remote.stats();
+    assert!(
+        stats.link_retries + stats.failovers > 0,
+        "corrupt frames must be detected and recovered from ({stats:?})"
+    );
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for s in fleet {
+        s.wait();
+    }
+}
+
+#[test]
+fn dropped_packets_and_stalled_pumps_converge() {
+    let _g = lock();
+    let fleet = local_fleet(3).expect("start fleet");
+    let addrs: Vec<SocketAddr> = fleet.iter().map(|s| s.addr()).collect();
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(11), 4, policy.clone())
+            .with_replicas(1, 0)
+            .with_retry(RetryPolicy {
+                budget: 6,
+                base: Duration::from_millis(5),
+                cap: Duration::from_millis(80),
+                seed: 0xD0D0,
+            }),
+        rows(2_000, 11),
+        &addrs,
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(11), 4, policy), rows(2_000, 11))
+        .expect("twin");
+
+    {
+        let _plan = PlanGuard::install(
+            FaultPlan::new(0xD0D0)
+                .rule("net.read", TriggerMode::Probability(0.01), FaultKind::Error)
+                .rule(
+                    "net.write",
+                    TriggerMode::Probability(0.01),
+                    FaultKind::Error,
+                )
+                .rule("node.pump", TriggerMode::Nth(9), FaultKind::Stall(0))
+                .rule(
+                    "node.pump",
+                    TriggerMode::Probability(0.1),
+                    FaultKind::Stall(0),
+                ),
+        );
+        let mut feed = Feed::new(71, 2_000);
+        feed.publish(&remote, &twin, 1_000);
+        remote.drain();
+        assert!(faults::fired_total() > 0, "the drop/stall plan must fire");
+    }
+    remote.drain();
+    twin.pump_all().expect("pump");
+    assert_eq!(remote.population().unwrap(), twin.population() as u64);
+    assert_bit_identical(&remote, &twin, "after drops and stalls");
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for s in fleet {
+        s.wait();
+    }
+}
+
+#[test]
+fn tripped_breaker_degrades_to_replica_reads() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    let fleet = local_fleet(3).expect("start fleet");
+    let addrs: Vec<SocketAddr> = fleet.iter().map(|s| s.addr()).collect();
+    let policy = ShardPolicy::range_equal_width(0, 0.0, 100.0, 4).unwrap();
+    let remote = RemoteCluster::bootstrap(
+        RemoteConfig::new(config(13), 4, policy.clone()).with_replicas(1, 0),
+        rows(2_000, 13),
+        &addrs,
+    )
+    .expect("bootstrap");
+    let twin = ClusterEngine::bootstrap(ClusterConfig::new(config(13), 4, policy), rows(2_000, 13))
+        .expect("twin");
+    remote.drain();
+    twin.pump_all().expect("pump");
+
+    // Force the breaker open on shard 0's primary: queries must keep
+    // answering — bit-identically — from fresh followers, not fail and
+    // not fall back to the flapping primary.
+    let primary = remote.directory_snapshot().primaries[0];
+    remote
+        .trip_breaker(primary, Duration::from_secs(5))
+        .expect("trip breaker");
+    for _ in 0..4 {
+        assert_bit_identical(&remote, &twin, "degraded reads");
+    }
+    let stats = remote.stats();
+    assert!(
+        stats.degraded_reads > 0,
+        "an open breaker must route reads to replicas (got {stats:?})"
+    );
+    assert_eq!(stats.failovers, 0, "a breaker is not a failover");
+    remote.shutdown_nodes();
+    remote.shutdown();
+    for s in fleet {
+        s.wait();
+    }
+}
+
+#[test]
+fn remote_config_builders_override_the_hardcoded_defaults() {
+    let _g = lock();
+    let defaults = RemoteConfig::new(config(1), 2, ShardPolicy::HashById);
+    assert_eq!(defaults.heartbeat_every, Duration::from_millis(100));
+    assert_eq!(defaults.read_timeout, None);
+    assert_eq!(defaults.retry.budget, RetryPolicy::default().budget);
+
+    let tuned = RemoteConfig::new(config(1), 2, ShardPolicy::HashById)
+        .with_heartbeat_every(Duration::from_millis(50))
+        .with_read_timeout(Duration::from_millis(80))
+        .with_publish_window(512)
+        .with_retry(RetryPolicy {
+            budget: 9,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(16),
+            seed: 4,
+        });
+    assert_eq!(tuned.heartbeat_every, Duration::from_millis(50));
+    assert_eq!(tuned.read_timeout, Some(Duration::from_millis(80)));
+    assert_eq!(tuned.max_backlog, 512);
+    assert_eq!((tuned.retry.budget, tuned.retry.seed), (9, 4));
+}
+
+// ---------------------------------------------------------------------
+// Targeted durability scenarios
+// ---------------------------------------------------------------------
+
+#[test]
+fn checkpoint_write_and_rename_faults_are_typed_and_torn_writes_invisible() {
+    let _g = lock();
+    let dir = tdir("ckpt");
+    let store = FileCheckpointStore::open(&dir).expect("open store");
+    {
+        let _plan = PlanGuard::install(
+            FaultPlan::new(1)
+                .rule("checkpoint.write", TriggerMode::Nth(1), FaultKind::Error)
+                .rule("checkpoint.rename", TriggerMode::Nth(1), FaultKind::Error),
+        );
+        assert!(
+            matches!(store.put(1, "payload-1"), Err(JanusError::Storage(_))),
+            "write fault must surface as a typed storage error"
+        );
+        assert!(
+            matches!(store.put(2, "payload-2"), Err(JanusError::Storage(_))),
+            "rename fault must surface as a typed storage error"
+        );
+    }
+    assert_eq!(store.get(1), None, "failed write must be invisible");
+    assert_eq!(store.get(2), None, "torn rename must be invisible");
+    store.put(3, "payload-3").expect("healthy put");
+    assert_eq!(store.get(3).as_deref(), Some("payload-3"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seal_faults_are_typed_and_the_tail_survives_for_retry() {
+    let _g = lock();
+    let dir = tdir("seal");
+    let mut archive = SegmentedFileArchive::open(&dir, 8).expect("open");
+    for id in 0..5u64 {
+        archive.insert(id, &[id as f64, 1.0]).expect("insert");
+    }
+    {
+        let _plan = PlanGuard::install(FaultPlan::new(2).rule(
+            "spill.seal",
+            TriggerMode::Nth(1),
+            FaultKind::Error,
+        ));
+        match archive.flush() {
+            Err(JanusError::Storage(msg)) => {
+                assert!(msg.contains("injected"), "unexpected message: {msg}")
+            }
+            other => panic!("seal fault must be a typed storage error, got {other:?}"),
+        }
+    }
+    // The fault fired before any bytes moved: the tail is intact and a
+    // retry seals it cleanly.
+    assert_eq!(archive.tail_len(), 5);
+    archive.flush().expect("retry seal");
+    assert_eq!(archive.tail_len(), 0);
+    drop(archive);
+    let reopened = SegmentedFileArchive::open(&dir, 8).expect("reopen");
+    assert_eq!(
+        reopened.len(),
+        5,
+        "all rows survive the failed-then-retried seal"
+    );
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_segment_corruption_is_quarantined_at_open() {
+    let _g = lock();
+    let dir = tdir("corrupt-seg");
+    {
+        let _plan = PlanGuard::install(FaultPlan::new(3).rule(
+            "spill.segment.bytes",
+            TriggerMode::Nth(1),
+            FaultKind::CorruptBit,
+        ));
+        let mut archive = SegmentedFileArchive::open(&dir, 8).expect("open");
+        for id in 0..8u64 {
+            archive.insert(id, &[id as f64, 2.0]).expect("insert");
+        }
+        // Seals the (corrupted-after-CRC) first segment.
+        archive.flush().expect("seal");
+        assert_eq!(faults::fired("spill.segment.bytes"), 1);
+    }
+    match SegmentedFileArchive::open(&dir, 8) {
+        Err(JanusError::Storage(msg)) => {
+            assert!(
+                msg.contains("quarantined") && msg.contains("re-fetch"),
+                "quarantine error must direct the operator to a replica: {msg}"
+            );
+        }
+        Ok(_) => panic!("corrupt segment must fail the open"),
+        Err(other) => panic!("expected a storage error, got {other:?}"),
+    }
+    assert!(
+        dir.join("seg-000000.bin.quarantine").exists(),
+        "corrupt segment must be renamed aside for forensics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bulk_load_journal_faults_fail_the_load_typed() {
+    let _g = lock();
+    let data_dir = tdir("load-data");
+    generate_partitioned(&data_dir, &PartitionedSpec::uniform_sorted(400, 100, 17))
+        .expect("generate dataset");
+    let journal_dir = tdir("load-journal");
+    let store = FileCheckpointStore::open(&journal_dir).expect("journal store");
+
+    // Bootstrap ids sit far above the dataset's id range so the load's
+    // rows are all fresh (a collision would be rejected as a duplicate).
+    let seed_rows = |n: u64| -> Vec<Row> {
+        rows(n, 31)
+            .into_iter()
+            .map(|r| Row::new(1_000_000 + r.id, r.values))
+            .collect()
+    };
+    let cluster = ClusterEngine::bootstrap(
+        ClusterConfig::new(config(31), 2, ShardPolicy::HashById),
+        seed_rows(500),
+    )
+    .expect("bootstrap");
+    {
+        let _plan = PlanGuard::install(FaultPlan::new(4).rule(
+            "load.journal",
+            TriggerMode::Permanent { after: 1 },
+            FaultKind::Error,
+        ));
+        let result = BulkLoader::new(&cluster, &data_dir)
+            .with_journal(&store)
+            .load();
+        assert!(
+            matches!(result, Err(JanusError::Storage(_))),
+            "a broken journal disk must fail the load with a typed error, got {result:?}"
+        );
+    }
+    // Same dataset into a fresh cluster with a healthy journal: loads.
+    let fresh = ClusterEngine::bootstrap(
+        ClusterConfig::new(config(31), 2, ShardPolicy::HashById),
+        seed_rows(500),
+    )
+    .expect("bootstrap");
+    let report = BulkLoader::new(&fresh, &data_dir)
+        .with_journal(&store)
+        .load()
+        .expect("healthy load");
+    assert_eq!(report.rows_published, 400);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
+
+// ---------------------------------------------------------------------
+// Bit-flip fuzzing: CRC must reject every corruption, typed
+// ---------------------------------------------------------------------
+
+/// One instance of every wire frame kind (plus both estimate shapes).
+fn sample_frames() -> Vec<Frame> {
+    let q = probes().remove(0);
+    vec![
+        Frame::Hello { node_id: 7 },
+        Frame::HelloAck {
+            node_id: 2,
+            domain: "rack-a".into(),
+            shards: vec![0, 3],
+        },
+        Frame::Heartbeat { seq: 9 },
+        Frame::HeartbeatAck {
+            seq: 9,
+            applied: vec![(0, 12), (3, 7)],
+        },
+        Frame::Host {
+            shard: 1,
+            config: config(3),
+            rows: vec![Row::new(1, vec![1.0, 2.0]), Row::new(2, vec![3.5, -1.0])],
+        },
+        Frame::Publish {
+            shard: 0,
+            offset: 4,
+            op: ShardOp::Insert(Row::new(9, vec![3.0, 4.0])),
+        },
+        Frame::PublishBatch {
+            shard: 2,
+            first_offset: 10,
+            ops: vec![ShardOp::Delete(5), ShardOp::Insert(Row::new(6, vec![0.5]))],
+        },
+        Frame::PublishAck {
+            shard: 2,
+            received: 11,
+            applied: 10,
+        },
+        Frame::Query {
+            id: 1,
+            shard: 0,
+            moments: false,
+            min_applied: 3,
+            tenant: 0,
+            deadline_ms: 25,
+            query: q,
+        },
+        Frame::Estimate {
+            id: 1,
+            outcome: QueryOutcome::Stale { applied: 3 },
+        },
+        Frame::Estimate {
+            id: 2,
+            outcome: QueryOutcome::Estimate(Estimate {
+                value: 1.5,
+                catchup_variance: 0.1,
+                sample_variance: 0.2,
+                covered_nodes: 3,
+                partial_nodes: 1,
+                samples_used: 4,
+                partial: true,
+            }),
+        },
+        Frame::FetchCheckpoint { shard: 1 },
+        Frame::Checkpoint {
+            shard: 1,
+            config: config(3),
+            payload: br#"{"rows":[]}"#.to_vec(),
+        },
+        Frame::Release { shard: 1 },
+        Frame::Population { shard: 0 },
+        Frame::PopulationAck {
+            shard: 0,
+            rows: 123,
+        },
+        Frame::Ok,
+        Frame::Error {
+            message: "nope".into(),
+        },
+        Frame::Shutdown,
+    ]
+}
+
+#[test]
+fn every_payload_bit_flip_is_rejected_with_a_typed_error() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    for frame in sample_frames() {
+        let encoded = encode_frame(&frame);
+        let payload = &encoded[4..];
+        let bits = payload.len() * 8;
+        // Every bit for small frames; a deterministic stride caps big
+        // ones (Host/Checkpoint carry row payloads) at ~4096 trials.
+        let step = (bits / 4096).max(1);
+        for bit in (0..bits).step_by(step) {
+            let mut mutated = payload.to_vec();
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            match decode_payload(&mutated) {
+                Err(_) => {}
+                Ok(parsed) => panic!(
+                    "bit {bit} flip of {frame:?} mis-parsed as {parsed:?} instead of erroring"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn length_prefix_bit_flips_never_misparse() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    for frame in sample_frames() {
+        let encoded = encode_frame(&frame);
+        for bit in 0..32 {
+            let mut mutated = encoded.clone();
+            mutated[bit / 8] ^= 1 << (bit % 8);
+            let mut decoder = FrameDecoder::new();
+            decoder.feed(&mutated);
+            // A longer claimed length parks the decoder waiting for
+            // bytes (Ok(None)); a shorter or garbage one must error on
+            // the CRC or envelope — a successful parse is the one
+            // forbidden outcome.
+            if let Ok(Some(parsed)) = decoder.try_next() {
+                panic!("length-bit {bit} flip of {frame:?} mis-parsed as {parsed:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sealed_segment_and_manifest_bit_flips_always_fail_the_open() {
+    let _g = lock();
+    let _plan = PlanGuard::none();
+    // Build one pristine sealed directory to clone per trial.
+    let master = tdir("fuzz-master");
+    {
+        let mut archive = SegmentedFileArchive::open(&master, 8).expect("open");
+        for id in 0..16u64 {
+            archive
+                .insert(id, &[id as f64, (id % 3) as f64])
+                .expect("insert");
+        }
+        archive.flush().expect("seal");
+    }
+    let files: Vec<String> = std::fs::read_dir(&master)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(files.iter().any(|f| f.starts_with("seg-")));
+    assert!(files.iter().any(|f| f == "MANIFEST"));
+
+    let trial_dir = tdir("fuzz-trial");
+    let mut rejected = 0u64;
+    for target in &files {
+        let pristine = std::fs::read(master.join(target)).expect("read pristine");
+        let bits = pristine.len() * 8;
+        let step = (bits / 256).max(1);
+        let mut entropy = 0x5EED_F1A6u64;
+        for trial in 0..bits.div_ceil(step) {
+            entropy = faults::mix64(entropy ^ trial as u64);
+            let bit = (entropy as usize) % bits;
+            // Fresh copy of the whole directory, one bit flipped.
+            let _ = std::fs::remove_dir_all(&trial_dir);
+            std::fs::create_dir_all(&trial_dir).unwrap();
+            for f in &files {
+                std::fs::copy(master.join(f), trial_dir.join(f)).expect("copy");
+            }
+            let mut bytes = pristine.clone();
+            bytes[bit / 8] ^= 1 << (bit % 8);
+            std::fs::write(trial_dir.join(target), &bytes).expect("write corrupted");
+            match SegmentedFileArchive::open(&trial_dir, 8) {
+                Err(JanusError::Storage(msg)) => {
+                    rejected += 1;
+                    assert!(
+                        msg.contains("quarantined"),
+                        "{target} bit {bit}: corruption must quarantine, got: {msg}"
+                    );
+                }
+                Err(other) => panic!("{target} bit {bit}: expected a storage error, got {other:?}"),
+                Ok(_) => panic!("{target} bit {bit}: corruption mis-parsed as a clean open"),
+            }
+        }
+    }
+    assert!(rejected > 0, "the fuzz loop must actually run trials");
+    let _ = std::fs::remove_dir_all(&master);
+    let _ = std::fs::remove_dir_all(&trial_dir);
+}

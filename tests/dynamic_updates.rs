@@ -160,7 +160,7 @@ fn parallel_batches_match_sequential_processing() {
         }
     }
     let mut par = cfg_engine(15);
-    let report = apply_batch(&mut par, updates, 8);
+    let report = apply_batch(&mut par, updates, 8).unwrap();
     assert_eq!(report.applied, 3_000);
 
     let query = q(0.0, 1_000.0, AggregateFunction::Sum);
@@ -181,7 +181,7 @@ fn throughput_is_at_least_tens_of_thousands_per_second() {
     let updates: Vec<Update> = (0..20_000u64)
         .map(|i| Update::Insert(row(300_000 + i, &mut rng)))
         .collect();
-    let report = apply_batch(&mut engine, updates, 4);
+    let report = apply_batch(&mut engine, updates, 4).unwrap();
     assert!(
         report.throughput() > 10_000.0,
         "throughput {:.0}/s",

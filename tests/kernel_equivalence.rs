@@ -179,7 +179,7 @@ proptest! {
 
         let mut store = ArchiveStore::new();
         for (i, row) in values.chunks_exact(arity).enumerate() {
-            store.insert(Row::new(i as u64, row.to_vec()));
+            store.insert(Row::new(i as u64, row.to_vec())).unwrap();
         }
 
         let whole = store.scan_partial(&query);
@@ -214,8 +214,8 @@ fn file_backend_scan_matches_kernel_scan() {
     for i in 0..777u64 {
         let x = (i as f64 * 37.0) % 997.0;
         let row = Row::new(i, vec![x, x * 0.5 - 100.0]);
-        mem.insert(row.clone());
-        file.insert(row);
+        mem.insert(row.clone()).expect("mem insert");
+        file.insert(row).expect("file insert");
     }
     for i in (0..777u64).step_by(3) {
         mem.delete(i).unwrap();
@@ -244,6 +244,6 @@ fn file_backend_scan_matches_kernel_scan() {
 
     // Compaction rewrites the files but must not move a single bit.
     let before = file.scan_partial(&query);
-    assert!(file.compact(), "deletions left records to drop");
+    assert!(file.compact().unwrap(), "deletions left records to drop");
     assert_partial_bits_eq(&before, &file.scan_partial(&query), "across compaction");
 }
